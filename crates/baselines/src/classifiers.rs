@@ -1,0 +1,374 @@
+//! Classical binary classifiers for the Magellan-style matcher:
+//! logistic regression, CART decision trees, and a random forest.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A trained binary classifier over dense `f64` feature vectors.
+pub trait Classifier {
+    /// Probability of the positive class.
+    fn predict_proba(&self, features: &[f64]) -> f64;
+
+    /// Hard decision at threshold 0.5.
+    fn predict(&self, features: &[f64]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+}
+
+/// L2-regularized logistic regression trained by batch gradient descent.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticRegression {
+    /// Fit on `x` (rows = samples) and boolean labels.
+    pub fn fit(x: &[Vec<f64>], y: &[bool], epochs: usize, lr: f64, l2: f64) -> Self {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "empty training set");
+        let dim = x[0].len();
+        let n = x.len() as f64;
+        // Class weighting keeps the rare positive class from being ignored.
+        let pos = y.iter().filter(|&&l| l).count().max(1) as f64;
+        let neg = (y.len() as f64 - pos).max(1.0);
+        let w_pos = n / (2.0 * pos);
+        let w_neg = n / (2.0 * neg);
+        let mut weights = vec![0.0; dim];
+        let mut bias = 0.0;
+        for _ in 0..epochs {
+            let mut gw = vec![0.0; dim];
+            let mut gb = 0.0;
+            for (xi, &yi) in x.iter().zip(y) {
+                let z: f64 = bias + weights.iter().zip(xi).map(|(w, v)| w * v).sum::<f64>();
+                let p = 1.0 / (1.0 + (-z).exp());
+                let target = f64::from(yi);
+                let cw = if yi { w_pos } else { w_neg };
+                let err = cw * (p - target);
+                for (g, v) in gw.iter_mut().zip(xi) {
+                    *g += err * v;
+                }
+                gb += err;
+            }
+            for (w, g) in weights.iter_mut().zip(&gw) {
+                *w -= lr * (g / n + l2 * *w);
+            }
+            bias -= lr * gb / n;
+        }
+        Self { weights, bias }
+    }
+
+    /// Learned weights (for inspection).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        let z: f64 =
+            self.bias + self.weights.iter().zip(features).map(|(w, v)| w * v).sum::<f64>();
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+/// CART decision tree with Gini impurity.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<TreeNode>,
+}
+
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf { proba: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Features examined per split (`None` = all; forests subsample).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 8, min_samples_split: 4, max_features: None }
+    }
+}
+
+impl DecisionTree {
+    /// Fit a tree; `rng` is used only when `max_features` subsamples.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[bool],
+        params: TreeParams,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "empty training set");
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut nodes = Vec::new();
+        build_node(x, y, &idx, params, 0, &mut nodes, rng);
+        Self { nodes }
+    }
+}
+
+fn gini(pos: f64, total: f64) -> f64 {
+    if total == 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+fn build_node(
+    x: &[Vec<f64>],
+    y: &[bool],
+    idx: &[usize],
+    params: TreeParams,
+    depth: usize,
+    nodes: &mut Vec<TreeNode>,
+    rng: &mut StdRng,
+) -> usize {
+    let pos = idx.iter().filter(|&&i| y[i]).count() as f64;
+    let total = idx.len() as f64;
+    let proba = if total == 0.0 { 0.0 } else { pos / total };
+    let make_leaf = |nodes: &mut Vec<TreeNode>| {
+        nodes.push(TreeNode::Leaf { proba });
+        nodes.len() - 1
+    };
+    if depth >= params.max_depth
+        || idx.len() < params.min_samples_split
+        || pos == 0.0
+        || pos == total
+    {
+        return make_leaf(nodes);
+    }
+    let dim = x[0].len();
+    let feature_pool: Vec<usize> = match params.max_features {
+        Some(k) if k < dim => {
+            // Sample k distinct features.
+            let mut picked = Vec::with_capacity(k);
+            while picked.len() < k {
+                let f = rng.gen_range(0..dim);
+                if !picked.contains(&f) {
+                    picked.push(f);
+                }
+            }
+            picked
+        }
+        _ => (0..dim).collect(),
+    };
+    let parent_gini = gini(pos, total);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    for &f in &feature_pool {
+        // Candidate thresholds: midpoints between sorted unique values.
+        let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        // Cap the number of candidate thresholds for speed.
+        let step = (vals.len() / 16).max(1);
+        for w in vals.windows(2).step_by(step) {
+            let thr = (w[0] + w[1]) / 2.0;
+            let (mut lp, mut lt, mut rp, mut rt) = (0.0, 0.0, 0.0, 0.0);
+            for &i in idx {
+                if x[i][f] <= thr {
+                    lt += 1.0;
+                    lp += f64::from(y[i]);
+                } else {
+                    rt += 1.0;
+                    rp += f64::from(y[i]);
+                }
+            }
+            if lt == 0.0 || rt == 0.0 {
+                continue;
+            }
+            let weighted = (lt * gini(lp, lt) + rt * gini(rp, rt)) / total;
+            let gain = parent_gini - weighted;
+            if best.map_or(true, |(_, _, g)| gain > g) {
+                best = Some((f, thr, gain));
+            }
+        }
+    }
+    let Some((feature, threshold, gain)) = best else {
+        return make_leaf(nodes);
+    };
+    if gain <= 1e-9 {
+        return make_leaf(nodes);
+    }
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| x[i][feature] <= threshold);
+    // Reserve our slot, then build children.
+    let slot = nodes.len();
+    nodes.push(TreeNode::Leaf { proba }); // placeholder
+    let left = build_node(x, y, &left_idx, params, depth + 1, nodes, rng);
+    let right = build_node(x, y, &right_idx, params, depth + 1, nodes, rng);
+    nodes[slot] = TreeNode::Split { feature, threshold, left, right };
+    slot
+}
+
+impl Classifier for DecisionTree {
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        // Root is node 0 when the tree has splits; a pure leaf tree is [leaf].
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                TreeNode::Leaf { proba } => return *proba,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    cur = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Random forest: bagged CART trees with feature subsampling — the
+/// strongest of Magellan's standard learners on these benchmarks.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fit `n_trees` trees on bootstrap samples.
+    pub fn fit(x: &[Vec<f64>], y: &[bool], n_trees: usize, rng: &mut StdRng) -> Self {
+        assert!(!x.is_empty(), "empty training set");
+        let dim = x[0].len();
+        let params = TreeParams {
+            max_depth: 10,
+            min_samples_split: 4,
+            max_features: Some(((dim as f64).sqrt().ceil() as usize).max(1)),
+        };
+        let n = x.len();
+        let trees = (0..n_trees)
+            .map(|_| {
+                // Bootstrap sample (with replacement).
+                let sample: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                let bx: Vec<Vec<f64>> = sample.iter().map(|&i| x[i].clone()).collect();
+                let by: Vec<bool> = sample.iter().map(|&i| y[i]).collect();
+                DecisionTree::fit(&bx, &by, params, rng)
+            })
+            .collect();
+        Self { trees }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict_proba(features)).sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Linearly separable blob data.
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let label = i % 2 == 0;
+            let center = if label { 1.0 } else { -1.0 };
+            x.push(vec![
+                center + rng.gen_range(-0.4..0.4),
+                center + rng.gen_range(-0.4..0.4),
+            ]);
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    /// XOR data: not linearly separable.
+    fn xor(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.gen_range(-1.0..1.0f64);
+            let b = rng.gen_range(-1.0..1.0f64);
+            x.push(vec![a, b]);
+            y.push((a > 0.0) != (b > 0.0));
+        }
+        (x, y)
+    }
+
+    fn accuracy(c: &dyn Classifier, x: &[Vec<f64>], y: &[bool]) -> f64 {
+        let hits = x.iter().zip(y).filter(|(xi, &yi)| c.predict(xi) == yi).count();
+        hits as f64 / x.len() as f64
+    }
+
+    #[test]
+    fn logistic_fits_separable_data() {
+        let (x, y) = blobs(200, 0);
+        let lr = LogisticRegression::fit(&x, &y, 300, 0.5, 1e-4);
+        assert!(accuracy(&lr, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn tree_fits_xor() {
+        let (x, y) = xor(300, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = DecisionTree::fit(&x, &y, TreeParams::default(), &mut rng);
+        assert!(accuracy(&tree, &x, &y) > 0.9, "tree should carve XOR");
+    }
+
+    #[test]
+    fn logistic_cannot_fit_xor_but_forest_can() {
+        let (x, y) = xor(300, 3);
+        let lr = LogisticRegression::fit(&x, &y, 300, 0.5, 1e-4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let rf = RandomForest::fit(&x, &y, 15, &mut rng);
+        assert!(accuracy(&lr, &x, &y) < 0.75, "linear model must fail XOR");
+        assert!(accuracy(&rf, &x, &y) > 0.9);
+    }
+
+    #[test]
+    fn forest_probabilities_bounded() {
+        let (x, y) = blobs(100, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let rf = RandomForest::fit(&x, &y, 8, &mut rng);
+        for xi in &x {
+            let p = rf.predict_proba(xi);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn pure_training_set_gives_constant_leaf() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![true, true, true];
+        let mut rng = StdRng::seed_from_u64(7);
+        let tree = DecisionTree::fit(&x, &y, TreeParams::default(), &mut rng);
+        assert_eq!(tree.predict_proba(&[5.0]), 1.0);
+    }
+
+    #[test]
+    fn class_weighting_handles_imbalance() {
+        // 5% positives with overlapping-but-separable structure.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..400 {
+            let label = i % 20 == 0;
+            let c = if label { 0.8 } else { -0.2 };
+            x.push(vec![c + rng.gen_range(-0.3..0.3)]);
+            y.push(label);
+        }
+        let lr = LogisticRegression::fit(&x, &y, 400, 0.5, 1e-4);
+        // The weighted model must actually predict some positives.
+        let predicted_pos = x.iter().filter(|xi| lr.predict(xi)).count();
+        assert!(predicted_pos >= 10, "imbalance swallowed positives: {predicted_pos}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # em-baselines
+//!
+//! The two comparison systems of Table 5:
+//!
+//! * [`MagellanMatcher`] — classical entity matching (Konda et al., 2016):
+//!   per-attribute string-similarity features ([`similarity`], [`features`])
+//!   into a classical learner ([`classifiers`]), best learner chosen on the
+//!   validation split;
+//! * [`DeepMatcher`] — the pre-transformer deep-learning design
+//!   (Mudgal et al., 2018): word embeddings + BiGRU + decomposable
+//!   soft-alignment attention + comparison network.
+
+pub mod classifiers;
+pub mod deepmatcher;
+pub mod features;
+pub mod magellan;
+pub mod similarity;
+
+pub use classifiers::{Classifier, DecisionTree, LogisticRegression, RandomForest};
+pub use deepmatcher::{DeepMatcher, DeepMatcherConfig};
+pub use features::FeatureExtractor;
+pub use magellan::{MagellanLearner, MagellanMatcher};

@@ -1,0 +1,158 @@
+//! Magellan-style matcher (Konda et al., 2016): hand-crafted
+//! similarity features + a classical learner, with the best learner chosen
+//! on the validation split (the paper reports Magellan's best result).
+
+use crate::classifiers::{Classifier, DecisionTree, LogisticRegression, RandomForest, TreeParams};
+use crate::features::{features_and_labels, FeatureExtractor};
+use em_data::{f1_score, EntityPair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The learners Magellan ships in its standard tool chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MagellanLearner {
+    /// Logistic regression.
+    LogisticRegression,
+    /// Single CART decision tree.
+    DecisionTree,
+    /// Random forest.
+    RandomForest,
+}
+
+impl MagellanLearner {
+    /// All learners, tried during model selection.
+    pub const ALL: [MagellanLearner; 3] = [
+        MagellanLearner::LogisticRegression,
+        MagellanLearner::DecisionTree,
+        MagellanLearner::RandomForest,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MagellanLearner::LogisticRegression => "logreg",
+            MagellanLearner::DecisionTree => "tree",
+            MagellanLearner::RandomForest => "forest",
+        }
+    }
+}
+
+/// A fitted Magellan matcher.
+pub struct MagellanMatcher {
+    extractor: FeatureExtractor,
+    model: Box<dyn Classifier>,
+    /// Which learner was selected.
+    pub learner: MagellanLearner,
+}
+
+impl MagellanMatcher {
+    /// Fit a specific learner on the training pairs.
+    pub fn fit(
+        attributes: &[String],
+        train: &[EntityPair],
+        learner: MagellanLearner,
+        seed: u64,
+    ) -> Self {
+        let extractor = FeatureExtractor::new(attributes.to_vec());
+        let (x, y) = features_and_labels(&extractor, train);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model: Box<dyn Classifier> = match learner {
+            MagellanLearner::LogisticRegression => {
+                Box::new(LogisticRegression::fit(&x, &y, 300, 0.5, 1e-4))
+            }
+            MagellanLearner::DecisionTree => {
+                Box::new(DecisionTree::fit(&x, &y, TreeParams::default(), &mut rng))
+            }
+            MagellanLearner::RandomForest => Box::new(RandomForest::fit(&x, &y, 20, &mut rng)),
+        };
+        Self { extractor, model, learner }
+    }
+
+    /// Fit all learners and keep the one with the best validation F1
+    /// (mirrors the paper reporting Magellan's best configuration).
+    pub fn fit_best(
+        attributes: &[String],
+        train: &[EntityPair],
+        valid: &[EntityPair],
+        seed: u64,
+    ) -> Self {
+        let mut best: Option<(f64, Self)> = None;
+        for learner in MagellanLearner::ALL {
+            let m = Self::fit(attributes, train, learner, seed);
+            let preds = m.predict_all(valid);
+            let labels: Vec<bool> = valid.iter().map(|p| p.label).collect();
+            let f1 = f1_score(&preds, &labels);
+            if best.as_ref().map_or(true, |(b, _)| f1 > *b) {
+                best = Some((f1, m));
+            }
+        }
+        best.expect("at least one learner").1
+    }
+
+    /// Predict a single pair.
+    pub fn predict(&self, pair: &EntityPair) -> bool {
+        self.model.predict(&self.extractor.extract(pair))
+    }
+
+    /// Predict many pairs.
+    pub fn predict_all(&self, pairs: &[EntityPair]) -> Vec<bool> {
+        pairs.iter().map(|p| self.predict(p)).collect()
+    }
+
+    /// Match probability for a single pair.
+    pub fn predict_proba(&self, pair: &EntityPair) -> f64 {
+        self.model.predict_proba(&self.extractor.extract(pair))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::{DatasetId, PrF1};
+
+    #[test]
+    fn magellan_learns_clean_citations_well() {
+        // DBLP-ACM before dirtying is nearly clean; build an un-dirty
+        // citation set through the public API at tiny scale via the clean
+        // generator path (Abt-Buy is textual; use DBLP-ACM and accept the
+        // dirty transform — Magellan should still clear ~60% there thanks
+        // to whole-record features, and much more on clean data).
+        let ds = DatasetId::DblpAcm.generate(0.05, 11);
+        let mut rng = StdRng::seed_from_u64(0);
+        let split = ds.split(&mut rng);
+        let m = MagellanMatcher::fit_best(&ds.attributes, &split.train, &split.valid, 1);
+        let preds = m.predict_all(&split.test);
+        let labels: Vec<bool> = split.test.iter().map(|p| p.label).collect();
+        let f1 = PrF1::from_predictions(&preds, &labels).f1();
+        assert!(f1 > 0.5, "Magellan should get decent F1 on citations: {f1}");
+    }
+
+    #[test]
+    fn magellan_struggles_on_textual_abt_buy() {
+        // §5.1: Abt-Buy uses only the noisy description attribute, which is
+        // what `effective_attributes` enforces.
+        let ds = DatasetId::AbtBuy.generate(0.10, 12);
+        let mut rng = StdRng::seed_from_u64(0);
+        let split = ds.split(&mut rng);
+        let m =
+            MagellanMatcher::fit_best(&ds.effective_attributes(), &split.train, &split.valid, 1);
+        let preds = m.predict_all(&split.test);
+        let labels: Vec<bool> = split.test.iter().map(|p| p.label).collect();
+        let f1 = PrF1::from_predictions(&preds, &labels).f1();
+        // The paper's Table 5: Magellan hits only 33% on Abt-Buy. Our
+        // synthetic data should likewise keep it far below clean-data F1.
+        assert!(f1 < 0.75, "Abt-Buy must stay hard for Magellan: {f1}");
+    }
+
+    #[test]
+    fn predict_all_matches_predict() {
+        let ds = DatasetId::WalmartAmazon.generate(0.01, 13);
+        let mut rng = StdRng::seed_from_u64(0);
+        let split = ds.split(&mut rng);
+        let m = MagellanMatcher::fit(&ds.attributes, &split.train, MagellanLearner::RandomForest, 1);
+        let all = m.predict_all(&split.test);
+        for (p, pair) in all.iter().zip(&split.test) {
+            assert_eq!(*p, m.predict(pair));
+        }
+    }
+}

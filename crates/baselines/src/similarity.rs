@@ -1,0 +1,268 @@
+//! String-similarity functions (Christen 2012, §2.1 of the paper):
+//! the feature vocabulary of classical entity matching.
+//!
+//! All functions return a similarity in `[0, 1]` (1 = identical).
+
+use std::collections::HashSet;
+
+/// Levenshtein edit distance (two-row dynamic program).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity: `1 - dist / max_len`.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaro similarity (Jaro 1989) — designed for short strings like names.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut a_matched_chars = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                a_matched_chars.push(ca);
+                break;
+            }
+        }
+    }
+    let matches = a_matched_chars.len();
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: positions where the matched characters of `a` (in
+    // `a` order) disagree with the matched characters of `b` (in `b`
+    // order), halved — the standard, symmetric definition.
+    let b_matched_chars: Vec<char> =
+        b.iter().zip(&b_used).filter(|(_, &used)| used).map(|(&c, _)| c).collect();
+    let mismatched = a_matched_chars
+        .iter()
+        .zip(&b_matched_chars)
+        .filter(|(x, y)| x != y)
+        .count();
+    let m = matches as f64;
+    let t = mismatched as f64 / 2.0;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler: Jaro boosted by shared prefix (up to 4 chars, p = 0.1).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Whitespace-token set of a string (lowercased).
+pub fn token_set(s: &str) -> HashSet<String> {
+    s.split_whitespace().map(str::to_lowercase).collect()
+}
+
+/// Jaccard similarity over word tokens.
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    let ta = token_set(a);
+    let tb = token_set(b);
+    jaccard_sets(&ta, &tb)
+}
+
+/// Jaccard similarity of two sets.
+pub fn jaccard_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    inter / union
+}
+
+/// Character q-grams of a string (padded with `#`).
+pub fn qgrams(s: &str, q: usize) -> HashSet<String> {
+    let padded: Vec<char> = std::iter::repeat('#')
+        .take(q - 1)
+        .chain(s.to_lowercase().chars())
+        .chain(std::iter::repeat('#').take(q - 1))
+        .collect();
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Jaccard similarity over character 3-grams.
+pub fn qgram_jaccard(a: &str, b: &str) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    jaccard_sets(&qgrams(a, 3), &qgrams(b, 3))
+}
+
+/// Overlap coefficient over word tokens: `|A∩B| / min(|A|, |B|)`.
+pub fn overlap_coefficient(a: &str, b: &str) -> f64 {
+    let ta = token_set(a);
+    let tb = token_set(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let inter = ta.intersection(&tb).count() as f64;
+    inter / ta.len().min(tb.len()) as f64
+}
+
+/// Monge-Elkan: mean over tokens of A of the best Jaro-Winkler match in B.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta: Vec<String> = a.split_whitespace().map(str::to_lowercase).collect();
+    let tb: Vec<String> = b.split_whitespace().map(str::to_lowercase).collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for x in &ta {
+        let best = tb.iter().map(|y| jaro_winkler(x, y)).fold(0.0f64, f64::max);
+        total += best;
+    }
+    total / ta.len() as f64
+}
+
+/// Similarity of two numeric strings: `min/max` of the parsed magnitudes,
+/// 0 when either fails to parse (robust to `$`, empty, etc.).
+pub fn numeric_sim(a: &str, b: &str) -> f64 {
+    let parse = |s: &str| -> Option<f64> {
+        let cleaned: String =
+            s.chars().filter(|c| c.is_ascii_digit() || *c == '.').collect();
+        cleaned.parse::<f64>().ok().filter(|v| *v > 0.0)
+    };
+    match (parse(a), parse(b)) {
+        (Some(x), Some(y)) => (x.min(y) / x.max(y)).clamp(0.0, 1.0),
+        _ => 0.0,
+    }
+}
+
+/// Exact (case-insensitive) equality as 0/1.
+pub fn exact(a: &str, b: &str) -> f64 {
+    f64::from(a.to_lowercase() == b.to_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("martha", "marhta") - 0.9444).abs() < 1e-3);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_prefix() {
+        let plain = jaro("dixon", "dicksonx");
+        let jw = jaro_winkler("dixon", "dicksonx");
+        assert!(jw > plain);
+        assert!((jw - 0.8133).abs() < 1e-2);
+    }
+
+    #[test]
+    fn jaccard_tokens_cases() {
+        assert_eq!(jaccard_tokens("a b c", "a b c"), 1.0);
+        assert_eq!(jaccard_tokens("a b", "c d"), 0.0);
+        assert!((jaccard_tokens("a b c", "b c d") - 0.5).abs() < 1e-9);
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+    }
+
+    #[test]
+    fn qgram_jaccard_tolerates_typos() {
+        let clean = qgram_jaccard("keyboard", "keyboard");
+        let typo = qgram_jaccard("keyboard", "keybaord");
+        let other = qgram_jaccard("keyboard", "monitor");
+        assert_eq!(clean, 1.0);
+        assert!(typo > 0.4 && typo < 1.0);
+        assert!(other < typo);
+    }
+
+    #[test]
+    fn monge_elkan_handles_reordered_names() {
+        let s = monge_elkan("james smith", "smith james");
+        assert!(s > 0.95, "reordering should barely hurt Monge-Elkan: {s}");
+    }
+
+    #[test]
+    fn numeric_sim_parses_currency() {
+        assert!((numeric_sim("$89.99", "89.99") - 1.0).abs() < 1e-9);
+        assert!((numeric_sim("100", "50") - 0.5).abs() < 1e-9);
+        assert_eq!(numeric_sim("n/a", "50"), 0.0);
+    }
+
+    #[test]
+    fn all_sims_bounded() {
+        let pairs = [("abc def", "abd ef"), ("", "x"), ("hello world", "hello world")];
+        for (a, b) in pairs {
+            for f in [
+                levenshtein_sim,
+                jaro,
+                jaro_winkler,
+                jaccard_tokens,
+                qgram_jaccard,
+                overlap_coefficient,
+                monge_elkan,
+                numeric_sim,
+                exact,
+            ] {
+                let v = f(a, b);
+                assert!((0.0..=1.0).contains(&v), "{a} vs {b}: {v}");
+            }
+        }
+    }
+}

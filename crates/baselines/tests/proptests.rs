@@ -1,0 +1,90 @@
+//! Property-based tests for the similarity library and classifiers.
+
+use em_baselines::similarity::*;
+use em_baselines::{Classifier, DecisionTree, LogisticRegression};
+use em_baselines::classifiers::TreeParams;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{0,12}"
+}
+
+fn phrase() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z]{1,8}", 0..8).prop_map(|w| w.join(" "))
+}
+
+proptest! {
+    #[test]
+    fn all_similarities_bounded(a in phrase(), b in phrase()) {
+        for f in [
+            levenshtein_sim, jaro, jaro_winkler, jaccard_tokens, qgram_jaccard,
+            overlap_coefficient, monge_elkan, numeric_sim, exact,
+        ] {
+            let v = f(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "{}({:?},{:?}) = {}", "sim", a, b, v);
+        }
+    }
+
+    #[test]
+    fn similarities_symmetric(a in word(), b in word()) {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-9);
+        prop_assert!((jaccard_tokens(&a, &b) - jaccard_tokens(&b, &a)).abs() < 1e-9);
+        prop_assert!((qgram_jaccard(&a, &b) - qgram_jaccard(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_scores_one(a in "[a-z]{1,12}") {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((jaro_winkler(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((jaccard_tokens(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((monge_elkan(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(exact(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(a in word(), b in word(), c in word()) {
+        let ab = levenshtein(&a, &b);
+        let bc = levenshtein(&b, &c);
+        let ac = levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc, "d(a,c)={} > d(a,b)+d(b,c)={}", ac, ab + bc);
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer_string(a in word(), b in word()) {
+        let d = levenshtein(&a, &b);
+        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        prop_assert!(d >= a.chars().count().abs_diff(b.chars().count()));
+    }
+
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in word(), b in word()) {
+        prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-9);
+    }
+
+    #[test]
+    fn overlap_at_least_jaccard(a in phrase(), b in phrase()) {
+        prop_assert!(overlap_coefficient(&a, &b) >= jaccard_tokens(&a, &b) - 1e-9);
+    }
+
+    #[test]
+    fn classifier_probabilities_bounded(
+        rows in prop::collection::vec(
+            prop::collection::vec(-5.0f64..5.0, 3), 8..40),
+    ) {
+        let labels: Vec<bool> = rows.iter().map(|r| r[0] + r[1] > 0.0).collect();
+        if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
+            return Ok(()); // degenerate, classifiers still fine but trivial
+        }
+        let lr = LogisticRegression::fit(&rows, &labels, 50, 0.1, 1e-3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = DecisionTree::fit(&rows, &labels, TreeParams::default(), &mut rng);
+        for r in &rows {
+            prop_assert!((0.0..=1.0).contains(&lr.predict_proba(r)));
+            prop_assert!((0.0..=1.0).contains(&tree.predict_proba(r)));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks for the substrate the experiments run on:
+//! GEMM kernels, transformer forward/backward, tokenizers, similarity
+//! functions, and dataset generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use em_baselines::similarity;
+use em_nn::{Ctx, Module};
+use em_tensor::{init, kernel, Tensor};
+use em_tokenizers::Tokenizer;
+use em_transformers::{Architecture, Batch, TransformerConfig, TransformerModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(20);
+    for (m, k, n) in [(256usize, 64usize, 64usize), (768, 64, 256)] {
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        g.bench_function(format!("{m}x{k}x{n}"), |bench| {
+            bench.iter(|| kernel::gemm(&a, &b, m, k, n));
+        });
+    }
+    g.finish();
+}
+
+fn bench_transformer_forward(c: &mut Criterion) {
+    let cfg = TransformerConfig::tiny(Architecture::Bert, 500);
+    let model = TransformerModel::new(cfg, 0);
+    let batch = Batch {
+        ids: vec![vec![7; 32]; 4],
+        segments: vec![vec![0; 32]; 4],
+        padding: vec![vec![1; 32]; 4],
+        cls_index: vec![0; 4],
+    };
+    let mut g = c.benchmark_group("transformer");
+    g.sample_size(10);
+    g.bench_function("transformer_forward_tiny_b4_t32", |bench| {
+        bench.iter(|| {
+            em_tensor::no_grad(|| model.forward(&batch, None, None, &mut Ctx::eval()).value())
+        });
+    });
+    g.finish();
+}
+
+fn bench_transformer_train_step(c: &mut Criterion) {
+    let cfg = TransformerConfig::tiny(Architecture::Bert, 500);
+    let model = TransformerModel::new(cfg, 0);
+    let params = model.parameters();
+    let batch = Batch {
+        ids: vec![vec![7; 32]; 4],
+        segments: vec![vec![0; 32]; 4],
+        padding: vec![vec![1; 32]; 4],
+        cls_index: vec![0; 4],
+    };
+    let mut g = c.benchmark_group("transformer_train");
+    g.sample_size(10);
+    g.bench_function("transformer_fwd_bwd_tiny_b4_t32", |bench| {
+        bench.iter(|| {
+            for p in &params {
+                p.zero_grad();
+            }
+            let h = model.forward(&batch, None, None, &mut Ctx::eval());
+            let loss = h.square().mean_all();
+            loss.backward();
+            loss.item()
+        });
+    });
+    g.finish();
+}
+
+fn bench_tokenizers(c: &mut Criterion) {
+    let corpus = em_data::generate_corpus(400, 0);
+    let wp = em_tokenizers::WordPiece::train(&corpus, 800);
+    let bpe = em_tokenizers::ByteLevelBpe::train(&corpus, 800);
+    let sp = em_tokenizers::SentencePieceBpe::train(&corpus, 800);
+    let text = "the apple phone zx4510 features a wireless display and long battery duration";
+    let mut g = c.benchmark_group("tokenize");
+    g.sample_size(20);
+    g.bench_function("wordpiece", |b| b.iter(|| wp.encode(text)));
+    g.bench_function("bytebpe", |b| b.iter(|| bpe.encode(text)));
+    g.bench_function("sentencepiece", |b| b.iter(|| sp.encode(text)));
+    g.finish();
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let a = "efficient adaptive query processing for distributed streams";
+    let b = "eficient adaptive processing of distributed query streams";
+    let mut g = c.benchmark_group("similarity");
+    g.bench_function("levenshtein", |bench| bench.iter(|| similarity::levenshtein(a, b)));
+    g.bench_function("jaro_winkler", |bench| bench.iter(|| similarity::jaro_winkler(a, b)));
+    g.bench_function("jaccard_tokens", |bench| bench.iter(|| similarity::jaccard_tokens(a, b)));
+    g.bench_function("qgram_jaccard", |bench| bench.iter(|| similarity::qgram_jaccard(a, b)));
+    g.bench_function("monge_elkan", |bench| bench.iter(|| similarity::monge_elkan(a, b)));
+    g.finish();
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datagen");
+    g.sample_size(10);
+    g.bench_function("generate_walmart_scale_0.02", |b| {
+        b.iter(|| em_data::DatasetId::WalmartAmazon.generate(0.02, 7))
+    });
+    g.finish();
+}
+
+fn bench_embedding_grad(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let table = Tensor::parameter(init::normal(vec![1000, 64], 0.02, &mut rng));
+    let idx: Vec<usize> = (0..256).map(|i| i % 1000).collect();
+    let mut g = c.benchmark_group("embedding");
+    g.sample_size(20);
+    g.bench_function("embedding_gather_scatter_256x64", |b| {
+        b.iter_batched(
+            || table.clone(),
+            |t| {
+                t.zero_grad();
+                let y = t.gather_rows(&idx, &[256]);
+                y.sum_all().backward();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_transformer_forward,
+    bench_transformer_train_step,
+    bench_tokenizers,
+    bench_similarity,
+    bench_dataset_generation,
+    bench_embedding_grad
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Regenerate **Figures 10–14**: F1 vs. fine-tuning epochs for all four
+//! transformer architectures on each dataset, averaged over runs. Epoch 0
+//! is the zero-shot evaluation (§5.4's "before fine tuning" analysis).
+//!
+//! Output is an aligned text series per architecture plus an ASCII plot,
+//! written to `results/figure_<dataset>.txt`.
+//!
+//! ```text
+//! cargo run -p em-bench --bin figures --release -- \
+//!     [--dataset abt-buy] [--scale 0.1 --runs 2 --epochs 8 --force]
+//! ```
+
+use em_bench::{cached_curve, config_from_args, emit_report, render_table, Args};
+use em_data::DatasetId;
+use em_transformers::Architecture;
+
+fn figure_number(id: DatasetId) -> usize {
+    match id {
+        DatasetId::AbtBuy => 10,
+        DatasetId::ItunesAmazon => 11,
+        DatasetId::WalmartAmazon => 12,
+        DatasetId::DblpAcm => 13,
+        DatasetId::DblpScholar => 14,
+    }
+}
+
+/// Simple ASCII rendering of the four curves.
+fn ascii_plot(series: &[(String, Vec<f64>)]) -> String {
+    let height = 14;
+    let max_y = 100.0;
+    let n = series.first().map_or(0, |(_, v)| v.len());
+    let glyphs = ['B', 'X', 'R', 'D'];
+    let mut grid = vec![vec![' '; n * 4]; height];
+    for (si, (_, values)) in series.iter().enumerate() {
+        for (e, &v) in values.iter().enumerate() {
+            let y = ((v / max_y) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            let col = e * 4;
+            if grid[row][col] == ' ' {
+                grid[row][col] = glyphs[si % glyphs.len()];
+            } else {
+                // Overlapping points: mark with '*'.
+                grid[row][col] = '*';
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = max_y * (height - 1 - i) as f64 / (height - 1) as f64;
+        out.push_str(&format!("{label:>5.0} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("      +");
+    out.push_str(&"-".repeat(n * 4));
+    out.push('\n');
+    out.push_str("       ");
+    for e in 0..n {
+        out.push_str(&format!("{e:<4}"));
+    }
+    out.push_str("epochs\n");
+    out.push_str("       B=BERT X=XLNet R=RoBERTa D=DistilBERT *=overlap\n");
+    out
+}
+
+fn run_figure(id: DatasetId, cfg: &em_core::ExperimentConfig, force: bool) {
+    let archs =
+        [Architecture::Bert, Architecture::Xlnet, Architecture::Roberta, Architecture::DistilBert];
+    let mut series = Vec::new();
+    let mut rows = Vec::new();
+    for arch in archs {
+        let curve = cached_curve(arch, id, cfg, force);
+        let mut row = vec![curve.arch.clone()];
+        row.extend(curve.mean_f1.iter().map(|v| format!("{v:.1}")));
+        row.push(format!("{:.1}", curve.mean_best_f1));
+        rows.push(row);
+        series.push((curve.arch.clone(), curve.mean_f1.clone()));
+    }
+    let mut headers: Vec<String> = vec!["arch".into()];
+    headers.extend((0..=cfg.epochs).map(|e| format!("ep{e}")));
+    headers.push("best".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let table = render_table(&header_refs, &rows);
+    let plot = ascii_plot(&series);
+    let name = format!("figure{}_{:?}", figure_number(id), id).to_lowercase();
+    emit_report(
+        &name,
+        &format!(
+            "Figure {}: F1 (test set) vs. fine-tuning epochs on {} \n\
+             (averaged over {} runs; epoch 0 = zero-shot)\n\n{table}\n{plot}",
+            figure_number(id),
+            id.display_name(),
+            cfg.runs,
+        ),
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = config_from_args(&args);
+    let force = args.has("force");
+    match args.get::<String>("dataset").and_then(|s| DatasetId::parse(&s)) {
+        Some(id) => run_figure(id, &cfg, force),
+        None => {
+            for id in DatasetId::ALL {
+                run_figure(id, &cfg, force);
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Verify: (1) does pretraining learn a *generalizing* NSP skill?
+//! (2) does dual-lr fine-tuning preserve and transfer it?
+use em_core::pipeline::*;
+use em_data::{DatasetId, PrF1};
+use em_nn::{Ctx, Module};
+use em_tensor::{clip_grad_norm, no_grad, Adam};
+use em_tokenizers::{encode_pair, ClsPosition, Tokenizer};
+use em_transformers::pretrain::build_nsp_pairs;
+use em_transformers::pretrainer::pretrain_mlm;
+use em_transformers::{Architecture, Batch, ClassificationHead, PretrainConfig, TransformerConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pt_epochs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let enc_lr: f32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1e-4);
+    let head_lr: f32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1e-3);
+    let ft_epochs: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(12);
+
+    let docs = em_data::generate_documents(2000, 42);
+    let flat: Vec<String> = docs.iter().flatten().cloned().collect();
+    let arch = Architecture::Bert;
+    let tok = train_tokenizer(arch, &flat, 1200);
+    let cfg = TransformerConfig::small(arch, tok.vocab_size());
+    let pcfg = PretrainConfig { epochs: pt_epochs, ..Default::default() };
+    let t0 = std::time::Instant::now();
+    let pre = pretrain_mlm(cfg, &docs, &tok, &pcfg, false);
+    println!("pretrained {pt_epochs} epochs in {:.0}s, final loss {:?}", t0.elapsed().as_secs_f32(), pre.loss_history.last());
+
+    // (1) NSP accuracy on FRESH documents (different seed => unseen entities).
+    let fresh = em_data::generate_documents(400, 777);
+    let mut rng = StdRng::seed_from_u64(8);
+    let nsp_pairs = build_nsp_pairs(&fresh, &mut rng);
+    let nsp_head = pre.nsp.as_ref().unwrap();
+    let mut correct = 0;
+    let encs: Vec<_> = nsp_pairs.iter()
+        .map(|(a,b,_)| encode_pair(&tok, a, b, 40, ClsPosition::First)).collect();
+    no_grad(|| {
+        for (chunk, labels) in encs.chunks(64).zip(nsp_pairs.chunks(64)) {
+            let batch = Batch::from_encodings(chunk);
+            let mut ctx = Ctx::eval();
+            let h = pre.model.forward(&batch, None, None, &mut ctx);
+            let cls = pre.model.cls_states(&h, &batch);
+            let preds = nsp_head.forward(&cls).value().argmax_last_axis();
+            for (p, (_,_,l)) in preds.iter().zip(labels) {
+                if p == l { correct += 1; }
+            }
+        }
+    });
+    println!("NSP accuracy on unseen entities: {:.1}% ({} pairs)", 100.0*correct as f64/nsp_pairs.len() as f64, nsp_pairs.len());
+
+    // (2) dual-lr fine-tune on DBLP-ACM.
+    let cfg_e = em_core::experiment::ExperimentConfig { scale: 0.1, ..Default::default() };
+    let (ds, split) = cfg_e.dataset_and_split(DatasetId::DblpAcm);
+    let max_len = choose_max_len(&ds, &split.train, &tok, 96);
+    let (train_enc, train_y) = encode_pairs(&ds, &split.train, &tok, arch, max_len);
+    let (test_enc, test_y) = encode_pairs(&ds, &split.test, &tok, arch, max_len);
+    let mut rng = StdRng::seed_from_u64(5);
+    let head = ClassificationHead::new(pre.model.config.hidden, 0.1, 0.02, &mut rng);
+    let mut enc_opt = Adam::new(pre.model.parameters());
+    let mut head_opt = Adam::new(head.parameters());
+    let mut order: Vec<usize> = (0..train_enc.len()).collect();
+    let pos: Vec<usize> = (0..train_y.len()).filter(|&i| train_y[i]==1).collect();
+    while order.iter().filter(|&&i| train_y[i]==1).count() < train_enc.len()/3 {
+        order.push(pos[order.len() % pos.len()]);
+    }
+    for epoch in 1..=ft_epochs {
+        order.shuffle(&mut rng);
+        let mut el = 0.0; let mut nb = 0;
+        for chunk in order.chunks(16) {
+            let encs2: Vec<_> = chunk.iter().map(|&i| train_enc[i].clone()).collect();
+            let ys: Vec<usize> = chunk.iter().map(|&i| train_y[i]).collect();
+            let batch = Batch::from_encodings(&encs2);
+            let mut ctx = Ctx::train(epoch as u64 * 77 + nb as u64);
+            let h = pre.model.forward(&batch, None, None, &mut ctx);
+            let cls = pre.model.cls_states(&h, &batch);
+            let loss = head.forward(&cls, &mut ctx).cross_entropy(&ys, None);
+            el += loss.item(); nb += 1;
+            enc_opt.zero_grad(); head_opt.zero_grad(); loss.backward();
+            clip_grad_norm(enc_opt.params(), 1.0);
+            enc_opt.step(enc_lr);
+            head_opt.step(head_lr);
+        }
+        let preds: Vec<bool> = no_grad(|| {
+            let mut out = Vec::new();
+            for chunk in test_enc.chunks(64) {
+                let batch = Batch::from_encodings(chunk);
+                let mut ctx = Ctx::eval();
+                let h = pre.model.forward(&batch, None, None, &mut ctx);
+                let cls = pre.model.cls_states(&h, &batch);
+                out.extend(head.forward(&cls, &mut ctx).value().argmax_last_axis().into_iter().map(|c| c==1));
+            }
+            out
+        });
+        let truth: Vec<bool> = test_y.iter().map(|&l| l==1).collect();
+        let f1 = PrF1::from_predictions(&preds, &truth).f1_percent();
+        println!("ft epoch {epoch}: loss {:.3} test F1 {f1:.1}", el/nb as f32);
+    }
+}

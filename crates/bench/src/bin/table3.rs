@@ -1,0 +1,39 @@
+//! Regenerate **Table 3**: statistics of the five benchmark datasets
+//! (size, number of matches, number of attributes).
+//!
+//! ```text
+//! cargo run -p em-bench --bin table3 --release -- [--scale 1.0 --seed 42]
+//! ```
+
+use em_bench::{config_from_args, emit_report, render_table, Args};
+use em_data::DatasetId;
+
+fn main() {
+    let args = Args::parse();
+    let mut cfg = config_from_args(&args);
+    // Table 3 reports the full-size statistics unless a scale is given.
+    if args.get::<f64>("scale").is_none() {
+        cfg.scale = 1.0;
+    }
+    let mut rows = Vec::new();
+    for id in DatasetId::ALL {
+        let (paper_size, paper_matches, paper_attrs) = id.table3_stats();
+        let ds = id.generate(cfg.effective_scale(id), cfg.seed);
+        rows.push(vec![
+            ds.name.clone(),
+            ds.domain.clone(),
+            format!("{}", ds.size()),
+            format!("{}", ds.matches()),
+            format!("{}", ds.num_attributes()),
+            format!("{paper_size} / {paper_matches} / {paper_attrs}"),
+        ]);
+    }
+    let table = render_table(
+        &["Dataset", "Domain", "Size", "# Matches", "# Attr", "Paper (size/matches/attr)"],
+        &rows,
+    );
+    emit_report(
+        "table3",
+        &format!("Table 3: datasets used in the experiments (scale {})\n\n{table}", cfg.scale),
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerate **Table 4**: the pre-trained models used in the experiments
+//! (layers, hidden width, heads, parameter count) — our scaled-down
+//! configurations next to the paper's checkpoints.
+//!
+//! ```text
+//! cargo run -p em-bench --bin table4 --release
+//! ```
+
+use em_bench::{emit_report, render_table, Args};
+use em_core::experiment::ModelScale;
+use em_nn::Module;
+use em_transformers::{Architecture, TransformerModel};
+
+fn paper_spec(arch: Architecture) -> &'static str {
+    match arch {
+        Architecture::Bert => "12-layer, 768-hidden, 12-heads, 110M (BERT-base, lower-cased)",
+        Architecture::Xlnet => "12-layer, 768-hidden, 12-heads, 110M (XLNet English)",
+        Architecture::Roberta => "12-layer, 768-hidden, 12-heads, 125M (BERT-base arch.)",
+        Architecture::DistilBert => "6-layer, 768-hidden, 12-heads, 66M (distilled from BERT-base)",
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let vocab: usize = args.get("vocab").unwrap_or(1200);
+    let mut rows = Vec::new();
+    for arch in Architecture::ALL {
+        let cfg = ModelScale::Small.config(arch, vocab);
+        let model = TransformerModel::new(cfg.clone(), 0);
+        rows.push(vec![
+            arch.name().to_string(),
+            format!("{}", cfg.layers),
+            format!("{}", cfg.hidden),
+            format!("{}", cfg.heads),
+            format!("{:.2}M", model.num_parameters() as f64 / 1e6),
+            if cfg.relative_positions { "relative".into() } else { "absolute".into() },
+            paper_spec(arch).to_string(),
+        ]);
+    }
+    let table = render_table(
+        &["Transformer", "Layers", "Hidden", "Heads", "Params", "Positions", "Paper checkpoint"],
+        &rows,
+    );
+    emit_report(
+        "table4",
+        &format!(
+            "Table 4: pre-trained models (our scaled-down configs, vocab {vocab})\n\n{table}"
+        ),
+    );
+}

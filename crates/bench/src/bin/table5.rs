@@ -1,0 +1,66 @@
+//! Regenerate **Table 5**: F1 of the best transformer vs. Magellan and
+//! DeepMatcher on the five datasets, with the ΔF1 column.
+//!
+//! Reuses any cached fine-tuning curves under `results/` (produced by this
+//! binary or by `figures`), so the expensive runs happen once.
+//!
+//! ```text
+//! cargo run -p em-bench --bin table5 --release -- \
+//!     [--scale 0.1 --runs 2 --epochs 8 --dm-epochs 30 --force]
+//! ```
+
+use em_bench::{cached_baselines, cached_curve, config_from_args, emit_report, render_table, Args};
+use em_data::DatasetId;
+use em_transformers::Architecture;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = config_from_args(&args);
+    let dm_epochs: usize = args.get("dm-epochs").unwrap_or(30);
+    let force = args.has("force");
+
+    // Paper's Table 5 for reference columns.
+    let paper: [(f64, f64, f64); 5] = [
+        (33.0, 55.0, 90.9),  // Abt-Buy
+        (46.8, 79.4, 94.2),  // iTunes-Amazon dirty
+        (37.4, 53.8, 85.5),  // Walmart-Amazon dirty
+        (91.9, 98.1, 98.9),  // DBLP-ACM dirty
+        (82.5, 93.8, 95.6),  // DBLP-Scholar dirty
+    ];
+
+    let mut rows = Vec::new();
+    for (i, id) in DatasetId::ALL.into_iter().enumerate() {
+        let base = cached_baselines(id, &cfg, dm_epochs, force);
+        let mut best: Option<(String, f64)> = None;
+        for arch in Architecture::ALL {
+            let curve = cached_curve(arch, id, &cfg, force);
+            if best.as_ref().map_or(true, |(_, f)| curve.mean_best_f1 > *f) {
+                best = Some((curve.arch.clone(), curve.mean_best_f1));
+            }
+        }
+        let (best_arch, t_best) = best.expect("at least one architecture");
+        let strongest_baseline = base.magellan_f1.max(base.deepmatcher_f1);
+        let delta = t_best - strongest_baseline;
+        let (p_mg, p_dm, p_t) = paper[i];
+        rows.push(vec![
+            id.display_name().to_string(),
+            format!("{:.1}", base.magellan_f1),
+            format!("{:.1}", base.deepmatcher_f1),
+            format!("{:.1} ({})", t_best, best_arch),
+            format!("{delta:+.1}"),
+            format!("{p_mg:.1} / {p_dm:.1} / {p_t:.1}"),
+        ]);
+    }
+    let table = render_table(
+        &["Dataset", "MG", "DeepM", "T_BEST", "ΔF1", "Paper (MG/DeepM/T_BEST)"],
+        &rows,
+    );
+    emit_report(
+        "table5",
+        &format!(
+            "Table 5: F1 (%) of the best transformer vs. Magellan (MG) and DeepMatcher\n\
+             (scale {}, {} runs x {} epochs, DeepMatcher {} epochs)\n\n{table}",
+            cfg.scale, cfg.runs, cfg.epochs, dm_epochs
+        ),
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerate **Table 6**: fine-tuning wall-clock per epoch for each
+//! transformer on each dataset.
+//!
+//! Shares cached curves with `table5`/`figures`. Absolute times are CPU
+//! seconds on this machine (the paper used a TITAN Xp GPU); the *relative*
+//! pattern — DistilBERT ≈ ½ BERT, XLNet slowest, RoBERTa ≈ BERT, times
+//! ordered by dataset size — is the reproduction target.
+//!
+//! ```text
+//! cargo run -p em-bench --bin table6 --release -- [--scale 0.1 --runs 2 --epochs 8]
+//! ```
+
+use em_bench::{cached_curve, config_from_args, emit_report, render_table, Args};
+use em_data::DatasetId;
+use em_transformers::Architecture;
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 60.0 {
+        format!("{}m {:.0}s", (s / 60.0) as u64, s % 60.0)
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = config_from_args(&args);
+    let force = args.has("force");
+
+    let paper: [[&str; 4]; 5] = [
+        ["2m 42s", "6m 15s", "2m 43s", "1m 22s"],
+        ["7s", "12s", "7s", "3.5s"],
+        ["1m 41s", "2m 29s", "1m 41s", "52s"],
+        ["2m 24s", "4m 9s", "2m 24s", "1m 13s"],
+        ["4m 5s", "5m 57s", "4m 13s", "2m 6s"],
+    ];
+
+    let archs =
+        [Architecture::Bert, Architecture::Xlnet, Architecture::Roberta, Architecture::DistilBert];
+    let mut rows = Vec::new();
+    for (i, id) in DatasetId::ALL.into_iter().enumerate() {
+        let mut row = vec![id.display_name().to_string()];
+        for arch in archs {
+            let curve = cached_curve(arch, id, &cfg, force);
+            row.push(fmt_secs(curve.seconds_per_epoch));
+        }
+        row.push(paper[i].join(" / "));
+        rows.push(row);
+    }
+    let table = render_table(
+        &["Dataset", "BERT", "XLNet", "RoBERTa", "DistilBERT", "Paper (B/X/R/D, TITAN Xp)"],
+        &rows,
+    );
+    emit_report(
+        "table6",
+        &format!(
+            "Table 6: training time per fine-tuning epoch (CPU, scale {})\n\n{table}",
+            cfg.scale
+        ),
+    );
+}

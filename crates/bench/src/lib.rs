@@ -1,0 +1,212 @@
+//! Shared infrastructure for the table/figure regeneration binaries:
+//! a tiny CLI-argument parser, result caching (so `table5`, `table6` and
+//! `figures` can share fine-tuning runs instead of recomputing them), and
+//! plain-text table rendering.
+
+use em_core::experiment::{
+    run_baselines, transformer_curve, BaselineResult, CurveSummary, ExperimentConfig,
+};
+use em_data::DatasetId;
+use em_transformers::Architecture;
+use serde::{de::DeserializeOwned, Serialize};
+use std::path::PathBuf;
+
+/// Directory where experiment outputs are cached and reports written.
+pub const RESULTS_DIR: &str = "results";
+
+/// Minimal `--key value` argument parser.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parse from the process arguments.
+    pub fn parse() -> Self {
+        Self { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// Value of `--name`, parsed.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        let flag = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// Presence of a bare `--name` flag.
+    pub fn has(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == &format!("--{name}"))
+    }
+}
+
+/// The experiment configuration shared by all binaries, overridable from
+/// the command line: `--scale 0.1 --runs 3 --epochs 10 --seed 42
+/// --pretrain-epochs 25 --lr 1e-3`.
+pub fn config_from_args(args: &Args) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::default();
+    if let Some(v) = args.get::<f64>("scale") {
+        cfg.scale = v;
+    }
+    if let Some(v) = args.get::<usize>("runs") {
+        cfg.runs = v;
+    }
+    if let Some(v) = args.get::<usize>("epochs") {
+        cfg.epochs = v;
+    }
+    if let Some(v) = args.get::<u64>("seed") {
+        cfg.seed = v;
+    }
+    if let Some(v) = args.get::<usize>("pretrain-epochs") {
+        cfg.pretrain.epochs = v;
+    }
+    if let Some(v) = args.get::<usize>("corpus-lines") {
+        cfg.corpus_lines = v;
+    }
+    if let Some(v) = args.get::<f32>("lr") {
+        cfg.finetune.lr = v;
+    }
+    cfg
+}
+
+fn result_path(kind: &str, key: &str) -> PathBuf {
+    PathBuf::from(RESULTS_DIR).join(kind).join(format!("{key}.json"))
+}
+
+fn load_json<T: DeserializeOwned>(path: &PathBuf) -> Option<T> {
+    let raw = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&raw).ok()
+}
+
+fn store_json<T: Serialize>(path: &PathBuf, value: &T) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(path, json);
+    }
+}
+
+fn curve_key(arch: Architecture, id: DatasetId, cfg: &ExperimentConfig) -> String {
+    format!(
+        "{}-{:?}-s{}-e{}-r{}-p{}-seed{}",
+        arch.name(),
+        id,
+        cfg.scale,
+        cfg.epochs,
+        cfg.runs,
+        cfg.pretrain.epochs,
+        cfg.seed
+    )
+}
+
+/// Fine-tuning curve for (arch, dataset), cached on disk under `results/`.
+pub fn cached_curve(
+    arch: Architecture,
+    id: DatasetId,
+    cfg: &ExperimentConfig,
+    force: bool,
+) -> CurveSummary {
+    let path = result_path("curves", &curve_key(arch, id, cfg));
+    if !force {
+        if let Some(c) = load_json::<CurveSummary>(&path) {
+            eprintln!("[cache] {}", path.display());
+            return c;
+        }
+    }
+    eprintln!("[run] fine-tuning {} on {} ({} runs x {} epochs)",
+        arch.name(), id.display_name(), cfg.runs, cfg.epochs);
+    let curve = transformer_curve(arch, id, cfg);
+    store_json(&path, &curve);
+    curve
+}
+
+/// Baseline results for a dataset, cached on disk under `results/`.
+pub fn cached_baselines(
+    id: DatasetId,
+    cfg: &ExperimentConfig,
+    dm_epochs: usize,
+    force: bool,
+) -> BaselineResult {
+    let key = format!("{:?}-s{}-dm{}-seed{}", id, cfg.scale, dm_epochs, cfg.seed);
+    let path = result_path("baselines", &key);
+    if !force {
+        if let Some(b) = load_json::<BaselineResult>(&path) {
+            eprintln!("[cache] {}", path.display());
+            return b;
+        }
+    }
+    eprintln!("[run] baselines on {}", id.display_name());
+    let result = run_baselines(id, cfg, dm_epochs);
+    store_json(&path, &result);
+    result
+}
+
+/// Render a plain-text table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a report to `results/<name>.txt` and echo it to stdout.
+pub fn emit_report(name: &str, content: &str) {
+    println!("{content}");
+    let path = PathBuf::from(RESULTS_DIR).join(format!("{name}.txt"));
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let _ = std::fs::write(&path, content);
+    eprintln!("[saved] {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_key_values() {
+        let args = Args { raw: vec!["--scale".into(), "0.25".into(), "--force".into()] };
+        assert_eq!(args.get::<f64>("scale"), Some(0.25));
+        assert!(args.has("force"));
+        assert!(!args.has("missing"));
+        assert_eq!(args.get::<usize>("runs"), None);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "f1"],
+            &[vec!["abt".into(), "90.1".into()], vec!["walmart-amazon".into(), "85.5".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].contains("85.5"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Experiment orchestration: checkpoint caching ("download the
+//! pre-trained model"), multi-run averaged convergence curves, and the
+//! baseline runs — everything the Table/Figure binaries consume.
+
+use crate::finetune::{fine_tune, EpochRecord, FineTuneConfig};
+use crate::pipeline::train_tokenizer;
+use em_baselines::{DeepMatcher, DeepMatcherConfig, MagellanMatcher};
+use em_data::{DatasetId, Dataset, PrF1, Split};
+use em_nn::Module;
+use em_tensor::StateDict;
+use em_tokenizers::AnyTokenizer;
+use em_transformers::{pretrain, Architecture, PretrainConfig, TransformerConfig, TransformerModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Model scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelScale {
+    /// Unit-test scale (2 layers, 32 hidden).
+    Tiny,
+    /// Experiment scale (4 layers, 64 hidden) — the scaled-down Table 4.
+    Small,
+}
+
+impl ModelScale {
+    /// Build the config for an architecture at this scale.
+    pub fn config(&self, arch: Architecture, vocab: usize) -> TransformerConfig {
+        match self {
+            ModelScale::Tiny => TransformerConfig::tiny(arch, vocab),
+            ModelScale::Small => TransformerConfig::small(arch, vocab),
+        }
+    }
+}
+
+/// Everything an experiment needs to be reproducible.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Dataset scale relative to Table 3 sizes (iTunes-Amazon always runs
+    /// at full scale — it is tiny to begin with).
+    pub scale: f64,
+    /// Independent fine-tuning runs to average (paper: 5).
+    pub runs: usize,
+    /// Fine-tuning epochs per run (paper plots 0–15).
+    pub epochs: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Target subword vocabulary size.
+    pub vocab_size: usize,
+    /// Pre-training corpus lines.
+    pub corpus_lines: usize,
+    /// Model scale preset.
+    pub model_scale: ModelScale,
+    /// Pre-training hyperparameters.
+    pub pretrain: PretrainConfig,
+    /// Fine-tuning hyperparameters (seed/epochs overridden per run).
+    pub finetune: FineTuneConfig,
+    /// Directory for cached pre-trained checkpoints (None disables).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.1,
+            runs: 3,
+            epochs: 10,
+            seed: 42,
+            vocab_size: 1200,
+            corpus_lines: 2000,
+            model_scale: ModelScale::Small,
+            pretrain: PretrainConfig::default(),
+            finetune: FineTuneConfig::default(),
+            cache_dir: Some(PathBuf::from("target/em-cache")),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Dataset scale actually used for `id` (iTunes runs full-size).
+    pub fn effective_scale(&self, id: DatasetId) -> f64 {
+        if id == DatasetId::ItunesAmazon {
+            1.0
+        } else {
+            self.scale
+        }
+    }
+
+    /// Generate the dataset and its 3:1:1 split for this experiment.
+    pub fn dataset_and_split(&self, id: DatasetId) -> (Dataset, Split) {
+        let ds = id.generate(self.effective_scale(id), self.seed);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed);
+        let split = ds.split(&mut rng);
+        (ds, split)
+    }
+}
+
+/// A cached pre-trained encoder + its tokenizer.
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Encoder configuration.
+    pub config: TransformerConfig,
+    /// Encoder weights.
+    pub encoder_state: StateDict,
+    /// Tokenizer trained alongside.
+    pub tokenizer: AnyTokenizer,
+    /// Pre-training loss history (diagnostics).
+    pub loss_history: Vec<f32>,
+}
+
+impl Checkpoint {
+    /// Instantiate a fresh encoder with the stored weights.
+    pub fn instantiate(&self, seed: u64) -> TransformerModel {
+        let model = TransformerModel::new(self.config.clone(), seed);
+        model
+            .load_state_dict(&self.encoder_state)
+            .expect("checkpoint state matches its own config");
+        model
+    }
+}
+
+fn cache_key(arch: Architecture, cfg: &ExperimentConfig) -> String {
+    format!(
+        "{}-v{}-c{}-e{}-s{}-{:?}.ckpt.json",
+        arch.name(),
+        cfg.vocab_size,
+        cfg.corpus_lines,
+        cfg.pretrain.epochs,
+        cfg.pretrain.seed,
+        cfg.model_scale
+    )
+}
+
+/// Fetch the pre-trained checkpoint for `arch`, pre-training (and caching
+/// to disk) when absent — the stand-in for downloading a published model.
+pub fn get_or_pretrain(arch: Architecture, cfg: &ExperimentConfig) -> Checkpoint {
+    let path = cfg.cache_dir.as_ref().map(|d| d.join(cache_key(arch, cfg)));
+    if let Some(p) = &path {
+        if let Some(ckpt) = load_checkpoint(p) {
+            return ckpt;
+        }
+    }
+    let docs = em_data::generate_documents(cfg.corpus_lines, cfg.pretrain.seed);
+    let flat: Vec<String> = docs.iter().flatten().cloned().collect();
+    let tokenizer = train_tokenizer(arch, &flat, cfg.vocab_size);
+    let model_cfg = cfg.model_scale.config(arch, em_tokenizers::Tokenizer::vocab_size(&tokenizer));
+    let mut pcfg = cfg.pretrain.clone();
+    if arch == Architecture::Roberta {
+        // §4.3: RoBERTa = BERT trained longer on more data. At our scale
+        // that is twice the optimization passes over the corpus.
+        pcfg.epochs *= 2;
+    }
+    let pre = pretrain(model_cfg.clone(), &docs, &tokenizer, &pcfg);
+    let ckpt = Checkpoint {
+        config: model_cfg,
+        encoder_state: pre.model.state_dict(),
+        tokenizer,
+        loss_history: pre.loss_history,
+    };
+    if let Some(p) = &path {
+        store_checkpoint(p, &ckpt);
+    }
+    ckpt
+}
+
+fn load_checkpoint(path: &Path) -> Option<Checkpoint> {
+    let raw = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&raw).ok()
+}
+
+fn store_checkpoint(path: &Path, ckpt: &Checkpoint) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(json) = serde_json::to_string(ckpt) {
+        let _ = std::fs::write(path, json);
+    }
+}
+
+/// Averaged convergence curve of one architecture on one dataset
+/// (a single series of Figures 10–14, plus Table 6's timing).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CurveSummary {
+    /// Architecture name.
+    pub arch: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Mean F1 (percent) per epoch, epoch 0 (zero-shot) first.
+    pub mean_f1: Vec<f64>,
+    /// Per-run final/best F1 values.
+    pub best_f1_runs: Vec<f64>,
+    /// Mean best F1 across runs.
+    pub mean_best_f1: f64,
+    /// Mean training seconds per epoch.
+    pub seconds_per_epoch: f64,
+}
+
+/// Run `cfg.runs` fine-tunings of `arch` on `id` and average the curves —
+/// one line of Figures 10–14.
+pub fn transformer_curve(arch: Architecture, id: DatasetId, cfg: &ExperimentConfig) -> CurveSummary {
+    let ckpt = get_or_pretrain(arch, cfg);
+    let (ds, split) = cfg.dataset_and_split(id);
+    let mut all_curves: Vec<Vec<EpochRecord>> = Vec::with_capacity(cfg.runs);
+    let mut best_f1_runs = Vec::with_capacity(cfg.runs);
+    let mut secs = Vec::with_capacity(cfg.runs);
+    for run in 0..cfg.runs {
+        let model = ckpt.instantiate(cfg.seed);
+        let mut ft = cfg.finetune.clone();
+        ft.epochs = cfg.epochs;
+        ft.seed = cfg.seed ^ (0xF1E0 + run as u64);
+        let (_, result) =
+            fine_tune(model, ckpt.tokenizer.clone(), &ds, &split.train, &split.test, &ft);
+        best_f1_runs.push(result.best_f1);
+        secs.push(result.seconds_per_epoch);
+        all_curves.push(result.curve);
+    }
+    let n_points = cfg.epochs + 1;
+    let mean_f1: Vec<f64> = (0..n_points)
+        .map(|e| all_curves.iter().map(|c| c[e].f1).sum::<f64>() / cfg.runs as f64)
+        .collect();
+    let mean_best_f1 = best_f1_runs.iter().sum::<f64>() / cfg.runs as f64;
+    CurveSummary {
+        arch: arch.name().to_string(),
+        dataset: ds.name.clone(),
+        mean_f1,
+        best_f1_runs,
+        mean_best_f1,
+        seconds_per_epoch: secs.iter().sum::<f64>() / cfg.runs as f64,
+    }
+}
+
+/// Result of the two baselines on one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Magellan's best-learner F1 (percent).
+    pub magellan_f1: f64,
+    /// Which learner Magellan selected.
+    pub magellan_learner: String,
+    /// Magellan training seconds.
+    pub magellan_seconds: f64,
+    /// DeepMatcher F1 (percent).
+    pub deepmatcher_f1: f64,
+    /// DeepMatcher training seconds.
+    pub deepmatcher_seconds: f64,
+}
+
+/// Train and evaluate both baselines on a dataset.
+pub fn run_baselines(id: DatasetId, cfg: &ExperimentConfig, dm_epochs: usize) -> BaselineResult {
+    let (ds, split) = cfg.dataset_and_split(id);
+    let labels: Vec<bool> = split.test.iter().map(|p| p.label).collect();
+
+    let t0 = Instant::now();
+    let mg = MagellanMatcher::fit_best(
+        &ds.effective_attributes(),
+        &split.train,
+        &split.valid,
+        cfg.seed,
+    );
+    let magellan_seconds = t0.elapsed().as_secs_f64();
+    let magellan_f1 =
+        PrF1::from_predictions(&mg.predict_all(&split.test), &labels).f1_percent();
+
+    let serialize =
+        |p: &em_data::EntityPair| (ds.serialize_record(&p.a), ds.serialize_record(&p.b));
+    let train: Vec<(String, String, bool)> = split
+        .train
+        .iter()
+        .map(|p| {
+            let (a, b) = serialize(p);
+            (a, b, p.label)
+        })
+        .collect();
+    let t1 = Instant::now();
+    let dm = DeepMatcher::train(
+        &train,
+        DeepMatcherConfig { epochs: dm_epochs, max_len: 40, seed: cfg.seed, ..Default::default() },
+    );
+    let deepmatcher_seconds = t1.elapsed().as_secs_f64();
+    let test_pairs: Vec<(String, String)> = split.test.iter().map(&serialize).collect();
+    let deepmatcher_f1 =
+        PrF1::from_predictions(&dm.predict_all(&test_pairs), &labels).f1_percent();
+
+    BaselineResult {
+        dataset: ds.name.clone(),
+        magellan_f1,
+        magellan_learner: mg.learner.name().to_string(),
+        magellan_seconds,
+        deepmatcher_f1,
+        deepmatcher_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(dir: &Path) -> ExperimentConfig {
+        ExperimentConfig {
+            scale: 0.01,
+            runs: 1,
+            epochs: 1,
+            vocab_size: 300,
+            corpus_lines: 120,
+            model_scale: ModelScale::Tiny,
+            pretrain: PretrainConfig {
+                epochs: 1,
+                batch_size: 8,
+                seq_len: 16,
+                ..Default::default()
+            },
+            finetune: FineTuneConfig { batch_size: 8, max_len_cap: 32, ..Default::default() },
+            cache_dir: Some(dir.to_path_buf()),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn checkpoint_cache_roundtrips() {
+        let dir = std::env::temp_dir().join("em-core-test-cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = tiny_cfg(&dir);
+        let c1 = get_or_pretrain(Architecture::Bert, &cfg);
+        // Second call must hit the cache and restore identical weights.
+        let c2 = get_or_pretrain(Architecture::Bert, &cfg);
+        assert_eq!(c1.encoder_state, c2.encoder_state);
+        assert_eq!(c1.config, c2.config);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn curve_has_expected_shape() {
+        let dir = std::env::temp_dir().join("em-core-test-cache2");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = tiny_cfg(&dir);
+        let curve = transformer_curve(Architecture::DistilBert, DatasetId::DblpAcm, &cfg);
+        assert_eq!(curve.mean_f1.len(), 2); // epoch 0 + 1 epoch
+        assert_eq!(curve.best_f1_runs.len(), 1);
+        assert!(curve.seconds_per_epoch > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

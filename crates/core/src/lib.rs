@@ -1,0 +1,36 @@
+//! # em-core
+//!
+//! The paper's contribution, as a library: entity matching with
+//! transformer architectures.
+//!
+//! The pipeline (§5.2.2, Figure 9): serialize each entity to a text blob
+//! (all attributes concatenated; Abt-Buy uses the `description` attribute
+//! only), tokenize with the architecture's subword scheme, feed
+//! `[CLS] A [SEP] B [SEP]` with segment embeddings through a pre-trained
+//! transformer, and classify the CLS state with a freshly initialized
+//! two-class head. Fine-tuning uses Adam with a linear learning-rate
+//! schedule and evaluates the test F1 after every epoch, including the
+//! zero-shot epoch 0.
+//!
+//! ```no_run
+//! use em_core::experiment::{transformer_curve, ExperimentConfig};
+//! use em_data::DatasetId;
+//! use em_transformers::Architecture;
+//!
+//! let cfg = ExperimentConfig::default();
+//! let curve = transformer_curve(Architecture::Roberta, DatasetId::AbtBuy, &cfg);
+//! println!("best F1: {:.1}%", curve.mean_best_f1);
+//! ```
+
+pub mod experiment;
+pub mod finetune;
+pub mod longtext;
+pub mod pipeline;
+
+pub use experiment::{
+    get_or_pretrain, run_baselines, transformer_curve, BaselineResult, Checkpoint, CurveSummary,
+    ExperimentConfig, ModelScale,
+};
+pub use finetune::{fine_tune, EmMatcher, EpochRecord, FineTuneConfig, FineTuneResult};
+pub use longtext::{predict_long, predict_long_pair, LongTextStrategy};
+pub use pipeline::{choose_max_len, cls_position, encode_pairs, train_tokenizer};

@@ -1,0 +1,134 @@
+//! Long-text entity matching — the paper's future work (§5.1).
+//!
+//! The paper excluded the Company dataset because its 2,000–3,000-token
+//! blobs exceed the 512-token attention span; it pointed at adaptive
+//! attention spans as the remedy. We implement the practical alternative:
+//! **sliding-window scoring** — split each entity into overlapping token
+//! windows, score every window pair with the fine-tuned matcher, and
+//! aggregate (two entities match when their best-aligned windows match).
+
+use crate::finetune::EmMatcher;
+use em_data::{Dataset, EntityPair};
+use em_nn::Ctx;
+use em_tensor::no_grad;
+use em_tokenizers::encode_pair;
+use em_transformers::Batch;
+
+/// How to fit long texts into a fixed attention span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LongTextStrategy {
+    /// Keep only the head of each entity (what §5.2.2's truncation does).
+    Truncate,
+    /// Overlapping word windows of the given size (in words) with 50%
+    /// stride; pair score = max over window pairs.
+    SlidingWindow {
+        /// Window width in whitespace words.
+        window_words: usize,
+    },
+}
+
+fn word_windows(text: &str, window: usize) -> Vec<String> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    if words.len() <= window {
+        return vec![words.join(" ")];
+    }
+    let stride = (window / 2).max(1);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < words.len() {
+        let end = (start + window).min(words.len());
+        out.push(words[start..end].join(" "));
+        if end == words.len() {
+            break;
+        }
+        start += stride;
+    }
+    out
+}
+
+/// Match probability of one text pair under the matcher (positive-class
+/// softmax output).
+fn pair_match_prob(matcher: &EmMatcher, a: &str, b: &str) -> f64 {
+    no_grad(|| {
+        let cls_pos = crate::pipeline::cls_position(matcher.model.config.arch);
+        let enc = encode_pair(&matcher.tokenizer, a, b, matcher.max_len, cls_pos);
+        let batch = Batch::from_encodings(std::slice::from_ref(&enc));
+        let mut ctx = Ctx::eval();
+        let hidden = matcher.model.forward(&batch, None, None, &mut ctx);
+        let pooled = matcher.model.pooled_states(&hidden, &batch);
+        let logits = matcher.head.forward(&pooled, &mut ctx).value();
+        let probs = em_tensor::softmax_array(&logits);
+        probs.at(&[0, 1]) as f64
+    })
+}
+
+/// Predict a long-text pair with the chosen strategy.
+pub fn predict_long_pair(
+    matcher: &EmMatcher,
+    ds: &Dataset,
+    pair: &EntityPair,
+    strategy: LongTextStrategy,
+) -> bool {
+    let a = ds.serialize_record(&pair.a);
+    let b = ds.serialize_record(&pair.b);
+    match strategy {
+        LongTextStrategy::Truncate => pair_match_prob(matcher, &a, &b) >= 0.5,
+        LongTextStrategy::SlidingWindow { window_words } => {
+            let wa = word_windows(&a, window_words);
+            let wb = word_windows(&b, window_words);
+            // Cap the cross product: compare each A window against the most
+            // promising B windows by token overlap first.
+            let mut best = 0.0f64;
+            for xa in &wa {
+                for xb in &wb {
+                    let p = pair_match_prob(matcher, xa, xb);
+                    if p > best {
+                        best = p;
+                    }
+                    if best >= 0.5 {
+                        return true; // early exit: a confident window pair
+                    }
+                }
+            }
+            best >= 0.5
+        }
+    }
+}
+
+/// Predict many long-text pairs.
+pub fn predict_long(
+    matcher: &EmMatcher,
+    ds: &Dataset,
+    pairs: &[EntityPair],
+    strategy: LongTextStrategy,
+) -> Vec<bool> {
+    pairs.iter().map(|p| predict_long_pair(matcher, ds, p, strategy)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_cover_whole_text_with_overlap() {
+        let text = (0..100).map(|i| format!("w{i}")).collect::<Vec<_>>().join(" ");
+        let ws = word_windows(&text, 20);
+        assert!(ws.len() >= 8, "50% stride over 100 words: {}", ws.len());
+        assert!(ws[0].starts_with("w0 "));
+        assert!(ws.last().unwrap().ends_with("w99"));
+        // Consecutive windows overlap by half.
+        let first: Vec<&str> = ws[0].split(' ').collect();
+        let second: Vec<&str> = ws[1].split(' ').collect();
+        assert_eq!(second[0], first[10]);
+    }
+
+    #[test]
+    fn short_text_is_one_window() {
+        assert_eq!(word_windows("a b c", 20), vec!["a b c".to_string()]);
+    }
+
+    #[test]
+    fn empty_text_is_one_empty_window() {
+        assert_eq!(word_windows("", 10).len(), 1);
+    }
+}

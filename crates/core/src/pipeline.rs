@@ -1,0 +1,130 @@
+//! The entity-matching pipeline plumbing: architecture-specific tokenizer
+//! training and entity-pair encoding (Figure 9).
+
+use em_data::{Dataset, EntityPair};
+use em_tokenizers::{
+    encode_pair, AnyTokenizer, ByteLevelBpe, ClsPosition, Encoding, SentencePieceBpe, Tokenizer,
+    WordPiece,
+};
+use em_transformers::Architecture;
+
+/// Train the tokenizer family the architecture uses (§5.2.3) on a corpus.
+pub fn train_tokenizer(arch: Architecture, corpus: &[String], vocab_size: usize) -> AnyTokenizer {
+    match arch {
+        Architecture::Bert | Architecture::DistilBert => {
+            AnyTokenizer::WordPiece(WordPiece::train(corpus, vocab_size))
+        }
+        Architecture::Roberta => {
+            AnyTokenizer::ByteLevelBpe(ByteLevelBpe::train(corpus, vocab_size))
+        }
+        Architecture::Xlnet => {
+            AnyTokenizer::SentencePiece(SentencePieceBpe::train(corpus, vocab_size))
+        }
+    }
+}
+
+/// Where the CLS token lives for an architecture.
+pub fn cls_position(arch: Architecture) -> ClsPosition {
+    match arch {
+        Architecture::Xlnet => ClsPosition::Last,
+        _ => ClsPosition::First,
+    }
+}
+
+/// Pick the model input length for a dataset the way the paper does
+/// (§5.2.2: "empirically defined based on the longest data rows in the
+/// training data", 128–265 tokens there): the 95th percentile of pair
+/// length plus specials, clamped to `[16, cap]` and rounded up to a
+/// multiple of 8.
+pub fn choose_max_len(
+    ds: &Dataset,
+    pairs: &[EntityPair],
+    tok: &AnyTokenizer,
+    cap: usize,
+) -> usize {
+    let mut lens: Vec<usize> = pairs
+        .iter()
+        .take(512) // a sample is plenty for a percentile
+        .map(|p| {
+            let a = tok.encode(&ds.serialize_record(&p.a)).len();
+            let b = tok.encode(&ds.serialize_record(&p.b)).len();
+            a + b + 3
+        })
+        .collect();
+    if lens.is_empty() {
+        return 16;
+    }
+    lens.sort_unstable();
+    let p95 = lens[(lens.len() * 95 / 100).min(lens.len() - 1)];
+    let rounded = p95.div_ceil(8) * 8;
+    rounded.clamp(16, cap)
+}
+
+/// Encode a slice of pairs into model-ready encodings with labels.
+pub fn encode_pairs(
+    ds: &Dataset,
+    pairs: &[EntityPair],
+    tok: &AnyTokenizer,
+    arch: Architecture,
+    max_len: usize,
+) -> (Vec<Encoding>, Vec<usize>) {
+    let cls = cls_position(arch);
+    let encodings = pairs
+        .iter()
+        .map(|p| {
+            encode_pair(tok, &ds.serialize_record(&p.a), &ds.serialize_record(&p.b), max_len, cls)
+        })
+        .collect();
+    let labels = pairs.iter().map(|p| usize::from(p.label)).collect();
+    (encodings, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::DatasetId;
+
+    #[test]
+    fn tokenizer_families_match_architectures() {
+        let corpus = em_data::generate_corpus(50, 0);
+        assert!(matches!(
+            train_tokenizer(Architecture::Bert, &corpus, 300),
+            AnyTokenizer::WordPiece(_)
+        ));
+        assert!(matches!(
+            train_tokenizer(Architecture::Roberta, &corpus, 500),
+            AnyTokenizer::ByteLevelBpe(_)
+        ));
+        assert!(matches!(
+            train_tokenizer(Architecture::Xlnet, &corpus, 300),
+            AnyTokenizer::SentencePiece(_)
+        ));
+        assert!(matches!(
+            train_tokenizer(Architecture::DistilBert, &corpus, 300),
+            AnyTokenizer::WordPiece(_)
+        ));
+    }
+
+    #[test]
+    fn max_len_scales_with_text_length() {
+        let corpus = em_data::generate_corpus(200, 1);
+        let tok = train_tokenizer(Architecture::Bert, &corpus, 600);
+        let abt = DatasetId::AbtBuy.generate(0.01, 2);
+        let dblp = DatasetId::DblpAcm.generate(0.01, 2);
+        let l_abt = choose_max_len(&abt, &abt.pairs, &tok, 256);
+        let l_dblp = choose_max_len(&dblp, &dblp.pairs, &tok, 256);
+        assert!(l_abt > l_dblp, "textual Abt-Buy needs longer inputs: {l_abt} vs {l_dblp}");
+        assert_eq!(l_abt % 8, 0);
+    }
+
+    #[test]
+    fn encode_pairs_produces_aligned_labels() {
+        let corpus = em_data::generate_corpus(100, 3);
+        let tok = train_tokenizer(Architecture::Bert, &corpus, 400);
+        let ds = DatasetId::WalmartAmazon.generate(0.005, 3);
+        let (enc, labels) = encode_pairs(&ds, &ds.pairs, &tok, Architecture::Bert, 64);
+        assert_eq!(enc.len(), labels.len());
+        assert!(labels.iter().any(|&l| l == 1));
+        assert!(enc.iter().all(|e| e.ids.len() == 64));
+    }
+}

@@ -1,0 +1,282 @@
+//! Blocking (candidate generation).
+//!
+//! Benchmarks ship pre-blocked candidate pairs, but a production EM
+//! pipeline (Magellan's tooling, §2.1) must first reduce the quadratic
+//! cross product of two tables to a candidate set. This module provides
+//! the standard blockers and the recall/reduction metrics used to judge
+//! them.
+
+use crate::records::Record;
+use std::collections::{HashMap, HashSet};
+
+/// A candidate pair of row indices `(index in table A, index in table B)`.
+pub type Candidate = (usize, usize);
+
+/// A blocker proposes candidate pairs from two tables.
+pub trait Blocker {
+    /// Generate candidates (deduplicated, in deterministic order).
+    fn block(&self, table_a: &[Record], table_b: &[Record]) -> Vec<Candidate>;
+}
+
+fn record_tokens(r: &Record, attr: Option<&str>) -> Vec<String> {
+    let text = match attr {
+        Some(a) => r.get(a).unwrap_or("").to_string(),
+        None => r.text_blob(),
+    };
+    text.split_whitespace().map(str::to_lowercase).collect()
+}
+
+/// Token-overlap blocker over an inverted index: a pair is a candidate
+/// when the records share at least `min_shared` tokens (optionally of one
+/// attribute). Stop-words — tokens appearing in more than
+/// `stop_fraction` of all records — are ignored to keep the index useful.
+pub struct TokenBlocker {
+    /// Attribute to index (None = whole record).
+    pub attribute: Option<String>,
+    /// Minimum number of shared non-stop tokens.
+    pub min_shared: usize,
+    /// Tokens in more than this fraction of records are stop-words.
+    pub stop_fraction: f64,
+}
+
+impl Default for TokenBlocker {
+    fn default() -> Self {
+        Self { attribute: None, min_shared: 2, stop_fraction: 0.2 }
+    }
+}
+
+impl Blocker for TokenBlocker {
+    fn block(&self, table_a: &[Record], table_b: &[Record]) -> Vec<Candidate> {
+        let attr = self.attribute.as_deref();
+        let total = table_a.len() + table_b.len();
+        // Document frequency across both tables.
+        let mut df: HashMap<String, usize> = HashMap::new();
+        for r in table_a.iter().chain(table_b) {
+            let uniq: HashSet<String> = record_tokens(r, attr).into_iter().collect();
+            for t in uniq {
+                *df.entry(t).or_insert(0) += 1;
+            }
+        }
+        let stop = (total as f64 * self.stop_fraction).ceil() as usize;
+        // Inverted index over table B.
+        let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
+        let b_tokens: Vec<HashSet<String>> = table_b
+            .iter()
+            .map(|r| {
+                record_tokens(r, attr)
+                    .into_iter()
+                    .filter(|t| df.get(t).copied().unwrap_or(0) <= stop)
+                    .collect()
+            })
+            .collect();
+        for (j, tokens) in b_tokens.iter().enumerate() {
+            for t in tokens {
+                index.entry(t.as_str()).or_default().push(j);
+            }
+        }
+        let mut out = Vec::new();
+        for (i, ra) in table_a.iter().enumerate() {
+            let tokens: HashSet<String> = record_tokens(ra, attr)
+                .into_iter()
+                .filter(|t| df.get(t).copied().unwrap_or(0) <= stop)
+                .collect();
+            let mut shared: HashMap<usize, usize> = HashMap::new();
+            for t in &tokens {
+                if let Some(js) = index.get(t.as_str()) {
+                    for &j in js {
+                        *shared.entry(j).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut hits: Vec<usize> = shared
+                .into_iter()
+                .filter(|&(_, c)| c >= self.min_shared)
+                .map(|(j, _)| j)
+                .collect();
+            hits.sort_unstable();
+            out.extend(hits.into_iter().map(|j| (i, j)));
+        }
+        out
+    }
+}
+
+/// Attribute-equivalence blocker: candidates share the exact (lowercased)
+/// value of one attribute — the cheapest and most brittle blocker.
+pub struct EquivalenceBlocker {
+    /// Attribute whose values must agree exactly.
+    pub attribute: String,
+}
+
+impl Blocker for EquivalenceBlocker {
+    fn block(&self, table_a: &[Record], table_b: &[Record]) -> Vec<Candidate> {
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (j, r) in table_b.iter().enumerate() {
+            let v = r.get(&self.attribute).unwrap_or("").to_lowercase();
+            if !v.is_empty() {
+                index.entry(v).or_default().push(j);
+            }
+        }
+        let mut out = Vec::new();
+        for (i, r) in table_a.iter().enumerate() {
+            let v = r.get(&self.attribute).unwrap_or("").to_lowercase();
+            if v.is_empty() {
+                continue;
+            }
+            if let Some(js) = index.get(&v) {
+                out.extend(js.iter().map(|&j| (i, j)));
+            }
+        }
+        out
+    }
+}
+
+/// Character-q-gram blocker: candidates share at least `min_shared`
+/// 3-grams of the chosen attribute — robust to typos where token-level
+/// blocking fails.
+pub struct QgramBlocker {
+    /// Attribute to index (None = whole record).
+    pub attribute: Option<String>,
+    /// Minimum shared 3-grams.
+    pub min_shared: usize,
+}
+
+impl Blocker for QgramBlocker {
+    fn block(&self, table_a: &[Record], table_b: &[Record]) -> Vec<Candidate> {
+        let attr = self.attribute.as_deref();
+        let grams = |r: &Record| -> HashSet<String> {
+            let text = match attr {
+                Some(a) => r.get(a).unwrap_or("").to_string(),
+                None => r.text_blob(),
+            };
+            crate::similarity_qgrams(&text)
+        };
+        let b_grams: Vec<HashSet<String>> = table_b.iter().map(&grams).collect();
+        let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (j, gs) in b_grams.iter().enumerate() {
+            for g in gs {
+                index.entry(g.as_str()).or_default().push(j);
+            }
+        }
+        let mut out = Vec::new();
+        for (i, ra) in table_a.iter().enumerate() {
+            let gs = grams(ra);
+            let mut shared: HashMap<usize, usize> = HashMap::new();
+            for g in &gs {
+                if let Some(js) = index.get(g.as_str()) {
+                    for &j in js {
+                        *shared.entry(j).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut hits: Vec<usize> = shared
+                .into_iter()
+                .filter(|&(_, c)| c >= self.min_shared)
+                .map(|(j, _)| j)
+                .collect();
+            hits.sort_unstable();
+            out.extend(hits.into_iter().map(|j| (i, j)));
+        }
+        out
+    }
+}
+
+/// Quality of a blocking run against known true matches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingQuality {
+    /// Fraction of true matches surviving the blocker (pair completeness).
+    pub recall: f64,
+    /// `1 - |candidates| / |A×B|` (reduction ratio).
+    pub reduction: f64,
+    /// Number of candidates produced.
+    pub candidates: usize,
+}
+
+/// Evaluate candidates against the set of true matching index pairs.
+pub fn evaluate_blocking(
+    candidates: &[Candidate],
+    true_matches: &HashSet<Candidate>,
+    n_a: usize,
+    n_b: usize,
+) -> BlockingQuality {
+    let cand: HashSet<Candidate> = candidates.iter().copied().collect();
+    let found = true_matches.iter().filter(|m| cand.contains(m)).count();
+    let recall =
+        if true_matches.is_empty() { 1.0 } else { found as f64 / true_matches.len() as f64 };
+    let cross = (n_a * n_b).max(1);
+    let reduction = 1.0 - cand.len() as f64 / cross as f64;
+    BlockingQuality { recall, reduction, candidates: cand.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, title: &str, brand: &str) -> Record {
+        Record::new(id, vec![("title".into(), title.into()), ("brand".into(), brand.into())])
+    }
+
+    fn tables() -> (Vec<Record>, Vec<Record>, HashSet<Candidate>) {
+        let a = vec![
+            rec(0, "apple phone zx100 silver", "apple"),
+            rec(1, "sony camera qq200 black", "sony"),
+            rec(2, "dell laptop rr300 gray", "dell"),
+        ];
+        let b = vec![
+            rec(10, "the apple phone zx100 in silver", "apple"),
+            rec(11, "sony camera qq200", "sony"),
+            rec(12, "bose speaker mm900", "bose"),
+        ];
+        let truth: HashSet<Candidate> = [(0, 0), (1, 1)].into_iter().collect();
+        (a, b, truth)
+    }
+
+    #[test]
+    fn token_blocker_finds_true_matches() {
+        let (a, b, truth) = tables();
+        let cands = TokenBlocker::default().block(&a, &b);
+        let q = evaluate_blocking(&cands, &truth, a.len(), b.len());
+        assert_eq!(q.recall, 1.0, "candidates {cands:?}");
+        assert!(q.reduction > 0.0);
+    }
+
+    #[test]
+    fn equivalence_blocker_on_brand() {
+        let (a, b, truth) = tables();
+        let cands = EquivalenceBlocker { attribute: "brand".into() }.block(&a, &b);
+        assert!(cands.contains(&(0, 0)));
+        assert!(cands.contains(&(1, 1)));
+        assert!(!cands.contains(&(2, 2)), "different brands never pair");
+        let q = evaluate_blocking(&cands, &truth, a.len(), b.len());
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn qgram_blocker_survives_typos() {
+        let a = vec![rec(0, "keyboard zx4510", "logitech")];
+        let b = vec![rec(10, "keybaord zx4510", "logitech")]; // transposed typo
+        let cands = QgramBlocker { attribute: Some("title".into()), min_shared: 4 }.block(&a, &b);
+        assert_eq!(cands, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn stop_words_do_not_explode_candidates() {
+        // Every record shares the token "the": with stop-wording, "the"
+        // alone must not make everything a candidate.
+        let a: Vec<Record> =
+            (0..20).map(|i| rec(i, &format!("the unique{i} item{i}"), "x")).collect();
+        let b: Vec<Record> =
+            (0..20).map(|i| rec(100 + i, &format!("the unique{i} item{i}"), "x")).collect();
+        let cands = TokenBlocker { min_shared: 2, ..Default::default() }.block(&a, &b);
+        // Diagonal pairs only: each record matches its twin.
+        assert_eq!(cands.len(), 20, "{cands:?}");
+        assert!(cands.iter().all(|&(i, j)| i == j as usize));
+    }
+
+    #[test]
+    fn evaluate_blocking_degenerate_cases() {
+        let empty: HashSet<Candidate> = HashSet::new();
+        let q = evaluate_blocking(&[], &empty, 10, 10);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.reduction, 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Minimal CSV reading/writing for labeled entity pairs.
+//!
+//! The interchange format downstream users bring: one row per candidate
+//! pair, a `label` column (0/1), and each entity's attributes prefixed
+//! with `a_` / `b_`. Quoting follows RFC 4180 (double quotes, doubled to
+//! escape).
+
+use crate::records::{Dataset, EntityPair, Record};
+
+/// Serialize a field, quoting when needed.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Parse one CSV line into fields (RFC 4180 quoting).
+pub fn parse_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Write a dataset's pairs as CSV: `label,a_<attr>…,b_<attr>…`.
+pub fn pairs_to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str("label");
+    for prefix in ["a", "b"] {
+        for attr in &ds.attributes {
+            out.push(',');
+            out.push_str(&format!("{prefix}_{attr}"));
+        }
+    }
+    out.push('\n');
+    for pair in &ds.pairs {
+        out.push_str(if pair.label { "1" } else { "0" });
+        for rec in [&pair.a, &pair.b] {
+            for attr in &ds.attributes {
+                out.push(',');
+                out.push_str(&csv_field(rec.get(attr).unwrap_or("")));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a pairs CSV (the format of [`pairs_to_csv`]) back into a dataset.
+pub fn pairs_from_csv(text: &str, name: &str) -> Result<Dataset, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty csv")?;
+    let cols = parse_csv_line(header);
+    if cols.first().map(String::as_str) != Some("label") {
+        return Err("first column must be 'label'".into());
+    }
+    let a_attrs: Vec<String> = cols
+        .iter()
+        .filter_map(|c| c.strip_prefix("a_").map(String::from))
+        .collect();
+    let b_attrs: Vec<String> = cols
+        .iter()
+        .filter_map(|c| c.strip_prefix("b_").map(String::from))
+        .collect();
+    if a_attrs.is_empty() || a_attrs != b_attrs {
+        return Err(format!(
+            "columns must be label,a_<attr>…,b_<attr>… with matching schemas; got a={a_attrs:?} b={b_attrs:?}"
+        ));
+    }
+    let n = a_attrs.len();
+    let mut pairs = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let fields = parse_csv_line(line);
+        if fields.len() != 1 + 2 * n {
+            return Err(format!(
+                "row {}: expected {} fields, found {}",
+                i + 2,
+                1 + 2 * n,
+                fields.len()
+            ));
+        }
+        let label = match fields[0].trim() {
+            "1" | "true" => true,
+            "0" | "false" => false,
+            other => return Err(format!("row {}: bad label {other:?}", i + 2)),
+        };
+        let rec = |offset: usize, id: u64| {
+            Record::new(
+                id,
+                a_attrs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, attr)| (attr.clone(), fields[offset + k].clone()))
+                    .collect(),
+            )
+        };
+        pairs.push(EntityPair {
+            a: rec(1, (2 * i) as u64),
+            b: rec(1 + n, (2 * i + 1) as u64),
+            label,
+        });
+    }
+    Ok(Dataset {
+        name: name.to_string(),
+        domain: "csv".into(),
+        attributes: a_attrs,
+        pairs,
+        textual_attribute: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetId;
+
+    #[test]
+    fn roundtrip_generated_dataset() {
+        let ds = DatasetId::WalmartAmazon.generate(0.005, 3);
+        let csv = pairs_to_csv(&ds);
+        let back = pairs_from_csv(&csv, &ds.name).unwrap();
+        assert_eq!(back.attributes, ds.attributes);
+        assert_eq!(back.size(), ds.size());
+        assert_eq!(back.matches(), ds.matches());
+        for (x, y) in ds.pairs.iter().zip(&back.pairs) {
+            assert_eq!(x.label, y.label);
+            for attr in &ds.attributes {
+                assert_eq!(x.a.get(attr), y.a.get(attr));
+                assert_eq!(x.b.get(attr), y.b.get(attr));
+            }
+        }
+    }
+
+    #[test]
+    fn quoting_roundtrips_commas_and_quotes() {
+        let line = r#"1,"has, comma","say ""hi""",plain,x,y,z"#;
+        let fields = parse_csv_line(line);
+        assert_eq!(fields[1], "has, comma");
+        assert_eq!(fields[2], "say \"hi\"");
+        assert_eq!(fields.len(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_headers_and_rows() {
+        assert!(pairs_from_csv("", "x").is_err());
+        assert!(pairs_from_csv("foo,bar\n1,2", "x").is_err());
+        assert!(pairs_from_csv("label,a_t,b_t\n1,only-two", "x").is_err());
+        assert!(pairs_from_csv("label,a_t,b_t\nmaybe,x,y", "x").is_err());
+    }
+
+    #[test]
+    fn bool_labels_accepted() {
+        let ds = pairs_from_csv("label,a_t,b_t\ntrue,x,y\nfalse,p,q", "x").unwrap();
+        assert_eq!(ds.matches(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! The paper's dirty-data transform (§5.1, after Mudgal et al. 2018):
+//! "for each attribute other than *title*, randomly move each value to the
+//! attribute *title* in the same tuple with a probability p = 0.5."
+
+use crate::records::{Dataset, Record};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Probability with which a non-title value is relocated.
+pub const DIRTY_MOVE_PROB: f32 = 0.5;
+
+/// Apply the transform to one record: moved values are appended to the
+/// title attribute and cleared at their origin.
+pub fn dirty_record(record: &mut Record, title_attr: &str, rng: &mut StdRng) {
+    let mut moved = Vec::new();
+    for (attr, value) in record.fields.iter_mut() {
+        if attr == title_attr || value.is_empty() {
+            continue;
+        }
+        if rng.gen::<f32>() < DIRTY_MOVE_PROB {
+            moved.push(std::mem::take(value));
+        }
+    }
+    if moved.is_empty() {
+        return;
+    }
+    if let Some(title) = record.get_mut(title_attr) {
+        for v in moved {
+            if !title.is_empty() {
+                title.push(' ');
+            }
+            title.push_str(&v);
+        }
+    }
+}
+
+/// Apply the transform to every record of a dataset and tag its name.
+pub fn make_dirty(mut ds: Dataset, title_attr: &str, rng: &mut StdRng) -> Dataset {
+    assert!(
+        ds.attributes.iter().any(|a| a == title_attr),
+        "title attribute '{title_attr}' not in schema {:?}",
+        ds.attributes
+    );
+    for pair in &mut ds.pairs {
+        dirty_record(&mut pair.a, title_attr, rng);
+        dirty_record(&mut pair.b, title_attr, rng);
+    }
+    ds.name.push_str("-dirty");
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::EntityPair;
+    use rand::SeedableRng;
+
+    fn record(id: u64) -> Record {
+        Record::new(
+            id,
+            vec![
+                ("title".into(), "base title".into()),
+                ("brand".into(), "acme".into()),
+                ("price".into(), "9.99".into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn values_move_to_title_and_clear_origin() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut moved_any = false;
+        for _ in 0..30 {
+            let mut r = record(0);
+            dirty_record(&mut r, "title", &mut rng);
+            let title = r.get("title").unwrap();
+            let brand = r.get("brand").unwrap();
+            if brand.is_empty() {
+                moved_any = true;
+                assert!(title.contains("acme"), "moved value must appear in title: {title}");
+            } else {
+                assert!(!title.contains("acme"));
+            }
+        }
+        assert!(moved_any, "with p=0.5 over 30 draws something must move");
+    }
+
+    #[test]
+    fn total_content_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let mut r = record(1);
+            let before: Vec<String> = {
+                let mut w: Vec<String> =
+                    r.text_blob().split(' ').map(String::from).collect();
+                w.sort();
+                w
+            };
+            dirty_record(&mut r, "title", &mut rng);
+            let mut after: Vec<String> = r.text_blob().split(' ').map(String::from).collect();
+            after.sort();
+            assert_eq!(before, after, "dirtying relocates but never destroys content");
+        }
+    }
+
+    #[test]
+    fn move_rate_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut moved = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let mut r = record(2);
+            dirty_record(&mut r, "title", &mut rng);
+            if r.get("brand").unwrap().is_empty() {
+                moved += 1;
+            }
+        }
+        let rate = moved as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn make_dirty_tags_name() {
+        let ds = Dataset {
+            name: "toy".into(),
+            domain: "test".into(),
+            attributes: vec!["title".into(), "brand".into(), "price".into()],
+            pairs: vec![EntityPair { a: record(0), b: record(1), label: true }],
+            textual_attribute: None,
+        };
+        let dirty = make_dirty(ds, "title", &mut StdRng::seed_from_u64(3));
+        assert_eq!(dirty.name, "toy-dirty");
+    }
+}

@@ -1,0 +1,398 @@
+//! Base entities for the three domains and the rendering of noisy "source
+//! views" — two databases describing the same real-world object in their
+//! own style (Tables 1 and 2 of the paper).
+
+use crate::noise::{noisy_phrase, pick, pick_one, vary_name, vary_price};
+use crate::wordbank::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A real-world product.
+#[derive(Debug, Clone)]
+pub struct ProductEntity {
+    /// Brand name.
+    pub brand: String,
+    /// Category noun ("phone", "laptop", …).
+    pub noun: String,
+    /// Model designation ("zx 4510").
+    pub model: String,
+    /// Marketing model words ("pro", "ultra").
+    pub model_words: Vec<String>,
+    /// Color.
+    pub color: String,
+    /// List price in cents.
+    pub price_cents: u64,
+    /// Feature nouns used in descriptions.
+    pub features: Vec<String>,
+    /// Adjectives used in descriptions.
+    pub adjectives: Vec<String>,
+    /// Store category.
+    pub category: String,
+}
+
+/// Generate a random product.
+pub fn gen_product(rng: &mut StdRng) -> ProductEntity {
+    let letters: String = (0..2)
+        .map(|_| (b'a' + rng.gen_range(0..26)) as char)
+        .collect();
+    let number = rng.gen_range(100..9999);
+    ProductEntity {
+        brand: pick_one(BRANDS, rng).to_string(),
+        noun: pick_one(PRODUCT_NOUNS, rng).to_string(),
+        model: format!("{letters}{number}"),
+        model_words: pick(MODEL_WORDS, rng.gen_range(1..=2), rng)
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        color: pick_one(COLORS, rng).to_string(),
+        price_cents: rng.gen_range(999..150_000),
+        features: pick(FEATURES, 5, rng).into_iter().map(String::from).collect(),
+        adjectives: pick(ADJECTIVES, 5, rng).into_iter().map(String::from).collect(),
+        category: pick_one(CATEGORIES, rng).to_string(),
+    }
+}
+
+/// A "sibling" product: the same product line, one model up or down — a
+/// hard negative that shares nearly *all* surface vocabulary (brand, noun,
+/// category, features, adjectives, often the color) and differs in the
+/// model designation. Bag-of-words overlap cannot separate these from true
+/// matches; comparing the model tokens across the pair can.
+pub fn sibling_product(base: &ProductEntity, rng: &mut StdRng) -> ProductEntity {
+    let mut sib = base.clone();
+    let fresh = gen_product(rng);
+    sib.model = fresh.model;
+    if rng.gen::<f32>() < 0.5 {
+        sib.color = fresh.color;
+    }
+    if rng.gen::<f32>() < 0.5 {
+        // The sibling model differs in one marketing word too.
+        sib.model_words = fresh.model_words;
+    }
+    // Same product line, similar price point: price cannot separate
+    // siblings from matches.
+    sib.price_cents = (base.price_cents as f64 * rng.gen_range(0.9..1.15)) as u64;
+    sib
+}
+
+/// Short product title ("apple phone pro zx4510 silver").
+pub fn product_title(e: &ProductEntity, noise: f32, rng: &mut StdRng) -> String {
+    let mut parts = vec![e.brand.clone(), e.noun.clone()];
+    parts.extend(e.model_words.iter().cloned());
+    // Store titles omit the model designation surprisingly often, which is
+    // one reason structured product matching stays hard.
+    if rng.gen::<f32>() < 0.7 {
+        parts.push(render_model(&e.model, rng));
+    }
+    if rng.gen::<f32>() < 0.5 {
+        parts.push(e.color.clone());
+    }
+    noisy_phrase(&parts.join(" "), noise, rng)
+}
+
+/// Long marketing description (a Table 1/2-style text blob, 25–45 words).
+///
+/// `variant` selects both the sentence template *and* which slice of the
+/// entity's feature/adjective pool the source mentions, so two sources
+/// describing the same product overlap only partially in vocabulary —
+/// paraphrase, not copy. Combined with [`sibling_product`] negatives
+/// (which share the full pool), bag-of-words overlap of matches and hard
+/// negatives is deliberately confusable; the reliable signal is whether
+/// the model designations agree.
+pub fn product_description(e: &ProductEntity, variant: usize, noise: f32, rng: &mut StdRng) -> String {
+    // Rotate the pools so variant 0 uses items {0,1,2} and variant 1 uses
+    // items {2,3,4}: one-third vocabulary overlap between the two sources.
+    let rot = (variant % 2) * 2;
+    let a: Vec<&str> = (0..3).map(|i| e.adjectives[(i + rot) % 5].as_str()).collect();
+    let f: Vec<&str> = (0..3).map(|i| e.features[(i + rot) % 5].as_str()).collect();
+    let model = render_model(&e.model, rng);
+    let templates: [String; 3] = [
+        format!(
+            "the {} {} {} {} features a {} {} and {} {} . available now in {} . \
+             includes {} and comes built for {} use",
+            a[0], e.brand, e.noun, model, a[1], f[0], a[2], f[1], e.color, f[2], e.category
+        ),
+        format!(
+            "{} {} {} - a {} {} with {} {} , {} and {} {} . this {} design is \
+             perfect for {} . now in {}",
+            e.brand, model, e.noun, a[1], e.noun, a[2], f[0], f[1], a[0], f[2], a[0],
+            e.category, e.color
+        ),
+        format!(
+            "brand new {} {} from {} . this {} model offers {} {} , a {} {} and {} . \
+             the {} choice in {} . color : {}",
+            e.noun, model, e.brand, a[0], a[1], f[0], a[2], f[1], f[2], a[0], e.category,
+            e.color
+        ),
+    ];
+    let mut text = templates[variant % templates.len()].clone();
+    // Digit distractors: store-specific SKUs and compatibility mentions.
+    // Every source sprinkles its own part numbers into descriptions, so a
+    // bag of character q-grams cannot tell *which* digits identify the
+    // product — only the tokens next to "{brand} {noun}" do. This is the
+    // contextual signal attention models exploit and similarity features
+    // cannot (§1's motivation for EM on long textual instances).
+    if rng.gen::<f32>() < 0.8 {
+        text.push_str(&format!(" . item sku {}", rng.gen_range(1000..99999)));
+    }
+    if rng.gen::<f32>() < 0.5 {
+        let other = format!(
+            "{}{}",
+            (b'a' + rng.gen_range(0..26)) as char,
+            rng.gen_range(100..9999)
+        );
+        text.push_str(&format!(" . compatible with {} {}", e.brand, other));
+    }
+    noisy_phrase(&text, noise, rng)
+}
+
+/// Render a model designation the way a given source formats it: raw
+/// ("zx4510"), hyphenated ("zx-4510"), or spaced ("zx 4510") — sources
+/// never agree on model-number formatting, which is what makes the
+/// `modelno` attribute unreliable for exact-match features.
+pub fn render_model(model: &str, rng: &mut StdRng) -> String {
+    let split = model.chars().position(|c| c.is_ascii_digit()).unwrap_or(model.len());
+    if split == 0 || split == model.len() {
+        return model.to_string();
+    }
+    match rng.gen_range(0..3) {
+        0 => model.to_string(),
+        1 => format!("{}-{}", &model[..split], &model[split..]),
+        _ => format!("{} {}", &model[..split], &model[split..]),
+    }
+}
+
+/// A research paper.
+#[derive(Debug, Clone)]
+pub struct PaperEntity {
+    /// Title words.
+    pub title: Vec<String>,
+    /// Author names (given, family).
+    pub authors: Vec<(String, String)>,
+    /// Venue.
+    pub venue: String,
+    /// Publication year.
+    pub year: u32,
+}
+
+/// Generate a random paper.
+pub fn gen_paper(rng: &mut StdRng) -> PaperEntity {
+    let n_title = rng.gen_range(4..=8);
+    let n_authors = rng.gen_range(1..=4);
+    PaperEntity {
+        title: pick(PAPER_WORDS, n_title, rng).into_iter().map(String::from).collect(),
+        authors: (0..n_authors)
+            .map(|_| {
+                (pick_one(GIVEN_NAMES, rng).to_string(), pick_one(FAMILY_NAMES, rng).to_string())
+            })
+            .collect(),
+        venue: pick_one(VENUES, rng).to_string(),
+        year: rng.gen_range(1995..2003),
+    }
+}
+
+/// A sibling paper: same authors and venue, overlapping title — e.g. the
+/// journal version of a conference paper, which is *not* the same entity.
+pub fn sibling_paper(base: &PaperEntity, rng: &mut StdRng) -> PaperEntity {
+    let mut sib = gen_paper(rng);
+    sib.authors = base.authors.clone();
+    sib.venue = base.venue.clone();
+    // Overlap half the title words.
+    let keep = base.title.len() / 2;
+    for i in 0..keep.min(sib.title.len()) {
+        sib.title[i] = base.title[i].clone();
+    }
+    sib.year = base.year + rng.gen_range(0..=2);
+    sib
+}
+
+/// Render a paper title, possibly with noise.
+pub fn paper_title(p: &PaperEntity, noise: f32, rng: &mut StdRng) -> String {
+    let mut title = p.title.join(" ");
+    if p.title.len() >= 4 && rng.gen::<f32>() < 0.5 {
+        // Insert connective words for a natural title shape.
+        title = format!(
+            "{} {} for {} {}",
+            p.title[..2].join(" "),
+            p.title[2].clone(),
+            p.title[3].clone(),
+            p.title[4..].join(" ")
+        )
+        .trim()
+        .to_string();
+    }
+    noisy_phrase(&title, noise, rng)
+}
+
+/// Render the author list; Google-Scholar-style sources abbreviate.
+pub fn paper_authors(p: &PaperEntity, vary: bool, rng: &mut StdRng) -> String {
+    p.authors
+        .iter()
+        .map(|(g, f)| {
+            let full = format!("{g} {f}");
+            if vary {
+                vary_name(&full, rng)
+            } else {
+                full
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Render a venue; `abbreviated` mimics Scholar's inconsistent venues.
+pub fn paper_venue(p: &PaperEntity, abbreviated: bool, rng: &mut StdRng) -> String {
+    if abbreviated && rng.gen::<f32>() < 0.5 {
+        p.venue.split(' ').next().unwrap_or(&p.venue).to_string()
+    } else {
+        p.venue.clone()
+    }
+}
+
+/// A music track.
+#[derive(Debug, Clone)]
+pub struct TrackEntity {
+    /// Song name.
+    pub song: Vec<String>,
+    /// Artist name.
+    pub artist: (String, String),
+    /// Album name.
+    pub album: String,
+    /// Genre.
+    pub genre: String,
+    /// Price in cents.
+    pub price_cents: u64,
+    /// Copyright holder.
+    pub label: String,
+    /// Duration in seconds.
+    pub seconds: u32,
+    /// Release year.
+    pub year: u32,
+}
+
+/// Generate a random track.
+pub fn gen_track(rng: &mut StdRng) -> TrackEntity {
+    TrackEntity {
+        song: pick(SONG_WORDS, rng.gen_range(2..=4), rng).into_iter().map(String::from).collect(),
+        artist: (pick_one(GIVEN_NAMES, rng).to_string(), pick_one(FAMILY_NAMES, rng).to_string()),
+        album: format!("{} {}", pick_one(SONG_WORDS, rng), pick_one(ALBUM_WORDS, rng)),
+        genre: pick_one(GENRES, rng).to_string(),
+        price_cents: rng.gen_range(69..=1299),
+        label: pick_one(LABELS, rng).to_string(),
+        seconds: rng.gen_range(120..420),
+        year: rng.gen_range(1990..2019),
+    }
+}
+
+/// A sibling track: same artist and album, different song — the classic
+/// iTunes/Amazon hard negative.
+pub fn sibling_track(base: &TrackEntity, rng: &mut StdRng) -> TrackEntity {
+    let mut sib = gen_track(rng);
+    sib.artist = base.artist.clone();
+    sib.album = base.album.clone();
+    sib.genre = base.genre.clone();
+    sib.label = base.label.clone();
+    sib.year = base.year;
+    // Tracks on one album often share title words ("love in the rain" /
+    // "love in the dark"), so song-token overlap alone cannot separate a
+    // sibling from a renamed edition of the same song.
+    let keep = base.song.len() / 2;
+    for i in 0..keep.min(sib.song.len()) {
+        sib.song[i] = base.song[i].clone();
+    }
+    // Same store, same album: prices cluster.
+    sib.price_cents = (base.price_cents as f64 * rng.gen_range(0.9..1.1)) as u64;
+    sib
+}
+
+/// Render a song title: sources disagree about edition suffixes,
+/// featuring credits, and sometimes truncate long titles.
+pub fn track_song(t: &TrackEntity, noise: f32, rng: &mut StdRng) -> String {
+    let mut s = t.song.join(" ");
+    if t.song.len() > 2 && rng.gen::<f32>() < 0.3 {
+        s = t.song[..2].join(" ");
+    }
+    if rng.gen::<f32>() < 0.4 {
+        s = format!("{s} ( {} version )", pick_one(ALBUM_WORDS, rng));
+    }
+    if rng.gen::<f32>() < 0.25 {
+        s = format!("{s} feat . {}", pick_one(GIVEN_NAMES, rng));
+    }
+    noisy_phrase(&s, noise, rng)
+}
+
+/// Render a duration as `m:ss` or raw seconds (sources disagree).
+pub fn track_time(t: &TrackEntity, rng: &mut StdRng) -> String {
+    if rng.gen::<bool>() {
+        format!("{}:{:02}", t.seconds / 60, t.seconds % 60)
+    } else {
+        format!("{}", t.seconds)
+    }
+}
+
+/// Render a price (re-exported convenience over [`vary_price`]).
+pub fn render_price(cents: u64, rng: &mut StdRng) -> String {
+    vary_price(cents, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn product_views_share_core_tokens() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = gen_product(&mut rng);
+        // Noise-free views so core-token assertions are deterministic.
+        let d1 = product_description(&p, 0, 0.0, &mut rng);
+        let d2 = product_description(&p, 1, 0.0, &mut rng);
+        assert!(d1.contains(&p.brand) || d2.contains(&p.brand));
+        // Both mention the model digits (formatting may insert "-" or " ").
+        let digits: String = p.model.chars().filter(char::is_ascii_digit).collect();
+        assert!(d1.contains(&digits) || d2.contains(&digits));
+        assert_ne!(d1, d2, "different templates should paraphrase");
+    }
+
+    #[test]
+    fn sibling_product_differs_in_model() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = gen_product(&mut rng);
+        let s = sibling_product(&p, &mut rng);
+        assert_eq!(p.brand, s.brand);
+        assert_ne!(p.model, s.model);
+    }
+
+    #[test]
+    fn sibling_paper_shares_authors_not_title() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = gen_paper(&mut rng);
+        let s = sibling_paper(&p, &mut rng);
+        assert_eq!(p.authors, s.authors);
+        assert_ne!(p.title, s.title);
+    }
+
+    #[test]
+    fn track_time_formats() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = gen_track(&mut rng);
+        let mut saw_colon = false;
+        let mut saw_raw = false;
+        for _ in 0..30 {
+            let s = track_time(&t, &mut rng);
+            if s.contains(':') {
+                saw_colon = true;
+            } else {
+                saw_raw = true;
+            }
+        }
+        assert!(saw_colon && saw_raw);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let p1 = gen_product(&mut StdRng::seed_from_u64(9));
+        let p2 = gen_product(&mut StdRng::seed_from_u64(9));
+        assert_eq!(p1.model, p2.model);
+        assert_eq!(p1.brand, p2.brand);
+    }
+}

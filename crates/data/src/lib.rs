@@ -1,0 +1,41 @@
+//! # em-data
+//!
+//! Synthetic stand-ins for the paper's five benchmark datasets (Table 3)
+//! and the pre-training corpus.
+//!
+//! The real Magellan benchmark dumps cannot be shipped; these generators
+//! reproduce their statistics exactly (pair counts, match counts,
+//! attribute schemas) and their difficulty axes: long paraphrased text
+//! blobs (Abt-Buy), the p=0.5 move-to-title dirty transform (the four
+//! *Dirty* datasets, §5.1), hard "sibling" negatives sharing most surface
+//! vocabulary, source-specific formatting disagreements (prices, names,
+//! durations), and missing values. Everything is deterministic given a
+//! seed.
+
+pub mod blocking;
+pub mod corpus;
+pub mod csv;
+pub mod datasets;
+pub mod dirty;
+pub mod entities;
+pub mod metrics;
+pub mod noise;
+pub mod records;
+pub mod wordbank;
+
+pub use corpus::{generate_corpus, generate_documents};
+pub use datasets::{company_dataset, DatasetId};
+pub use dirty::make_dirty;
+pub use metrics::{f1_score, PrF1};
+pub use blocking::{Blocker, BlockingQuality, EquivalenceBlocker, QgramBlocker, TokenBlocker};
+pub use records::{Dataset, EntityPair, Record, Split};
+
+/// Character 3-grams of a lowercased string (shared by the q-gram blocker).
+pub fn similarity_qgrams(s: &str) -> std::collections::HashSet<String> {
+    let padded: Vec<char> = std::iter::repeat('#')
+        .take(2)
+        .chain(s.to_lowercase().chars())
+        .chain(std::iter::repeat('#').take(2))
+        .collect();
+    padded.windows(3).map(|w| w.iter().collect()).collect()
+}

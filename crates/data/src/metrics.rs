@@ -1,0 +1,117 @@
+//! Evaluation metrics: precision, recall, and the F1 score the paper
+//! reports ("recall is the ratio of true matches predicted vs. all true
+//! matches", §5.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts and the derived precision/recall/F1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrF1 {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl PrF1 {
+    /// Compute from parallel prediction/label slices.
+    pub fn from_predictions(preds: &[bool], labels: &[bool]) -> Self {
+        assert_eq!(preds.len(), labels.len(), "prediction/label length mismatch");
+        let mut m = PrF1 { tp: 0, fp: 0, fn_: 0, tn: 0 };
+        for (&p, &l) in preds.iter().zip(labels) {
+            match (p, l) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, true) => m.fn_ += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        m
+    }
+
+    /// Precision: `tp / (tp + fp)`; 0 when no positives were predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall: `tp / (tp + fn)`; 0 when there are no true matches.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1: harmonic mean of precision and recall (in **percent**, as the
+    /// paper's tables report it).
+    pub fn f1_percent(&self) -> f64 {
+        self.f1() * 100.0
+    }
+
+    /// F1 in `[0, 1]`.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// One-call F1 (fraction in `[0, 1]`).
+pub fn f1_score(preds: &[bool], labels: &[bool]) -> f64 {
+    PrF1::from_predictions(preds, labels).f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let labels = [true, false, true, false];
+        let m = PrF1::from_predictions(&labels, &labels);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+    }
+
+    #[test]
+    fn all_negative_predictions_give_zero_f1() {
+        let preds = [false, false, false];
+        let labels = [true, false, true];
+        let m = PrF1::from_predictions(&preds, &labels);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+    }
+
+    #[test]
+    fn known_confusion_matrix() {
+        // tp=2 fp=1 fn=1 tn=1 → P=2/3, R=2/3, F1=2/3
+        let preds = [true, true, true, false, false];
+        let labels = [true, true, false, true, false];
+        let m = PrF1::from_predictions(&preds, &labels);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (2, 1, 1, 1));
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((m.f1_percent() - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = PrF1::from_predictions(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Textual noise: the controlled corruption that makes two views of one
+//! entity differ the way real data sources do.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Introduce a single character-level typo (swap, drop, or duplicate).
+pub fn typo(word: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 3 {
+        return word.to_string();
+    }
+    let i = rng.gen_range(1..chars.len() - 1);
+    let mut out = chars.clone();
+    match rng.gen_range(0..3) {
+        0 => out.swap(i, i - 1),
+        1 => {
+            out.remove(i);
+        }
+        _ => out.insert(i, chars[i]),
+    }
+    out.into_iter().collect()
+}
+
+/// Abbreviate a word to its first `n` characters with a trailing period
+/// ("international" → "intl." style truncation).
+pub fn abbreviate(word: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() <= 4 {
+        return word.to_string();
+    }
+    let n = rng.gen_range(3..=4);
+    let mut out: String = chars[..n].iter().collect();
+    out.push('.');
+    out
+}
+
+/// Apply word-level noise to a phrase: each word independently may get a
+/// typo or abbreviation with probability `p`; with probability `p/2` a word
+/// is dropped; token order gets one local transposition with probability `p`.
+pub fn noisy_phrase(phrase: &str, p: f32, rng: &mut StdRng) -> String {
+    let mut words: Vec<String> = Vec::new();
+    for w in phrase.split_whitespace() {
+        let roll: f32 = rng.gen();
+        if roll < p / 2.0 && words.len() > 1 {
+            continue; // drop the word
+        } else if roll < p {
+            if rng.gen::<bool>() {
+                words.push(typo(w, rng));
+            } else {
+                words.push(abbreviate(w, rng));
+            }
+        } else {
+            words.push(w.to_string());
+        }
+    }
+    if words.len() >= 2 && rng.gen::<f32>() < p {
+        let i = rng.gen_range(0..words.len() - 1);
+        words.swap(i, i + 1);
+    }
+    if words.is_empty() {
+        phrase.to_string()
+    } else {
+        words.join(" ")
+    }
+}
+
+/// Reformat a person name: "james smith" may become "j. smith",
+/// "smith, james", or stay put — the classic dirty-attribute headache the
+/// paper motivates (§1).
+pub fn vary_name(name: &str, rng: &mut StdRng) -> String {
+    let parts: Vec<&str> = name.split_whitespace().collect();
+    if parts.len() != 2 {
+        return name.to_string();
+    }
+    let (given, family) = (parts[0], parts[1]);
+    match rng.gen_range(0..4) {
+        0 => format!("{} {}", &given[..1], family), // initial, no period
+        1 => format!("{}. {}", &given[..1], family),
+        2 => format!("{family}, {given}"),
+        _ => name.to_string(),
+    }
+}
+
+/// Perturb a price string: change format ($, decimals) and sometimes the
+/// value slightly (sources disagree about cents and promotions).
+pub fn vary_price(price_cents: u64, rng: &mut StdRng) -> String {
+    let jitter: i64 = if rng.gen::<f32>() < 0.3 {
+        rng.gen_range(-200..=200)
+    } else {
+        0
+    };
+    let cents = (price_cents as i64 + jitter).max(99) as u64;
+    match rng.gen_range(0..3) {
+        0 => format!("{}.{:02}", cents / 100, cents % 100),
+        1 => format!("${}.{:02}", cents / 100, cents % 100),
+        _ => format!("{}", cents / 100),
+    }
+}
+
+/// Pick `n` distinct items from a bank (fewer if the bank is small).
+pub fn pick<'a>(bank: &[&'a str], n: usize, rng: &mut StdRng) -> Vec<&'a str> {
+    let mut items: Vec<&str> = bank.to_vec();
+    items.shuffle(rng);
+    items.truncate(n);
+    items
+}
+
+/// Pick one item from a bank.
+pub fn pick_one<'a>(bank: &[&'a str], rng: &mut StdRng) -> &'a str {
+    bank[rng.gen_range(0..bank.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn typo_changes_long_words_only() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(typo("ab", &mut rng), "ab");
+        let mut changed = 0;
+        for _ in 0..20 {
+            if typo("keyboard", &mut rng) != "keyboard" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 15);
+    }
+
+    #[test]
+    fn abbreviate_truncates_with_period() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = abbreviate("professional", &mut rng);
+        assert!(a.ends_with('.'));
+        assert!(a.len() <= 5);
+        assert_eq!(abbreviate("pro", &mut rng), "pro");
+    }
+
+    #[test]
+    fn noisy_phrase_zero_p_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(noisy_phrase("the quick brown fox", 0.0, &mut rng), "the quick brown fox");
+    }
+
+    #[test]
+    fn noisy_phrase_keeps_most_content_at_moderate_p() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let src = "apple iphone pro with retina display and long battery";
+        let out = noisy_phrase(src, 0.2, &mut rng);
+        let src_words: std::collections::HashSet<&str> = src.split(' ').collect();
+        let kept = out.split(' ').filter(|w| src_words.contains(w)).count();
+        assert!(kept >= 5, "too destructive: {out}");
+    }
+
+    #[test]
+    fn vary_name_formats() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(vary_name("james smith", &mut rng));
+        }
+        assert!(seen.len() >= 3, "expected several formats: {seen:?}");
+        assert!(seen.iter().all(|n| n.contains("smith")));
+    }
+
+    #[test]
+    fn vary_price_always_parses_back() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let p = vary_price(89999, &mut rng);
+            let cleaned = p.trim_start_matches('$');
+            assert!(cleaned.parse::<f64>().is_ok(), "unparseable price {p}");
+        }
+    }
+}

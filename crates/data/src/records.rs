@@ -1,0 +1,236 @@
+//! Entity records, labeled pairs, datasets, and the 3:1:1 split.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// One data instance: an ordered list of `(attribute, value)` pairs.
+/// Missing values are empty strings, as in the Magellan dataset dumps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Stable id within its source table.
+    pub id: u64,
+    /// Ordered attribute/value pairs.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Record {
+    /// New record from attribute/value pairs.
+    pub fn new(id: u64, fields: Vec<(String, String)>) -> Self {
+        Self { id, fields }
+    }
+
+    /// Value of `attr`, if present.
+    pub fn get(&self, attr: &str) -> Option<&str> {
+        self.fields.iter().find(|(a, _)| a == attr).map(|(_, v)| v.as_str())
+    }
+
+    /// Mutable value of `attr`, if present.
+    pub fn get_mut(&mut self, attr: &str) -> Option<&mut String> {
+        self.fields.iter_mut().find(|(a, _)| a == attr).map(|(_, v)| v)
+    }
+
+    /// Concatenate all attribute values into one text blob (§5.2.2: "all
+    /// attributes of a data instance are concatenated").
+    pub fn text_blob(&self) -> String {
+        let mut out = String::new();
+        for (_, v) in &self.fields {
+            if v.is_empty() {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(v);
+        }
+        out
+    }
+
+    /// Text blob of a single attribute (Abt-Buy uses only `description`).
+    pub fn attr_blob(&self, attr: &str) -> String {
+        self.get(attr).unwrap_or_default().to_string()
+    }
+}
+
+/// A labeled candidate pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntityPair {
+    /// Record from table A.
+    pub a: Record,
+    /// Record from table B.
+    pub b: Record,
+    /// True when both refer to the same real-world entity.
+    pub label: bool,
+}
+
+/// A full benchmark dataset: candidate pairs plus schema metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name as used in the paper's tables.
+    pub name: String,
+    /// Domain (Products / Music / Citation).
+    pub domain: String,
+    /// Attribute names shared by both tables.
+    pub attributes: Vec<String>,
+    /// All labeled candidate pairs.
+    pub pairs: Vec<EntityPair>,
+    /// When set, entity serialization uses only this attribute
+    /// (Abt-Buy: `description`, per §5.1).
+    pub textual_attribute: Option<String>,
+}
+
+/// Train/validation/test partition of a dataset.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// 60% training pairs.
+    pub train: Vec<EntityPair>,
+    /// 20% validation pairs.
+    pub valid: Vec<EntityPair>,
+    /// 20% test pairs.
+    pub test: Vec<EntityPair>,
+}
+
+impl Dataset {
+    /// Number of candidate pairs.
+    pub fn size(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of matching pairs.
+    pub fn matches(&self) -> usize {
+        self.pairs.iter().filter(|p| p.label).count()
+    }
+
+    /// Number of attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Split 3:1:1 into train/validation/test (§5.1), shuffled with `rng`.
+    ///
+    /// The split is stratified by label so the rare positive class is
+    /// proportionally represented in every part.
+    pub fn split(&self, rng: &mut StdRng) -> Split {
+        let mut pos: Vec<&EntityPair> = self.pairs.iter().filter(|p| p.label).collect();
+        let mut neg: Vec<&EntityPair> = self.pairs.iter().filter(|p| !p.label).collect();
+        pos.shuffle(rng);
+        neg.shuffle(rng);
+        let mut train = Vec::new();
+        let mut valid = Vec::new();
+        let mut test = Vec::new();
+        for group in [pos, neg] {
+            let n = group.len();
+            let n_train = n * 3 / 5;
+            let n_valid = n / 5;
+            for (i, p) in group.into_iter().enumerate() {
+                if i < n_train {
+                    train.push(p.clone());
+                } else if i < n_train + n_valid {
+                    valid.push(p.clone());
+                } else {
+                    test.push(p.clone());
+                }
+            }
+        }
+        train.shuffle(rng);
+        valid.shuffle(rng);
+        test.shuffle(rng);
+        Split { train, valid, test }
+    }
+
+    /// Serialize one record of this dataset into the text blob the models
+    /// consume: the single textual attribute when configured, otherwise all
+    /// attributes concatenated.
+    pub fn serialize_record(&self, r: &Record) -> String {
+        match &self.textual_attribute {
+            Some(attr) => r.attr_blob(attr),
+            None => r.text_blob(),
+        }
+    }
+
+    /// The attributes systems are allowed to use: only the textual
+    /// attribute when one is configured (§5.1: Abt-Buy uses "no informative
+    /// attribute, but only the noisy description"), otherwise all.
+    pub fn effective_attributes(&self) -> Vec<String> {
+        match &self.textual_attribute {
+            Some(attr) => vec![attr.clone()],
+            None => self.attributes.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn record(id: u64) -> Record {
+        Record::new(
+            id,
+            vec![
+                ("title".into(), format!("item {id}")),
+                ("brand".into(), "acme".into()),
+                ("price".into(), String::new()),
+            ],
+        )
+    }
+
+    fn toy_dataset(n: usize, positives: usize) -> Dataset {
+        let pairs = (0..n)
+            .map(|i| EntityPair {
+                a: record(i as u64),
+                b: record((i + 1000) as u64),
+                label: i < positives,
+            })
+            .collect();
+        Dataset {
+            name: "toy".into(),
+            domain: "test".into(),
+            attributes: vec!["title".into(), "brand".into(), "price".into()],
+            pairs,
+            textual_attribute: None,
+        }
+    }
+
+    #[test]
+    fn text_blob_skips_empty_values() {
+        let r = record(7);
+        assert_eq!(r.text_blob(), "item 7 acme");
+    }
+
+    #[test]
+    fn split_ratios_are_3_1_1() {
+        let ds = toy_dataset(500, 100);
+        let split = ds.split(&mut StdRng::seed_from_u64(0));
+        assert_eq!(split.train.len(), 300);
+        assert_eq!(split.valid.len(), 100);
+        assert_eq!(split.test.len(), 100);
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let ds = toy_dataset(500, 100);
+        let split = ds.split(&mut StdRng::seed_from_u64(1));
+        let frac = |v: &[EntityPair]| {
+            v.iter().filter(|p| p.label).count() as f64 / v.len() as f64
+        };
+        assert!((frac(&split.train) - 0.2).abs() < 0.02);
+        assert!((frac(&split.test) - 0.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let ds = toy_dataset(100, 20);
+        let split = ds.split(&mut StdRng::seed_from_u64(2));
+        assert_eq!(split.train.len() + split.valid.len() + split.test.len(), 100);
+    }
+
+    #[test]
+    fn textual_attribute_controls_serialization() {
+        let mut ds = toy_dataset(1, 0);
+        let r = record(3);
+        assert_eq!(ds.serialize_record(&r), "item 3 acme");
+        ds.textual_attribute = Some("brand".into());
+        assert_eq!(ds.serialize_record(&r), "acme");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for dataset generation, the dirty transform,
+//! splits, and metrics.
+
+use em_data::records::{Dataset, EntityPair, Record};
+use em_data::{f1_score, DatasetId, PrF1};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_dataset_id() -> impl Strategy<Value = DatasetId> {
+    prop::sample::select(DatasetId::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_counts_match_request(id in any_dataset_id(), seed in 0u64..500) {
+        let scale = 0.01;
+        let ds = id.generate(scale, seed);
+        let (size, matches, attrs) = id.table3_stats();
+        let expect_pairs = ((size as f64 * scale).round() as usize).max(10);
+        let expect_matches = ((matches as f64 * scale).round() as usize).max(3);
+        prop_assert_eq!(ds.size(), expect_pairs);
+        prop_assert_eq!(ds.matches(), expect_matches);
+        prop_assert_eq!(ds.num_attributes(), attrs);
+    }
+
+    #[test]
+    fn all_records_have_full_schema(id in any_dataset_id(), seed in 0u64..100) {
+        let ds = id.generate(0.005, seed);
+        for pair in &ds.pairs {
+            for r in [&pair.a, &pair.b] {
+                prop_assert_eq!(r.fields.len(), ds.attributes.len());
+                for (attr, _) in &r.fields {
+                    prop_assert!(ds.attributes.contains(attr), "unknown attr {}", attr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_transform_preserves_tokens(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rec = Record::new(0, vec![
+            ("title".into(), "alpha beta".into()),
+            ("brand".into(), "gamma".into()),
+            ("price".into(), "42".into()),
+        ]);
+        let mut dirty = rec.clone();
+        em_data::dirty::dirty_record(&mut dirty, "title", &mut rng);
+        let sort_tokens = |r: &Record| {
+            let mut t: Vec<String> = r.text_blob().split(' ').map(String::from).collect();
+            t.sort();
+            t
+        };
+        prop_assert_eq!(sort_tokens(&rec), sort_tokens(&dirty));
+    }
+
+    #[test]
+    fn split_sizes_follow_3_1_1(n in 20usize..300, pos_fraction in 0.05f64..0.5, seed in 0u64..50) {
+        let n_pos = ((n as f64 * pos_fraction) as usize).max(1);
+        let rec = |id: u64| Record::new(id, vec![("a".into(), format!("v{id}"))]);
+        let pairs: Vec<EntityPair> = (0..n)
+            .map(|i| EntityPair { a: rec(i as u64), b: rec(1000 + i as u64), label: i < n_pos })
+            .collect();
+        let ds = Dataset {
+            name: "p".into(),
+            domain: "t".into(),
+            attributes: vec!["a".into()],
+            pairs,
+            textual_attribute: None,
+        };
+        let split = ds.split(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(split.train.len() + split.valid.len() + split.test.len(), n);
+        // Train share within [55%, 70%] (integer rounding of stratified 3:1:1).
+        let share = split.train.len() as f64 / n as f64;
+        prop_assert!((0.5..0.7).contains(&share), "train share {}", share);
+        // Every positive is somewhere.
+        let pos_total = split.train.iter().chain(&split.valid).chain(&split.test)
+            .filter(|p| p.label).count();
+        prop_assert_eq!(pos_total, n_pos);
+    }
+
+    #[test]
+    fn f1_bounded_and_consistent(preds in prop::collection::vec(any::<bool>(), 1..100)) {
+        let labels: Vec<bool> = preds.iter().map(|p| !p).collect(); // worst case
+        let m = PrF1::from_predictions(&preds, &labels);
+        prop_assert!(m.f1() >= 0.0 && m.f1() <= 1.0);
+        prop_assert_eq!(m.f1(), 0.0, "fully inverted predictions score zero");
+        // Perfect predictions score 1 whenever positives exist.
+        let m2 = PrF1::from_predictions(&preds, &preds);
+        if preds.iter().any(|&p| p) {
+            prop_assert!((f1_score(&preds, &preds) - 1.0).abs() < 1e-12);
+            prop_assert_eq!(m2.f1(), 1.0);
+        }
+    }
+
+    #[test]
+    fn serialization_never_empty_for_matches(id in any_dataset_id(), seed in 0u64..50) {
+        let ds = id.generate(0.005, seed);
+        for pair in ds.pairs.iter().filter(|p| p.label) {
+            prop_assert!(!ds.serialize_record(&pair.a).trim().is_empty());
+            prop_assert!(!ds.serialize_record(&pair.b).trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn corpus_deterministic_and_sized(n in 10usize..200, seed in 0u64..100) {
+        let a = em_data::generate_corpus(n, seed);
+        prop_assert_eq!(a.len(), n);
+        prop_assert_eq!(a, em_data::generate_corpus(n, seed));
+    }
+}

@@ -1,0 +1,188 @@
+//! Multi-head scaled-dot-product self-attention (Vaswani et al., 2017).
+
+use crate::layers::Linear;
+use crate::module::{join, Ctx, Module};
+use em_tensor::{Array, Tensor};
+use rand::Rng;
+
+/// Multi-head self-attention block with Q/K/V/O projections.
+pub struct MultiHeadAttention {
+    /// Query projection.
+    pub q: Linear,
+    /// Key projection.
+    pub k: Linear,
+    /// Value projection.
+    pub v: Linear,
+    /// Output projection.
+    pub o: Linear,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Attention-probability dropout rate.
+    pub dropout: f32,
+}
+
+/// Build an additive attention mask `[batch, 1, 1, seq]` from per-token
+/// padding masks (1 = real token, 0 = padding). Padded keys get a large
+/// negative bias so softmax ignores them.
+pub fn additive_mask_from_padding(padding: &[Vec<u8>]) -> Array {
+    let batch = padding.len();
+    let seq = padding.first().map_or(0, Vec::len);
+    let mut data = Vec::with_capacity(batch * seq);
+    for row in padding {
+        assert_eq!(row.len(), seq, "ragged padding mask");
+        data.extend(row.iter().map(|&m| if m == 1 { 0.0f32 } else { -1e9 }));
+    }
+    Array::from_vec(data, vec![batch, 1, 1, seq])
+}
+
+impl MultiHeadAttention {
+    /// New attention block for `dim`-wide inputs split over `heads` heads.
+    pub fn new(dim: usize, heads: usize, dropout: f32, std: f32, rng: &mut impl Rng) -> Self {
+        assert!(dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        Self {
+            q: Linear::new_normal(dim, dim, std, rng),
+            k: Linear::new_normal(dim, dim, std, rng),
+            v: Linear::new_normal(dim, dim, std, rng),
+            o: Linear::new_normal(dim, dim, std, rng),
+            heads,
+            dropout,
+        }
+    }
+
+    /// Self-attention over `x: [batch, seq, dim]`.
+    ///
+    /// `mask` is an additive bias broadcastable to `[batch, heads, seq, seq]`
+    /// (build one with [`additive_mask_from_padding`]); `extra_bias` is an
+    /// optional second additive term used for relative-position scores
+    /// (XLNet / Transformer-XL style).
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        mask: Option<&Array>,
+        extra_bias: Option<&Tensor>,
+        ctx: &mut Ctx,
+    ) -> Tensor {
+        let shape = x.shape();
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        let h = self.heads;
+        let dh = d / h;
+
+        let split = |proj: Tensor| -> Tensor {
+            // [b, t, d] -> [b, t, h, dh] -> [b, h, t, dh]
+            proj.reshape(vec![b, t, h, dh]).permute(&[0, 2, 1, 3])
+        };
+        let q = split(self.q.forward(x));
+        let k = split(self.k.forward(x));
+        let v = split(self.v.forward(x));
+
+        let mut scores = q.matmul(&k.transpose_last()).scale(1.0 / (dh as f32).sqrt());
+        if let Some(bias) = extra_bias {
+            scores = scores.add(bias);
+        }
+        if let Some(m) = mask {
+            scores = scores.add(&Tensor::constant(m.clone()));
+        }
+        let probs = ctx.dropout(&scores.softmax(), self.dropout);
+        let ctx_vec = probs.matmul(&v); // [b, h, t, dh]
+        let merged = ctx_vec.permute(&[0, 2, 1, 3]).reshape(vec![b, t, d]);
+        self.o.forward(&merged)
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.q.named_parameters(&join(prefix, "q"), out);
+        self.k.named_parameters(&join(prefix, "k"), out);
+        self.v.named_parameters(&join(prefix, "v"), out);
+        self.o.named_parameters(&join(prefix, "o"), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_tensor::{assert_gradients_close, init, no_grad};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn attn(dim: usize, heads: usize, seed: u64) -> MultiHeadAttention {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MultiHeadAttention::new(dim, heads, 0.0, 0.1, &mut rng)
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let a = attn(8, 2, 0);
+        let x = Tensor::constant(Array::ones(vec![2, 5, 8]));
+        let y = a.forward(&x, None, None, &mut Ctx::eval());
+        assert_eq!(y.shape(), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn padding_mask_blocks_attention_to_pads() {
+        let a = attn(8, 2, 1);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Two inputs identical in the first 3 positions, wildly different in
+        // the padded tail. With the mask, outputs at real positions match.
+        let common = init::normal(vec![1, 3, 8], 1.0, &mut rng);
+        let tail1 = init::normal(vec![1, 2, 8], 1.0, &mut rng);
+        let tail2 = init::normal(vec![1, 2, 8], 5.0, &mut rng);
+        let x1 = Tensor::constant(Array::concat(&[&common, &tail1], 1));
+        let x2 = Tensor::constant(Array::concat(&[&common, &tail2], 1));
+        let mask = additive_mask_from_padding(&[vec![1, 1, 1, 0, 0]]);
+        let (y1, y2) = no_grad(|| {
+            let y1 = a.forward(&x1, Some(&mask), None, &mut Ctx::eval()).value();
+            let y2 = a.forward(&x2, Some(&mask), None, &mut Ctx::eval()).value();
+            (y1, y2)
+        });
+        for p in 0..3 {
+            for j in 0..8 {
+                let v1 = y1.at(&[0, p, j]);
+                let v2 = y2.at(&[0, p, j]);
+                assert!((v1 - v2).abs() < 1e-4, "pos {p} dim {j}: {v1} vs {v2}");
+            }
+        }
+    }
+
+    #[test]
+    fn attention_gradcheck() {
+        let a = attn(4, 2, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::constant(init::normal(vec![1, 3, 4], 1.0, &mut rng));
+        let params = a.parameters();
+        assert_gradients_close(
+            &params,
+            move |_| a.forward(&x, None, None, &mut Ctx::eval()).square().sum_all(),
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn extra_bias_shifts_scores() {
+        let a = attn(4, 1, 4);
+        let x = Tensor::constant(Array::ones(vec![1, 3, 4]));
+        let plain = a.forward(&x, None, None, &mut Ctx::eval()).value();
+        // A huge bias toward key 0 changes nothing for all-ones input
+        // (values identical), so instead check a varied input.
+        let mut rng = StdRng::seed_from_u64(5);
+        let x2 = Tensor::constant(init::normal(vec![1, 3, 4], 1.0, &mut rng));
+        let bias = Tensor::constant(Array::from_vec(
+            vec![
+                10.0, -10.0, -10.0, //
+                10.0, -10.0, -10.0, //
+                10.0, -10.0, -10.0,
+            ],
+            vec![1, 1, 3, 3],
+        ));
+        let with = a.forward(&x2, None, Some(&bias), &mut Ctx::eval()).value();
+        let without = a.forward(&x2, None, None, &mut Ctx::eval()).value();
+        assert_ne!(with.data(), without.data());
+        let _ = plain;
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_heads_panics() {
+        let _ = attn(6, 4, 6);
+    }
+}

@@ -1,0 +1,155 @@
+//! Position-wise feed-forward network and the transformer encoder layer.
+
+use crate::attention::MultiHeadAttention;
+use crate::layers::{LayerNorm, Linear};
+use crate::module::{join, Ctx, Module};
+use em_tensor::{Array, Tensor};
+use rand::Rng;
+
+/// Two-layer position-wise feed-forward network with GELU (BERT style).
+pub struct FeedForward {
+    /// Expansion projection `dim → inner`.
+    pub fc1: Linear,
+    /// Contraction projection `inner → dim`.
+    pub fc2: Linear,
+    /// Dropout after the activation.
+    pub dropout: f32,
+}
+
+impl FeedForward {
+    /// New FFN with hidden size `inner` (typically `4 × dim`).
+    pub fn new(dim: usize, inner: usize, dropout: f32, std: f32, rng: &mut impl Rng) -> Self {
+        Self {
+            fc1: Linear::new_normal(dim, inner, std, rng),
+            fc2: Linear::new_normal(inner, dim, std, rng),
+            dropout,
+        }
+    }
+
+    /// Apply to `[.., dim]`.
+    pub fn forward(&self, x: &Tensor, ctx: &mut Ctx) -> Tensor {
+        let h = ctx.dropout(&self.fc1.forward(x).gelu(), self.dropout);
+        self.fc2.forward(&h)
+    }
+}
+
+impl Module for FeedForward {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.fc1.named_parameters(&join(prefix, "fc1"), out);
+        self.fc2.named_parameters(&join(prefix, "fc2"), out);
+    }
+}
+
+/// One post-layer-norm transformer encoder layer (the BERT arrangement):
+/// `x → attn → dropout → add&norm → ffn → dropout → add&norm`.
+pub struct EncoderLayer {
+    /// Self-attention sub-layer.
+    pub attention: MultiHeadAttention,
+    /// Norm after the attention residual.
+    pub norm1: LayerNorm,
+    /// Feed-forward sub-layer.
+    pub ffn: FeedForward,
+    /// Norm after the FFN residual.
+    pub norm2: LayerNorm,
+    /// Residual dropout rate.
+    pub dropout: f32,
+}
+
+impl EncoderLayer {
+    /// Build a layer: `dim` model width, `heads` attention heads, `inner`
+    /// FFN width, shared `dropout`, init `std`.
+    pub fn new(
+        dim: usize,
+        heads: usize,
+        inner: usize,
+        dropout: f32,
+        std: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            attention: MultiHeadAttention::new(dim, heads, dropout, std, rng),
+            norm1: LayerNorm::new(dim),
+            ffn: FeedForward::new(dim, inner, dropout, std, rng),
+            norm2: LayerNorm::new(dim),
+            dropout,
+        }
+    }
+
+    /// Forward over `x: [batch, seq, dim]` with optional additive attention
+    /// `mask` and optional relative-position `extra_bias`.
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        mask: Option<&Array>,
+        extra_bias: Option<&Tensor>,
+        ctx: &mut Ctx,
+    ) -> Tensor {
+        let attn = self.attention.forward(x, mask, extra_bias, ctx);
+        let x = self.norm1.forward(&x.add(&ctx.dropout(&attn, self.dropout)));
+        let ffn = self.ffn.forward(&x, ctx);
+        self.norm2.forward(&x.add(&ctx.dropout(&ffn, self.dropout)))
+    }
+}
+
+impl Module for EncoderLayer {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.attention.named_parameters(&join(prefix, "attn"), out);
+        self.norm1.named_parameters(&join(prefix, "norm1"), out);
+        self.ffn.named_parameters(&join(prefix, "ffn"), out);
+        self.norm2.named_parameters(&join(prefix, "norm2"), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_tensor::{assert_gradients_close, init};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encoder_layer_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = EncoderLayer::new(8, 2, 16, 0.0, 0.1, &mut rng);
+        let x = Tensor::constant(init::normal(vec![2, 4, 8], 1.0, &mut rng));
+        let y = layer.forward(&x, None, None, &mut Ctx::eval());
+        assert_eq!(y.shape(), vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn encoder_layer_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = EncoderLayer::new(4, 2, 8, 0.0, 0.2, &mut rng);
+        let x = Tensor::constant(init::normal(vec![1, 3, 4], 1.0, &mut rng));
+        let w = Tensor::constant(init::normal(vec![1, 3, 4], 1.0, &mut rng));
+        let params = layer.parameters();
+        assert_gradients_close(
+            &params,
+            move |_| layer.forward(&x, None, None, &mut Ctx::eval()).mul(&w).sum_all(),
+            8e-2,
+        );
+    }
+
+    #[test]
+    fn dropout_changes_training_output_not_eval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = EncoderLayer::new(8, 2, 16, 0.3, 0.1, &mut rng);
+        let x = Tensor::constant(init::normal(vec![1, 4, 8], 1.0, &mut rng));
+        let e1 = layer.forward(&x, None, None, &mut Ctx::eval()).value();
+        let e2 = layer.forward(&x, None, None, &mut Ctx::eval()).value();
+        assert_eq!(e1.data(), e2.data(), "eval is deterministic");
+        let t1 = layer.forward(&x, None, None, &mut Ctx::train(1)).value();
+        let t2 = layer.forward(&x, None, None, &mut Ctx::train(2)).value();
+        assert_ne!(t1.data(), t2.data(), "training is stochastic");
+    }
+
+    #[test]
+    fn parameter_count_formula() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (d, inner) = (8, 16);
+        let layer = EncoderLayer::new(d, 2, inner, 0.0, 0.1, &mut rng);
+        // 4 attn projections (d*d + d) + 2 norms (2d each) + fc1/fc2.
+        let expected = 4 * (d * d + d) + 2 * (2 * d) + (d * inner + inner) + (inner * d + d);
+        assert_eq!(layer.num_parameters(), expected);
+    }
+}

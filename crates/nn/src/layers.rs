@@ -1,0 +1,170 @@
+//! Basic trainable layers: linear, embedding, layer-norm.
+
+use crate::module::{join, Module};
+use em_tensor::{init, Array, Tensor};
+use rand::Rng;
+
+/// Fully connected layer `y = x·W + b` with `W: [in, out]`.
+pub struct Linear {
+    /// Weight matrix `[in_dim, out_dim]`.
+    pub w: Tensor,
+    /// Bias `[out_dim]`.
+    pub b: Tensor,
+}
+
+impl Linear {
+    /// Xavier-initialized linear layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            w: Tensor::parameter(init::xavier(in_dim, out_dim, rng)),
+            b: Tensor::parameter(Array::zeros(vec![out_dim])),
+        }
+    }
+
+    /// Normal(0, std²)-initialized linear layer (BERT convention).
+    pub fn new_normal(in_dim: usize, out_dim: usize, std: f32, rng: &mut impl Rng) -> Self {
+        Self {
+            w: Tensor::parameter(init::normal(vec![in_dim, out_dim], std, rng)),
+            b: Tensor::parameter(Array::zeros(vec![out_dim])),
+        }
+    }
+
+    /// Apply to `[.., in_dim]` input.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.matmul(&self.w).add(&self.b)
+    }
+}
+
+impl Module for Linear {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        out.push((join(prefix, "w"), self.w.clone()));
+        out.push((join(prefix, "b"), self.b.clone()));
+    }
+}
+
+/// Token-id → vector lookup table.
+pub struct Embedding {
+    /// Embedding matrix `[vocab, dim]`.
+    pub table: Tensor,
+}
+
+impl Embedding {
+    /// Normal(0, std²)-initialized embedding.
+    pub fn new(vocab: usize, dim: usize, std: f32, rng: &mut impl Rng) -> Self {
+        Self { table: Tensor::parameter(init::normal(vec![vocab, dim], std, rng)) }
+    }
+
+    /// Look up `indices` (flattened) and shape the output `index_shape + [dim]`.
+    pub fn forward(&self, indices: &[usize], index_shape: &[usize]) -> Tensor {
+        self.table.gather_rows(indices, index_shape)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.table.shape()[0]
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.shape()[1]
+    }
+}
+
+impl Module for Embedding {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        out.push((join(prefix, "table"), self.table.clone()));
+    }
+}
+
+/// Layer normalization over the last dimension.
+pub struct LayerNorm {
+    /// Scale `[dim]`.
+    pub gamma: Tensor,
+    /// Shift `[dim]`.
+    pub beta: Tensor,
+    /// Variance epsilon.
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    /// Identity-initialized layer norm.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gamma: Tensor::parameter(Array::ones(vec![dim])),
+            beta: Tensor::parameter(Array::zeros(vec![dim])),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalize `[.., dim]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.layer_norm(&self.gamma, &self.beta, self.eps)
+    }
+}
+
+impl Module for LayerNorm {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        out.push((join(prefix, "gamma"), self.gamma.clone()));
+        out.push((join(prefix, "beta"), self.beta.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_tensor::assert_gradients_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(4, 3, &mut rng);
+        let x = Tensor::constant(Array::ones(vec![2, 5, 4]));
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), vec![2, 5, 3]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::constant(init::normal(vec![4, 3], 1.0, &mut rng));
+        let params = l.parameters();
+        assert_gradients_close(&params, move |_| l.forward(&x).square().sum_all(), 2e-2);
+    }
+
+    #[test]
+    fn embedding_lookup_and_grad() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = Embedding::new(10, 4, 0.5, &mut rng);
+        let y = e.forward(&[1, 1, 7], &[3]);
+        assert_eq!(y.shape(), vec![3, 4]);
+        y.sum_all().backward();
+        let g = e.table.grad().unwrap();
+        // Row 1 used twice, row 7 once, rest zero.
+        assert!(g.data()[4..8].iter().all(|&v| v == 2.0));
+        assert!(g.data()[28..32].iter().all(|&v| v == 1.0));
+        assert!(g.data()[..4].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn layer_norm_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ln = LayerNorm::new(5);
+        let x = Tensor::constant(init::normal(vec![3, 5], 1.0, &mut rng));
+        let w = Tensor::constant(init::normal(vec![3, 5], 1.0, &mut rng));
+        let params = ln.parameters();
+        assert_gradients_close(&params, move |_| ln.forward(&x).mul(&w).sum_all(), 5e-2);
+    }
+
+    #[test]
+    fn module_names_are_hierarchical() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let l = Linear::new(2, 2, &mut rng);
+        let mut named = Vec::new();
+        l.named_parameters("encoder.layer0", &mut named);
+        let names: Vec<&str> = named.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["encoder.layer0.w", "encoder.layer0.b"]);
+    }
+}

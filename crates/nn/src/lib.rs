@@ -1,0 +1,20 @@
+//! # em-nn
+//!
+//! Neural-network layers on top of [`em_tensor`]: linear / embedding /
+//! layer-norm primitives, multi-head self-attention, the transformer
+//! encoder layer (post-LN, BERT arrangement), and a GRU for the
+//! DeepMatcher baseline. Every layer implements [`Module`] for parameter
+//! collection and checkpointing, and every forward pass threads a [`Ctx`]
+//! carrying the dropout RNG and the train/eval switch.
+
+pub mod attention;
+pub mod encoder;
+pub mod layers;
+pub mod module;
+pub mod rnn;
+
+pub use attention::{additive_mask_from_padding, MultiHeadAttention};
+pub use encoder::{EncoderLayer, FeedForward};
+pub use layers::{Embedding, LayerNorm, Linear};
+pub use module::{join, Ctx, Module};
+pub use rnn::{BiGru, Gru};

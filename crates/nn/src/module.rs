@@ -1,0 +1,121 @@
+//! Module trait and the forward-pass context.
+
+use em_tensor::{StateDict, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Anything with trainable parameters.
+pub trait Module {
+    /// All trainable parameters with hierarchical names (`prefix.child.w`).
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>);
+
+    /// Flat list of trainable parameters.
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut named = Vec::new();
+        self.named_parameters("", &mut named);
+        named.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Total number of scalar parameters.
+    fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.shape().iter().product::<usize>()).sum()
+    }
+
+    /// Snapshot all parameters into a [`StateDict`].
+    fn state_dict(&self) -> StateDict {
+        let mut named = Vec::new();
+        self.named_parameters("", &mut named);
+        let mut sd = StateDict::new();
+        for (name, t) in named {
+            sd.insert(name, &t);
+        }
+        sd
+    }
+
+    /// Load parameters from a [`StateDict`]; every parameter must be present
+    /// with a matching shape.
+    fn load_state_dict(&self, sd: &StateDict) -> Result<(), String> {
+        let mut named = Vec::new();
+        self.named_parameters("", &mut named);
+        for (name, t) in named {
+            sd.load_into(&name, &t)?;
+        }
+        Ok(())
+    }
+}
+
+/// Join a prefix and a child name with a dot.
+pub fn join(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+/// Per-forward-pass state: RNG for dropout and the train/eval switch.
+pub struct Ctx {
+    /// RNG used by stochastic layers (dropout, dynamic masking).
+    pub rng: StdRng,
+    /// True during training: dropout active.
+    pub training: bool,
+}
+
+impl Ctx {
+    /// Training-mode context seeded for reproducibility.
+    pub fn train(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), training: true }
+    }
+
+    /// Evaluation-mode context (dropout disabled; RNG still available).
+    pub fn eval() -> Self {
+        Self { rng: StdRng::seed_from_u64(0), training: false }
+    }
+
+    /// Apply dropout with probability `p` when training, identity otherwise.
+    pub fn dropout(&mut self, t: &Tensor, p: f32) -> Tensor {
+        if self.training && p > 0.0 {
+            t.dropout(p, &mut self.rng)
+        } else {
+            t.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_tensor::Array;
+
+    struct Toy {
+        w: Tensor,
+    }
+
+    impl Module for Toy {
+        fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+            out.push((join(prefix, "w"), self.w.clone()));
+        }
+    }
+
+    #[test]
+    fn state_dict_roundtrip_through_module() {
+        let a = Toy { w: Tensor::parameter(Array::from_vec(vec![1.0, 2.0], vec![2])) };
+        let b = Toy { w: Tensor::parameter(Array::zeros(vec![2])) };
+        b.load_state_dict(&a.state_dict()).unwrap();
+        assert_eq!(b.w.value().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn num_parameters_counts_scalars() {
+        let m = Toy { w: Tensor::parameter(Array::zeros(vec![3])) };
+        assert_eq!(m.num_parameters(), 3);
+    }
+
+    #[test]
+    fn eval_ctx_disables_dropout() {
+        let mut ctx = Ctx::eval();
+        let t = Tensor::parameter(Array::ones(vec![8]));
+        let out = ctx.dropout(&t, 0.9);
+        assert_eq!(out.value().data(), t.value().data());
+    }
+}

@@ -1,0 +1,155 @@
+//! Gated recurrent unit (GRU) layers.
+//!
+//! The DeepMatcher baseline (Mudgal et al., 2018) builds on bidirectional
+//! RNN summarizers; this module provides the recurrent substrate. It is
+//! deliberately simple — transformers are the paper's subject, the RNN
+//! exists to reproduce the comparison.
+
+use crate::layers::Linear;
+use crate::module::{join, Module};
+use em_tensor::Tensor;
+use rand::Rng;
+
+/// A single-direction GRU over `[batch, seq, in_dim]` sequences.
+pub struct Gru {
+    /// Update gate: input + hidden projections (concatenated weights).
+    pub wz: Linear,
+    uz: Linear,
+    wr: Linear,
+    ur: Linear,
+    wh: Linear,
+    uh: Linear,
+    hidden: usize,
+}
+
+impl Gru {
+    /// New GRU mapping `in_dim` features to a `hidden`-wide state.
+    pub fn new(in_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            wz: Linear::new(in_dim, hidden, rng),
+            uz: Linear::new(hidden, hidden, rng),
+            wr: Linear::new(in_dim, hidden, rng),
+            ur: Linear::new(hidden, hidden, rng),
+            wh: Linear::new(in_dim, hidden, rng),
+            uh: Linear::new(hidden, hidden, rng),
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Run over `x: [batch, seq, in]`; returns all states `[batch, seq, hidden]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        let (b, t) = (shape[0], shape[1]);
+        let mut h = Tensor::constant(em_tensor::Array::zeros(vec![b, self.hidden]));
+        let mut outputs = Vec::with_capacity(t);
+        for step in 0..t {
+            let xt = x.select(1, step); // [b, in]
+            let z = self.wz.forward(&xt).add(&self.uz.forward(&h)).sigmoid();
+            let r = self.wr.forward(&xt).add(&self.ur.forward(&h)).sigmoid();
+            let cand = self.wh.forward(&xt).add(&self.uh.forward(&r.mul(&h))).tanh();
+            // h' = (1 - z) ⊙ cand + z ⊙ h
+            let one_minus_z = z.neg().add_scalar(1.0);
+            h = one_minus_z.mul(&cand).add(&z.mul(&h));
+            outputs.push(h.reshape(vec![b, 1, self.hidden]));
+        }
+        Tensor::concat(&outputs, 1)
+    }
+}
+
+impl Module for Gru {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.wz.named_parameters(&join(prefix, "wz"), out);
+        self.uz.named_parameters(&join(prefix, "uz"), out);
+        self.wr.named_parameters(&join(prefix, "wr"), out);
+        self.ur.named_parameters(&join(prefix, "ur"), out);
+        self.wh.named_parameters(&join(prefix, "wh"), out);
+        self.uh.named_parameters(&join(prefix, "uh"), out);
+    }
+}
+
+/// Bidirectional GRU: forward and backward passes concatenated on features.
+pub struct BiGru {
+    /// Left-to-right GRU.
+    pub fwd: Gru,
+    /// Right-to-left GRU.
+    pub bwd: Gru,
+}
+
+impl BiGru {
+    /// New bidirectional GRU; output width is `2 × hidden`.
+    pub fn new(in_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self { fwd: Gru::new(in_dim, hidden, rng), bwd: Gru::new(in_dim, hidden, rng) }
+    }
+
+    /// Run over `x: [batch, seq, in]`; returns `[batch, seq, 2*hidden]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let t = x.shape()[1];
+        let fwd = self.fwd.forward(x);
+        // Reverse time, run, reverse back.
+        let rev: Vec<Tensor> = (0..t).rev().map(|s| x.slice_axis(1, s, s + 1)).collect();
+        let reversed = Tensor::concat(&rev, 1);
+        let bwd_rev = self.bwd.forward(&reversed);
+        let unrev: Vec<Tensor> = (0..t).rev().map(|s| bwd_rev.slice_axis(1, s, s + 1)).collect();
+        let bwd = Tensor::concat(&unrev, 1);
+        Tensor::concat(&[fwd, bwd], 2)
+    }
+}
+
+impl Module for BiGru {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.fwd.named_parameters(&join(prefix, "fwd"), out);
+        self.bwd.named_parameters(&join(prefix, "bwd"), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_tensor::{assert_gradients_close, init, Array};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gru_output_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new(3, 5, &mut rng);
+        let x = Tensor::constant(Array::ones(vec![2, 4, 3]));
+        assert_eq!(gru.forward(&x).shape(), vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn bigru_doubles_features() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = BiGru::new(3, 4, &mut rng);
+        let x = Tensor::constant(Array::ones(vec![2, 5, 3]));
+        assert_eq!(g.forward(&x).shape(), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn gru_state_depends_on_history() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gru = Gru::new(2, 3, &mut rng);
+        let a = Tensor::constant(Array::from_vec(vec![1.0, 0.0, 0.0, 1.0], vec![1, 2, 2]));
+        let b = Tensor::constant(Array::from_vec(vec![0.0, 1.0, 0.0, 1.0], vec![1, 2, 2]));
+        // Same last input, different first input → different final state.
+        let ya = gru.forward(&a).value();
+        let yb = gru.forward(&b).value();
+        let last_a = &ya.data()[3..6];
+        let last_b = &yb.data()[3..6];
+        assert_ne!(last_a, last_b);
+    }
+
+    #[test]
+    fn gru_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gru = Gru::new(2, 3, &mut rng);
+        let x = Tensor::constant(init::normal(vec![1, 3, 2], 1.0, &mut rng));
+        let params = gru.parameters();
+        assert_gradients_close(&params, move |_| gru.forward(&x).square().sum_all(), 5e-2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Numerical gradient checking.
+//!
+//! Every differentiable op and layer in the workspace is validated against
+//! central finite differences through this utility; it is the backbone of
+//! the substrate's test suite.
+
+use crate::array::Array;
+use crate::tensor::Tensor;
+
+/// Compare analytic gradients with central finite differences.
+///
+/// `f` must build a scalar loss from the given parameters each time it is
+/// called (the graph is rebuilt per evaluation). Returns the maximum
+/// relative error observed across all parameter elements.
+pub fn check_gradients(params: &[Tensor], f: impl Fn(&[Tensor]) -> Tensor, eps: f32) -> f32 {
+    // Analytic pass.
+    for p in params {
+        p.zero_grad();
+    }
+    let loss = f(params);
+    loss.backward();
+    let analytic: Vec<Array> =
+        params.iter().map(|p| p.grad().unwrap_or_else(|| Array::zeros(p.shape()))).collect();
+
+    let mut max_rel = 0.0f32;
+    for (pi, p) in params.iter().enumerate() {
+        let base = p.value();
+        for j in 0..base.len() {
+            let orig = base.data()[j];
+            p.update_value(|w| w.data_mut()[j] = orig + eps);
+            let up = crate::tensor::no_grad(|| f(params).item());
+            p.update_value(|w| w.data_mut()[j] = orig - eps);
+            let down = crate::tensor::no_grad(|| f(params).item());
+            p.update_value(|w| w.data_mut()[j] = orig);
+            let numeric = (up - down) / (2.0 * eps);
+            let a = analytic[pi].data()[j];
+            let denom = a.abs().max(numeric.abs()).max(1e-3);
+            let rel = (a - numeric).abs() / denom;
+            max_rel = max_rel.max(rel);
+        }
+    }
+    max_rel
+}
+
+/// Assert that gradients match finite differences within `tol`.
+pub fn assert_gradients_close(params: &[Tensor], f: impl Fn(&[Tensor]) -> Tensor, tol: f32) {
+    let err = check_gradients(params, f, 1e-2);
+    assert!(err < tol, "max relative gradient error {err} exceeds tolerance {tol}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn param(shape: Vec<usize>, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::parameter(init::normal(shape, 0.5, &mut rng))
+    }
+
+    #[test]
+    fn gradcheck_mul_add() {
+        let a = param(vec![3, 4], 1);
+        let b = param(vec![4], 2);
+        assert_gradients_close(&[a, b], |p| p[0].mul(&p[1]).add(&p[0]).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_div() {
+        let a = param(vec![2, 3], 3);
+        let b = Tensor::parameter(Array::full(vec![3], 2.0));
+        assert_gradients_close(&[a, b], |p| p[0].div(&p[1]).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_matmul_batched() {
+        let a = param(vec![2, 3, 4], 4);
+        let w = param(vec![4, 2], 5);
+        assert_gradients_close(&[a, w], |p| p[0].matmul(&p[1]).square().sum_all(), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_smooth_activations() {
+        for (seed, which) in [(6, "gelu"), (7, "tanh"), (8, "sigmoid")] {
+            let a = param(vec![3, 3], seed);
+            assert_gradients_close(&[a], |p| {
+                let x = &p[0];
+                let y = match which {
+                    "gelu" => x.gelu(),
+                    "tanh" => x.tanh(),
+                    _ => x.sigmoid(),
+                };
+                y.sum_all()
+            }, 3e-2);
+        }
+    }
+
+    #[test]
+    fn gradcheck_relu_away_from_kink() {
+        // Fixed values at least 0.2 from zero so the finite-difference probe
+        // (eps = 1e-2) never crosses the kink.
+        let a = Tensor::parameter(Array::from_vec(
+            vec![-1.5, -0.8, -0.3, 0.3, 0.9, 1.7],
+            vec![2, 3],
+        ));
+        assert_gradients_close(&[a], |p| p[0].relu().square().sum_all(), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_softmax_chain() {
+        let a = param(vec![2, 5], 10);
+        let t = param(vec![2, 5], 11);
+        assert_gradients_close(&[a, t], |p| p[0].softmax().mul(&p[1]).sum_all(), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_log_softmax() {
+        let a = param(vec![2, 4], 12);
+        assert_gradients_close(&[a], |p| p[0].log_softmax().square().sum_all(), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_cross_entropy() {
+        let a = param(vec![4, 3], 13);
+        assert_gradients_close(&[a], |p| p[0].cross_entropy(&[0, 2, 1, 0], None), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_soft_cross_entropy() {
+        let a = param(vec![3, 4], 14);
+        let mut rng = StdRng::seed_from_u64(15);
+        let t = crate::ops::softmax_array(&init::normal(vec![3, 4], 1.0, &mut rng));
+        assert_gradients_close(&[a], move |p| p[0].soft_cross_entropy(&t), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_layer_norm() {
+        // A plain Σŷ² loss is nearly constant for layer-norm (rows are
+        // normalized), so weight the output with fixed random coefficients
+        // to get a well-conditioned check.
+        let x = param(vec![3, 6], 16);
+        let gamma = Tensor::parameter(Array::ones(vec![6]));
+        let beta = Tensor::parameter(Array::zeros(vec![6]));
+        let mut rng = StdRng::seed_from_u64(20);
+        let w = Tensor::constant(init::normal(vec![3, 6], 1.0, &mut rng));
+        assert_gradients_close(&[x, gamma, beta], move |p| {
+            p[0].layer_norm(&p[1], &p[2], 1e-5).mul(&w).sum_all()
+        }, 5e-2);
+    }
+
+    #[test]
+    fn gradcheck_slice_concat_permute() {
+        let a = param(vec![2, 6], 17);
+        assert_gradients_close(&[a], |p| {
+            let left = p[0].slice_axis(1, 0, 3);
+            let right = p[0].slice_axis(1, 3, 6);
+            Tensor::concat(&[right, left], 1).permute(&[1, 0]).square().sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_gather() {
+        let table = param(vec![5, 3], 18);
+        assert_gradients_close(&[table], |p| {
+            p[0].gather_rows(&[0, 4, 4, 2], &[4]).square().sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_reductions() {
+        let a = param(vec![2, 3, 4], 19);
+        assert_gradients_close(&[a], |p| {
+            p[0].sum_axis(1, true).mean_axis(2, false).square().sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_exp_ln_sqrt() {
+        let a = Tensor::parameter(Array::full(vec![4], 1.5));
+        assert_gradients_close(&[a], |p| p[0].exp().ln().sqrt().sum_all(), 2e-2);
+    }
+}

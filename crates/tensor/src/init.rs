@@ -1,0 +1,73 @@
+//! Weight initializers.
+//!
+//! All initializers take an explicit RNG so that every model in the
+//! workspace is reproducible from a single seed.
+
+use crate::array::{numel, Array};
+use rand::Rng;
+use rand_distr_normal::sample_standard_normal;
+
+/// Minimal Box-Muller standard-normal sampler so we do not need the full
+/// `rand_distr` crate.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    pub fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+        // Box-Muller transform; avoid u1 == 0.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+/// N(0, std²) initialization (BERT uses std = 0.02).
+pub fn normal(shape: impl Into<Vec<usize>>, std: f32, rng: &mut impl Rng) -> Array {
+    let shape = shape.into();
+    let data = (0..numel(&shape)).map(|_| sample_standard_normal(rng) * std).collect();
+    Array::from_vec(data, shape)
+}
+
+/// Uniform(-a, a) initialization.
+pub fn uniform(shape: impl Into<Vec<usize>>, a: f32, rng: &mut impl Rng) -> Array {
+    let shape = shape.into();
+    let data = (0..numel(&shape)).map(|_| rng.gen_range(-a..a)).collect();
+    Array::from_vec(data, shape)
+}
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
+pub fn xavier(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Array {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(vec![fan_in, fan_out], a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = normal(vec![10_000], 0.02, &mut rng);
+        let mean = a.mean_all();
+        let var = a.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        assert!((var.sqrt() - 0.02).abs() < 2e-3, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = xavier(30, 20, &mut rng);
+        let bound = (6.0f32 / 50.0).sqrt();
+        assert!(a.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = normal(vec![16], 1.0, &mut StdRng::seed_from_u64(3));
+        let b = normal(vec![16], 1.0, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,197 @@
+//! Matrix-multiplication kernels.
+//!
+//! Transformers spend nearly all their time in matmul, so this is the one
+//! place in the workspace that cares about micro-optimization: an `ikj`
+//! loop order (unit-stride inner loop, auto-vectorizable) and row-partitioned
+//! multi-threading above a size threshold.
+
+use crate::array::Array;
+
+/// Below this many multiply-adds the threading overhead is not worth paying.
+const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Single-threaded `C += A(m×k) · B(k×n)` into `c` (row-major slices).
+fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// `C = A(m×k) · B(k×n)`, multi-threaded across row blocks when large enough.
+pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    let flops = m * k * n;
+    let threads = available_threads();
+    if flops < PARALLEL_FLOP_THRESHOLD || threads <= 1 || m < 2 {
+        gemm_serial(a, b, &mut c, m, k, n);
+        return c;
+    }
+    let threads = threads.min(m);
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [f32] = &mut c;
+        let mut row = 0usize;
+        while row < m {
+            let take = rows_per.min(m - row);
+            let (chunk, tail) = rest.split_at_mut(take * n);
+            rest = tail;
+            let a_chunk = &a[row * k..(row + take) * k];
+            scope.spawn(move || gemm_serial(a_chunk, b, chunk, take, k, n));
+            row += take;
+        }
+    });
+    c
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Batched matrix product. See [`Array::matmul`] for the accepted shapes.
+pub fn matmul(a: &Array, b: &Array) -> Array {
+    let (sa, sb) = (a.shape(), b.shape());
+    assert!(sa.len() >= 2 && sb.len() >= 2, "matmul needs rank >= 2, got {sa:?} x {sb:?}");
+    let (m, ka) = (sa[sa.len() - 2], sa[sa.len() - 1]);
+    let (kb, n) = (sb[sb.len() - 2], sb[sb.len() - 1]);
+    assert_eq!(ka, kb, "matmul inner dims differ: {sa:?} x {sb:?}");
+    let batch_a: usize = sa[..sa.len() - 2].iter().product();
+    let batch_b: usize = sb[..sb.len() - 2].iter().product();
+
+    let (batch, out_batch_shape): (usize, Vec<usize>) = if sa.len() == 2 && sb.len() == 2 {
+        (1, vec![])
+    } else if sb.len() == 2 {
+        (batch_a, sa[..sa.len() - 2].to_vec())
+    } else if sa.len() == 2 {
+        (batch_b, sb[..sb.len() - 2].to_vec())
+    } else {
+        assert_eq!(
+            sa[..sa.len() - 2],
+            sb[..sb.len() - 2],
+            "matmul batch dims differ: {sa:?} x {sb:?}"
+        );
+        (batch_a, sa[..sa.len() - 2].to_vec())
+    };
+
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; batch * m * n];
+    let a_stride = if sa.len() == 2 { 0 } else { m * ka };
+    let b_stride = if sb.len() == 2 { 0 } else { ka * n };
+    let threads = available_threads();
+    if batch > 1 && batch * m * ka * n >= PARALLEL_FLOP_THRESHOLD && threads > 1 {
+        // Parallelize across batch items (disjoint output chunks).
+        let per = batch.div_ceil(threads.min(batch));
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in out.chunks_mut(per * m * n).enumerate() {
+                let start = chunk_idx * per;
+                scope.spawn(move || {
+                    for (j, c) in chunk.chunks_mut(m * n).enumerate() {
+                        let i = start + j;
+                        let a_off = i * a_stride;
+                        let b_off = i * b_stride;
+                        gemm_serial(
+                            &ad[a_off..a_off + m * ka],
+                            &bd[b_off..b_off + ka * n],
+                            c,
+                            m,
+                            ka,
+                            n,
+                        );
+                    }
+                });
+            }
+        });
+    } else {
+        for i in 0..batch {
+            let a_off = i * a_stride;
+            let b_off = i * b_stride;
+            if batch == 1 {
+                // Single GEMM: use the row-parallel path for large matrices.
+                let c = gemm(&ad[a_off..a_off + m * ka], &bd[b_off..b_off + ka * n], m, ka, n);
+                out.copy_from_slice(&c);
+            } else {
+                gemm_serial(
+                    &ad[a_off..a_off + m * ka],
+                    &bd[b_off..b_off + ka * n],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    ka,
+                    n,
+                );
+            }
+        }
+    }
+    let mut shape = out_batch_shape;
+    shape.push(m);
+    shape.push(n);
+    Array::from_vec(out, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_matches_naive() {
+        let a: Vec<f32> = (0..6).map(|v| v as f32).collect(); // 2x3
+        let b: Vec<f32> = (0..12).map(|v| v as f32).collect(); // 3x4
+        let c = gemm(&a, &b, 2, 3, 4);
+        // Row 0: [0,1,2] . cols of b
+        assert_eq!(c, vec![20.0, 23.0, 26.0, 29.0, 56.0, 68.0, 80.0, 92.0]);
+    }
+
+    #[test]
+    fn gemm_large_parallel_matches_serial() {
+        let m = 70;
+        let k = 70;
+        let n = 70;
+        let a: Vec<f32> = (0..m * k).map(|v| (v % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|v| (v % 7) as f32 - 3.0).collect();
+        let mut serial = vec![0.0; m * n];
+        gemm_serial(&a, &b, &mut serial, m, k, n);
+        let parallel = gemm(&a, &b, m, k, n);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn matmul_2d() {
+        let a = Array::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        let b = Array::from_vec(vec![5.0, 6.0, 7.0, 8.0], vec![2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_batched() {
+        let a = Array::from_vec((0..8).map(|v| v as f32).collect(), vec![2, 2, 2]);
+        let b = Array::from_vec((0..8).map(|v| v as f32).collect(), vec![2, 2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        // Batch 0: [[0,1],[2,3]] x [[0,1],[2,3]] = [[2,3],[6,11]]
+        assert_eq!(&c.data()[..4], &[2.0, 3.0, 6.0, 11.0]);
+        // Batch 1: [[4,5],[6,7]] x [[4,5],[6,7]] = [[46,55],[66,79]]
+        assert_eq!(&c.data()[4..], &[46.0, 55.0, 66.0, 79.0]);
+    }
+
+    #[test]
+    fn matmul_batch_times_shared_matrix() {
+        let a = Array::from_vec((0..8).map(|v| v as f32).collect(), vec![2, 2, 2]);
+        let w = Array::from_vec(vec![1.0, 0.0, 0.0, 1.0], vec![2, 2]); // identity
+        let c = a.matmul(&w);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        assert_eq!(c.data(), a.data());
+    }
+}

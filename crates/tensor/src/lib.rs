@@ -1,0 +1,40 @@
+//! # em-tensor
+//!
+//! The numerical substrate for the entity-matching-with-transformers
+//! reproduction: a dense `f32` n-d array ([`Array`]), tape-based
+//! reverse-mode autograd ([`Tensor`]), threaded matmul kernels, weight
+//! initializers, optimizers with learning-rate schedules, numerical
+//! gradient checking, and named-parameter checkpoints.
+//!
+//! Design notes:
+//! * Arrays are always contiguous row-major; broadcasting materializes.
+//!   This trades some memory for very simple, predictable kernels.
+//! * Autograd handles are `Rc`-based and single-threaded; parallelism lives
+//!   inside the matmul kernel where transformers spend their time.
+//! * Everything takes explicit RNGs — the whole workspace is reproducible
+//!   from per-experiment seeds.
+//!
+//! ```
+//! use em_tensor::{Array, Tensor};
+//! let w = Tensor::parameter(Array::from_vec(vec![1.0, 2.0], vec![2, 1]));
+//! let x = Tensor::constant(Array::from_vec(vec![3.0, 4.0], vec![1, 2]));
+//! let loss = x.matmul(&w).square().sum_all();
+//! loss.backward();
+//! assert!(w.grad().is_some());
+//! ```
+
+pub mod array;
+pub mod gradcheck;
+pub mod init;
+pub mod kernel;
+pub mod ops;
+pub mod optim;
+pub mod serialize;
+pub mod tensor;
+
+pub use array::{broadcast_shape, numel, strides_for, Array, Shape};
+pub use gradcheck::{assert_gradients_close, check_gradients};
+pub use ops::{log_softmax_array, softmax_array};
+pub use optim::{clip_grad_norm, Adam, ConstantLr, LinearWarmupDecay, LrSchedule, Sgd};
+pub use serialize::StateDict;
+pub use tensor::{grad_enabled, no_grad, Tensor};

@@ -1,0 +1,252 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! The paper fine-tunes with Adam and a linear learning-rate schedule
+//! ([§5.2.2]); both are implemented here, plus plain SGD for the baselines
+//! and global-norm gradient clipping which keeps small-scale transformer
+//! training stable.
+
+use crate::array::Array;
+use crate::tensor::Tensor;
+
+/// A learning-rate schedule: maps a 0-based step index to a learning rate.
+pub trait LrSchedule {
+    /// Learning rate to use at `step`.
+    fn lr_at(&self, step: usize) -> f32;
+}
+
+/// Constant learning rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLr(pub f32);
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _step: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Linear warmup from 0 to `peak` over `warmup_steps`, then linear decay to
+/// 0 at `total_steps` — the schedule used for BERT-style fine-tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearWarmupDecay {
+    /// Peak learning rate reached at the end of warmup.
+    pub peak: f32,
+    /// Number of warmup steps.
+    pub warmup_steps: usize,
+    /// Total number of steps; the LR hits zero here.
+    pub total_steps: usize,
+}
+
+impl LrSchedule for LinearWarmupDecay {
+    fn lr_at(&self, step: usize) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            return self.peak * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        if self.total_steps <= self.warmup_steps {
+            return self.peak;
+        }
+        let rest = (self.total_steps - self.warmup_steps) as f32;
+        let done = (step.min(self.total_steps) - self.warmup_steps) as f32;
+        self.peak * (1.0 - done / rest).max(0.0)
+    }
+}
+
+/// Clip gradients of `params` so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
+    let mut sq = 0.0f32;
+    for p in params {
+        if let Some(g) = p.grad() {
+            sq += g.data().iter().map(|v| v * v).sum::<f32>();
+        }
+    }
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            if let Some(g) = p.grad() {
+                p.accumulate_grad(&g.scale(scale - 1.0)); // g + g*(s-1) = g*s
+            }
+        }
+    }
+    norm
+}
+
+/// Adam optimizer (Kingma & Ba, 2014) with optional decoupled weight decay.
+pub struct Adam {
+    params: Vec<Tensor>,
+    m: Vec<Array>,
+    v: Vec<Array>,
+    step: usize,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    /// Decoupled (AdamW-style) weight decay, applied multiplicatively.
+    pub weight_decay: f32,
+}
+
+impl Adam {
+    /// Create an Adam optimizer over `params` with paper-typical defaults.
+    pub fn new(params: Vec<Tensor>) -> Self {
+        let m = params.iter().map(|p| Array::zeros(p.shape())).collect();
+        let v = params.iter().map(|p| Array::zeros(p.shape())).collect();
+        Self { params, m, v, step: 0, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+
+    /// Builder-style weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.step
+    }
+
+    /// The parameters this optimizer updates.
+    pub fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
+    /// Apply one update with learning rate `lr`, then leave gradients in
+    /// place (call [`Adam::zero_grad`] before the next backward pass).
+    pub fn step(&mut self, lr: f32) {
+        self.step += 1;
+        let t = self.step as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(g) = p.grad() else { continue };
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let (b1, b2, eps, wd) = (self.beta1, self.beta2, self.eps, self.weight_decay);
+            p.update_value(|w| {
+                let wd_factor = 1.0 - lr * wd;
+                for j in 0..w.len() {
+                    let gj = g.data()[j];
+                    let mj = b1 * m.data()[j] + (1.0 - b1) * gj;
+                    let vj = b2 * v.data()[j] + (1.0 - b2) * gj * gj;
+                    m.data_mut()[j] = mj;
+                    v.data_mut()[j] = vj;
+                    let mhat = mj / bc1;
+                    let vhat = vj / bc2;
+                    let wj = &mut w.data_mut()[j];
+                    if wd > 0.0 {
+                        *wj *= wd_factor;
+                    }
+                    *wj -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            });
+        }
+    }
+
+    /// Clear all parameter gradients.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Plain stochastic gradient descent (used by the classical baselines).
+pub struct Sgd {
+    params: Vec<Tensor>,
+    /// Momentum factor (0 disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Array>,
+}
+
+impl Sgd {
+    /// SGD over `params` with the given momentum.
+    pub fn new(params: Vec<Tensor>, momentum: f32) -> Self {
+        let velocity = params.iter().map(|p| Array::zeros(p.shape())).collect();
+        Self { params, momentum, velocity }
+    }
+
+    /// One descent step with learning rate `lr`.
+    pub fn step(&mut self, lr: f32) {
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(g) = p.grad() else { continue };
+            let mu = self.momentum;
+            let vel = &mut self.velocity[i];
+            p.update_value(|w| {
+                for j in 0..w.len() {
+                    let vj = mu * vel.data()[j] + g.data()[j];
+                    vel.data_mut()[j] = vj;
+                    w.data_mut()[j] -= lr * vj;
+                }
+            });
+        }
+    }
+
+    /// Clear all parameter gradients.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Array;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let w = Tensor::parameter(Array::scalar(0.0));
+        let mut opt = Adam::new(vec![w.clone()]);
+        for _ in 0..300 {
+            opt.zero_grad();
+            let loss = w.add_scalar(-3.0).square();
+            loss.backward();
+            opt.step(0.1);
+        }
+        assert!((w.item() - 3.0).abs() < 1e-2, "w = {}", w.item());
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let w = Tensor::parameter(Array::scalar(0.0));
+        let mut opt = Sgd::new(vec![w.clone()], 0.9);
+        for _ in 0..200 {
+            opt.zero_grad();
+            let loss = w.add_scalar(-3.0).square();
+            loss.backward();
+            opt.step(0.02);
+        }
+        assert!((w.item() - 3.0).abs() < 1e-2, "w = {}", w.item());
+    }
+
+    #[test]
+    fn linear_schedule_shape() {
+        let s = LinearWarmupDecay { peak: 1.0, warmup_steps: 10, total_steps: 110 };
+        assert!(s.lr_at(0) > 0.0 && s.lr_at(0) <= 0.1 + 1e-6);
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(60) - 0.5).abs() < 1e-6);
+        assert_eq!(s.lr_at(110), 0.0);
+        assert_eq!(s.lr_at(10_000), 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_norm() {
+        let p = Tensor::parameter(Array::zeros(vec![4]));
+        p.accumulate_grad(&Array::full(vec![4], 10.0)); // norm 20
+        let pre = clip_grad_norm(&[p.clone()], 1.0);
+        assert!((pre - 20.0).abs() < 1e-4);
+        let post = p.grad().unwrap().norm();
+        assert!((post - 1.0).abs() < 1e-4, "post {post}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let w = Tensor::parameter(Array::scalar(1.0));
+        let mut opt = Adam::new(vec![w.clone()]).with_weight_decay(0.1);
+        w.accumulate_grad(&Array::scalar(0.0));
+        opt.step(0.5);
+        assert!(w.item() < 1.0);
+    }
+}

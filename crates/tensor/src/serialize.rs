@@ -1,0 +1,123 @@
+//! Named-parameter serialization (checkpoints).
+//!
+//! A [`StateDict`] is an ordered map from parameter names to raw arrays,
+//! serializable with serde. Models expose `state_dict`/`load_state_dict`
+//! built on this, which is how pre-trained checkpoints move from the
+//! pre-training binary into fine-tuning runs.
+
+use crate::array::Array;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Serializable snapshot of named parameters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct StateDict {
+    entries: BTreeMap<String, SerializedArray>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+struct SerializedArray {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl StateDict {
+    /// Empty state dict.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored parameters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Store a tensor's current value under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, t: &Tensor) {
+        let v = t.value();
+        self.entries.insert(
+            name.into(),
+            SerializedArray { shape: v.shape().to_vec(), data: v.data().to_vec() },
+        );
+    }
+
+    /// Store a raw array under `name`.
+    pub fn insert_array(&mut self, name: impl Into<String>, v: &Array) {
+        self.entries.insert(
+            name.into(),
+            SerializedArray { shape: v.shape().to_vec(), data: v.data().to_vec() },
+        );
+    }
+
+    /// Fetch an array by name.
+    pub fn get(&self, name: &str) -> Option<Array> {
+        self.entries.get(name).map(|e| Array::from_vec(e.data.clone(), e.shape.clone()))
+    }
+
+    /// Load the stored value into `t`; errors when missing or shape-mismatched.
+    pub fn load_into(&self, name: &str, t: &Tensor) -> Result<(), String> {
+        let Some(e) = self.entries.get(name) else {
+            return Err(format!("parameter '{name}' missing from state dict"));
+        };
+        if e.shape != t.shape() {
+            return Err(format!(
+                "parameter '{name}' shape mismatch: stored {:?}, expected {:?}",
+                e.shape,
+                t.shape()
+            ));
+        }
+        t.set_value(Array::from_vec(e.data.clone(), e.shape.clone()));
+        Ok(())
+    }
+
+    /// Iterate over names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("state dict serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("invalid state dict json: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let t = Tensor::parameter(Array::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]));
+        let mut sd = StateDict::new();
+        sd.insert("w", &t);
+        let json = sd.to_json();
+        let sd2 = StateDict::from_json(&json).unwrap();
+        assert_eq!(sd, sd2);
+
+        let fresh = Tensor::parameter(Array::zeros(vec![2, 2]));
+        sd2.load_into("w", &fresh).unwrap();
+        assert_eq!(fresh.value().data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn missing_and_mismatched_params_error() {
+        let sd = StateDict::new();
+        let t = Tensor::parameter(Array::zeros(vec![2]));
+        assert!(sd.load_into("nope", &t).is_err());
+
+        let mut sd = StateDict::new();
+        sd.insert("w", &Tensor::parameter(Array::zeros(vec![3])));
+        assert!(sd.load_into("w", &t).unwrap_err().contains("shape mismatch"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the tensor substrate.
+
+use em_tensor::{broadcast_shape, softmax_array, Array, StateDict, Tensor};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+fn array_for(shape: Vec<usize>) -> impl Strategy<Value = Array> {
+    let n: usize = shape.iter().product();
+    prop::collection::vec(-10.0f32..10.0, n)
+        .prop_map(move |data| Array::from_vec(data, shape.clone()))
+}
+
+proptest! {
+    #[test]
+    fn broadcast_is_commutative_in_shape(a in small_dims(), b in small_dims()) {
+        prop_assert_eq!(broadcast_shape(&a, &b), broadcast_shape(&b, &a));
+    }
+
+    #[test]
+    fn broadcast_with_self_is_identity(a in small_dims()) {
+        prop_assert_eq!(broadcast_shape(&a, &a), Some(a));
+    }
+
+    #[test]
+    fn add_commutes(shape in small_dims().prop_flat_map(|s| (array_for(s.clone()), array_for(s)))) {
+        let (a, b) = shape;
+        let x = a.add(&b);
+        let y = b.add(&a);
+        prop_assert_eq!(x.data(), y.data());
+    }
+
+    #[test]
+    fn reduce_to_shape_preserves_total(shape in small_dims()) {
+        let big: Vec<usize> = std::iter::once(3usize).chain(shape.iter().copied()).collect();
+        let a = Array::ones(big);
+        let r = a.reduce_to_shape(&shape);
+        prop_assert!((r.sum_all() - a.sum_all()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn broadcast_then_reduce_scales_by_expansion(arr in small_dims().prop_flat_map(array_for)) {
+        let mut target = vec![4usize];
+        target.extend(arr.shape());
+        let expanded = arr.broadcast_to(&target);
+        let back = expanded.reduce_to_shape(arr.shape());
+        for (x, y) in back.data().iter().zip(arr.data()) {
+            prop_assert!((x - 4.0 * y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_distributions(arr in array_for(vec![4, 6])) {
+        let y = softmax_array(&arr);
+        for r in 0..4 {
+            let row = &y.data()[r * 6..(r + 1) * 6];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(arr in array_for(vec![2, 5]), c in -50.0f32..50.0) {
+        let shifted = arr.map(|v| v + c);
+        let a = softmax_array(&arr);
+        let b = softmax_array(&shifted);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in array_for(vec![3, 4]),
+        b in array_for(vec![4, 2]),
+        c in array_for(vec![4, 2]),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(arr in small_dims().prop_flat_map(|mut s| {
+        s.push(3); s.push(2); array_for(s)
+    })) {
+        let t = arr.transpose_last().transpose_last();
+        prop_assert_eq!(t.data(), arr.data());
+    }
+
+    #[test]
+    fn permute_preserves_multiset(arr in array_for(vec![2, 3, 4])) {
+        let p = arr.permute(&[2, 0, 1]);
+        let mut a: Vec<_> = arr.data().to_vec();
+        let mut b: Vec<_> = p.data().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concat_slice_roundtrip(
+        a in array_for(vec![2, 3]),
+        b in array_for(vec![2, 2]),
+    ) {
+        let c = Array::concat(&[&a, &b], 1);
+        let left = c.slice_axis(1, 0, 3);
+        let right = c.slice_axis(1, 3, 5);
+        prop_assert_eq!(left.data(), a.data());
+        prop_assert_eq!(right.data(), b.data());
+    }
+
+    #[test]
+    fn state_dict_roundtrip(arr in small_dims().prop_flat_map(array_for)) {
+        let t = Tensor::parameter(arr.clone());
+        let mut sd = StateDict::new();
+        sd.insert("p", &t);
+        let sd2 = StateDict::from_json(&sd.to_json()).unwrap();
+        let restored = sd2.get("p").unwrap();
+        prop_assert_eq!(restored.data(), arr.data());
+    }
+
+    #[test]
+    fn autograd_sum_grad_is_ones(arr in small_dims().prop_flat_map(array_for)) {
+        let t = Tensor::parameter(arr.clone());
+        t.sum_all().backward();
+        let g = t.grad().unwrap();
+        prop_assert!(g.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn autograd_linear_grad_matches_coefficient(x in -5.0f32..5.0, k in -5.0f32..5.0) {
+        let t = Tensor::parameter(Array::scalar(x));
+        let y = t.scale(k);
+        y.backward();
+        prop_assert!((t.grad().unwrap().item() - k).abs() < 1e-5);
+    }
+}

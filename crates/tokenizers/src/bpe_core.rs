@@ -1,0 +1,157 @@
+//! Shared byte-pair-encoding machinery.
+//!
+//! WordPiece, byte-level BPE, and SentencePiece-BPE all learn a merge table
+//! by repeatedly fusing the most frequent adjacent symbol pair; they differ
+//! only in the initial alphabet and in how raw text becomes symbol
+//! sequences. This module holds the common trainer and the rank-driven
+//! encoder.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A learned merge: `(left, right) -> fused`, ordered by rank (0 = first
+/// merge learned = highest priority at encode time).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Merge {
+    /// Left symbol.
+    pub left: String,
+    /// Right symbol.
+    pub right: String,
+    /// Fused result symbol.
+    pub fused: String,
+}
+
+/// Learn up to `n_merges` merges from `words`: a map from symbol-sequence
+/// (a pre-tokenized word) to its corpus frequency. `fuse` controls how two
+/// symbols combine (WordPiece strips the `##` of the right piece).
+pub fn train_merges(
+    words: &HashMap<Vec<String>, u64>,
+    n_merges: usize,
+    fuse: impl Fn(&str, &str) -> String,
+) -> Vec<Merge> {
+    let mut seqs: Vec<(Vec<String>, u64)> =
+        words.iter().map(|(w, &c)| (w.clone(), c)).collect();
+    // Deterministic processing order regardless of HashMap iteration.
+    seqs.sort();
+    let mut merges = Vec::with_capacity(n_merges);
+    for _ in 0..n_merges {
+        let mut pair_counts: HashMap<(String, String), u64> = HashMap::new();
+        for (seq, count) in &seqs {
+            for pair in seq.windows(2) {
+                *pair_counts.entry((pair[0].clone(), pair[1].clone())).or_insert(0) += count;
+            }
+        }
+        // Most frequent pair; ties broken lexicographically for determinism.
+        let Some((best, best_count)) = pair_counts
+            .into_iter()
+            .map(|(p, c)| (p, c))
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+        else {
+            break;
+        };
+        if best_count < 2 {
+            break; // Merging hapax pairs only memorizes the corpus.
+        }
+        let fused = fuse(&best.0, &best.1);
+        for (seq, _) in &mut seqs {
+            apply_merge(seq, &best.0, &best.1, &fused);
+        }
+        merges.push(Merge { left: best.0, right: best.1, fused });
+    }
+    merges
+}
+
+fn apply_merge(seq: &mut Vec<String>, left: &str, right: &str, fused: &str) {
+    let mut i = 0;
+    while i + 1 < seq.len() {
+        if seq[i] == left && seq[i + 1] == right {
+            seq[i] = fused.to_string();
+            seq.remove(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Encode one symbol sequence with a rank table: repeatedly apply the
+/// lowest-rank (earliest-learned) applicable merge until none applies.
+pub fn encode_with_ranks(
+    mut symbols: Vec<String>,
+    ranks: &HashMap<(String, String), (usize, String)>,
+) -> Vec<String> {
+    loop {
+        let mut best: Option<(usize, usize)> = None; // (rank, position)
+        for i in 0..symbols.len().saturating_sub(1) {
+            if let Some(&(rank, _)) = ranks.get(&(symbols[i].clone(), symbols[i + 1].clone())) {
+                if best.map_or(true, |(r, _)| rank < r) {
+                    best = Some((rank, i));
+                }
+            }
+        }
+        let Some((_, i)) = best else { break };
+        let key = (symbols[i].clone(), symbols[i + 1].clone());
+        let fused = ranks[&key].1.clone();
+        symbols[i] = fused;
+        symbols.remove(i + 1);
+    }
+    symbols
+}
+
+/// Build the rank lookup used by [`encode_with_ranks`].
+pub fn rank_table(merges: &[Merge]) -> HashMap<(String, String), (usize, String)> {
+    merges
+        .iter()
+        .enumerate()
+        .map(|(i, m)| ((m.left.clone(), m.right.clone()), (i, m.fused.clone())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(s: &str) -> Vec<String> {
+        s.chars().map(|c| c.to_string()).collect()
+    }
+
+    #[test]
+    fn learns_most_frequent_pair_first() {
+        let mut words = HashMap::new();
+        words.insert(word("aab"), 10);
+        words.insert(word("aac"), 5);
+        let merges = train_merges(&words, 1, |a, b| format!("{a}{b}"));
+        assert_eq!(merges.len(), 1);
+        assert_eq!(merges[0].fused, "aa");
+    }
+
+    #[test]
+    fn encode_applies_merges_in_rank_order() {
+        let mut words = HashMap::new();
+        words.insert(word("abab"), 20);
+        let merges = train_merges(&words, 2, |a, b| format!("{a}{b}"));
+        let ranks = rank_table(&merges);
+        let out = encode_with_ranks(word("ababab"), &ranks);
+        // "ab" merged first, then "abab": greedy leaves ["abab", "ab"].
+        assert!(out.iter().all(|s| s.chars().all(|c| c == 'a' || c == 'b')));
+        assert!(out.len() < 6, "merges reduced the sequence: {out:?}");
+    }
+
+    #[test]
+    fn hapax_pairs_are_not_merged() {
+        let mut words = HashMap::new();
+        words.insert(word("xy"), 1);
+        let merges = train_merges(&words, 5, |a, b| format!("{a}{b}"));
+        assert!(merges.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut words = HashMap::new();
+        for (w, c) in [("hello", 5), ("help", 4), ("hero", 3), ("yellow", 6)] {
+            words.insert(word(w), c);
+        }
+        let a = train_merges(&words, 10, |a, b| format!("{a}{b}"));
+        let b = train_merges(&words, 10, |a, b| format!("{a}{b}"));
+        assert_eq!(a, b);
+    }
+}

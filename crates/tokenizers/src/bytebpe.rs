@@ -1,0 +1,187 @@
+//! Byte-level byte-pair encoding (RoBERTa / GPT-2 style).
+//!
+//! Raw bytes are first mapped to printable unicode stand-ins (GPT-2's byte
+//! encoder) so every possible input is representable — byte-level BPE has
+//! **no out-of-vocabulary tokens** by construction. Merges are then learned
+//! over those stand-in symbols.
+
+use crate::bpe_core::{encode_with_ranks, rank_table, train_merges, Merge};
+use crate::pretokenize::roberta_pretokenize;
+use crate::vocab::{SpecialTokens, Vocab, ROBERTA_SPECIALS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// GPT-2's bijective byte → printable-char mapping.
+fn byte_to_char_table() -> [char; 256] {
+    let mut printable: Vec<u8> = Vec::new();
+    printable.extend(b'!'..=b'~');
+    printable.extend(0xA1u8..=0xAC);
+    printable.extend(0xAEu8..=0xFF);
+    let mut table = ['\0'; 256];
+    let mut extra = 0u32;
+    for b in 0u16..256 {
+        let b = b as u8;
+        if printable.contains(&b) {
+            table[b as usize] = b as char;
+        } else {
+            table[b as usize] = char::from_u32(256 + extra).expect("valid codepoint");
+            extra += 1;
+        }
+    }
+    table
+}
+
+/// A trained byte-level BPE tokenizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ByteLevelBpe {
+    vocab: Vocab,
+    specials: SpecialTokens,
+    merges: Vec<Merge>,
+    #[serde(skip, default)]
+    cache: std::cell::OnceCell<HashMap<(String, String), (usize, String)>>,
+}
+
+fn word_to_byte_symbols(word: &str, table: &[char; 256]) -> Vec<String> {
+    word.bytes().map(|b| table[b as usize].to_string()).collect()
+}
+
+impl ByteLevelBpe {
+    /// Train on `corpus` lines, learning merges until the vocabulary
+    /// reaches about `vocab_size`.
+    pub fn train(corpus: &[String], vocab_size: usize) -> Self {
+        let table = byte_to_char_table();
+        let mut vocab = Vocab::new();
+        let specials = ROBERTA_SPECIALS.register(&mut vocab);
+        // Full byte alphabet: nothing is ever OOV.
+        for c in table.iter() {
+            vocab.add(&c.to_string());
+        }
+        let mut word_counts: HashMap<Vec<String>, u64> = HashMap::new();
+        for line in corpus {
+            for word in roberta_pretokenize(line) {
+                *word_counts.entry(word_to_byte_symbols(&word, &table)).or_insert(0) += 1;
+            }
+        }
+        let budget = vocab_size.saturating_sub(vocab.len());
+        let merges = train_merges(&word_counts, budget, |a, b| format!("{a}{b}"));
+        for m in &merges {
+            vocab.add(&m.fused);
+        }
+        Self { vocab, specials, merges, cache: std::cell::OnceCell::new() }
+    }
+
+    fn ranks(&self) -> &HashMap<(String, String), (usize, String)> {
+        self.cache.get_or_init(|| rank_table(&self.merges))
+    }
+
+    /// Encode raw text into subword ids (no special tokens added).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let table = byte_to_char_table();
+        let mut ids = Vec::new();
+        for word in roberta_pretokenize(text) {
+            let symbols = word_to_byte_symbols(&word, &table);
+            for piece in encode_with_ranks(symbols, self.ranks()) {
+                // Every piece is in the vocab: merges were added and single
+                // stand-in chars cover all bytes.
+                ids.push(self.vocab.id_of(&piece).expect("byte-level piece always known"));
+            }
+        }
+        ids
+    }
+
+    /// Decode ids back to text (inverts the byte mapping).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let table = byte_to_char_table();
+        let mut char_to_byte: HashMap<char, u8> = HashMap::new();
+        for (b, &c) in table.iter().enumerate() {
+            char_to_byte.insert(c, b as u8);
+        }
+        let mut bytes = Vec::new();
+        for &id in ids {
+            if [self.specials.pad, self.specials.cls, self.specials.sep, self.specials.mask]
+                .contains(&id)
+            {
+                continue;
+            }
+            if let Some(tok) = self.vocab.token_of(id) {
+                for ch in tok.chars() {
+                    if let Some(&b) = char_to_byte.get(&ch) {
+                        bytes.push(b);
+                    }
+                }
+            }
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// The special-token ids.
+    pub fn specials(&self) -> SpecialTokens {
+        self.specials
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_corpus() -> Vec<String> {
+        [
+            "the new apple iphone with retina display",
+            "apple iphone available in silver and white",
+            "asus zenfone pro with amoled display",
+            "the new asus laptop is thin and light",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    #[test]
+    fn no_oov_even_on_unseen_scripts() {
+        let bpe = ByteLevelBpe::train(&toy_corpus(), 400);
+        let ids = bpe.encode("数据库 ética ﷼");
+        assert!(!ids.is_empty());
+        assert!(!ids.contains(&bpe.specials().unk));
+    }
+
+    #[test]
+    fn roundtrip_ascii_text() {
+        let bpe = ByteLevelBpe::train(&toy_corpus(), 400);
+        let text = "the new apple iphone";
+        let decoded = bpe.decode(&bpe.encode(text));
+        assert_eq!(decoded, text);
+    }
+
+    #[test]
+    fn roundtrip_unicode_text() {
+        let bpe = ByteLevelBpe::train(&toy_corpus(), 400);
+        let text = "crème brûlée 数据";
+        assert_eq!(bpe.decode(&bpe.encode(text)), text);
+    }
+
+    #[test]
+    fn merges_compress_frequent_words() {
+        let bpe = ByteLevelBpe::train(&toy_corpus(), 600);
+        let apple = bpe.encode("apple");
+        assert!(apple.len() < 5, "apple should compress below 5 byte-tokens: {apple:?}");
+    }
+
+    #[test]
+    fn byte_table_is_bijective() {
+        let table = byte_to_char_table();
+        let mut seen = std::collections::HashSet::new();
+        for c in table.iter() {
+            assert!(seen.insert(*c), "duplicate stand-in char {c:?}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # em-tokenizers
+//!
+//! The three subword tokenization schemes the paper's transformers use
+//! (§5.2.3), trained from a corpus rather than shipped as fixed vocabularies:
+//!
+//! * [`WordPiece`] — BERT / DistilBERT: whitespace+punctuation
+//!   pre-tokenization, then WordPiece pieces with `##` continuations;
+//! * [`ByteLevelBpe`] — RoBERTa: clitic-aware pre-tokenization, then
+//!   byte-level BPE (no out-of-vocabulary tokens by construction);
+//! * [`SentencePieceBpe`] — XLNet: no pre-tokenization; raw text with
+//!   explicit `▁` whitespace markers into BPE.
+//!
+//! [`encode_pair`] implements the paper's Figure 9 feeding approach:
+//! `[CLS] A [SEP] B [SEP]` with segment ids and padding, or XLNet's
+//! CLS-last variant.
+
+pub mod bpe_core;
+pub mod bytebpe;
+pub mod pretokenize;
+pub mod sentencepiece;
+pub mod tokenizer;
+pub mod vocab;
+pub mod wordpiece;
+
+pub use bytebpe::ByteLevelBpe;
+pub use sentencepiece::SentencePieceBpe;
+pub use tokenizer::{encode_pair, AnyTokenizer, ClsPosition, Encoding, Tokenizer};
+pub use vocab::{SpecialTokens, Vocab};
+pub use wordpiece::WordPiece;

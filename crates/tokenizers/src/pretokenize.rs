@@ -1,0 +1,134 @@
+//! Pre-tokenization: splitting raw text into word-level pieces before
+//! subword segmentation.
+//!
+//! The paper (§5.2.3) describes three regimes:
+//! * BERT/DistilBERT — whitespace + punctuation splitting, lower-cased;
+//! * RoBERTa — whitespace/punctuation splitting that additionally peels the
+//!   common English clitics (`'s`, `'t`, `'re`, `'ve`, `'m`, `'ll`, `'d`);
+//! * XLNet — no pre-tokenization at all (raw text goes to SentencePiece).
+
+/// Lower-case, split on whitespace, and split punctuation into standalone
+/// tokens (the original BERT `BasicTokenizer` behaviour).
+pub fn bert_pretokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars().flat_map(|c| c.to_lowercase()) {
+        if ch.is_whitespace() {
+            flush(&mut cur, &mut out);
+        } else if is_punct(ch) {
+            flush(&mut cur, &mut out);
+            out.push(ch.to_string());
+        } else {
+            cur.push(ch);
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+/// English clitic suffixes RoBERTa's pre-tokenizer peels off.
+const CLITICS: [&str; 7] = ["'s", "'t", "'re", "'ve", "'m", "'ll", "'d"];
+
+/// RoBERTa-style pre-tokenization: like GPT-2's pattern, each token keeps a
+/// leading-space marker (`Ġ` is represented here by a plain space prefix on
+/// the piece), clitics split off, punctuation separated. Case preserved.
+pub fn roberta_pretokenize(text: &str) -> Vec<String> {
+    let mut words: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    // `cur_space`: the word being built started right after whitespace.
+    // `pending_space`: whitespace seen and not yet attached to a token.
+    let mut cur_space = false;
+    let mut pending_space = false;
+    let flush_word = |cur: &mut String, had_space: bool, words: &mut Vec<String>| {
+        if cur.is_empty() {
+            return;
+        }
+        let mut rest = std::mem::take(cur);
+        // Peel clitics from the end (only one level deep, as in GPT-2's regex).
+        let mut suffixes = Vec::new();
+        for c in CLITICS {
+            if rest.len() > c.len() && rest.to_lowercase().ends_with(c) {
+                let cut = rest.len() - c.len();
+                suffixes.push(rest[cut..].to_string());
+                rest.truncate(cut);
+                break;
+            }
+        }
+        let prefix = if had_space { " " } else { "" };
+        words.push(format!("{prefix}{rest}"));
+        words.extend(suffixes);
+    };
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            flush_word(&mut cur, cur_space, &mut words);
+            pending_space = true;
+        } else if is_punct(ch) && ch != '\'' {
+            flush_word(&mut cur, cur_space, &mut words);
+            // GPT-2's pattern keeps the leading-space marker on punctuation.
+            let prefix = if pending_space { " " } else { "" };
+            words.push(format!("{prefix}{ch}"));
+            pending_space = false;
+        } else {
+            if cur.is_empty() {
+                cur_space = pending_space;
+                pending_space = false;
+            }
+            cur.push(ch);
+        }
+    }
+    flush_word(&mut cur, cur_space, &mut words);
+    // Leading token should not carry a space marker.
+    if let Some(first) = words.first_mut() {
+        if first.starts_with(' ') {
+            *first = first.trim_start().to_string();
+        }
+    }
+    words
+}
+
+fn flush(cur: &mut String, out: &mut Vec<String>) {
+    if !cur.is_empty() {
+        out.push(std::mem::take(cur));
+    }
+}
+
+fn is_punct(ch: char) -> bool {
+    ch.is_ascii_punctuation() || (ch != ' ' && !ch.is_alphanumeric() && !ch.is_whitespace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_splits_punct_and_lowercases() {
+        assert_eq!(
+            bert_pretokenize("Apple's iPhone-XS, new!"),
+            vec!["apple", "'", "s", "iphone", "-", "xs", ",", "new", "!"]
+        );
+    }
+
+    #[test]
+    fn bert_collapses_whitespace() {
+        assert_eq!(bert_pretokenize("  a \t b\nc "), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn roberta_keeps_space_markers() {
+        let toks = roberta_pretokenize("the new iPhone");
+        assert_eq!(toks, vec!["the", " new", " iPhone"]);
+    }
+
+    #[test]
+    fn roberta_peels_clitics() {
+        let toks = roberta_pretokenize("Apple's phone won't");
+        assert!(toks.contains(&"'s".to_string()), "{toks:?}");
+        assert!(toks.contains(&"'t".to_string()), "{toks:?}");
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(bert_pretokenize("").is_empty());
+        assert!(roberta_pretokenize("   ").is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! SentencePiece-style BPE tokenizer (XLNet).
+//!
+//! Per the paper (§5.2.3), XLNet does not pre-tokenize into words; the raw
+//! text goes straight into a subword model. We implement the SentencePiece
+//! convention: whitespace is made explicit by prefixing each word with the
+//! `▁` (U+2581) marker, and BPE merges are learned over the resulting
+//! character sequences, so decoding recovers the exact spacing.
+
+use crate::bpe_core::{encode_with_ranks, rank_table, train_merges, Merge};
+use crate::vocab::{SpecialTokens, Vocab, XLNET_SPECIALS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The SentencePiece whitespace marker.
+pub const SP_SPACE: char = '\u{2581}';
+
+/// A trained SentencePiece-BPE tokenizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SentencePieceBpe {
+    vocab: Vocab,
+    specials: SpecialTokens,
+    merges: Vec<Merge>,
+    lowercase: bool,
+    #[serde(skip, default)]
+    cache: std::cell::OnceCell<HashMap<(String, String), (usize, String)>>,
+}
+
+fn to_pieces(text: &str, lowercase: bool) -> Vec<Vec<String>> {
+    let text = if lowercase { text.to_lowercase() } else { text.to_string() };
+    text.split_whitespace()
+        .map(|w| {
+            let mut sym: Vec<String> = vec![SP_SPACE.to_string()];
+            sym.extend(w.chars().map(|c| c.to_string()));
+            sym
+        })
+        .collect()
+}
+
+impl SentencePieceBpe {
+    /// Train on `corpus` lines up to roughly `vocab_size` entries.
+    pub fn train(corpus: &[String], vocab_size: usize) -> Self {
+        let lowercase = true;
+        let mut vocab = Vocab::new();
+        let specials = XLNET_SPECIALS.register(&mut vocab);
+        let mut word_counts: HashMap<Vec<String>, u64> = HashMap::new();
+        for line in corpus {
+            for sym in to_pieces(line, lowercase) {
+                *word_counts.entry(sym).or_insert(0) += 1;
+            }
+        }
+        let mut alphabet: Vec<&String> = word_counts.keys().flatten().collect();
+        alphabet.sort();
+        alphabet.dedup();
+        for s in alphabet {
+            vocab.add(s);
+        }
+        let budget = vocab_size.saturating_sub(vocab.len());
+        let merges = train_merges(&word_counts, budget, |a, b| format!("{a}{b}"));
+        for m in &merges {
+            vocab.add(&m.fused);
+        }
+        Self { vocab, specials, merges, lowercase, cache: std::cell::OnceCell::new() }
+    }
+
+    fn ranks(&self) -> &HashMap<(String, String), (usize, String)> {
+        self.cache.get_or_init(|| rank_table(&self.merges))
+    }
+
+    /// Encode raw text into subword ids (no special tokens added).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut ids = Vec::new();
+        for sym in to_pieces(text, self.lowercase) {
+            for piece in encode_with_ranks(sym, self.ranks()) {
+                match self.vocab.id_of(&piece) {
+                    Some(id) => ids.push(id),
+                    None => ids.push(self.specials.unk),
+                }
+            }
+        }
+        ids
+    }
+
+    /// Decode ids back to text (the `▁` markers become spaces).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            if [self.specials.pad, self.specials.cls, self.specials.sep, self.specials.mask]
+                .contains(&id)
+            {
+                continue;
+            }
+            if let Some(tok) = self.vocab.token_of(id) {
+                out.push_str(&tok.replace(SP_SPACE, " "));
+            }
+        }
+        out.trim_start().to_string()
+    }
+
+    /// The special-token ids.
+    pub fn specials(&self) -> SpecialTokens {
+        self.specials
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_corpus() -> Vec<String> {
+        [
+            "the new apple iphone with retina display",
+            "apple iphone available in silver and white",
+            "asus zenfone pro with amoled display",
+            "the new asus laptop is thin and light",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_word_boundaries() {
+        let sp = SentencePieceBpe::train(&toy_corpus(), 400);
+        let text = "the new apple iphone";
+        assert_eq!(sp.decode(&sp.encode(text)), text);
+    }
+
+    #[test]
+    fn unseen_chars_become_unk() {
+        let sp = SentencePieceBpe::train(&toy_corpus(), 400);
+        let ids = sp.encode("质");
+        assert!(ids.contains(&sp.specials().unk));
+    }
+
+    #[test]
+    fn space_marker_attaches_to_words() {
+        let sp = SentencePieceBpe::train(&toy_corpus(), 600);
+        let ids = sp.encode("apple");
+        let first = sp.vocab().token_of(ids[0]).unwrap();
+        assert!(first.starts_with(SP_SPACE), "first piece carries the marker: {first}");
+    }
+
+    #[test]
+    fn merges_learned_on_frequent_sequences() {
+        let sp = SentencePieceBpe::train(&toy_corpus(), 600);
+        let n = sp.encode("apple").len();
+        assert!(n <= 3, "apple should compress, got {n} pieces");
+    }
+}

@@ -1,0 +1,271 @@
+//! Unified tokenizer interface and entity-pair encoding.
+//!
+//! The paper's Figure 9 feeding approach: two entities become
+//! `[CLS] A₁…A_N [SEP] B₁…B_M [SEP]` with segment ids distinguishing the
+//! entities, truncated/padded to a fixed length. XLNet uses the same idea
+//! with its `<cls>` token at the *end* of the sequence.
+
+use crate::bytebpe::ByteLevelBpe;
+use crate::sentencepiece::SentencePieceBpe;
+use crate::vocab::SpecialTokens;
+use crate::wordpiece::WordPiece;
+use serde::{Deserialize, Serialize};
+
+/// Common behaviour of all three subword tokenizers.
+pub trait Tokenizer {
+    /// Encode raw text into subword ids (no special tokens).
+    fn encode(&self, text: &str) -> Vec<u32>;
+    /// Decode ids back to readable text.
+    fn decode(&self, ids: &[u32]) -> String;
+    /// The tokenizer's special-token ids.
+    fn specials(&self) -> SpecialTokens;
+    /// Size of the vocabulary.
+    fn vocab_size(&self) -> usize;
+}
+
+impl Tokenizer for WordPiece {
+    fn encode(&self, text: &str) -> Vec<u32> {
+        WordPiece::encode(self, text)
+    }
+    fn decode(&self, ids: &[u32]) -> String {
+        WordPiece::decode(self, ids)
+    }
+    fn specials(&self) -> SpecialTokens {
+        WordPiece::specials(self)
+    }
+    fn vocab_size(&self) -> usize {
+        WordPiece::vocab_size(self)
+    }
+}
+
+impl Tokenizer for ByteLevelBpe {
+    fn encode(&self, text: &str) -> Vec<u32> {
+        ByteLevelBpe::encode(self, text)
+    }
+    fn decode(&self, ids: &[u32]) -> String {
+        ByteLevelBpe::decode(self, ids)
+    }
+    fn specials(&self) -> SpecialTokens {
+        ByteLevelBpe::specials(self)
+    }
+    fn vocab_size(&self) -> usize {
+        ByteLevelBpe::vocab_size(self)
+    }
+}
+
+impl Tokenizer for SentencePieceBpe {
+    fn encode(&self, text: &str) -> Vec<u32> {
+        SentencePieceBpe::encode(self, text)
+    }
+    fn decode(&self, ids: &[u32]) -> String {
+        SentencePieceBpe::decode(self, ids)
+    }
+    fn specials(&self) -> SpecialTokens {
+        SentencePieceBpe::specials(self)
+    }
+    fn vocab_size(&self) -> usize {
+        SentencePieceBpe::vocab_size(self)
+    }
+}
+
+/// Any of the three trained tokenizers, serializable as one enum so model
+/// checkpoints can carry their tokenizer along.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AnyTokenizer {
+    /// BERT / DistilBERT WordPiece.
+    WordPiece(WordPiece),
+    /// RoBERTa byte-level BPE.
+    ByteLevelBpe(ByteLevelBpe),
+    /// XLNet SentencePiece-BPE.
+    SentencePiece(SentencePieceBpe),
+}
+
+impl Tokenizer for AnyTokenizer {
+    fn encode(&self, text: &str) -> Vec<u32> {
+        match self {
+            AnyTokenizer::WordPiece(t) => t.encode(text),
+            AnyTokenizer::ByteLevelBpe(t) => t.encode(text),
+            AnyTokenizer::SentencePiece(t) => t.encode(text),
+        }
+    }
+    fn decode(&self, ids: &[u32]) -> String {
+        match self {
+            AnyTokenizer::WordPiece(t) => t.decode(ids),
+            AnyTokenizer::ByteLevelBpe(t) => t.decode(ids),
+            AnyTokenizer::SentencePiece(t) => t.decode(ids),
+        }
+    }
+    fn specials(&self) -> SpecialTokens {
+        match self {
+            AnyTokenizer::WordPiece(t) => t.specials(),
+            AnyTokenizer::ByteLevelBpe(t) => t.specials(),
+            AnyTokenizer::SentencePiece(t) => t.specials(),
+        }
+    }
+    fn vocab_size(&self) -> usize {
+        match self {
+            AnyTokenizer::WordPiece(t) => t.vocab_size(),
+            AnyTokenizer::ByteLevelBpe(t) => t.vocab_size(),
+            AnyTokenizer::SentencePiece(t) => t.vocab_size(),
+        }
+    }
+}
+
+/// Where the classification token sits in the sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClsPosition {
+    /// `[CLS] A [SEP] B [SEP]` — BERT, RoBERTa, DistilBERT.
+    First,
+    /// `A <sep> B <sep> <cls>` — XLNet.
+    Last,
+}
+
+/// A fully prepared model input for one entity pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Encoding {
+    /// Token ids, padded to the configured length.
+    pub ids: Vec<u32>,
+    /// Segment ids: 0 for entity A and its specials, 1 for entity B's span.
+    pub segments: Vec<u8>,
+    /// Attention mask: 1 for real tokens, 0 for padding.
+    pub mask: Vec<u8>,
+    /// Index of the classification token within `ids`.
+    pub cls_index: usize,
+}
+
+impl Encoding {
+    /// Number of non-padding tokens.
+    pub fn real_len(&self) -> usize {
+        self.mask.iter().filter(|&&m| m == 1).count()
+    }
+}
+
+/// Encode an entity pair per Figure 9, truncating the longer entity first
+/// until the total (with 3 special tokens) fits `max_len`, then padding.
+pub fn encode_pair(
+    tok: &dyn Tokenizer,
+    entity_a: &str,
+    entity_b: &str,
+    max_len: usize,
+    cls_pos: ClsPosition,
+) -> Encoding {
+    assert!(max_len >= 8, "max_len too small to hold the special tokens");
+    let sp = tok.specials();
+    let mut a = tok.encode(entity_a);
+    let mut b = tok.encode(entity_b);
+    let budget = max_len - 3; // [CLS] + 2x [SEP]
+    // Longest-first truncation keeps both entities represented.
+    while a.len() + b.len() > budget {
+        if a.len() >= b.len() {
+            a.pop();
+        } else {
+            b.pop();
+        }
+    }
+    let mut ids = Vec::with_capacity(max_len);
+    let mut segments = Vec::with_capacity(max_len);
+    let cls_index;
+    match cls_pos {
+        ClsPosition::First => {
+            ids.push(sp.cls);
+            segments.push(0);
+            cls_index = 0;
+            ids.extend(&a);
+            segments.extend(std::iter::repeat(0).take(a.len()));
+            ids.push(sp.sep);
+            segments.push(0);
+            ids.extend(&b);
+            segments.extend(std::iter::repeat(1).take(b.len()));
+            ids.push(sp.sep);
+            segments.push(1);
+        }
+        ClsPosition::Last => {
+            ids.extend(&a);
+            segments.extend(std::iter::repeat(0).take(a.len()));
+            ids.push(sp.sep);
+            segments.push(0);
+            ids.extend(&b);
+            segments.extend(std::iter::repeat(1).take(b.len()));
+            ids.push(sp.sep);
+            segments.push(1);
+            cls_index = ids.len();
+            ids.push(sp.cls);
+            segments.push(1);
+        }
+    }
+    let real = ids.len();
+    let mut mask = vec![1u8; real];
+    while ids.len() < max_len {
+        ids.push(sp.pad);
+        segments.push(0);
+        mask.push(0);
+    }
+    Encoding { ids, segments, mask, cls_index }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok() -> WordPiece {
+        let corpus: Vec<String> = [
+            "apple iphone retina display silver",
+            "asus zenfone amoled display pro",
+            "apple iphone white and silver",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        WordPiece::train(&corpus, 300)
+    }
+
+    #[test]
+    fn pair_layout_bert_style() {
+        let t = tok();
+        let sp = Tokenizer::specials(&t);
+        let e = encode_pair(&t, "apple iphone", "asus zenfone", 32, ClsPosition::First);
+        assert_eq!(e.ids.len(), 32);
+        assert_eq!(e.ids[0], sp.cls);
+        assert_eq!(e.cls_index, 0);
+        assert_eq!(e.ids.iter().filter(|&&i| i == sp.sep).count(), 2);
+        // Segments: zeros through first SEP, ones for B's span.
+        let first_sep = e.ids.iter().position(|&i| i == sp.sep).unwrap();
+        assert!(e.segments[..=first_sep].iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn pair_layout_xlnet_style() {
+        let t = tok();
+        let sp = Tokenizer::specials(&t);
+        let e = encode_pair(&t, "apple iphone", "asus zenfone", 32, ClsPosition::Last);
+        assert_eq!(e.ids[e.cls_index], sp.cls);
+        // CLS is the last real token.
+        assert_eq!(e.cls_index, e.real_len() - 1);
+    }
+
+    #[test]
+    fn truncation_fits_max_len_and_keeps_both() {
+        let t = tok();
+        let a = "apple iphone retina display silver ".repeat(20);
+        let b = "asus zenfone amoled";
+        let e = encode_pair(&t, &a, b, 24, ClsPosition::First);
+        assert_eq!(e.ids.len(), 24);
+        assert_eq!(e.real_len(), 24);
+        // Entity B's tokens survive longest-first truncation.
+        let sp = Tokenizer::specials(&t);
+        let first_sep = e.ids.iter().position(|&i| i == sp.sep).unwrap();
+        assert!(first_sep < 23, "B must retain tokens");
+    }
+
+    #[test]
+    fn mask_marks_padding() {
+        let t = tok();
+        let e = encode_pair(&t, "apple", "asus", 32, ClsPosition::First);
+        let real = e.real_len();
+        assert!(real < 32);
+        assert!(e.mask[..real].iter().all(|&m| m == 1));
+        assert!(e.mask[real..].iter().all(|&m| m == 0));
+        let sp = Tokenizer::specials(&t);
+        assert!(e.ids[real..].iter().all(|&i| i == sp.pad));
+    }
+}

@@ -1,0 +1,150 @@
+//! Token vocabularies and the special tokens each model family uses.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Bidirectional token ↔ id mapping.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocab {
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `token` if absent; returns its id either way.
+    pub fn add(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len() as u32;
+        self.token_to_id.insert(token.to_string(), id);
+        self.id_to_token.push(token.to_string());
+        id
+    }
+
+    /// Look up a token's id.
+    pub fn id_of(&self, token: &str) -> Option<u32> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Look up an id's token.
+    pub fn token_of(&self, id: u32) -> Option<&str> {
+        self.id_to_token.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Iterate tokens in id order.
+    pub fn tokens(&self) -> impl Iterator<Item = &str> {
+        self.id_to_token.iter().map(String::as_str)
+    }
+}
+
+/// The five special tokens every architecture in the paper relies on,
+/// with each family's surface form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecialTokens {
+    /// Padding token id.
+    pub pad: u32,
+    /// Unknown-token id.
+    pub unk: u32,
+    /// Classification-representation token id (`[CLS]` / `<s>`).
+    pub cls: u32,
+    /// Separator token id (`[SEP]` / `</s>`).
+    pub sep: u32,
+    /// Mask token id used by MLM pre-training.
+    pub mask: u32,
+}
+
+/// Surface strings of special tokens for a model family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecialTokenStrings {
+    /// Padding token text.
+    pub pad: &'static str,
+    /// Unknown token text.
+    pub unk: &'static str,
+    /// Classification token text.
+    pub cls: &'static str,
+    /// Separator token text.
+    pub sep: &'static str,
+    /// Mask token text.
+    pub mask: &'static str,
+}
+
+/// BERT / DistilBERT conventions.
+pub const BERT_SPECIALS: SpecialTokenStrings = SpecialTokenStrings {
+    pad: "[PAD]",
+    unk: "[UNK]",
+    cls: "[CLS]",
+    sep: "[SEP]",
+    mask: "[MASK]",
+};
+
+/// RoBERTa conventions.
+pub const ROBERTA_SPECIALS: SpecialTokenStrings =
+    SpecialTokenStrings { pad: "<pad>", unk: "<unk>", cls: "<s>", sep: "</s>", mask: "<mask>" };
+
+/// XLNet conventions.
+pub const XLNET_SPECIALS: SpecialTokenStrings =
+    SpecialTokenStrings { pad: "<pad>", unk: "<unk>", cls: "<cls>", sep: "<sep>", mask: "<mask>" };
+
+impl SpecialTokenStrings {
+    /// Register these special tokens at the front of a fresh vocabulary and
+    /// return their ids.
+    pub fn register(&self, vocab: &mut Vocab) -> SpecialTokens {
+        SpecialTokens {
+            pad: vocab.add(self.pad),
+            unk: vocab.add(self.unk),
+            cls: vocab.add(self.cls),
+            sep: vocab.add(self.sep),
+            mask: vocab.add(self.mask),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.add("hello");
+        let b = v.add("hello");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_lookup() {
+        let mut v = Vocab::new();
+        v.add("a");
+        let id = v.add("b");
+        assert_eq!(v.id_of("b"), Some(id));
+        assert_eq!(v.token_of(id), Some("b"));
+        assert_eq!(v.id_of("zzz"), None);
+        assert_eq!(v.token_of(99), None);
+    }
+
+    #[test]
+    fn specials_take_first_ids() {
+        let mut v = Vocab::new();
+        let s = BERT_SPECIALS.register(&mut v);
+        assert_eq!(s.pad, 0);
+        assert_eq!(s.mask, 4);
+        assert_eq!(v.token_of(2), Some("[CLS]"));
+    }
+}

@@ -1,0 +1,203 @@
+//! WordPiece tokenizer (BERT / DistilBERT).
+//!
+//! Training follows the BPE-style procedure of Schuster & Nakajima (2012)
+//! as used by BERT: start from characters (continuation pieces carry a
+//! `##` prefix) and greedily fuse frequent pairs. Encoding uses BERT's
+//! greedy longest-match-first algorithm over the learned vocabulary.
+
+use crate::bpe_core::{train_merges, Merge};
+use crate::pretokenize::bert_pretokenize;
+use crate::vocab::{SpecialTokens, Vocab, BERT_SPECIALS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A trained WordPiece tokenizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WordPiece {
+    vocab: Vocab,
+    specials: SpecialTokens,
+    max_word_chars: usize,
+}
+
+fn word_to_symbols(word: &str) -> Vec<String> {
+    word.chars()
+        .enumerate()
+        .map(|(i, c)| if i == 0 { c.to_string() } else { format!("##{c}") })
+        .collect()
+}
+
+fn fuse_wordpiece(left: &str, right: &str) -> String {
+    format!("{left}{}", right.strip_prefix("##").unwrap_or(right))
+}
+
+impl WordPiece {
+    /// Train on `corpus` lines, growing the vocabulary to about
+    /// `vocab_size` entries (specials + alphabet + learned merges).
+    pub fn train(corpus: &[String], vocab_size: usize) -> Self {
+        let mut vocab = Vocab::new();
+        let specials = BERT_SPECIALS.register(&mut vocab);
+
+        let mut word_counts: HashMap<Vec<String>, u64> = HashMap::new();
+        for line in corpus {
+            for word in bert_pretokenize(line) {
+                *word_counts.entry(word_to_symbols(&word)).or_insert(0) += 1;
+            }
+        }
+        // Alphabet: every initial and continuation character seen.
+        let mut alphabet: Vec<&String> = word_counts.keys().flatten().collect();
+        alphabet.sort();
+        alphabet.dedup();
+        for sym in alphabet {
+            vocab.add(sym);
+        }
+        let budget = vocab_size.saturating_sub(vocab.len());
+        let merges: Vec<Merge> = train_merges(&word_counts, budget, fuse_wordpiece);
+        for m in &merges {
+            vocab.add(&m.fused);
+        }
+        Self { vocab, specials, max_word_chars: 64 }
+    }
+
+    /// Greedy longest-match-first segmentation of a single word.
+    /// Returns `None` when the word cannot be segmented (→ `[UNK]`).
+    fn segment_word(&self, word: &str) -> Option<Vec<u32>> {
+        if word.chars().count() > self.max_word_chars {
+            return None;
+        }
+        let chars: Vec<char> = word.chars().collect();
+        let mut pieces = Vec::new();
+        let mut start = 0;
+        while start < chars.len() {
+            let mut end = chars.len();
+            let mut found = None;
+            while end > start {
+                let mut piece: String = chars[start..end].iter().collect();
+                if start > 0 {
+                    piece = format!("##{piece}");
+                }
+                if let Some(id) = self.vocab.id_of(&piece) {
+                    found = Some(id);
+                    break;
+                }
+                end -= 1;
+            }
+            match found {
+                Some(id) => {
+                    pieces.push(id);
+                    start = end;
+                }
+                None => return None,
+            }
+        }
+        Some(pieces)
+    }
+
+    /// Encode raw text into subword ids (no special tokens added).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut ids = Vec::new();
+        for word in bert_pretokenize(text) {
+            match self.segment_word(&word) {
+                Some(pieces) => ids.extend(pieces),
+                None => ids.push(self.specials.unk),
+            }
+        }
+        ids
+    }
+
+    /// Decode ids back into a readable string (`##` pieces joined).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            let Some(tok) = self.vocab.token_of(id) else { continue };
+            if [self.specials.pad, self.specials.cls, self.specials.sep].contains(&id) {
+                continue;
+            }
+            if let Some(cont) = tok.strip_prefix("##") {
+                out.push_str(cont);
+            } else {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(tok);
+            }
+        }
+        out
+    }
+
+    /// The special-token ids.
+    pub fn specials(&self) -> SpecialTokens {
+        self.specials
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_corpus() -> Vec<String> {
+        let lines = [
+            "the new apple iphone with retina display",
+            "apple iphone available in silver and white",
+            "asus zenfone pro with amoled display",
+            "the new asus laptop is thin and light",
+            "apple watch series with display",
+            "iphone and zenfone are phones",
+        ];
+        lines.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn trains_and_encodes_known_words() {
+        let wp = WordPiece::train(&toy_corpus(), 200);
+        let ids = wp.encode("apple iphone display");
+        assert!(!ids.is_empty());
+        assert!(!ids.contains(&wp.specials().unk), "known words should not be UNK");
+    }
+
+    #[test]
+    fn frequent_words_become_single_pieces() {
+        let wp = WordPiece::train(&toy_corpus(), 400);
+        let ids = wp.encode("apple");
+        assert_eq!(ids.len(), 1, "frequent word should be one piece: {ids:?}");
+    }
+
+    #[test]
+    fn unknown_characters_map_to_unk() {
+        let wp = WordPiece::train(&toy_corpus(), 200);
+        let ids = wp.encode("数据");
+        assert!(ids.iter().all(|&i| i == wp.specials().unk));
+    }
+
+    #[test]
+    fn rare_words_split_into_subwords() {
+        let wp = WordPiece::train(&toy_corpus(), 200);
+        // "applesauce" was never seen whole but shares the "apple" prefix.
+        let ids = wp.encode("applesauce");
+        assert!(ids.len() > 1);
+        assert!(!ids.contains(&wp.specials().unk));
+    }
+
+    #[test]
+    fn decode_rejoins_continuations() {
+        let wp = WordPiece::train(&toy_corpus(), 200);
+        let ids = wp.encode("apple display");
+        let text = wp.decode(&ids);
+        assert_eq!(text.replace(' ', ""), "appledisplay");
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let wp = WordPiece::train(&toy_corpus(), 300);
+        assert_eq!(wp.encode("zenfone pro display"), wp.encode("zenfone pro display"));
+    }
+}

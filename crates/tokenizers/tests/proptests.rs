@@ -1,0 +1,95 @@
+//! Property-based tests for the tokenizer crate.
+
+use em_tokenizers::tokenizer::{encode_pair, ClsPosition, Tokenizer};
+use em_tokenizers::{ByteLevelBpe, SentencePieceBpe, WordPiece};
+use proptest::prelude::*;
+
+fn corpus() -> Vec<String> {
+    [
+        "the new apple iphone with retina display now in white red and silver",
+        "asus zenfone pro features an expansive full hd amoled display",
+        "nokia pure view powered by pure android with robust design",
+        "samsung galaxy with dynamic amoled and long battery duration",
+        "sony xperia compact with great camera and battery",
+        // Pangram so the learned alphabets cover all of a-z.
+        "the quick brown fox jumps over the lazy dog vexing jazz quiz",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn ascii_words() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z]{1,10}", 1..12).prop_map(|w| w.join(" "))
+}
+
+fn any_text() -> impl Strategy<Value = String> {
+    ".{0,60}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bytebpe_roundtrips_arbitrary_text(text in any_text()) {
+        let bpe = ByteLevelBpe::train(&corpus(), 500);
+        let decoded = bpe.decode(&bpe.encode(&text));
+        // Byte-level BPE is lossless up to whitespace normalization at
+        // word boundaries; compare with collapsed whitespace.
+        let norm = |s: &str| s.split_whitespace().collect::<Vec<_>>().join(" ");
+        prop_assert_eq!(norm(&decoded), norm(&text));
+    }
+
+    #[test]
+    fn bytebpe_never_emits_unk(text in any_text()) {
+        let bpe = ByteLevelBpe::train(&corpus(), 500);
+        let unk = Tokenizer::specials(&bpe).unk;
+        prop_assert!(!bpe.encode(&text).contains(&unk));
+    }
+
+    #[test]
+    fn wordpiece_ids_always_in_vocab(text in ascii_words()) {
+        let wp = WordPiece::train(&corpus(), 400);
+        for id in wp.encode(&text) {
+            prop_assert!((id as usize) < Tokenizer::vocab_size(&wp));
+        }
+    }
+
+    #[test]
+    fn sentencepiece_roundtrips_lowercase_ascii(text in ascii_words()) {
+        let sp = SentencePieceBpe::train(&corpus(), 500);
+        let ids = sp.encode(&text);
+        let unk = Tokenizer::specials(&sp).unk;
+        // Alphabet covers a-z, so no UNK and exact roundtrip.
+        prop_assert!(!ids.contains(&unk));
+        prop_assert_eq!(sp.decode(&ids), text);
+    }
+
+    #[test]
+    fn encode_pair_always_exactly_max_len(
+        a in ascii_words(),
+        b in ascii_words(),
+        max_len in 16usize..96,
+    ) {
+        let wp = WordPiece::train(&corpus(), 400);
+        for pos in [ClsPosition::First, ClsPosition::Last] {
+            let e = encode_pair(&wp, &a, &b, max_len, pos);
+            prop_assert_eq!(e.ids.len(), max_len);
+            prop_assert_eq!(e.segments.len(), max_len);
+            prop_assert_eq!(e.mask.len(), max_len);
+            prop_assert!(e.cls_index < max_len);
+            let sp = Tokenizer::specials(&wp);
+            prop_assert_eq!(e.ids[e.cls_index], sp.cls);
+            // Mask is a prefix of ones followed by zeros.
+            let real = e.real_len();
+            prop_assert!(e.mask[..real].iter().all(|&m| m == 1));
+            prop_assert!(e.mask[real..].iter().all(|&m| m == 0));
+        }
+    }
+
+    #[test]
+    fn encoding_deterministic(text in ascii_words()) {
+        let wp = WordPiece::train(&corpus(), 400);
+        prop_assert_eq!(wp.encode(&text), wp.encode(&text));
+    }
+}

@@ -1,0 +1,154 @@
+//! Model configurations for the four architectures of Table 4.
+//!
+//! The paper fine-tunes the smallest published checkpoints (BERT-base:
+//! 12 layers / 768 hidden / 12 heads / 110 M parameters, DistilBERT: 6
+//! layers / 66 M). We reproduce the *relative* geometry at CPU-trainable
+//! scale: the `small` presets keep BERT = RoBERTa = XLNet in size, give
+//! DistilBERT half the layers (§4.4.3 — "number of layers reduced by
+//! factor 2", token-type embeddings removed), and give XLNet relative
+//! position encodings (Transformer-XL, §4.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the four architectures a model instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Architecture {
+    /// BERT: MLM + NSP pre-training, learned absolute positions, segments.
+    Bert,
+    /// RoBERTa: dynamic-mask MLM, no NSP, byte-level BPE.
+    Roberta,
+    /// DistilBERT: half-depth student distilled from BERT, no segments.
+    DistilBert,
+    /// XLNet: permutation LM, relative position encodings, CLS at the end.
+    Xlnet,
+}
+
+impl Architecture {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Architecture; 4] =
+        [Architecture::Bert, Architecture::Xlnet, Architecture::Roberta, Architecture::DistilBert];
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Architecture::Bert => "BERT",
+            Architecture::Roberta => "RoBERTa",
+            Architecture::DistilBert => "DistilBERT",
+            Architecture::Xlnet => "XLNet",
+        }
+    }
+}
+
+/// Hyperparameters of a transformer encoder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Architecture family.
+    pub arch: Architecture,
+    /// Subword vocabulary size (set after tokenizer training).
+    pub vocab_size: usize,
+    /// Model width.
+    pub hidden: usize,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub inner: usize,
+    /// Maximum sequence length (absolute position table size).
+    pub max_position: usize,
+    /// Number of segment (token-type) embeddings; 0 disables them
+    /// (DistilBERT removes token-type embeddings).
+    pub segments: usize,
+    /// Dropout rate used throughout.
+    pub dropout: f32,
+    /// Weight-init standard deviation.
+    pub init_std: f32,
+    /// Use relative position encodings instead of absolute (XLNet).
+    pub relative_positions: bool,
+    /// Clamp distance for the relative-position bias table.
+    pub relative_clamp: usize,
+}
+
+impl TransformerConfig {
+    /// The scaled-down analogue of the Table 4 checkpoint for `arch`.
+    ///
+    /// BERT / RoBERTa / XLNet share the same geometry (as their `base`
+    /// checkpoints do); DistilBERT halves the layer count and drops
+    /// segment embeddings.
+    pub fn small(arch: Architecture, vocab_size: usize) -> Self {
+        let base = Self {
+            arch,
+            vocab_size,
+            hidden: 64,
+            layers: 4,
+            heads: 4,
+            inner: 256,
+            max_position: 128,
+            segments: 2,
+            dropout: 0.1,
+            init_std: 0.02,
+            relative_positions: false,
+            relative_clamp: 16,
+        };
+        match arch {
+            Architecture::Bert => base,
+            Architecture::Roberta => Self { segments: 1, ..base },
+            Architecture::DistilBert => Self { layers: base.layers / 2, segments: 0, ..base },
+            Architecture::Xlnet => Self { relative_positions: true, ..base },
+        }
+    }
+
+    /// A very small configuration for fast unit tests.
+    pub fn tiny(arch: Architecture, vocab_size: usize) -> Self {
+        let mut c = Self::small(arch, vocab_size);
+        c.hidden = 32;
+        c.layers = if arch == Architecture::DistilBert { 1 } else { 2 };
+        c.heads = 2;
+        c.inner = 64;
+        c.max_position = 48;
+        c
+    }
+
+    /// Head width; panics when `hidden` is not divisible by `heads`.
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(self.hidden % self.heads, 0);
+        self.hidden / self.heads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distilbert_is_half_depth_of_bert() {
+        let bert = TransformerConfig::small(Architecture::Bert, 1000);
+        let distil = TransformerConfig::small(Architecture::DistilBert, 1000);
+        assert_eq!(distil.layers * 2, bert.layers);
+        assert_eq!(distil.segments, 0, "token-type embeddings removed");
+    }
+
+    #[test]
+    fn xlnet_uses_relative_positions() {
+        let x = TransformerConfig::small(Architecture::Xlnet, 1000);
+        assert!(x.relative_positions);
+        assert!(!TransformerConfig::small(Architecture::Bert, 1000).relative_positions);
+    }
+
+    #[test]
+    fn base_geometries_match_across_big_three() {
+        let b = TransformerConfig::small(Architecture::Bert, 500);
+        let r = TransformerConfig::small(Architecture::Roberta, 500);
+        let x = TransformerConfig::small(Architecture::Xlnet, 500);
+        assert_eq!((b.hidden, b.layers, b.heads), (r.hidden, r.layers, r.heads));
+        assert_eq!((b.hidden, b.layers, b.heads), (x.hidden, x.layers, x.heads));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = TransformerConfig::small(Architecture::Roberta, 1234);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TransformerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

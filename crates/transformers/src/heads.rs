@@ -1,0 +1,142 @@
+//! Task heads: masked-LM, next-sentence-prediction, and the entity-matching
+//! classification head.
+
+use em_nn::{join, Ctx, LayerNorm, Linear, Module};
+use em_tensor::Tensor;
+use rand::Rng;
+
+/// Masked-language-model head: `hidden → hidden (GELU, norm) → vocab`.
+pub struct MlmHead {
+    transform: Linear,
+    norm: LayerNorm,
+    decoder: Linear,
+}
+
+impl MlmHead {
+    /// New MLM head for a `hidden`-wide model and `vocab`-sized output.
+    pub fn new(hidden: usize, vocab: usize, std: f32, rng: &mut impl Rng) -> Self {
+        Self {
+            transform: Linear::new_normal(hidden, hidden, std, rng),
+            norm: LayerNorm::new(hidden),
+            decoder: Linear::new_normal(hidden, vocab, std, rng),
+        }
+    }
+
+    /// Project hidden states `[.., hidden]` to vocabulary logits `[.., vocab]`.
+    pub fn forward(&self, hidden: &Tensor) -> Tensor {
+        let h = self.norm.forward(&self.transform.forward(hidden).gelu());
+        self.decoder.forward(&h)
+    }
+}
+
+impl Module for MlmHead {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.transform.named_parameters(&join(prefix, "transform"), out);
+        self.norm.named_parameters(&join(prefix, "norm"), out);
+        self.decoder.named_parameters(&join(prefix, "decoder"), out);
+    }
+}
+
+/// Next-sentence-prediction head: pooled CLS state → 2 logits (BERT §4.1).
+/// The pooler itself lives in the model and is therefore pre-trained.
+pub struct NspHead {
+    classifier: Linear,
+}
+
+impl NspHead {
+    /// New NSP head.
+    pub fn new(hidden: usize, std: f32, rng: &mut impl Rng) -> Self {
+        Self { classifier: Linear::new_normal(hidden, 2, std, rng) }
+    }
+
+    /// Pooled states `[batch, hidden]` → `[batch, 2]` logits.
+    pub fn forward(&self, pooled: &Tensor) -> Tensor {
+        self.classifier.forward(pooled)
+    }
+}
+
+impl Module for NspHead {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.classifier.named_parameters(&join(prefix, "nsp"), out);
+    }
+}
+
+/// The entity-matching classification head of §5.2.2: the paper's "fully
+/// connected layer with 768 neurons plus two output neurons". The fully
+/// connected part is the model's pooler (pre-trained by NSP in BERT, as
+/// in the original implementation); this head holds the two output
+/// neurons, the only parameters that are never pre-trained.
+pub struct ClassificationHead {
+    classifier: Linear,
+    dropout: f32,
+}
+
+impl ClassificationHead {
+    /// New classification head (random init — the paper notes this layer is
+    /// the only part not pre-trained).
+    pub fn new(hidden: usize, dropout: f32, std: f32, rng: &mut impl Rng) -> Self {
+        Self { classifier: Linear::new_normal(hidden, 2, std, rng), dropout }
+    }
+
+    /// Pooled states `[batch, hidden]` → match logits `[batch, 2]`.
+    pub fn forward(&self, pooled: &Tensor, ctx: &mut Ctx) -> Tensor {
+        self.classifier.forward(&ctx.dropout(pooled, self.dropout))
+    }
+}
+
+impl Module for ClassificationHead {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.classifier.named_parameters(&join(prefix, "classifier"), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_tensor::{init, Array};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlm_head_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let head = MlmHead::new(16, 100, 0.02, &mut rng);
+        let h = Tensor::constant(init::normal(vec![2, 5, 16], 1.0, &mut rng));
+        assert_eq!(head.forward(&h).shape(), vec![2, 5, 100]);
+    }
+
+    #[test]
+    fn nsp_head_two_classes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let head = NspHead::new(16, 0.02, &mut rng);
+        let cls = Tensor::constant(Array::ones(vec![3, 16]));
+        assert_eq!(head.forward(&cls).shape(), vec![3, 2]);
+    }
+
+    #[test]
+    fn classification_head_trains_to_separate() {
+        // A 2-class toy problem must be learnable through the head alone.
+        let mut rng = StdRng::seed_from_u64(2);
+        let head = ClassificationHead::new(8, 0.0, 0.2, &mut rng);
+        let x = Tensor::constant(
+            Array::from_vec(
+                (0..16 * 8)
+                    .map(|i| if (i / 8) % 2 == 0 { 1.0 } else { -1.0 })
+                    .collect::<Vec<f32>>(),
+                vec![16, 8],
+            ),
+        );
+        let labels: Vec<usize> = (0..16).map(|i| i % 2).collect();
+        let mut opt = em_tensor::Adam::new(head.parameters());
+        for _ in 0..100 {
+            opt.zero_grad();
+            let logits = head.forward(&x, &mut Ctx::eval());
+            let loss = logits.cross_entropy(&labels, None);
+            loss.backward();
+            opt.step(0.01);
+        }
+        let logits = head.forward(&x, &mut Ctx::eval()).value();
+        let preds = logits.argmax_last_axis();
+        assert_eq!(preds, labels, "head failed to fit a trivially separable problem");
+    }
+}

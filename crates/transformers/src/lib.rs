@@ -1,0 +1,29 @@
+//! # em-transformers
+//!
+//! From-scratch implementations of the four transformer architectures the
+//! paper compares on entity matching — BERT, XLNet, RoBERTa and DistilBERT
+//! (§4) — together with their pre-training objectives:
+//!
+//! * one parameterized encoder ([`TransformerModel`]) whose
+//!   [`TransformerConfig`] selects absolute vs. relative positions, segment
+//!   usage and depth per architecture;
+//! * task heads ([`MlmHead`], [`NspHead`], [`ClassificationHead`] — the
+//!   latter is the entity-matching head of §5.2.2);
+//! * pre-training: masked LM with static or dynamic masking, next-sentence
+//!   prediction, single-stream permutation LM, and knowledge distillation
+//!   ([`pretrainer`]).
+//!
+//! The published checkpoints of Table 4 are replaced by in-repo
+//! pre-training at reduced scale; see DESIGN.md for the substitution
+//! rationale.
+
+pub mod config;
+pub mod heads;
+pub mod model;
+pub mod pretrain;
+pub mod pretrainer;
+
+pub use config::{Architecture, TransformerConfig};
+pub use heads::{ClassificationHead, MlmHead, NspHead};
+pub use model::{Batch, TransformerModel};
+pub use pretrainer::{pretrain, PretrainConfig, PretrainedModel};

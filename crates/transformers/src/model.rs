@@ -1,0 +1,364 @@
+//! The transformer encoder: input embeddings + layer stack.
+//!
+//! One implementation drives all four architectures; the config selects
+//! absolute vs. relative positions, segment-embedding usage, and depth.
+
+use crate::config::TransformerConfig;
+use em_nn::{additive_mask_from_padding, Ctx, Embedding, EncoderLayer, LayerNorm, Linear, Module};
+use em_tensor::{init, Array, Tensor};
+use em_tokenizers::Encoding;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Input embedding block: token + (absolute) position + segment, summed,
+/// normalized, dropped out (Figure 9's bottom rows).
+pub struct InputEmbeddings {
+    token: Embedding,
+    position: Option<Embedding>,
+    segment: Option<Embedding>,
+    norm: LayerNorm,
+    dropout: f32,
+}
+
+impl InputEmbeddings {
+    fn new(cfg: &TransformerConfig, rng: &mut StdRng) -> Self {
+        Self {
+            token: Embedding::new(cfg.vocab_size, cfg.hidden, cfg.init_std, rng),
+            position: (!cfg.relative_positions)
+                .then(|| Embedding::new(cfg.max_position, cfg.hidden, cfg.init_std, rng)),
+            segment: (cfg.segments > 0)
+                .then(|| Embedding::new(cfg.segments, cfg.hidden, cfg.init_std, rng)),
+            norm: LayerNorm::new(cfg.hidden),
+            dropout: cfg.dropout,
+        }
+    }
+
+    /// Embed a batch: `ids[b][t]`, `segments[b][t]` → `[batch, seq, hidden]`.
+    ///
+    /// `blank` marks positions whose *token content* must be hidden (used by
+    /// the permutation-LM objective: the position keeps its position/segment
+    /// signal but contributes no token identity).
+    fn forward(
+        &self,
+        ids: &[Vec<usize>],
+        segments: &[Vec<usize>],
+        blank: Option<&[Vec<bool>]>,
+        ctx: &mut Ctx,
+    ) -> Tensor {
+        let b = ids.len();
+        let t = ids.first().map_or(0, Vec::len);
+        let flat: Vec<usize> = ids.iter().flatten().copied().collect();
+        let mut x = self.token.forward(&flat, &[b, t]);
+        if let Some(blank) = blank {
+            let mask: Vec<f32> = blank
+                .iter()
+                .flatten()
+                .map(|&is_blank| if is_blank { 0.0 } else { 1.0 })
+                .collect();
+            let mask = Array::from_vec(mask, vec![b, t]).reshape(vec![b, t, 1]);
+            x = x.mul(&Tensor::constant(mask.broadcast_to(&[b, t, self.token.dim()])));
+        }
+        if let Some(pos) = &self.position {
+            assert!(
+                t <= pos.vocab_size(),
+                "sequence length {t} exceeds the position table ({}); encode with a \
+                 max_len within the model's max_position",
+                pos.vocab_size()
+            );
+            let pos_ids: Vec<usize> = (0..b).flat_map(|_| 0..t).collect();
+            x = x.add(&pos.forward(&pos_ids, &[b, t]));
+        }
+        if let Some(seg) = &self.segment {
+            let seg_ids: Vec<usize> = segments.iter().flatten().copied().collect();
+            let clamped: Vec<usize> =
+                seg_ids.iter().map(|&s| s.min(seg.vocab_size() - 1)).collect();
+            x = x.add(&seg.forward(&clamped, &[b, t]));
+        }
+        ctx.dropout(&self.norm.forward(&x), self.dropout)
+    }
+}
+
+impl Module for InputEmbeddings {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.token.named_parameters(&em_nn::join(prefix, "token"), out);
+        if let Some(p) = &self.position {
+            p.named_parameters(&em_nn::join(prefix, "position"), out);
+        }
+        if let Some(s) = &self.segment {
+            s.named_parameters(&em_nn::join(prefix, "segment"), out);
+        }
+        self.norm.named_parameters(&em_nn::join(prefix, "norm"), out);
+    }
+}
+
+/// Learned relative-position attention bias (Transformer-XL flavour):
+/// a per-head table over clamped signed distances, added to attention
+/// scores in every layer.
+pub struct RelativeBias {
+    /// `[heads, 2*clamp+1]` bias table.
+    pub table: Tensor,
+    clamp: usize,
+    heads: usize,
+}
+
+impl RelativeBias {
+    fn new(heads: usize, clamp: usize, std: f32, rng: &mut StdRng) -> Self {
+        Self {
+            table: Tensor::parameter(init::normal(vec![heads, 2 * clamp + 1], std, rng)),
+            clamp,
+            heads,
+        }
+    }
+
+    /// Materialize the `[1, heads, seq, seq]` additive bias for length `t`.
+    fn bias_for(&self, t: usize) -> Tensor {
+        let clamp = self.clamp as isize;
+        // Gather per (i, j): index = clamp(i-j) + clamp.
+        let mut indices = Vec::with_capacity(self.heads * t * t);
+        for h in 0..self.heads {
+            for i in 0..t {
+                for j in 0..t {
+                    let d = (i as isize - j as isize).clamp(-clamp, clamp) + clamp;
+                    indices.push(h * (2 * self.clamp + 1) + d as usize);
+                }
+            }
+        }
+        let flat = self.table.reshape(vec![self.heads * (2 * self.clamp + 1), 1]);
+        flat.gather_rows(&indices, &[self.heads, t, t]).reshape(vec![1, self.heads, t, t])
+    }
+}
+
+impl Module for RelativeBias {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        out.push((em_nn::join(prefix, "table"), self.table.clone()));
+    }
+}
+
+/// A full transformer encoder per the configured architecture.
+pub struct TransformerModel {
+    /// The configuration this model was built from.
+    pub config: TransformerConfig,
+    /// Input embedding block.
+    pub embeddings: InputEmbeddings,
+    /// Encoder layer stack.
+    pub layers: Vec<EncoderLayer>,
+    /// Relative-position bias (XLNet only).
+    pub relative: Option<RelativeBias>,
+    /// BERT-style pooler (dense + tanh over the CLS state). Pre-trained by
+    /// the NSP objective and **reused at fine-tuning time** — in BERT only
+    /// the final classifier layer is newly initialized.
+    pub pooler: Linear,
+}
+
+/// A prepared batch of encodings in the index format the model consumes.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    /// Token ids per sample.
+    pub ids: Vec<Vec<usize>>,
+    /// Segment ids per sample.
+    pub segments: Vec<Vec<usize>>,
+    /// Padding masks per sample (1 = real).
+    pub padding: Vec<Vec<u8>>,
+    /// CLS index per sample.
+    pub cls_index: Vec<usize>,
+}
+
+impl Batch {
+    /// Convert tokenizer [`Encoding`]s into a model batch.
+    pub fn from_encodings(encodings: &[Encoding]) -> Self {
+        let mut batch = Batch::default();
+        for e in encodings {
+            batch.ids.push(e.ids.iter().map(|&i| i as usize).collect());
+            batch.segments.push(e.segments.iter().map(|&s| s as usize).collect());
+            batch.padding.push(e.mask.clone());
+            batch.cls_index.push(e.cls_index);
+        }
+        batch
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the batch has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.ids.first().map_or(0, Vec::len)
+    }
+}
+
+impl TransformerModel {
+    /// Randomly initialized model for `cfg`.
+    pub fn new(cfg: TransformerConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let embeddings = InputEmbeddings::new(&cfg, &mut rng);
+        let layers = (0..cfg.layers)
+            .map(|_| {
+                EncoderLayer::new(
+                    cfg.hidden,
+                    cfg.heads,
+                    cfg.inner,
+                    cfg.dropout,
+                    cfg.init_std,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let relative = cfg
+            .relative_positions
+            .then(|| RelativeBias::new(cfg.heads, cfg.relative_clamp, cfg.init_std, &mut rng));
+        let pooler = Linear::new_normal(cfg.hidden, cfg.hidden, cfg.init_std, &mut rng);
+        Self { config: cfg, embeddings, layers, relative, pooler }
+    }
+
+    /// Encode a batch into hidden states `[batch, seq, hidden]`.
+    ///
+    /// `visibility` optionally adds a per-sample `[batch, 1, seq, seq]`
+    /// additive mask on top of the padding mask (permutation LM).
+    /// `blank` hides token content at given positions (see
+    /// [`InputEmbeddings::forward`]).
+    pub fn forward(
+        &self,
+        batch: &Batch,
+        visibility: Option<&Array>,
+        blank: Option<&[Vec<bool>]>,
+        ctx: &mut Ctx,
+    ) -> Tensor {
+        let mut mask = additive_mask_from_padding(&batch.padding);
+        if let Some(vis) = visibility {
+            let t = batch.seq_len();
+            let full = mask.broadcast_to(&[batch.len(), 1, t, t]);
+            mask = full.add(vis);
+        }
+        let mut x = self.embeddings.forward(&batch.ids, &batch.segments, blank, ctx);
+        let rel_bias = self.relative.as_ref().map(|r| r.bias_for(batch.seq_len()));
+        for layer in &self.layers {
+            x = layer.forward(&x, Some(&mask), rel_bias.as_ref(), ctx);
+        }
+        x
+    }
+
+    /// Pooled representation: `tanh(W · cls + b)` per sample — the input
+    /// to NSP pre-training and to the entity-matching classifier.
+    pub fn pooled_states(&self, hidden: &Tensor, batch: &Batch) -> Tensor {
+        self.pooler.forward(&self.cls_states(hidden, batch)).tanh()
+    }
+
+    /// Hidden states of each sample's CLS position: `[batch, hidden]`.
+    pub fn cls_states(&self, hidden: &Tensor, batch: &Batch) -> Tensor {
+        let rows: Vec<Tensor> = batch
+            .cls_index
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                hidden
+                    .slice_axis(0, i, i + 1)
+                    .slice_axis(1, c, c + 1)
+                    .reshape(vec![1, self.config.hidden])
+            })
+            .collect();
+        Tensor::concat(&rows, 0)
+    }
+}
+
+impl Module for TransformerModel {
+    fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
+        self.embeddings.named_parameters(&em_nn::join(prefix, "embeddings"), out);
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.named_parameters(&em_nn::join(prefix, &format!("layer{i}")), out);
+        }
+        if let Some(rel) = &self.relative {
+            rel.named_parameters(&em_nn::join(prefix, "relative"), out);
+        }
+        self.pooler.named_parameters(&em_nn::join(prefix, "pooler"), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Architecture;
+
+    fn batch(b: usize, t: usize) -> Batch {
+        Batch {
+            ids: vec![vec![5; t]; b],
+            segments: vec![vec![0; t]; b],
+            padding: vec![vec![1; t]; b],
+            cls_index: vec![0; b],
+        }
+    }
+
+    #[test]
+    fn forward_shapes_all_architectures() {
+        for arch in Architecture::ALL {
+            let cfg = TransformerConfig::tiny(arch, 50);
+            let hidden = cfg.hidden;
+            let model = TransformerModel::new(cfg, 0);
+            let out = model.forward(&batch(2, 6), None, None, &mut Ctx::eval());
+            assert_eq!(out.shape(), vec![2, 6, hidden], "{}", arch.name());
+        }
+    }
+
+    #[test]
+    fn cls_states_pick_the_right_rows() {
+        let cfg = TransformerConfig::tiny(Architecture::Bert, 50);
+        let model = TransformerModel::new(cfg, 1);
+        let mut b = batch(2, 5);
+        b.cls_index = vec![0, 3];
+        let hidden = model.forward(&b, None, None, &mut Ctx::eval());
+        let cls = model.cls_states(&hidden, &b);
+        assert_eq!(cls.shape(), vec![2, 32]);
+        let h = hidden.value();
+        let c = cls.value();
+        for j in 0..32 {
+            assert_eq!(c.at(&[0, j]), h.at(&[0, 0, j]));
+            assert_eq!(c.at(&[1, j]), h.at(&[1, 3, j]));
+        }
+    }
+
+    #[test]
+    fn distilbert_has_fewer_parameters_than_bert() {
+        let bert =
+            TransformerModel::new(TransformerConfig::small(Architecture::Bert, 500), 0);
+        let distil =
+            TransformerModel::new(TransformerConfig::small(Architecture::DistilBert, 500), 0);
+        assert!(
+            distil.num_parameters() < (bert.num_parameters() as f64 * 0.75) as usize,
+            "DistilBERT {} vs BERT {}",
+            distil.num_parameters(),
+            bert.num_parameters()
+        );
+    }
+
+    #[test]
+    fn blanked_positions_hide_token_identity() {
+        let cfg = TransformerConfig::tiny(Architecture::Bert, 50);
+        let model = TransformerModel::new(cfg, 2);
+        let mut b1 = batch(1, 4);
+        let mut b2 = batch(1, 4);
+        b1.ids[0][2] = 7;
+        b2.ids[0][2] = 23; // different token at the blanked position
+        let blank = vec![vec![false, false, true, false]];
+        let y1 = model.forward(&b1, None, Some(&blank), &mut Ctx::eval()).value();
+        let y2 = model.forward(&b2, None, Some(&blank), &mut Ctx::eval()).value();
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            assert!((a - b).abs() < 1e-5, "blanked token leaked content");
+        }
+    }
+
+    #[test]
+    fn relative_bias_is_distance_dependent() {
+        let cfg = TransformerConfig::tiny(Architecture::Xlnet, 50);
+        let model = TransformerModel::new(cfg, 3);
+        let bias = model.relative.as_ref().unwrap().bias_for(5).value();
+        assert_eq!(bias.shape(), &[1, 2, 5, 5]);
+        // Same distance → same bias along each diagonal.
+        assert_eq!(bias.at(&[0, 0, 1, 0]), bias.at(&[0, 0, 4, 3]));
+        assert_eq!(bias.at(&[0, 1, 0, 2]), bias.at(&[0, 1, 2, 4]));
+    }
+}

@@ -1,0 +1,320 @@
+//! Pre-training objectives: masked LM, next-sentence prediction,
+//! permutation LM, and knowledge distillation (§4 of the paper).
+
+use em_tensor::{softmax_array, Array, Tensor};
+use em_tokenizers::SpecialTokens;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// BERT-style masking hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MaskingConfig {
+    /// Fraction of eligible tokens selected for prediction (BERT: 0.15).
+    pub mask_prob: f32,
+    /// Of the selected: fraction replaced by `[MASK]` (BERT: 0.8).
+    pub mask_token_frac: f32,
+    /// Of the selected: fraction replaced by a random token (BERT: 0.1);
+    /// the remainder keeps the original token.
+    pub random_frac: f32,
+}
+
+impl Default for MaskingConfig {
+    fn default() -> Self {
+        Self { mask_prob: 0.15, mask_token_frac: 0.8, random_frac: 0.1 }
+    }
+}
+
+/// Sentinel target meaning "no prediction at this position".
+/// Use with [`Tensor::cross_entropy`]'s `ignore_index`.
+pub fn ignore_index(vocab_size: usize) -> usize {
+    vocab_size
+}
+
+/// Apply BERT masking to one sample in place; returns the per-position
+/// targets (original token id at selected positions, `ignore` elsewhere).
+///
+/// Positions that are padding or special tokens are never selected. When no
+/// position gets selected by chance, one eligible position is forced so
+/// every sample contributes loss.
+pub fn mask_tokens(
+    ids: &mut [usize],
+    padding: &[u8],
+    specials: SpecialTokens,
+    vocab_size: usize,
+    cfg: MaskingConfig,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let ignore = ignore_index(vocab_size);
+    let special_ids =
+        [specials.pad as usize, specials.cls as usize, specials.sep as usize, specials.mask as usize];
+    let eligible: Vec<usize> = (0..ids.len())
+        .filter(|&i| padding[i] == 1 && !special_ids.contains(&ids[i]))
+        .collect();
+    let mut targets = vec![ignore; ids.len()];
+    if eligible.is_empty() {
+        return targets;
+    }
+    let mut selected: Vec<usize> =
+        eligible.iter().copied().filter(|_| rng.gen::<f32>() < cfg.mask_prob).collect();
+    if selected.is_empty() {
+        selected.push(*eligible.choose(rng).expect("non-empty"));
+    }
+    for i in selected {
+        targets[i] = ids[i];
+        let roll: f32 = rng.gen();
+        if roll < cfg.mask_token_frac {
+            ids[i] = specials.mask as usize;
+        } else if roll < cfg.mask_token_frac + cfg.random_frac {
+            ids[i] = rng.gen_range(0..vocab_size);
+        } // else: keep the original token.
+    }
+    targets
+}
+
+/// Build next-sentence-prediction pairs from *documents* (sentence groups
+/// about one entity), exactly as BERT samples them: positives are
+/// consecutive sentences of the same document (label 1), negatives pair a
+/// sentence with a random sentence from a different document (label 0),
+/// split roughly 50/50.
+pub fn build_nsp_pairs(docs: &[Vec<String>], rng: &mut impl Rng) -> Vec<(String, String, usize)> {
+    let mut pairs = Vec::new();
+    if docs.len() < 2 {
+        return pairs;
+    }
+    for (d, doc) in docs.iter().enumerate() {
+        for i in 0..doc.len().saturating_sub(1) {
+            if rng.gen::<f32>() < 0.5 {
+                pairs.push((doc[i].clone(), doc[i + 1].clone(), 1));
+            } else {
+                // A sentence from some other document.
+                let mut od = rng.gen_range(0..docs.len());
+                while od == d || docs[od].is_empty() {
+                    od = rng.gen_range(0..docs.len());
+                }
+                let j = rng.gen_range(0..docs[od].len());
+                pairs.push((doc[i].clone(), docs[od][j].clone(), 0));
+            }
+        }
+    }
+    pairs
+}
+
+/// A permutation-LM sample plan: which positions are predicted, which are
+/// blanked, and the factorization-order visibility mask.
+#[derive(Debug, Clone)]
+pub struct PlmPlan {
+    /// Per-position blanking (true = hide token content).
+    pub blank: Vec<bool>,
+    /// Per-position targets (`ignore` where no prediction).
+    pub targets: Vec<usize>,
+    /// `[seq, seq]` additive visibility: `vis[i][j] = 0` when query `i` may
+    /// attend key `j` (j strictly earlier in factorization order, or j == i).
+    pub visibility: Vec<f32>,
+}
+
+/// Sample a permutation-LM plan for one sequence (§4.2).
+///
+/// The last `n_predict` positions of a random factorization order become
+/// prediction targets. Every position may only attend to positions earlier
+/// in the factorization order (plus itself for positional signal — target
+/// content is blanked, so no identity leaks). This is the single-stream
+/// approximation of XLNet's two-stream attention: the blanked input plays
+/// the role of the query stream.
+pub fn sample_plm_plan(
+    ids: &[usize],
+    padding: &[u8],
+    specials: SpecialTokens,
+    vocab_size: usize,
+    n_predict: usize,
+    rng: &mut impl Rng,
+) -> PlmPlan {
+    let t = ids.len();
+    let ignore = ignore_index(vocab_size);
+    let special_ids =
+        [specials.pad as usize, specials.cls as usize, specials.sep as usize, specials.mask as usize];
+    let eligible: Vec<usize> = (0..t)
+        .filter(|&i| padding[i] == 1 && !special_ids.contains(&ids[i]))
+        .collect();
+    // Random factorization order over ALL real positions.
+    let mut order: Vec<usize> = (0..t).filter(|&i| padding[i] == 1).collect();
+    order.shuffle(rng);
+    let mut rank = vec![usize::MAX; t];
+    for (r, &pos) in order.iter().enumerate() {
+        rank[pos] = r;
+    }
+    // Targets: the eligible positions with the highest factorization rank
+    // (they see the most context), up to n_predict.
+    let mut by_rank: Vec<usize> = eligible.clone();
+    by_rank.sort_by_key(|&p| std::cmp::Reverse(rank[p]));
+    let targets_set: Vec<usize> = by_rank.into_iter().take(n_predict.max(1)).collect();
+
+    let mut blank = vec![false; t];
+    let mut targets = vec![ignore; t];
+    for &p in &targets_set {
+        blank[p] = true;
+        targets[p] = ids[p];
+    }
+    let mut visibility = vec![-1e9f32; t * t];
+    for i in 0..t {
+        for j in 0..t {
+            let visible = i == j || (rank[j] != usize::MAX && rank[i] != usize::MAX && rank[j] < rank[i]);
+            if visible {
+                visibility[i * t + j] = 0.0;
+            }
+        }
+    }
+    PlmPlan { blank, targets, visibility }
+}
+
+/// Stack per-sample PLM visibility masks into `[batch, 1, seq, seq]`.
+pub fn stack_visibility(plans: &[PlmPlan], t: usize) -> Array {
+    let b = plans.len();
+    let mut data = Vec::with_capacity(b * t * t);
+    for p in plans {
+        data.extend_from_slice(&p.visibility);
+    }
+    Array::from_vec(data, vec![b, 1, t, t])
+}
+
+/// Knowledge-distillation losses (§4.4.2).
+pub struct DistillationLoss;
+
+impl DistillationLoss {
+    /// Distillation (soft-target) loss with softmax temperature `tau`:
+    /// student learns the teacher's output distribution at the selected
+    /// positions. `student_logits`/`teacher_logits` are `[n, vocab]` rows
+    /// for the masked positions only.
+    pub fn soft_targets(student_logits: &Tensor, teacher_logits: &Array, tau: f32) -> Tensor {
+        let soft = softmax_array(&teacher_logits.scale(1.0 / tau));
+        // The tau² factor keeps gradient magnitudes comparable across
+        // temperatures (Hinton et al., 2015).
+        student_logits.scale(1.0 / tau).soft_cross_entropy(&soft).scale(tau * tau)
+    }
+
+    /// Cosine embedding loss aligning student and teacher hidden states:
+    /// `mean(1 - cos(h_s, h_t))` over all rows of `[n, hidden]`.
+    pub fn cosine(student_hidden: &Tensor, teacher_hidden: &Array) -> Tensor {
+        let t = Tensor::constant(teacher_hidden.clone());
+        let dot = student_hidden.mul(&t).sum_axis(1, false);
+        let ns = student_hidden.square().sum_axis(1, false).sqrt();
+        let nt = t.square().sum_axis(1, false).sqrt().add_scalar(1e-8);
+        let cos = dot.div(&ns.mul(&nt).add_scalar(1e-8));
+        cos.neg().add_scalar(1.0).mean_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn specials() -> SpecialTokens {
+        SpecialTokens { pad: 0, unk: 1, cls: 2, sep: 3, mask: 4 }
+    }
+
+    #[test]
+    fn masking_never_touches_specials_or_padding() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sp = specials();
+        for _ in 0..50 {
+            let mut ids = vec![2, 10, 11, 12, 3, 13, 14, 3, 0, 0];
+            let padding = vec![1, 1, 1, 1, 1, 1, 1, 1, 0, 0];
+            let orig = ids.clone();
+            let targets =
+                mask_tokens(&mut ids, &padding, sp, 100, MaskingConfig::default(), &mut rng);
+            // Special positions unchanged and never targets.
+            for &i in &[0usize, 4, 7, 8, 9] {
+                assert_eq!(ids[i], orig[i]);
+                assert_eq!(targets[i], ignore_index(100));
+            }
+        }
+    }
+
+    #[test]
+    fn masking_always_selects_at_least_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sp = specials();
+        for _ in 0..50 {
+            let mut ids = vec![2, 10, 3];
+            let padding = vec![1, 1, 1];
+            let targets =
+                mask_tokens(&mut ids, &padding, sp, 100, MaskingConfig::default(), &mut rng);
+            assert!(targets.iter().any(|&t| t != ignore_index(100)));
+        }
+    }
+
+    #[test]
+    fn dynamic_masking_varies_across_calls() {
+        let sp = specials();
+        let base: Vec<usize> = (10..40).collect();
+        let padding = vec![1u8; 30];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a = base.clone();
+        let ta = mask_tokens(&mut a, &padding, sp, 100, MaskingConfig::default(), &mut rng);
+        let mut b = base.clone();
+        let tb = mask_tokens(&mut b, &padding, sp, 100, MaskingConfig::default(), &mut rng);
+        assert_ne!(ta, tb, "two masking draws should differ");
+    }
+
+    #[test]
+    fn nsp_pairs_half_positive_and_within_documents() {
+        let docs: Vec<Vec<String>> = (0..100)
+            .map(|d| (0..3).map(|i| format!("doc {d} line {i}")).collect())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pairs = build_nsp_pairs(&docs, &mut rng);
+        assert_eq!(pairs.len(), 200, "two adjacent pairs per 3-line document");
+        let pos = pairs.iter().filter(|(_, _, l)| *l == 1).count();
+        assert!((70..=130).contains(&pos), "positives {pos}");
+        for (a, b, l) in &pairs {
+            let da = a.split(' ').nth(1).unwrap();
+            let db = b.split(' ').nth(1).unwrap();
+            if *l == 1 {
+                assert_eq!(da, db, "positive pairs stay within a document");
+            } else {
+                assert_ne!(da, db, "negative pairs cross documents");
+            }
+        }
+    }
+
+    #[test]
+    fn plm_plan_respects_factorization_order() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ids = vec![2, 10, 11, 12, 13, 3];
+        let padding = vec![1u8; 6];
+        let plan = sample_plm_plan(&ids, &padding, specials(), 100, 2, &mut rng);
+        assert_eq!(plan.blank.iter().filter(|&&b| b).count(), 2);
+        // Visibility must be antisymmetric off the diagonal: if i sees j
+        // (i≠j) then j must not see i.
+        for i in 0..6 {
+            assert_eq!(plan.visibility[i * 6 + i], 0.0, "self always visible");
+            for j in 0..6 {
+                if i != j && plan.visibility[i * 6 + j] == 0.0 {
+                    assert!(plan.visibility[j * 6 + i] < 0.0, "cycle at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distillation_soft_targets_minimized_when_matching() {
+        let teacher = Array::from_vec(vec![2.0, 0.0, -2.0], vec![1, 3]);
+        let matching = Tensor::constant(teacher.clone());
+        let uniform = Tensor::constant(Array::zeros(vec![1, 3]));
+        let l_match = DistillationLoss::soft_targets(&matching, &teacher, 2.0).item();
+        let l_unif = DistillationLoss::soft_targets(&uniform, &teacher, 2.0).item();
+        assert!(l_match < l_unif);
+    }
+
+    #[test]
+    fn cosine_loss_zero_for_identical_directions() {
+        let h = Array::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 2.0], vec![2, 3]);
+        let s = Tensor::constant(h.scale(2.0)); // same direction, scaled
+        let loss = DistillationLoss::cosine(&s, &h).item();
+        assert!(loss.abs() < 1e-4, "loss {loss}");
+        let opposite = Tensor::constant(h.scale(-1.0));
+        let loss2 = DistillationLoss::cosine(&opposite, &h).item();
+        assert!((loss2 - 2.0).abs() < 1e-3, "opposite direction loss {loss2}");
+    }
+}

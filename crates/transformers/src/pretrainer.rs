@@ -1,0 +1,498 @@
+//! Pre-training driver: runs each architecture's own objective over a text
+//! corpus, standing in for the published checkpoints of Table 4.
+//!
+//! * BERT — static-mask MLM + next-sentence prediction;
+//! * RoBERTa — dynamic-mask MLM, no NSP, more optimization steps
+//!   (the paper's "longer training / more data" at our scale);
+//! * XLNet — permutation LM with factorization-order visibility masks;
+//! * DistilBERT — knowledge distillation from a BERT teacher
+//!   (soft targets + MLM + cosine alignment).
+
+use crate::config::{Architecture, TransformerConfig};
+use crate::heads::{MlmHead, NspHead};
+use crate::model::{Batch, TransformerModel};
+use crate::pretrain::{
+    build_nsp_pairs, ignore_index, mask_tokens, sample_plm_plan, stack_visibility,
+    DistillationLoss, MaskingConfig,
+};
+use em_nn::{Ctx, Module};
+use em_tensor::{clip_grad_norm, no_grad, Adam, LinearWarmupDecay, LrSchedule, Tensor};
+use em_tokenizers::{encode_pair, AnyTokenizer, ClsPosition, Encoding, Tokenizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyperparameters of a pre-training run.
+#[derive(Debug, Clone)]
+pub struct PretrainConfig {
+    /// Number of passes over the corpus.
+    pub epochs: usize,
+    /// Sequences per optimizer step.
+    pub batch_size: usize,
+    /// Fixed sequence length.
+    pub seq_len: usize,
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Seed controlling init, masking, and shuffling.
+    pub seed: u64,
+    /// Targets per sequence for the permutation-LM objective.
+    pub plm_predict: usize,
+    /// Distillation softmax temperature.
+    pub distill_temperature: f32,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 5,
+            batch_size: 16,
+            seq_len: 40,
+            lr: 5e-4,
+            seed: 42,
+            plm_predict: 6,
+            distill_temperature: 2.0,
+        }
+    }
+}
+
+/// A pre-trained encoder with its pre-training heads and loss history.
+pub struct PretrainedModel {
+    /// The encoder (what fine-tuning consumes).
+    pub model: TransformerModel,
+    /// Masked-LM head (kept for distillation and analysis).
+    pub mlm: MlmHead,
+    /// NSP head (BERT only).
+    pub nsp: Option<NspHead>,
+    /// Mean loss per epoch.
+    pub loss_history: Vec<f32>,
+}
+
+/// The fixed ingredients of one pre-training example.
+struct Example {
+    encoding: Encoding,
+    nsp_label: usize,
+}
+
+fn cls_position(arch: Architecture) -> ClsPosition {
+    match arch {
+        Architecture::Xlnet => ClsPosition::Last,
+        _ => ClsPosition::First,
+    }
+}
+
+fn build_examples(
+    docs: &[Vec<String>],
+    tokenizer: &AnyTokenizer,
+    seq_len: usize,
+    arch: Architecture,
+    rng: &mut StdRng,
+) -> Vec<Example> {
+    build_nsp_pairs(docs, rng)
+        .into_iter()
+        .map(|(a, b, label)| Example {
+            encoding: encode_pair(tokenizer, &a, &b, seq_len, cls_position(arch)),
+            nsp_label: label,
+        })
+        .collect()
+}
+
+/// Gather the hidden rows at `positions` (flattened `[b*t]` indices) and
+/// project them through the MLM head — projecting only masked rows keeps
+/// the vocab matmul small.
+fn mlm_logits_at(
+    hidden: &Tensor,
+    mlm: &MlmHead,
+    positions: &[usize],
+) -> Tensor {
+    let shape = hidden.shape();
+    let flat = hidden.reshape(vec![shape[0] * shape[1], shape[2]]);
+    let rows = flat.gather_rows(positions, &[positions.len()]);
+    mlm.forward(&rows)
+}
+
+/// Extract (flat positions, target ids) for all non-ignored targets.
+fn masked_positions(targets_per_sample: &[Vec<usize>], ignore: usize) -> (Vec<usize>, Vec<usize>) {
+    let t = targets_per_sample.first().map_or(0, Vec::len);
+    let mut pos = Vec::new();
+    let mut tgt = Vec::new();
+    for (s, row) in targets_per_sample.iter().enumerate() {
+        for (i, &y) in row.iter().enumerate() {
+            if y != ignore {
+                pos.push(s * t + i);
+                tgt.push(y);
+            }
+        }
+    }
+    (pos, tgt)
+}
+
+/// Pre-train `arch` on `corpus`. Dispatches to the architecture's objective.
+pub fn pretrain(
+    cfg: TransformerConfig,
+    docs: &[Vec<String>],
+    tokenizer: &AnyTokenizer,
+    pcfg: &PretrainConfig,
+) -> PretrainedModel {
+    match cfg.arch {
+        Architecture::DistilBert => {
+            // Distillation needs a teacher: pre-train a BERT of the same
+            // width first, then distill (§4.4.3: distillation happens on the
+            // general-purpose model, before fine-tuning).
+            let mut teacher_cfg = cfg.clone();
+            teacher_cfg.arch = Architecture::Bert;
+            teacher_cfg.layers = cfg.layers * 2;
+            teacher_cfg.segments = 2;
+            let teacher = pretrain_mlm(teacher_cfg, docs, tokenizer, pcfg, false);
+            distill(&teacher, cfg, docs, tokenizer, pcfg)
+        }
+        Architecture::Xlnet => pretrain_plm(cfg, docs, tokenizer, pcfg),
+        Architecture::Roberta => pretrain_mlm(cfg, docs, tokenizer, pcfg, true),
+        Architecture::Bert => pretrain_mlm(cfg, docs, tokenizer, pcfg, false),
+    }
+}
+
+/// MLM (+ NSP for BERT) pre-training. `dynamic_masking` re-samples masks
+/// every epoch (RoBERTa §4.3); otherwise masks are fixed once (BERT).
+pub fn pretrain_mlm(
+    cfg: TransformerConfig,
+    docs: &[Vec<String>],
+    tokenizer: &AnyTokenizer,
+    pcfg: &PretrainConfig,
+    dynamic_masking: bool,
+) -> PretrainedModel {
+    let arch = cfg.arch;
+    let use_nsp = arch == Architecture::Bert;
+    let vocab = tokenizer.vocab_size();
+    let specials = tokenizer.specials();
+    let mut rng = StdRng::seed_from_u64(pcfg.seed);
+    let examples = build_examples(docs, tokenizer, pcfg.seq_len, arch, &mut rng);
+
+    let model = TransformerModel::new(cfg.clone(), pcfg.seed);
+    let mlm = MlmHead::new(cfg.hidden, vocab, cfg.init_std, &mut rng);
+    let nsp = use_nsp.then(|| NspHead::new(cfg.hidden, cfg.init_std, &mut rng));
+
+    let mut params = model.parameters();
+    params.extend(mlm.parameters());
+    if let Some(h) = &nsp {
+        params.extend(h.parameters());
+    }
+    let mut opt = Adam::new(params);
+    // RoBERTa trains longer (§4.3): scale total steps; the caller usually
+    // also passes more epochs for RoBERTa.
+    let steps_per_epoch = examples.len().div_ceil(pcfg.batch_size);
+    let schedule = LinearWarmupDecay {
+        peak: pcfg.lr,
+        warmup_steps: (steps_per_epoch * pcfg.epochs / 20).max(1),
+        total_steps: steps_per_epoch * pcfg.epochs,
+    };
+
+    // Static masking: fix masks now, reuse every epoch.
+    let ignore = ignore_index(vocab);
+    let mcfg = MaskingConfig::default();
+    let static_masks: Vec<(Vec<usize>, Vec<usize>)> = examples
+        .iter()
+        .map(|ex| {
+            let mut ids: Vec<usize> = ex.encoding.ids.iter().map(|&i| i as usize).collect();
+            let targets = mask_tokens(&mut ids, &ex.encoding.mask, specials, vocab, mcfg, &mut rng);
+            (ids, targets)
+        })
+        .collect();
+
+    let mut loss_history = Vec::with_capacity(pcfg.epochs);
+    let mut order: Vec<usize> = (0..examples.len()).collect();
+    for epoch in 0..pcfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(pcfg.batch_size) {
+            let mut batch = Batch::default();
+            let mut targets_rows = Vec::with_capacity(chunk.len());
+            let mut nsp_labels = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                let ex = &examples[i];
+                let (ids, targets) = if dynamic_masking {
+                    let mut ids: Vec<usize> =
+                        ex.encoding.ids.iter().map(|&v| v as usize).collect();
+                    let t = mask_tokens(&mut ids, &ex.encoding.mask, specials, vocab, mcfg, &mut rng);
+                    (ids, t)
+                } else {
+                    static_masks[i].clone()
+                };
+                batch.ids.push(ids);
+                batch.segments.push(ex.encoding.segments.iter().map(|&s| s as usize).collect());
+                batch.padding.push(ex.encoding.mask.clone());
+                batch.cls_index.push(ex.encoding.cls_index);
+                targets_rows.push(targets);
+                nsp_labels.push(ex.nsp_label);
+            }
+            let (positions, target_ids) = masked_positions(&targets_rows, ignore);
+            if positions.is_empty() {
+                continue;
+            }
+            let mut ctx = Ctx::train(pcfg.seed ^ (epoch as u64) << 20 ^ batches as u64);
+            let hidden = model.forward(&batch, None, None, &mut ctx);
+            let logits = mlm_logits_at(&hidden, &mlm, &positions);
+            let mut loss = logits.cross_entropy(&target_ids, None);
+            if let Some(h) = &nsp {
+                let pooled = model.pooled_states(&hidden, &batch);
+                loss = loss.add(&h.forward(&pooled).cross_entropy(&nsp_labels, None));
+            }
+            epoch_loss += loss.item();
+            batches += 1;
+            opt.zero_grad();
+            loss.backward();
+            clip_grad_norm(opt.params(), 1.0);
+            let lr = schedule.lr_at(opt.steps_taken());
+            opt.step(lr);
+        }
+        loss_history.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+    }
+    PretrainedModel { model, mlm, nsp, loss_history }
+}
+
+/// Permutation-LM pre-training (XLNet, §4.2).
+pub fn pretrain_plm(
+    cfg: TransformerConfig,
+    docs: &[Vec<String>],
+    tokenizer: &AnyTokenizer,
+    pcfg: &PretrainConfig,
+) -> PretrainedModel {
+    let vocab = tokenizer.vocab_size();
+    let specials = tokenizer.specials();
+    let ignore = ignore_index(vocab);
+    let mut rng = StdRng::seed_from_u64(pcfg.seed);
+    let examples = build_examples(docs, tokenizer, pcfg.seq_len, cfg.arch, &mut rng);
+
+    let model = TransformerModel::new(cfg.clone(), pcfg.seed);
+    let mlm = MlmHead::new(cfg.hidden, vocab, cfg.init_std, &mut rng);
+    let mut params = model.parameters();
+    params.extend(mlm.parameters());
+    let mut opt = Adam::new(params);
+    let steps_per_epoch = examples.len().div_ceil(pcfg.batch_size);
+    let schedule = LinearWarmupDecay {
+        peak: pcfg.lr,
+        warmup_steps: (steps_per_epoch * pcfg.epochs / 20).max(1),
+        total_steps: steps_per_epoch * pcfg.epochs,
+    };
+
+    let mut loss_history = Vec::with_capacity(pcfg.epochs);
+    let mut order: Vec<usize> = (0..examples.len()).collect();
+    for epoch in 0..pcfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(pcfg.batch_size) {
+            let mut batch = Batch::default();
+            let mut plans = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                let ex = &examples[i];
+                let ids: Vec<usize> = ex.encoding.ids.iter().map(|&v| v as usize).collect();
+                // A fresh factorization order every epoch (permutations are
+                // sampled, not enumerated).
+                let plan = sample_plm_plan(
+                    &ids,
+                    &ex.encoding.mask,
+                    specials,
+                    vocab,
+                    pcfg.plm_predict,
+                    &mut rng,
+                );
+                batch.ids.push(ids);
+                batch.segments.push(ex.encoding.segments.iter().map(|&s| s as usize).collect());
+                batch.padding.push(ex.encoding.mask.clone());
+                batch.cls_index.push(ex.encoding.cls_index);
+                plans.push(plan);
+            }
+            let t = batch.seq_len();
+            let visibility = stack_visibility(&plans, t);
+            let blank: Vec<Vec<bool>> = plans.iter().map(|p| p.blank.clone()).collect();
+            let targets_rows: Vec<Vec<usize>> = plans.iter().map(|p| p.targets.clone()).collect();
+            let (positions, target_ids) = masked_positions(&targets_rows, ignore);
+            if positions.is_empty() {
+                continue;
+            }
+            let mut ctx = Ctx::train(pcfg.seed ^ (epoch as u64) << 21 ^ batches as u64);
+            let hidden = model.forward(&batch, Some(&visibility), Some(&blank), &mut ctx);
+            let logits = mlm_logits_at(&hidden, &mlm, &positions);
+            let loss = logits.cross_entropy(&target_ids, None);
+            epoch_loss += loss.item();
+            batches += 1;
+            opt.zero_grad();
+            loss.backward();
+            clip_grad_norm(opt.params(), 1.0);
+            opt.step(schedule.lr_at(opt.steps_taken()));
+        }
+        loss_history.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+    }
+    PretrainedModel { model, mlm, nsp: None, loss_history }
+}
+
+/// Knowledge distillation of a (frozen) teacher into a half-depth student
+/// (DistilBERT, §4.4): triple loss of soft targets, hard MLM, and cosine
+/// hidden-state alignment.
+pub fn distill(
+    teacher: &PretrainedModel,
+    student_cfg: TransformerConfig,
+    docs: &[Vec<String>],
+    tokenizer: &AnyTokenizer,
+    pcfg: &PretrainConfig,
+) -> PretrainedModel {
+    assert_eq!(
+        teacher.model.config.hidden, student_cfg.hidden,
+        "distillation aligns hidden states; widths must match"
+    );
+    let vocab = tokenizer.vocab_size();
+    let specials = tokenizer.specials();
+    let ignore = ignore_index(vocab);
+    let mut rng = StdRng::seed_from_u64(pcfg.seed.wrapping_add(1));
+    let examples = build_examples(docs, tokenizer, pcfg.seq_len, student_cfg.arch, &mut rng);
+
+    let model = TransformerModel::new(student_cfg.clone(), pcfg.seed.wrapping_add(1));
+    let mlm = MlmHead::new(student_cfg.hidden, vocab, student_cfg.init_std, &mut rng);
+    let mut params = model.parameters();
+    params.extend(mlm.parameters());
+    let mut opt = Adam::new(params);
+    let steps_per_epoch = examples.len().div_ceil(pcfg.batch_size);
+    let schedule = LinearWarmupDecay {
+        peak: pcfg.lr,
+        warmup_steps: (steps_per_epoch * pcfg.epochs / 20).max(1),
+        total_steps: steps_per_epoch * pcfg.epochs,
+    };
+    let mcfg = MaskingConfig::default();
+
+    let mut loss_history = Vec::with_capacity(pcfg.epochs);
+    let mut order: Vec<usize> = (0..examples.len()).collect();
+    for epoch in 0..pcfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(pcfg.batch_size) {
+            let mut batch = Batch::default();
+            let mut targets_rows = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                let ex = &examples[i];
+                let mut ids: Vec<usize> = ex.encoding.ids.iter().map(|&v| v as usize).collect();
+                let targets =
+                    mask_tokens(&mut ids, &ex.encoding.mask, specials, vocab, mcfg, &mut rng);
+                batch.ids.push(ids);
+                batch.segments.push(ex.encoding.segments.iter().map(|&s| s as usize).collect());
+                batch.padding.push(ex.encoding.mask.clone());
+                batch.cls_index.push(ex.encoding.cls_index);
+                targets_rows.push(targets);
+            }
+            let (positions, target_ids) = masked_positions(&targets_rows, ignore);
+            if positions.is_empty() {
+                continue;
+            }
+            // Teacher runs without a graph: it is frozen.
+            let (teacher_logits, teacher_hidden) = no_grad(|| {
+                let h = teacher.model.forward(&batch, None, None, &mut Ctx::eval());
+                let logits = mlm_logits_at(&h, &teacher.mlm, &positions).value();
+                let shape = h.shape();
+                let flat = h.value().reshape(vec![shape[0] * shape[1], shape[2]]);
+                let rows = flat.gather_rows(&positions, &[positions.len()]);
+                (logits, rows)
+            });
+
+            let mut ctx = Ctx::train(pcfg.seed ^ (epoch as u64) << 22 ^ batches as u64);
+            let hidden = model.forward(&batch, None, None, &mut ctx);
+            let shape = hidden.shape();
+            let flat = hidden.reshape(vec![shape[0] * shape[1], shape[2]]);
+            let student_rows = flat.gather_rows(&positions, &[positions.len()]);
+            let student_logits = mlm.forward(&student_rows);
+
+            let l_soft = DistillationLoss::soft_targets(
+                &student_logits,
+                &teacher_logits,
+                pcfg.distill_temperature,
+            );
+            let l_mlm = student_logits.cross_entropy(&target_ids, None);
+            let l_cos = DistillationLoss::cosine(&student_rows, &teacher_hidden);
+            let loss = l_soft.add(&l_mlm).add(&l_cos);
+            epoch_loss += loss.item();
+            batches += 1;
+            opt.zero_grad();
+            loss.backward();
+            clip_grad_norm(opt.params(), 1.0);
+            opt.step(schedule.lr_at(opt.steps_taken()));
+        }
+        loss_history.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+    }
+    PretrainedModel { model, mlm, nsp: None, loss_history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_corpus() -> Vec<Vec<String>> {
+        (0..40)
+            .map(|i| {
+                vec![
+                    format!("product model {} with display and battery", i % 7),
+                    format!("brand {} makes phone model {}", i % 5, i % 7),
+                ]
+            })
+            .collect()
+    }
+
+    fn toy_tokenizer(docs: &[Vec<String>]) -> AnyTokenizer {
+        let flat: Vec<String> = docs.iter().flatten().cloned().collect();
+        AnyTokenizer::WordPiece(em_tokenizers::WordPiece::train(&flat, 200))
+    }
+
+    fn quick_pcfg() -> PretrainConfig {
+        PretrainConfig { epochs: 2, batch_size: 8, seq_len: 20, lr: 3e-4, ..Default::default() }
+    }
+
+    #[test]
+    fn bert_pretraining_reduces_loss() {
+        let corpus = toy_corpus();
+        let tok = toy_tokenizer(&corpus);
+        let cfg = TransformerConfig::tiny(Architecture::Bert, tok.vocab_size());
+        let pre = pretrain_mlm(cfg, &corpus, &tok, &quick_pcfg(), false);
+        assert_eq!(pre.loss_history.len(), 2);
+        assert!(
+            pre.loss_history[1] < pre.loss_history[0],
+            "loss should fall: {:?}",
+            pre.loss_history
+        );
+        assert!(pre.nsp.is_some(), "BERT pre-trains NSP");
+    }
+
+    #[test]
+    fn roberta_pretraining_has_no_nsp() {
+        let corpus = toy_corpus();
+        let tok = toy_tokenizer(&corpus);
+        let cfg = TransformerConfig::tiny(Architecture::Roberta, tok.vocab_size());
+        let pre = pretrain_mlm(cfg, &corpus, &tok, &quick_pcfg(), true);
+        assert!(pre.nsp.is_none());
+        assert!(pre.loss_history[1] < pre.loss_history[0]);
+    }
+
+    #[test]
+    fn xlnet_plm_pretraining_reduces_loss() {
+        let corpus = toy_corpus();
+        let tok = toy_tokenizer(&corpus);
+        let cfg = TransformerConfig::tiny(Architecture::Xlnet, tok.vocab_size());
+        let pre = pretrain_plm(cfg, &corpus, &tok, &quick_pcfg());
+        assert!(
+            pre.loss_history[1] < pre.loss_history[0],
+            "PLM loss should fall: {:?}",
+            pre.loss_history
+        );
+    }
+
+    #[test]
+    fn distillation_trains_student() {
+        let corpus = toy_corpus();
+        let tok = toy_tokenizer(&corpus);
+        let pcfg = quick_pcfg();
+        let tcfg = TransformerConfig::tiny(Architecture::Bert, tok.vocab_size());
+        let teacher = pretrain_mlm(tcfg, &corpus, &tok, &pcfg, false);
+        let scfg = TransformerConfig::tiny(Architecture::DistilBert, tok.vocab_size());
+        let student = distill(&teacher, scfg, &corpus, &tok, &pcfg);
+        assert!(student.loss_history[1] < student.loss_history[0]);
+        assert!(student.model.num_parameters() < teacher.model.num_parameters());
+    }
+}

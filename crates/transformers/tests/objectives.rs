@@ -1,0 +1,139 @@
+//! Edge-case tests for the pre-training objectives.
+
+use em_tensor::{Array, Tensor};
+use em_tokenizers::SpecialTokens;
+use em_transformers::pretrain::{
+    build_nsp_pairs, ignore_index, mask_tokens, sample_plm_plan, stack_visibility,
+    DistillationLoss, MaskingConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn specials() -> SpecialTokens {
+    SpecialTokens { pad: 0, unk: 1, cls: 2, sep: 3, mask: 4 }
+}
+
+#[test]
+fn masking_with_all_special_sequence_is_a_noop() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut ids = vec![2usize, 3, 0, 0];
+    let padding = vec![1, 1, 0, 0];
+    let targets =
+        mask_tokens(&mut ids, &padding, specials(), 50, MaskingConfig::default(), &mut rng);
+    assert_eq!(ids, vec![2, 3, 0, 0], "nothing eligible to mask");
+    assert!(targets.iter().all(|&t| t == ignore_index(50)));
+}
+
+#[test]
+fn masking_rate_approximates_fifteen_percent() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut selected = 0usize;
+    let mut total = 0usize;
+    for _ in 0..200 {
+        let mut ids: Vec<usize> = (10..60).collect();
+        let padding = vec![1u8; ids.len()];
+        let targets =
+            mask_tokens(&mut ids, &padding, specials(), 100, MaskingConfig::default(), &mut rng);
+        selected += targets.iter().filter(|&&t| t != ignore_index(100)).count();
+        total += targets.len();
+    }
+    let rate = selected as f64 / total as f64;
+    assert!((rate - 0.15).abs() < 0.02, "selection rate {rate}");
+}
+
+#[test]
+fn masking_mixture_is_80_10_10() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (mut as_mask, mut as_random_or_kept) = (0usize, 0usize);
+    for _ in 0..300 {
+        let orig: Vec<usize> = (10..60).collect();
+        let mut ids = orig.clone();
+        let padding = vec![1u8; ids.len()];
+        let targets =
+            mask_tokens(&mut ids, &padding, specials(), 1000, MaskingConfig::default(), &mut rng);
+        for i in 0..ids.len() {
+            if targets[i] != ignore_index(1000) {
+                if ids[i] == specials().mask as usize {
+                    as_mask += 1;
+                } else {
+                    as_random_or_kept += 1;
+                }
+            }
+        }
+    }
+    let frac_mask = as_mask as f64 / (as_mask + as_random_or_kept) as f64;
+    assert!((frac_mask - 0.8).abs() < 0.05, "[MASK] fraction {frac_mask}");
+}
+
+#[test]
+fn plm_plan_caps_targets_at_eligible_positions() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ids = vec![2usize, 10, 3]; // only one eligible position
+    let padding = vec![1u8; 3];
+    let plan = sample_plm_plan(&ids, &padding, specials(), 50, 10, &mut rng);
+    assert_eq!(plan.blank.iter().filter(|&&b| b).count(), 1);
+    assert_eq!(plan.targets[1], 10);
+}
+
+#[test]
+fn plm_visibility_excludes_padding() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let ids = vec![2usize, 10, 11, 3, 0, 0];
+    let padding = vec![1, 1, 1, 1, 0, 0];
+    let plan = sample_plm_plan(&ids, &padding, specials(), 50, 2, &mut rng);
+    // No real position may see a padded key (other than itself).
+    for i in 0..4 {
+        for j in 4..6 {
+            assert!(plan.visibility[i * 6 + j] < 0.0, "({i},{j}) sees padding");
+        }
+    }
+}
+
+#[test]
+fn stacked_visibility_has_batch_shape() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let ids = vec![2usize, 10, 11, 3];
+    let padding = vec![1u8; 4];
+    let plans: Vec<_> = (0..3)
+        .map(|_| sample_plm_plan(&ids, &padding, specials(), 50, 1, &mut rng))
+        .collect();
+    let vis = stack_visibility(&plans, 4);
+    assert_eq!(vis.shape(), &[3, 1, 4, 4]);
+}
+
+#[test]
+fn nsp_degenerate_inputs() {
+    let mut rng = StdRng::seed_from_u64(6);
+    assert!(build_nsp_pairs(&[], &mut rng).is_empty());
+    assert!(build_nsp_pairs(&[vec!["one doc".into()]], &mut rng).is_empty());
+    // Single-sentence documents yield no within-document pairs.
+    let docs = vec![vec!["a".to_string()], vec!["b".to_string()]];
+    assert!(build_nsp_pairs(&docs, &mut rng).is_empty());
+}
+
+#[test]
+fn distillation_gradient_points_toward_teacher_ranking() {
+    // For a uniform student, the distillation gradient must push the
+    // teacher's top class up and its bottom class down at any temperature
+    // (the tau² factor keeps magnitudes comparable; direction is what the
+    // student learns).
+    let teacher = Array::from_vec(vec![5.0, 0.0, -5.0], vec![1, 3]);
+    for tau in [1.0f32, 2.0, 4.0] {
+        let student = Tensor::parameter(Array::zeros(vec![1, 3]));
+        let loss = DistillationLoss::soft_targets(&student, &teacher, tau);
+        loss.backward();
+        let g = student.grad().unwrap();
+        assert!(g.data()[0] < 0.0, "tau {tau}: top-class logit must rise");
+        assert!(g.data()[2] > 0.0, "tau {tau}: bottom-class logit must fall");
+    }
+}
+
+#[test]
+fn cosine_loss_is_scale_invariant() {
+    let h = Array::from_vec(vec![1.0, 2.0, 3.0], vec![1, 3]);
+    let s1 = Tensor::constant(h.scale(0.1));
+    let s2 = Tensor::constant(h.scale(10.0));
+    let l1 = DistillationLoss::cosine(&s1, &h).item();
+    let l2 = DistillationLoss::cosine(&s2, &h).item();
+    assert!((l1 - l2).abs() < 1e-4, "{l1} vs {l2}");
+}

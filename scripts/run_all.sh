@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper. Flags tune fidelity; the
+# defaults here target a single-core CPU budget of ~40 minutes.
+set -uo pipefail
+SCALE="${SCALE:-0.04}"
+EPOCHS="${EPOCHS:-8}"
+RUNS="${RUNS:-1}"
+PT="${PT:-6}"
+DM="${DM:-16}"
+COMMON=(--scale "$SCALE" --epochs "$EPOCHS" --runs "$RUNS" --pretrain-epochs "$PT")
+
+cargo run --release -p em-bench --bin table3 -- "$@"
+cargo run --release -p em-bench --bin table4 -- "$@"
+# figures computes (and caches) all 4x5 curves; table5/6 reuse them.
+cargo run --release -p em-bench --bin figures -- "${COMMON[@]}"
+cargo run --release -p em-bench --bin table6 -- "${COMMON[@]}"
+cargo run --release -p em-bench --bin table5 -- "${COMMON[@]}" --dm-epochs "$DM"
+cargo run --release -p em-bench --bin ablations -- --scale "$SCALE" --epochs "$EPOCHS" --pretrain-epochs "$PT"

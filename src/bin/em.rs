@@ -1,0 +1,190 @@
+//! `em` — the command-line face of the library for downstream users.
+//!
+//! ```text
+//! em generate --dataset walmart-amazon --scale 0.05 --seed 42 --out pairs.csv
+//! em baseline --input pairs.csv [--textual-attribute description]
+//! em train    --input pairs.csv [--arch distilbert --epochs 5 --pretrain-epochs 3]
+//! em block    --dataset dblp-acm --scale 0.02
+//! ```
+//!
+//! `generate` writes a labeled pairs CSV; `baseline` trains the
+//! Magellan-style matcher on a CSV and reports test F1; `train` runs the
+//! full pretrain→fine-tune transformer pipeline on a CSV; `block`
+//! demonstrates the candidate-generation blockers.
+
+use em_core::{fine_tune, pipeline::train_tokenizer, FineTuneConfig};
+use em_data::csv::{pairs_from_csv, pairs_to_csv};
+use em_data::{Blocker, DatasetId, PrF1, TokenBlocker};
+use em_transformers::{pretrain, Architecture, PretrainConfig, TransformerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == &format!("--{name}")).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: em <generate|baseline|train|block> [options]\n\
+         \n\
+         em generate --dataset <abt-buy|itunes-amazon|walmart-amazon|dblp-acm|dblp-scholar>\n\
+         \x20           [--scale 0.05] [--seed 42] [--out pairs.csv]\n\
+         em baseline --input pairs.csv [--textual-attribute <attr>] [--seed 42]\n\
+         em train    --input pairs.csv [--arch bert|xlnet|roberta|distilbert]\n\
+         \x20           [--epochs 5] [--pretrain-epochs 3] [--seed 42]\n\
+         em block    --dataset <name> [--scale 0.02] [--min-shared 2]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let cmd = std::env::args().nth(1).unwrap_or_default();
+    let seed: u64 = arg("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    match cmd.as_str() {
+        "generate" => {
+            let Some(id) = arg("dataset").and_then(|s| DatasetId::parse(&s)) else {
+                return usage();
+            };
+            let scale: f64 = arg("scale").and_then(|s| s.parse().ok()).unwrap_or(0.05);
+            let ds = id.generate(scale, seed);
+            let csv = pairs_to_csv(&ds);
+            match arg("out") {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, csv) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!(
+                        "wrote {} pairs ({} matches, {} attributes) to {path}",
+                        ds.size(),
+                        ds.matches(),
+                        ds.num_attributes()
+                    );
+                }
+                None => print!("{csv}"),
+            }
+            ExitCode::SUCCESS
+        }
+        "baseline" => {
+            let Some(input) = arg("input") else { return usage() };
+            let Ok(text) = std::fs::read_to_string(&input) else {
+                eprintln!("cannot read {input}");
+                return ExitCode::FAILURE;
+            };
+            let mut ds = match pairs_from_csv(&text, "csv-input") {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("bad csv: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            ds.textual_attribute = arg("textual-attribute");
+            let mut rng = StdRng::seed_from_u64(seed);
+            let split = ds.split(&mut rng);
+            let m = em_baselines::MagellanMatcher::fit_best(
+                &ds.effective_attributes(),
+                &split.train,
+                &split.valid,
+                seed,
+            );
+            let labels: Vec<bool> = split.test.iter().map(|p| p.label).collect();
+            let q = PrF1::from_predictions(&m.predict_all(&split.test), &labels);
+            println!(
+                "Magellan ({}) on {} test pairs: P {:.3} R {:.3} F1 {:.1}%",
+                m.learner.name(),
+                split.test.len(),
+                q.precision(),
+                q.recall(),
+                q.f1_percent()
+            );
+            ExitCode::SUCCESS
+        }
+        "train" => {
+            let Some(input) = arg("input") else { return usage() };
+            let Ok(text) = std::fs::read_to_string(&input) else {
+                eprintln!("cannot read {input}");
+                return ExitCode::FAILURE;
+            };
+            let ds = match pairs_from_csv(&text, "csv-input") {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("bad csv: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let arch = match arg("arch").as_deref() {
+                Some("xlnet") => Architecture::Xlnet,
+                Some("roberta") => Architecture::Roberta,
+                Some("distilbert") | None => Architecture::DistilBert,
+                Some("bert") => Architecture::Bert,
+                Some(other) => {
+                    eprintln!("unknown arch {other}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let epochs: usize = arg("epochs").and_then(|s| s.parse().ok()).unwrap_or(5);
+            let pt_epochs: usize =
+                arg("pretrain-epochs").and_then(|s| s.parse().ok()).unwrap_or(3);
+            let docs = em_data::generate_documents(1200, seed);
+            let flat: Vec<String> = docs.iter().flatten().cloned().collect();
+            let tok = train_tokenizer(arch, &flat, 900);
+            let cfg = TransformerConfig::tiny(
+                arch,
+                em_tokenizers::Tokenizer::vocab_size(&tok),
+            );
+            eprintln!("pre-training {} for {pt_epochs} epochs…", arch.name());
+            let pre = pretrain(
+                cfg,
+                &docs,
+                &tok,
+                &PretrainConfig { epochs: pt_epochs, ..Default::default() },
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let split = ds.split(&mut rng);
+            eprintln!("fine-tuning on {} pairs…", split.train.len());
+            let ft = FineTuneConfig { epochs, seed, ..Default::default() };
+            let (_, result) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
+            for rec in &result.curve {
+                println!("epoch {:>2}: F1 {:>5.1}%", rec.epoch, rec.f1);
+            }
+            println!("best F1: {:.1}%", result.best_f1);
+            ExitCode::SUCCESS
+        }
+        "block" => {
+            let Some(id) = arg("dataset").and_then(|s| DatasetId::parse(&s)) else {
+                return usage();
+            };
+            let scale: f64 = arg("scale").and_then(|s| s.parse().ok()).unwrap_or(0.02);
+            let min_shared: usize =
+                arg("min-shared").and_then(|s| s.parse().ok()).unwrap_or(2);
+            let ds = id.generate(scale, seed);
+            // Rebuild the two tables from the candidate pairs.
+            let table_a: Vec<_> = ds.pairs.iter().map(|p| p.a.clone()).collect();
+            let table_b: Vec<_> = ds.pairs.iter().map(|p| p.b.clone()).collect();
+            let truth: HashSet<(usize, usize)> = ds
+                .pairs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.label)
+                .map(|(i, _)| (i, i))
+                .collect();
+            let blocker = TokenBlocker { min_shared, ..Default::default() };
+            let cands = blocker.block(&table_a, &table_b);
+            let q = em_data::blocking::evaluate_blocking(
+                &cands,
+                &truth,
+                table_a.len(),
+                table_b.len(),
+            );
+            println!(
+                "token blocker on {}: {} candidates, recall {:.3}, reduction {:.3}",
+                ds.name, q.candidates, q.recall, q.reduction
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

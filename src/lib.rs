@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the full entity-matching stack for examples
+//! and integration tests.
+pub use em_baselines as baselines;
+pub use em_core as core;
+pub use em_data as data;
+pub use em_nn as nn;
+pub use em_tensor as tensor;
+pub use em_tokenizers as tokenizers;
+pub use em_transformers as transformers;

@@ -1,0 +1,118 @@
+//! Cross-crate integration tests: the full pipeline at miniature scale.
+
+use em_core::experiment::{get_or_pretrain, ExperimentConfig, ModelScale};
+use em_core::{fine_tune, pipeline, FineTuneConfig};
+use em_data::{DatasetId, PrF1};
+use em_tokenizers::Tokenizer;
+use em_transformers::{pretrain, Architecture, PretrainConfig, TransformerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_pretrain(arch: Architecture, corpus_seed: u64) -> (em_transformers::PretrainedModel, em_tokenizers::AnyTokenizer) {
+    let docs = em_data::generate_documents(150, corpus_seed);
+    let flat: Vec<String> = docs.iter().flatten().cloned().collect();
+    let tok = pipeline::train_tokenizer(arch, &flat, 350);
+    let cfg = TransformerConfig::tiny(arch, tok.vocab_size());
+    let pcfg = PretrainConfig { epochs: 1, batch_size: 8, seq_len: 20, ..Default::default() };
+    (pretrain(cfg, &docs, &tok, &pcfg), tok)
+}
+
+#[test]
+fn every_architecture_pretrains_and_finetunes() {
+    let ds = DatasetId::ItunesAmazon.generate(0.3, 13);
+    let mut rng = StdRng::seed_from_u64(13);
+    let split = ds.split(&mut rng);
+    for (i, arch) in Architecture::ALL.into_iter().enumerate() {
+        let (pre, tok) = tiny_pretrain(arch, 20 + i as u64);
+        let ft = FineTuneConfig { epochs: 1, batch_size: 8, lr: 1e-3, seed: 5, max_len_cap: 32 };
+        let (matcher, result) =
+            fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
+        assert_eq!(result.curve.len(), 2, "{}", arch.name());
+        let preds = matcher.predict(&ds, &split.test);
+        assert_eq!(preds.len(), split.test.len(), "{}", arch.name());
+    }
+}
+
+#[test]
+fn pipeline_encodings_are_model_consumable() {
+    let corpus = em_data::generate_corpus(100, 1);
+    let tok = pipeline::train_tokenizer(Architecture::Roberta, &corpus, 500);
+    let ds = DatasetId::AbtBuy.generate(0.005, 2);
+    let max_len = pipeline::choose_max_len(&ds, &ds.pairs, &tok, 48);
+    let (encodings, labels) =
+        pipeline::encode_pairs(&ds, &ds.pairs, &tok, Architecture::Roberta, max_len);
+    assert_eq!(encodings.len(), labels.len());
+    let batch = em_transformers::Batch::from_encodings(&encodings[..4.min(encodings.len())]);
+    let cfg = TransformerConfig::tiny(Architecture::Roberta, tok.vocab_size());
+    let model = em_transformers::TransformerModel::new(cfg, 3);
+    let out = em_tensor::no_grad(|| {
+        model.forward(&batch, None, None, &mut em_nn::Ctx::eval()).value()
+    });
+    assert_eq!(out.shape()[0], batch.len());
+    assert_eq!(out.shape()[1], max_len);
+}
+
+#[test]
+fn baselines_run_end_to_end_on_generated_data() {
+    use em_baselines::MagellanMatcher;
+    let ds = DatasetId::DblpScholar.generate(0.01, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let split = ds.split(&mut rng);
+    let m = MagellanMatcher::fit_best(&ds.effective_attributes(), &split.train, &split.valid, 5);
+    let preds = m.predict_all(&split.test);
+    let labels: Vec<bool> = split.test.iter().map(|p| p.label).collect();
+    let f1 = PrF1::from_predictions(&preds, &labels).f1();
+    assert!(f1 > 0.3, "Magellan should do reasonably on citations: {f1}");
+}
+
+#[test]
+fn experiment_harness_produces_consistent_cached_results() {
+    let dir = std::env::temp_dir().join("em-e2e-cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ExperimentConfig {
+        scale: 0.01,
+        runs: 1,
+        epochs: 1,
+        vocab_size: 300,
+        corpus_lines: 100,
+        model_scale: ModelScale::Tiny,
+        pretrain: PretrainConfig { epochs: 1, batch_size: 8, seq_len: 16, ..Default::default() },
+        finetune: FineTuneConfig { batch_size: 8, max_len_cap: 24, ..Default::default() },
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let a = get_or_pretrain(Architecture::Xlnet, &cfg);
+    let b = get_or_pretrain(Architecture::Xlnet, &cfg);
+    assert_eq!(a.encoder_state, b.encoder_state, "cache must be deterministic");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dataset_splits_are_disjoint_and_deterministic() {
+    let ds = DatasetId::WalmartAmazon.generate(0.02, 6);
+    let mut rng1 = StdRng::seed_from_u64(7);
+    let mut rng2 = StdRng::seed_from_u64(7);
+    let s1 = ds.split(&mut rng1);
+    let s2 = ds.split(&mut rng2);
+    assert_eq!(s1.train.len(), s2.train.len());
+    assert_eq!(s1.test[0], s2.test[0], "splits deterministic per seed");
+    // Disjointness by record ids.
+    let ids = |v: &[em_data::EntityPair]| -> std::collections::HashSet<(u64, u64)> {
+        v.iter().map(|p| (p.a.id, p.b.id)).collect()
+    };
+    let train = ids(&s1.train);
+    let test = ids(&s1.test);
+    assert!(train.is_disjoint(&test), "train/test must not share pairs");
+}
+
+#[test]
+fn zero_shot_is_evaluated_before_any_training() {
+    let (pre, tok) = tiny_pretrain(Architecture::Bert, 31);
+    let ds = DatasetId::DblpAcm.generate(0.005, 8);
+    let mut rng = StdRng::seed_from_u64(9);
+    let split = ds.split(&mut rng);
+    let ft = FineTuneConfig { epochs: 0, batch_size: 8, lr: 1e-3, seed: 6, max_len_cap: 32 };
+    let (_, result) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
+    assert_eq!(result.curve.len(), 1, "epochs=0 still yields the zero-shot point");
+    assert_eq!(result.curve[0].epoch, 0);
+}

@@ -1,0 +1,93 @@
+//! Integration tests for the extension subsystems: blocking, CSV
+//! interchange, and long-text matching.
+
+use em_data::blocking::evaluate_blocking;
+use em_data::csv::{pairs_from_csv, pairs_to_csv};
+use em_data::{company_dataset, Blocker, DatasetId, QgramBlocker, TokenBlocker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+#[test]
+fn blocking_keeps_matches_and_reduces_candidates() {
+    let ds = DatasetId::DblpScholar.generate(0.01, 21);
+    let table_a: Vec<_> = ds.pairs.iter().map(|p| p.a.clone()).collect();
+    let table_b: Vec<_> = ds.pairs.iter().map(|p| p.b.clone()).collect();
+    let truth: HashSet<(usize, usize)> = ds
+        .pairs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.label)
+        .map(|(i, _)| (i, i))
+        .collect();
+    let cands = TokenBlocker::default().block(&table_a, &table_b);
+    let q = evaluate_blocking(&cands, &truth, table_a.len(), table_b.len());
+    assert!(q.recall > 0.9, "token blocking must keep nearly all matches: {}", q.recall);
+    assert!(q.reduction > 0.3, "and prune a good share of the cross product: {}", q.reduction);
+}
+
+#[test]
+fn qgram_blocking_works_on_dirty_products() {
+    let ds = DatasetId::WalmartAmazon.generate(0.01, 22);
+    let table_a: Vec<_> = ds.pairs.iter().map(|p| p.a.clone()).collect();
+    let table_b: Vec<_> = ds.pairs.iter().map(|p| p.b.clone()).collect();
+    let truth: HashSet<(usize, usize)> = ds
+        .pairs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.label)
+        .map(|(i, _)| (i, i))
+        .collect();
+    let cands = QgramBlocker { attribute: None, min_shared: 8 }.block(&table_a, &table_b);
+    let q = evaluate_blocking(&cands, &truth, table_a.len(), table_b.len());
+    assert!(q.recall > 0.85, "q-gram blocking recall: {}", q.recall);
+}
+
+#[test]
+fn csv_roundtrip_preserves_every_dataset() {
+    for id in DatasetId::ALL {
+        let ds = id.generate(0.003, 23);
+        let back = pairs_from_csv(&pairs_to_csv(&ds), &ds.name).expect(id.display_name());
+        assert_eq!(back.size(), ds.size(), "{}", id.display_name());
+        assert_eq!(back.matches(), ds.matches(), "{}", id.display_name());
+        assert_eq!(back.attributes, ds.attributes, "{}", id.display_name());
+    }
+}
+
+#[test]
+fn long_text_strategies_run_on_company_data() {
+    use em_core::{fine_tune, pipeline::train_tokenizer, FineTuneConfig, LongTextStrategy};
+    use em_transformers::{pretrain, Architecture, PretrainConfig, TransformerConfig};
+
+    let docs = em_data::generate_documents(120, 31);
+    let flat: Vec<String> = docs.iter().flatten().cloned().collect();
+    let tok = train_tokenizer(Architecture::DistilBert, &flat, 350);
+    let cfg = TransformerConfig::tiny(
+        Architecture::DistilBert,
+        em_tokenizers::Tokenizer::vocab_size(&tok),
+    );
+    let pre = pretrain(
+        cfg,
+        &docs,
+        &tok,
+        &PretrainConfig { epochs: 1, batch_size: 8, seq_len: 20, ..Default::default() },
+    );
+
+    let ds = company_dataset(30, 8, 32);
+    let mut rng = StdRng::seed_from_u64(33);
+    let split = ds.split(&mut rng);
+    let ft = FineTuneConfig { epochs: 1, batch_size: 8, lr: 1e-3, seed: 34, max_len_cap: 32 };
+    let (matcher, _) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
+
+    // Both strategies must produce a decision for every pair; the windowed
+    // strategy sees content truncation destroys.
+    let trunc = em_core::predict_long(&matcher, &ds, &split.test, LongTextStrategy::Truncate);
+    let windowed = em_core::predict_long(
+        &matcher,
+        &ds,
+        &split.test,
+        LongTextStrategy::SlidingWindow { window_words: 24 },
+    );
+    assert_eq!(trunc.len(), split.test.len());
+    assert_eq!(windowed.len(), split.test.len());
+}
