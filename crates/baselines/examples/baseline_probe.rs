@@ -7,25 +7,61 @@ fn main() {
     let scale = 0.10;
     let skip_dm = std::env::args().any(|a| a == "--no-dm");
     for id in DatasetId::ALL {
-        let eff = if id == DatasetId::ItunesAmazon { 1.0 } else { scale };
+        let eff = if id == DatasetId::ItunesAmazon {
+            1.0
+        } else {
+            scale
+        };
         let ds = id.generate(eff, 42);
         let mut rng = StdRng::seed_from_u64(7);
         let split = ds.split(&mut rng);
         let t0 = std::time::Instant::now();
-        let mg = MagellanMatcher::fit_best(&ds.effective_attributes(), &split.train, &split.valid, 1);
+        let mg =
+            MagellanMatcher::fit_best(&ds.effective_attributes(), &split.train, &split.valid, 1);
         let labels: Vec<bool> = split.test.iter().map(|p| p.label).collect();
         let mg_f1 = PrF1::from_predictions(&mg.predict_all(&split.test), &labels).f1_percent();
         let mg_t = t0.elapsed().as_secs_f32();
 
-        if skip_dm { println!("{:<28} Magellan {:>5.1} ({} {:.1}s)", ds.name, mg_f1, mg.learner.name(), mg_t); continue; }
+        if skip_dm {
+            println!(
+                "{:<28} Magellan {:>5.1} ({} {:.1}s)",
+                ds.name,
+                mg_f1,
+                mg.learner.name(),
+                mg_t
+            );
+            continue;
+        }
         // DeepMatcher on serialized text
         let ser = |p: &em_data::EntityPair| (ds.serialize_record(&p.a), ds.serialize_record(&p.b));
-        let train: Vec<(String,String,bool)> = split.train.iter().map(|p| { let (a,b)=ser(p); (a,b,p.label) }).collect();
+        let train: Vec<(String, String, bool)> = split
+            .train
+            .iter()
+            .map(|p| {
+                let (a, b) = ser(p);
+                (a, b, p.label)
+            })
+            .collect();
         let t1 = std::time::Instant::now();
-        let dm = DeepMatcher::train(&train, DeepMatcherConfig { epochs: 12, max_len: 40, ..Default::default() });
-        let test_pairs: Vec<(String,String)> = split.test.iter().map(&ser).collect();
+        let dm = DeepMatcher::train(
+            &train,
+            DeepMatcherConfig {
+                epochs: 12,
+                max_len: 40,
+                ..Default::default()
+            },
+        );
+        let test_pairs: Vec<(String, String)> = split.test.iter().map(&ser).collect();
         let dm_f1 = PrF1::from_predictions(&dm.predict_all(&test_pairs), &labels).f1_percent();
-        println!("{:<28} Magellan {:>5.1} ({} {:.1}s)  DeepM {:>5.1} ({:.0}s)  [n_train={}]",
-            ds.name, mg_f1, mg.learner.name(), mg_t, dm_f1, t1.elapsed().as_secs_f32(), split.train.len());
+        println!(
+            "{:<28} Magellan {:>5.1} ({} {:.1}s)  DeepM {:>5.1} ({:.0}s)  [n_train={}]",
+            ds.name,
+            mg_f1,
+            mg.learner.name(),
+            mg_t,
+            dm_f1,
+            t1.elapsed().as_secs_f32(),
+            split.train.len()
+        );
     }
 }

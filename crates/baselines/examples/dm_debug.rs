@@ -7,34 +7,59 @@ fn toy(n: usize, seed: u64) -> Vec<(String, String, bool)> {
     let brands = ["apple", "asus", "sony", "dell"];
     let nouns = ["phone", "laptop", "camera"];
     let models = ["m10", "m20", "m30", "m40", "m50", "m60", "m70", "m80"];
-    (0..n).map(|i| {
-        let brand = brands[rng.gen_range(0..brands.len())];
-        let noun = nouns[rng.gen_range(0..nouns.len())];
-        let model = models[rng.gen_range(0..models.len())];
-        let label = i % 3 == 0;
-        let a = format!("{brand} {noun} model {model}");
-        let b = if label { format!("the {brand} {noun} {model}") } else {
-            let mut other = models[rng.gen_range(0..models.len())];
-            while other == model { other = models[rng.gen_range(0..models.len())]; }
-            format!("the {brand} {noun} {other}")
-        };
-        (a, b, label)
-    }).collect()
+    (0..n)
+        .map(|i| {
+            let brand = brands[rng.gen_range(0..brands.len())];
+            let noun = nouns[rng.gen_range(0..nouns.len())];
+            let model = models[rng.gen_range(0..models.len())];
+            let label = i % 3 == 0;
+            let a = format!("{brand} {noun} model {model}");
+            let b = if label {
+                format!("the {brand} {noun} {model}")
+            } else {
+                let mut other = models[rng.gen_range(0..models.len())];
+                while other == model {
+                    other = models[rng.gen_range(0..models.len())];
+                }
+                format!("the {brand} {noun} {other}")
+            };
+            (a, b, label)
+        })
+        .collect()
 }
 
 fn main() {
-    for (epochs, lr, hidden) in [(8, 3e-3f32, 8usize), (30, 3e-3, 8), (30, 1e-2, 16), (60, 3e-3, 16)] {
+    for (epochs, lr, hidden) in [
+        (8, 3e-3f32, 8usize),
+        (30, 3e-3, 8),
+        (30, 1e-2, 16),
+        (60, 3e-3, 16),
+    ] {
         let train = toy(150, 2);
         let test = toy(60, 3);
-        let cfg = DeepMatcherConfig { embed_dim: 16, hidden, max_len: 8, epochs, batch_size: 16, lr, seed: 0 };
+        let cfg = DeepMatcherConfig {
+            embed_dim: 16,
+            hidden,
+            max_len: 8,
+            epochs,
+            batch_size: 16,
+            lr,
+            seed: 0,
+        };
         let t0 = std::time::Instant::now();
         let dm = DeepMatcher::train(&train, cfg);
-        let pairs: Vec<(String,String)> = test.iter().map(|(a,b,_)| (a.clone(),b.clone())).collect();
-        let labels: Vec<bool> = test.iter().map(|(_,_,l)| *l).collect();
+        let pairs: Vec<(String, String)> = test
+            .iter()
+            .map(|(a, b, _)| (a.clone(), b.clone()))
+            .collect();
+        let labels: Vec<bool> = test.iter().map(|(_, _, l)| *l).collect();
         let preds = dm.predict_all(&pairs);
         let f1 = em_data::f1_score(&preds, &labels);
-        let train_pairs: Vec<(String,String)> = train.iter().map(|(a,b,_)| (a.clone(),b.clone())).collect();
-        let train_labels: Vec<bool> = train.iter().map(|(_,_,l)| *l).collect();
+        let train_pairs: Vec<(String, String)> = train
+            .iter()
+            .map(|(a, b, _)| (a.clone(), b.clone()))
+            .collect();
+        let train_labels: Vec<bool> = train.iter().map(|(_, _, l)| *l).collect();
         let tf1 = em_data::f1_score(&dm.predict_all(&train_pairs), &train_labels);
         println!("epochs={epochs} lr={lr} hidden={hidden}: train F1 {tf1:.3} test F1 {f1:.3} loss {:?} -> {:?} ({:.1}s)",
             dm.loss_history.first(), dm.loss_history.last(), t0.elapsed().as_secs_f32());

@@ -66,8 +66,13 @@ impl LogisticRegression {
 
 impl Classifier for LogisticRegression {
     fn predict_proba(&self, features: &[f64]) -> f64 {
-        let z: f64 =
-            self.bias + self.weights.iter().zip(features).map(|(w, v)| w * v).sum::<f64>();
+        let z: f64 = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(features)
+                .map(|(w, v)| w * v)
+                .sum::<f64>();
         1.0 / (1.0 + (-z).exp())
     }
 }
@@ -80,8 +85,15 @@ pub struct DecisionTree {
 
 #[derive(Debug, Clone)]
 enum TreeNode {
-    Leaf { proba: f64 },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        proba: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// Decision-tree hyperparameters.
@@ -97,18 +109,17 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 8, min_samples_split: 4, max_features: None }
+        Self {
+            max_depth: 8,
+            min_samples_split: 4,
+            max_features: None,
+        }
     }
 }
 
 impl DecisionTree {
     /// Fit a tree; `rng` is used only when `max_features` subsamples.
-    pub fn fit(
-        x: &[Vec<f64>],
-        y: &[bool],
-        params: TreeParams,
-        rng: &mut StdRng,
-    ) -> Self {
+    pub fn fit(x: &[Vec<f64>], y: &[bool], params: TreeParams, rng: &mut StdRng) -> Self {
         assert_eq!(x.len(), y.len());
         assert!(!x.is_empty(), "empty training set");
         let idx: Vec<usize> = (0..x.len()).collect();
@@ -193,7 +204,7 @@ fn build_node(
             }
             let weighted = (lt * gini(lp, lt) + rt * gini(rp, rt)) / total;
             let gain = parent_gini - weighted;
-            if best.map_or(true, |(_, _, g)| gain > g) {
+            if best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((f, thr, gain));
             }
         }
@@ -211,7 +222,12 @@ fn build_node(
     nodes.push(TreeNode::Leaf { proba }); // placeholder
     let left = build_node(x, y, &left_idx, params, depth + 1, nodes, rng);
     let right = build_node(x, y, &right_idx, params, depth + 1, nodes, rng);
-    nodes[slot] = TreeNode::Split { feature, threshold, left, right };
+    nodes[slot] = TreeNode::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
     slot
 }
 
@@ -222,8 +238,17 @@ impl Classifier for DecisionTree {
         loop {
             match &self.nodes[cur] {
                 TreeNode::Leaf { proba } => return *proba,
-                TreeNode::Split { feature, threshold, left, right } => {
-                    cur = if features[*feature] <= *threshold { *left } else { *right };
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -305,7 +330,11 @@ mod tests {
     }
 
     fn accuracy(c: &dyn Classifier, x: &[Vec<f64>], y: &[bool]) -> f64 {
-        let hits = x.iter().zip(y).filter(|(xi, &yi)| c.predict(xi) == yi).count();
+        let hits = x
+            .iter()
+            .zip(y)
+            .filter(|(xi, &yi)| c.predict(xi) == yi)
+            .count();
         hits as f64 / x.len() as f64
     }
 
@@ -369,6 +398,9 @@ mod tests {
         let lr = LogisticRegression::fit(&x, &y, 400, 0.5, 1e-4);
         // The weighted model must actually predict some positives.
         let predicted_pos = x.iter().filter(|xi| lr.predict(xi)).count();
-        assert!(predicted_pos >= 10, "imbalance swallowed positives: {predicted_pos}");
+        assert!(
+            predicted_pos >= 10,
+            "imbalance swallowed positives: {predicted_pos}"
+        );
     }
 }

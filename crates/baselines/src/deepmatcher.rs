@@ -71,6 +71,7 @@ fn tokenize(text: &str) -> Vec<String> {
 impl DeepMatcher {
     /// Train on `(entity_a_text, entity_b_text, label)` triples.
     pub fn train(examples: &[(String, String, bool)], cfg: DeepMatcherConfig) -> Self {
+        let _span = em_obs::span!("deepmatcher/train");
         assert!(!examples.is_empty(), "empty training set");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         // Vocabulary from training text.
@@ -97,8 +98,7 @@ impl DeepMatcher {
         };
 
         // Oversample positives to ~1/3 so the rare class gets gradient.
-        let pos_idx: Vec<usize> =
-            (0..examples.len()).filter(|&i| examples[i].2).collect();
+        let pos_idx: Vec<usize> = (0..examples.len()).filter(|&i| examples[i].2).collect();
         let mut order: Vec<usize> = (0..examples.len()).collect();
         if !pos_idx.is_empty() {
             let target = examples.len() / 3;
@@ -116,8 +116,7 @@ impl DeepMatcher {
             for chunk in order.chunks(model.cfg.batch_size) {
                 let batch: Vec<&(String, String, bool)> =
                     chunk.iter().map(|&i| &examples[i]).collect();
-                let labels: Vec<usize> =
-                    batch.iter().map(|(_, _, l)| usize::from(*l)).collect();
+                let labels: Vec<usize> = batch.iter().map(|(_, _, l)| usize::from(*l)).collect();
                 let logits = model.forward_texts(
                     &batch.iter().map(|(a, _, _)| a.as_str()).collect::<Vec<_>>(),
                     &batch.iter().map(|(_, b, _)| b.as_str()).collect::<Vec<_>>(),
@@ -130,7 +129,11 @@ impl DeepMatcher {
                 clip_grad_norm(opt.params(), 5.0);
                 opt.step(model.cfg.lr);
             }
-            history.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+            history.push(if batches > 0 {
+                epoch_loss / batches as f32
+            } else {
+                0.0
+            });
         }
         model.loss_history = history;
         model
@@ -198,7 +201,7 @@ impl DeepMatcher {
         let prod = h.mul(aligned);
         let cat = Tensor::concat(&[h.clone(), aligned.clone(), diff, prod], 2);
         let cmp = self.compare.forward(&cat).relu(); // [b, t, c]
-        // Masked mean over time.
+                                                     // Masked mean over time.
         let shape = cmp.shape();
         let (b, t, c) = (shape[0], shape[1], shape[2]);
         let m = Tensor::constant(mask.reshape(vec![b, t, 1]).broadcast_to(&[b, t, c]));
@@ -265,11 +268,15 @@ fn attn_bias(mask: &Array, b: usize, t: usize, transpose: bool) -> Array {
 
 impl Module for DeepMatcher {
     fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
-        self.embedding.named_parameters(&em_nn::join(prefix, "embedding"), out);
+        self.embedding
+            .named_parameters(&em_nn::join(prefix, "embedding"), out);
         self.rnn.named_parameters(&em_nn::join(prefix, "rnn"), out);
-        self.compare.named_parameters(&em_nn::join(prefix, "compare"), out);
-        self.hidden1.named_parameters(&em_nn::join(prefix, "hidden1"), out);
-        self.output.named_parameters(&em_nn::join(prefix, "output"), out);
+        self.compare
+            .named_parameters(&em_nn::join(prefix, "compare"), out);
+        self.hidden1
+            .named_parameters(&em_nn::join(prefix, "hidden1"), out);
+        self.output
+            .named_parameters(&em_nn::join(prefix, "output"), out);
     }
 }
 
@@ -336,8 +343,10 @@ mod tests {
         let train = toy_examples(150, 2);
         let test = toy_examples(60, 3);
         let dm = DeepMatcher::train(&train, quick_cfg());
-        let pairs: Vec<(String, String)> =
-            test.iter().map(|(a, b, _)| (a.clone(), b.clone())).collect();
+        let pairs: Vec<(String, String)> = test
+            .iter()
+            .map(|(a, b, _)| (a.clone(), b.clone()))
+            .collect();
         let labels: Vec<bool> = test.iter().map(|(_, _, l)| *l).collect();
         let preds = dm.predict_all(&pairs);
         let f1 = f1_score(&preds, &labels);

@@ -93,7 +93,10 @@ pub fn features_and_labels(
     extractor: &FeatureExtractor,
     pairs: &[EntityPair],
 ) -> (Vec<Vec<f64>>, Vec<bool>) {
-    (extractor.extract_all(pairs), pairs.iter().map(|p| p.label).collect())
+    (
+        extractor.extract_all(pairs),
+        pairs.iter().map(|p| p.label).collect(),
+    )
 }
 
 /// Build an extractor for a dataset.
@@ -107,9 +110,16 @@ mod tests {
 
     fn pair(a: Vec<(&str, &str)>, b: Vec<(&str, &str)>, label: bool) -> EntityPair {
         let conv = |v: Vec<(&str, &str)>, id| {
-            em_data::Record::new(id, v.into_iter().map(|(k, x)| (k.into(), x.into())).collect())
+            em_data::Record::new(
+                id,
+                v.into_iter().map(|(k, x)| (k.into(), x.into())).collect(),
+            )
         };
-        EntityPair { a: conv(a, 0), b: conv(b, 1), label }
+        EntityPair {
+            a: conv(a, 0),
+            b: conv(b, 1),
+            label,
+        }
     }
 
     #[test]
@@ -128,7 +138,11 @@ mod tests {
     #[test]
     fn identical_records_have_near_one_features() {
         let fx = FeatureExtractor::new(vec!["title".into()]);
-        let p = pair(vec![("title", "apple phone")], vec![("title", "apple phone")], true);
+        let p = pair(
+            vec![("title", "apple phone")],
+            vec![("title", "apple phone")],
+            true,
+        );
         let f = fx.extract(&p);
         for (i, v) in f.iter().enumerate() {
             assert!(*v >= 0.99 || i == 6, "feature {i} = {v}"); // numeric_sim is 0 for text
@@ -164,6 +178,10 @@ mod tests {
         assert!(fd[7] < fc[7]);
         // …while whole-record jaccard stays high.
         let dim = fx.dim();
-        assert!(fd[dim - 2] > 0.9, "whole-record feature survives: {}", fd[dim - 2]);
+        assert!(
+            fd[dim - 2] > 0.9,
+            "whole-record feature survives: {}",
+            fd[dim - 2]
+        );
     }
 }

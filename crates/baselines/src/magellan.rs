@@ -65,7 +65,11 @@ impl MagellanMatcher {
             }
             MagellanLearner::RandomForest => Box::new(RandomForest::fit(&x, &y, 20, &mut rng)),
         };
-        Self { extractor, model, learner }
+        Self {
+            extractor,
+            model,
+            learner,
+        }
     }
 
     /// Fit all learners and keep the one with the best validation F1
@@ -76,13 +80,14 @@ impl MagellanMatcher {
         valid: &[EntityPair],
         seed: u64,
     ) -> Self {
+        let _span = em_obs::span!("magellan/fit");
         let mut best: Option<(f64, Self)> = None;
         for learner in MagellanLearner::ALL {
             let m = Self::fit(attributes, train, learner, seed);
             let preds = m.predict_all(valid);
             let labels: Vec<bool> = valid.iter().map(|p| p.label).collect();
             let f1 = f1_score(&preds, &labels);
-            if best.as_ref().map_or(true, |(b, _)| f1 > *b) {
+            if best.as_ref().is_none_or(|(b, _)| f1 > *b) {
                 best = Some((f1, m));
             }
         }
@@ -149,7 +154,12 @@ mod tests {
         let ds = DatasetId::WalmartAmazon.generate(0.01, 13);
         let mut rng = StdRng::seed_from_u64(0);
         let split = ds.split(&mut rng);
-        let m = MagellanMatcher::fit(&ds.attributes, &split.train, MagellanLearner::RandomForest, 1);
+        let m = MagellanMatcher::fit(
+            &ds.attributes,
+            &split.train,
+            MagellanLearner::RandomForest,
+            1,
+        );
         let all = m.predict_all(&split.test);
         for (p, pair) in all.iter().zip(&split.test) {
             assert_eq!(*p, m.predict(pair));

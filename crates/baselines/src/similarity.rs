@@ -68,8 +68,12 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     // Transpositions: positions where the matched characters of `a` (in
     // `a` order) disagree with the matched characters of `b` (in `b`
     // order), halved — the standard, symmetric definition.
-    let b_matched_chars: Vec<char> =
-        b.iter().zip(&b_used).filter(|(_, &used)| used).map(|(&c, _)| c).collect();
+    let b_matched_chars: Vec<char> = b
+        .iter()
+        .zip(&b_used)
+        .filter(|(_, &used)| used)
+        .map(|(&c, _)| c)
+        .collect();
     let mismatched = a_matched_chars
         .iter()
         .zip(&b_matched_chars)
@@ -116,10 +120,9 @@ pub fn jaccard_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
 
 /// Character q-grams of a string (padded with `#`).
 pub fn qgrams(s: &str, q: usize) -> HashSet<String> {
-    let padded: Vec<char> = std::iter::repeat('#')
-        .take(q - 1)
+    let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
         .chain(s.to_lowercase().chars())
-        .chain(std::iter::repeat('#').take(q - 1))
+        .chain(std::iter::repeat_n('#', q - 1))
         .collect();
     padded.windows(q).map(|w| w.iter().collect()).collect()
 }
@@ -171,8 +174,10 @@ pub fn monge_elkan(a: &str, b: &str) -> f64 {
 /// 0 when either fails to parse (robust to `$`, empty, etc.).
 pub fn numeric_sim(a: &str, b: &str) -> f64 {
     let parse = |s: &str| -> Option<f64> {
-        let cleaned: String =
-            s.chars().filter(|c| c.is_ascii_digit() || *c == '.').collect();
+        let cleaned: String = s
+            .chars()
+            .filter(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
         cleaned.parse::<f64>().ok().filter(|v| *v > 0.0)
     };
     match (parse(a), parse(b)) {
@@ -247,7 +252,11 @@ mod tests {
 
     #[test]
     fn all_sims_bounded() {
-        let pairs = [("abc def", "abd ef"), ("", "x"), ("hello world", "hello world")];
+        let pairs = [
+            ("abc def", "abd ef"),
+            ("", "x"),
+            ("hello world", "hello world"),
+        ];
         for (a, b) in pairs {
             for f in [
                 levenshtein_sim,

@@ -1,8 +1,8 @@
 //! Property-based tests for the similarity library and classifiers.
 
+use em_baselines::classifiers::TreeParams;
 use em_baselines::similarity::*;
 use em_baselines::{Classifier, DecisionTree, LogisticRegression};
-use em_baselines::classifiers::TreeParams;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -6,7 +6,6 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use em_baselines::similarity;
 use em_nn::{Ctx, Module};
 use em_tensor::{init, kernel, Tensor};
-use em_tokenizers::Tokenizer;
 use em_transformers::{Architecture, Batch, TransformerConfig, TransformerModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,11 +86,21 @@ fn bench_similarity(c: &mut Criterion) {
     let a = "efficient adaptive query processing for distributed streams";
     let b = "eficient adaptive processing of distributed query streams";
     let mut g = c.benchmark_group("similarity");
-    g.bench_function("levenshtein", |bench| bench.iter(|| similarity::levenshtein(a, b)));
-    g.bench_function("jaro_winkler", |bench| bench.iter(|| similarity::jaro_winkler(a, b)));
-    g.bench_function("jaccard_tokens", |bench| bench.iter(|| similarity::jaccard_tokens(a, b)));
-    g.bench_function("qgram_jaccard", |bench| bench.iter(|| similarity::qgram_jaccard(a, b)));
-    g.bench_function("monge_elkan", |bench| bench.iter(|| similarity::monge_elkan(a, b)));
+    g.bench_function("levenshtein", |bench| {
+        bench.iter(|| similarity::levenshtein(a, b))
+    });
+    g.bench_function("jaro_winkler", |bench| {
+        bench.iter(|| similarity::jaro_winkler(a, b))
+    });
+    g.bench_function("jaccard_tokens", |bench| {
+        bench.iter(|| similarity::jaccard_tokens(a, b))
+    });
+    g.bench_function("qgram_jaccard", |bench| {
+        bench.iter(|| similarity::qgram_jaccard(a, b))
+    });
+    g.bench_function("monge_elkan", |bench| {
+        bench.iter(|| similarity::monge_elkan(a, b))
+    });
     g.finish();
 }
 

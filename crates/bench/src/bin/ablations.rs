@@ -37,12 +37,24 @@ fn ablate_pretraining(cfg: &ExperimentConfig) -> String {
     let ft = finetune_cfg(cfg);
 
     let pre_model = ckpt.instantiate(cfg.seed);
-    let (_, with_pre) =
-        fine_tune(pre_model, ckpt.tokenizer.clone(), &ds, &split.train, &split.test, &ft);
+    let (_, with_pre) = fine_tune(
+        pre_model,
+        ckpt.tokenizer.clone(),
+        &ds,
+        &split.train,
+        &split.test,
+        &ft,
+    );
 
     let scratch = TransformerModel::new(ckpt.config.clone(), cfg.seed ^ 0xABBA);
-    let (_, without) =
-        fine_tune(scratch, ckpt.tokenizer.clone(), &ds, &split.train, &split.test, &ft);
+    let (_, without) = fine_tune(
+        scratch,
+        ckpt.tokenizer.clone(),
+        &ds,
+        &split.train,
+        &split.test,
+        &ft,
+    );
 
     let rows = vec![
         vec![
@@ -91,11 +103,21 @@ fn ablate_serialization(cfg: &ExperimentConfig) -> String {
         &split.test,
         &ft,
     );
-    let note = if load_result.is_err() { " (encoder partially from scratch)" } else { "" };
+    let note = if load_result.is_err() {
+        " (encoder partially from scratch)"
+    } else {
+        ""
+    };
 
     let rows = vec![
-        vec!["[SEP] + segment embeddings".to_string(), format!("{:.1}", with_segments.best_f1)],
-        vec![format!("no segments{note}"), format!("{:.1}", without_segments.best_f1)],
+        vec![
+            "[SEP] + segment embeddings".to_string(),
+            format!("{:.1}", with_segments.best_f1),
+        ],
+        vec![
+            format!("no segments{note}"),
+            format!("{:.1}", without_segments.best_f1),
+        ],
     ];
     render_table(&["Serialization", "best F1"], &rows)
 }
@@ -116,7 +138,10 @@ fn ablate_dirty(cfg: &ExperimentConfig) -> String {
     let double = make_dirty(ds.clone(), "title", &mut rng);
 
     let mut rows = Vec::new();
-    for (label, data) in [("dirty (as shipped)", &ds), ("dirty applied twice", &double)] {
+    for (label, data) in [
+        ("dirty (as shipped)", &ds),
+        ("dirty applied twice", &double),
+    ] {
         let mut srng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
         let split = data.split(&mut srng);
         let m = MagellanMatcher::fit_best(
@@ -127,7 +152,11 @@ fn ablate_dirty(cfg: &ExperimentConfig) -> String {
         );
         let labels: Vec<bool> = split.test.iter().map(|p| p.label).collect();
         let f1 = PrF1::from_predictions(&m.predict_all(&split.test), &labels).f1_percent();
-        rows.push(vec![label.to_string(), format!("{f1:.1}"), m.learner.name().to_string()]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{f1:.1}"),
+            m.learner.name().to_string(),
+        ]);
     }
     render_table(&["DBLP-ACM variant", "Magellan F1", "learner"], &rows)
 }
@@ -142,15 +171,22 @@ fn ablate_tokenizer(cfg: &ExperimentConfig) -> String {
     // whole words dominate, vs. a tight subword budget.
     let tight = em_tokenizers::WordPiece::train(&corpus, 400);
     let ds = DatasetId::WalmartAmazon.generate(0.02, cfg.seed);
-    let sample: Vec<String> =
-        ds.pairs.iter().take(200).map(|p| ds.serialize_record(&p.a)).collect();
+    let sample: Vec<String> = ds
+        .pairs
+        .iter()
+        .take(200)
+        .map(|p| ds.serialize_record(&p.a))
+        .collect();
     let stats = |t: &em_tokenizers::WordPiece| {
         let mut unk = 0usize;
         let mut total = 0usize;
         for s in &sample {
             let ids = t.encode(s);
             total += ids.len();
-            unk += ids.iter().filter(|&&i| i == Tokenizer::specials(t).unk).count();
+            unk += ids
+                .iter()
+                .filter(|&&i| i == Tokenizer::specials(t).unk)
+                .count();
         }
         (total, unk)
     };

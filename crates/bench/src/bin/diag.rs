@@ -10,12 +10,19 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
-    let cfg = ExperimentConfig { scale: 0.1, ..Default::default() };
+    let cfg = ExperimentConfig {
+        scale: 0.1,
+        ..Default::default()
+    };
     let ckpt = get_or_pretrain(Architecture::Bert, &cfg);
     let (ds, split) = cfg.dataset_and_split(DatasetId::DblpAcm);
     let arch = Architecture::Bert;
     let max_len = choose_max_len(&ds, &split.train, &ckpt.tokenizer, 96);
-    println!("max_len {max_len}, train {} test {}", split.train.len(), split.test.len());
+    println!(
+        "max_len {max_len}, train {} test {}",
+        split.train.len(),
+        split.test.len()
+    );
     let (train_enc, train_labels) = encode_pairs(&ds, &split.train, &ckpt.tokenizer, arch, max_len);
     let (test_enc, test_labels) = encode_pairs(&ds, &split.test, &ckpt.tokenizer, arch, max_len);
     let model = ckpt.instantiate(1);
@@ -24,16 +31,25 @@ fn main() {
     let mut params = model.parameters();
     params.extend(head.parameters());
     let mut opt = Adam::new(params);
-    let lr: f32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2e-4);
+    let lr: f32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2e-4);
     let mut order: Vec<usize> = (0..train_enc.len()).collect();
-    let pos: Vec<usize> = (0..train_labels.len()).filter(|&i| train_labels[i]==1).collect();
-    while order.iter().filter(|&&i| train_labels[i]==1).count() < train_enc.len()/3 {
+    let pos: Vec<usize> = (0..train_labels.len())
+        .filter(|&i| train_labels[i] == 1)
+        .collect();
+    while order.iter().filter(|&&i| train_labels[i] == 1).count() < train_enc.len() / 3 {
         order.push(pos[order.len() % pos.len()]);
     }
-    let n_epochs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let n_epochs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     for epoch in 1..=n_epochs {
         order.shuffle(&mut rng);
-        let mut eloss = 0.0; let mut nb = 0;
+        let mut eloss = 0.0;
+        let mut nb = 0;
         for chunk in order.chunks(16) {
             let encs: Vec<_> = chunk.iter().map(|&i| train_enc[i].clone()).collect();
             let labels: Vec<usize> = chunk.iter().map(|&i| train_labels[i]).collect();
@@ -43,11 +59,14 @@ fn main() {
             let cls = model.cls_states(&hidden, &batch);
             let logits = head.forward(&cls, &mut ctx);
             let loss = logits.cross_entropy(&labels, None);
-            eloss += loss.item(); nb += 1;
+            eloss += loss.item();
+            nb += 1;
             opt.zero_grad();
             loss.backward();
             let gn = clip_grad_norm(opt.params(), 1.0);
-            if nb % 30 == 0 { println!("  step {nb} loss {:.3} gradnorm {:.2}", loss.item(), gn); }
+            if nb % 30 == 0 {
+                println!("  step {nb} loss {:.3} gradnorm {:.2}", loss.item(), gn);
+            }
             opt.step(lr);
         }
         // test eval
@@ -59,11 +78,11 @@ fn main() {
                 let hidden = model.forward(&batch, None, None, &mut ctx);
                 let cls = model.cls_states(&hidden, &batch);
                 let logits = head.forward(&cls, &mut ctx).value();
-                out.extend(logits.argmax_last_axis().into_iter().map(|c| c==1));
+                out.extend(logits.argmax_last_axis().into_iter().map(|c| c == 1));
             }
             out
         });
-        let truth: Vec<bool> = test_labels.iter().map(|&l| l==1).collect();
+        let truth: Vec<bool> = test_labels.iter().map(|&l| l == 1).collect();
         let m = PrF1::from_predictions(&preds, &truth);
         let train_preds: Vec<bool> = no_grad(|| {
             let mut out = Vec::new();
@@ -73,11 +92,11 @@ fn main() {
                 let hidden = model.forward(&batch, None, None, &mut ctx);
                 let cls = model.cls_states(&hidden, &batch);
                 let logits = head.forward(&cls, &mut ctx).value();
-                out.extend(logits.argmax_last_axis().into_iter().map(|c| c==1));
+                out.extend(logits.argmax_last_axis().into_iter().map(|c| c == 1));
             }
             out
         });
-        let train_truth: Vec<bool> = train_labels.iter().map(|&l| l==1).collect();
+        let train_truth: Vec<bool> = train_labels.iter().map(|&l| l == 1).collect();
         let tm = PrF1::from_predictions(&train_preds, &train_truth);
         println!("epoch {epoch}: mean loss {:.4} | train F1 {:.1} | test P {:.2} R {:.2} F1 {:.1} | predicted pos {}",
             eloss / nb as f32, tm.f1_percent(), m.precision(), m.recall(), m.f1_percent(),

@@ -4,7 +4,9 @@ use em_core::pipeline::*;
 use em_data::{DatasetId, PrF1};
 use em_nn::{Ctx, Module};
 use em_tensor::{clip_grad_norm, no_grad, Adam};
-use em_transformers::{Architecture, Batch, ClassificationHead, TransformerConfig, TransformerModel};
+use em_transformers::{
+    Architecture, Batch, ClassificationHead, TransformerConfig, TransformerModel,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -18,7 +20,10 @@ fn main() {
     let layers: usize = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(2);
     let use_ckpt = args.get(6).map(|s| s == "pre").unwrap_or(false);
 
-    let cfg = ExperimentConfig { scale: 0.1, ..Default::default() };
+    let cfg = ExperimentConfig {
+        scale: 0.1,
+        ..Default::default()
+    };
     let (ds, split) = cfg.dataset_and_split(DatasetId::parse(&ds_name).unwrap());
     let corpus = em_data::generate_corpus(cfg.corpus_lines, cfg.pretrain.seed);
     let arch = Architecture::Bert;
@@ -29,12 +34,20 @@ fn main() {
     } else {
         let tok = train_tokenizer(arch, &corpus, cfg.vocab_size);
         let mut mc = TransformerConfig::tiny(arch, em_tokenizers::Tokenizer::vocab_size(&tok));
-        mc.hidden = hidden; mc.layers = layers; mc.heads = if hidden >= 32 {4} else {2}; mc.inner = hidden*4;
+        mc.hidden = hidden;
+        mc.layers = layers;
+        mc.heads = if hidden >= 32 { 4 } else { 2 };
+        mc.inner = hidden * 4;
         mc.max_position = 96;
         (TransformerModel::new(mc, 3), tok)
     };
     let max_len = choose_max_len(&ds, &split.train, &tok, model.config.max_position.min(96));
-    println!("max_len {max_len} hidden {} layers {} params {}", model.config.hidden, model.config.layers, model.num_parameters());
+    println!(
+        "max_len {max_len} hidden {} layers {} params {}",
+        model.config.hidden,
+        model.config.layers,
+        model.num_parameters()
+    );
     let (train_enc, train_y) = encode_pairs(&ds, &split.train, &tok, arch, max_len);
     let (test_enc, test_y) = encode_pairs(&ds, &split.test, &tok, arch, max_len);
     let mut rng = StdRng::seed_from_u64(5);
@@ -43,14 +56,16 @@ fn main() {
     params.extend(head.parameters());
     let mut opt = Adam::new(params);
     let mut order: Vec<usize> = (0..train_enc.len()).collect();
-    let pos: Vec<usize> = (0..train_y.len()).filter(|&i| train_y[i]==1).collect();
-    while order.iter().filter(|&&i| train_y[i]==1).count() < train_enc.len()/3 {
+    let pos: Vec<usize> = (0..train_y.len()).filter(|&i| train_y[i] == 1).collect();
+    while order.iter().filter(|&&i| train_y[i] == 1).count() < train_enc.len() / 3 {
         order.push(pos[order.len() % pos.len()]);
     }
-    let t0 = std::time::Instant::now();
+    let mut train_secs = 0.0;
     for epoch in 1..=epochs {
+        let epoch_timer = em_obs::Timer::start("probe/epoch");
         order.shuffle(&mut rng);
-        let mut el = 0.0; let mut nb = 0;
+        let mut el = 0.0;
+        let mut nb = 0;
         for chunk in order.chunks(16) {
             let encs: Vec<_> = chunk.iter().map(|&i| train_enc[i].clone()).collect();
             let ys: Vec<usize> = chunk.iter().map(|&i| train_y[i]).collect();
@@ -59,11 +74,14 @@ fn main() {
             let h = model.forward(&batch, None, None, &mut ctx);
             let cls = model.cls_states(&h, &batch);
             let loss = head.forward(&cls, &mut ctx).cross_entropy(&ys, None);
-            el += loss.item(); nb += 1;
-            opt.zero_grad(); loss.backward();
+            el += loss.item();
+            nb += 1;
+            opt.zero_grad();
+            loss.backward();
             clip_grad_norm(opt.params(), 1.0);
             opt.step(lr);
         }
+        train_secs += epoch_timer.stop();
         if epoch % 3 == 0 || epoch == 1 || epoch == epochs {
             let preds: Vec<bool> = no_grad(|| {
                 let mut out = Vec::new();
@@ -72,13 +90,22 @@ fn main() {
                     let mut ctx = Ctx::eval();
                     let h = model.forward(&batch, None, None, &mut ctx);
                     let cls = model.cls_states(&h, &batch);
-                    out.extend(head.forward(&cls, &mut ctx).value().argmax_last_axis().into_iter().map(|c| c==1));
+                    out.extend(
+                        head.forward(&cls, &mut ctx)
+                            .value()
+                            .argmax_last_axis()
+                            .into_iter()
+                            .map(|c| c == 1),
+                    );
                 }
                 out
             });
-            let truth: Vec<bool> = test_y.iter().map(|&l| l==1).collect();
+            let truth: Vec<bool> = test_y.iter().map(|&l| l == 1).collect();
             let f1 = PrF1::from_predictions(&preds, &truth).f1_percent();
-            println!("epoch {epoch}: loss {:.3} test F1 {f1:.1} ({:.0}s)", el/nb as f32, t0.elapsed().as_secs_f32());
+            println!(
+                "epoch {epoch}: loss {:.3} test F1 {f1:.1} ({train_secs:.0}s)",
+                el / nb as f32
+            );
         }
     }
 }

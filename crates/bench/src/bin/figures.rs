@@ -64,8 +64,12 @@ fn ascii_plot(series: &[(String, Vec<f64>)]) -> String {
 }
 
 fn run_figure(id: DatasetId, cfg: &em_core::ExperimentConfig, force: bool) {
-    let archs =
-        [Architecture::Bert, Architecture::Xlnet, Architecture::Roberta, Architecture::DistilBert];
+    let archs = [
+        Architecture::Bert,
+        Architecture::Xlnet,
+        Architecture::Roberta,
+        Architecture::DistilBert,
+    ];
     let mut series = Vec::new();
     let mut rows = Vec::new();
     for arch in archs {
@@ -99,7 +103,10 @@ fn main() {
     let args = Args::parse();
     let cfg = config_from_args(&args);
     let force = args.has("force");
-    match args.get::<String>("dataset").and_then(|s| DatasetId::parse(&s)) {
+    match args
+        .get::<String>("dataset")
+        .and_then(|s| DatasetId::parse(&s))
+    {
         Some(id) => run_figure(id, &cfg, force),
         None => {
             for id in DatasetId::ALL {

@@ -1,14 +1,23 @@
 use em_tensor::kernel::gemm;
 use std::time::Instant;
 fn main() {
-    for (m,k,n) in [(768usize,96usize,96usize),(768,96,384),(768,384,96),(256,48,48),(3072,96,1200)] {
-        let a = vec![1.0f32; m*k];
-        let b = vec![1.0f32; k*n];
-        let reps = (2_000_000_000 / (2*m*k*n)).max(1);
+    for (m, k, n) in [
+        (768usize, 96usize, 96usize),
+        (768, 96, 384),
+        (768, 384, 96),
+        (256, 48, 48),
+        (3072, 96, 1200),
+    ] {
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let reps = (2_000_000_000 / (2 * m * k * n)).max(1);
         let t0 = Instant::now();
-        for _ in 0..reps { let c = gemm(&a,&b,m,k,n); std::hint::black_box(&c); }
+        for _ in 0..reps {
+            let c = gemm(&a, &b, m, k, n);
+            std::hint::black_box(&c);
+        }
         let el = t0.elapsed().as_secs_f64();
-        let gflops = (2.0*(m*k*n*reps) as f64)/el/1e9;
+        let gflops = (2.0 * (m * k * n * reps) as f64) / el / 1e9;
         println!("{m}x{k}x{n}: {gflops:.2} GFLOPS ({reps} reps)");
     }
 }

@@ -24,10 +24,17 @@ fn main() {
     let arch = Architecture::Bert;
     let tok = train_tokenizer(arch, &flat, 1200);
     let cfg = TransformerConfig::small(arch, tok.vocab_size());
-    let pcfg = PretrainConfig { epochs: pt_epochs, ..Default::default() };
-    let t0 = std::time::Instant::now();
+    let pcfg = PretrainConfig {
+        epochs: pt_epochs,
+        ..Default::default()
+    };
+    let t0 = em_obs::Timer::start("probe/pretrain");
     let pre = pretrain_mlm(cfg, &docs, &tok, &pcfg, false);
-    println!("pretrained {pt_epochs} epochs in {:.0}s, final loss {:?}", t0.elapsed().as_secs_f32(), pre.loss_history.last());
+    println!(
+        "pretrained {pt_epochs} epochs in {:.0}s, final loss {:?}",
+        t0.stop(),
+        pre.loss_history.last()
+    );
 
     // (1) NSP accuracy on FRESH documents (different seed => unseen entities).
     let fresh = em_data::generate_documents(400, 777);
@@ -35,8 +42,10 @@ fn main() {
     let nsp_pairs = build_nsp_pairs(&fresh, &mut rng);
     let nsp_head = pre.nsp.as_ref().unwrap();
     let mut correct = 0;
-    let encs: Vec<_> = nsp_pairs.iter()
-        .map(|(a,b,_)| encode_pair(&tok, a, b, 40, ClsPosition::First)).collect();
+    let encs: Vec<_> = nsp_pairs
+        .iter()
+        .map(|(a, b, _)| encode_pair(&tok, a, b, 40, ClsPosition::First))
+        .collect();
     no_grad(|| {
         for (chunk, labels) in encs.chunks(64).zip(nsp_pairs.chunks(64)) {
             let batch = Batch::from_encodings(chunk);
@@ -44,15 +53,24 @@ fn main() {
             let h = pre.model.forward(&batch, None, None, &mut ctx);
             let cls = pre.model.cls_states(&h, &batch);
             let preds = nsp_head.forward(&cls).value().argmax_last_axis();
-            for (p, (_,_,l)) in preds.iter().zip(labels) {
-                if p == l { correct += 1; }
+            for (p, (_, _, l)) in preds.iter().zip(labels) {
+                if p == l {
+                    correct += 1;
+                }
             }
         }
     });
-    println!("NSP accuracy on unseen entities: {:.1}% ({} pairs)", 100.0*correct as f64/nsp_pairs.len() as f64, nsp_pairs.len());
+    println!(
+        "NSP accuracy on unseen entities: {:.1}% ({} pairs)",
+        100.0 * correct as f64 / nsp_pairs.len() as f64,
+        nsp_pairs.len()
+    );
 
     // (2) dual-lr fine-tune on DBLP-ACM.
-    let cfg_e = em_core::experiment::ExperimentConfig { scale: 0.1, ..Default::default() };
+    let cfg_e = em_core::experiment::ExperimentConfig {
+        scale: 0.1,
+        ..Default::default()
+    };
     let (ds, split) = cfg_e.dataset_and_split(DatasetId::DblpAcm);
     let max_len = choose_max_len(&ds, &split.train, &tok, 96);
     let (train_enc, train_y) = encode_pairs(&ds, &split.train, &tok, arch, max_len);
@@ -62,13 +80,14 @@ fn main() {
     let mut enc_opt = Adam::new(pre.model.parameters());
     let mut head_opt = Adam::new(head.parameters());
     let mut order: Vec<usize> = (0..train_enc.len()).collect();
-    let pos: Vec<usize> = (0..train_y.len()).filter(|&i| train_y[i]==1).collect();
-    while order.iter().filter(|&&i| train_y[i]==1).count() < train_enc.len()/3 {
+    let pos: Vec<usize> = (0..train_y.len()).filter(|&i| train_y[i] == 1).collect();
+    while order.iter().filter(|&&i| train_y[i] == 1).count() < train_enc.len() / 3 {
         order.push(pos[order.len() % pos.len()]);
     }
     for epoch in 1..=ft_epochs {
         order.shuffle(&mut rng);
-        let mut el = 0.0; let mut nb = 0;
+        let mut el = 0.0;
+        let mut nb = 0;
         for chunk in order.chunks(16) {
             let encs2: Vec<_> = chunk.iter().map(|&i| train_enc[i].clone()).collect();
             let ys: Vec<usize> = chunk.iter().map(|&i| train_y[i]).collect();
@@ -77,8 +96,11 @@ fn main() {
             let h = pre.model.forward(&batch, None, None, &mut ctx);
             let cls = pre.model.cls_states(&h, &batch);
             let loss = head.forward(&cls, &mut ctx).cross_entropy(&ys, None);
-            el += loss.item(); nb += 1;
-            enc_opt.zero_grad(); head_opt.zero_grad(); loss.backward();
+            el += loss.item();
+            nb += 1;
+            enc_opt.zero_grad();
+            head_opt.zero_grad();
+            loss.backward();
             clip_grad_norm(enc_opt.params(), 1.0);
             enc_opt.step(enc_lr);
             head_opt.step(head_lr);
@@ -90,12 +112,21 @@ fn main() {
                 let mut ctx = Ctx::eval();
                 let h = pre.model.forward(&batch, None, None, &mut ctx);
                 let cls = pre.model.cls_states(&h, &batch);
-                out.extend(head.forward(&cls, &mut ctx).value().argmax_last_axis().into_iter().map(|c| c==1));
+                out.extend(
+                    head.forward(&cls, &mut ctx)
+                        .value()
+                        .argmax_last_axis()
+                        .into_iter()
+                        .map(|c| c == 1),
+                );
             }
             out
         });
-        let truth: Vec<bool> = test_y.iter().map(|&l| l==1).collect();
+        let truth: Vec<bool> = test_y.iter().map(|&l| l == 1).collect();
         let f1 = PrF1::from_predictions(&preds, &truth).f1_percent();
-        println!("ft epoch {epoch}: loss {:.3} test F1 {f1:.1}", el/nb as f32);
+        println!(
+            "ft epoch {epoch}: loss {:.3} test F1 {f1:.1}",
+            el / nb as f32
+        );
     }
 }

@@ -12,9 +12,15 @@ fn main() {
         Some("distilbert") => Architecture::DistilBert,
         _ => Architecture::Bert,
     };
-    let ds = args.get(2).and_then(|s| DatasetId::parse(s)).unwrap_or(DatasetId::DblpAcm);
+    let ds = args
+        .get(2)
+        .and_then(|s| DatasetId::parse(s))
+        .unwrap_or(DatasetId::DblpAcm);
     let epochs: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let pt_epochs: usize = std::env::args().nth(4).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let pt_epochs: usize = std::env::args()
+        .nth(4)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     let mut cfg = ExperimentConfig {
         scale: 0.1,
         runs: 1,
@@ -24,12 +30,30 @@ fn main() {
         ..Default::default()
     };
     cfg.pretrain.epochs = pt_epochs;
-    let t0 = std::time::Instant::now();
+    let t0 = em_obs::Timer::start("probe/pretrain");
     let ckpt = get_or_pretrain(arch, &cfg);
-    println!("pretrain/load: {:.1}s, loss history {:?}", t0.elapsed().as_secs_f32(), ckpt.loss_history);
-    let t1 = std::time::Instant::now();
+    println!(
+        "pretrain/load: {:.1}s, loss history {:?}",
+        t0.stop(),
+        ckpt.loss_history
+    );
+    let t1 = em_obs::Timer::start("probe/curve");
     let curve = transformer_curve(arch, ds, &cfg);
-    println!("{} on {}: curve {:?}", curve.arch, curve.dataset,
-        curve.mean_f1.iter().map(|v| format!("{v:.1}")).collect::<Vec<_>>());
-    println!("best {:.1} | {:.1}s/epoch | total {:.0}s", curve.mean_best_f1, curve.seconds_per_epoch, t1.elapsed().as_secs_f32());
+    println!(
+        "{} on {}: curve {:?}",
+        curve.arch,
+        curve.dataset,
+        curve
+            .mean_f1
+            .iter()
+            .map(|v| format!("{v:.1}"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "best {:.1} | {:.1}s/epoch | total {:.0}s",
+        curve.mean_best_f1,
+        curve.seconds_per_epoch,
+        t1.stop()
+    );
+    em_obs::finish("probe");
 }

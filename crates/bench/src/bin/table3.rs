@@ -29,11 +29,21 @@ fn main() {
         ]);
     }
     let table = render_table(
-        &["Dataset", "Domain", "Size", "# Matches", "# Attr", "Paper (size/matches/attr)"],
+        &[
+            "Dataset",
+            "Domain",
+            "Size",
+            "# Matches",
+            "# Attr",
+            "Paper (size/matches/attr)",
+        ],
         &rows,
     );
     emit_report(
         "table3",
-        &format!("Table 3: datasets used in the experiments (scale {})\n\n{table}", cfg.scale),
+        &format!(
+            "Table 3: datasets used in the experiments (scale {})\n\n{table}",
+            cfg.scale
+        ),
     );
 }

@@ -33,18 +33,28 @@ fn main() {
             format!("{}", cfg.hidden),
             format!("{}", cfg.heads),
             format!("{:.2}M", model.num_parameters() as f64 / 1e6),
-            if cfg.relative_positions { "relative".into() } else { "absolute".into() },
+            if cfg.relative_positions {
+                "relative".into()
+            } else {
+                "absolute".into()
+            },
             paper_spec(arch).to_string(),
         ]);
     }
     let table = render_table(
-        &["Transformer", "Layers", "Hidden", "Heads", "Params", "Positions", "Paper checkpoint"],
+        &[
+            "Transformer",
+            "Layers",
+            "Hidden",
+            "Heads",
+            "Params",
+            "Positions",
+            "Paper checkpoint",
+        ],
         &rows,
     );
     emit_report(
         "table4",
-        &format!(
-            "Table 4: pre-trained models (our scaled-down configs, vocab {vocab})\n\n{table}"
-        ),
+        &format!("Table 4: pre-trained models (our scaled-down configs, vocab {vocab})\n\n{table}"),
     );
 }

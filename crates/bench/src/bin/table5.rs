@@ -21,11 +21,11 @@ fn main() {
 
     // Paper's Table 5 for reference columns.
     let paper: [(f64, f64, f64); 5] = [
-        (33.0, 55.0, 90.9),  // Abt-Buy
-        (46.8, 79.4, 94.2),  // iTunes-Amazon dirty
-        (37.4, 53.8, 85.5),  // Walmart-Amazon dirty
-        (91.9, 98.1, 98.9),  // DBLP-ACM dirty
-        (82.5, 93.8, 95.6),  // DBLP-Scholar dirty
+        (33.0, 55.0, 90.9), // Abt-Buy
+        (46.8, 79.4, 94.2), // iTunes-Amazon dirty
+        (37.4, 53.8, 85.5), // Walmart-Amazon dirty
+        (91.9, 98.1, 98.9), // DBLP-ACM dirty
+        (82.5, 93.8, 95.6), // DBLP-Scholar dirty
     ];
 
     let mut rows = Vec::new();
@@ -34,7 +34,7 @@ fn main() {
         let mut best: Option<(String, f64)> = None;
         for arch in Architecture::ALL {
             let curve = cached_curve(arch, id, &cfg, force);
-            if best.as_ref().map_or(true, |(_, f)| curve.mean_best_f1 > *f) {
+            if best.as_ref().is_none_or(|(_, f)| curve.mean_best_f1 > *f) {
                 best = Some((curve.arch.clone(), curve.mean_best_f1));
             }
         }
@@ -52,7 +52,14 @@ fn main() {
         ]);
     }
     let table = render_table(
-        &["Dataset", "MG", "DeepM", "T_BEST", "ΔF1", "Paper (MG/DeepM/T_BEST)"],
+        &[
+            "Dataset",
+            "MG",
+            "DeepM",
+            "T_BEST",
+            "ΔF1",
+            "Paper (MG/DeepM/T_BEST)",
+        ],
         &rows,
     );
     emit_report(

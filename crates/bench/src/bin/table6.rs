@@ -35,8 +35,12 @@ fn main() {
         ["4m 5s", "5m 57s", "4m 13s", "2m 6s"],
     ];
 
-    let archs =
-        [Architecture::Bert, Architecture::Xlnet, Architecture::Roberta, Architecture::DistilBert];
+    let archs = [
+        Architecture::Bert,
+        Architecture::Xlnet,
+        Architecture::Roberta,
+        Architecture::DistilBert,
+    ];
     let mut rows = Vec::new();
     for (i, id) in DatasetId::ALL.into_iter().enumerate() {
         let mut row = vec![id.display_name().to_string()];
@@ -48,7 +52,14 @@ fn main() {
         rows.push(row);
     }
     let table = render_table(
-        &["Dataset", "BERT", "XLNet", "RoBERTa", "DistilBERT", "Paper (B/X/R/D, TITAN Xp)"],
+        &[
+            "Dataset",
+            "BERT",
+            "XLNet",
+            "RoBERTa",
+            "DistilBERT",
+            "Paper (B/X/R/D, TITAN Xp)",
+        ],
         &rows,
     );
     emit_report(

@@ -1,9 +1,11 @@
 //! Can a small transformer learn "same model token on both sides"?
+use em_data::PrF1;
 use em_nn::{Ctx, Module};
 use em_tensor::{clip_grad_norm, no_grad, Adam};
 use em_tokenizers::{encode_pair, ClsPosition, Tokenizer, WordPiece};
-use em_transformers::{Architecture, Batch, ClassificationHead, TransformerConfig, TransformerModel};
-use em_data::PrF1;
+use em_transformers::{
+    Architecture, Batch, ClassificationHead, TransformerConfig, TransformerModel,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -12,27 +14,42 @@ fn toy(n: usize, seed: u64) -> Vec<(String, String, bool)> {
     let brands = ["apple", "asus", "sony", "dell"];
     let nouns = ["phone", "laptop", "camera"];
     let models = ["m10", "m20", "m30", "m40", "m50", "m60", "m70", "m80"];
-    (0..n).map(|i| {
-        let brand = brands[rng.gen_range(0..brands.len())];
-        let noun = nouns[rng.gen_range(0..nouns.len())];
-        let model = models[rng.gen_range(0..models.len())];
-        let label = i % 3 == 0;
-        let a = format!("{brand} {noun} model {model}");
-        let b = if label { format!("the {brand} {noun} {model}") } else {
-            let mut other = models[rng.gen_range(0..models.len())];
-            while other == model { other = models[rng.gen_range(0..models.len())]; }
-            format!("the {brand} {noun} {other}")
-        };
-        (a, b, label)
-    }).collect()
+    (0..n)
+        .map(|i| {
+            let brand = brands[rng.gen_range(0..brands.len())];
+            let noun = nouns[rng.gen_range(0..nouns.len())];
+            let model = models[rng.gen_range(0..models.len())];
+            let label = i % 3 == 0;
+            let a = format!("{brand} {noun} model {model}");
+            let b = if label {
+                format!("the {brand} {noun} {model}")
+            } else {
+                let mut other = models[rng.gen_range(0..models.len())];
+                while other == model {
+                    other = models[rng.gen_range(0..models.len())];
+                }
+                format!("the {brand} {noun} {other}")
+            };
+            (a, b, label)
+        })
+        .collect()
 }
 
 fn main() {
-    let lr: f32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1e-3);
-    let epochs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let lr: f32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1e-3);
+    let epochs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     let train = toy(300, 1);
     let test = toy(90, 2);
-    let corpus: Vec<String> = train.iter().flat_map(|(a,b,_)| [a.clone(), b.clone()]).collect();
+    let corpus: Vec<String> = train
+        .iter()
+        .flat_map(|(a, b, _)| [a.clone(), b.clone()])
+        .collect();
     let wp = WordPiece::train(&corpus, 300);
     let cfg = TransformerConfig::tiny(Architecture::Bert, Tokenizer::vocab_size(&wp));
     let model = TransformerModel::new(cfg.clone(), 3);
@@ -42,9 +59,13 @@ fn main() {
     params.extend(head.parameters());
     let mut opt = Adam::new(params);
 
-    let enc = |set: &[(String,String,bool)]| -> (Vec<_>, Vec<usize>) {
-        (set.iter().map(|(a,b,_)| encode_pair(&wp, a, b, 16, ClsPosition::First)).collect(),
-         set.iter().map(|(_,_,l)| usize::from(*l)).collect())
+    let enc = |set: &[(String, String, bool)]| -> (Vec<_>, Vec<usize>) {
+        (
+            set.iter()
+                .map(|(a, b, _)| encode_pair(&wp, a, b, 16, ClsPosition::First))
+                .collect(),
+            set.iter().map(|(_, _, l)| usize::from(*l)).collect(),
+        )
     };
     let (train_enc, train_y) = enc(&train);
     let (test_enc, test_y) = enc(&test);
@@ -52,7 +73,8 @@ fn main() {
     let mut order: Vec<usize> = (0..train_enc.len()).collect();
     for epoch in 1..=epochs {
         order.shuffle(&mut rng);
-        let mut el = 0.0; let mut nb = 0;
+        let mut el = 0.0;
+        let mut nb = 0;
         for chunk in order.chunks(16) {
             let encs: Vec<_> = chunk.iter().map(|&i| train_enc[i].clone()).collect();
             let ys: Vec<usize> = chunk.iter().map(|&i| train_y[i]).collect();
@@ -61,8 +83,10 @@ fn main() {
             let h = model.forward(&batch, None, None, &mut ctx);
             let cls = model.cls_states(&h, &batch);
             let loss = head.forward(&cls, &mut ctx).cross_entropy(&ys, None);
-            el += loss.item(); nb += 1;
-            opt.zero_grad(); loss.backward();
+            el += loss.item();
+            nb += 1;
+            opt.zero_grad();
+            loss.backward();
             clip_grad_norm(opt.params(), 1.0);
             opt.step(lr);
         }
@@ -72,11 +96,16 @@ fn main() {
                 let mut ctx = Ctx::eval();
                 let h = model.forward(&batch, None, None, &mut ctx);
                 let cls = model.cls_states(&h, &batch);
-                head.forward(&cls, &mut ctx).value().argmax_last_axis().into_iter().map(|c| c==1).collect()
+                head.forward(&cls, &mut ctx)
+                    .value()
+                    .argmax_last_axis()
+                    .into_iter()
+                    .map(|c| c == 1)
+                    .collect()
             });
-            let truth: Vec<bool> = test_y.iter().map(|&l| l==1).collect();
+            let truth: Vec<bool> = test_y.iter().map(|&l| l == 1).collect();
             let f1 = PrF1::from_predictions(&preds, &truth).f1_percent();
-            println!("epoch {epoch}: loss {:.3} test F1 {f1:.1}", el/nb as f32);
+            println!("epoch {epoch}: loss {:.3} test F1 {f1:.1}", el / nb as f32);
         }
     }
 }

@@ -9,7 +9,7 @@ use em_core::experiment::{
 use em_data::DatasetId;
 use em_transformers::Architecture;
 use serde::{de::DeserializeOwned, Serialize};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Directory where experiment outputs are cached and reports written.
 pub const RESULTS_DIR: &str = "results";
@@ -22,7 +22,9 @@ pub struct Args {
 impl Args {
     /// Parse from the process arguments.
     pub fn parse() -> Self {
-        Self { raw: std::env::args().skip(1).collect() }
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
     }
 
     /// Value of `--name`, parsed.
@@ -71,7 +73,9 @@ pub fn config_from_args(args: &Args) -> ExperimentConfig {
 }
 
 fn result_path(kind: &str, key: &str) -> PathBuf {
-    PathBuf::from(RESULTS_DIR).join(kind).join(format!("{key}.json"))
+    PathBuf::from(RESULTS_DIR)
+        .join(kind)
+        .join(format!("{key}.json"))
 }
 
 fn load_json<T: DeserializeOwned>(path: &PathBuf) -> Option<T> {
@@ -115,8 +119,13 @@ pub fn cached_curve(
             return c;
         }
     }
-    eprintln!("[run] fine-tuning {} on {} ({} runs x {} epochs)",
-        arch.name(), id.display_name(), cfg.runs, cfg.epochs);
+    eprintln!(
+        "[run] fine-tuning {} on {} ({} runs x {} epochs)",
+        arch.name(),
+        id.display_name(),
+        cfg.runs,
+        cfg.epochs
+    );
     let curve = transformer_curve(arch, id, cfg);
     store_json(&path, &curve);
     curve
@@ -183,6 +192,9 @@ pub fn emit_report(name: &str, content: &str) {
     }
     let _ = std::fs::write(&path, content);
     eprintln!("[saved] {}", path.display());
+    // With EM_OBS>=1 every report also dumps the span/counter summary and
+    // appends machine-readable aggregates to results/obs_summary.jsonl.
+    em_obs::finish_to(name, Path::new(RESULTS_DIR));
 }
 
 #[cfg(test)]
@@ -191,7 +203,9 @@ mod tests {
 
     #[test]
     fn args_parse_key_values() {
-        let args = Args { raw: vec!["--scale".into(), "0.25".into(), "--force".into()] };
+        let args = Args {
+            raw: vec!["--scale".into(), "0.25".into(), "--force".into()],
+        };
         assert_eq!(args.get::<f64>("scale"), Some(0.25));
         assert!(args.has("force"));
         assert!(!args.has("missing"));
@@ -202,7 +216,10 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["name", "f1"],
-            &[vec!["abt".into(), "90.1".into()], vec!["walmart-amazon".into(), "85.5".into()]],
+            &[
+                vec!["abt".into(), "90.1".into()],
+                vec!["walmart-amazon".into(), "85.5".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -5,16 +5,17 @@
 use crate::finetune::{fine_tune, EpochRecord, FineTuneConfig};
 use crate::pipeline::train_tokenizer;
 use em_baselines::{DeepMatcher, DeepMatcherConfig, MagellanMatcher};
-use em_data::{DatasetId, Dataset, PrF1, Split};
+use em_data::{Dataset, DatasetId, PrF1, Split};
 use em_nn::Module;
 use em_tensor::StateDict;
 use em_tokenizers::AnyTokenizer;
-use em_transformers::{pretrain, Architecture, PretrainConfig, TransformerConfig, TransformerModel};
+use em_transformers::{
+    pretrain, Architecture, PretrainConfig, TransformerConfig, TransformerModel,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 /// Model scale preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -139,13 +140,17 @@ pub fn get_or_pretrain(arch: Architecture, cfg: &ExperimentConfig) -> Checkpoint
     let path = cfg.cache_dir.as_ref().map(|d| d.join(cache_key(arch, cfg)));
     if let Some(p) = &path {
         if let Some(ckpt) = load_checkpoint(p) {
+            em_obs::counter_inc("ckpt/cache_hit");
             return ckpt;
         }
     }
+    em_obs::counter_inc("ckpt/cache_miss");
     let docs = em_data::generate_documents(cfg.corpus_lines, cfg.pretrain.seed);
     let flat: Vec<String> = docs.iter().flatten().cloned().collect();
     let tokenizer = train_tokenizer(arch, &flat, cfg.vocab_size);
-    let model_cfg = cfg.model_scale.config(arch, em_tokenizers::Tokenizer::vocab_size(&tokenizer));
+    let model_cfg = cfg
+        .model_scale
+        .config(arch, em_tokenizers::Tokenizer::vocab_size(&tokenizer));
     let mut pcfg = cfg.pretrain.clone();
     if arch == Architecture::Roberta {
         // §4.3: RoBERTa = BERT trained longer on more data. At our scale
@@ -199,7 +204,12 @@ pub struct CurveSummary {
 
 /// Run `cfg.runs` fine-tunings of `arch` on `id` and average the curves —
 /// one line of Figures 10–14.
-pub fn transformer_curve(arch: Architecture, id: DatasetId, cfg: &ExperimentConfig) -> CurveSummary {
+pub fn transformer_curve(
+    arch: Architecture,
+    id: DatasetId,
+    cfg: &ExperimentConfig,
+) -> CurveSummary {
+    let _span = em_obs::span!("experiment/curve");
     let ckpt = get_or_pretrain(arch, cfg);
     let (ds, split) = cfg.dataset_and_split(id);
     let mut all_curves: Vec<Vec<EpochRecord>> = Vec::with_capacity(cfg.runs);
@@ -210,8 +220,14 @@ pub fn transformer_curve(arch: Architecture, id: DatasetId, cfg: &ExperimentConf
         let mut ft = cfg.finetune.clone();
         ft.epochs = cfg.epochs;
         ft.seed = cfg.seed ^ (0xF1E0 + run as u64);
-        let (_, result) =
-            fine_tune(model, ckpt.tokenizer.clone(), &ds, &split.train, &split.test, &ft);
+        let (_, result) = fine_tune(
+            model,
+            ckpt.tokenizer.clone(),
+            &ds,
+            &split.train,
+            &split.test,
+            &ft,
+        );
         best_f1_runs.push(result.best_f1);
         secs.push(result.seconds_per_epoch);
         all_curves.push(result.curve);
@@ -253,16 +269,15 @@ pub fn run_baselines(id: DatasetId, cfg: &ExperimentConfig, dm_epochs: usize) ->
     let (ds, split) = cfg.dataset_and_split(id);
     let labels: Vec<bool> = split.test.iter().map(|p| p.label).collect();
 
-    let t0 = Instant::now();
+    let t0 = em_obs::Timer::start("baseline/magellan");
     let mg = MagellanMatcher::fit_best(
         &ds.effective_attributes(),
         &split.train,
         &split.valid,
         cfg.seed,
     );
-    let magellan_seconds = t0.elapsed().as_secs_f64();
-    let magellan_f1 =
-        PrF1::from_predictions(&mg.predict_all(&split.test), &labels).f1_percent();
+    let magellan_seconds = t0.stop();
+    let magellan_f1 = PrF1::from_predictions(&mg.predict_all(&split.test), &labels).f1_percent();
 
     let serialize =
         |p: &em_data::EntityPair| (ds.serialize_record(&p.a), ds.serialize_record(&p.b));
@@ -274,15 +289,19 @@ pub fn run_baselines(id: DatasetId, cfg: &ExperimentConfig, dm_epochs: usize) ->
             (a, b, p.label)
         })
         .collect();
-    let t1 = Instant::now();
+    let t1 = em_obs::Timer::start("baseline/deepmatcher");
     let dm = DeepMatcher::train(
         &train,
-        DeepMatcherConfig { epochs: dm_epochs, max_len: 40, seed: cfg.seed, ..Default::default() },
+        DeepMatcherConfig {
+            epochs: dm_epochs,
+            max_len: 40,
+            seed: cfg.seed,
+            ..Default::default()
+        },
     );
-    let deepmatcher_seconds = t1.elapsed().as_secs_f64();
+    let deepmatcher_seconds = t1.stop();
     let test_pairs: Vec<(String, String)> = split.test.iter().map(&serialize).collect();
-    let deepmatcher_f1 =
-        PrF1::from_predictions(&dm.predict_all(&test_pairs), &labels).f1_percent();
+    let deepmatcher_f1 = PrF1::from_predictions(&dm.predict_all(&test_pairs), &labels).f1_percent();
 
     BaselineResult {
         dataset: ds.name.clone(),
@@ -312,7 +331,11 @@ mod tests {
                 seq_len: 16,
                 ..Default::default()
             },
-            finetune: FineTuneConfig { batch_size: 8, max_len_cap: 32, ..Default::default() },
+            finetune: FineTuneConfig {
+                batch_size: 8,
+                max_len_cap: 32,
+                ..Default::default()
+            },
             cache_dir: Some(dir.to_path_buf()),
             ..Default::default()
         }

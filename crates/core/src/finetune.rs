@@ -16,7 +16,6 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Fine-tuning hyperparameters.
 #[derive(Debug, Clone)]
@@ -35,7 +34,13 @@ pub struct FineTuneConfig {
 
 impl Default for FineTuneConfig {
     fn default() -> Self {
-        Self { epochs: 10, batch_size: 16, lr: 1e-3, seed: 42, max_len_cap: 96 }
+        Self {
+            epochs: 10,
+            batch_size: 16,
+            lr: 1e-3,
+            seed: 42,
+            max_len_cap: 96,
+        }
     }
 }
 
@@ -82,8 +87,13 @@ pub struct EmMatcher {
 impl EmMatcher {
     /// Predict labels for pairs of a dataset (batched, no autograd).
     pub fn predict(&self, ds: &Dataset, pairs: &[EntityPair]) -> Vec<bool> {
-        let (encodings, _) =
-            encode_pairs(ds, pairs, &self.tokenizer, self.model.config.arch, self.max_len);
+        let (encodings, _) = encode_pairs(
+            ds,
+            pairs,
+            &self.tokenizer,
+            self.model.config.arch,
+            self.max_len,
+        );
         self.predict_encodings(&encodings)
     }
 
@@ -106,6 +116,7 @@ impl EmMatcher {
 
 /// Evaluate a matcher's F1 on encoded test data.
 fn evaluate(matcher: &EmMatcher, encodings: &[Encoding], labels: &[usize]) -> PrF1 {
+    let _span = em_obs::span!("eval");
     let preds = matcher.predict_encodings(encodings);
     let truth: Vec<bool> = labels.iter().map(|&l| l == 1).collect();
     PrF1::from_predictions(&preds, &truth)
@@ -137,7 +148,12 @@ pub fn fine_tune(
     // Only the classification layer is newly initialized (§5.2.2: "not
     // pre-trained").
     let head = ClassificationHead::new(hidden, dropout, init_std, &mut rng);
-    let matcher = EmMatcher { model, head, tokenizer, max_len };
+    let matcher = EmMatcher {
+        model,
+        head,
+        tokenizer,
+        max_len,
+    };
 
     let mut params = matcher.model.parameters();
     params.extend(matcher.head.parameters());
@@ -166,8 +182,9 @@ pub fn fine_tune(
     // oversample the positive class to ~1/3 of each epoch — the standard
     // imbalance treatment, also used by our DeepMatcher trainer.
     let mut order: Vec<usize> = (0..train_enc.len()).collect();
-    let pos_idx: Vec<usize> =
-        (0..train_labels.len()).filter(|&i| train_labels[i] == 1).collect();
+    let pos_idx: Vec<usize> = (0..train_labels.len())
+        .filter(|&i| train_labels[i] == 1)
+        .collect();
     if !pos_idx.is_empty() {
         let target = train_enc.len() / 3;
         let mut count = pos_idx.len();
@@ -177,11 +194,12 @@ pub fn fine_tune(
         }
     }
     for epoch in 1..=cfg.epochs {
-        let start = Instant::now();
+        // em-obs Timer always measures: EpochRecord.train_seconds and Table 6
+        // need wall time even with observability disabled.
+        let timer = em_obs::Timer::start("finetune/epoch");
         order.shuffle(&mut rng);
         for (bi, chunk) in order.chunks(cfg.batch_size).enumerate() {
-            let encodings: Vec<Encoding> =
-                chunk.iter().map(|&i| train_enc[i].clone()).collect();
+            let encodings: Vec<Encoding> = chunk.iter().map(|&i| train_enc[i].clone()).collect();
             let labels: Vec<usize> = chunk.iter().map(|&i| train_labels[i]).collect();
             let batch = Batch::from_encodings(&encodings);
             let mut ctx = Ctx::train(cfg.seed ^ ((epoch as u64) << 24) ^ bi as u64);
@@ -194,7 +212,11 @@ pub fn fine_tune(
             clip_grad_norm(opt.params(), 1.0);
             opt.step(schedule.lr_at(opt.steps_taken()));
         }
-        let train_seconds = start.elapsed().as_secs_f64();
+        let train_seconds = timer.stop();
+        em_obs::gauge_set(
+            "finetune/examples_per_sec",
+            order.len() as f64 / train_seconds.max(1e-9),
+        );
         let m = evaluate(&matcher, &test_enc, &test_labels);
         curve.push(EpochRecord {
             epoch,
@@ -212,7 +234,15 @@ pub fn fine_tune(
     } else {
         0.0
     };
-    (matcher, FineTuneResult { curve, final_f1, best_f1, seconds_per_epoch })
+    (
+        matcher,
+        FineTuneResult {
+            curve,
+            final_f1,
+            best_f1,
+            seconds_per_epoch,
+        },
+    )
 }
 
 /// Convenience: pre-train an architecture on a corpus (with its own
@@ -245,7 +275,12 @@ mod tests {
             &corpus,
             400,
             |v| TransformerConfig::tiny(Architecture::Bert, v),
-            &PretrainConfig { epochs: 1, batch_size: 8, seq_len: 24, ..Default::default() },
+            &PretrainConfig {
+                epochs: 1,
+                batch_size: 8,
+                seq_len: 24,
+                ..Default::default()
+            },
         );
         let ds = DatasetId::DblpAcm.generate(0.008, 1);
         let mut rng = StdRng::seed_from_u64(2);
@@ -260,7 +295,10 @@ mod tests {
         let (_, result) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &cfg);
         assert_eq!(result.curve.len(), 4);
         assert_eq!(result.curve[0].epoch, 0);
-        assert!(result.best_f1 >= result.curve[0].f1, "training should not hurt");
+        assert!(
+            result.best_f1 >= result.curve[0].f1,
+            "training should not hurt"
+        );
         assert!(result.seconds_per_epoch > 0.0);
     }
 
@@ -272,7 +310,12 @@ mod tests {
             &corpus,
             300,
             |v| TransformerConfig::tiny(Architecture::DistilBert, v),
-            &PretrainConfig { epochs: 1, batch_size: 8, seq_len: 16, ..Default::default() },
+            &PretrainConfig {
+                epochs: 1,
+                batch_size: 8,
+                seq_len: 16,
+                ..Default::default()
+            },
         );
         let ds = DatasetId::ItunesAmazon.generate(0.2, 5);
         let mut rng = StdRng::seed_from_u64(6);

@@ -102,7 +102,10 @@ pub fn predict_long(
     pairs: &[EntityPair],
     strategy: LongTextStrategy,
 ) -> Vec<bool> {
-    pairs.iter().map(|p| predict_long_pair(matcher, ds, p, strategy)).collect()
+    pairs
+        .iter()
+        .map(|p| predict_long_pair(matcher, ds, p, strategy))
+        .collect()
 }
 
 #[cfg(test)]
@@ -111,7 +114,10 @@ mod tests {
 
     #[test]
     fn windows_cover_whole_text_with_overlap() {
-        let text = (0..100).map(|i| format!("w{i}")).collect::<Vec<_>>().join(" ");
+        let text = (0..100)
+            .map(|i| format!("w{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         let ws = word_windows(&text, 20);
         assert!(ws.len() >= 8, "50% stride over 100 words: {}", ws.len());
         assert!(ws[0].starts_with("w0 "));

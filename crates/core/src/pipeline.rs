@@ -10,6 +10,7 @@ use em_transformers::Architecture;
 
 /// Train the tokenizer family the architecture uses (§5.2.3) on a corpus.
 pub fn train_tokenizer(arch: Architecture, corpus: &[String], vocab_size: usize) -> AnyTokenizer {
+    let _span = em_obs::span!("tokenizer/train");
     match arch {
         Architecture::Bert | Architecture::DistilBert => {
             AnyTokenizer::WordPiece(WordPiece::train(corpus, vocab_size))
@@ -36,12 +37,7 @@ pub fn cls_position(arch: Architecture) -> ClsPosition {
 /// training data", 128–265 tokens there): the 95th percentile of pair
 /// length plus specials, clamped to `[16, cap]` and rounded up to a
 /// multiple of 8.
-pub fn choose_max_len(
-    ds: &Dataset,
-    pairs: &[EntityPair],
-    tok: &AnyTokenizer,
-    cap: usize,
-) -> usize {
+pub fn choose_max_len(ds: &Dataset, pairs: &[EntityPair], tok: &AnyTokenizer, cap: usize) -> usize {
     let mut lens: Vec<usize> = pairs
         .iter()
         .take(512) // a sample is plenty for a percentile
@@ -68,13 +64,29 @@ pub fn encode_pairs(
     arch: Architecture,
     max_len: usize,
 ) -> (Vec<Encoding>, Vec<usize>) {
+    let _span = em_obs::span!("encode");
     let cls = cls_position(arch);
-    let encodings = pairs
+    let encodings: Vec<Encoding> = pairs
         .iter()
         .map(|p| {
-            encode_pair(tok, &ds.serialize_record(&p.a), &ds.serialize_record(&p.b), max_len, cls)
+            encode_pair(
+                tok,
+                &ds.serialize_record(&p.a),
+                &ds.serialize_record(&p.b),
+                max_len,
+                cls,
+            )
         })
         .collect();
+    if em_obs::enabled() {
+        em_obs::counter_add(
+            "encode/tokens",
+            encodings
+                .iter()
+                .map(|e| e.mask.iter().filter(|&&m| m == 1).count() as u64)
+                .sum(),
+        );
+    }
     let labels = pairs.iter().map(|p| usize::from(p.label)).collect();
     (encodings, labels)
 }
@@ -113,7 +125,10 @@ mod tests {
         let dblp = DatasetId::DblpAcm.generate(0.01, 2);
         let l_abt = choose_max_len(&abt, &abt.pairs, &tok, 256);
         let l_dblp = choose_max_len(&dblp, &dblp.pairs, &tok, 256);
-        assert!(l_abt > l_dblp, "textual Abt-Buy needs longer inputs: {l_abt} vs {l_dblp}");
+        assert!(
+            l_abt > l_dblp,
+            "textual Abt-Buy needs longer inputs: {l_abt} vs {l_dblp}"
+        );
         assert_eq!(l_abt % 8, 0);
     }
 
@@ -124,7 +139,7 @@ mod tests {
         let ds = DatasetId::WalmartAmazon.generate(0.005, 3);
         let (enc, labels) = encode_pairs(&ds, &ds.pairs, &tok, Architecture::Bert, 64);
         assert_eq!(enc.len(), labels.len());
-        assert!(labels.iter().any(|&l| l == 1));
+        assert!(labels.contains(&1));
         assert!(enc.iter().all(|e| e.ids.len() == 64));
     }
 }

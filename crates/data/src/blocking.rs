@@ -41,7 +41,11 @@ pub struct TokenBlocker {
 
 impl Default for TokenBlocker {
     fn default() -> Self {
-        Self { attribute: None, min_shared: 2, stop_fraction: 0.2 }
+        Self {
+            attribute: None,
+            min_shared: 2,
+            stop_fraction: 0.2,
+        }
     }
 }
 
@@ -200,11 +204,18 @@ pub fn evaluate_blocking(
 ) -> BlockingQuality {
     let cand: HashSet<Candidate> = candidates.iter().copied().collect();
     let found = true_matches.iter().filter(|m| cand.contains(m)).count();
-    let recall =
-        if true_matches.is_empty() { 1.0 } else { found as f64 / true_matches.len() as f64 };
+    let recall = if true_matches.is_empty() {
+        1.0
+    } else {
+        found as f64 / true_matches.len() as f64
+    };
     let cross = (n_a * n_b).max(1);
     let reduction = 1.0 - cand.len() as f64 / cross as f64;
-    BlockingQuality { recall, reduction, candidates: cand.len() }
+    BlockingQuality {
+        recall,
+        reduction,
+        candidates: cand.len(),
+    }
 }
 
 #[cfg(test)]
@@ -212,7 +223,13 @@ mod tests {
     use super::*;
 
     fn rec(id: u64, title: &str, brand: &str) -> Record {
-        Record::new(id, vec![("title".into(), title.into()), ("brand".into(), brand.into())])
+        Record::new(
+            id,
+            vec![
+                ("title".into(), title.into()),
+                ("brand".into(), brand.into()),
+            ],
+        )
     }
 
     fn tables() -> (Vec<Record>, Vec<Record>, HashSet<Candidate>) {
@@ -242,7 +259,10 @@ mod tests {
     #[test]
     fn equivalence_blocker_on_brand() {
         let (a, b, truth) = tables();
-        let cands = EquivalenceBlocker { attribute: "brand".into() }.block(&a, &b);
+        let cands = EquivalenceBlocker {
+            attribute: "brand".into(),
+        }
+        .block(&a, &b);
         assert!(cands.contains(&(0, 0)));
         assert!(cands.contains(&(1, 1)));
         assert!(!cands.contains(&(2, 2)), "different brands never pair");
@@ -254,7 +274,11 @@ mod tests {
     fn qgram_blocker_survives_typos() {
         let a = vec![rec(0, "keyboard zx4510", "logitech")];
         let b = vec![rec(10, "keybaord zx4510", "logitech")]; // transposed typo
-        let cands = QgramBlocker { attribute: Some("title".into()), min_shared: 4 }.block(&a, &b);
+        let cands = QgramBlocker {
+            attribute: Some("title".into()),
+            min_shared: 4,
+        }
+        .block(&a, &b);
         assert_eq!(cands, vec![(0, 0)]);
     }
 
@@ -262,14 +286,20 @@ mod tests {
     fn stop_words_do_not_explode_candidates() {
         // Every record shares the token "the": with stop-wording, "the"
         // alone must not make everything a candidate.
-        let a: Vec<Record> =
-            (0..20).map(|i| rec(i, &format!("the unique{i} item{i}"), "x")).collect();
-        let b: Vec<Record> =
-            (0..20).map(|i| rec(100 + i, &format!("the unique{i} item{i}"), "x")).collect();
-        let cands = TokenBlocker { min_shared: 2, ..Default::default() }.block(&a, &b);
+        let a: Vec<Record> = (0..20)
+            .map(|i| rec(i, &format!("the unique{i} item{i}"), "x"))
+            .collect();
+        let b: Vec<Record> = (0..20)
+            .map(|i| rec(100 + i, &format!("the unique{i} item{i}"), "x"))
+            .collect();
+        let cands = TokenBlocker {
+            min_shared: 2,
+            ..Default::default()
+        }
+        .block(&a, &b);
         // Diagonal pairs only: each record matches its twin.
         assert_eq!(cands.len(), 20, "{cands:?}");
-        assert!(cands.iter().all(|&(i, j)| i == j as usize));
+        assert!(cands.iter().all(|&(i, j)| i == j));
     }
 
     #[test]

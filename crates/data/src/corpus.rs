@@ -45,8 +45,10 @@ pub fn generate_documents(n_lines: usize, seed: u64) -> Vec<Vec<String>> {
 /// Roughly 50% product marketing text, 25% citation-style lines, 25% music
 /// catalog lines — mirroring the benchmark domains.
 pub fn generate_corpus(n_lines: usize, seed: u64) -> Vec<String> {
-    let mut lines: Vec<String> =
-        generate_documents(n_lines, seed).into_iter().flatten().collect();
+    let mut lines: Vec<String> = generate_documents(n_lines, seed)
+        .into_iter()
+        .flatten()
+        .collect();
     lines.truncate(n_lines);
     lines
 }
@@ -72,13 +74,14 @@ fn product_lines(lines: &mut Vec<String>, rng: &mut StdRng) {
     ));
     // Record-style view (listing / infobox line), tokens lightly shuffled
     // the way different stores order their fields.
-    let mut fields = vec![
+    let mut fields = [
         product_title(&p, 0.05, rng),
         p.category.clone(),
         p.color.clone(),
         render_price(p.price_cents, rng),
         p.features[rng.gen_range(0..5)].clone(),
     ];
+
     if rng.gen::<bool>() {
         fields.swap(1, 2);
     }
@@ -174,13 +177,19 @@ mod tests {
     #[test]
     fn corpus_covers_benchmark_vocabulary() {
         let corpus = generate_corpus(3000, 3);
-        let words: HashSet<&str> =
-            corpus.iter().flat_map(|l| l.split_whitespace()).collect();
+        let words: HashSet<&str> = corpus.iter().flat_map(|l| l.split_whitespace()).collect();
         // Every bank that feeds the datasets must appear in the corpus so
         // the tokenizer vocabulary covers fine-tuning data.
         let mut hit = 0;
         let mut total = 0;
-        for bank in [BRANDS, PRODUCT_NOUNS, ADJECTIVES, FEATURES, PAPER_WORDS, SONG_WORDS] {
+        for bank in [
+            BRANDS,
+            PRODUCT_NOUNS,
+            ADJECTIVES,
+            FEATURES,
+            PAPER_WORDS,
+            SONG_WORDS,
+        ] {
             for w in bank {
                 total += 1;
                 if words.contains(w) {
@@ -189,7 +198,10 @@ mod tests {
             }
         }
         let coverage = hit as f64 / total as f64;
-        assert!(coverage > 0.9, "corpus vocabulary coverage too low: {coverage:.2}");
+        assert!(
+            coverage > 0.9,
+            "corpus vocabulary coverage too low: {coverage:.2}"
+        );
     }
 
     #[test]
@@ -202,7 +214,10 @@ mod tests {
     #[test]
     fn documents_group_entity_sentences() {
         let docs = generate_documents(300, 5);
-        assert!(docs.iter().all(|d| (2..=3).contains(&d.len())), "2-3 sentences per entity");
+        assert!(
+            docs.iter().all(|d| (2..=3).contains(&d.len())),
+            "2-3 sentences per entity"
+        );
         let total: usize = docs.iter().map(Vec::len).sum();
         assert!(total >= 300);
         // Flattened view matches generate_corpus.

@@ -79,6 +79,7 @@ impl DatasetId {
     /// Generate the dataset at `scale` (1.0 = full Table 3 size) with a
     /// deterministic `seed`. The four dirty datasets come pre-transformed.
     pub fn generate(&self, scale: f64, seed: u64) -> Dataset {
+        let _span = em_obs::span!("data/generate");
         let (size, matches, _) = self.table3_stats();
         let n_pairs = ((size as f64 * scale).round() as usize).max(10);
         let n_matches = ((matches as f64 * scale).round() as usize).max(3);
@@ -153,7 +154,11 @@ where
     let n_neg = n_pairs.saturating_sub(n_matches);
     for _ in 0..n_neg {
         let e1 = gen(rng);
-        let e2 = if rng.gen::<f32>() < SIBLING_FRAC { sibling(&e1, rng) } else { gen(rng) };
+        let e2 = if rng.gen::<f32>() < SIBLING_FRAC {
+            sibling(&e1, rng)
+        } else {
+            gen(rng)
+        };
         let a = render(&e1, 0, id(), rng);
         let b = render(&e2, 1, id(), rng);
         pairs.push(EntityPair { a, b, label: false });
@@ -179,7 +184,10 @@ fn abt_buy(n_pairs: usize, n_matches: usize, rng: &mut StdRng) -> Dataset {
                 id,
                 vec![
                     ("name".into(), product_title(e, noise, rng)),
-                    ("description".into(), product_description(e, variant, noise, rng)),
+                    (
+                        "description".into(),
+                        product_description(e, variant, noise, rng),
+                    ),
                     ("price".into(), render_price(e.price_cents, rng)),
                 ],
             )
@@ -204,11 +212,18 @@ fn walmart_amazon(n_pairs: usize, n_matches: usize, rng: &mut StdRng) -> Dataset
         gen_product,
         sibling_product,
         |e, _source, id, rng| {
-            let brand = if rng.gen::<f32>() < 0.12 { String::new() } else { e.brand.clone() };
+            let brand = if rng.gen::<f32>() < 0.12 {
+                String::new()
+            } else {
+                e.brand.clone()
+            };
             // Model numbers are formatted inconsistently and often missing —
             // the reason this attribute never carries exact-match weight.
-            let modelno =
-                if rng.gen::<f32>() < 0.25 { String::new() } else { render_model(&e.model, rng) };
+            let modelno = if rng.gen::<f32>() < 0.25 {
+                String::new()
+            } else {
+                render_model(&e.model, rng)
+            };
             Record::new(
                 id,
                 vec![
@@ -269,7 +284,13 @@ fn itunes_amazon(n_pairs: usize, n_matches: usize, rng: &mut StdRng) -> Dataset 
         name: "iTunes-Amazon".into(),
         domain: "Music".into(),
         attributes: [
-            "song_name", "artist_name", "album_name", "genre", "price", "copyright", "time",
+            "song_name",
+            "artist_name",
+            "album_name",
+            "genre",
+            "price",
+            "copyright",
+            "time",
             "released",
         ]
         .iter()
@@ -312,7 +333,10 @@ fn dblp_citations(n_pairs: usize, n_matches: usize, messy: bool, rng: &mut StdRn
     Dataset {
         name: "DBLP".into(),
         domain: "Citation".into(),
-        attributes: ["title", "authors", "venue", "year"].iter().map(|s| s.to_string()).collect(),
+        attributes: ["title", "authors", "venue", "year"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         pairs,
         textual_attribute: None,
     }
@@ -405,7 +429,10 @@ mod tests {
             .map(|p| p.a.get("description").unwrap().split(' ').count() as f64)
             .sum::<f64>()
             / ds.size() as f64;
-        assert!(avg_words > 20.0, "Abt-Buy descriptions must be long: {avg_words}");
+        assert!(
+            avg_words > 20.0,
+            "Abt-Buy descriptions must be long: {avg_words}"
+        );
     }
 
     #[test]
@@ -444,7 +471,10 @@ mod tests {
             }
         }
         let (m, n) = (overlap_match / n_m as f64, overlap_non / n_n as f64);
-        assert!(m > n, "matches must overlap more than non-matches: {m:.3} vs {n:.3}");
+        assert!(
+            m > n,
+            "matches must overlap more than non-matches: {m:.3} vs {n:.3}"
+        );
     }
 
     #[test]
@@ -463,7 +493,10 @@ mod tests {
     #[test]
     fn parse_names() {
         assert_eq!(DatasetId::parse("abt-buy"), Some(DatasetId::AbtBuy));
-        assert_eq!(DatasetId::parse("DBLP-Scholar"), Some(DatasetId::DblpScholar));
+        assert_eq!(
+            DatasetId::parse("DBLP-Scholar"),
+            Some(DatasetId::DblpScholar)
+        );
         assert_eq!(DatasetId::parse("nope"), None);
     }
 }

@@ -77,7 +77,10 @@ mod tests {
             let brand = r.get("brand").unwrap();
             if brand.is_empty() {
                 moved_any = true;
-                assert!(title.contains("acme"), "moved value must appear in title: {title}");
+                assert!(
+                    title.contains("acme"),
+                    "moved value must appear in title: {title}"
+                );
             } else {
                 assert!(!title.contains("acme"));
             }
@@ -91,15 +94,17 @@ mod tests {
         for _ in 0..20 {
             let mut r = record(1);
             let before: Vec<String> = {
-                let mut w: Vec<String> =
-                    r.text_blob().split(' ').map(String::from).collect();
+                let mut w: Vec<String> = r.text_blob().split(' ').map(String::from).collect();
                 w.sort();
                 w
             };
             dirty_record(&mut r, "title", &mut rng);
             let mut after: Vec<String> = r.text_blob().split(' ').map(String::from).collect();
             after.sort();
-            assert_eq!(before, after, "dirtying relocates but never destroys content");
+            assert_eq!(
+                before, after,
+                "dirtying relocates but never destroys content"
+            );
         }
     }
 
@@ -125,7 +130,11 @@ mod tests {
             name: "toy".into(),
             domain: "test".into(),
             attributes: vec!["title".into(), "brand".into(), "price".into()],
-            pairs: vec![EntityPair { a: record(0), b: record(1), label: true }],
+            pairs: vec![EntityPair {
+                a: record(0),
+                b: record(1),
+                label: true,
+            }],
             textual_attribute: None,
         };
         let dirty = make_dirty(ds, "title", &mut StdRng::seed_from_u64(3));

@@ -46,8 +46,14 @@ pub fn gen_product(rng: &mut StdRng) -> ProductEntity {
             .collect(),
         color: pick_one(COLORS, rng).to_string(),
         price_cents: rng.gen_range(999..150_000),
-        features: pick(FEATURES, 5, rng).into_iter().map(String::from).collect(),
-        adjectives: pick(ADJECTIVES, 5, rng).into_iter().map(String::from).collect(),
+        features: pick(FEATURES, 5, rng)
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        adjectives: pick(ADJECTIVES, 5, rng)
+            .into_iter()
+            .map(String::from)
+            .collect(),
         category: pick_one(CATEGORIES, rng).to_string(),
     }
 }
@@ -98,11 +104,18 @@ pub fn product_title(e: &ProductEntity, noise: f32, rng: &mut StdRng) -> String 
 /// (which share the full pool), bag-of-words overlap of matches and hard
 /// negatives is deliberately confusable; the reliable signal is whether
 /// the model designations agree.
-pub fn product_description(e: &ProductEntity, variant: usize, noise: f32, rng: &mut StdRng) -> String {
+pub fn product_description(
+    e: &ProductEntity,
+    variant: usize,
+    noise: f32,
+    rng: &mut StdRng,
+) -> String {
     // Rotate the pools so variant 0 uses items {0,1,2} and variant 1 uses
     // items {2,3,4}: one-third vocabulary overlap between the two sources.
     let rot = (variant % 2) * 2;
-    let a: Vec<&str> = (0..3).map(|i| e.adjectives[(i + rot) % 5].as_str()).collect();
+    let a: Vec<&str> = (0..3)
+        .map(|i| e.adjectives[(i + rot) % 5].as_str())
+        .collect();
     let f: Vec<&str> = (0..3).map(|i| e.features[(i + rot) % 5].as_str()).collect();
     let model = render_model(&e.model, rng);
     let templates: [String; 3] = [
@@ -114,14 +127,24 @@ pub fn product_description(e: &ProductEntity, variant: usize, noise: f32, rng: &
         format!(
             "{} {} {} - a {} {} with {} {} , {} and {} {} . this {} design is \
              perfect for {} . now in {}",
-            e.brand, model, e.noun, a[1], e.noun, a[2], f[0], f[1], a[0], f[2], a[0],
-            e.category, e.color
+            e.brand,
+            model,
+            e.noun,
+            a[1],
+            e.noun,
+            a[2],
+            f[0],
+            f[1],
+            a[0],
+            f[2],
+            a[0],
+            e.category,
+            e.color
         ),
         format!(
             "brand new {} {} from {} . this {} model offers {} {} , a {} {} and {} . \
              the {} choice in {} . color : {}",
-            e.noun, model, e.brand, a[0], a[1], f[0], a[2], f[1], f[2], a[0], e.category,
-            e.color
+            e.noun, model, e.brand, a[0], a[1], f[0], a[2], f[1], f[2], a[0], e.category, e.color
         ),
     ];
     let mut text = templates[variant % templates.len()].clone();
@@ -150,7 +173,10 @@ pub fn product_description(e: &ProductEntity, variant: usize, noise: f32, rng: &
 /// never agree on model-number formatting, which is what makes the
 /// `modelno` attribute unreliable for exact-match features.
 pub fn render_model(model: &str, rng: &mut StdRng) -> String {
-    let split = model.chars().position(|c| c.is_ascii_digit()).unwrap_or(model.len());
+    let split = model
+        .chars()
+        .position(|c| c.is_ascii_digit())
+        .unwrap_or(model.len());
     if split == 0 || split == model.len() {
         return model.to_string();
     }
@@ -179,10 +205,16 @@ pub fn gen_paper(rng: &mut StdRng) -> PaperEntity {
     let n_title = rng.gen_range(4..=8);
     let n_authors = rng.gen_range(1..=4);
     PaperEntity {
-        title: pick(PAPER_WORDS, n_title, rng).into_iter().map(String::from).collect(),
+        title: pick(PAPER_WORDS, n_title, rng)
+            .into_iter()
+            .map(String::from)
+            .collect(),
         authors: (0..n_authors)
             .map(|_| {
-                (pick_one(GIVEN_NAMES, rng).to_string(), pick_one(FAMILY_NAMES, rng).to_string())
+                (
+                    pick_one(GIVEN_NAMES, rng).to_string(),
+                    pick_one(FAMILY_NAMES, rng).to_string(),
+                )
             })
             .collect(),
         venue: pick_one(VENUES, rng).to_string(),
@@ -272,9 +304,19 @@ pub struct TrackEntity {
 /// Generate a random track.
 pub fn gen_track(rng: &mut StdRng) -> TrackEntity {
     TrackEntity {
-        song: pick(SONG_WORDS, rng.gen_range(2..=4), rng).into_iter().map(String::from).collect(),
-        artist: (pick_one(GIVEN_NAMES, rng).to_string(), pick_one(FAMILY_NAMES, rng).to_string()),
-        album: format!("{} {}", pick_one(SONG_WORDS, rng), pick_one(ALBUM_WORDS, rng)),
+        song: pick(SONG_WORDS, rng.gen_range(2..=4), rng)
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        artist: (
+            pick_one(GIVEN_NAMES, rng).to_string(),
+            pick_one(FAMILY_NAMES, rng).to_string(),
+        ),
+        album: format!(
+            "{} {}",
+            pick_one(SONG_WORDS, rng),
+            pick_one(ALBUM_WORDS, rng)
+        ),
         genre: pick_one(GENRES, rng).to_string(),
         price_cents: rng.gen_range(69..=1299),
         label: pick_one(LABELS, rng).to_string(),

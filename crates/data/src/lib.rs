@@ -23,19 +23,18 @@ pub mod noise;
 pub mod records;
 pub mod wordbank;
 
+pub use blocking::{Blocker, BlockingQuality, EquivalenceBlocker, QgramBlocker, TokenBlocker};
 pub use corpus::{generate_corpus, generate_documents};
 pub use datasets::{company_dataset, DatasetId};
 pub use dirty::make_dirty;
 pub use metrics::{f1_score, PrF1};
-pub use blocking::{Blocker, BlockingQuality, EquivalenceBlocker, QgramBlocker, TokenBlocker};
 pub use records::{Dataset, EntityPair, Record, Split};
 
 /// Character 3-grams of a lowercased string (shared by the q-gram blocker).
 pub fn similarity_qgrams(s: &str) -> std::collections::HashSet<String> {
-    let padded: Vec<char> = std::iter::repeat('#')
-        .take(2)
+    let padded: Vec<char> = std::iter::repeat_n('#', 2)
         .chain(s.to_lowercase().chars())
-        .chain(std::iter::repeat('#').take(2))
+        .chain(std::iter::repeat_n('#', 2))
         .collect();
     padded.windows(3).map(|w| w.iter().collect()).collect()
 }

@@ -20,8 +20,17 @@ pub struct PrF1 {
 impl PrF1 {
     /// Compute from parallel prediction/label slices.
     pub fn from_predictions(preds: &[bool], labels: &[bool]) -> Self {
-        assert_eq!(preds.len(), labels.len(), "prediction/label length mismatch");
-        let mut m = PrF1 { tp: 0, fp: 0, fn_: 0, tn: 0 };
+        assert_eq!(
+            preds.len(),
+            labels.len(),
+            "prediction/label length mismatch"
+        );
+        let mut m = PrF1 {
+            tp: 0,
+            fp: 0,
+            fn_: 0,
+            tn: 0,
+        };
         for (&p, &l) in preds.iter().zip(labels) {
             match (p, l) {
                 (true, true) => m.tp += 1,
@@ -107,6 +116,42 @@ mod tests {
         assert_eq!((m.tp, m.fp, m.fn_, m.tn), (2, 1, 1, 1));
         assert!((m.f1() - 2.0 / 3.0).abs() < 1e-9);
         assert!((m.f1_percent() - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_predicted_positives_has_zero_precision_without_nan() {
+        // tp + fp == 0: precision must be a defined 0.0, not NaN, and F1
+        // must follow suit even though recall's denominator is non-zero.
+        let preds = [false, false, false, false];
+        let labels = [true, true, false, false];
+        let m = PrF1::from_predictions(&preds, &labels);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (0, 0, 2, 2));
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert!(!m.f1().is_nan());
+    }
+
+    #[test]
+    fn zero_actual_positives_has_zero_recall_without_nan() {
+        // tp + fn == 0: every prediction is a false positive; recall and F1
+        // must be a defined 0.0 rather than 0/0.
+        let preds = [true, true, false];
+        let labels = [false, false, false];
+        let m = PrF1::from_predictions(&preds, &labels);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (0, 2, 0, 1));
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert!(!m.f1_percent().is_nan());
+    }
+
+    #[test]
+    fn empty_inputs_are_all_zero() {
+        let m = PrF1::from_predictions(&[], &[]);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
     }
 
     #[test]

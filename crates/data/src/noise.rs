@@ -142,7 +142,10 @@ mod tests {
     #[test]
     fn noisy_phrase_zero_p_is_identity() {
         let mut rng = StdRng::seed_from_u64(2);
-        assert_eq!(noisy_phrase("the quick brown fox", 0.0, &mut rng), "the quick brown fox");
+        assert_eq!(
+            noisy_phrase("the quick brown fox", 0.0, &mut rng),
+            "the quick brown fox"
+        );
     }
 
     #[test]

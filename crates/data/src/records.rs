@@ -22,12 +22,18 @@ impl Record {
 
     /// Value of `attr`, if present.
     pub fn get(&self, attr: &str) -> Option<&str> {
-        self.fields.iter().find(|(a, _)| a == attr).map(|(_, v)| v.as_str())
+        self.fields
+            .iter()
+            .find(|(a, _)| a == attr)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Mutable value of `attr`, if present.
     pub fn get_mut(&mut self, attr: &str) -> Option<&mut String> {
-        self.fields.iter_mut().find(|(a, _)| a == attr).map(|(_, v)| v)
+        self.fields
+            .iter_mut()
+            .find(|(a, _)| a == attr)
+            .map(|(_, v)| v)
     }
 
     /// Concatenate all attribute values into one text blob (§5.2.2: "all
@@ -211,9 +217,7 @@ mod tests {
     fn split_is_stratified() {
         let ds = toy_dataset(500, 100);
         let split = ds.split(&mut StdRng::seed_from_u64(1));
-        let frac = |v: &[EntityPair]| {
-            v.iter().filter(|p| p.label).count() as f64 / v.len() as f64
-        };
+        let frac = |v: &[EntityPair]| v.iter().filter(|p| p.label).count() as f64 / v.len() as f64;
         assert!((frac(&split.train) - 0.2).abs() < 0.02);
         assert!((frac(&split.test) - 0.2).abs() < 0.05);
     }
@@ -222,7 +226,10 @@ mod tests {
     fn split_partitions_without_loss() {
         let ds = toy_dataset(100, 20);
         let split = ds.split(&mut StdRng::seed_from_u64(2));
-        assert_eq!(split.train.len() + split.valid.len() + split.test.len(), 100);
+        assert_eq!(
+            split.train.len() + split.valid.len() + split.test.len(),
+            100
+        );
     }
 
     #[test]

@@ -5,104 +5,275 @@
 
 /// Consumer-electronics and general-product brands.
 pub const BRANDS: &[&str] = &[
-    "apple", "samsung", "sony", "asus", "nokia", "lenovo", "dell", "canon", "nikon", "bose",
-    "philips", "panasonic", "logitech", "garmin", "sharp", "toshiba", "epson", "brother",
-    "whirlpool", "dyson", "makita", "bosch", "kitchenaid", "cuisinart", "hamilton", "oster",
+    "apple",
+    "samsung",
+    "sony",
+    "asus",
+    "nokia",
+    "lenovo",
+    "dell",
+    "canon",
+    "nikon",
+    "bose",
+    "philips",
+    "panasonic",
+    "logitech",
+    "garmin",
+    "sharp",
+    "toshiba",
+    "epson",
+    "brother",
+    "whirlpool",
+    "dyson",
+    "makita",
+    "bosch",
+    "kitchenaid",
+    "cuisinart",
+    "hamilton",
+    "oster",
 ];
 
 /// Product category nouns.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "phone", "laptop", "camera", "headphones", "speaker", "monitor", "keyboard", "printer",
-    "router", "tablet", "charger", "blender", "toaster", "vacuum", "drill", "microwave",
-    "refrigerator", "dishwasher", "television", "projector", "smartwatch", "console",
+    "phone",
+    "laptop",
+    "camera",
+    "headphones",
+    "speaker",
+    "monitor",
+    "keyboard",
+    "printer",
+    "router",
+    "tablet",
+    "charger",
+    "blender",
+    "toaster",
+    "vacuum",
+    "drill",
+    "microwave",
+    "refrigerator",
+    "dishwasher",
+    "television",
+    "projector",
+    "smartwatch",
+    "console",
 ];
 
 /// Product model-word fragments.
 pub const MODEL_WORDS: &[&str] = &[
-    "pro", "max", "ultra", "mini", "plus", "elite", "prime", "classic", "sport", "air",
-    "neo", "duo", "edge", "core", "zoom", "flex", "turbo", "nano", "evo", "fusion",
+    "pro", "max", "ultra", "mini", "plus", "elite", "prime", "classic", "sport", "air", "neo",
+    "duo", "edge", "core", "zoom", "flex", "turbo", "nano", "evo", "fusion",
 ];
 
 /// Product adjectives for descriptions.
 pub const ADJECTIVES: &[&str] = &[
-    "new", "powerful", "compact", "lightweight", "durable", "wireless", "portable", "premium",
-    "advanced", "sleek", "ergonomic", "rechargeable", "digital", "smart", "professional",
-    "high", "fast", "quiet", "robust", "versatile", "stylish", "reliable", "expansive",
+    "new",
+    "powerful",
+    "compact",
+    "lightweight",
+    "durable",
+    "wireless",
+    "portable",
+    "premium",
+    "advanced",
+    "sleek",
+    "ergonomic",
+    "rechargeable",
+    "digital",
+    "smart",
+    "professional",
+    "high",
+    "fast",
+    "quiet",
+    "robust",
+    "versatile",
+    "stylish",
+    "reliable",
+    "expansive",
 ];
 
 /// Feature nouns for descriptions.
 pub const FEATURES: &[&str] = &[
-    "display", "battery", "processor", "memory", "storage", "camera", "sensor", "screen",
-    "design", "resolution", "warranty", "bluetooth", "wifi", "usb", "hdmi", "zoom",
-    "autofocus", "stabilization", "backlight", "touchscreen", "speaker", "microphone",
+    "display",
+    "battery",
+    "processor",
+    "memory",
+    "storage",
+    "camera",
+    "sensor",
+    "screen",
+    "design",
+    "resolution",
+    "warranty",
+    "bluetooth",
+    "wifi",
+    "usb",
+    "hdmi",
+    "zoom",
+    "autofocus",
+    "stabilization",
+    "backlight",
+    "touchscreen",
+    "speaker",
+    "microphone",
 ];
 
 /// Colors.
-pub const COLORS: &[&str] =
-    &["black", "white", "silver", "red", "blue", "gray", "gold", "green", "pink"];
+pub const COLORS: &[&str] = &[
+    "black", "white", "silver", "red", "blue", "gray", "gold", "green", "pink",
+];
 
 /// Product categories (Walmart-Amazon style).
 pub const CATEGORIES: &[&str] = &[
-    "electronics", "computers", "appliances", "photography", "audio", "kitchen", "tools",
-    "office", "gaming", "wearables",
+    "electronics",
+    "computers",
+    "appliances",
+    "photography",
+    "audio",
+    "kitchen",
+    "tools",
+    "office",
+    "gaming",
+    "wearables",
 ];
 
 /// Given names for authors and artists.
 pub const GIVEN_NAMES: &[&str] = &[
-    "james", "maria", "wei", "anna", "david", "elena", "rahul", "sofia", "peter", "yuki",
-    "ahmed", "clara", "ivan", "lucia", "george", "nina", "omar", "julia", "victor", "emma",
-    "daniel", "laura", "miguel", "sara", "thomas", "alice", "feng", "olga", "erik", "diana",
+    "james", "maria", "wei", "anna", "david", "elena", "rahul", "sofia", "peter", "yuki", "ahmed",
+    "clara", "ivan", "lucia", "george", "nina", "omar", "julia", "victor", "emma", "daniel",
+    "laura", "miguel", "sara", "thomas", "alice", "feng", "olga", "erik", "diana",
 ];
 
 /// Family names for authors and artists.
 pub const FAMILY_NAMES: &[&str] = &[
-    "smith", "garcia", "chen", "mueller", "johnson", "rossi", "patel", "kim", "novak",
-    "tanaka", "brown", "silva", "ivanov", "kowalski", "jones", "larsen", "haddad", "weber",
-    "martin", "lopez", "wilson", "nakamura", "fischer", "moreau", "petrov", "costa",
+    "smith", "garcia", "chen", "mueller", "johnson", "rossi", "patel", "kim", "novak", "tanaka",
+    "brown", "silva", "ivanov", "kowalski", "jones", "larsen", "haddad", "weber", "martin",
+    "lopez", "wilson", "nakamura", "fischer", "moreau", "petrov", "costa",
 ];
 
 /// Research-paper title words (database/systems flavored).
 pub const PAPER_WORDS: &[&str] = &[
-    "efficient", "scalable", "distributed", "parallel", "adaptive", "incremental", "query",
-    "processing", "optimization", "indexing", "mining", "learning", "clustering", "matching",
-    "integration", "streams", "databases", "graphs", "transactions", "storage", "retrieval",
-    "semantic", "approximate", "probabilistic", "entity", "resolution", "schema", "join",
-    "aggregation", "caching", "workload", "benchmark", "systems", "knowledge", "networks",
+    "efficient",
+    "scalable",
+    "distributed",
+    "parallel",
+    "adaptive",
+    "incremental",
+    "query",
+    "processing",
+    "optimization",
+    "indexing",
+    "mining",
+    "learning",
+    "clustering",
+    "matching",
+    "integration",
+    "streams",
+    "databases",
+    "graphs",
+    "transactions",
+    "storage",
+    "retrieval",
+    "semantic",
+    "approximate",
+    "probabilistic",
+    "entity",
+    "resolution",
+    "schema",
+    "join",
+    "aggregation",
+    "caching",
+    "workload",
+    "benchmark",
+    "systems",
+    "knowledge",
+    "networks",
 ];
 
 /// Publication venues.
 pub const VENUES: &[&str] = &[
-    "sigmod conference", "vldb", "icde", "edbt", "cikm", "kdd", "sigmod record",
-    "vldb journal", "tods", "tkde",
+    "sigmod conference",
+    "vldb",
+    "icde",
+    "edbt",
+    "cikm",
+    "kdd",
+    "sigmod record",
+    "vldb journal",
+    "tods",
+    "tkde",
 ];
 
 /// Song-title words.
 pub const SONG_WORDS: &[&str] = &[
-    "love", "night", "heart", "dream", "fire", "rain", "summer", "dance", "light", "home",
-    "river", "golden", "midnight", "forever", "wild", "blue", "echo", "shadow", "stars",
-    "memory", "road", "storm", "sunrise", "velvet", "broken", "electric",
+    "love", "night", "heart", "dream", "fire", "rain", "summer", "dance", "light", "home", "river",
+    "golden", "midnight", "forever", "wild", "blue", "echo", "shadow", "stars", "memory", "road",
+    "storm", "sunrise", "velvet", "broken", "electric",
 ];
 
 /// Music genres.
-pub const GENRES: &[&str] =
-    &["pop", "rock", "jazz", "electronic", "country", "hip hop", "classical", "indie", "soul"];
+pub const GENRES: &[&str] = &[
+    "pop",
+    "rock",
+    "jazz",
+    "electronic",
+    "country",
+    "hip hop",
+    "classical",
+    "indie",
+    "soul",
+];
 
 /// Album-name words.
 pub const ALBUM_WORDS: &[&str] = &[
-    "sessions", "anthology", "deluxe", "live", "acoustic", "remastered", "collection",
-    "chronicles", "horizons", "reflections", "departure", "arrival",
+    "sessions",
+    "anthology",
+    "deluxe",
+    "live",
+    "acoustic",
+    "remastered",
+    "collection",
+    "chronicles",
+    "horizons",
+    "reflections",
+    "departure",
+    "arrival",
 ];
 
 /// Record-label / copyright holders.
 pub const LABELS: &[&str] = &[
-    "universal records", "sony music", "warner music", "atlantic records", "capitol records",
-    "island records", "columbia records", "parlophone",
+    "universal records",
+    "sony music",
+    "warner music",
+    "atlantic records",
+    "capitol records",
+    "island records",
+    "columbia records",
+    "parlophone",
 ];
 
 /// Filler words for natural-ish sentences.
 pub const FILLER: &[&str] = &[
-    "the", "with", "and", "for", "features", "includes", "offers", "now", "available", "in",
-    "a", "an", "of", "its", "this", "that", "comes", "built", "designed", "perfect",
+    "the",
+    "with",
+    "and",
+    "for",
+    "features",
+    "includes",
+    "offers",
+    "now",
+    "available",
+    "in",
+    "a",
+    "an",
+    "of",
+    "its",
+    "this",
+    "that",
+    "comes",
+    "built",
+    "designed",
+    "perfect",
 ];
 
 #[cfg(test)]
@@ -112,9 +283,22 @@ mod tests {
     #[test]
     fn banks_are_nonempty_and_lowercase() {
         for bank in [
-            BRANDS, PRODUCT_NOUNS, MODEL_WORDS, ADJECTIVES, FEATURES, COLORS, CATEGORIES,
-            GIVEN_NAMES, FAMILY_NAMES, PAPER_WORDS, VENUES, SONG_WORDS, GENRES, ALBUM_WORDS,
-            LABELS, FILLER,
+            BRANDS,
+            PRODUCT_NOUNS,
+            MODEL_WORDS,
+            ADJECTIVES,
+            FEATURES,
+            COLORS,
+            CATEGORIES,
+            GIVEN_NAMES,
+            FAMILY_NAMES,
+            PAPER_WORDS,
+            VENUES,
+            SONG_WORDS,
+            GENRES,
+            ALBUM_WORDS,
+            LABELS,
+            FILLER,
         ] {
             assert!(!bank.is_empty());
             for w in bank {
@@ -125,7 +309,13 @@ mod tests {
 
     #[test]
     fn banks_have_no_duplicates() {
-        for bank in [BRANDS, PRODUCT_NOUNS, GIVEN_NAMES, FAMILY_NAMES, PAPER_WORDS] {
+        for bank in [
+            BRANDS,
+            PRODUCT_NOUNS,
+            GIVEN_NAMES,
+            FAMILY_NAMES,
+            PAPER_WORDS,
+        ] {
             let mut seen = std::collections::HashSet::new();
             for w in bank {
                 assert!(seen.insert(w), "duplicate {w}");

@@ -38,7 +38,10 @@ pub fn additive_mask_from_padding(padding: &[Vec<u8>]) -> Array {
 impl MultiHeadAttention {
     /// New attention block for `dim`-wide inputs split over `heads` heads.
     pub fn new(dim: usize, heads: usize, dropout: f32, std: f32, rng: &mut impl Rng) -> Self {
-        assert!(dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        assert!(
+            dim.is_multiple_of(heads),
+            "dim {dim} not divisible by heads {heads}"
+        );
         Self {
             q: Linear::new_normal(dim, dim, std, rng),
             k: Linear::new_normal(dim, dim, std, rng),
@@ -62,6 +65,7 @@ impl MultiHeadAttention {
         extra_bias: Option<&Tensor>,
         ctx: &mut Ctx,
     ) -> Tensor {
+        let _span = em_obs::span!("attention/forward");
         let shape = x.shape();
         let (b, t, d) = (shape[0], shape[1], shape[2]);
         let h = self.heads;
@@ -75,7 +79,9 @@ impl MultiHeadAttention {
         let k = split(self.k.forward(x));
         let v = split(self.v.forward(x));
 
-        let mut scores = q.matmul(&k.transpose_last()).scale(1.0 / (dh as f32).sqrt());
+        let mut scores = q
+            .matmul(&k.transpose_last())
+            .scale(1.0 / (dh as f32).sqrt());
         if let Some(bias) = extra_bias {
             scores = scores.add(bias);
         }
@@ -152,7 +158,11 @@ mod tests {
         let params = a.parameters();
         assert_gradients_close(
             &params,
-            move |_| a.forward(&x, None, None, &mut Ctx::eval()).square().sum_all(),
+            move |_| {
+                a.forward(&x, None, None, &mut Ctx::eval())
+                    .square()
+                    .sum_all()
+            },
             5e-2,
         );
     }

@@ -85,7 +85,9 @@ impl EncoderLayer {
         ctx: &mut Ctx,
     ) -> Tensor {
         let attn = self.attention.forward(x, mask, extra_bias, ctx);
-        let x = self.norm1.forward(&x.add(&ctx.dropout(&attn, self.dropout)));
+        let x = self
+            .norm1
+            .forward(&x.add(&ctx.dropout(&attn, self.dropout)));
         let ffn = self.ffn.forward(&x, ctx);
         self.norm2.forward(&x.add(&ctx.dropout(&ffn, self.dropout)))
     }
@@ -125,7 +127,12 @@ mod tests {
         let params = layer.parameters();
         assert_gradients_close(
             &params,
-            move |_| layer.forward(&x, None, None, &mut Ctx::eval()).mul(&w).sum_all(),
+            move |_| {
+                layer
+                    .forward(&x, None, None, &mut Ctx::eval())
+                    .mul(&w)
+                    .sum_all()
+            },
             8e-2,
         );
     }

@@ -51,7 +51,9 @@ pub struct Embedding {
 impl Embedding {
     /// Normal(0, std²)-initialized embedding.
     pub fn new(vocab: usize, dim: usize, std: f32, rng: &mut impl Rng) -> Self {
-        Self { table: Tensor::parameter(init::normal(vec![vocab, dim], std, rng)) }
+        Self {
+            table: Tensor::parameter(init::normal(vec![vocab, dim], std, rng)),
+        }
     }
 
     /// Look up `indices` (flattened) and shape the output `index_shape + [dim]`.

@@ -18,7 +18,10 @@ pub trait Module {
 
     /// Total number of scalar parameters.
     fn num_parameters(&self) -> usize {
-        self.parameters().iter().map(|p| p.shape().iter().product::<usize>()).sum()
+        self.parameters()
+            .iter()
+            .map(|p| p.shape().iter().product::<usize>())
+            .sum()
     }
 
     /// Snapshot all parameters into a [`StateDict`].
@@ -64,12 +67,18 @@ pub struct Ctx {
 impl Ctx {
     /// Training-mode context seeded for reproducibility.
     pub fn train(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), training: true }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            training: true,
+        }
     }
 
     /// Evaluation-mode context (dropout disabled; RNG still available).
     pub fn eval() -> Self {
-        Self { rng: StdRng::seed_from_u64(0), training: false }
+        Self {
+            rng: StdRng::seed_from_u64(0),
+            training: false,
+        }
     }
 
     /// Apply dropout with probability `p` when training, identity otherwise.
@@ -99,15 +108,21 @@ mod tests {
 
     #[test]
     fn state_dict_roundtrip_through_module() {
-        let a = Toy { w: Tensor::parameter(Array::from_vec(vec![1.0, 2.0], vec![2])) };
-        let b = Toy { w: Tensor::parameter(Array::zeros(vec![2])) };
+        let a = Toy {
+            w: Tensor::parameter(Array::from_vec(vec![1.0, 2.0], vec![2])),
+        };
+        let b = Toy {
+            w: Tensor::parameter(Array::zeros(vec![2])),
+        };
         b.load_state_dict(&a.state_dict()).unwrap();
         assert_eq!(b.w.value().data(), &[1.0, 2.0]);
     }
 
     #[test]
     fn num_parameters_counts_scalars() {
-        let m = Toy { w: Tensor::parameter(Array::zeros(vec![3])) };
+        let m = Toy {
+            w: Tensor::parameter(Array::zeros(vec![3])),
+        };
         assert_eq!(m.num_parameters(), 3);
     }
 

@@ -51,7 +51,11 @@ impl Gru {
             let xt = x.select(1, step); // [b, in]
             let z = self.wz.forward(&xt).add(&self.uz.forward(&h)).sigmoid();
             let r = self.wr.forward(&xt).add(&self.ur.forward(&h)).sigmoid();
-            let cand = self.wh.forward(&xt).add(&self.uh.forward(&r.mul(&h))).tanh();
+            let cand = self
+                .wh
+                .forward(&xt)
+                .add(&self.uh.forward(&r.mul(&h)))
+                .tanh();
             // h' = (1 - z) ⊙ cand + z ⊙ h
             let one_minus_z = z.neg().add_scalar(1.0);
             h = one_minus_z.mul(&cand).add(&z.mul(&h));
@@ -83,7 +87,10 @@ pub struct BiGru {
 impl BiGru {
     /// New bidirectional GRU; output width is `2 × hidden`.
     pub fn new(in_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
-        Self { fwd: Gru::new(in_dim, hidden, rng), bwd: Gru::new(in_dim, hidden, rng) }
+        Self {
+            fwd: Gru::new(in_dim, hidden, rng),
+            bwd: Gru::new(in_dim, hidden, rng),
+        }
     }
 
     /// Run over `x: [batch, seq, in]`; returns `[batch, seq, 2*hidden]`.
@@ -94,7 +101,10 @@ impl BiGru {
         let rev: Vec<Tensor> = (0..t).rev().map(|s| x.slice_axis(1, s, s + 1)).collect();
         let reversed = Tensor::concat(&rev, 1);
         let bwd_rev = self.bwd.forward(&reversed);
-        let unrev: Vec<Tensor> = (0..t).rev().map(|s| bwd_rev.slice_axis(1, s, s + 1)).collect();
+        let unrev: Vec<Tensor> = (0..t)
+            .rev()
+            .map(|s| bwd_rev.slice_axis(1, s, s + 1))
+            .collect();
         let bwd = Tensor::concat(&unrev, 1);
         Tensor::concat(&[fwd, bwd], 2)
     }

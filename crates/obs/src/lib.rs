@@ -1,0 +1,656 @@
+//! em-obs: structured tracing, metrics and profiling hooks.
+//!
+//! The whole crate is gated on the `EM_OBS` environment variable:
+//!
+//! * `EM_OBS=0` (default) — everything disabled. Instrumented call sites
+//!   reduce to one relaxed atomic load; no clock reads, no allocation.
+//! * `EM_OBS=1` — spans, counters and gauges aggregate in-process; call
+//!   [`finish`] to print a summary table and append machine-readable
+//!   records to `results/obs_summary.jsonl`.
+//! * `EM_OBS=2` — additionally record one event per span close (with the
+//!   full nesting path) and flush them to `results/obs_events.jsonl`.
+//!
+//! Instrumentation surface:
+//!
+//! * [`span!`]`("finetune/epoch")` — RAII timer guard; nested spans track
+//!   their depth through a thread-local stack. Per-name aggregation keeps
+//!   call count, total, mean and max wall time.
+//! * [`Timer`] — always measures (the caller needs the duration even when
+//!   observability is off) but only records into the aggregate when enabled.
+//! * [`counter_add`] / [`counter_inc`] — monotonic u64 counters (FLOPs,
+//!   tokens, allocation bytes, cache hits).
+//! * [`gauge_set`] — last-value-wins f64 gauges (examples/sec).
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+// ---------------------------------------------------------------------------
+// Level gate
+// ---------------------------------------------------------------------------
+
+/// Observability disabled (the default).
+pub const LEVEL_OFF: u8 = 0;
+/// Aggregate spans/counters/gauges; summary on [`finish`].
+pub const LEVEL_AGGREGATE: u8 = 1;
+/// Aggregates plus a per-span-close event log.
+pub const LEVEL_EVENTS: u8 = 2;
+
+const LEVEL_UNINIT: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNINIT);
+
+fn level_from_env() -> u8 {
+    match std::env::var("EM_OBS") {
+        Ok(v) => match v.trim().parse::<u8>() {
+            Ok(n) => n.min(LEVEL_EVENTS),
+            Err(_) => LEVEL_OFF,
+        },
+        Err(_) => LEVEL_OFF,
+    }
+}
+
+/// Current observability level (reads `EM_OBS` once, then cached).
+#[inline]
+pub fn level() -> u8 {
+    let l = LEVEL.load(Ordering::Relaxed);
+    if l != LEVEL_UNINIT {
+        return l;
+    }
+    let from_env = level_from_env();
+    // A racing set_level wins; otherwise store the env value.
+    match LEVEL.compare_exchange(LEVEL_UNINIT, from_env, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => from_env,
+        Err(current) => current,
+    }
+}
+
+/// True when any instrumentation is recording.
+#[inline]
+pub fn enabled() -> bool {
+    level() != LEVEL_OFF
+}
+
+/// Override the level programmatically (tests, bench harnesses). Takes
+/// precedence over `EM_OBS` from this point on.
+pub fn set_level(l: u8) {
+    LEVEL.store(l.min(LEVEL_EVENTS), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+    /// Smallest nesting depth this span was observed at (indentation hint).
+    depth: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    /// Full nesting path, e.g. `finetune/epoch>gemm`.
+    path: String,
+    ns: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    spans: Mutex<HashMap<&'static str, SpanStat>>,
+    counters: RwLock<HashMap<&'static str, AtomicU64>>,
+    gauges: RwLock<HashMap<&'static str, AtomicU64>>,
+    events: Mutex<Vec<Event>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+thread_local! {
+    static SPAN_STACK: std::cell::RefCell<Vec<&'static str>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn record_span(name: &'static str, ns: u64, depth: usize) {
+    let mut spans = registry().spans.lock();
+    let stat = spans.entry(name).or_insert(SpanStat {
+        depth,
+        ..SpanStat::default()
+    });
+    stat.count += 1;
+    stat.total_ns += ns;
+    stat.max_ns = stat.max_ns.max(ns);
+    stat.depth = stat.depth.min(depth);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// RAII guard created by [`span!`]; records wall time on drop. Inert (no
+/// clock read, no allocation) when observability is disabled.
+pub struct SpanGuard {
+    inner: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+    depth: usize,
+}
+
+impl SpanGuard {
+    /// Open a span if observability is enabled. Prefer the [`span!`] macro.
+    #[inline]
+    pub fn begin(name: &'static str) -> Self {
+        if !enabled() {
+            return Self { inner: None };
+        }
+        let depth = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            s.len() - 1
+        });
+        Self {
+            inner: Some(ActiveSpan {
+                name,
+                start: Instant::now(),
+                depth,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.inner.take() else {
+            return;
+        };
+        let ns = active.start.elapsed().as_nanos() as u64;
+        let path = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let path = if level() >= LEVEL_EVENTS {
+                s.join(">")
+            } else {
+                String::new()
+            };
+            s.pop();
+            path
+        });
+        record_span(active.name, ns, active.depth);
+        if level() >= LEVEL_EVENTS {
+            registry().events.lock().push(Event { path, ns });
+        }
+    }
+}
+
+/// Open a named RAII span: `let _g = span!("finetune/epoch");`. Compiles to
+/// a single atomic check when `EM_OBS=0`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::begin($name)
+    };
+}
+
+/// A timer that ALWAYS measures wall time (callers use the value in their
+/// own results, e.g. seconds-per-epoch) and additionally feeds the span
+/// aggregate when observability is enabled.
+pub struct Timer {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Timer {
+    /// Start measuring.
+    pub fn start(name: &'static str) -> Self {
+        Self {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Stop, returning elapsed seconds; records into the aggregate when
+    /// observability is enabled.
+    pub fn stop(self) -> f64 {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        if enabled() {
+            let depth = SPAN_STACK.with(|s| s.borrow().len());
+            record_span(self.name, ns, depth);
+            if level() >= LEVEL_EVENTS {
+                registry().events.lock().push(Event {
+                    path: self.name.to_string(),
+                    ns,
+                });
+            }
+        }
+        ns as f64 / 1e9
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters & gauges
+// ---------------------------------------------------------------------------
+
+fn bump(
+    map: &RwLock<HashMap<&'static str, AtomicU64>>,
+    name: &'static str,
+    f: impl Fn(&AtomicU64),
+) {
+    {
+        let read = map.read();
+        if let Some(cell) = read.get(name) {
+            f(cell);
+            return;
+        }
+    }
+    let mut write = map.write();
+    f(write.entry(name).or_insert_with(|| AtomicU64::new(0)));
+}
+
+/// Add `delta` to a monotonic counter. No-op when disabled.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    bump(&registry().counters, name, |c| {
+        c.fetch_add(delta, Ordering::Relaxed);
+    });
+}
+
+/// Increment a monotonic counter by one. No-op when disabled.
+#[inline]
+pub fn counter_inc(name: &'static str) {
+    counter_add(name, 1);
+}
+
+/// Set a gauge to `value` (last write wins). No-op when disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    bump(&registry().gauges, name, |g| {
+        g.store(value.to_bits(), Ordering::Relaxed);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots & sinks
+// ---------------------------------------------------------------------------
+
+/// Aggregated view of one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSummary {
+    /// Span name as passed to [`span!`].
+    pub name: String,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall seconds across all completions.
+    pub total_s: f64,
+    /// Mean wall seconds per completion.
+    pub mean_s: f64,
+    /// Slowest single completion in seconds.
+    pub max_s: f64,
+    /// Smallest observed nesting depth.
+    pub depth: usize,
+}
+
+/// Full aggregate snapshot: spans (by total time, descending), counters and
+/// gauges (alphabetical).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    /// Per-span aggregates.
+    pub spans: Vec<SpanSummary>,
+    /// Monotonic counters.
+    pub counters: Vec<(String, u64)>,
+    /// Last-value gauges.
+    pub gauges: Vec<(String, f64)>,
+}
+
+/// Snapshot the current aggregates (empty when nothing was recorded).
+pub fn summary() -> Summary {
+    let reg = registry();
+    let mut spans: Vec<SpanSummary> = reg
+        .spans
+        .lock()
+        .iter()
+        .map(|(name, s)| SpanSummary {
+            name: (*name).to_string(),
+            count: s.count,
+            total_s: s.total_ns as f64 / 1e9,
+            mean_s: if s.count == 0 {
+                0.0
+            } else {
+                s.total_ns as f64 / s.count as f64 / 1e9
+            },
+            max_s: s.max_ns as f64 / 1e9,
+            depth: s.depth,
+        })
+        .collect();
+    spans.sort_by(|a, b| b.total_s.total_cmp(&a.total_s).then(a.name.cmp(&b.name)));
+    let mut counters: Vec<(String, u64)> = reg
+        .counters
+        .read()
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), v.load(Ordering::Relaxed)))
+        .collect();
+    counters.sort();
+    let mut gauges: Vec<(String, f64)> = reg
+        .gauges
+        .read()
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), f64::from_bits(v.load(Ordering::Relaxed))))
+        .collect();
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    Summary {
+        spans,
+        counters,
+        gauges,
+    }
+}
+
+/// Clear all recorded spans, counters, gauges and events (tests and
+/// multi-run binaries).
+pub fn reset() {
+    let reg = registry();
+    reg.spans.lock().clear();
+    reg.counters.write().clear();
+    reg.gauges.write().clear();
+    reg.events.lock().clear();
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Render the human-readable end-of-run summary table.
+pub fn render_summary(run: &str) -> String {
+    let sum = summary();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== em-obs summary [{run}] (EM_OBS={}) ==\n",
+        level()
+    ));
+    if sum.spans.is_empty() && sum.counters.is_empty() && sum.gauges.is_empty() {
+        out.push_str("(nothing recorded)\n");
+        return out;
+    }
+    if !sum.spans.is_empty() {
+        out.push_str(&format!(
+            "{:<32} {:>8} {:>12} {:>12} {:>12}\n",
+            "span", "count", "total", "mean", "max"
+        ));
+        for s in &sum.spans {
+            let name = format!("{}{}", "  ".repeat(s.depth.min(4)), s.name);
+            out.push_str(&format!(
+                "{:<32} {:>8} {:>12} {:>12} {:>12}\n",
+                name,
+                s.count,
+                fmt_secs(s.total_s),
+                fmt_secs(s.mean_s),
+                fmt_secs(s.max_s)
+            ));
+        }
+    }
+    if !sum.counters.is_empty() {
+        out.push_str(&format!("{:<32} {:>20}\n", "counter", "value"));
+        for (name, v) in &sum.counters {
+            out.push_str(&format!("{name:<32} {v:>20}\n"));
+        }
+    }
+    if !sum.gauges.is_empty() {
+        out.push_str(&format!("{:<32} {:>20}\n", "gauge", "value"));
+        for (name, v) in &sum.gauges {
+            out.push_str(&format!("{name:<32} {v:>20.4}\n"));
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JSONL record per aggregate entry, tagged with the run name.
+pub fn summary_jsonl(run: &str) -> String {
+    let sum = summary();
+    let run = json_escape(run);
+    let mut out = String::new();
+    for s in &sum.spans {
+        out.push_str(&format!(
+            "{{\"run\":\"{run}\",\"kind\":\"span\",\"name\":\"{}\",\"count\":{},\"total_s\":{},\"mean_s\":{},\"max_s\":{},\"depth\":{}}}\n",
+            json_escape(&s.name), s.count, s.total_s, s.mean_s, s.max_s, s.depth
+        ));
+    }
+    for (name, v) in &sum.counters {
+        out.push_str(&format!(
+            "{{\"run\":\"{run}\",\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}\n",
+            json_escape(name)
+        ));
+    }
+    for (name, v) in &sum.gauges {
+        out.push_str(&format!(
+            "{{\"run\":\"{run}\",\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{v}}}\n",
+            json_escape(name)
+        ));
+    }
+    out
+}
+
+fn append_file(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(content.as_bytes())
+}
+
+/// End-of-run sink: when enabled, print the summary table and append the
+/// aggregate JSONL to `<out_dir>/obs_summary.jsonl` (plus, at `EM_OBS=2`,
+/// per-span events to `<out_dir>/obs_events.jsonl`). Returns the rendered
+/// table, or `None` when disabled.
+pub fn finish_to(run: &str, out_dir: &Path) -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    let rendered = render_summary(run);
+    println!("{rendered}");
+    if let Err(e) = append_file(&out_dir.join("obs_summary.jsonl"), &summary_jsonl(run)) {
+        eprintln!("em-obs: could not write obs_summary.jsonl: {e}");
+    }
+    if level() >= LEVEL_EVENTS {
+        let events = registry().events.lock();
+        let mut out = String::new();
+        for ev in events.iter() {
+            out.push_str(&format!(
+                "{{\"run\":\"{}\",\"kind\":\"event\",\"path\":\"{}\",\"dur_s\":{}}}\n",
+                json_escape(run),
+                json_escape(&ev.path),
+                ev.ns as f64 / 1e9
+            ));
+        }
+        if let Err(e) = append_file(&out_dir.join("obs_events.jsonl"), &out) {
+            eprintln!("em-obs: could not write obs_events.jsonl: {e}");
+        }
+    }
+    Some(rendered)
+}
+
+/// [`finish_to`] with the conventional `results/` output directory.
+pub fn finish(run: &str) -> Option<String> {
+    finish_to(run, Path::new("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The level and registry are process-global; serialize the tests that
+    // mutate them.
+    fn serial() -> parking_lot::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let _g = serial();
+        set_level(LEVEL_OFF);
+        reset();
+        {
+            let _s = span!("off/span");
+            counter_add("off/counter", 10);
+            gauge_set("off/gauge", 1.5);
+        }
+        let t = Timer::start("off/timer");
+        assert!(t.stop() >= 0.0, "timer still measures when disabled");
+        let sum = summary();
+        assert!(sum.spans.is_empty(), "{sum:?}");
+        assert!(sum.counters.is_empty());
+        assert!(sum.gauges.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_aggregate_with_depth() {
+        let _g = serial();
+        set_level(LEVEL_AGGREGATE);
+        reset();
+        for _ in 0..3 {
+            let _outer = span!("outer");
+            for _ in 0..2 {
+                let _inner = span!("inner");
+                std::hint::black_box(0u64);
+            }
+        }
+        let sum = summary();
+        let outer = sum.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = sum.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.count, 3);
+        assert_eq!(inner.count, 6);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(outer.total_s >= inner.total_s, "outer encloses inner");
+        assert!(outer.max_s <= outer.total_s + 1e-12);
+        assert!((outer.mean_s - outer.total_s / 3.0).abs() < 1e-12);
+        set_level(LEVEL_OFF);
+        reset();
+    }
+
+    #[test]
+    fn counters_are_race_free_under_threads() {
+        let _g = serial();
+        set_level(LEVEL_AGGREGATE);
+        reset();
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        counter_inc("race/counter");
+                        counter_add("race/flops", 3);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let sum = summary();
+        let get = |name: &str| {
+            sum.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("race/counter"), 8 * 1000);
+        assert_eq!(get("race/flops"), 8 * 1000 * 3);
+        set_level(LEVEL_OFF);
+        reset();
+    }
+
+    #[test]
+    fn timer_returns_seconds_and_records_when_enabled() {
+        let _g = serial();
+        set_level(LEVEL_AGGREGATE);
+        reset();
+        let t = Timer::start("timed/step");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let secs = t.stop();
+        assert!(secs >= 0.002, "measured {secs}");
+        let sum = summary();
+        let stat = sum.spans.iter().find(|s| s.name == "timed/step").unwrap();
+        assert_eq!(stat.count, 1);
+        assert!((stat.total_s - secs).abs() < 1e-9);
+        set_level(LEVEL_OFF);
+        reset();
+    }
+
+    #[test]
+    fn summary_jsonl_is_line_structured() {
+        let _g = serial();
+        set_level(LEVEL_AGGREGATE);
+        reset();
+        {
+            let _s = span!("json/span");
+        }
+        counter_add("json/counter", 7);
+        gauge_set("json/gauge", 2.25);
+        let jsonl = summary_jsonl("unit");
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"run\":\"unit\""));
+        }
+        assert!(jsonl.contains("\"kind\":\"span\""));
+        assert!(jsonl.contains("\"kind\":\"counter\""));
+        assert!(jsonl.contains("\"value\":7"));
+        assert!(jsonl.contains("\"kind\":\"gauge\""));
+        assert!(jsonl.contains("\"value\":2.25"));
+        set_level(LEVEL_OFF);
+        reset();
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let _g = serial();
+        set_level(LEVEL_AGGREGATE);
+        reset();
+        gauge_set("g", 1.0);
+        gauge_set("g", 4.5);
+        let sum = summary();
+        assert_eq!(sum.gauges, vec![("g".to_string(), 4.5)]);
+        set_level(LEVEL_OFF);
+        reset();
+    }
+}

@@ -58,8 +58,16 @@ pub fn broadcast_shape(a: &[usize], b: &[usize]) -> Option<Shape> {
     let ndim = a.len().max(b.len());
     let mut out = vec![0; ndim];
     for i in 0..ndim {
-        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
-        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        let da = if i < ndim - a.len() {
+            1
+        } else {
+            a[i - (ndim - a.len())]
+        };
+        let db = if i < ndim - b.len() {
+            1
+        } else {
+            b[i - (ndim - b.len())]
+        };
         out[i] = match (da, db) {
             (x, y) if x == y => x,
             (1, y) => y,
@@ -68,6 +76,15 @@ pub fn broadcast_shape(a: &[usize], b: &[usize]) -> Option<Shape> {
         };
     }
     Some(out)
+}
+
+/// Account freshly materialized tensor storage with em-obs.
+#[inline]
+fn track_alloc(elems: usize) {
+    em_obs::counter_add(
+        "tensor/alloc_bytes",
+        (elems * std::mem::size_of::<f32>()) as u64,
+    );
 }
 
 impl Array {
@@ -82,30 +99,50 @@ impl Array {
             data.len(),
             shape
         );
+        track_alloc(data.len());
         Self { data, shape }
     }
 
     /// A scalar (rank-0) array.
     pub fn scalar(v: f32) -> Self {
-        Self { data: vec![v], shape: vec![] }
+        track_alloc(1);
+        Self {
+            data: vec![v],
+            shape: vec![],
+        }
     }
 
     /// All-zero array of the given shape.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Self { data: vec![0.0; numel(&shape)], shape }
+        let n = numel(&shape);
+        track_alloc(n);
+        Self {
+            data: vec![0.0; n],
+            shape,
+        }
     }
 
     /// All-one array of the given shape.
     pub fn ones(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Self { data: vec![1.0; numel(&shape)], shape }
+        let n = numel(&shape);
+        track_alloc(n);
+        Self {
+            data: vec![1.0; n],
+            shape,
+        }
     }
 
     /// Array filled with a constant.
     pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
         let shape = shape.into();
-        Self { data: vec![v; numel(&shape)], shape }
+        let n = numel(&shape);
+        track_alloc(n);
+        Self {
+            data: vec![v; n],
+            shape,
+        }
     }
 
     /// Shape accessor.
@@ -145,7 +182,12 @@ impl Array {
 
     /// The single value of a rank-0 or one-element array.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() on array with {} elements", self.data.len());
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on array with {} elements",
+            self.data.len()
+        );
         self.data[0]
     }
 
@@ -160,8 +202,17 @@ impl Array {
     /// Reinterpret with a new shape of equal element count.
     pub fn reshape(&self, shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        assert_eq!(numel(&shape), self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
-        Self { data: self.data.clone(), shape }
+        assert_eq!(
+            numel(&shape),
+            self.data.len(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
+        Self {
+            data: self.data.clone(),
+            shape,
+        }
     }
 
     /// In-place map over every element.
@@ -173,23 +224,40 @@ impl Array {
 
     /// New array with `f` applied elementwise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+        Self {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// Elementwise binary op with NumPy-style broadcasting.
     pub fn zip_broadcast(&self, other: &Array, f: impl Fn(f32, f32) -> f32) -> Array {
         if self.shape == other.shape {
-            let data =
-                self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect::<Vec<_>>();
-            return Array { data, shape: self.shape.clone() };
+            let data = self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect::<Vec<_>>();
+            return Array {
+                data,
+                shape: self.shape.clone(),
+            };
         }
-        let out_shape = broadcast_shape(&self.shape, &other.shape).unwrap_or_else(|| {
-            panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape)
-        });
+        let out_shape = broadcast_shape(&self.shape, &other.shape)
+            .unwrap_or_else(|| panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape));
         let a = self.broadcast_to(&out_shape);
         let b = other.broadcast_to(&out_shape);
-        let data = a.data.iter().zip(&b.data).map(|(&x, &y)| f(x, y)).collect::<Vec<_>>();
-        Array { data, shape: out_shape }
+        let data = a
+            .data
+            .iter()
+            .zip(&b.data)
+            .map(|(&x, &y)| f(x, y))
+            .collect::<Vec<_>>();
+        Array {
+            data,
+            shape: out_shape,
+        }
     }
 
     /// Materialize this array broadcast to `target` shape.
@@ -198,7 +266,9 @@ impl Array {
             return self.clone();
         }
         assert!(
-            broadcast_shape(&self.shape, target).map(|s| s == target).unwrap_or(false),
+            broadcast_shape(&self.shape, target)
+                .map(|s| s == target)
+                .unwrap_or(false),
             "cannot broadcast {:?} to {:?}",
             self.shape,
             target
@@ -229,7 +299,10 @@ impl Array {
                 idx[d] = 0;
             }
         }
-        Array { data: out, shape: target.to_vec() }
+        Array {
+            data: out,
+            shape: target.to_vec(),
+        }
     }
 
     /// Sum this array down to `target` shape (the adjoint of `broadcast_to`).
@@ -317,7 +390,12 @@ impl Array {
 
     /// Sum along `axis`. `keepdim` keeps the reduced dimension with extent 1.
     pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Array {
-        assert!(axis < self.ndim(), "axis {} out of range for {:?}", axis, self.shape);
+        assert!(
+            axis < self.ndim(),
+            "axis {} out of range for {:?}",
+            axis,
+            self.shape
+        );
         let outer: usize = self.shape[..axis].iter().product();
         let mid = self.shape[axis];
         let inner: usize = self.shape[axis + 1..].iter().product();
@@ -400,7 +478,10 @@ impl Array {
                 idx[d] = 0;
             }
         }
-        Array { data: out, shape: out_shape }
+        Array {
+            data: out,
+            shape: out_shape,
+        }
     }
 
     /// Swap the last two dimensions (matrix transpose on the trailing axes).
@@ -429,7 +510,12 @@ impl Array {
         let d = self.shape[1];
         let mut out = Vec::with_capacity(indices.len() * d);
         for &i in indices {
-            assert!(i < self.shape[0], "row index {} out of range {}", i, self.shape[0]);
+            assert!(
+                i < self.shape[0],
+                "row index {} out of range {}",
+                i,
+                self.shape[0]
+            );
             out.extend_from_slice(&self.data[i * d..(i + 1) * d]);
         }
         let mut shape = index_shape.to_vec();
@@ -461,9 +547,9 @@ impl Array {
         out_shape[axis] = parts.iter().map(|p| p.shape[axis]).sum();
         for p in parts {
             assert_eq!(p.ndim(), ndim);
-            for d in 0..ndim {
+            for (d, &extent) in out_shape.iter().enumerate() {
                 if d != axis {
-                    assert_eq!(p.shape[d], out_shape[d], "concat extent mismatch on dim {d}");
+                    assert_eq!(p.shape[d], extent, "concat extent mismatch on dim {d}");
                 }
             }
         }
@@ -477,13 +563,19 @@ impl Array {
                 out.extend_from_slice(&p.data[base..base + mid * inner]);
             }
         }
-        Array { data: out, shape: out_shape }
+        Array {
+            data: out,
+            shape: out_shape,
+        }
     }
 
     /// Slice `[start, end)` along `axis`.
     pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Array {
         assert!(axis < self.ndim());
-        assert!(start <= end && end <= self.shape[axis], "slice range out of bounds");
+        assert!(
+            start <= end && end <= self.shape[axis],
+            "slice range out of bounds"
+        );
         let outer: usize = self.shape[..axis].iter().product();
         let mid = self.shape[axis];
         let inner: usize = self.shape[axis + 1..].iter().product();
@@ -618,7 +710,10 @@ mod tests {
         let g = Array::ones(vec![2, 2]);
         let padded = g.unslice_axis(&src_shape, 1, 3);
         assert_eq!(padded.shape(), &[2, 5]);
-        assert_eq!(padded.data(), &[0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(
+            padded.data(),
+            &[0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0]
+        );
     }
 
     #[test]

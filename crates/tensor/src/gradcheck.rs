@@ -19,8 +19,10 @@ pub fn check_gradients(params: &[Tensor], f: impl Fn(&[Tensor]) -> Tensor, eps: 
     }
     let loss = f(params);
     loss.backward();
-    let analytic: Vec<Array> =
-        params.iter().map(|p| p.grad().unwrap_or_else(|| Array::zeros(p.shape()))).collect();
+    let analytic: Vec<Array> = params
+        .iter()
+        .map(|p| p.grad().unwrap_or_else(|| Array::zeros(p.shape())))
+        .collect();
 
     let mut max_rel = 0.0f32;
     for (pi, p) in params.iter().enumerate() {
@@ -45,7 +47,10 @@ pub fn check_gradients(params: &[Tensor], f: impl Fn(&[Tensor]) -> Tensor, eps: 
 /// Assert that gradients match finite differences within `tol`.
 pub fn assert_gradients_close(params: &[Tensor], f: impl Fn(&[Tensor]) -> Tensor, tol: f32) {
     let err = check_gradients(params, f, 1e-2);
-    assert!(err < tol, "max relative gradient error {err} exceeds tolerance {tol}");
+    assert!(
+        err < tol,
+        "max relative gradient error {err} exceeds tolerance {tol}"
+    );
 }
 
 #[cfg(test)]
@@ -85,15 +90,19 @@ mod tests {
     fn gradcheck_smooth_activations() {
         for (seed, which) in [(6, "gelu"), (7, "tanh"), (8, "sigmoid")] {
             let a = param(vec![3, 3], seed);
-            assert_gradients_close(&[a], |p| {
-                let x = &p[0];
-                let y = match which {
-                    "gelu" => x.gelu(),
-                    "tanh" => x.tanh(),
-                    _ => x.sigmoid(),
-                };
-                y.sum_all()
-            }, 3e-2);
+            assert_gradients_close(
+                &[a],
+                |p| {
+                    let x = &p[0];
+                    let y = match which {
+                        "gelu" => x.gelu(),
+                        "tanh" => x.tanh(),
+                        _ => x.sigmoid(),
+                    };
+                    y.sum_all()
+                },
+                3e-2,
+            );
         }
     }
 
@@ -145,35 +154,53 @@ mod tests {
         let beta = Tensor::parameter(Array::zeros(vec![6]));
         let mut rng = StdRng::seed_from_u64(20);
         let w = Tensor::constant(init::normal(vec![3, 6], 1.0, &mut rng));
-        assert_gradients_close(&[x, gamma, beta], move |p| {
-            p[0].layer_norm(&p[1], &p[2], 1e-5).mul(&w).sum_all()
-        }, 5e-2);
+        assert_gradients_close(
+            &[x, gamma, beta],
+            move |p| p[0].layer_norm(&p[1], &p[2], 1e-5).mul(&w).sum_all(),
+            5e-2,
+        );
     }
 
     #[test]
     fn gradcheck_slice_concat_permute() {
         let a = param(vec![2, 6], 17);
-        assert_gradients_close(&[a], |p| {
-            let left = p[0].slice_axis(1, 0, 3);
-            let right = p[0].slice_axis(1, 3, 6);
-            Tensor::concat(&[right, left], 1).permute(&[1, 0]).square().sum_all()
-        }, 2e-2);
+        assert_gradients_close(
+            &[a],
+            |p| {
+                let left = p[0].slice_axis(1, 0, 3);
+                let right = p[0].slice_axis(1, 3, 6);
+                Tensor::concat(&[right, left], 1)
+                    .permute(&[1, 0])
+                    .square()
+                    .sum_all()
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn gradcheck_gather() {
         let table = param(vec![5, 3], 18);
-        assert_gradients_close(&[table], |p| {
-            p[0].gather_rows(&[0, 4, 4, 2], &[4]).square().sum_all()
-        }, 2e-2);
+        assert_gradients_close(
+            &[table],
+            |p| p[0].gather_rows(&[0, 4, 4, 2], &[4]).square().sum_all(),
+            2e-2,
+        );
     }
 
     #[test]
     fn gradcheck_reductions() {
         let a = param(vec![2, 3, 4], 19);
-        assert_gradients_close(&[a], |p| {
-            p[0].sum_axis(1, true).mean_axis(2, false).square().sum_all()
-        }, 2e-2);
+        assert_gradients_close(
+            &[a],
+            |p| {
+                p[0].sum_axis(1, true)
+                    .mean_axis(2, false)
+                    .square()
+                    .sum_all()
+            },
+            2e-2,
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ mod rand_distr_normal {
 /// N(0, std²) initialization (BERT uses std = 0.02).
 pub fn normal(shape: impl Into<Vec<usize>>, std: f32, rng: &mut impl Rng) -> Array {
     let shape = shape.into();
-    let data = (0..numel(&shape)).map(|_| sample_standard_normal(rng) * std).collect();
+    let data = (0..numel(&shape))
+        .map(|_| sample_standard_normal(rng) * std)
+        .collect();
     Array::from_vec(data, shape)
 }
 
@@ -51,7 +53,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let a = normal(vec![10_000], 0.02, &mut rng);
         let mean = a.mean_all();
-        let var = a.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        let var = a
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!(mean.abs() < 1e-3, "mean {mean}");
         assert!((var.sqrt() - 0.02).abs() < 2e-3, "std {}", var.sqrt());
     }

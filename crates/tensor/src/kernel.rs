@@ -32,6 +32,9 @@ fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
 
 /// `C = A(m×k) · B(k×n)`, multi-threaded across row blocks when large enough.
 pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let _span = em_obs::span!("gemm");
+    em_obs::counter_inc("gemm/calls");
+    em_obs::counter_add("gemm/flops", 2 * (m * k * n) as u64);
     let mut c = vec![0.0f32; m * n];
     let flops = m * k * n;
     let threads = available_threads();
@@ -57,13 +60,19 @@ pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 }
 
 fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 /// Batched matrix product. See [`Array::matmul`] for the accepted shapes.
 pub fn matmul(a: &Array, b: &Array) -> Array {
+    let _span = em_obs::span!("matmul");
     let (sa, sb) = (a.shape(), b.shape());
-    assert!(sa.len() >= 2 && sb.len() >= 2, "matmul needs rank >= 2, got {sa:?} x {sb:?}");
+    assert!(
+        sa.len() >= 2 && sb.len() >= 2,
+        "matmul needs rank >= 2, got {sa:?} x {sb:?}"
+    );
     let (m, ka) = (sa[sa.len() - 2], sa[sa.len() - 1]);
     let (kb, n) = (sb[sb.len() - 2], sb[sb.len() - 1]);
     assert_eq!(ka, kb, "matmul inner dims differ: {sa:?} x {sb:?}");
@@ -87,6 +96,11 @@ pub fn matmul(a: &Array, b: &Array) -> Array {
 
     let ad = a.data();
     let bd = b.data();
+    // The batch == 1 path goes through `gemm`, which does its own counting.
+    if batch > 1 {
+        em_obs::counter_add("gemm/calls", batch as u64);
+        em_obs::counter_add("gemm/flops", 2 * (batch * m * ka * n) as u64);
+    }
     let mut out = vec![0.0f32; batch * m * n];
     let a_stride = if sa.len() == 2 { 0 } else { m * ka };
     let b_stride = if sb.len() == 2 { 0 } else { ka * n };
@@ -120,7 +134,13 @@ pub fn matmul(a: &Array, b: &Array) -> Array {
             let b_off = i * b_stride;
             if batch == 1 {
                 // Single GEMM: use the row-parallel path for large matrices.
-                let c = gemm(&ad[a_off..a_off + m * ka], &bd[b_off..b_off + ka * n], m, ka, n);
+                let c = gemm(
+                    &ad[a_off..a_off + m * ka],
+                    &bd[b_off..b_off + ka * n],
+                    m,
+                    ka,
+                    n,
+                );
                 out.copy_from_slice(&c);
             } else {
                 gemm_serial(

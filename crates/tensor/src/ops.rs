@@ -65,7 +65,9 @@ impl Tensor {
     pub fn scale(&self, c: f32) -> Tensor {
         let out = self.with_value(|a| a.scale(c));
         let p = self.clone();
-        Tensor::from_op(out, vec![self.clone()], move |g| p.accumulate_grad(&g.scale(c)))
+        Tensor::from_op(out, vec![self.clone()], move |g| {
+            p.accumulate_grad(&g.scale(c))
+        })
     }
 
     /// Add a scalar to every element.
@@ -340,8 +342,9 @@ impl Tensor {
         let c = logits.shape()[1];
         assert_eq!(targets.len(), n, "target count mismatch");
         let logp = log_softmax_array(&logits);
-        let active: Vec<usize> =
-            (0..n).filter(|&i| ignore_index.map_or(true, |ig| targets[i] != ig)).collect();
+        let active: Vec<usize> = (0..n)
+            .filter(|&i| ignore_index.is_none_or(|ig| targets[i] != ig))
+            .collect();
         let denom = active.len().max(1) as f32;
         let mut loss = 0.0f32;
         for &i in &active {
@@ -370,7 +373,11 @@ impl Tensor {
     /// distillation's distillation loss).
     pub fn soft_cross_entropy(&self, targets: &Array) -> Tensor {
         let logits = self.value();
-        assert_eq!(logits.shape(), targets.shape(), "soft target shape mismatch");
+        assert_eq!(
+            logits.shape(),
+            targets.shape(),
+            "soft target shape mismatch"
+        );
         let n = logits.shape()[0] as f32;
         let logp = log_softmax_array(&logits);
         let loss = -logp.mul(targets).sum_all() / n;
@@ -388,13 +395,22 @@ impl Tensor {
     /// Inverted-dropout: zero each element with probability `p` and scale
     /// survivors by `1/(1-p)`. Identity when `p == 0`.
     pub fn dropout(&self, p: f32, rng: &mut impl Rng) -> Tensor {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
         if p == 0.0 {
             return self.clone();
         }
         let keep = 1.0 - p;
         let mask: Vec<f32> = (0..self.shape().iter().product::<usize>())
-            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Array::from_vec(mask, self.shape());
         let out = self.with_value(|a| a.mul(&mask));
@@ -523,7 +539,10 @@ mod tests {
 
     #[test]
     fn softmax_rows_sum_to_one() {
-        let x = Tensor::constant(Array::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], vec![2, 3]));
+        let x = Tensor::constant(Array::from_vec(
+            vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0],
+            vec![2, 3],
+        ));
         let y = x.softmax().value();
         for r in 0..2 {
             let s: f32 = y.data()[r * 3..(r + 1) * 3].iter().sum();
@@ -577,7 +596,10 @@ mod tests {
     #[test]
     fn layer_norm_normalizes() {
         let d = 8;
-        let x = Tensor::constant(Array::from_vec((0..16).map(|v| v as f32).collect(), vec![2, d]));
+        let x = Tensor::constant(Array::from_vec(
+            (0..16).map(|v| v as f32).collect(),
+            vec![2, d],
+        ));
         let gamma = Tensor::parameter(Array::ones(vec![d]));
         let beta = Tensor::parameter(Array::zeros(vec![d]));
         let y = x.layer_norm(&gamma, &beta, 1e-5).value();
@@ -599,7 +621,12 @@ mod tests {
         assert_eq!(a.grad().unwrap().shape(), &[2, 3, 4]);
         assert_eq!(w.grad().unwrap().shape(), &[4, 5]);
         // Each W element sees 2*3 = 6 ones.
-        assert!(w.grad().unwrap().data().iter().all(|&v| (v - 6.0).abs() < 1e-6));
+        assert!(w
+            .grad()
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| (v - 6.0).abs() < 1e-6));
     }
 
     #[test]

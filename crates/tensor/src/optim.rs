@@ -92,7 +92,16 @@ impl Adam {
     pub fn new(params: Vec<Tensor>) -> Self {
         let m = params.iter().map(|p| Array::zeros(p.shape())).collect();
         let v = params.iter().map(|p| Array::zeros(p.shape())).collect();
-        Self { params, m, v, step: 0, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        Self {
+            params,
+            m,
+            v,
+            step: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 
     /// Builder-style weight decay.
@@ -163,7 +172,11 @@ impl Sgd {
     /// SGD over `params` with the given momentum.
     pub fn new(params: Vec<Tensor>, momentum: f32) -> Self {
         let velocity = params.iter().map(|p| Array::zeros(p.shape())).collect();
-        Self { params, momentum, velocity }
+        Self {
+            params,
+            momentum,
+            velocity,
+        }
     }
 
     /// One descent step with learning rate `lr`.
@@ -223,7 +236,11 @@ mod tests {
 
     #[test]
     fn linear_schedule_shape() {
-        let s = LinearWarmupDecay { peak: 1.0, warmup_steps: 10, total_steps: 110 };
+        let s = LinearWarmupDecay {
+            peak: 1.0,
+            warmup_steps: 10,
+            total_steps: 110,
+        };
         assert!(s.lr_at(0) > 0.0 && s.lr_at(0) <= 0.1 + 1e-6);
         assert!((s.lr_at(9) - 1.0).abs() < 1e-6);
         assert!((s.lr_at(60) - 0.5).abs() < 1e-6);
@@ -235,7 +252,7 @@ mod tests {
     fn clip_grad_norm_caps_norm() {
         let p = Tensor::parameter(Array::zeros(vec![4]));
         p.accumulate_grad(&Array::full(vec![4], 10.0)); // norm 20
-        let pre = clip_grad_norm(&[p.clone()], 1.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert!((pre - 20.0).abs() < 1e-4);
         let post = p.grad().unwrap().norm();
         assert!((post - 1.0).abs() < 1e-4, "post {post}");

@@ -43,7 +43,10 @@ impl StateDict {
         let v = t.value();
         self.entries.insert(
             name.into(),
-            SerializedArray { shape: v.shape().to_vec(), data: v.data().to_vec() },
+            SerializedArray {
+                shape: v.shape().to_vec(),
+                data: v.data().to_vec(),
+            },
         );
     }
 
@@ -51,13 +54,18 @@ impl StateDict {
     pub fn insert_array(&mut self, name: impl Into<String>, v: &Array) {
         self.entries.insert(
             name.into(),
-            SerializedArray { shape: v.shape().to_vec(), data: v.data().to_vec() },
+            SerializedArray {
+                shape: v.shape().to_vec(),
+                data: v.data().to_vec(),
+            },
         );
     }
 
     /// Fetch an array by name.
     pub fn get(&self, name: &str) -> Option<Array> {
-        self.entries.get(name).map(|e| Array::from_vec(e.data.clone(), e.shape.clone()))
+        self.entries
+            .get(name)
+            .map(|e| Array::from_vec(e.data.clone(), e.shape.clone()))
     }
 
     /// Load the stored value into `t`; errors when missing or shape-mismatched.
@@ -118,6 +126,9 @@ mod tests {
 
         let mut sd = StateDict::new();
         sd.insert("w", &Tensor::parameter(Array::zeros(vec![3])));
-        assert!(sd.load_into("w", &t).unwrap_err().contains("shape mismatch"));
+        assert!(sd
+            .load_into("w", &t)
+            .unwrap_err()
+            .contains("shape mismatch"));
     }
 }

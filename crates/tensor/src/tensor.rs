@@ -303,7 +303,7 @@ mod tests {
         y.backward();
         let g1 = x.grad().unwrap().item();
         y.backward(); // closures already taken: no double-count of x grad
-        // The seed re-accumulates on y only; x unchanged.
+                      // The seed re-accumulates on y only; x unchanged.
         assert_eq!(x.grad().unwrap().item(), g1);
     }
 }

@@ -29,8 +29,7 @@ pub fn train_merges(
     n_merges: usize,
     fuse: impl Fn(&str, &str) -> String,
 ) -> Vec<Merge> {
-    let mut seqs: Vec<(Vec<String>, u64)> =
-        words.iter().map(|(w, &c)| (w.clone(), c)).collect();
+    let mut seqs: Vec<(Vec<String>, u64)> = words.iter().map(|(w, &c)| (w.clone(), c)).collect();
     // Deterministic processing order regardless of HashMap iteration.
     seqs.sort();
     let mut merges = Vec::with_capacity(n_merges);
@@ -38,13 +37,14 @@ pub fn train_merges(
         let mut pair_counts: HashMap<(String, String), u64> = HashMap::new();
         for (seq, count) in &seqs {
             for pair in seq.windows(2) {
-                *pair_counts.entry((pair[0].clone(), pair[1].clone())).or_insert(0) += count;
+                *pair_counts
+                    .entry((pair[0].clone(), pair[1].clone()))
+                    .or_insert(0) += count;
             }
         }
         // Most frequent pair; ties broken lexicographically for determinism.
         let Some((best, best_count)) = pair_counts
             .into_iter()
-            .map(|(p, c)| (p, c))
             .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
         else {
             break;
@@ -56,7 +56,11 @@ pub fn train_merges(
         for (seq, _) in &mut seqs {
             apply_merge(seq, &best.0, &best.1, &fused);
         }
-        merges.push(Merge { left: best.0, right: best.1, fused });
+        merges.push(Merge {
+            left: best.0,
+            right: best.1,
+            fused,
+        });
     }
     merges
 }
@@ -83,7 +87,7 @@ pub fn encode_with_ranks(
         let mut best: Option<(usize, usize)> = None; // (rank, position)
         for i in 0..symbols.len().saturating_sub(1) {
             if let Some(&(rank, _)) = ranks.get(&(symbols[i].clone(), symbols[i + 1].clone())) {
-                if best.map_or(true, |(r, _)| rank < r) {
+                if best.is_none_or(|(r, _)| rank < r) {
                     best = Some((rank, i));
                 }
             }

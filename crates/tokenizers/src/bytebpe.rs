@@ -42,13 +42,16 @@ pub struct ByteLevelBpe {
 }
 
 fn word_to_byte_symbols(word: &str, table: &[char; 256]) -> Vec<String> {
-    word.bytes().map(|b| table[b as usize].to_string()).collect()
+    word.bytes()
+        .map(|b| table[b as usize].to_string())
+        .collect()
 }
 
 impl ByteLevelBpe {
     /// Train on `corpus` lines, learning merges until the vocabulary
     /// reaches about `vocab_size`.
     pub fn train(corpus: &[String], vocab_size: usize) -> Self {
+        let _span = em_obs::span!("tokenizer/train/byte_bpe");
         let table = byte_to_char_table();
         let mut vocab = Vocab::new();
         let specials = ROBERTA_SPECIALS.register(&mut vocab);
@@ -59,7 +62,9 @@ impl ByteLevelBpe {
         let mut word_counts: HashMap<Vec<String>, u64> = HashMap::new();
         for line in corpus {
             for word in roberta_pretokenize(line) {
-                *word_counts.entry(word_to_byte_symbols(&word, &table)).or_insert(0) += 1;
+                *word_counts
+                    .entry(word_to_byte_symbols(&word, &table))
+                    .or_insert(0) += 1;
             }
         }
         let budget = vocab_size.saturating_sub(vocab.len());
@@ -67,7 +72,12 @@ impl ByteLevelBpe {
         for m in &merges {
             vocab.add(&m.fused);
         }
-        Self { vocab, specials, merges, cache: std::cell::OnceCell::new() }
+        Self {
+            vocab,
+            specials,
+            merges,
+            cache: std::cell::OnceCell::new(),
+        }
     }
 
     fn ranks(&self) -> &HashMap<(String, String), (usize, String)> {
@@ -83,7 +93,11 @@ impl ByteLevelBpe {
             for piece in encode_with_ranks(symbols, self.ranks()) {
                 // Every piece is in the vocab: merges were added and single
                 // stand-in chars cover all bytes.
-                ids.push(self.vocab.id_of(&piece).expect("byte-level piece always known"));
+                ids.push(
+                    self.vocab
+                        .id_of(&piece)
+                        .expect("byte-level piece always known"),
+                );
             }
         }
         ids
@@ -98,8 +112,13 @@ impl ByteLevelBpe {
         }
         let mut bytes = Vec::new();
         for &id in ids {
-            if [self.specials.pad, self.specials.cls, self.specials.sep, self.specials.mask]
-                .contains(&id)
+            if [
+                self.specials.pad,
+                self.specials.cls,
+                self.specials.sep,
+                self.specials.mask,
+            ]
+            .contains(&id)
             {
                 continue;
             }
@@ -173,7 +192,10 @@ mod tests {
     fn merges_compress_frequent_words() {
         let bpe = ByteLevelBpe::train(&toy_corpus(), 600);
         let apple = bpe.encode("apple");
-        assert!(apple.len() < 5, "apple should compress below 5 byte-tokens: {apple:?}");
+        assert!(
+            apple.len() < 5,
+            "apple should compress below 5 byte-tokens: {apple:?}"
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct SentencePieceBpe {
 }
 
 fn to_pieces(text: &str, lowercase: bool) -> Vec<Vec<String>> {
-    let text = if lowercase { text.to_lowercase() } else { text.to_string() };
+    let text = if lowercase {
+        text.to_lowercase()
+    } else {
+        text.to_string()
+    };
     text.split_whitespace()
         .map(|w| {
             let mut sym: Vec<String> = vec![SP_SPACE.to_string()];
@@ -39,6 +43,7 @@ fn to_pieces(text: &str, lowercase: bool) -> Vec<Vec<String>> {
 impl SentencePieceBpe {
     /// Train on `corpus` lines up to roughly `vocab_size` entries.
     pub fn train(corpus: &[String], vocab_size: usize) -> Self {
+        let _span = em_obs::span!("tokenizer/train/sentencepiece");
         let lowercase = true;
         let mut vocab = Vocab::new();
         let specials = XLNET_SPECIALS.register(&mut vocab);
@@ -59,7 +64,13 @@ impl SentencePieceBpe {
         for m in &merges {
             vocab.add(&m.fused);
         }
-        Self { vocab, specials, merges, lowercase, cache: std::cell::OnceCell::new() }
+        Self {
+            vocab,
+            specials,
+            merges,
+            lowercase,
+            cache: std::cell::OnceCell::new(),
+        }
     }
 
     fn ranks(&self) -> &HashMap<(String, String), (usize, String)> {
@@ -84,8 +95,13 @@ impl SentencePieceBpe {
     pub fn decode(&self, ids: &[u32]) -> String {
         let mut out = String::new();
         for &id in ids {
-            if [self.specials.pad, self.specials.cls, self.specials.sep, self.specials.mask]
-                .contains(&id)
+            if [
+                self.specials.pad,
+                self.specials.cls,
+                self.specials.sep,
+                self.specials.mask,
+            ]
+            .contains(&id)
             {
                 continue;
             }
@@ -147,7 +163,10 @@ mod tests {
         let sp = SentencePieceBpe::train(&toy_corpus(), 600);
         let ids = sp.encode("apple");
         let first = sp.vocab().token_of(ids[0]).unwrap();
-        assert!(first.starts_with(SP_SPACE), "first piece carries the marker: {first}");
+        assert!(
+            first.starts_with(SP_SPACE),
+            "first piece carries the marker: {first}"
+        );
     }
 
     #[test]

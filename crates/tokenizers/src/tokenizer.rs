@@ -154,7 +154,7 @@ pub fn encode_pair(
     let mut a = tok.encode(entity_a);
     let mut b = tok.encode(entity_b);
     let budget = max_len - 3; // [CLS] + 2x [SEP]
-    // Longest-first truncation keeps both entities represented.
+                              // Longest-first truncation keeps both entities represented.
     while a.len() + b.len() > budget {
         if a.len() >= b.len() {
             a.pop();
@@ -171,21 +171,21 @@ pub fn encode_pair(
             segments.push(0);
             cls_index = 0;
             ids.extend(&a);
-            segments.extend(std::iter::repeat(0).take(a.len()));
+            segments.extend(std::iter::repeat_n(0, a.len()));
             ids.push(sp.sep);
             segments.push(0);
             ids.extend(&b);
-            segments.extend(std::iter::repeat(1).take(b.len()));
+            segments.extend(std::iter::repeat_n(1, b.len()));
             ids.push(sp.sep);
             segments.push(1);
         }
         ClsPosition::Last => {
             ids.extend(&a);
-            segments.extend(std::iter::repeat(0).take(a.len()));
+            segments.extend(std::iter::repeat_n(0, a.len()));
             ids.push(sp.sep);
             segments.push(0);
             ids.extend(&b);
-            segments.extend(std::iter::repeat(1).take(b.len()));
+            segments.extend(std::iter::repeat_n(1, b.len()));
             ids.push(sp.sep);
             segments.push(1);
             cls_index = ids.len();
@@ -200,7 +200,12 @@ pub fn encode_pair(
         segments.push(0);
         mask.push(0);
     }
-    Encoding { ids, segments, mask, cls_index }
+    Encoding {
+        ids,
+        segments,
+        mask,
+        cls_index,
+    }
 }
 
 #[cfg(test)]

@@ -94,12 +94,22 @@ pub const BERT_SPECIALS: SpecialTokenStrings = SpecialTokenStrings {
 };
 
 /// RoBERTa conventions.
-pub const ROBERTA_SPECIALS: SpecialTokenStrings =
-    SpecialTokenStrings { pad: "<pad>", unk: "<unk>", cls: "<s>", sep: "</s>", mask: "<mask>" };
+pub const ROBERTA_SPECIALS: SpecialTokenStrings = SpecialTokenStrings {
+    pad: "<pad>",
+    unk: "<unk>",
+    cls: "<s>",
+    sep: "</s>",
+    mask: "<mask>",
+};
 
 /// XLNet conventions.
-pub const XLNET_SPECIALS: SpecialTokenStrings =
-    SpecialTokenStrings { pad: "<pad>", unk: "<unk>", cls: "<cls>", sep: "<sep>", mask: "<mask>" };
+pub const XLNET_SPECIALS: SpecialTokenStrings = SpecialTokenStrings {
+    pad: "<pad>",
+    unk: "<unk>",
+    cls: "<cls>",
+    sep: "<sep>",
+    mask: "<mask>",
+};
 
 impl SpecialTokenStrings {
     /// Register these special tokens at the front of a fresh vocabulary and

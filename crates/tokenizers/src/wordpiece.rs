@@ -22,7 +22,13 @@ pub struct WordPiece {
 fn word_to_symbols(word: &str) -> Vec<String> {
     word.chars()
         .enumerate()
-        .map(|(i, c)| if i == 0 { c.to_string() } else { format!("##{c}") })
+        .map(|(i, c)| {
+            if i == 0 {
+                c.to_string()
+            } else {
+                format!("##{c}")
+            }
+        })
         .collect()
 }
 
@@ -34,6 +40,7 @@ impl WordPiece {
     /// Train on `corpus` lines, growing the vocabulary to about
     /// `vocab_size` entries (specials + alphabet + learned merges).
     pub fn train(corpus: &[String], vocab_size: usize) -> Self {
+        let _span = em_obs::span!("tokenizer/train/wordpiece");
         let mut vocab = Vocab::new();
         let specials = BERT_SPECIALS.register(&mut vocab);
 
@@ -55,7 +62,11 @@ impl WordPiece {
         for m in &merges {
             vocab.add(&m.fused);
         }
-        Self { vocab, specials, max_word_chars: 64 }
+        Self {
+            vocab,
+            specials,
+            max_word_chars: 64,
+        }
     }
 
     /// Greedy longest-match-first segmentation of a single word.
@@ -108,7 +119,9 @@ impl WordPiece {
     pub fn decode(&self, ids: &[u32]) -> String {
         let mut out = String::new();
         for &id in ids {
-            let Some(tok) = self.vocab.token_of(id) else { continue };
+            let Some(tok) = self.vocab.token_of(id) else {
+                continue;
+            };
             if [self.specials.pad, self.specials.cls, self.specials.sep].contains(&id) {
                 continue;
             }
@@ -161,7 +174,10 @@ mod tests {
         let wp = WordPiece::train(&toy_corpus(), 200);
         let ids = wp.encode("apple iphone display");
         assert!(!ids.is_empty());
-        assert!(!ids.contains(&wp.specials().unk), "known words should not be UNK");
+        assert!(
+            !ids.contains(&wp.specials().unk),
+            "known words should not be UNK"
+        );
     }
 
     #[test]
@@ -198,6 +214,9 @@ mod tests {
     #[test]
     fn encoding_is_deterministic() {
         let wp = WordPiece::train(&toy_corpus(), 300);
-        assert_eq!(wp.encode("zenfone pro display"), wp.encode("zenfone pro display"));
+        assert_eq!(
+            wp.encode("zenfone pro display"),
+            wp.encode("zenfone pro display")
+        );
     }
 }

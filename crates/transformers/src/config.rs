@@ -25,8 +25,12 @@ pub enum Architecture {
 
 impl Architecture {
     /// All four, in the paper's presentation order.
-    pub const ALL: [Architecture; 4] =
-        [Architecture::Bert, Architecture::Xlnet, Architecture::Roberta, Architecture::DistilBert];
+    pub const ALL: [Architecture; 4] = [
+        Architecture::Bert,
+        Architecture::Xlnet,
+        Architecture::Roberta,
+        Architecture::DistilBert,
+    ];
 
     /// Human-readable name as used in the paper's tables.
     pub fn name(&self) -> &'static str {
@@ -92,9 +96,19 @@ impl TransformerConfig {
         };
         match arch {
             Architecture::Bert => base,
-            Architecture::Roberta => Self { segments: 1, ..base },
-            Architecture::DistilBert => Self { layers: base.layers / 2, segments: 0, ..base },
-            Architecture::Xlnet => Self { relative_positions: true, ..base },
+            Architecture::Roberta => Self {
+                segments: 1,
+                ..base
+            },
+            Architecture::DistilBert => Self {
+                layers: base.layers / 2,
+                segments: 0,
+                ..base
+            },
+            Architecture::Xlnet => Self {
+                relative_positions: true,
+                ..base
+            },
         }
     }
 
@@ -102,7 +116,11 @@ impl TransformerConfig {
     pub fn tiny(arch: Architecture, vocab_size: usize) -> Self {
         let mut c = Self::small(arch, vocab_size);
         c.hidden = 32;
-        c.layers = if arch == Architecture::DistilBert { 1 } else { 2 };
+        c.layers = if arch == Architecture::DistilBert {
+            1
+        } else {
+            2
+        };
         c.heads = 2;
         c.inner = 64;
         c.max_position = 48;

@@ -31,7 +31,8 @@ impl MlmHead {
 
 impl Module for MlmHead {
     fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
-        self.transform.named_parameters(&join(prefix, "transform"), out);
+        self.transform
+            .named_parameters(&join(prefix, "transform"), out);
         self.norm.named_parameters(&join(prefix, "norm"), out);
         self.decoder.named_parameters(&join(prefix, "decoder"), out);
     }
@@ -46,7 +47,9 @@ pub struct NspHead {
 impl NspHead {
     /// New NSP head.
     pub fn new(hidden: usize, std: f32, rng: &mut impl Rng) -> Self {
-        Self { classifier: Linear::new_normal(hidden, 2, std, rng) }
+        Self {
+            classifier: Linear::new_normal(hidden, 2, std, rng),
+        }
     }
 
     /// Pooled states `[batch, hidden]` → `[batch, 2]` logits.
@@ -75,7 +78,10 @@ impl ClassificationHead {
     /// New classification head (random init — the paper notes this layer is
     /// the only part not pre-trained).
     pub fn new(hidden: usize, dropout: f32, std: f32, rng: &mut impl Rng) -> Self {
-        Self { classifier: Linear::new_normal(hidden, 2, std, rng), dropout }
+        Self {
+            classifier: Linear::new_normal(hidden, 2, std, rng),
+            dropout,
+        }
     }
 
     /// Pooled states `[batch, hidden]` → match logits `[batch, 2]`.
@@ -86,7 +92,8 @@ impl ClassificationHead {
 
 impl Module for ClassificationHead {
     fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
-        self.classifier.named_parameters(&join(prefix, "classifier"), out);
+        self.classifier
+            .named_parameters(&join(prefix, "classifier"), out);
     }
 }
 
@@ -118,14 +125,12 @@ mod tests {
         // A 2-class toy problem must be learnable through the head alone.
         let mut rng = StdRng::seed_from_u64(2);
         let head = ClassificationHead::new(8, 0.0, 0.2, &mut rng);
-        let x = Tensor::constant(
-            Array::from_vec(
-                (0..16 * 8)
-                    .map(|i| if (i / 8) % 2 == 0 { 1.0 } else { -1.0 })
-                    .collect::<Vec<f32>>(),
-                vec![16, 8],
-            ),
-        );
+        let x = Tensor::constant(Array::from_vec(
+            (0..16 * 8)
+                .map(|i| if (i / 8) % 2 == 0 { 1.0 } else { -1.0 })
+                .collect::<Vec<f32>>(),
+            vec![16, 8],
+        ));
         let labels: Vec<usize> = (0..16).map(|i| i % 2).collect();
         let mut opt = em_tensor::Adam::new(head.parameters());
         for _ in 0..100 {
@@ -137,6 +142,9 @@ mod tests {
         }
         let logits = head.forward(&x, &mut Ctx::eval()).value();
         let preds = logits.argmax_last_axis();
-        assert_eq!(preds, labels, "head failed to fit a trivially separable problem");
+        assert_eq!(
+            preds, labels,
+            "head failed to fit a trivially separable problem"
+        );
     }
 }

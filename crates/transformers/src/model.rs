@@ -56,7 +56,11 @@ impl InputEmbeddings {
                 .map(|&is_blank| if is_blank { 0.0 } else { 1.0 })
                 .collect();
             let mask = Array::from_vec(mask, vec![b, t]).reshape(vec![b, t, 1]);
-            x = x.mul(&Tensor::constant(mask.broadcast_to(&[b, t, self.token.dim()])));
+            x = x.mul(&Tensor::constant(mask.broadcast_to(&[
+                b,
+                t,
+                self.token.dim(),
+            ])));
         }
         if let Some(pos) = &self.position {
             assert!(
@@ -70,8 +74,10 @@ impl InputEmbeddings {
         }
         if let Some(seg) = &self.segment {
             let seg_ids: Vec<usize> = segments.iter().flatten().copied().collect();
-            let clamped: Vec<usize> =
-                seg_ids.iter().map(|&s| s.min(seg.vocab_size() - 1)).collect();
+            let clamped: Vec<usize> = seg_ids
+                .iter()
+                .map(|&s| s.min(seg.vocab_size() - 1))
+                .collect();
             x = x.add(&seg.forward(&clamped, &[b, t]));
         }
         ctx.dropout(&self.norm.forward(&x), self.dropout)
@@ -80,14 +86,16 @@ impl InputEmbeddings {
 
 impl Module for InputEmbeddings {
     fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
-        self.token.named_parameters(&em_nn::join(prefix, "token"), out);
+        self.token
+            .named_parameters(&em_nn::join(prefix, "token"), out);
         if let Some(p) = &self.position {
             p.named_parameters(&em_nn::join(prefix, "position"), out);
         }
         if let Some(s) = &self.segment {
             s.named_parameters(&em_nn::join(prefix, "segment"), out);
         }
-        self.norm.named_parameters(&em_nn::join(prefix, "norm"), out);
+        self.norm
+            .named_parameters(&em_nn::join(prefix, "norm"), out);
     }
 }
 
@@ -123,8 +131,11 @@ impl RelativeBias {
                 }
             }
         }
-        let flat = self.table.reshape(vec![self.heads * (2 * self.clamp + 1), 1]);
-        flat.gather_rows(&indices, &[self.heads, t, t]).reshape(vec![1, self.heads, t, t])
+        let flat = self
+            .table
+            .reshape(vec![self.heads * (2 * self.clamp + 1), 1]);
+        flat.gather_rows(&indices, &[self.heads, t, t])
+            .reshape(vec![1, self.heads, t, t])
     }
 }
 
@@ -169,7 +180,9 @@ impl Batch {
         let mut batch = Batch::default();
         for e in encodings {
             batch.ids.push(e.ids.iter().map(|&i| i as usize).collect());
-            batch.segments.push(e.segments.iter().map(|&s| s as usize).collect());
+            batch
+                .segments
+                .push(e.segments.iter().map(|&s| s as usize).collect());
             batch.padding.push(e.mask.clone());
             batch.cls_index.push(e.cls_index);
         }
@@ -213,7 +226,13 @@ impl TransformerModel {
             .relative_positions
             .then(|| RelativeBias::new(cfg.heads, cfg.relative_clamp, cfg.init_std, &mut rng));
         let pooler = Linear::new_normal(cfg.hidden, cfg.hidden, cfg.init_std, &mut rng);
-        Self { config: cfg, embeddings, layers, relative, pooler }
+        Self {
+            config: cfg,
+            embeddings,
+            layers,
+            relative,
+            pooler,
+        }
     }
 
     /// Encode a batch into hidden states `[batch, seq, hidden]`.
@@ -235,7 +254,9 @@ impl TransformerModel {
             let full = mask.broadcast_to(&[batch.len(), 1, t, t]);
             mask = full.add(vis);
         }
-        let mut x = self.embeddings.forward(&batch.ids, &batch.segments, blank, ctx);
+        let mut x = self
+            .embeddings
+            .forward(&batch.ids, &batch.segments, blank, ctx);
         let rel_bias = self.relative.as_ref().map(|r| r.bias_for(batch.seq_len()));
         for layer in &self.layers {
             x = layer.forward(&x, Some(&mask), rel_bias.as_ref(), ctx);
@@ -268,14 +289,16 @@ impl TransformerModel {
 
 impl Module for TransformerModel {
     fn named_parameters(&self, prefix: &str, out: &mut Vec<(String, Tensor)>) {
-        self.embeddings.named_parameters(&em_nn::join(prefix, "embeddings"), out);
+        self.embeddings
+            .named_parameters(&em_nn::join(prefix, "embeddings"), out);
         for (i, layer) in self.layers.iter().enumerate() {
             layer.named_parameters(&em_nn::join(prefix, &format!("layer{i}")), out);
         }
         if let Some(rel) = &self.relative {
             rel.named_parameters(&em_nn::join(prefix, "relative"), out);
         }
-        self.pooler.named_parameters(&em_nn::join(prefix, "pooler"), out);
+        self.pooler
+            .named_parameters(&em_nn::join(prefix, "pooler"), out);
     }
 }
 
@@ -323,8 +346,7 @@ mod tests {
 
     #[test]
     fn distilbert_has_fewer_parameters_than_bert() {
-        let bert =
-            TransformerModel::new(TransformerConfig::small(Architecture::Bert, 500), 0);
+        let bert = TransformerModel::new(TransformerConfig::small(Architecture::Bert, 500), 0);
         let distil =
             TransformerModel::new(TransformerConfig::small(Architecture::DistilBert, 500), 0);
         assert!(
@@ -344,8 +366,12 @@ mod tests {
         b1.ids[0][2] = 7;
         b2.ids[0][2] = 23; // different token at the blanked position
         let blank = vec![vec![false, false, true, false]];
-        let y1 = model.forward(&b1, None, Some(&blank), &mut Ctx::eval()).value();
-        let y2 = model.forward(&b2, None, Some(&blank), &mut Ctx::eval()).value();
+        let y1 = model
+            .forward(&b1, None, Some(&blank), &mut Ctx::eval())
+            .value();
+        let y2 = model
+            .forward(&b2, None, Some(&blank), &mut Ctx::eval())
+            .value();
         for (a, b) in y1.data().iter().zip(y2.data()) {
             assert!((a - b).abs() < 1e-5, "blanked token leaked content");
         }

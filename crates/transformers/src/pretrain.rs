@@ -20,7 +20,11 @@ pub struct MaskingConfig {
 
 impl Default for MaskingConfig {
     fn default() -> Self {
-        Self { mask_prob: 0.15, mask_token_frac: 0.8, random_frac: 0.1 }
+        Self {
+            mask_prob: 0.15,
+            mask_token_frac: 0.8,
+            random_frac: 0.1,
+        }
     }
 }
 
@@ -45,8 +49,12 @@ pub fn mask_tokens(
     rng: &mut impl Rng,
 ) -> Vec<usize> {
     let ignore = ignore_index(vocab_size);
-    let special_ids =
-        [specials.pad as usize, specials.cls as usize, specials.sep as usize, specials.mask as usize];
+    let special_ids = [
+        specials.pad as usize,
+        specials.cls as usize,
+        specials.sep as usize,
+        specials.mask as usize,
+    ];
     let eligible: Vec<usize> = (0..ids.len())
         .filter(|&i| padding[i] == 1 && !special_ids.contains(&ids[i]))
         .collect();
@@ -54,8 +62,11 @@ pub fn mask_tokens(
     if eligible.is_empty() {
         return targets;
     }
-    let mut selected: Vec<usize> =
-        eligible.iter().copied().filter(|_| rng.gen::<f32>() < cfg.mask_prob).collect();
+    let mut selected: Vec<usize> = eligible
+        .iter()
+        .copied()
+        .filter(|_| rng.gen::<f32>() < cfg.mask_prob)
+        .collect();
     if selected.is_empty() {
         selected.push(*eligible.choose(rng).expect("non-empty"));
     }
@@ -130,8 +141,12 @@ pub fn sample_plm_plan(
 ) -> PlmPlan {
     let t = ids.len();
     let ignore = ignore_index(vocab_size);
-    let special_ids =
-        [specials.pad as usize, specials.cls as usize, specials.sep as usize, specials.mask as usize];
+    let special_ids = [
+        specials.pad as usize,
+        specials.cls as usize,
+        specials.sep as usize,
+        specials.mask as usize,
+    ];
     let eligible: Vec<usize> = (0..t)
         .filter(|&i| padding[i] == 1 && !special_ids.contains(&ids[i]))
         .collect();
@@ -157,13 +172,18 @@ pub fn sample_plm_plan(
     let mut visibility = vec![-1e9f32; t * t];
     for i in 0..t {
         for j in 0..t {
-            let visible = i == j || (rank[j] != usize::MAX && rank[i] != usize::MAX && rank[j] < rank[i]);
+            let visible =
+                i == j || (rank[j] != usize::MAX && rank[i] != usize::MAX && rank[j] < rank[i]);
             if visible {
                 visibility[i * t + j] = 0.0;
             }
         }
     }
-    PlmPlan { blank, targets, visibility }
+    PlmPlan {
+        blank,
+        targets,
+        visibility,
+    }
 }
 
 /// Stack per-sample PLM visibility masks into `[batch, 1, seq, seq]`.
@@ -188,7 +208,10 @@ impl DistillationLoss {
         let soft = softmax_array(&teacher_logits.scale(1.0 / tau));
         // The tau² factor keeps gradient magnitudes comparable across
         // temperatures (Hinton et al., 2015).
-        student_logits.scale(1.0 / tau).soft_cross_entropy(&soft).scale(tau * tau)
+        student_logits
+            .scale(1.0 / tau)
+            .soft_cross_entropy(&soft)
+            .scale(tau * tau)
     }
 
     /// Cosine embedding loss aligning student and teacher hidden states:
@@ -210,7 +233,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn specials() -> SpecialTokens {
-        SpecialTokens { pad: 0, unk: 1, cls: 2, sep: 3, mask: 4 }
+        SpecialTokens {
+            pad: 0,
+            unk: 1,
+            cls: 2,
+            sep: 3,
+            mask: 4,
+        }
     }
 
     #[test]
@@ -221,8 +250,14 @@ mod tests {
             let mut ids = vec![2, 10, 11, 12, 3, 13, 14, 3, 0, 0];
             let padding = vec![1, 1, 1, 1, 1, 1, 1, 1, 0, 0];
             let orig = ids.clone();
-            let targets =
-                mask_tokens(&mut ids, &padding, sp, 100, MaskingConfig::default(), &mut rng);
+            let targets = mask_tokens(
+                &mut ids,
+                &padding,
+                sp,
+                100,
+                MaskingConfig::default(),
+                &mut rng,
+            );
             // Special positions unchanged and never targets.
             for &i in &[0usize, 4, 7, 8, 9] {
                 assert_eq!(ids[i], orig[i]);
@@ -238,8 +273,14 @@ mod tests {
         for _ in 0..50 {
             let mut ids = vec![2, 10, 3];
             let padding = vec![1, 1, 1];
-            let targets =
-                mask_tokens(&mut ids, &padding, sp, 100, MaskingConfig::default(), &mut rng);
+            let targets = mask_tokens(
+                &mut ids,
+                &padding,
+                sp,
+                100,
+                MaskingConfig::default(),
+                &mut rng,
+            );
             assert!(targets.iter().any(|&t| t != ignore_index(100)));
         }
     }
@@ -251,9 +292,23 @@ mod tests {
         let padding = vec![1u8; 30];
         let mut rng = StdRng::seed_from_u64(2);
         let mut a = base.clone();
-        let ta = mask_tokens(&mut a, &padding, sp, 100, MaskingConfig::default(), &mut rng);
+        let ta = mask_tokens(
+            &mut a,
+            &padding,
+            sp,
+            100,
+            MaskingConfig::default(),
+            &mut rng,
+        );
         let mut b = base.clone();
-        let tb = mask_tokens(&mut b, &padding, sp, 100, MaskingConfig::default(), &mut rng);
+        let tb = mask_tokens(
+            &mut b,
+            &padding,
+            sp,
+            100,
+            MaskingConfig::default(),
+            &mut rng,
+        );
         assert_ne!(ta, tb, "two masking draws should differ");
     }
 
@@ -315,6 +370,9 @@ mod tests {
         assert!(loss.abs() < 1e-4, "loss {loss}");
         let opposite = Tensor::constant(h.scale(-1.0));
         let loss2 = DistillationLoss::cosine(&opposite, &h).item();
-        assert!((loss2 - 2.0).abs() < 1e-3, "opposite direction loss {loss2}");
+        assert!(
+            (loss2 - 2.0).abs() < 1e-3,
+            "opposite direction loss {loss2}"
+        );
     }
 }

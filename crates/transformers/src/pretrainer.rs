@@ -99,11 +99,7 @@ fn build_examples(
 /// Gather the hidden rows at `positions` (flattened `[b*t]` indices) and
 /// project them through the MLM head — projecting only masked rows keeps
 /// the vocab matmul small.
-fn mlm_logits_at(
-    hidden: &Tensor,
-    mlm: &MlmHead,
-    positions: &[usize],
-) -> Tensor {
+fn mlm_logits_at(hidden: &Tensor, mlm: &MlmHead, positions: &[usize]) -> Tensor {
     let shape = hidden.shape();
     let flat = hidden.reshape(vec![shape[0] * shape[1], shape[2]]);
     let rows = flat.gather_rows(positions, &[positions.len()]);
@@ -160,6 +156,7 @@ pub fn pretrain_mlm(
     pcfg: &PretrainConfig,
     dynamic_masking: bool,
 ) -> PretrainedModel {
+    let _span = em_obs::span!("pretrain");
     let arch = cfg.arch;
     let use_nsp = arch == Architecture::Bert;
     let vocab = tokenizer.vocab_size();
@@ -201,25 +198,29 @@ pub fn pretrain_mlm(
     let mut loss_history = Vec::with_capacity(pcfg.epochs);
     let mut order: Vec<usize> = (0..examples.len()).collect();
     for epoch in 0..pcfg.epochs {
+        let _epoch_span = em_obs::span!("pretrain/epoch");
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(pcfg.batch_size) {
+            em_obs::counter_add("pretrain/tokens", (chunk.len() * pcfg.seq_len) as u64);
             let mut batch = Batch::default();
             let mut targets_rows = Vec::with_capacity(chunk.len());
             let mut nsp_labels = Vec::with_capacity(chunk.len());
             for &i in chunk {
                 let ex = &examples[i];
                 let (ids, targets) = if dynamic_masking {
-                    let mut ids: Vec<usize> =
-                        ex.encoding.ids.iter().map(|&v| v as usize).collect();
-                    let t = mask_tokens(&mut ids, &ex.encoding.mask, specials, vocab, mcfg, &mut rng);
+                    let mut ids: Vec<usize> = ex.encoding.ids.iter().map(|&v| v as usize).collect();
+                    let t =
+                        mask_tokens(&mut ids, &ex.encoding.mask, specials, vocab, mcfg, &mut rng);
                     (ids, t)
                 } else {
                     static_masks[i].clone()
                 };
                 batch.ids.push(ids);
-                batch.segments.push(ex.encoding.segments.iter().map(|&s| s as usize).collect());
+                batch
+                    .segments
+                    .push(ex.encoding.segments.iter().map(|&s| s as usize).collect());
                 batch.padding.push(ex.encoding.mask.clone());
                 batch.cls_index.push(ex.encoding.cls_index);
                 targets_rows.push(targets);
@@ -245,9 +246,18 @@ pub fn pretrain_mlm(
             let lr = schedule.lr_at(opt.steps_taken());
             opt.step(lr);
         }
-        loss_history.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+        loss_history.push(if batches > 0 {
+            epoch_loss / batches as f32
+        } else {
+            0.0
+        });
     }
-    PretrainedModel { model, mlm, nsp, loss_history }
+    PretrainedModel {
+        model,
+        mlm,
+        nsp,
+        loss_history,
+    }
 }
 
 /// Permutation-LM pre-training (XLNet, §4.2).
@@ -257,6 +267,7 @@ pub fn pretrain_plm(
     tokenizer: &AnyTokenizer,
     pcfg: &PretrainConfig,
 ) -> PretrainedModel {
+    let _span = em_obs::span!("pretrain");
     let vocab = tokenizer.vocab_size();
     let specials = tokenizer.specials();
     let ignore = ignore_index(vocab);
@@ -278,10 +289,12 @@ pub fn pretrain_plm(
     let mut loss_history = Vec::with_capacity(pcfg.epochs);
     let mut order: Vec<usize> = (0..examples.len()).collect();
     for epoch in 0..pcfg.epochs {
+        let _epoch_span = em_obs::span!("pretrain/epoch");
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(pcfg.batch_size) {
+            em_obs::counter_add("pretrain/tokens", (chunk.len() * pcfg.seq_len) as u64);
             let mut batch = Batch::default();
             let mut plans = Vec::with_capacity(chunk.len());
             for &i in chunk {
@@ -298,7 +311,9 @@ pub fn pretrain_plm(
                     &mut rng,
                 );
                 batch.ids.push(ids);
-                batch.segments.push(ex.encoding.segments.iter().map(|&s| s as usize).collect());
+                batch
+                    .segments
+                    .push(ex.encoding.segments.iter().map(|&s| s as usize).collect());
                 batch.padding.push(ex.encoding.mask.clone());
                 batch.cls_index.push(ex.encoding.cls_index);
                 plans.push(plan);
@@ -322,9 +337,18 @@ pub fn pretrain_plm(
             clip_grad_norm(opt.params(), 1.0);
             opt.step(schedule.lr_at(opt.steps_taken()));
         }
-        loss_history.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+        loss_history.push(if batches > 0 {
+            epoch_loss / batches as f32
+        } else {
+            0.0
+        });
     }
-    PretrainedModel { model, mlm, nsp: None, loss_history }
+    PretrainedModel {
+        model,
+        mlm,
+        nsp: None,
+        loss_history,
+    }
 }
 
 /// Knowledge distillation of a (frozen) teacher into a half-depth student
@@ -337,6 +361,7 @@ pub fn distill(
     tokenizer: &AnyTokenizer,
     pcfg: &PretrainConfig,
 ) -> PretrainedModel {
+    let _span = em_obs::span!("pretrain");
     assert_eq!(
         teacher.model.config.hidden, student_cfg.hidden,
         "distillation aligns hidden states; widths must match"
@@ -363,10 +388,12 @@ pub fn distill(
     let mut loss_history = Vec::with_capacity(pcfg.epochs);
     let mut order: Vec<usize> = (0..examples.len()).collect();
     for epoch in 0..pcfg.epochs {
+        let _epoch_span = em_obs::span!("pretrain/epoch");
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(pcfg.batch_size) {
+            em_obs::counter_add("pretrain/tokens", (chunk.len() * pcfg.seq_len) as u64);
             let mut batch = Batch::default();
             let mut targets_rows = Vec::with_capacity(chunk.len());
             for &i in chunk {
@@ -375,7 +402,9 @@ pub fn distill(
                 let targets =
                     mask_tokens(&mut ids, &ex.encoding.mask, specials, vocab, mcfg, &mut rng);
                 batch.ids.push(ids);
-                batch.segments.push(ex.encoding.segments.iter().map(|&s| s as usize).collect());
+                batch
+                    .segments
+                    .push(ex.encoding.segments.iter().map(|&s| s as usize).collect());
                 batch.padding.push(ex.encoding.mask.clone());
                 batch.cls_index.push(ex.encoding.cls_index);
                 targets_rows.push(targets);
@@ -416,9 +445,18 @@ pub fn distill(
             clip_grad_norm(opt.params(), 1.0);
             opt.step(schedule.lr_at(opt.steps_taken()));
         }
-        loss_history.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+        loss_history.push(if batches > 0 {
+            epoch_loss / batches as f32
+        } else {
+            0.0
+        });
     }
-    PretrainedModel { model, mlm, nsp: None, loss_history }
+    PretrainedModel {
+        model,
+        mlm,
+        nsp: None,
+        loss_history,
+    }
 }
 
 #[cfg(test)]
@@ -442,7 +480,13 @@ mod tests {
     }
 
     fn quick_pcfg() -> PretrainConfig {
-        PretrainConfig { epochs: 2, batch_size: 8, seq_len: 20, lr: 3e-4, ..Default::default() }
+        PretrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            seq_len: 20,
+            lr: 3e-4,
+            ..Default::default()
+        }
     }
 
     #[test]

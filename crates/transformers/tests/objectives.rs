@@ -10,7 +10,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn specials() -> SpecialTokens {
-    SpecialTokens { pad: 0, unk: 1, cls: 2, sep: 3, mask: 4 }
+    SpecialTokens {
+        pad: 0,
+        unk: 1,
+        cls: 2,
+        sep: 3,
+        mask: 4,
+    }
 }
 
 #[test]
@@ -18,8 +24,14 @@ fn masking_with_all_special_sequence_is_a_noop() {
     let mut rng = StdRng::seed_from_u64(0);
     let mut ids = vec![2usize, 3, 0, 0];
     let padding = vec![1, 1, 0, 0];
-    let targets =
-        mask_tokens(&mut ids, &padding, specials(), 50, MaskingConfig::default(), &mut rng);
+    let targets = mask_tokens(
+        &mut ids,
+        &padding,
+        specials(),
+        50,
+        MaskingConfig::default(),
+        &mut rng,
+    );
     assert_eq!(ids, vec![2, 3, 0, 0], "nothing eligible to mask");
     assert!(targets.iter().all(|&t| t == ignore_index(50)));
 }
@@ -32,8 +44,14 @@ fn masking_rate_approximates_fifteen_percent() {
     for _ in 0..200 {
         let mut ids: Vec<usize> = (10..60).collect();
         let padding = vec![1u8; ids.len()];
-        let targets =
-            mask_tokens(&mut ids, &padding, specials(), 100, MaskingConfig::default(), &mut rng);
+        let targets = mask_tokens(
+            &mut ids,
+            &padding,
+            specials(),
+            100,
+            MaskingConfig::default(),
+            &mut rng,
+        );
         selected += targets.iter().filter(|&&t| t != ignore_index(100)).count();
         total += targets.len();
     }
@@ -49,8 +67,14 @@ fn masking_mixture_is_80_10_10() {
         let orig: Vec<usize> = (10..60).collect();
         let mut ids = orig.clone();
         let padding = vec![1u8; ids.len()];
-        let targets =
-            mask_tokens(&mut ids, &padding, specials(), 1000, MaskingConfig::default(), &mut rng);
+        let targets = mask_tokens(
+            &mut ids,
+            &padding,
+            specials(),
+            1000,
+            MaskingConfig::default(),
+            &mut rng,
+        );
         for i in 0..ids.len() {
             if targets[i] != ignore_index(1000) {
                 if ids[i] == specials().mask as usize {
@@ -62,7 +86,10 @@ fn masking_mixture_is_80_10_10() {
         }
     }
     let frac_mask = as_mask as f64 / (as_mask + as_random_or_kept) as f64;
-    assert!((frac_mask - 0.8).abs() < 0.05, "[MASK] fraction {frac_mask}");
+    assert!(
+        (frac_mask - 0.8).abs() < 0.05,
+        "[MASK] fraction {frac_mask}"
+    );
 }
 
 #[test]

@@ -20,19 +20,33 @@ fn main() {
     let tokenizer = train_tokenizer(arch, &flat, 700);
     let cfg = TransformerConfig::tiny(arch, em_tokenizers::Tokenizer::vocab_size(&tokenizer));
     println!("pre-training BERT on {} corpus documents…", corpus.len());
-    let pre = pretrain(cfg, &corpus, &tokenizer, &PretrainConfig {
-        epochs: 3,
-        seq_len: 32,
-        ..Default::default()
-    });
+    let pre = pretrain(
+        cfg,
+        &corpus,
+        &tokenizer,
+        &PretrainConfig {
+            epochs: 3,
+            seq_len: 32,
+            ..Default::default()
+        },
+    );
 
     let ds = DatasetId::DblpScholar.generate(0.02, 9);
     let mut rng = StdRng::seed_from_u64(9);
     let split = ds.split(&mut rng);
-    println!("fine-tuning on {} ({} training pairs)…", ds.name, split.train.len());
-    let ft = FineTuneConfig { epochs: 6, batch_size: 8, lr: 1e-3, seed: 2, max_len_cap: 64 };
-    let (matcher, result) =
-        fine_tune(pre.model, tokenizer, &ds, &split.train, &split.test, &ft);
+    println!(
+        "fine-tuning on {} ({} training pairs)…",
+        ds.name,
+        split.train.len()
+    );
+    let ft = FineTuneConfig {
+        epochs: 6,
+        batch_size: 8,
+        lr: 1e-3,
+        seed: 2,
+        max_len_cap: 64,
+    };
+    let (matcher, result) = fine_tune(pre.model, tokenizer, &ds, &split.train, &split.test, &ft);
     println!("test F1 after fine-tuning: {:.1}%", result.best_f1);
 
     // Deduplicate: run the matcher over the validation pairs and report

@@ -16,7 +16,12 @@ fn main() {
     let ds = DatasetId::WalmartAmazon.generate(0.05, 11);
     let mut rng = StdRng::seed_from_u64(3);
     let split = ds.split(&mut rng);
-    println!("{}: {} pairs / {} matches", ds.name, ds.size(), ds.matches());
+    println!(
+        "{}: {} pairs / {} matches",
+        ds.name,
+        ds.size(),
+        ds.matches()
+    );
 
     // Look at one dirty record: values migrated into the title.
     let scrambled = ds
@@ -33,7 +38,11 @@ fn main() {
     let mg = MagellanMatcher::fit_best(&ds.effective_attributes(), &split.train, &split.valid, 1);
     let labels: Vec<bool> = split.test.iter().map(|p| p.label).collect();
     let mg_f1 = PrF1::from_predictions(&mg.predict_all(&split.test), &labels).f1_percent();
-    println!("\nMagellan (best learner = {}): F1 {:.1}%", mg.learner.name(), mg_f1);
+    println!(
+        "\nMagellan (best learner = {}): F1 {:.1}%",
+        mg.learner.name(),
+        mg_f1
+    );
 
     // Inspect the features the classical matcher sees for the dirty pair.
     let fx = FeatureExtractor::new(ds.effective_attributes());
@@ -59,7 +68,11 @@ fn main() {
     println!("\ntraining DeepMatcher ({} examples)…", train.len());
     let dm = DeepMatcher::train(
         &train,
-        DeepMatcherConfig { epochs: 20, max_len: 32, ..Default::default() },
+        DeepMatcherConfig {
+            epochs: 20,
+            max_len: 32,
+            ..Default::default()
+        },
     );
     let test_pairs: Vec<(String, String)> = split.test.iter().map(&ser).collect();
     let dm_f1 = PrF1::from_predictions(&dm.predict_all(&test_pairs), &labels).f1_percent();

@@ -16,15 +16,23 @@ use rand::SeedableRng;
 fn main() {
     // 1. Unlabeled domain corpus — the stand-in for BooksCorpus/Wikipedia.
     let corpus = em_data::generate_documents(600, 42);
-    println!("corpus: {} documents, e.g. {:?}", corpus.len(), &corpus[0][0]);
+    println!(
+        "corpus: {} documents, e.g. {:?}",
+        corpus.len(),
+        &corpus[0][0]
+    );
 
     // 2. Train the architecture's tokenizer and pre-train the encoder.
     let arch = Architecture::DistilBert;
-        let flat: Vec<String> = corpus.iter().flatten().cloned().collect();
+    let flat: Vec<String> = corpus.iter().flatten().cloned().collect();
     let tokenizer = train_tokenizer(arch, &flat, 600);
     println!("tokenizer: {} subwords", tokenizer.vocab_size());
     let cfg = TransformerConfig::tiny(arch, tokenizer.vocab_size());
-    let pcfg = PretrainConfig { epochs: 2, seq_len: 32, ..Default::default() };
+    let pcfg = PretrainConfig {
+        epochs: 2,
+        seq_len: 32,
+        ..Default::default()
+    };
     println!("pre-training {} ({} params)…", arch.name(), {
         use em_nn::Module;
         em_transformers::TransformerModel::new(cfg.clone(), 0).num_parameters()
@@ -46,7 +54,13 @@ fn main() {
     );
 
     // 4. Fine-tune on entity matching and evaluate per epoch.
-    let ft = FineTuneConfig { epochs: 5, batch_size: 8, lr: 1e-3, seed: 1, max_len_cap: 48 };
+    let ft = FineTuneConfig {
+        epochs: 5,
+        batch_size: 8,
+        lr: 1e-3,
+        seed: 1,
+        max_len_cap: 48,
+    };
     let (matcher, result) = fine_tune(pre.model, tokenizer, &ds, &split.train, &split.test, &ft);
     for rec in &result.curve {
         println!(
@@ -59,5 +73,9 @@ fn main() {
     let preds = matcher.predict(&ds, &split.valid);
     let labels: Vec<bool> = split.valid.iter().map(|p| p.label).collect();
     let m = PrF1::from_predictions(&preds, &labels);
-    println!("validation F1: {:.1}% (best test epoch: {:.1}%)", m.f1_percent(), result.best_f1);
+    println!(
+        "validation F1: {:.1}% (best test epoch: {:.1}%)",
+        m.f1_percent(),
+        result.best_f1
+    );
 }

@@ -20,27 +20,48 @@ fn main() {
     let entity_a = "the brand new iphone xs now available in white red and silver";
     let entity_b = "apple's new iphone xs - a masterpiece of design with 64gb storage";
 
-    println!("training the three tokenizer families on {} corpus lines…\n", corpus.len());
+    println!(
+        "training the three tokenizer families on {} corpus lines…\n",
+        corpus.len()
+    );
     let wp = WordPiece::train(&corpus, 900);
     let bpe = ByteLevelBpe::train(&corpus, 900);
     let sp = SentencePieceBpe::train(&corpus, 900);
 
     println!("Entity A: {entity_a:?}");
     show("WordPiece", &wp.encode(entity_a), |ids| {
-        ids.iter().map(|&i| wp.vocab().token_of(i).unwrap_or("?").to_string()).collect()
+        ids.iter()
+            .map(|&i| wp.vocab().token_of(i).unwrap_or("?").to_string())
+            .collect()
     });
     show("Byte-BPE", &bpe.encode(entity_a), |ids| {
-        ids.iter().map(|&i| bpe.vocab().token_of(i).unwrap_or("?").to_string()).collect()
+        ids.iter()
+            .map(|&i| bpe.vocab().token_of(i).unwrap_or("?").to_string())
+            .collect()
     });
     show("SentencePiece", &sp.encode(entity_a), |ids| {
-        ids.iter().map(|&i| sp.vocab().token_of(i).unwrap_or("?").to_string()).collect()
+        ids.iter()
+            .map(|&i| sp.vocab().token_of(i).unwrap_or("?").to_string())
+            .collect()
     });
 
     // Out-of-vocabulary behaviour: an unseen model number.
     let oov = "zenfone zs551kl amoled";
     println!("\nOOV text: {oov:?}");
-    println!("  WordPiece UNKs: {}", wp.encode(oov).iter().filter(|&&i| i == Tokenizer::specials(&wp).unk).count());
-    println!("  Byte-BPE UNKs:  {} (byte-level never produces UNK)", bpe.encode(oov).iter().filter(|&&i| i == Tokenizer::specials(&bpe).unk).count());
+    println!(
+        "  WordPiece UNKs: {}",
+        wp.encode(oov)
+            .iter()
+            .filter(|&&i| i == Tokenizer::specials(&wp).unk)
+            .count()
+    );
+    println!(
+        "  Byte-BPE UNKs:  {} (byte-level never produces UNK)",
+        bpe.encode(oov)
+            .iter()
+            .filter(|&&i| i == Tokenizer::specials(&bpe).unk)
+            .count()
+    );
 
     // The Figure 9 feeding approach.
     println!("\nFigure 9 pair encoding ([CLS] A [SEP] B [SEP], padded to 48):");
@@ -48,8 +69,16 @@ fn main() {
     println!("  ids      : {:?}…", &enc.ids[..16]);
     println!("  segments : {:?}…", &enc.segments[..16]);
     println!("  mask     : {:?}…", &enc.mask[..16]);
-    println!("  cls index: {} | real tokens: {}", enc.cls_index, enc.real_len());
+    println!(
+        "  cls index: {} | real tokens: {}",
+        enc.cls_index,
+        enc.real_len()
+    );
 
     let xl = encode_pair(&sp, entity_a, entity_b, 48, ClsPosition::Last);
-    println!("  XLNet puts CLS last: cls index {} of {}", xl.cls_index, xl.real_len());
+    println!(
+        "  XLNet puts CLS last: cls index {} of {}",
+        xl.cls_index,
+        xl.real_len()
+    );
 }

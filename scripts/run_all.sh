@@ -9,6 +9,16 @@ PT="${PT:-6}"
 DM="${DM:-16}"
 COMMON=(--scale "$SCALE" --epochs "$EPOCHS" --runs "$RUNS" --pretrain-epochs "$PT")
 
+# Observability: collect span/counter aggregates for every binary. Each run
+# appends one JSON line per report to results/obs_summary.jsonl, so start
+# the file fresh. Override with EM_OBS=0 (off) or EM_OBS=2 (+ per-span events).
+export EM_OBS="${EM_OBS:-1}"
+if [ "$EM_OBS" != "0" ]; then
+  mkdir -p results
+  : > results/obs_summary.jsonl
+  rm -f results/obs_events.jsonl
+fi
+
 cargo run --release -p em-bench --bin table3 -- "$@"
 cargo run --release -p em-bench --bin table4 -- "$@"
 # figures computes (and caches) all 4x5 curves; table5/6 reuse them.

@@ -23,7 +23,9 @@ use std::process::ExitCode;
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == &format!("--{name}")).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn usage() -> ExitCode {
@@ -69,7 +71,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "baseline" => {
-            let Some(input) = arg("input") else { return usage() };
+            let Some(input) = arg("input") else {
+                return usage();
+            };
             let Ok(text) = std::fs::read_to_string(&input) else {
                 eprintln!("cannot read {input}");
                 return ExitCode::FAILURE;
@@ -103,7 +107,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "train" => {
-            let Some(input) = arg("input") else { return usage() };
+            let Some(input) = arg("input") else {
+                return usage();
+            };
             let Ok(text) = std::fs::read_to_string(&input) else {
                 eprintln!("cannot read {input}");
                 return ExitCode::FAILURE;
@@ -126,26 +132,31 @@ fn main() -> ExitCode {
                 }
             };
             let epochs: usize = arg("epochs").and_then(|s| s.parse().ok()).unwrap_or(5);
-            let pt_epochs: usize =
-                arg("pretrain-epochs").and_then(|s| s.parse().ok()).unwrap_or(3);
+            let pt_epochs: usize = arg("pretrain-epochs")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(3);
             let docs = em_data::generate_documents(1200, seed);
             let flat: Vec<String> = docs.iter().flatten().cloned().collect();
             let tok = train_tokenizer(arch, &flat, 900);
-            let cfg = TransformerConfig::tiny(
-                arch,
-                em_tokenizers::Tokenizer::vocab_size(&tok),
-            );
+            let cfg = TransformerConfig::tiny(arch, em_tokenizers::Tokenizer::vocab_size(&tok));
             eprintln!("pre-training {} for {pt_epochs} epochs…", arch.name());
             let pre = pretrain(
                 cfg,
                 &docs,
                 &tok,
-                &PretrainConfig { epochs: pt_epochs, ..Default::default() },
+                &PretrainConfig {
+                    epochs: pt_epochs,
+                    ..Default::default()
+                },
             );
             let mut rng = StdRng::seed_from_u64(seed);
             let split = ds.split(&mut rng);
             eprintln!("fine-tuning on {} pairs…", split.train.len());
-            let ft = FineTuneConfig { epochs, seed, ..Default::default() };
+            let ft = FineTuneConfig {
+                epochs,
+                seed,
+                ..Default::default()
+            };
             let (_, result) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
             for rec in &result.curve {
                 println!("epoch {:>2}: F1 {:>5.1}%", rec.epoch, rec.f1);
@@ -158,8 +169,7 @@ fn main() -> ExitCode {
                 return usage();
             };
             let scale: f64 = arg("scale").and_then(|s| s.parse().ok()).unwrap_or(0.02);
-            let min_shared: usize =
-                arg("min-shared").and_then(|s| s.parse().ok()).unwrap_or(2);
+            let min_shared: usize = arg("min-shared").and_then(|s| s.parse().ok()).unwrap_or(2);
             let ds = id.generate(scale, seed);
             // Rebuild the two tables from the candidate pairs.
             let table_a: Vec<_> = ds.pairs.iter().map(|p| p.a.clone()).collect();
@@ -171,14 +181,13 @@ fn main() -> ExitCode {
                 .filter(|(_, p)| p.label)
                 .map(|(i, _)| (i, i))
                 .collect();
-            let blocker = TokenBlocker { min_shared, ..Default::default() };
+            let blocker = TokenBlocker {
+                min_shared,
+                ..Default::default()
+            };
             let cands = blocker.block(&table_a, &table_b);
-            let q = em_data::blocking::evaluate_blocking(
-                &cands,
-                &truth,
-                table_a.len(),
-                table_b.len(),
-            );
+            let q =
+                em_data::blocking::evaluate_blocking(&cands, &truth, table_a.len(), table_b.len());
             println!(
                 "token blocker on {}: {} candidates, recall {:.3}, reduction {:.3}",
                 ds.name, q.candidates, q.recall, q.reduction

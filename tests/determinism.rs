@@ -11,13 +11,21 @@ use rand::SeedableRng;
 
 fn tiny_setup(
     seed: u64,
-) -> (em_transformers::PretrainedModel, em_tokenizers::AnyTokenizer) {
+) -> (
+    em_transformers::PretrainedModel,
+    em_tokenizers::AnyTokenizer,
+) {
     let docs = em_data::generate_documents(120, seed);
     let flat: Vec<String> = docs.iter().flatten().cloned().collect();
     let tok = pipeline::train_tokenizer(Architecture::Bert, &flat, 300);
     let cfg = TransformerConfig::tiny(Architecture::Bert, tok.vocab_size());
-    let pcfg =
-        PretrainConfig { epochs: 1, batch_size: 8, seq_len: 16, seed, ..Default::default() };
+    let pcfg = PretrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        seq_len: 16,
+        seed,
+        ..Default::default()
+    };
     (pretrain(cfg, &docs, &tok, &pcfg), tok)
 }
 
@@ -43,7 +51,13 @@ fn fine_tuning_curves_are_deterministic() {
     let split = ds.split(&mut rng);
     let run = |seed: u64| {
         let (pre, tok) = tiny_setup(11);
-        let ft = FineTuneConfig { epochs: 2, batch_size: 8, lr: 1e-3, seed, max_len_cap: 32 };
+        let ft = FineTuneConfig {
+            epochs: 2,
+            batch_size: 8,
+            lr: 1e-3,
+            seed,
+            max_len_cap: 32,
+        };
         let (_, result) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
         result.curve.iter().map(|r| r.f1).collect::<Vec<_>>()
     };
@@ -79,10 +93,18 @@ fn checkpoint_roundtrip_preserves_forward_outputs() {
         cls_index: vec![0; 2],
     };
     let out1 = em_tensor::no_grad(|| {
-        pre.model.forward(&batch, None, None, &mut em_nn::Ctx::eval()).value()
+        pre.model
+            .forward(&batch, None, None, &mut em_nn::Ctx::eval())
+            .value()
     });
     let out2 = em_tensor::no_grad(|| {
-        fresh.forward(&batch, None, None, &mut em_nn::Ctx::eval()).value()
+        fresh
+            .forward(&batch, None, None, &mut em_nn::Ctx::eval())
+            .value()
     });
-    assert_eq!(out1.data(), out2.data(), "restored model computes identically");
+    assert_eq!(
+        out1.data(),
+        out2.data(),
+        "restored model computes identically"
+    );
 }

@@ -8,12 +8,23 @@ use em_transformers::{pretrain, Architecture, PretrainConfig, TransformerConfig}
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn tiny_pretrain(arch: Architecture, corpus_seed: u64) -> (em_transformers::PretrainedModel, em_tokenizers::AnyTokenizer) {
+fn tiny_pretrain(
+    arch: Architecture,
+    corpus_seed: u64,
+) -> (
+    em_transformers::PretrainedModel,
+    em_tokenizers::AnyTokenizer,
+) {
     let docs = em_data::generate_documents(150, corpus_seed);
     let flat: Vec<String> = docs.iter().flatten().cloned().collect();
     let tok = pipeline::train_tokenizer(arch, &flat, 350);
     let cfg = TransformerConfig::tiny(arch, tok.vocab_size());
-    let pcfg = PretrainConfig { epochs: 1, batch_size: 8, seq_len: 20, ..Default::default() };
+    let pcfg = PretrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        seq_len: 20,
+        ..Default::default()
+    };
     (pretrain(cfg, &docs, &tok, &pcfg), tok)
 }
 
@@ -24,9 +35,14 @@ fn every_architecture_pretrains_and_finetunes() {
     let split = ds.split(&mut rng);
     for (i, arch) in Architecture::ALL.into_iter().enumerate() {
         let (pre, tok) = tiny_pretrain(arch, 20 + i as u64);
-        let ft = FineTuneConfig { epochs: 1, batch_size: 8, lr: 1e-3, seed: 5, max_len_cap: 32 };
-        let (matcher, result) =
-            fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
+        let ft = FineTuneConfig {
+            epochs: 1,
+            batch_size: 8,
+            lr: 1e-3,
+            seed: 5,
+            max_len_cap: 32,
+        };
+        let (matcher, result) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
         assert_eq!(result.curve.len(), 2, "{}", arch.name());
         let preds = matcher.predict(&ds, &split.test);
         assert_eq!(preds.len(), split.test.len(), "{}", arch.name());
@@ -46,7 +62,9 @@ fn pipeline_encodings_are_model_consumable() {
     let cfg = TransformerConfig::tiny(Architecture::Roberta, tok.vocab_size());
     let model = em_transformers::TransformerModel::new(cfg, 3);
     let out = em_tensor::no_grad(|| {
-        model.forward(&batch, None, None, &mut em_nn::Ctx::eval()).value()
+        model
+            .forward(&batch, None, None, &mut em_nn::Ctx::eval())
+            .value()
     });
     assert_eq!(out.shape()[0], batch.len());
     assert_eq!(out.shape()[1], max_len);
@@ -76,14 +94,26 @@ fn experiment_harness_produces_consistent_cached_results() {
         vocab_size: 300,
         corpus_lines: 100,
         model_scale: ModelScale::Tiny,
-        pretrain: PretrainConfig { epochs: 1, batch_size: 8, seq_len: 16, ..Default::default() },
-        finetune: FineTuneConfig { batch_size: 8, max_len_cap: 24, ..Default::default() },
+        pretrain: PretrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            seq_len: 16,
+            ..Default::default()
+        },
+        finetune: FineTuneConfig {
+            batch_size: 8,
+            max_len_cap: 24,
+            ..Default::default()
+        },
         cache_dir: Some(dir.clone()),
         ..Default::default()
     };
     let a = get_or_pretrain(Architecture::Xlnet, &cfg);
     let b = get_or_pretrain(Architecture::Xlnet, &cfg);
-    assert_eq!(a.encoder_state, b.encoder_state, "cache must be deterministic");
+    assert_eq!(
+        a.encoder_state, b.encoder_state,
+        "cache must be deterministic"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -111,8 +141,18 @@ fn zero_shot_is_evaluated_before_any_training() {
     let ds = DatasetId::DblpAcm.generate(0.005, 8);
     let mut rng = StdRng::seed_from_u64(9);
     let split = ds.split(&mut rng);
-    let ft = FineTuneConfig { epochs: 0, batch_size: 8, lr: 1e-3, seed: 6, max_len_cap: 32 };
+    let ft = FineTuneConfig {
+        epochs: 0,
+        batch_size: 8,
+        lr: 1e-3,
+        seed: 6,
+        max_len_cap: 32,
+    };
     let (_, result) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
-    assert_eq!(result.curve.len(), 1, "epochs=0 still yields the zero-shot point");
+    assert_eq!(
+        result.curve.len(),
+        1,
+        "epochs=0 still yields the zero-shot point"
+    );
     assert_eq!(result.curve[0].epoch, 0);
 }

@@ -22,8 +22,16 @@ fn blocking_keeps_matches_and_reduces_candidates() {
         .collect();
     let cands = TokenBlocker::default().block(&table_a, &table_b);
     let q = evaluate_blocking(&cands, &truth, table_a.len(), table_b.len());
-    assert!(q.recall > 0.9, "token blocking must keep nearly all matches: {}", q.recall);
-    assert!(q.reduction > 0.3, "and prune a good share of the cross product: {}", q.reduction);
+    assert!(
+        q.recall > 0.9,
+        "token blocking must keep nearly all matches: {}",
+        q.recall
+    );
+    assert!(
+        q.reduction > 0.3,
+        "and prune a good share of the cross product: {}",
+        q.reduction
+    );
 }
 
 #[test]
@@ -38,7 +46,11 @@ fn qgram_blocking_works_on_dirty_products() {
         .filter(|(_, p)| p.label)
         .map(|(i, _)| (i, i))
         .collect();
-    let cands = QgramBlocker { attribute: None, min_shared: 8 }.block(&table_a, &table_b);
+    let cands = QgramBlocker {
+        attribute: None,
+        min_shared: 8,
+    }
+    .block(&table_a, &table_b);
     let q = evaluate_blocking(&cands, &truth, table_a.len(), table_b.len());
     assert!(q.recall > 0.85, "q-gram blocking recall: {}", q.recall);
 }
@@ -47,7 +59,8 @@ fn qgram_blocking_works_on_dirty_products() {
 fn csv_roundtrip_preserves_every_dataset() {
     for id in DatasetId::ALL {
         let ds = id.generate(0.003, 23);
-        let back = pairs_from_csv(&pairs_to_csv(&ds), &ds.name).expect(id.display_name());
+        let back = pairs_from_csv(&pairs_to_csv(&ds), &ds.name)
+            .unwrap_or_else(|e| panic!("{}: {e}", id.display_name()));
         assert_eq!(back.size(), ds.size(), "{}", id.display_name());
         assert_eq!(back.matches(), ds.matches(), "{}", id.display_name());
         assert_eq!(back.attributes, ds.attributes, "{}", id.display_name());
@@ -70,13 +83,24 @@ fn long_text_strategies_run_on_company_data() {
         cfg,
         &docs,
         &tok,
-        &PretrainConfig { epochs: 1, batch_size: 8, seq_len: 20, ..Default::default() },
+        &PretrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            seq_len: 20,
+            ..Default::default()
+        },
     );
 
     let ds = company_dataset(30, 8, 32);
     let mut rng = StdRng::seed_from_u64(33);
     let split = ds.split(&mut rng);
-    let ft = FineTuneConfig { epochs: 1, batch_size: 8, lr: 1e-3, seed: 34, max_len_cap: 32 };
+    let ft = FineTuneConfig {
+        epochs: 1,
+        batch_size: 8,
+        lr: 1e-3,
+        seed: 34,
+        max_len_cap: 32,
+    };
     let (matcher, _) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
 
     // Both strategies must produce a decision for every pair; the windowed

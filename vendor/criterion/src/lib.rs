@@ -1,0 +1,174 @@
+//! Offline stand-in for `criterion`. Provides the API shape the workspace's
+//! benches use (`Criterion`, `benchmark_group`, `bench_function`,
+//! `Bencher::iter` / `iter_batched`, `criterion_group!`, `criterion_main!`)
+//! with a simple bounded wall-clock measurement: each benchmark runs a
+//! warm-up pass plus `sample_size` timed samples and prints min/mean.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; retained for API compatibility only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] or [`Bencher::iter_batched`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // Warm-up sample, then the timed ones.
+        for i in 0..=self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                timed: false,
+            };
+            f(&mut b);
+            assert!(
+                b.timed,
+                "bench_function closure must call iter/iter_batched"
+            );
+            if i > 0 {
+                samples.push(b.elapsed);
+            }
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        println!(
+            "{}/{id:<28} min {:>12.3?}  mean {:>12.3?}  ({} samples)",
+            self.name,
+            min,
+            mean,
+            samples.len()
+        );
+        self
+    }
+
+    /// End the group (printing already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    timed: bool,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (criterion times many; a single
+    /// pass keeps total bench runtime bounded offline).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.timed = true;
+    }
+
+    /// Time `routine` on a fresh input from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.timed = true;
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut calls = 0usize;
+        g.sample_size(3);
+        g.bench_function("count", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1);
+        });
+        g.finish();
+        // 3 samples + 1 warm-up.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            timed: false,
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.timed);
+    }
+}

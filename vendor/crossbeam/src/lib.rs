@@ -1,0 +1,114 @@
+//! Offline stand-in for `crossbeam`: the scoped-thread API
+//! (`crossbeam::scope` / `crossbeam::thread::scope`) implemented on
+//! `std::thread::scope`. Only the surface this workspace uses.
+//!
+//! One deliberate deviation: the scope handle is passed to closures **by
+//! value** (it is `Copy`) instead of by reference. `std::thread::Scope` is
+//! invariant in its `'scope` lifetime, so a by-reference wrapper cannot be
+//! materialized safely; by-value keeps the familiar `|s| s.spawn(|_| ...)`
+//! call shape working unchanged.
+
+pub use thread::scope;
+
+/// Mirror of `crossbeam::thread`.
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Scope handle passed to [`scope`] closures; spawns borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may borrow from the enclosing scope. The
+        /// closure receives the scope again (crossbeam's signature) so
+        /// nested spawns work.
+        pub fn spawn<F, T>(self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread and return its result.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned; all
+    /// threads are joined before this returns. Unlike crossbeam, a
+    /// panicking child propagates at scope exit (std semantics), so the
+    /// `Ok` wrapper is unconditional — kept only for API compatibility.
+    #[allow(clippy::unnecessary_wraps)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..100 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    fn spawn_returns_joinable_handle() {
+        let v = super::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

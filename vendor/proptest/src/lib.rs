@@ -1,0 +1,597 @@
+//! Offline stand-in for `proptest`. Implements the subset of the API this
+//! workspace uses: the [`Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! strategies for numeric ranges, a small regex subset on `&'static str`
+//! (char classes, `.`, `{m,n}` quantifiers), `prop::collection::vec`,
+//! `prop::sample::select`, `any::<T>()`, tuple strategies, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Cases are generated deterministically: the RNG stream is derived from the
+//! test name via FNV-1a, so failures reproduce across runs. There is no
+//! shrinking — a failing case panics with the values' debug output.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// Error returned (via `prop_assert!` early-return) from a failing case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build an error carrying the assertion message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this workspace trains tokenizers inside
+        // some properties, so keep the default modest.
+        Self { cases: 64 }
+    }
+}
+
+/// Value-generation strategy (sampling only; no shrinking).
+pub trait Strategy {
+    /// Type of values the strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a dependent strategy from each produced value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Clone + rand::SampleUniform,
+    std::ops::Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Clone + rand::SampleUniform,
+    std::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident / $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+
+// ---------------------------------------------------------------------------
+// Regex-subset strategy on string literals
+// ---------------------------------------------------------------------------
+
+enum RegexElem {
+    /// Concrete alternatives (char class or literal).
+    Class(Vec<char>),
+    /// `.` — any printable ASCII character.
+    AnyPrintable,
+}
+
+struct RegexPiece {
+    elem: RegexElem,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the supported regex subset: literal chars, `[a-z0-9_]`-style
+/// classes (ranges + singletons, no negation), `.`, each optionally
+/// followed by `{n}`, `{m,n}`, `?`, `*` or `+` (the unbounded quantifiers
+/// are capped at 8 repeats).
+fn parse_regex(pattern: &str) -> Vec<RegexPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let elem = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed char class in regex {pattern:?}"));
+                let mut set = Vec::new();
+                let body = &chars[i + 1..close];
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                        assert!(lo <= hi, "bad range in regex {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(body[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                RegexElem::Class(set)
+            }
+            '.' => {
+                i += 1;
+                RegexElem::AnyPrintable
+            }
+            '\\' => {
+                i += 2;
+                RegexElem::Class(vec![chars[i - 1]])
+            }
+            c => {
+                i += 1;
+                RegexElem::Class(vec![c])
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i + 1)
+                .unwrap_or_else(|| panic!("unclosed quantifier in regex {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && matches!(chars[i], '?' | '*' | '+') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '?' => (0, 1),
+                '*' => (0, 8),
+                _ => (1, 8),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(RegexPiece { elem, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_regex(self) {
+            let count = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                match &piece.elem {
+                    RegexElem::Class(set) => {
+                        out.push(set[rng.gen_range(0..set.len())]);
+                    }
+                    RegexElem::AnyPrintable => {
+                        out.push(char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy drawing uniformly from a type's full value set.
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! any_via_standard {
+    ($($t:ty),+) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+    )+};
+}
+
+any_via_standard!(bool, u8, u32, u64, usize, f32, f64);
+
+/// The canonical strategy for `T` (`any::<bool>()`, ...).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---------------------------------------------------------------------------
+// prop:: namespace
+// ---------------------------------------------------------------------------
+
+/// Mirror of the upstream `proptest::prop` namespace modules.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Length specification for [`vec`]: a fixed size or a half-open range.
+        pub struct SizeRange {
+            min: usize,
+            max_exclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self {
+                    min: n,
+                    max_exclusive: n + 1,
+                }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                Self {
+                    min: r.start,
+                    max_exclusive: r.end,
+                }
+            }
+        }
+
+        /// Strategy for vectors of values drawn from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// `Vec` strategy with per-element strategy and a size spec
+        /// (fixed `usize` or `Range<usize>`).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Sampling from explicit value sets.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy choosing uniformly from a fixed list.
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+
+        /// Uniformly select one of `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires at least one option");
+            Select(options)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Execute `cases` generated inputs of a property. Deterministic per test
+/// name; panics (with the case index) on the first failing case.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    for i in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(
+            base.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest '{name}' failed at case {i}/{}: {e}", config.cases);
+        }
+    }
+}
+
+/// Macro-facing prelude mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `fn name(pat in strategy, ...)`
+/// items; each becomes a `#[test]` running the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                let __out: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                __out
+            });
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; fails the current case
+/// (with an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __l, __r,
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let s = Strategy::sample(&"[a-z]{1,10}", &mut rng);
+            assert!((1..=10).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+            let t = Strategy::sample(&".{0,60}", &mut rng);
+            assert!(t.chars().count() <= 60);
+            assert!(t.bytes().all(|b| (0x20..0x7f).contains(&b)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in -2.0f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        fn vec_and_map_compose(
+            words in prop::collection::vec("[a-z]{1,4}", 1..6).prop_map(|w| w.join(" ")),
+        ) {
+            prop_assert!(!words.is_empty());
+            prop_assert_eq!(words.trim(), &words);
+        }
+
+        fn flat_map_dependent_lengths(v in (1usize..5).prop_flat_map(|n| prop::collection::vec(0u32..10, n))) {
+            prop_assert!((1..5).contains(&v.len()));
+        }
+
+        fn select_and_any(pick in prop::sample::select(vec![2, 4, 6]), b in any::<bool>()) {
+            prop_assert!(pick % 2 == 0);
+            if b {
+                return Ok(());
+            }
+            prop_assert!(!b);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let cfg = ProptestConfig::with_cases(4);
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut vals = Vec::new();
+            crate::run_proptest(&cfg, "det", |rng| {
+                vals.push(Strategy::sample(&(0u64..1000), rng));
+                Ok(())
+            });
+            runs.push(vals);
+        }
+        assert_eq!(runs[0], runs[1]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no network access, so the workspace vendors the
+//! small slice of `rand` it actually uses: [`StdRng`] (xoshiro256++ seeded
+//! via SplitMix64 instead of ChaCha12 — statistically solid, deterministic,
+//! but *not* bit-compatible with upstream), the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`], and
+//! [`seq::SliceRandom`] (`shuffle`, `choose`).
+//!
+//! Everything is deterministic from the seed, which is all the workspace
+//! needs: models, datasets, and experiments are reproducible run-to-run.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source (mirror of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types samplable by [`Rng::gen`] (stand-in for the `Standard` distribution).
+pub trait StandardSample: Sized {
+    /// Draw one value uniformly.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl StandardSample for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 uniform mantissa bits in [0, 1), like rand's Standard.
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types drawable uniformly from a range (mirror of rand's `SampleUniform`).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// A single blanket impl (like upstream rand) so an unsuffixed literal range
+// unifies with the element type demanded by the surrounding expression.
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + uniform_u128(rng, span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + uniform_u128(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform integer in `[0, span)` by rejection sampling (span > 0).
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // Zone is the largest multiple of span that fits in u64; values above
+    // it are rejected to keep the draw unbiased.
+    let span64 = span as u64;
+    if span64 == 0 {
+        // Span of exactly 2^64: every u64 is in range.
+        return rng.next_u64() as u128;
+    }
+    let zone = u64::MAX - (u64::MAX % span64 + 1) % span64;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span64) as u128;
+        }
+    }
+}
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let u = <$t as StandardSample>::sample_standard(rng);
+                lo + (hi - lo) * u
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let u = <$t as StandardSample>::sample_standard(rng);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+float_sample_uniform!(f32, f64);
+
+/// User-facing sampling methods (mirror of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform value of a [`StandardSample`] type.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform value in `range`.
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Constructible from a seed (mirror of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Build from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64` via SplitMix64 expansion (like rand's default).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let v = splitmix64(&mut sm);
+            let bytes = v.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators (mirror of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Not bit-compatible with upstream `StdRng` (ChaCha12), but fully
+    /// deterministic from the seed, which is what reproducibility needs.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn next(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // All-zero state is the one invalid xoshiro state.
+            if s.iter().all(|&w| w == 0) {
+                s = [
+                    0x9E3779B97F4A7C15,
+                    0x6A09E667F3BCC909,
+                    0xBB67AE8584CAA73B,
+                    0x1,
+                ];
+            }
+            Self { s }
+        }
+    }
+}
+
+/// Sequence helpers (mirror of `rand::seq`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling and sampling (mirror of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        use super::RngCore;
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.gen_range(-200..=200);
+            assert!((-200..=200).contains(&w));
+            let f: f32 = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean: f64 = (0..20_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+    }
+}

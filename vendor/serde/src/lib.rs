@@ -1,0 +1,417 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network access, so the workspace vendors a
+//! minimal serialization framework under serde's names. Unlike real serde's
+//! visitor architecture, this one round-trips everything through a JSON-like
+//! [`Value`] tree: `Serialize` renders *to* a `Value`, `Deserialize` parses
+//! *from* one, and the sibling `serde_json` stand-in handles text. The
+//! `derive` feature provides `#[derive(Serialize, Deserialize)]` supporting
+//! named-field structs, unit/tuple enum variants, and `#[serde(skip)]` /
+//! `#[serde(default)]` field attributes — exactly the surface this
+//! workspace uses.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the data model everything serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (also carries unsigned values ≤ `i64::MAX`).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion-ordered so output is stable.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Field lookup on an object value.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view, unifying the three number variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) => i64::try_from(v).ok(),
+            Value::Float(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(v) => u64::try_from(v).ok(),
+            Value::UInt(v) => Some(v),
+            Value::Float(v) if v.fract() == 0.0 && (0.0..1.9e19).contains(&v) => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Error for a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error(format!("expected {what}, got {}", got.type_name()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable to a [`Value`].
+pub trait Serialize {
+    /// Render to the value tree.
+    fn ser(&self) -> Value;
+}
+
+/// Types parseable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from the value tree.
+    fn de(v: &Value) -> Result<Self, Error>;
+}
+
+/// Mirror of `serde::de` for the `DeserializeOwned` bound.
+pub mod de {
+    /// Owned deserialization: with a value-tree model every `Deserialize`
+    /// is owned, so this is a blanket alias.
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+/// Helper used by derived code: look up and deserialize a struct field.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get_field(name) {
+        Some(f) => T::de(f).map_err(|e| Error(format!("field '{name}': {}", e.0))),
+        None => Err(Error(format!("missing field '{name}'"))),
+    }
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64().ok_or_else(|| Error::expected("integer", v))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                let v = *self as u64;
+                match i64::try_from(v) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(v),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", v))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn ser(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn de(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("number", v))
+    }
+}
+impl Serialize for f64 {
+    fn ser(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn de(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", v)),
+        }
+    }
+}
+impl Serialize for str {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Value {
+        match self {
+            Some(inner) => inner.ser(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::de(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::de).collect(),
+            _ => Err(Error::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        T::de(v).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn ser(&self) -> Value {
+        Value::Array(vec![self.0.ser(), self.1.ser()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => Ok((A::de(&items[0])?, B::de(&items[1])?)),
+            _ => Err(Error::expected("2-element array", v)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn ser(&self) -> Value {
+        Value::Array(vec![self.0.ser(), self.1.ser(), self.2.ser()])
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 3 => {
+                Ok((A::de(&items[0])?, B::de(&items[1])?, C::de(&items[2])?))
+            }
+            _ => Err(Error::expected("3-element array", v)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn ser(&self) -> Value {
+        // Sort keys so serialized output is deterministic.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Object(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].ser()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::de(val)?)))
+                .collect(),
+            _ => Err(Error::expected("object", v)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn ser(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.ser())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn de(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::de(val)?)))
+                .collect(),
+            _ => Err(Error::expected("object", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::cell::OnceCell<T> {
+    fn ser(&self) -> Value {
+        // Caches are skipped in practice; serialize as null regardless.
+        Value::Null
+    }
+}
+impl<T> Deserialize for std::cell::OnceCell<T> {
+    fn de(_: &Value) -> Result<Self, Error> {
+        Ok(std::cell::OnceCell::new())
+    }
+}
+
+impl Serialize for Value {
+    fn ser(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn de(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::de(&42u32.ser()).unwrap(), 42);
+        assert_eq!(f32::de(&1.5f32.ser()).unwrap(), 1.5);
+        assert!(bool::de(&true.ser()).unwrap());
+        assert_eq!(String::de(&"hi".to_string().ser()).unwrap(), "hi");
+        assert_eq!(Option::<String>::de(&Value::Null).unwrap(), None::<String>);
+        let pair = ("a".to_string(), 3usize);
+        assert_eq!(<(String, usize)>::de(&pair.ser()).unwrap(), pair);
+    }
+
+    #[test]
+    fn maps_are_deterministic() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u32);
+        m.insert("a".to_string(), 1u32);
+        let v = m.ser();
+        match &v {
+            Value::Object(fields) => {
+                assert_eq!(fields[0].0, "a");
+                assert_eq!(fields[1].0, "b");
+            }
+            _ => panic!("expected object"),
+        }
+        assert_eq!(HashMap::<String, u32>::de(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::de(&Value::Int(300)).is_err());
+        assert!(u32::de(&Value::Int(-1)).is_err());
+    }
+}

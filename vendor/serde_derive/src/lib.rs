@@ -1,0 +1,417 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! syn/quote are not available offline, so this walks `proc_macro` token
+//! trees directly and emits generated impls by formatting source strings.
+//! Supported shapes — the full surface this workspace uses:
+//!
+//! * structs with named fields (any visibility);
+//! * enums with unit variants (serialized as the variant-name string) and
+//!   tuple variants (externally tagged: `{"Variant": fields...}`);
+//! * `#[serde(skip)]` / `#[serde(default)]` on named fields (a skipped or
+//!   absent field deserializes via `Default::default()`).
+//!
+//! Generics, lifetimes, tuple structs, and struct-variant enums are
+//! rejected with a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named struct field and its serde attributes.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// An enum variant: unit (`arity == 0`) or tuple (`arity` fields).
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+/// Parsed input item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Scan one attribute group (`#[...]`) for `serde(...)` flags.
+fn scan_serde_attr(group: &proc_macro::Group, skip: &mut bool, default: &mut bool) {
+    let mut trees = group.stream().into_iter();
+    let Some(TokenTree::Ident(id)) = trees.next() else {
+        return;
+    };
+    if id.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = trees.next() else {
+        return;
+    };
+    for tree in args.stream() {
+        if let TokenTree::Ident(flag) = tree {
+            match flag.to_string().as_str() {
+                "skip" => *skip = true,
+                "default" => *default = true,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Consume leading attributes, returning whether `skip`/`default` were seen.
+fn take_attrs(trees: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> (bool, bool) {
+    let (mut skip, mut default) = (false, false);
+    loop {
+        match trees.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                trees.next();
+                match trees.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        scan_serde_attr(&g, &mut skip, &mut default);
+                    }
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    (skip, default)
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn take_vis(trees: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = trees.peek() {
+        if id.to_string() == "pub" {
+            trees.next();
+            if let Some(TokenTree::Group(g)) = trees.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    trees.next();
+                }
+            }
+        }
+    }
+}
+
+/// Count top-level comma-separated entries of a tuple-variant body.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let mut arity = 0;
+    let mut saw_tokens = false;
+    for tree in group.stream() {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tree {
+            // Inside the group, nested generics appear as punct '<'/'>' but
+            // commas inside them would miscount; the workspace only uses
+            // single-type tuple variants, so top-level commas are accurate
+            // enough — and multi-field variants still parse correctly for
+            // plain types.
+            if p.as_char() == ',' {
+                arity += 1;
+            }
+        }
+    }
+    if saw_tokens {
+        // Trailing comma yields an extra count; detect via last token.
+        let last_is_comma = group
+            .stream()
+            .into_iter()
+            .last()
+            .map(|t| matches!(&t, TokenTree::Punct(p) if p.as_char() == ','))
+            .unwrap_or(false);
+        arity + if last_is_comma { 0 } else { 1 }
+    } else {
+        0
+    }
+}
+
+fn parse_struct_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut trees = group.stream().into_iter().peekable();
+    while trees.peek().is_some() {
+        let (skip, default) = take_attrs(&mut trees);
+        take_vis(&mut trees);
+        let name = match trees.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found '{other}'")),
+            None => break,
+        };
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected ':' after field '{name}'")),
+        }
+        // Skim the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match trees.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        trees.next();
+                        break;
+                    }
+                    trees.next();
+                }
+                Some(_) => {
+                    trees.next();
+                }
+            }
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut trees = group.stream().into_iter().peekable();
+    while trees.peek().is_some() {
+        let _ = take_attrs(&mut trees);
+        let name = match trees.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found '{other}'")),
+            None => break,
+        };
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = trees.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = tuple_arity(g);
+                    trees.next();
+                }
+                Delimiter::Brace => {
+                    return Err(format!(
+                        "struct-variant '{name}' is not supported by the vendored serde derive"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        // Consume a trailing comma if present.
+        if let Some(TokenTree::Punct(p)) = trees.peek() {
+            if p.as_char() == ',' {
+                trees.next();
+            }
+        }
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut trees = input.into_iter().peekable();
+    let _ = take_attrs(&mut trees);
+    take_vis(&mut trees);
+    let kind = match trees.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected 'struct' or 'enum', found {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("cannot derive for '{kind}' items"));
+    }
+    let name = match trees.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    match trees.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "'{name}' is generic; the vendored serde derive only supports concrete types"
+            ));
+        }
+        _ => {}
+    }
+    let body = match trees.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' || p.as_char() == '(' => {
+            return Err(format!("'{name}' is not a named-field struct or enum"));
+        }
+        other => return Err(format!("expected item body, found {other:?}")),
+    };
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_struct_fields(&body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_enum_variants(&body)?,
+        })
+    }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__fields.push(({:?}.to_string(), ::serde::Serialize::ser(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn ser(&self) -> ::serde::Value {{\n\
+                     let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                     {pushes}\
+                     ::serde::Value::Object(__fields)\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                if v.arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    ));
+                } else {
+                    let binders: Vec<String> = (0..v.arity).map(|i| format!("__f{i}")).collect();
+                    let payload = if v.arity == 1 {
+                        "::serde::Serialize::ser(__f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::ser({b})"))
+                            .collect();
+                        format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                    };
+                    arms.push_str(&format!(
+                        "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), {payload})]),\n",
+                        binders.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn ser(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{}: match __v.get_field({:?}) {{\n\
+                           Some(__f) => ::serde::Deserialize::de(__f)?,\n\
+                           None => ::std::default::Default::default(),\n\
+                         }},\n",
+                        f.name, f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{}: ::serde::field(__v, {:?})?,\n",
+                        f.name, f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn de(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok(Self {{\n{inits}}})\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                if v.arity == 0 {
+                    unit_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                } else if v.arity == 1 {
+                    tagged_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::de(__payload)?)),\n"
+                    ));
+                } else {
+                    let gets: Vec<String> = (0..v.arity)
+                        .map(|i| format!("::serde::Deserialize::de(&__items[{i}])?"))
+                        .collect();
+                    tagged_arms.push_str(&format!(
+                        "{vn:?} => {{\n\
+                           let __items = match __payload {{\n\
+                             ::serde::Value::Array(__a) if __a.len() == {arity} => __a,\n\
+                             __other => return ::std::result::Result::Err(::serde::Error::expected(\"{arity}-element array\", __other)),\n\
+                           }};\n\
+                           ::std::result::Result::Ok({name}::{vn}({fields}))\n\
+                         }},\n",
+                        arity = v.arity,
+                        fields = gets.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn de(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     match __v {{\n\
+                       ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error(format!(\"unknown variant '{{__other}}' of {name}\"))),\n\
+                       }},\n\
+                       ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                           {tagged_arms}\
+                           __other => ::std::result::Result::Err(::serde::Error(format!(\"unknown variant '{{__other}}' of {name}\"))),\n\
+                         }}\n\
+                       }},\n\
+                       __other => ::std::result::Result::Err(::serde::Error::expected(\"enum representation\", __other)),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Deserialize impl parses")
+}
