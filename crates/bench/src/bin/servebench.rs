@@ -1,0 +1,183 @@
+//! Serving throughput bench: sequential batch-1 `EmMatcher::predict`
+//! versus the frozen micro-batching `ServeMatcher` at several worker
+//! counts. Writes the measurement to `results/serve_bench.json`.
+//!
+//! ```text
+//! cargo run -p em-bench --bin servebench --release -- \
+//!     [--pairs 256] [--workers 4] [--clients 8] [--batch 32] \
+//!     [--max-len 48] [--seed 42]
+//! ```
+//!
+//! Methodology (see EXPERIMENTS.md): both paths pay the full cost per
+//! request — serialization, tokenization, forward pass. The sequential
+//! baseline calls `predict` with one pair at a time (the only serving
+//! mode the autograd stack supports); the served path pushes the same
+//! pairs through `--clients` threads into a `--workers`-worker
+//! micro-batching matcher with the score cache disabled.
+
+use em_bench::{Args, RESULTS_DIR};
+use em_core::prelude::*;
+use em_serve::{FrozenMatcher, ServeConfig, ServeMatcher};
+use em_tokenizers::Tokenizer;
+use em_transformers::{ClassificationHead, TransformerConfig, TransformerModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ServeRun {
+    workers: usize,
+    clients: usize,
+    seconds: f64,
+    examples_per_sec: f64,
+    speedup_vs_sequential: f64,
+    batches: u64,
+    batch_fill: f64,
+}
+
+#[derive(Serialize)]
+struct ServeBenchReport {
+    arch: String,
+    pairs: usize,
+    max_len: usize,
+    max_batch: usize,
+    sequential_seconds: f64,
+    sequential_examples_per_sec: f64,
+    serve: Vec<ServeRun>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let n_pairs: usize = args.get("pairs").unwrap_or(256);
+    let max_workers: usize = args.get("workers").unwrap_or(4);
+    let clients: usize = args.get("clients").unwrap_or(8);
+    let max_batch: usize = args.get("batch").unwrap_or(32);
+    let max_len: usize = args.get("max-len").unwrap_or(48);
+    let seed: u64 = args.get("seed").unwrap_or(42);
+
+    // A randomly initialized matcher: throughput does not care about F1,
+    // and skipping pre-training keeps the bench (and its CI smoke run)
+    // fast while exercising the exact serving arithmetic.
+    let arch = Architecture::Bert;
+    let corpus = em_data::generate_corpus(200, seed);
+    let tokenizer = train_tokenizer(arch, &corpus, 400);
+    let cfg = TransformerConfig::small(arch, tokenizer.vocab_size());
+    let hidden = cfg.hidden;
+    let model = TransformerModel::new(cfg, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
+    let matcher = EmMatcher {
+        model,
+        head,
+        tokenizer,
+        max_len,
+    };
+
+    let ds = DatasetId::AbtBuy.generate(0.05, seed);
+    let mut pairs: Vec<EntityPair> = ds.pairs.clone();
+    while pairs.len() < n_pairs {
+        pairs.extend(ds.pairs.clone());
+    }
+    pairs.truncate(n_pairs);
+    eprintln!(
+        "servebench: {} pairs, max_len {}, {} (hidden {})",
+        pairs.len(),
+        max_len,
+        arch.name(),
+        hidden
+    );
+
+    // Sequential batch-1 baseline: one pair per `predict_scores` call.
+    let t0 = Instant::now();
+    let mut seq_scores = Vec::with_capacity(pairs.len());
+    for p in &pairs {
+        seq_scores.extend(matcher.predict_scores(&ds, std::slice::from_ref(p)));
+    }
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let seq_eps = pairs.len() as f64 / seq_secs;
+    eprintln!("sequential batch-1: {seq_secs:.2}s ({seq_eps:.1} examples/s)");
+
+    let frozen = FrozenMatcher::from(&matcher);
+    let mut serve_runs = Vec::new();
+    let mut workers = 1;
+    // Sweep 1, 2, 4, … up to --workers.
+    while workers <= max_workers {
+        let serve_cfg = ServeConfig::builder()
+            .workers(workers)
+            .max_batch(max_batch)
+            .max_wait_ms(2)
+            .cache_capacity(0) // throughput of the forward path, not the cache
+            .build()
+            .expect("valid serve config");
+        let serve = Arc::new(ServeMatcher::start(frozen.clone(), serve_cfg));
+        let t1 = Instant::now();
+        let chunk = pairs.len().div_ceil(clients.max(1));
+        let scores: Vec<f32> = std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk)
+                .map(|slice| {
+                    let serve = Arc::clone(&serve);
+                    let ds = &ds;
+                    s.spawn(move || serve.predict_scores(ds, slice))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        });
+        let secs = t1.elapsed().as_secs_f64();
+        let eps = pairs.len() as f64 / secs;
+        // The frozen kernels reorder float arithmetic (FMA, fused bias,
+        // polynomial exp/tanh); scores agree with autograd to ~1e-5.
+        let max_diff = scores
+            .iter()
+            .zip(&seq_scores)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_diff <= 1e-3,
+            "served scores diverged from the autograd baseline: {max_diff}"
+        );
+        let stats = serve.stats();
+        em_obs::gauge_set("serve/examples_per_sec", eps);
+        eprintln!(
+            "serve x{workers}: {secs:.2}s ({eps:.1} examples/s, {:.1}x, fill {:.2})",
+            eps / seq_eps,
+            stats.batch_fill(max_batch)
+        );
+        serve_runs.push(ServeRun {
+            workers,
+            clients,
+            seconds: secs,
+            examples_per_sec: eps,
+            speedup_vs_sequential: eps / seq_eps,
+            batches: stats.batches,
+            batch_fill: stats.batch_fill(max_batch),
+        });
+        workers *= 2;
+    }
+
+    let report = ServeBenchReport {
+        arch: arch.name().to_string(),
+        pairs: pairs.len(),
+        max_len,
+        max_batch,
+        sequential_seconds: seq_secs,
+        sequential_examples_per_sec: seq_eps,
+        serve: serve_runs,
+    };
+    let path = std::path::PathBuf::from(RESULTS_DIR).join("serve_bench.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write serve_bench.json");
+    eprintln!("[saved] {}", path.display());
+    em_obs::finish_to("servebench", std::path::Path::new(RESULTS_DIR));
+}

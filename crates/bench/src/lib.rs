@@ -3,11 +3,8 @@
 //! `figures` can share fine-tuning runs instead of recomputing them), and
 //! plain-text table rendering.
 
-use em_core::experiment::{
-    run_baselines, transformer_curve, BaselineResult, CurveSummary, ExperimentConfig,
-};
-use em_data::DatasetId;
-use em_transformers::Architecture;
+use em_core::experiment::BaselineResult;
+use em_core::prelude::*;
 use serde::{de::DeserializeOwned, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -47,29 +44,32 @@ impl Args {
 /// the command line: `--scale 0.1 --runs 3 --epochs 10 --seed 42
 /// --pretrain-epochs 25 --lr 1e-3`.
 pub fn config_from_args(args: &Args) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::default();
+    let mut b = ExperimentConfig::builder();
     if let Some(v) = args.get::<f64>("scale") {
-        cfg.scale = v;
+        b = b.scale(v);
     }
     if let Some(v) = args.get::<usize>("runs") {
-        cfg.runs = v;
+        b = b.runs(v);
     }
     if let Some(v) = args.get::<usize>("epochs") {
-        cfg.epochs = v;
+        b = b.epochs(v);
     }
     if let Some(v) = args.get::<u64>("seed") {
-        cfg.seed = v;
+        b = b.seed(v);
     }
     if let Some(v) = args.get::<usize>("pretrain-epochs") {
-        cfg.pretrain.epochs = v;
+        b = b.pretrain_epochs(v);
     }
     if let Some(v) = args.get::<usize>("corpus-lines") {
-        cfg.corpus_lines = v;
+        b = b.corpus_lines(v);
     }
     if let Some(v) = args.get::<f32>("lr") {
-        cfg.finetune.lr = v;
+        b = b.finetune_lr(v);
     }
-    cfg
+    b.build().unwrap_or_else(|e| {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn result_path(kind: &str, key: &str) -> PathBuf {
@@ -210,6 +210,21 @@ mod tests {
         assert!(args.has("force"));
         assert!(!args.has("missing"));
         assert_eq!(args.get::<usize>("runs"), None);
+    }
+
+    #[test]
+    fn config_from_args_goes_through_the_builder() {
+        let args = Args {
+            raw: vec![
+                "--scale".into(),
+                "0.5".into(),
+                "--epochs".into(),
+                "3".into(),
+            ],
+        };
+        let cfg = config_from_args(&args);
+        assert_eq!(cfg.scale, 0.5);
+        assert_eq!(cfg.epochs, 3);
     }
 
     #[test]

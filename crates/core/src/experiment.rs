@@ -79,7 +79,146 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// Step-wise construction of an [`ExperimentConfig`] with validation at
+/// [`build`](ExperimentConfigBuilder::build) — the replacement for bare
+/// pub-field struct literals in binaries.
+///
+/// ```
+/// use em_core::experiment::ExperimentConfig;
+/// let cfg = ExperimentConfig::builder()
+///     .scale(0.05)
+///     .runs(2)
+///     .epochs(4)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.runs, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentConfigBuilder {
+    cfg: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Dataset scale in `(0, 1]` relative to Table 3 sizes.
+    pub fn scale(mut self, v: f64) -> Self {
+        self.cfg.scale = v;
+        self
+    }
+
+    /// Independent fine-tuning runs to average.
+    pub fn runs(mut self, v: usize) -> Self {
+        self.cfg.runs = v;
+        self
+    }
+
+    /// Fine-tuning epochs per run.
+    pub fn epochs(mut self, v: usize) -> Self {
+        self.cfg.epochs = v;
+        self
+    }
+
+    /// Base seed for data generation, splits and training.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.cfg.seed = v;
+        self
+    }
+
+    /// Target subword vocabulary size.
+    pub fn vocab_size(mut self, v: usize) -> Self {
+        self.cfg.vocab_size = v;
+        self
+    }
+
+    /// Pre-training corpus size in lines.
+    pub fn corpus_lines(mut self, v: usize) -> Self {
+        self.cfg.corpus_lines = v;
+        self
+    }
+
+    /// Model scale preset.
+    pub fn model_scale(mut self, v: ModelScale) -> Self {
+        self.cfg.model_scale = v;
+        self
+    }
+
+    /// Pre-training epochs.
+    pub fn pretrain_epochs(mut self, v: usize) -> Self {
+        self.cfg.pretrain.epochs = v;
+        self
+    }
+
+    /// Full pre-training hyperparameter block.
+    pub fn pretrain(mut self, v: PretrainConfig) -> Self {
+        self.cfg.pretrain = v;
+        self
+    }
+
+    /// Peak fine-tuning learning rate.
+    pub fn finetune_lr(mut self, v: f32) -> Self {
+        self.cfg.finetune.lr = v;
+        self
+    }
+
+    /// Full fine-tuning hyperparameter block.
+    pub fn finetune(mut self, v: FineTuneConfig) -> Self {
+        self.cfg.finetune = v;
+        self
+    }
+
+    /// Checkpoint cache directory; `None` disables caching.
+    pub fn cache_dir(mut self, v: Option<PathBuf>) -> Self {
+        self.cfg.cache_dir = v;
+        self
+    }
+
+    /// Validate and produce the config. Rejects out-of-range dataset
+    /// scale, degenerate vocabulary / sequence-length settings, and
+    /// zero-run experiments.
+    pub fn build(self) -> Result<ExperimentConfig, String> {
+        let c = &self.cfg;
+        if !(c.scale > 0.0 && c.scale <= 1.0) {
+            return Err(format!("scale must be in (0, 1], got {}", c.scale));
+        }
+        if c.runs == 0 {
+            return Err("runs must be >= 1".into());
+        }
+        if c.vocab_size < 64 {
+            return Err(format!(
+                "vocab_size {} too small: the special tokens and byte \
+                 alphabet alone need more",
+                c.vocab_size
+            ));
+        }
+        if c.corpus_lines == 0 {
+            return Err("corpus_lines must be >= 1".into());
+        }
+        if c.pretrain.seq_len < 8 {
+            return Err(format!(
+                "pretrain seq_len {} cannot hold the special tokens",
+                c.pretrain.seq_len
+            ));
+        }
+        if c.finetune.max_len_cap < 16 {
+            return Err(format!(
+                "finetune max_len_cap {} below the 16-token floor",
+                c.finetune.max_len_cap
+            ));
+        }
+        if c.finetune.batch_size == 0 || c.pretrain.batch_size == 0 {
+            return Err("batch sizes must be >= 1".into());
+        }
+        Ok(self.cfg)
+    }
+}
+
 impl ExperimentConfig {
+    /// Start building a config from the paper's defaults.
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder {
+            cfg: ExperimentConfig::default(),
+        }
+    }
+
     /// Dataset scale actually used for `id` (iTunes runs full-size).
     pub fn effective_scale(&self, id: DatasetId) -> f64 {
         if id == DatasetId::ItunesAmazon {

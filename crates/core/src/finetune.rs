@@ -99,6 +99,17 @@ impl EmMatcher {
 
     /// Predict labels for already-encoded inputs.
     pub fn predict_encodings(&self, encodings: &[Encoding]) -> Vec<bool> {
+        self.score_encodings(encodings)
+            .into_iter()
+            .map(|s| s > 0.5)
+            .collect()
+    }
+
+    /// Positive-class match probability for already-encoded inputs
+    /// (batched, no autograd) — the score primitive behind both
+    /// [`predict_encodings`](Self::predict_encodings) and the
+    /// [`Predictor`](crate::predictor::Predictor) surface.
+    pub fn score_encodings(&self, encodings: &[Encoding]) -> Vec<f32> {
         no_grad(|| {
             let mut out = Vec::with_capacity(encodings.len());
             for chunk in encodings.chunks(32) {
@@ -107,7 +118,8 @@ impl EmMatcher {
                 let hidden = self.model.forward(&batch, None, None, &mut ctx);
                 let pooled = self.model.pooled_states(&hidden, &batch);
                 let logits = self.head.forward(&pooled, &mut ctx).value();
-                out.extend(logits.argmax_last_axis().into_iter().map(|c| c == 1));
+                let probs = em_tensor::softmax_array(&logits);
+                out.extend((0..chunk.len()).map(|i| probs.at(&[i, 1])));
             }
             out
         })

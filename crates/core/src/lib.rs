@@ -26,11 +26,30 @@ pub mod experiment;
 pub mod finetune;
 pub mod longtext;
 pub mod pipeline;
+pub mod predictor;
 
 pub use experiment::{
     get_or_pretrain, run_baselines, transformer_curve, BaselineResult, Checkpoint, CurveSummary,
-    ExperimentConfig, ModelScale,
+    ExperimentConfig, ExperimentConfigBuilder, ModelScale,
 };
 pub use finetune::{fine_tune, EmMatcher, EpochRecord, FineTuneConfig, FineTuneResult};
-pub use longtext::{predict_long, predict_long_pair, LongTextStrategy};
+pub use longtext::{long_pair_score, predict_long, predict_long_pair, LongTextStrategy};
 pub use pipeline::{choose_max_len, cls_position, encode_pairs, train_tokenizer};
+pub use predictor::{LongTextPredictor, Predictor};
+
+/// One-stop imports for binaries, examples and downstream crates:
+/// `use em_core::prelude::*;` pulls in the matcher, the unified
+/// [`Predictor`] surface, experiment orchestration, and the dataset /
+/// architecture identifiers they are parameterized by.
+pub mod prelude {
+    pub use crate::experiment::{
+        get_or_pretrain, run_baselines, transformer_curve, CurveSummary, ExperimentConfig,
+        ExperimentConfigBuilder, ModelScale,
+    };
+    pub use crate::finetune::{fine_tune, EmMatcher, FineTuneConfig};
+    pub use crate::longtext::{predict_long, LongTextStrategy};
+    pub use crate::pipeline::{choose_max_len, train_tokenizer};
+    pub use crate::predictor::{LongTextPredictor, Predictor};
+    pub use em_data::{Dataset, DatasetId, EntityPair, PrF1};
+    pub use em_transformers::Architecture;
+}

@@ -62,22 +62,21 @@ fn pair_match_prob(matcher: &EmMatcher, a: &str, b: &str) -> f64 {
     })
 }
 
-/// Predict a long-text pair with the chosen strategy.
-pub fn predict_long_pair(
+/// Best window-pair match probability of a long-text pair under the chosen
+/// strategy (early-exits once a confident window pair is found).
+pub fn long_pair_score(
     matcher: &EmMatcher,
     ds: &Dataset,
     pair: &EntityPair,
     strategy: LongTextStrategy,
-) -> bool {
+) -> f32 {
     let a = ds.serialize_record(&pair.a);
     let b = ds.serialize_record(&pair.b);
     match strategy {
-        LongTextStrategy::Truncate => pair_match_prob(matcher, &a, &b) >= 0.5,
+        LongTextStrategy::Truncate => pair_match_prob(matcher, &a, &b) as f32,
         LongTextStrategy::SlidingWindow { window_words } => {
             let wa = word_windows(&a, window_words);
             let wb = word_windows(&b, window_words);
-            // Cap the cross product: compare each A window against the most
-            // promising B windows by token overlap first.
             let mut best = 0.0f64;
             for xa in &wa {
                 for xb in &wb {
@@ -86,13 +85,23 @@ pub fn predict_long_pair(
                         best = p;
                     }
                     if best >= 0.5 {
-                        return true; // early exit: a confident window pair
+                        return best as f32; // early exit: a confident window pair
                     }
                 }
             }
-            best >= 0.5
+            best as f32
         }
     }
+}
+
+/// Predict a long-text pair with the chosen strategy.
+pub fn predict_long_pair(
+    matcher: &EmMatcher,
+    ds: &Dataset,
+    pair: &EntityPair,
+    strategy: LongTextStrategy,
+) -> bool {
+    long_pair_score(matcher, ds, pair, strategy) >= 0.5
 }
 
 /// Predict many long-text pairs.

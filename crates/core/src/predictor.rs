@@ -1,0 +1,107 @@
+//! The unified prediction surface.
+//!
+//! Before this trait existed, every consumer hand-rolled its own call
+//! shape: `EmMatcher::predict` for plain batches, `predict_encodings` for
+//! pre-tokenized inputs, `predict_long` for the sliding-window path, and
+//! each bench binary looped on its own. [`Predictor`] collapses them into
+//! one contract — scores plus thresholded decisions — implemented by
+//! [`EmMatcher`], [`LongTextPredictor`], and the concurrent micro-batching
+//! matcher in `em-serve`.
+
+use crate::finetune::EmMatcher;
+use crate::longtext::{predict_long, LongTextStrategy};
+use crate::pipeline::encode_pairs;
+use em_data::{Dataset, EntityPair};
+
+/// Anything that can score entity pairs for a match decision.
+///
+/// `predict_scores` is the batch primitive: one positive-class match
+/// probability per pair, in input order. `predict_pairs` derives binary
+/// decisions from it; implementors with a cheaper or semantically
+/// different decision rule (e.g. sliding-window early exit) may override
+/// it, but decisions must stay consistent with the scores at the default
+/// strict-majority threshold.
+pub trait Predictor {
+    /// Positive-class match probability per pair (softmax over the two
+    /// match logits), batched, in input order.
+    fn predict_scores(&self, ds: &Dataset, pairs: &[EntityPair]) -> Vec<f32>;
+
+    /// Binary match decisions: `true` when the match probability strictly
+    /// exceeds one half (ties resolve to non-match, matching argmax over
+    /// two logits).
+    fn predict_pairs(&self, ds: &Dataset, pairs: &[EntityPair]) -> Vec<bool> {
+        self.predict_scores(ds, pairs)
+            .into_iter()
+            .map(|s| s > 0.5)
+            .collect()
+    }
+}
+
+impl Predictor for EmMatcher {
+    fn predict_scores(&self, ds: &Dataset, pairs: &[EntityPair]) -> Vec<f32> {
+        let (encodings, _) = encode_pairs(
+            ds,
+            pairs,
+            &self.tokenizer,
+            self.model.config.arch,
+            self.max_len,
+        );
+        self.score_encodings(&encodings)
+    }
+
+    fn predict_pairs(&self, ds: &Dataset, pairs: &[EntityPair]) -> Vec<bool> {
+        self.predict(ds, pairs)
+    }
+}
+
+/// A long-text matcher: a fine-tuned [`EmMatcher`] driven through the
+/// sliding-window (or truncation) strategy of `longtext`. Borrowing keeps
+/// the underlying matcher usable for plain prediction at the same time.
+pub struct LongTextPredictor<'a> {
+    /// The fine-tuned matcher scoring each window pair.
+    pub matcher: &'a EmMatcher,
+    /// How long inputs are fitted into the attention span.
+    pub strategy: LongTextStrategy,
+}
+
+impl<'a> LongTextPredictor<'a> {
+    /// Wrap a matcher with a long-text strategy.
+    pub fn new(matcher: &'a EmMatcher, strategy: LongTextStrategy) -> Self {
+        Self { matcher, strategy }
+    }
+}
+
+impl Predictor for LongTextPredictor<'_> {
+    fn predict_scores(&self, ds: &Dataset, pairs: &[EntityPair]) -> Vec<f32> {
+        pairs
+            .iter()
+            .map(|p| crate::longtext::long_pair_score(self.matcher, ds, p, self.strategy))
+            .collect()
+    }
+
+    fn predict_pairs(&self, ds: &Dataset, pairs: &[EntityPair]) -> Vec<bool> {
+        predict_long(self.matcher, ds, pairs, self.strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::DatasetId;
+
+    /// A stub predictor: scores are fixed, decisions come from the default.
+    struct Fixed(Vec<f32>);
+
+    impl Predictor for Fixed {
+        fn predict_scores(&self, _: &Dataset, _: &[EntityPair]) -> Vec<f32> {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn default_decision_rule_is_strict_majority() {
+        let ds = DatasetId::ItunesAmazon.generate(0.05, 0);
+        let p = Fixed(vec![0.2, 0.5, 0.7]);
+        assert_eq!(p.predict_pairs(&ds, &[]), vec![false, false, true]);
+    }
+}

@@ -1,0 +1,131 @@
+//! A small LRU score cache for repeated pair encodings.
+//!
+//! Real entity-matching workloads score the same candidate pairs
+//! repeatedly (blocking emits overlapping candidate sets; dedup jobs
+//! re-run on appended data). Caching at the *encoding* level means hits
+//! skip the queue and the forward pass entirely.
+
+use em_tokenizers::Encoding;
+use std::collections::HashMap;
+
+/// Hashable identity of an encoding: same ids + segments + mask + CLS
+/// index ⇒ same score, because the frozen forward is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    ids: Vec<u32>,
+    segments: Vec<u8>,
+    mask: Vec<u8>,
+    cls_index: usize,
+}
+
+impl From<&Encoding> for CacheKey {
+    fn from(e: &Encoding) -> Self {
+        Self {
+            ids: e.ids.clone(),
+            segments: e.segments.clone(),
+            mask: e.mask.clone(),
+            cls_index: e.cls_index,
+        }
+    }
+}
+
+/// Least-recently-used map from encoding to score.
+///
+/// Recency is tracked with a monotone tick per access; eviction scans for
+/// the minimum tick. That scan is O(capacity), which is fine at the
+/// hundreds-to-thousands capacities serving uses — the forward pass a hit
+/// saves is orders of magnitude more expensive.
+#[derive(Debug)]
+pub(crate) struct LruCache {
+    map: HashMap<CacheKey, (f32, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl LruCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "use Option<LruCache> to disable caching");
+        Self {
+            map: HashMap::with_capacity(capacity.min(4096)),
+            capacity,
+            tick: 0,
+        }
+    }
+
+    /// Look up a score, refreshing recency on hit.
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<f32> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(score, last)| {
+            *last = tick;
+            *score
+        })
+    }
+
+    /// Insert a score, evicting the least recently used entry when full.
+    pub(crate) fn put(&mut self, key: CacheKey, score: f32) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (score, self.tick));
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(id: u32) -> CacheKey {
+        CacheKey {
+            ids: vec![id, 0, 0],
+            segments: vec![0, 0, 0],
+            mask: vec![1, 1, 0],
+            cls_index: 0,
+        }
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = LruCache::new(4);
+        assert_eq!(c.get(&key(1)), None);
+        c.put(key(1), 0.75);
+        assert_eq!(c.get(&key(1)), Some(0.75));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put(key(1), 0.1);
+        c.put(key(2), 0.2);
+        assert_eq!(c.get(&key(1)), Some(0.1)); // refresh 1 → 2 is now LRU
+        c.put(key(3), 0.3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key(2)), None, "LRU entry evicted");
+        assert_eq!(c.get(&key(1)), Some(0.1));
+        assert_eq!(c.get(&key(3)), Some(0.3));
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.put(key(1), 0.1);
+        c.put(key(2), 0.2);
+        c.put(key(1), 0.9); // update in place
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key(1)), Some(0.9));
+        assert_eq!(c.get(&key(2)), Some(0.2));
+    }
+}

@@ -1,0 +1,205 @@
+//! Serving configuration and typed serving errors.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Tuning knobs for the concurrent micro-batching matcher.
+///
+/// `Default` gives a sensible local setup (2 workers, batches of up to
+/// 32 coalesced for at most 2 ms); use [`ServeConfig::builder`] for a
+/// validated custom configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Number of scoring worker threads.
+    pub workers: usize,
+    /// Maximum number of requests coalesced into one forward pass.
+    pub max_batch: usize,
+    /// How long a worker waits for more requests before flushing a
+    /// partially filled batch.
+    pub max_wait: Duration,
+    /// Bounded request-queue capacity; enqueueing blocks (backpressure)
+    /// once this many requests are waiting.
+    pub queue_depth: usize,
+    /// Capacity of the repeated-encoding score cache; `0` disables it.
+    pub cache_capacity: usize,
+    /// How long a client waits for its score before giving up with
+    /// [`ServeError::Timeout`].
+    pub request_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+            queue_depth: 256,
+            cache_capacity: 1024,
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Start a validated builder from the defaults.
+    ///
+    /// ```
+    /// use em_serve::ServeConfig;
+    /// let cfg = ServeConfig::builder()
+    ///     .workers(4)
+    ///     .max_batch(16)
+    ///     .max_wait_ms(1)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.workers, 4);
+    /// assert!(ServeConfig::builder().workers(0).build().is_err());
+    /// ```
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`]; `build` rejects configurations that
+/// would deadlock or spin (zero workers, empty batches, zero queue).
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Number of scoring worker threads (must be ≥ 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    /// Maximum requests per coalesced batch (must be ≥ 1).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.cfg.max_batch = n;
+        self
+    }
+
+    /// Batch-coalescing wait in milliseconds.
+    pub fn max_wait_ms(mut self, ms: u64) -> Self {
+        self.cfg.max_wait = Duration::from_millis(ms);
+        self
+    }
+
+    /// Bounded queue capacity (must be ≥ 1).
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.cfg.queue_depth = n;
+        self
+    }
+
+    /// Score-cache capacity; `0` disables caching.
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cfg.cache_capacity = n;
+        self
+    }
+
+    /// Per-request timeout in milliseconds (must be ≥ 1).
+    pub fn request_timeout_ms(mut self, ms: u64) -> Self {
+        self.cfg.request_timeout = Duration::from_millis(ms);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ServeConfig, String> {
+        let c = &self.cfg;
+        if c.workers == 0 {
+            return Err("workers must be >= 1".into());
+        }
+        if c.max_batch == 0 {
+            return Err("max_batch must be >= 1".into());
+        }
+        if c.queue_depth == 0 {
+            return Err("queue_depth must be >= 1".into());
+        }
+        if c.request_timeout.is_zero() {
+            return Err("request_timeout must be non-zero".into());
+        }
+        if c.request_timeout <= c.max_wait {
+            return Err(format!(
+                "request_timeout ({:?}) must exceed max_wait ({:?}) or every \
+                 coalesced request can time out while its batch is still filling",
+                c.request_timeout, c.max_wait
+            ));
+        }
+        Ok(self.cfg)
+    }
+}
+
+/// Typed serving failures surfaced to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The score did not arrive within the configured `request_timeout`.
+    Timeout,
+    /// The matcher has been shut down (or a worker died) before the
+    /// request could be served.
+    ShutDown,
+    /// The encoding's padded length does not match the frozen model's
+    /// expected input length, so it cannot join a uniform batch.
+    InvalidLength {
+        /// Length of the offending encoding.
+        got: usize,
+        /// The frozen matcher's `max_len`.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Timeout => write!(f, "request timed out waiting for a score"),
+            ServeError::ShutDown => write!(f, "matcher is shut down"),
+            ServeError::InvalidLength { got, expected } => write!(
+                f,
+                "encoding length {got} does not match the model input length {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let d = ServeConfig::default();
+        let built = ServeConfig::builder().build().unwrap();
+        assert_eq!(d, built);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        assert!(ServeConfig::builder().workers(0).build().is_err());
+        assert!(ServeConfig::builder().max_batch(0).build().is_err());
+        assert!(ServeConfig::builder().queue_depth(0).build().is_err());
+        assert!(ServeConfig::builder()
+            .request_timeout_ms(0)
+            .build()
+            .is_err());
+        // Timeout shorter than the coalescing wait is a foot-gun.
+        assert!(ServeConfig::builder()
+            .max_wait_ms(50)
+            .request_timeout_ms(10)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = ServeError::InvalidLength {
+            got: 40,
+            expected: 64,
+        };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("64"));
+    }
+}

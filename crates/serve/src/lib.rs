@@ -1,0 +1,44 @@
+//! # em-serve
+//!
+//! Inference serving for fine-tuned entity matchers.
+//!
+//! The training stack is built on a single-threaded, `Rc`-based autograd
+//! tape — great for reproducing the paper's fine-tuning runs, unusable
+//! for concurrent inference. This crate adds the serving half:
+//!
+//! 1. **Frozen export** ([`FrozenModel`] / [`FrozenMatcher`]): copy the
+//!    weights of a trained model into plain `Send + Sync` buffers with an
+//!    inference-only forward pass that reproduces the autograd logits to
+//!    within 1e-5 on all four architectures (BERT, XLNet, RoBERTa,
+//!    DistilBERT).
+//! 2. **Micro-batching matcher** ([`ServeMatcher`]): a worker pool over
+//!    one `Arc`-shared frozen matcher that coalesces concurrent requests
+//!    into batches, with a bounded queue for backpressure, an LRU score
+//!    cache for repeated pairs, per-request timeouts, and a graceful
+//!    queue-draining shutdown.
+//!
+//! Both layers speak the unified `em_core::Predictor` surface, so a
+//! frozen or served matcher drops in anywhere an `EmMatcher` scores
+//! pairs today:
+//!
+//! ```no_run
+//! use em_core::prelude::*;
+//! use em_serve::{FrozenMatcher, ServeConfig, ServeMatcher};
+//!
+//! # fn demo(matcher: EmMatcher, ds: Dataset, pairs: Vec<EntityPair>) {
+//! let frozen = FrozenMatcher::from(&matcher);
+//! let serve = ServeMatcher::start(frozen, ServeConfig::default());
+//! let decisions = serve.predict_pairs(&ds, &pairs);
+//! # let _ = decisions;
+//! # }
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod frozen;
+mod kernels;
+pub mod matcher;
+
+pub use config::{ServeConfig, ServeConfigBuilder, ServeError};
+pub use frozen::{freeze_parts, FrozenLinear, FrozenMatcher, FrozenModel};
+pub use matcher::{ServeMatcher, ServeStats};

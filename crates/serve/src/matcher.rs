@@ -1,0 +1,332 @@
+//! The concurrent micro-batching matcher.
+//!
+//! Clients submit single encodings; worker threads coalesce them into
+//! batches (up to `max_batch`, waiting at most `max_wait` for
+//! stragglers) so the gemm-heavy forward pass amortizes across requests.
+//! The request queue is bounded — a full queue blocks producers instead
+//! of growing without limit — and every request carries its own response
+//! channel with a client-side timeout.
+//!
+//! Shutdown is graceful by construction: dropping the submit side of the
+//! queue lets workers drain everything already enqueued before the
+//! channel reports disconnect, so no accepted request is ever dropped.
+
+use crate::cache::{CacheKey, LruCache};
+use crate::config::{ServeConfig, ServeError};
+use crate::frozen::FrozenMatcher;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use em_core::Predictor;
+use em_data::{Dataset, EntityPair};
+use em_tokenizers::Encoding;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One queued scoring request: the encoding plus the channel its score
+/// travels back on.
+struct Job {
+    encoding: Encoding,
+    resp: mpsc::Sender<f32>,
+}
+
+/// Cumulative serving counters (atomics; cheap to read at any time).
+#[derive(Debug, Default)]
+struct StatsInner {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    examples: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of the matcher's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests accepted (cache hits included).
+    pub requests: u64,
+    /// Forward passes executed.
+    pub batches: u64,
+    /// Examples scored by forward passes (excludes cache hits).
+    pub examples: u64,
+    /// Requests answered from the score cache.
+    pub cache_hits: u64,
+    /// Requests that had to be queued for scoring.
+    pub cache_misses: u64,
+}
+
+impl ServeStats {
+    /// Mean examples per forward pass, relative to the configured
+    /// `max_batch` — 1.0 means every batch was full.
+    pub fn batch_fill(&self, max_batch: usize) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.examples as f64 / (self.batches * max_batch as u64) as f64
+        }
+    }
+
+    /// Fraction of requests answered from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe entity matcher serving scores through a worker pool.
+///
+/// ```no_run
+/// use em_serve::{FrozenMatcher, ServeConfig, ServeMatcher};
+/// # fn demo(frozen: FrozenMatcher) {
+/// let cfg = ServeConfig::builder().workers(4).build().unwrap();
+/// let matcher = ServeMatcher::start(frozen, cfg);
+/// // any number of threads may call matcher.score(..) concurrently
+/// # }
+/// ```
+///
+/// Dropping the matcher (or calling [`ServeMatcher::shutdown`]) stops
+/// accepting new work, lets workers drain the queue, and joins them.
+pub struct ServeMatcher {
+    frozen: Arc<FrozenMatcher>,
+    tx: Option<Sender<Job>>,
+    // Keeps the queue alive independently of worker lifetimes, so a
+    // wedged or dead pool surfaces as a client Timeout rather than a
+    // spurious disconnect.
+    _rx: Receiver<Job>,
+    workers: Vec<JoinHandle<()>>,
+    cache: Option<Mutex<LruCache>>,
+    config: ServeConfig,
+    stats: Arc<StatsInner>,
+}
+
+impl ServeMatcher {
+    /// Freeze nothing, share everything: spin up `config.workers` scoring
+    /// threads over one `Arc`-shared frozen matcher.
+    pub fn start(frozen: FrozenMatcher, config: ServeConfig) -> Self {
+        let frozen = Arc::new(frozen);
+        let stats = Arc::new(StatsInner::default());
+        let (tx, rx) = bounded::<Job>(config.queue_depth);
+        let workers = (0..config.workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let frozen = Arc::clone(&frozen);
+                let stats = Arc::clone(&stats);
+                let max_batch = config.max_batch;
+                let max_wait = config.max_wait;
+                std::thread::Builder::new()
+                    .name(format!("em-serve-{i}"))
+                    .spawn(move || loop {
+                        // Block for the batch head, then coalesce until the
+                        // batch fills or the deadline passes.
+                        let Ok(first) = rx.recv() else {
+                            return; // queue drained + all senders gone
+                        };
+                        let deadline = Instant::now() + max_wait;
+                        let mut jobs = vec![first];
+                        while jobs.len() < max_batch {
+                            match rx.recv_deadline(deadline) {
+                                Ok(job) => jobs.push(job),
+                                Err(RecvTimeoutError::Timeout)
+                                | Err(RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                        let _span = em_obs::span!("serve/batch");
+                        let encodings: Vec<Encoding> =
+                            jobs.iter().map(|j| j.encoding.clone()).collect();
+                        let scores = frozen.score_encodings(&encodings);
+                        stats.batches.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .examples
+                            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+                        em_obs::counter_inc("serve/batches");
+                        em_obs::counter_add("serve/batch_examples", jobs.len() as u64);
+                        em_obs::gauge_set("serve/batch_fill", jobs.len() as f64 / max_batch as f64);
+                        for (job, score) in jobs.into_iter().zip(scores) {
+                            // A client that timed out dropped its receiver;
+                            // that's its loss, not a worker error.
+                            let _ = job.resp.send(score);
+                        }
+                    })
+                    .expect("failed to spawn serving worker")
+            })
+            .collect();
+        let cache =
+            (config.cache_capacity > 0).then(|| Mutex::new(LruCache::new(config.cache_capacity)));
+        Self {
+            frozen,
+            tx: Some(tx),
+            _rx: rx,
+            workers,
+            cache,
+            config,
+            stats,
+        }
+    }
+
+    /// The configuration this matcher runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shared frozen matcher behind the workers.
+    pub fn frozen(&self) -> &FrozenMatcher {
+        &self.frozen
+    }
+
+    /// Snapshot the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            examples: self.stats.examples.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn check_length(&self, encoding: &Encoding) -> Result<(), ServeError> {
+        if encoding.ids.len() != self.frozen.max_len {
+            return Err(ServeError::InvalidLength {
+                got: encoding.ids.len(),
+                expected: self.frozen.max_len,
+            });
+        }
+        Ok(())
+    }
+
+    fn cache_get(&self, key: &CacheKey) -> Option<f32> {
+        let cache = self.cache.as_ref()?;
+        let hit = cache.lock().expect("cache lock poisoned").get(key);
+        if hit.is_some() {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            em_obs::counter_inc("serve/cache_hits");
+        } else {
+            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            em_obs::counter_inc("serve/cache_misses");
+        }
+        let s = self.stats();
+        em_obs::gauge_set("serve/cache_hit_rate", s.cache_hit_rate());
+        hit
+    }
+
+    fn cache_put(&self, key: CacheKey, score: f32) {
+        if let Some(cache) = &self.cache {
+            cache.lock().expect("cache lock poisoned").put(key, score);
+        }
+    }
+
+    /// Enqueue one encoding and return the receiver its score arrives on,
+    /// or the cached score when this exact encoding was seen recently.
+    fn submit(&self, encoding: &Encoding) -> Result<Result<f32, mpsc::Receiver<f32>>, ServeError> {
+        self.check_length(encoding)?;
+        // A shut-down matcher rejects everything, cache hits included —
+        // clients get one consistent contract, not an answer that depends
+        // on what happened to be scored before shutdown.
+        let tx = self.tx.as_ref().ok_or(ServeError::ShutDown)?;
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        em_obs::counter_inc("serve/requests");
+        let key = self.cache.is_some().then(|| CacheKey::from(encoding));
+        if let Some(k) = &key {
+            if let Some(score) = self.cache_get(k) {
+                return Ok(Ok(score));
+            }
+        }
+        let (resp, rx) = mpsc::channel();
+        let job = Job {
+            encoding: encoding.clone(),
+            resp,
+        };
+        tx.send(job).map_err(|_| ServeError::ShutDown)?;
+        Ok(Err(rx))
+    }
+
+    /// Score one encoding through the worker pool, blocking for at most
+    /// the configured `request_timeout`.
+    pub fn score(&self, encoding: &Encoding) -> Result<f32, ServeError> {
+        match self.submit(encoding)? {
+            Ok(cached) => Ok(cached),
+            Err(rx) => {
+                let score = rx
+                    .recv_timeout(self.config.request_timeout)
+                    .map_err(|e| match e {
+                        mpsc::RecvTimeoutError::Timeout => ServeError::Timeout,
+                        mpsc::RecvTimeoutError::Disconnected => ServeError::ShutDown,
+                    })?;
+                if self.cache.is_some() {
+                    self.cache_put(CacheKey::from(encoding), score);
+                }
+                Ok(score)
+            }
+        }
+    }
+
+    /// Score many encodings: all are enqueued before any result is
+    /// awaited, so one caller still fills worker batches.
+    pub fn score_encodings(&self, encodings: &[Encoding]) -> Result<Vec<f32>, ServeError> {
+        let pending: Vec<Result<f32, mpsc::Receiver<f32>>> = encodings
+            .iter()
+            .map(|e| self.submit(e))
+            .collect::<Result<_, _>>()?;
+        pending
+            .into_iter()
+            .zip(encodings)
+            .map(|(p, e)| match p {
+                Ok(cached) => Ok(cached),
+                Err(rx) => {
+                    let score = rx
+                        .recv_timeout(self.config.request_timeout)
+                        .map_err(|err| match err {
+                            mpsc::RecvTimeoutError::Timeout => ServeError::Timeout,
+                            mpsc::RecvTimeoutError::Disconnected => ServeError::ShutDown,
+                        })?;
+                    if self.cache.is_some() {
+                        self.cache_put(CacheKey::from(e), score);
+                    }
+                    Ok(score)
+                }
+            })
+            .collect()
+    }
+
+    /// Encode and score entity pairs end to end, with typed errors
+    /// (the fallible twin of the [`Predictor`] surface).
+    pub fn try_predict_scores(
+        &self,
+        ds: &Dataset,
+        pairs: &[EntityPair],
+    ) -> Result<Vec<f32>, ServeError> {
+        let encodings: Vec<Encoding> = pairs.iter().map(|p| self.frozen.encode(ds, p)).collect();
+        self.score_encodings(&encodings)
+    }
+
+    /// Stop accepting work, let workers drain everything already queued,
+    /// and join them. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        // Dropping the sender makes the channel report disconnect only
+        // after the queue is empty, so this is a draining shutdown.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServeMatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Predictor for ServeMatcher {
+    /// Panics with [`ServeError::ShutDown`]/[`ServeError::Timeout`]
+    /// details if serving fails; use
+    /// [`ServeMatcher::try_predict_scores`] where typed errors matter.
+    fn predict_scores(&self, ds: &Dataset, pairs: &[EntityPair]) -> Vec<f32> {
+        self.try_predict_scores(ds, pairs)
+            .expect("serving failed while scoring pairs")
+    }
+}

@@ -1,0 +1,326 @@
+//! em-serve integration tests: frozen-vs-autograd equivalence across all
+//! four architectures, concurrent serving correctness, and typed
+//! timeout / shutdown behaviour.
+
+use em_core::{train_tokenizer, Predictor};
+use em_nn::{Ctx, Module};
+use em_serve::{
+    freeze_parts, FrozenLinear, FrozenMatcher, FrozenModel, ServeConfig, ServeError, ServeMatcher,
+};
+use em_tensor::no_grad;
+use em_tokenizers::Encoding;
+use em_transformers::{
+    Architecture, Batch, ClassificationHead, TransformerConfig, TransformerModel,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const VOCAB: usize = 50;
+
+fn tiny_model(arch: Architecture, seed: u64) -> (TransformerModel, ClassificationHead) {
+    let cfg = TransformerConfig::tiny(arch, VOCAB);
+    let hidden = cfg.hidden;
+    let model = TransformerModel::new(cfg, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ead);
+    let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
+    (model, head)
+}
+
+/// A random well-formed encoding: contiguous real prefix, padded tail,
+/// CLS at the architecture's position within the real span.
+fn random_encoding(rng: &mut StdRng, arch: Architecture, max_len: usize) -> Encoding {
+    let real = rng.gen_range(3..=max_len);
+    let ids: Vec<u32> = (0..max_len)
+        .map(|i| {
+            if i < real {
+                rng.gen_range(1..VOCAB as u32)
+            } else {
+                0
+            }
+        })
+        .collect();
+    let split = rng.gen_range(1..real);
+    let segments: Vec<u8> = (0..max_len).map(|i| u8::from(i >= split)).collect();
+    let mask: Vec<u8> = (0..max_len).map(|i| u8::from(i < real)).collect();
+    let cls_index = match arch {
+        Architecture::Xlnet => real - 1,
+        _ => 0,
+    };
+    Encoding {
+        ids,
+        segments,
+        mask,
+        cls_index,
+    }
+}
+
+/// Autograd-path logits for a batch, exactly as `EmMatcher` computes them.
+fn autograd_logits(
+    model: &TransformerModel,
+    head: &ClassificationHead,
+    batch: &Batch,
+) -> em_tensor::Array {
+    no_grad(|| {
+        let mut ctx = Ctx::eval();
+        let hidden = model.forward(batch, None, None, &mut ctx);
+        let pooled = model.pooled_states(&hidden, batch);
+        head.forward(&pooled, &mut ctx).value()
+    })
+}
+
+fn frozen_logits(
+    model: &TransformerModel,
+    head: &ClassificationHead,
+    batch: &Batch,
+) -> em_tensor::Array {
+    let frozen = FrozenModel::from(model);
+    let classifier = FrozenLinear::from(head.classifier());
+    let hidden = frozen.forward(batch);
+    classifier.forward(&frozen.pooled_states(&hidden, batch))
+}
+
+fn assert_logits_match(arch: Architecture, seed: u64) {
+    let (model, head) = tiny_model(arch, seed);
+    let max_len = 24;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+    let encodings: Vec<Encoding> = (0..4)
+        .map(|_| random_encoding(&mut rng, arch, max_len))
+        .collect();
+    let batch = Batch::from_encodings(&encodings);
+    let want = autograd_logits(&model, &head, &batch);
+    let got = frozen_logits(&model, &head, &batch);
+    assert_eq!(want.shape(), got.shape());
+    for (i, (w, g)) in want.data().iter().zip(got.data()).enumerate() {
+        assert!(
+            (w - g).abs() < 1e-5,
+            "{} logit {i}: autograd {w} vs frozen {g}",
+            arch.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn frozen_matches_autograd_bert(seed in 0u64..10_000) {
+        assert_logits_match(Architecture::Bert, seed);
+    }
+
+    #[test]
+    fn frozen_matches_autograd_xlnet(seed in 0u64..10_000) {
+        assert_logits_match(Architecture::Xlnet, seed);
+    }
+
+    #[test]
+    fn frozen_matches_autograd_roberta(seed in 0u64..10_000) {
+        assert_logits_match(Architecture::Roberta, seed);
+    }
+
+    #[test]
+    fn frozen_matches_autograd_distilbert(seed in 0u64..10_000) {
+        assert_logits_match(Architecture::DistilBert, seed);
+    }
+}
+
+#[test]
+fn frozen_types_are_send_and_sync() {
+    fn check<T: Send + Sync + 'static>() {}
+    check::<FrozenModel>();
+    check::<FrozenMatcher>();
+    check::<ServeMatcher>();
+}
+
+#[test]
+fn frozen_parameter_count_matches_autograd() {
+    for arch in Architecture::ALL {
+        let (model, _) = tiny_model(arch, 11);
+        let frozen = FrozenModel::from(&model);
+        assert_eq!(
+            frozen.num_parameters(),
+            model.num_parameters(),
+            "{}",
+            arch.name()
+        );
+    }
+}
+
+fn tiny_frozen_matcher(arch: Architecture, seed: u64, max_len: usize) -> FrozenMatcher {
+    let (model, head) = tiny_model(arch, seed);
+    let corpus = em_data::generate_corpus(30, seed);
+    let tok = train_tokenizer(arch, &corpus, 200);
+    freeze_parts(&model, &head, tok, max_len)
+}
+
+/// ≥ 8 client threads hammering a 2-worker matcher must produce exactly
+/// the scores the frozen model computes sequentially.
+#[test]
+fn concurrent_scores_match_sequential_exactly() {
+    let frozen = tiny_frozen_matcher(Architecture::Bert, 3, 24);
+    let mut rng = StdRng::seed_from_u64(99);
+    let per_client = 4;
+    let clients = 8;
+    let encodings: Vec<Encoding> = (0..clients * per_client)
+        .map(|_| random_encoding(&mut rng, Architecture::Bert, 24))
+        .collect();
+    // Sequential reference, one encoding at a time (batch-independence is
+    // part of what this asserts).
+    let expected: Vec<f32> = encodings
+        .iter()
+        .map(|e| frozen.score_encodings(std::slice::from_ref(e))[0])
+        .collect();
+
+    let cfg = ServeConfig::builder()
+        .workers(2)
+        .max_batch(8)
+        .max_wait_ms(2)
+        .cache_capacity(0) // exercise the queue for every request
+        .build()
+        .unwrap();
+    let matcher = Arc::new(ServeMatcher::start(frozen, cfg));
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let matcher = Arc::clone(&matcher);
+        let chunk: Vec<Encoding> = encodings[c * per_client..(c + 1) * per_client].to_vec();
+        handles.push(std::thread::spawn(move || {
+            chunk
+                .iter()
+                .map(|e| matcher.score(e).expect("serving failed"))
+                .collect::<Vec<f32>>()
+        }));
+    }
+    let mut got = Vec::new();
+    for h in handles {
+        got.extend(h.join().expect("client thread panicked"));
+    }
+    assert_eq!(got.len(), expected.len());
+    for (c, (g, e)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(g, e, "request {c}: concurrent {g} vs sequential {e}");
+    }
+    let stats = matcher.stats();
+    assert_eq!(stats.requests, (clients * per_client) as u64);
+    assert_eq!(stats.examples, (clients * per_client) as u64);
+    assert!(stats.batches >= 1);
+}
+
+#[test]
+fn batch_api_and_cache_return_consistent_scores() {
+    let frozen = tiny_frozen_matcher(Architecture::Roberta, 5, 16);
+    let mut rng = StdRng::seed_from_u64(7);
+    let encodings: Vec<Encoding> = (0..10)
+        .map(|_| random_encoding(&mut rng, Architecture::Roberta, 16))
+        .collect();
+    let cfg = ServeConfig::builder()
+        .workers(2)
+        .max_batch(4)
+        .cache_capacity(64)
+        .build()
+        .unwrap();
+    let matcher = ServeMatcher::start(frozen, cfg);
+    let first = matcher.score_encodings(&encodings).unwrap();
+    let second = matcher.score_encodings(&encodings).unwrap();
+    assert_eq!(first, second, "cache must return identical scores");
+    let stats = matcher.stats();
+    assert!(
+        stats.cache_hits >= encodings.len() as u64,
+        "second round should hit the cache: {stats:?}"
+    );
+}
+
+#[test]
+fn wrong_length_is_a_typed_error() {
+    let frozen = tiny_frozen_matcher(Architecture::Bert, 13, 24);
+    let matcher = ServeMatcher::start(frozen, ServeConfig::default());
+    let mut rng = StdRng::seed_from_u64(1);
+    let short = random_encoding(&mut rng, Architecture::Bert, 16);
+    assert_eq!(
+        matcher.score(&short),
+        Err(ServeError::InvalidLength {
+            got: 16,
+            expected: 24
+        })
+    );
+}
+
+/// With a stalled worker pool the client must give up with the typed
+/// timeout — not hang. (`workers: 0` is rejected by the builder for
+/// production configs; constructing the struct directly simulates a
+/// wedged pool deterministically.)
+#[test]
+fn stalled_pool_times_out_with_typed_error() {
+    let frozen = tiny_frozen_matcher(Architecture::DistilBert, 17, 16);
+    let cfg = ServeConfig {
+        workers: 0,
+        request_timeout: std::time::Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    let matcher = ServeMatcher::start(frozen, cfg);
+    let mut rng = StdRng::seed_from_u64(2);
+    let enc = random_encoding(&mut rng, Architecture::DistilBert, 16);
+    let start = std::time::Instant::now();
+    assert_eq!(matcher.score(&enc), Err(ServeError::Timeout));
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "timeout must fire promptly, not hang"
+    );
+}
+
+/// Shutdown drains in-flight work (clients joined first always get
+/// answers), then rejects new requests with the typed error — and the
+/// whole dance must not deadlock.
+#[test]
+fn shutdown_is_graceful_and_typed() {
+    let frozen = tiny_frozen_matcher(Architecture::Bert, 23, 16);
+    let cfg = ServeConfig::builder()
+        .workers(2)
+        .max_batch(4)
+        .build()
+        .unwrap();
+    let mut matcher = ServeMatcher::start(frozen, cfg);
+    let mut rng = StdRng::seed_from_u64(3);
+    let encodings: Vec<Encoding> = (0..20)
+        .map(|_| random_encoding(&mut rng, Architecture::Bert, 16))
+        .collect();
+    std::thread::scope(|s| {
+        for chunk in encodings.chunks(5) {
+            let m = &matcher;
+            s.spawn(move || {
+                let scores = m
+                    .score_encodings(chunk)
+                    .expect("pre-shutdown serving failed");
+                assert_eq!(scores.len(), chunk.len());
+            });
+        }
+    });
+    matcher.shutdown();
+    matcher.shutdown(); // idempotent
+    assert_eq!(
+        matcher.score(&encodings[0]),
+        Err(ServeError::ShutDown),
+        "post-shutdown requests get the typed error"
+    );
+}
+
+/// The served matcher is a drop-in `Predictor`: end-to-end decisions on
+/// dataset pairs agree with the frozen matcher's own predictions.
+#[test]
+fn serve_matcher_is_a_predictor() {
+    let arch = Architecture::Bert;
+    let ds = em_data::DatasetId::DblpAcm.generate(0.01, 4);
+    let corpus = em_data::generate_corpus(30, 8);
+    let tok = train_tokenizer(arch, &corpus, 200);
+    let cfg = TransformerConfig::tiny(arch, em_tokenizers::Tokenizer::vocab_size(&tok));
+    let hidden = cfg.hidden;
+    let model = TransformerModel::new(cfg, 29);
+    let mut rng = StdRng::seed_from_u64(29 ^ 0x5ead);
+    let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
+    let frozen = freeze_parts(&model, &head, tok, 32);
+    let pairs = &ds.pairs[..6.min(ds.pairs.len())];
+    let direct_scores = frozen.predict_scores(&ds, pairs);
+    let direct = frozen.predict_pairs(&ds, pairs);
+    let matcher = ServeMatcher::start(frozen, ServeConfig::default());
+    assert_eq!(matcher.predict_scores(&ds, pairs), direct_scores);
+    assert_eq!(matcher.predict_pairs(&ds, pairs), direct);
+}

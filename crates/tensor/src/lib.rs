@@ -34,7 +34,7 @@ pub mod tensor;
 
 pub use array::{broadcast_shape, numel, strides_for, Array, Shape};
 pub use gradcheck::{assert_gradients_close, check_gradients};
-pub use ops::{log_softmax_array, softmax_array};
+pub use ops::{gelu_array, layer_norm_array, log_softmax_array, softmax_array};
 pub use optim::{clip_grad_norm, Adam, ConstantLr, LinearWarmupDecay, LrSchedule, Sgd};
 pub use serialize::StateDict;
 pub use tensor::{grad_enabled, no_grad, Tensor};

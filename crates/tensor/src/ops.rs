@@ -230,8 +230,7 @@ impl Tensor {
 
     /// Gaussian error linear unit (tanh approximation, as in BERT).
     pub fn gelu(&self) -> Tensor {
-        let fwd = |x: f32| 0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh());
-        let out = self.with_value(|a| a.map(fwd));
+        let out = self.with_value(gelu_array);
         let p = self.clone();
         let v = self.value();
         Tensor::from_op(out, vec![self.clone()], move |g| {
@@ -431,21 +430,7 @@ impl Tensor {
         assert_eq!(gv.shape(), &[d], "gamma must be [d]");
         assert_eq!(bv.shape(), &[d], "beta must be [d]");
 
-        let mut out = vec![0.0f32; x.len()];
-        let mut xhat = vec![0.0f32; x.len()];
-        let mut inv_std = vec![0.0f32; rows];
-        for r in 0..rows {
-            let row = &x.data()[r * d..(r + 1) * d];
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let istd = 1.0 / (var + eps).sqrt();
-            inv_std[r] = istd;
-            for j in 0..d {
-                let h = (row[j] - mean) * istd;
-                xhat[r * d + j] = h;
-                out[r * d + j] = h * gv.data()[j] + bv.data()[j];
-            }
-        }
+        let (out, xhat, inv_std) = layer_norm_forward(&x, gv.data(), bv.data(), eps);
         let out = Array::from_vec(out, x.shape().to_vec());
         let (px, pg, pb) = (self.clone(), gamma.clone(), beta.clone());
         let shape = x.shape().to_vec();
@@ -482,6 +467,49 @@ impl Tensor {
             },
         )
     }
+}
+
+/// Forward pieces of layer norm: `(out, xhat, inv_std)` flattened row-major.
+/// The single source of the arithmetic shared by [`Tensor::layer_norm`] and
+/// the value-level [`layer_norm_array`], so an inference-only forward pass
+/// reproduces autograd outputs exactly.
+fn layer_norm_forward(x: &Array, gamma: &[f32], beta: &[f32], eps: f32) -> LayerNormForward {
+    let d = *x.shape().last().expect("layer_norm on scalar");
+    let rows = x.len() / d;
+    let mut out = vec![0.0f32; x.len()];
+    let mut xhat = vec![0.0f32; x.len()];
+    let mut inv_std = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = &x.data()[r * d..(r + 1) * d];
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        inv_std[r] = istd;
+        for j in 0..d {
+            let h = (row[j] - mean) * istd;
+            xhat[r * d + j] = h;
+            out[r * d + j] = h * gamma[j] + beta[j];
+        }
+    }
+    (out, xhat, inv_std)
+}
+
+type LayerNormForward = (Vec<f32>, Vec<f32>, Vec<f32>);
+
+/// Value-level layer norm over the last axis — the weight-extraction twin
+/// of [`Tensor::layer_norm`] used by frozen inference models.
+pub fn layer_norm_array(x: &Array, gamma: &[f32], beta: &[f32], eps: f32) -> Array {
+    let d = *x.shape().last().expect("layer_norm on scalar");
+    assert_eq!(gamma.len(), d, "gamma must be [d]");
+    assert_eq!(beta.len(), d, "beta must be [d]");
+    let (out, _, _) = layer_norm_forward(x, gamma, beta, eps);
+    Array::from_vec(out, x.shape().to_vec())
+}
+
+/// Value-level GELU (tanh approximation) — the weight-extraction twin of
+/// [`Tensor::gelu`] used by frozen inference models.
+pub fn gelu_array(x: &Array) -> Array {
+    x.map(|v| 0.5 * v * (1.0 + (GELU_C * (v + 0.044715 * v * v * v)).tanh()))
 }
 
 /// Numerically-stable softmax over the last axis of a raw array.

@@ -38,7 +38,7 @@ pub struct ByteLevelBpe {
     specials: SpecialTokens,
     merges: Vec<Merge>,
     #[serde(skip, default)]
-    cache: std::cell::OnceCell<HashMap<(String, String), (usize, String)>>,
+    cache: std::sync::OnceLock<HashMap<(String, String), (usize, String)>>,
 }
 
 fn word_to_byte_symbols(word: &str, table: &[char; 256]) -> Vec<String> {
@@ -76,7 +76,7 @@ impl ByteLevelBpe {
             vocab,
             specials,
             merges,
-            cache: std::cell::OnceCell::new(),
+            cache: std::sync::OnceLock::new(),
         }
     }
 

@@ -22,7 +22,7 @@ pub struct SentencePieceBpe {
     merges: Vec<Merge>,
     lowercase: bool,
     #[serde(skip, default)]
-    cache: std::cell::OnceCell<HashMap<(String, String), (usize, String)>>,
+    cache: std::sync::OnceLock<HashMap<(String, String), (usize, String)>>,
 }
 
 fn to_pieces(text: &str, lowercase: bool) -> Vec<Vec<String>> {
@@ -69,7 +69,7 @@ impl SentencePieceBpe {
             specials,
             merges,
             lowercase,
-            cache: std::cell::OnceCell::new(),
+            cache: std::sync::OnceLock::new(),
         }
     }
 

@@ -75,6 +75,16 @@ pub struct ClassificationHead {
 }
 
 impl ClassificationHead {
+    /// The two-output classifier layer (weight extraction for frozen export).
+    pub fn classifier(&self) -> &Linear {
+        &self.classifier
+    }
+
+    /// Dropout rate applied before the classifier during training.
+    pub fn dropout(&self) -> f32 {
+        self.dropout
+    }
+
     /// New classification head (random init — the paper notes this layer is
     /// the only part not pre-trained).
     pub fn new(hidden: usize, dropout: f32, std: f32, rng: &mut impl Rng) -> Self {

@@ -21,6 +21,26 @@ pub struct InputEmbeddings {
 }
 
 impl InputEmbeddings {
+    /// Token embedding table (weight extraction for frozen export).
+    pub fn token(&self) -> &Embedding {
+        &self.token
+    }
+
+    /// Absolute-position table, absent under relative positions (XLNet).
+    pub fn position(&self) -> Option<&Embedding> {
+        self.position.as_ref()
+    }
+
+    /// Segment (token-type) table, absent when `segments == 0` (DistilBERT).
+    pub fn segment(&self) -> Option<&Embedding> {
+        self.segment.as_ref()
+    }
+
+    /// Post-sum layer norm.
+    pub fn norm(&self) -> &LayerNorm {
+        &self.norm
+    }
+
     fn new(cfg: &TransformerConfig, rng: &mut StdRng) -> Self {
         Self {
             token: Embedding::new(cfg.vocab_size, cfg.hidden, cfg.init_std, rng),
@@ -110,6 +130,16 @@ pub struct RelativeBias {
 }
 
 impl RelativeBias {
+    /// Clamp distance of the bias table (weight extraction for frozen export).
+    pub fn clamp(&self) -> usize {
+        self.clamp
+    }
+
+    /// Number of attention heads the table covers.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
     fn new(heads: usize, clamp: usize, std: f32, rng: &mut StdRng) -> Self {
         Self {
             table: Tensor::parameter(init::normal(vec![heads, 2 * clamp + 1], std, rng)),
@@ -240,7 +270,7 @@ impl TransformerModel {
     /// `visibility` optionally adds a per-sample `[batch, 1, seq, seq]`
     /// additive mask on top of the padding mask (permutation LM).
     /// `blank` hides token content at given positions (see
-    /// [`InputEmbeddings::forward`]).
+    /// `InputEmbeddings::forward`).
     pub fn forward(
         &self,
         batch: &Batch,

@@ -6,9 +6,8 @@
 //! cargo run --release --example citation_dedup
 //! ```
 
-use em_core::{fine_tune, pipeline::train_tokenizer, FineTuneConfig};
-use em_data::DatasetId;
-use em_transformers::{pretrain, Architecture, PretrainConfig, TransformerConfig};
+use em_core::prelude::*;
+use em_transformers::{pretrain, PretrainConfig, TransformerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

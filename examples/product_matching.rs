@@ -8,7 +8,7 @@
 //! ```
 
 use em_baselines::{DeepMatcher, DeepMatcherConfig, FeatureExtractor, MagellanMatcher};
-use em_data::{DatasetId, PrF1};
+use em_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -56,7 +56,7 @@ fn main() {
     }
 
     // DeepMatcher on serialized text blobs.
-    let ser = |p: &em_data::EntityPair| (ds.serialize_record(&p.a), ds.serialize_record(&p.b));
+    let ser = |p: &EntityPair| (ds.serialize_record(&p.a), ds.serialize_record(&p.b));
     let train: Vec<(String, String, bool)> = split
         .train
         .iter()

@@ -6,10 +6,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use em_core::{fine_tune, pipeline::train_tokenizer, FineTuneConfig};
-use em_data::{DatasetId, PrF1};
+use em_core::prelude::*;
+use em_serve::{FrozenMatcher, ServeConfig, ServeMatcher};
 use em_tokenizers::Tokenizer;
-use em_transformers::{pretrain, Architecture, PretrainConfig, TransformerConfig};
+use em_transformers::{pretrain, PretrainConfig, TransformerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -69,13 +69,36 @@ fn main() {
         );
     }
 
-    // 5. Use the matcher on fresh pairs.
-    let preds = matcher.predict(&ds, &split.valid);
+    // 5. Use the matcher on fresh pairs through the unified Predictor
+    //    surface.
+    let preds = matcher.predict_pairs(&ds, &split.valid);
     let labels: Vec<bool> = split.valid.iter().map(|p| p.label).collect();
     let m = PrF1::from_predictions(&preds, &labels);
     println!(
         "validation F1: {:.1}% (best test epoch: {:.1}%)",
         m.f1_percent(),
         result.best_f1
+    );
+
+    // 6. Serve it: freeze the weights out of the autograd graph and score
+    //    the same pairs through the concurrent micro-batching matcher.
+    let serve = ServeMatcher::start(FrozenMatcher::from(&matcher), ServeConfig::default());
+    let served = serve.predict_scores(&ds, &split.valid);
+    let train_scores = matcher.predict_scores(&ds, &split.valid);
+    let max_diff = served
+        .iter()
+        .zip(&train_scores)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_diff <= 1e-3,
+        "frozen serving reproduces the matcher (max score diff {max_diff})"
+    );
+    let stats = serve.stats();
+    println!(
+        "served {} pairs in {} batches (frozen model, {} workers)",
+        stats.requests,
+        stats.batches,
+        serve.config().workers
     );
 }

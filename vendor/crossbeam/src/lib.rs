@@ -1,12 +1,15 @@
 //! Offline stand-in for `crossbeam`: the scoped-thread API
 //! (`crossbeam::scope` / `crossbeam::thread::scope`) implemented on
-//! `std::thread::scope`. Only the surface this workspace uses.
+//! `std::thread::scope`, plus an MPMC [`channel`] module built on
+//! `std::sync`. Only the surface this workspace uses.
 //!
 //! One deliberate deviation: the scope handle is passed to closures **by
 //! value** (it is `Copy`) instead of by reference. `std::thread::Scope` is
 //! invariant in its `'scope` lifetime, so a by-reference wrapper cannot be
 //! materialized safely; by-value keeps the familiar `|s| s.spawn(|_| ...)`
 //! call shape working unchanged.
+
+pub mod channel;
 
 pub use thread::scope;
 

@@ -332,7 +332,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use rand::Rng;
 
-        /// Length specification for [`vec`]: a fixed size or a half-open range.
+        /// Length specification for [`vec()`]: a fixed size or a half-open range.
         pub struct SizeRange {
             min: usize,
             max_exclusive: usize,

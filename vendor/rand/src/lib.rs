@@ -1,7 +1,7 @@
 //! Offline stand-in for the `rand` crate (0.8 API subset).
 //!
 //! The build container has no network access, so the workspace vendors the
-//! small slice of `rand` it actually uses: [`StdRng`] (xoshiro256++ seeded
+//! small slice of `rand` it actually uses: [`rngs::StdRng`] (xoshiro256++ seeded
 //! via SplitMix64 instead of ChaCha12 — statistically solid, deterministic,
 //! but *not* bit-compatible with upstream), the [`Rng`] extension trait
 //! (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`], and
