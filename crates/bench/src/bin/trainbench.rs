@@ -1,0 +1,246 @@
+//! Training throughput bench (the Table 6 companion): per-epoch
+//! fine-tuning time with the pre-PR scalar kernels versus the shared
+//! `em-kernels` SIMD backend. Writes `results/train_bench.json`.
+//!
+//! ```text
+//! cargo run -p em-bench --bin trainbench --release -- \
+//!     [--scale 0.05] [--epochs 3] [--batch 16] [--max-len 64] \
+//!     [--seed 42] [--smoke]
+//! ```
+//!
+//! Methodology (see EXPERIMENTS.md): both runs fine-tune the same
+//! randomly initialized encoder on the same generated Abt-Buy split with
+//! the same hyperparameters; only the kernel backend differs.
+//! `Backend::Scalar` replays the pre-PR path exactly (naive ikj GEMM with
+//! the zero-skip branch, spawn-per-call threading, transpose-materializing
+//! backward, libm activations); `Backend::Auto` is the AVX2+FMA path that
+//! training now shares with serving. `seconds_per_epoch` counts training
+//! steps only, not the per-epoch test evaluation. The headline `speedup`
+//! is the ratio of *best* epoch times (the usual noise-robust estimator —
+//! scheduler or frequency hiccups only ever make an epoch slower, never
+//! faster); the per-epoch means are reported alongside. After the SIMD run the
+//! fine-tuned weights are frozen and the serve-path scores are checked
+//! against the autograd scores, so the speedup never silently drifts away
+//! from the arithmetic the rest of the repo is validated on.
+//!
+//! `--smoke` shrinks everything (tiny configs, one epoch, a sliver of
+//! data) so CI can assert the bench runs and the report is well-formed.
+
+use em_bench::{Args, RESULTS_DIR};
+use em_core::prelude::*;
+use em_core::FineTuneResult;
+use em_kernels::{set_backend, simd_kind, Backend};
+use em_serve::FrozenMatcher;
+use em_tokenizers::Tokenizer;
+use em_transformers::{TransformerConfig, TransformerModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ArchRun {
+    arch: String,
+    hidden: usize,
+    layers: usize,
+    train_pairs: usize,
+    epochs: usize,
+    scalar_seconds_per_epoch: f64,
+    simd_seconds_per_epoch: f64,
+    scalar_best_epoch_seconds: f64,
+    simd_best_epoch_seconds: f64,
+    /// `scalar_best_epoch_seconds / simd_best_epoch_seconds`.
+    speedup: f64,
+    scalar_final_f1: f64,
+    simd_final_f1: f64,
+    /// Max |autograd − frozen| match probability after the SIMD run.
+    frozen_max_score_diff: f32,
+}
+
+#[derive(Serialize)]
+struct TrainBenchReport {
+    smoke: bool,
+    simd: String,
+    threads: usize,
+    batch_size: usize,
+    max_len_cap: usize,
+    runs: Vec<ArchRun>,
+    min_speedup: f64,
+}
+
+/// Benchmark knobs shared by every architecture run.
+struct BenchOpts {
+    smoke: bool,
+    scale: f64,
+    epochs: usize,
+    batch_size: usize,
+    max_len_cap: usize,
+    seed: u64,
+    /// Skip the scalar baseline (profiling the new path in isolation).
+    simd_only: bool,
+}
+
+fn bench_arch(arch: Architecture, opts: &BenchOpts) -> ArchRun {
+    let &BenchOpts {
+        smoke,
+        scale,
+        epochs,
+        batch_size,
+        max_len_cap,
+        seed,
+        simd_only,
+    } = opts;
+    let corpus = em_data::generate_corpus(if smoke { 60 } else { 200 }, seed);
+    let tokenizer = train_tokenizer(arch, &corpus, if smoke { 200 } else { 400 });
+    let cfg = if smoke {
+        TransformerConfig::tiny(arch, tokenizer.vocab_size())
+    } else {
+        TransformerConfig::small(arch, tokenizer.vocab_size())
+    };
+    let ds = DatasetId::AbtBuy.generate(scale, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = ds.split(&mut rng);
+    let ft = FineTuneConfig {
+        epochs,
+        batch_size,
+        lr: 1e-3,
+        seed,
+        max_len_cap,
+    };
+    eprintln!(
+        "trainbench: {} (hidden {}, {} layers), {} train pairs, {} epochs",
+        arch.name(),
+        cfg.hidden,
+        cfg.layers,
+        split.train.len(),
+        epochs
+    );
+
+    let run_backend = |backend: Backend| {
+        set_backend(backend);
+        let model = TransformerModel::new(cfg.clone(), seed);
+        fine_tune(
+            model,
+            tokenizer.clone(),
+            &ds,
+            &split.train,
+            &split.test,
+            &ft,
+        )
+    };
+    // Fastest training epoch of a run — noise (scheduler, frequency) only
+    // ever inflates an epoch, so the min is the stable estimator.
+    let best_epoch = |r: &FineTuneResult| {
+        r.curve
+            .iter()
+            .skip(1)
+            .map(|e| e.train_seconds)
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    // Baseline: the exact pre-PR scalar path, same init seed.
+    // `--simd-only` skips it (profiling the new path in isolation).
+    let scalar = if simd_only {
+        None
+    } else {
+        let (_, r) = run_backend(Backend::Scalar);
+        eprintln!(
+            "  scalar: {:.2}s/epoch best, {:.2}s mean (final F1 {:.1})",
+            best_epoch(&r),
+            r.seconds_per_epoch,
+            r.final_f1
+        );
+        Some(r)
+    };
+
+    // SIMD: identical run, shared em-kernels backend.
+    let (matcher, simd) = run_backend(Backend::Auto);
+    let scalar = scalar.unwrap_or_else(|| simd.clone());
+    let speedup = best_epoch(&scalar) / best_epoch(&simd).max(1e-9);
+    eprintln!(
+        "  simd:   {:.2}s/epoch best, {:.2}s mean (final F1 {:.1}) — {speedup:.2}x",
+        best_epoch(&simd),
+        simd.seconds_per_epoch,
+        simd.final_f1
+    );
+
+    // Freeze the fine-tuned weights and check the serve path still agrees
+    // with autograd on the test pairs (fixed-length encodings so both
+    // paths see identical inputs).
+    let frozen = FrozenMatcher::from(&matcher);
+    let probe: Vec<_> = split.test.iter().take(64).collect();
+    let encodings: Vec<_> = probe.iter().map(|p| frozen.encode(&ds, p)).collect();
+    let auto_scores = matcher.score_encodings(&encodings);
+    let frozen_scores = frozen.score_encodings(&encodings);
+    let max_diff = auto_scores
+        .iter()
+        .zip(&frozen_scores)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_diff <= 1e-5,
+        "frozen scores diverged from autograd after fine-tuning: {max_diff}"
+    );
+    eprintln!("  frozen-vs-autograd max score diff: {max_diff:.2e}");
+
+    ArchRun {
+        arch: arch.name().to_string(),
+        hidden: cfg.hidden,
+        layers: cfg.layers,
+        train_pairs: split.train.len(),
+        epochs,
+        scalar_seconds_per_epoch: scalar.seconds_per_epoch,
+        simd_seconds_per_epoch: simd.seconds_per_epoch,
+        scalar_best_epoch_seconds: best_epoch(&scalar),
+        simd_best_epoch_seconds: best_epoch(&simd),
+        speedup,
+        scalar_final_f1: scalar.final_f1,
+        simd_final_f1: simd.final_f1,
+        frozen_max_score_diff: max_diff,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+    let opts = BenchOpts {
+        smoke,
+        scale: args.get("scale").unwrap_or(if smoke { 0.02 } else { 0.05 }),
+        epochs: args.get("epochs").unwrap_or(if smoke { 1 } else { 3 }),
+        batch_size: args.get("batch").unwrap_or(16),
+        max_len_cap: args.get("max-len").unwrap_or(if smoke { 48 } else { 64 }),
+        seed: args.get("seed").unwrap_or(42),
+        simd_only: args.has("simd-only"),
+    };
+
+    let runs: Vec<ArchRun> = [Architecture::Bert, Architecture::DistilBert]
+        .into_iter()
+        .map(|arch| bench_arch(arch, &opts))
+        .collect();
+    let min_speedup = runs.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+
+    let report = TrainBenchReport {
+        smoke,
+        simd: simd_kind().to_string(),
+        threads: em_kernels::pool::current_parallelism(),
+        batch_size: opts.batch_size,
+        max_len_cap: opts.max_len_cap,
+        runs,
+        min_speedup,
+    };
+    let path = std::path::PathBuf::from(RESULTS_DIR).join("train_bench.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write train_bench.json");
+    eprintln!(
+        "[saved] {} (min speedup {:.2}x, {} backend)",
+        path.display(),
+        report.min_speedup,
+        report.simd
+    );
+    em_obs::finish_to("trainbench", std::path::Path::new(RESULTS_DIR));
+}

@@ -211,16 +211,23 @@ pub fn fine_tune(
         let timer = em_obs::Timer::start("finetune/epoch");
         order.shuffle(&mut rng);
         for (bi, chunk) in order.chunks(cfg.batch_size).enumerate() {
-            let encodings: Vec<Encoding> = chunk.iter().map(|&i| train_enc[i].clone()).collect();
             let labels: Vec<usize> = chunk.iter().map(|&i| train_labels[i]).collect();
-            let batch = Batch::from_encodings(&encodings);
+            // Index-based gather: no per-step Encoding clones.
+            let batch = Batch::gather(&train_enc, chunk);
             let mut ctx = Ctx::train(cfg.seed ^ ((epoch as u64) << 24) ^ bi as u64);
-            let hidden_states = matcher.model.forward(&batch, None, None, &mut ctx);
-            let pooled = matcher.model.pooled_states(&hidden_states, &batch);
-            let logits = matcher.head.forward(&pooled, &mut ctx);
-            let loss = logits.cross_entropy(&labels, None);
-            opt.zero_grad();
-            loss.backward();
+            let loss = {
+                let _span = em_obs::span!("finetune/forward");
+                let hidden_states = matcher.model.forward(&batch, None, None, &mut ctx);
+                let pooled = matcher.model.pooled_states(&hidden_states, &batch);
+                let logits = matcher.head.forward(&pooled, &mut ctx);
+                logits.cross_entropy(&labels, None)
+            };
+            {
+                let _span = em_obs::span!("finetune/backward");
+                opt.zero_grad();
+                loss.backward();
+            }
+            let _span = em_obs::span!("finetune/step");
             clip_grad_norm(opt.params(), 1.0);
             opt.step(schedule.lr_at(opt.steps_taken()));
         }

@@ -1,0 +1,26 @@
+//! em-kernels: the single SIMD compute backend for the workspace.
+//!
+//! Until this crate existed the tree carried two GEMMs — a scalar `ikj`
+//! loop in `em-tensor` that training used, and an AVX2+FMA kernel in
+//! `em-serve` that only inference could reach. em-kernels merges them:
+//! one register-blocked, runtime-dispatched GEMM in the three transpose
+//! variants autograd needs ([`gemm_nn`], [`gemm_nt`], [`gemm_tn`]), one
+//! set of polynomial softmax/GELU/layer-norm kernels with forward *and*
+//! backward forms, and one persistent [`pool`] that replaces both the
+//! spawn-per-call threading in training matmul and the oversubscription
+//! between serve workers and intra-op threads.
+//!
+//! `em-tensor` builds its autograd ops on these kernels, `em-serve`
+//! consumes them directly for the frozen forward pass, and `trainbench`
+//! flips [`Backend::Scalar`] to time the pre-kernels training path
+//! against [`Backend::Auto`] in a single process.
+
+pub mod gemm;
+pub mod math;
+pub mod pool;
+
+pub use gemm::{backend, gemm_nn, gemm_nt, gemm_tn, set_backend, simd_kind, Backend};
+pub use math::{
+    exp_approx, gelu, gelu_backward, layer_norm_backward, layer_norm_forward, layer_norm_rows,
+    log_softmax_rows, softmax_backward_rows, softmax_rows, softmax_rows_biased, tanh_approx,
+};

@@ -1,0 +1,507 @@
+//! Elementwise and row-wise math kernels shared by training and serving.
+//!
+//! The transcendental core is a polynomial `exp` (Cephes `expf`
+//! coefficients, ~2 ulp on the float32 range) and a `tanh` built on it —
+//! no libm call per element, and both autovectorize. On top of those sit
+//! fused row kernels for softmax, GELU and layer norm in *forward and
+//! backward* form, so the autograd tape runs the same arithmetic the
+//! frozen serving path does instead of composing each op from
+//! half-a-dozen temporary arrays.
+
+const LOG2E: f32 = std::f32::consts::LOG2_E;
+const LN2_HI: f32 = 0.693_359_4;
+const LN2_LO: f32 = -2.121_944_4e-4;
+/// 1.5 * 2^23: adding and subtracting rounds to the nearest integer for
+/// |x| < 2^22 without a libm call, and the idiom autovectorizes.
+const ROUND_MAGIC: f32 = 12_582_912.0;
+/// sqrt(2/pi) in the tanh-approximation GELU.
+const GELU_C: f32 = 0.797_884_6;
+
+/// Polynomial `e^x` (Cephes `expf` coefficients, ~2 ulp on the float32
+/// range). No libm call, autovectorizable.
+#[inline]
+pub fn exp_approx(x: f32) -> f32 {
+    // Upper clamp keeps the 2^n scale factor a finite exponent (n <= 127).
+    let x = x.clamp(-87.336_55, 88.02);
+    let nf = (x * LOG2E + ROUND_MAGIC) - ROUND_MAGIC;
+    let r = (x - nf * LN2_HI) - nf * LN2_LO;
+    let p = 1.987_569_1e-4;
+    let p = p * r + 1.398_199_9e-3;
+    let p = p * r + 8.333_452e-3;
+    let p = p * r + 4.166_579_6e-2;
+    let p = p * r + 1.666_666_5e-1;
+    let p = p * r + 5.000_000_3e-1;
+    let y = (p * r) * r + r + 1.0;
+    let scale = f32::from_bits(((nf as i32 + 127) as u32) << 23);
+    y * scale
+}
+
+/// `tanh` via the stable `(1 - e^{-2|y|}) / (1 + e^{-2|y|})` form.
+#[inline]
+pub fn tanh_approx(y: f32) -> f32 {
+    let e = exp_approx(-2.0 * y.abs());
+    ((1.0 - e) / (1.0 + e)).copysign(y)
+}
+
+/// Row maximum with eight parallel accumulator lanes, so the reduction
+/// is not one serial dependency chain and autovectorizes.
+#[inline]
+fn max_lanes(row: &[f32]) -> f32 {
+    let mut lanes = [f32::NEG_INFINITY; 8];
+    let mut chunks = row.chunks_exact(8);
+    for c in chunks.by_ref() {
+        for (l, &v) in lanes.iter_mut().zip(c) {
+            *l = l.max(v);
+        }
+    }
+    let mut m = lanes.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for &v in chunks.remainder() {
+        m = m.max(v);
+    }
+    m
+}
+
+/// Row sum with eight parallel accumulator lanes (see [`max_lanes`]).
+#[inline]
+fn sum_lanes(row: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut chunks = row.chunks_exact(8);
+    for c in chunks.by_ref() {
+        for (l, &v) in lanes.iter_mut().zip(c) {
+            *l += v;
+        }
+    }
+    lanes.iter().sum::<f32>() + chunks.remainder().iter().sum::<f32>()
+}
+
+/// In-place numerically-stable softmax over each `d`-wide row.
+///
+/// Three separate passes (max, exp, normalize) rather than one fused
+/// loop: the exp pass is then purely elementwise and the reductions run
+/// on parallel lanes, so all three vectorize — the fused form keeps a
+/// serial float accumulation that pins the whole loop to scalar code.
+pub fn softmax_rows(x: &mut [f32], d: usize) {
+    debug_assert_eq!(x.len() % d, 0);
+    for row in x.chunks_mut(d) {
+        let m = max_lanes(row);
+        for v in row.iter_mut() {
+            *v = exp_approx(*v - m);
+        }
+        let inv = 1.0 / sum_lanes(row);
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Softmax over each `d`-wide row of `x + bias`, fused so the biased
+/// scores are never materialized. `bias` holds one `d`-wide row per group
+/// of `rows_per_bias` consecutive rows of `x` — the layout of an additive
+/// attention mask `[batch, 1, 1, seq]` applied to `[batch, heads, seq,
+/// seq]` scores, where `rows_per_bias = heads * seq`. The gradient w.r.t.
+/// `x` is the plain [`softmax_backward_rows`] (the bias is constant).
+pub fn softmax_rows_biased(x: &mut [f32], bias: &[f32], d: usize, rows_per_bias: usize) {
+    debug_assert_eq!(x.len() % d, 0);
+    debug_assert_eq!(bias.len() % d, 0);
+    debug_assert!(rows_per_bias > 0);
+    debug_assert_eq!(x.len() / d, (bias.len() / d) * rows_per_bias);
+    for (r, row) in x.chunks_mut(d).enumerate() {
+        let b_off = (r / rows_per_bias) * d;
+        let b_row = &bias[b_off..b_off + d];
+        for (v, &bv) in row.iter_mut().zip(b_row) {
+            *v += bv;
+        }
+        let m = max_lanes(row);
+        for v in row.iter_mut() {
+            *v = exp_approx(*v - m);
+        }
+        let inv = 1.0 / sum_lanes(row);
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Softmax backward over each `d`-wide row: given the forward output `y`
+/// and upstream gradient `g`, writes `dx = y ⊙ (g − Σ g⊙y)`.
+pub fn softmax_backward_rows(y: &[f32], g: &[f32], dx: &mut [f32], d: usize) {
+    debug_assert_eq!(y.len(), g.len());
+    debug_assert_eq!(y.len(), dx.len());
+    debug_assert_eq!(y.len() % d, 0);
+    for ((y_row, g_row), dx_row) in y.chunks(d).zip(g.chunks(d)).zip(dx.chunks_mut(d)) {
+        let dot = dot_lanes(y_row, g_row);
+        for ((dv, &yv), &gv) in dx_row.iter_mut().zip(y_row).zip(g_row) {
+            *dv = yv * (gv - dot);
+        }
+    }
+}
+
+/// Dot product with eight parallel accumulator lanes (see [`max_lanes`]).
+#[inline]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 8];
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    for (ca, cb) in ac.by_ref().zip(bc.by_ref()) {
+        for ((l, &x), &y) in lanes.iter_mut().zip(ca).zip(cb) {
+            *l += x * y;
+        }
+    }
+    lanes.iter().sum::<f32>()
+        + ac.remainder()
+            .iter()
+            .zip(bc.remainder())
+            .map(|(&x, &y)| x * y)
+            .sum::<f32>()
+}
+
+/// In-place numerically-stable log-softmax over each `d`-wide row.
+pub fn log_softmax_rows(x: &mut [f32], d: usize) {
+    debug_assert_eq!(x.len() % d, 0);
+    for row in x.chunks_mut(d) {
+        let m = max_lanes(row);
+        let mut lanes = [0.0f32; 8];
+        let mut chunks = row.chunks_exact(8);
+        for c in chunks.by_ref() {
+            for (l, &v) in lanes.iter_mut().zip(c) {
+                *l += exp_approx(v - m);
+            }
+        }
+        let denom = lanes.iter().sum::<f32>()
+            + chunks
+                .remainder()
+                .iter()
+                .map(|&v| exp_approx(v - m))
+                .sum::<f32>();
+        let lse = m + denom.ln();
+        for v in row.iter_mut() {
+            *v -= lse;
+        }
+    }
+}
+
+/// In-place GELU, tanh approximation — the formula of
+/// `em_tensor::gelu_array` with the polynomial `tanh`.
+pub fn gelu(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        let u = *v;
+        *v = 0.5 * u * (1.0 + tanh_approx(GELU_C * (u + 0.044715 * u * u * u)));
+    }
+}
+
+/// GELU backward: given the forward *input* `x` and upstream gradient
+/// `g`, writes `dx = g ⊙ gelu'(x)` with the same tanh approximation.
+pub fn gelu_backward(x: &[f32], g: &[f32], dx: &mut [f32]) {
+    debug_assert_eq!(x.len(), g.len());
+    debug_assert_eq!(x.len(), dx.len());
+    for ((dv, &u), &gv) in dx.iter_mut().zip(x).zip(g) {
+        let inner = GELU_C * (u + 0.044715 * u * u * u);
+        let t = tanh_approx(inner);
+        let dinner = GELU_C * (1.0 + 3.0 * 0.044715 * u * u);
+        let d = 0.5 * (1.0 + t) + 0.5 * u * (1.0 - t * t) * dinner;
+        *dv = gv * d;
+    }
+}
+
+/// In-place layer norm over each row — the formula of
+/// `em_tensor::layer_norm_array` (biased variance, eps inside the sqrt).
+pub fn layer_norm_rows(x: &mut [f32], gamma: &[f32], beta: &[f32], eps: f32) {
+    let d = gamma.len();
+    debug_assert_eq!(beta.len(), d);
+    debug_assert_eq!(x.len() % d, 0);
+    for row in x.chunks_mut(d) {
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        for (v, (&g, &bt)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
+            *v = (*v - mean) * istd * g + bt;
+        }
+    }
+}
+
+/// Layer norm forward that also produces what backward needs: writes the
+/// normalized-scaled-shifted output to `out`, the pre-scale normalized
+/// values to `xhat`, and one `1/√(var+eps)` per row to `inv_std`.
+pub fn layer_norm_forward(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+    xhat: &mut [f32],
+    inv_std: &mut [f32],
+) {
+    let d = gamma.len();
+    debug_assert_eq!(beta.len(), d);
+    debug_assert_eq!(x.len() % d, 0);
+    debug_assert_eq!(out.len(), x.len());
+    debug_assert_eq!(xhat.len(), x.len());
+    debug_assert_eq!(inv_std.len(), x.len() / d);
+    for (r, x_row) in x.chunks(d).enumerate() {
+        let mean = x_row.iter().sum::<f32>() / d as f32;
+        let var = x_row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        inv_std[r] = istd;
+        let out_row = &mut out[r * d..(r + 1) * d];
+        let xhat_row = &mut xhat[r * d..(r + 1) * d];
+        for (j, &v) in x_row.iter().enumerate() {
+            let xh = (v - mean) * istd;
+            xhat_row[j] = xh;
+            out_row[j] = xh * gamma[j] + beta[j];
+        }
+    }
+}
+
+/// Layer norm backward from the cached `xhat`/`inv_std` of
+/// [`layer_norm_forward`]: writes `dx` and *accumulates* into
+/// `dgamma`/`dbeta` (callers zero-initialize or chain accumulation).
+pub fn layer_norm_backward(
+    xhat: &[f32],
+    inv_std: &[f32],
+    gamma: &[f32],
+    g: &[f32],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    let d = gamma.len();
+    debug_assert_eq!(xhat.len(), g.len());
+    debug_assert_eq!(xhat.len(), dx.len());
+    debug_assert_eq!(xhat.len() % d, 0);
+    debug_assert_eq!(inv_std.len(), xhat.len() / d);
+    debug_assert_eq!(dgamma.len(), d);
+    debug_assert_eq!(dbeta.len(), d);
+    let inv_d = 1.0 / d as f32;
+    for (r, (xhat_row, g_row)) in xhat.chunks(d).zip(g.chunks(d)).enumerate() {
+        let mut sum_gy = 0.0f32;
+        let mut sum_gy_xh = 0.0f32;
+        for (j, (&xh, &gv)) in xhat_row.iter().zip(g_row).enumerate() {
+            let gy = gv * gamma[j];
+            sum_gy += gy;
+            sum_gy_xh += gy * xh;
+            dgamma[j] += gv * xh;
+            dbeta[j] += gv;
+        }
+        let istd = inv_std[r];
+        let dx_row = &mut dx[r * d..(r + 1) * d];
+        for (j, (&xh, &gv)) in xhat_row.iter().zip(g_row).enumerate() {
+            let gy = gv * gamma[j];
+            dx_row[j] = istd * (gy - inv_d * sum_gy - xh * inv_d * sum_gy_xh);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, seed: u32) -> Vec<f32> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (s >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exp_and_tanh_track_libm() {
+        let mut x = -20.0f32;
+        while x < 20.0 {
+            let e = exp_approx(x);
+            assert!(
+                (e - x.exp()).abs() <= 4e-7 * x.exp().max(1.0),
+                "exp({x}): {e} vs {}",
+                x.exp()
+            );
+            let t = tanh_approx(x);
+            assert!(
+                (t - x.tanh()).abs() <= 1e-6,
+                "tanh({x}): {t} vs {}",
+                x.tanh()
+            );
+            x += 0.0137;
+        }
+        // The input clamp floors deep-negative arguments at e^-87.34 —
+        // vanishing relative to any softmax denominator.
+        assert!(exp_approx(-200.0) <= 1.2e-38);
+        assert!(exp_approx(200.0).is_finite());
+    }
+
+    #[test]
+    fn softmax_rows_is_normalized_and_stable() {
+        let mut x = pseudo(4 * 7, 7);
+        for v in x.iter_mut() {
+            *v *= 30.0;
+        }
+        softmax_rows(&mut x, 7);
+        for row in x.chunks(7) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() <= 1e-5);
+            assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn biased_softmax_matches_add_then_softmax() {
+        let d = 5;
+        let heads_times_seq = 6; // rows_per_bias
+        let batch = 2;
+        let mut x = pseudo(batch * heads_times_seq * d, 41);
+        for v in x.iter_mut() {
+            *v *= 4.0;
+        }
+        let bias: Vec<f32> = (0..batch * d)
+            .map(|i| if i % 3 == 0 { -1e9 } else { 0.0 })
+            .collect();
+        let mut manual = x.clone();
+        for (r, row) in manual.chunks_mut(d).enumerate() {
+            let b_off = (r / heads_times_seq) * d;
+            for (v, &bv) in row.iter_mut().zip(&bias[b_off..b_off + d]) {
+                *v += bv;
+            }
+        }
+        softmax_rows(&mut manual, d);
+        let mut fused = x.clone();
+        softmax_rows_biased(&mut fused, &bias, d, heads_times_seq);
+        for (f, m) in fused.iter().zip(&manual) {
+            assert!((f - m).abs() <= 1e-6, "{f} vs {m}");
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let mut a = pseudo(3 * 9, 12);
+        for v in a.iter_mut() {
+            *v *= 5.0;
+        }
+        let mut sm = a.clone();
+        softmax_rows(&mut sm, 9);
+        log_softmax_rows(&mut a, 9);
+        for (l, s) in a.iter().zip(&sm) {
+            assert!((l.exp() - s).abs() <= 1e-5, "{} vs {}", l.exp(), s);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_differences() {
+        let d = 6;
+        let x = pseudo(2 * d, 21);
+        let g = pseudo(2 * d, 22);
+        let mut y = x.clone();
+        softmax_rows(&mut y, d);
+        let mut dx = vec![0.0f32; x.len()];
+        softmax_backward_rows(&y, &g, &mut dx, d);
+        let eps = 3e-3f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp[idx] += eps;
+            softmax_rows(&mut xp, d);
+            let mut xm = x.clone();
+            xm[idx] -= eps;
+            softmax_rows(&mut xm, d);
+            let fd: f32 = xp
+                .iter()
+                .zip(&xm)
+                .zip(&g)
+                .map(|((&p, &m), &gv)| gv * (p - m) / (2.0 * eps))
+                .sum();
+            assert!(
+                (dx[idx] - fd).abs() <= 2e-3,
+                "idx {idx}: {} vs {fd}",
+                dx[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gelu_backward_matches_finite_differences() {
+        let x = pseudo(32, 23).iter().map(|v| v * 6.0).collect::<Vec<_>>();
+        let g = pseudo(32, 24);
+        let mut dx = vec![0.0f32; x.len()];
+        gelu_backward(&x, &g, &mut dx);
+        let eps = 1e-2f32;
+        for idx in 0..x.len() {
+            let mut p = vec![x[idx] + eps];
+            gelu(&mut p);
+            let mut m = vec![x[idx] - eps];
+            gelu(&mut m);
+            let fd = g[idx] * (p[0] - m[0]) / (2.0 * eps);
+            assert!(
+                (dx[idx] - fd).abs() <= 2e-3,
+                "idx {idx}: {} vs {fd}",
+                dx[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn layer_norm_forward_matches_in_place_variant() {
+        let d = 16;
+        let x = pseudo(3 * d, 25);
+        let gamma = pseudo(d, 26);
+        let beta = pseudo(d, 27);
+        let mut inplace = x.clone();
+        layer_norm_rows(&mut inplace, &gamma, &beta, 1e-5);
+        let mut out = vec![0.0f32; x.len()];
+        let mut xhat = vec![0.0f32; x.len()];
+        let mut inv_std = vec![0.0f32; 3];
+        layer_norm_forward(&x, &gamma, &beta, 1e-5, &mut out, &mut xhat, &mut inv_std);
+        for (a, b) in out.iter().zip(&inplace) {
+            assert!((a - b).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn layer_norm_backward_matches_finite_differences() {
+        let d = 8;
+        let rows = 2;
+        let x = pseudo(rows * d, 28);
+        let gamma = pseudo(d, 29).iter().map(|v| v + 1.0).collect::<Vec<_>>();
+        let beta = pseudo(d, 30);
+        let g = pseudo(rows * d, 31);
+        let eps = 1e-5f32;
+        let forward = |xs: &[f32]| {
+            let mut out = vec![0.0f32; xs.len()];
+            let mut xhat = vec![0.0f32; xs.len()];
+            let mut inv_std = vec![0.0f32; rows];
+            layer_norm_forward(xs, &gamma, &beta, eps, &mut out, &mut xhat, &mut inv_std);
+            (out, xhat, inv_std)
+        };
+        let (_, xhat, inv_std) = forward(&x);
+        let mut dx = vec![0.0f32; x.len()];
+        let mut dgamma = vec![0.0f32; d];
+        let mut dbeta = vec![0.0f32; d];
+        layer_norm_backward(
+            &xhat,
+            &inv_std,
+            &gamma,
+            &g,
+            &mut dx,
+            &mut dgamma,
+            &mut dbeta,
+        );
+        let h = 3e-3f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp[idx] += h;
+            let mut xm = x.clone();
+            xm[idx] -= h;
+            let (op, _, _) = forward(&xp);
+            let (om, _, _) = forward(&xm);
+            let fd: f32 = op
+                .iter()
+                .zip(&om)
+                .zip(&g)
+                .map(|((&p, &m), &gv)| gv * (p - m) / (2.0 * h))
+                .sum();
+            assert!(
+                (dx[idx] - fd).abs() <= 3e-3,
+                "dx[{idx}]: {} vs {fd}",
+                dx[idx]
+            );
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The persistent worker pool behind every parallel kernel.
+//!
+//! Before this crate existed, `em-tensor`'s matmul spawned fresh OS
+//! threads through `std::thread::scope` on every large call — tens of
+//! thousands of spawn/join cycles per fine-tuning epoch. The pool here is
+//! built once (lazily, on first parallel kernel), sized from
+//! `EM_THREADS` or [`std::thread::available_parallelism`], and then
+//! reused by training GEMM, batched matmul and the serving forward pass
+//! alike.
+//!
+//! Two rules keep the pool deadlock-free and the machine
+//! un-oversubscribed:
+//!
+//! 1. A task running *on* a pool worker never re-enters the pool — a
+//!    nested [`ThreadPool::scope`] call runs its tasks inline. Without this, a worker
+//!    blocking on a latch for tasks queued behind it would deadlock.
+//! 2. Any thread may opt out of intra-op parallelism with
+//!    [`serialize_current_thread`]. The serve matcher marks its request
+//!    workers this way when it runs more than one of them, so worker
+//!    count and kernel threading no longer multiply.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::Cell;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of work queued on the pool (lifetime already erased).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// True on pool workers and on threads that called
+    /// [`serialize_current_thread`]; forces kernels to run serially.
+    static SERIAL_CONTEXT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Mark the current thread as a serial context: every kernel invoked from
+/// it runs single-threaded instead of fanning out to the pool. Used by
+/// outer-parallel callers (e.g. serve request workers) that already own a
+/// core each.
+pub fn serialize_current_thread() {
+    SERIAL_CONTEXT.with(|c| c.set(true));
+}
+
+/// Whether the current thread must not fan work out to the pool.
+pub fn in_serial_context() -> bool {
+    SERIAL_CONTEXT.with(Cell::get)
+}
+
+/// Run `f` with the current thread marked serial, restoring the previous
+/// mark afterwards. Outer-parallel loops wrap their per-task bodies in
+/// this so inner kernels do not fan out a second level of parallelism.
+pub fn with_serial_context<R>(f: impl FnOnce() -> R) -> R {
+    let prev = SERIAL_CONTEXT.with(|c| c.replace(true));
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SERIAL_CONTEXT.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Countdown latch: the scope owner blocks until every queued task ran.
+struct Latch {
+    state: Mutex<(usize, bool)>, // (remaining tasks, any panicked)
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            state: Mutex::new((count, false)),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panicked: bool) {
+        let mut st = self.state.lock().expect("latch poisoned");
+        st.0 -= 1;
+        st.1 |= panicked;
+        if st.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until the count reaches zero; returns whether a task panicked.
+    fn wait(&self) -> bool {
+        let mut st = self.state.lock().expect("latch poisoned");
+        while st.0 > 0 {
+            st = self.done.wait(st).expect("latch poisoned");
+        }
+        st.1
+    }
+}
+
+/// The lazily-built global worker pool.
+pub struct ThreadPool {
+    tx: Sender<Task>,
+    threads: usize,
+}
+
+static POOL: OnceLock<ThreadPool> = OnceLock::new();
+
+fn worker_loop(rx: Receiver<Task>) {
+    // Workers are themselves serial contexts: nested scopes run inline.
+    serialize_current_thread();
+    while let Ok(task) = rx.recv() {
+        task();
+    }
+}
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("EM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// The process-wide pool, built on first use. `EM_THREADS` overrides the
+/// detected width; the chosen value is published on the
+/// `kernels/pool_threads` gauge.
+pub fn global() -> &'static ThreadPool {
+    POOL.get_or_init(|| {
+        let threads = configured_threads();
+        let (tx, rx) = unbounded::<Task>();
+        // The scope owner executes one task inline, so `threads` total
+        // execution lanes need `threads - 1` dedicated workers.
+        for i in 0..threads.saturating_sub(1) {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("em-kernel-{i}"))
+                .spawn(move || worker_loop(rx))
+                .expect("spawn kernel pool worker");
+        }
+        em_obs::gauge_set("kernels/pool_threads", threads as f64);
+        ThreadPool { tx, threads }
+    })
+}
+
+/// Parallelism available to the current thread: 1 inside serial contexts
+/// (pool workers, marked serve workers), the pool width otherwise.
+pub fn current_parallelism() -> usize {
+    if in_serial_context() {
+        1
+    } else {
+        global().threads
+    }
+}
+
+impl ThreadPool {
+    /// Number of execution lanes (including the scope owner's).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `tasks` to completion, using pool workers for all but one task
+    /// and the calling thread for the last. Borrows in the tasks are
+    /// sound because this function does not return (even by unwind) until
+    /// every task has finished.
+    pub fn scope<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let n = tasks.len();
+        if n == 0 {
+            return;
+        }
+        if n == 1 || self.threads <= 1 || in_serial_context() {
+            for t in tasks {
+                t();
+            }
+            return;
+        }
+        let latch = Arc::new(Latch::new(n - 1));
+        let mut tasks = tasks.into_iter();
+        let inline = tasks.next().expect("n >= 2");
+        for task in tasks {
+            // SAFETY: the latch guard below blocks this frame (normal
+            // return *and* unwind) until the task has run, so every
+            // borrow with lifetime 'env outlives the task's execution.
+            let task: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task) };
+            let latch = Arc::clone(&latch);
+            let wrapped: Task = Box::new(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                latch.complete(result.is_err());
+            });
+            if self.tx.send(wrapped).is_err() {
+                unreachable!("kernel pool queue closed while pool is alive");
+            }
+        }
+        // Wait even if the inline task panics — workers may still be
+        // touching borrowed data.
+        struct WaitGuard<'a>(&'a Latch);
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                let panicked = self.0.wait();
+                if panicked && !std::thread::panicking() {
+                    panic!("kernel pool task panicked");
+                }
+            }
+        }
+        let _guard = WaitGuard(&latch);
+        inline();
+    }
+}
+
+/// Partition `c` (conceptually `rows` rows of `row_width` elements) into
+/// at most [`current_parallelism`] contiguous row blocks and run `f` on
+/// each block in parallel: `f(row_offset, block)`. The workhorse behind
+/// every row-parallel GEMM. Runs inline when the pool is unavailable.
+pub fn parallel_rows<F>(c: &mut [f32], rows: usize, row_width: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(c.len(), rows * row_width);
+    let threads = current_parallelism().min(rows.max(1));
+    if threads <= 1 {
+        f(0, c);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    let f = &f;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(threads);
+    let mut rest = c;
+    let mut row = 0usize;
+    while row < rows {
+        let take = rows_per.min(rows - row);
+        let (chunk, tail) = rest.split_at_mut(take * row_width);
+        rest = tail;
+        let start = row;
+        tasks.push(Box::new(move || f(start, chunk)));
+        row += take;
+    }
+    global().scope(tasks);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_tasks_with_borrows() {
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..16)
+            .map(|i| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(i, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        global().scope(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), (0..16).sum());
+    }
+
+    #[test]
+    fn parallel_rows_covers_every_row() {
+        let rows = 37;
+        let width = 5;
+        let mut c = vec![0.0f32; rows * width];
+        parallel_rows(&mut c, rows, width, |start, block| {
+            for (r, row) in block.chunks_mut(width).enumerate() {
+                row.fill((start + r) as f32);
+            }
+        });
+        for r in 0..rows {
+            assert!(c[r * width..(r + 1) * width].iter().all(|&v| v == r as f32));
+        }
+    }
+
+    #[test]
+    fn nested_scopes_run_inline_without_deadlock() {
+        let counter = AtomicUsize::new(0);
+        let outer: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                let counter = &counter;
+                Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                        .map(|_| {
+                            Box::new(move || {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    global().scope(inner);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        global().scope(outer);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn serialized_threads_report_parallelism_one() {
+        std::thread::spawn(|| {
+            serialize_current_thread();
+            assert_eq!(current_parallelism(), 1);
+        })
+        .join()
+        .unwrap();
+    }
+}

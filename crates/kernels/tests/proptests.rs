@@ -1,0 +1,100 @@
+//! Property-based equivalence tests: every GEMM transpose variant must
+//! match a naive scalar reference to ≤1e-4 on arbitrary shapes, including
+//! dimension 1 and sizes that are not multiples of the 8/16-wide SIMD
+//! lanes (so the column-tail and row-stripe paths are all exercised).
+
+use em_kernels::{gemm_nn, gemm_nt, gemm_tn};
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    // Deliberately spans 1, odd sizes, non-multiples of 8, and sizes past
+    // the 16-wide tile so every tail path runs.
+    (1usize..40, 1usize..40, 1usize..40)
+}
+
+/// Naive reference: `C = A(m×k)·B(k×n) + bias`, plain triple loop.
+fn reference_nn(
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = bias.map_or(0.0, |bb| bb[j]);
+            for p in 0..k {
+                s += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = s;
+        }
+    }
+    c
+}
+
+fn assert_close(got: &[f32], want: &[f32], what: &str) -> Result<(), TestCaseError> {
+    for (idx, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert!(
+            (g - w).abs() <= 1e-4 * w.abs().max(1.0),
+            "{what}[{idx}]: {g} vs {w}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn nn_matches_reference(
+        (m, k, n) in dims(),
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let bias: Vec<f32> = (0..n).map(|_| next()).collect();
+        let want = reference_nn(&a, &b, Some(&bias), m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_nn(&a, &b, Some(&bias), &mut got, m, k, n);
+        assert_close(&got, &want, "nn")?;
+    }
+
+    #[test]
+    fn nt_matches_reference((m, k, n) in dims()) {
+        let av: Vec<f32> = (0..m * k).map(|i| ((i * 37 + 11) % 19) as f32 / 9.0 - 1.0).collect();
+        let bt: Vec<f32> = (0..n * k).map(|i| ((i * 53 + 7) % 23) as f32 / 11.0 - 1.0).collect();
+        // Materialize B (k×n) from its transposed storage for the reference.
+        let mut b = vec![0.0f32; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let want = reference_nn(&av, &b, None, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_nt(&av, &bt, None, &mut got, m, k, n);
+        assert_close(&got, &want, "nt")?;
+    }
+
+    #[test]
+    fn tn_matches_reference((m, k, n) in dims()) {
+        let at: Vec<f32> = (0..k * m).map(|i| ((i * 29 + 3) % 17) as f32 / 8.0 - 1.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 41 + 13) % 21) as f32 / 10.0 - 1.0).collect();
+        // Materialize A (m×k) from its transposed storage for the reference.
+        let mut a = vec![0.0f32; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = at[p * m + i];
+            }
+        }
+        let want = reference_nn(&a, &b, None, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_tn(&at, &b, None, &mut got, m, k, n);
+        assert_close(&got, &want, "tn")?;
+    }
+}

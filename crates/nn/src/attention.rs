@@ -75,20 +75,27 @@ impl MultiHeadAttention {
             // [b, t, d] -> [b, t, h, dh] -> [b, h, t, dh]
             proj.reshape(vec![b, t, h, dh]).permute(&[0, 2, 1, 3])
         };
-        let q = split(self.q.forward(x));
+        // The 1/√dh temperature is applied to Q ([b, h, t, dh]) rather
+        // than to the scores ([b, h, t, t]) — same math, t/dh times fewer
+        // elements through the scale op in forward and backward.
+        let q = split(self.q.forward(x)).scale(1.0 / (dh as f32).sqrt());
         let k = split(self.k.forward(x));
         let v = split(self.v.forward(x));
 
-        let mut scores = q
-            .matmul(&k.transpose_last())
-            .scale(1.0 / (dh as f32).sqrt());
+        // Q·Kᵀ through the NT kernel: K stays in its [b, h, t, dh] layout
+        // (k-contiguous rows), no transposed copy in forward or backward.
+        let mut scores = q.matmul_nt(&k);
         if let Some(bias) = extra_bias {
             scores = scores.add(bias);
         }
-        if let Some(m) = mask {
-            scores = scores.add(&Tensor::constant(m.clone()));
-        }
-        let probs = ctx.dropout(&scores.softmax(), self.dropout);
+        // The constant padding mask is folded into the softmax: one fused
+        // row kernel instead of a broadcast add node whose backward would
+        // clone the full [b, h, t, t] gradient just to pass it through.
+        let sm = match mask {
+            Some(m) => scores.softmax_biased(m),
+            None => scores.softmax(),
+        };
+        let probs = ctx.dropout(&sm, self.dropout);
         let ctx_vec = probs.matmul(&v); // [b, h, t, dh]
         let merged = ctx_vec.permute(&[0, 2, 1, 3]).reshape(vec![b, t, d]);
         self.o.forward(&merged)

@@ -6,18 +6,18 @@
 //! same weights as raw buffers (which are `Send + Sync`), so one model
 //! behind an `Arc` serves any number of worker threads. The forward pass
 //! computes the same function as the autograd eval path — same op order,
-//! same layer-norm/softmax/GELU formulas — but through the fused inference
-//! kernels in `crate::kernels`: one register-blocked GEMM per projection
-//! with the bias in the epilogue, the Q/K/V projections merged into a
-//! single matrix product, K written pre-transposed, and polynomial
-//! `exp`/`tanh` in softmax and GELU. Frozen logits therefore reproduce
-//! autograd logits to within float-rounding — the equivalence tests assert
-//! 1e-5 across all four architectures — while running several times
-//! faster per example than the autograd batch-1 path.
+//! same layer-norm/softmax/GELU formulas — but through the shared
+//! `em-kernels` crate: one register-blocked GEMM per projection with the
+//! bias in the epilogue, the Q/K/V projections merged into a single
+//! matrix product, K written pre-transposed, and polynomial `exp`/`tanh`
+//! in softmax and GELU. Frozen logits therefore reproduce autograd logits
+//! to within float-rounding — the equivalence tests assert 1e-5 across
+//! all four architectures — while running several times faster per
+//! example than the autograd batch-1 path.
 
-use crate::kernels::{gelu, gemm_bias, layer_norm_rows, softmax_rows};
 use em_core::EmMatcher;
 use em_data::{Dataset, EntityPair};
+use em_kernels::{gelu, gemm_nn, layer_norm_rows, softmax_rows};
 use em_nn::Linear;
 use em_tensor::{softmax_array, Array};
 use em_tokenizers::{encode_pair, AnyTokenizer, ClsPosition, Encoding};
@@ -52,7 +52,7 @@ impl FrozenLinear {
     /// Apply to `rows` flat row-major input rows through the fused kernel.
     fn forward_flat(&self, x: &[f32], out: &mut [f32], rows: usize) {
         let (k, n) = (self.w.shape()[0], self.w.shape()[1]);
-        gemm_bias(x, self.w.data(), Some(self.b.data()), out, rows, k, n);
+        gemm_nn(x, self.w.data(), Some(self.b.data()), out, rows, k, n);
     }
 }
 
@@ -218,7 +218,7 @@ impl FrozenLayer {
         let rows = b * t;
 
         // Attention: fused QKV projection, then per-(sample, head) GEMMs.
-        gemm_bias(x, &self.wqkv, Some(&self.bqkv), &mut s.qkv, rows, d, 3 * d);
+        gemm_nn(x, &self.wqkv, Some(&self.bqkv), &mut s.qkv, rows, d, 3 * d);
         for bi in 0..b {
             for ti in 0..t {
                 let row = &s.qkv[(bi * t + ti) * 3 * d..(bi * t + ti + 1) * 3 * d];
@@ -233,7 +233,7 @@ impl FrozenLayer {
             }
         }
         for g in 0..b * h {
-            gemm_bias(
+            gemm_nn(
                 &s.q[g * t * dh..(g + 1) * t * dh],
                 &s.kt[g * t * dh..(g + 1) * t * dh],
                 None,
@@ -270,7 +270,7 @@ impl FrozenLayer {
         for bi in 0..b {
             for hi in 0..h {
                 let g = bi * h + hi;
-                gemm_bias(
+                gemm_nn(
                     &s.scores[g * t * t..(g + 1) * t * t],
                     &s.v[g * t * dh..(g + 1) * t * dh],
                     None,

@@ -36,7 +36,6 @@
 pub mod cache;
 pub mod config;
 pub mod frozen;
-mod kernels;
 pub mod matcher;
 
 pub use config::{ServeConfig, ServeConfigBuilder, ServeError};

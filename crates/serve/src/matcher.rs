@@ -110,6 +110,19 @@ impl ServeMatcher {
         let frozen = Arc::new(frozen);
         let stats = Arc::new(StatsInner::default());
         let (tx, rx) = bounded::<Job>(config.queue_depth);
+        // With several request workers, each already owns a core's worth of
+        // work: mark them serial so the kernel pool does not fan each
+        // worker's GEMMs out again (workers × pool threads oversubscription).
+        // A single worker keeps intra-op pool parallelism.
+        let serialize_kernels = config.workers > 1;
+        em_obs::gauge_set(
+            "serve/intra_op_threads",
+            if serialize_kernels {
+                1.0
+            } else {
+                em_kernels::pool::current_parallelism() as f64
+            },
+        );
         let workers = (0..config.workers)
             .map(|i| {
                 let rx = rx.clone();
@@ -119,36 +132,44 @@ impl ServeMatcher {
                 let max_wait = config.max_wait;
                 std::thread::Builder::new()
                     .name(format!("em-serve-{i}"))
-                    .spawn(move || loop {
-                        // Block for the batch head, then coalesce until the
-                        // batch fills or the deadline passes.
-                        let Ok(first) = rx.recv() else {
-                            return; // queue drained + all senders gone
-                        };
-                        let deadline = Instant::now() + max_wait;
-                        let mut jobs = vec![first];
-                        while jobs.len() < max_batch {
-                            match rx.recv_deadline(deadline) {
-                                Ok(job) => jobs.push(job),
-                                Err(RecvTimeoutError::Timeout)
-                                | Err(RecvTimeoutError::Disconnected) => break,
-                            }
+                    .spawn(move || {
+                        if serialize_kernels {
+                            em_kernels::pool::serialize_current_thread();
                         }
-                        let _span = em_obs::span!("serve/batch");
-                        let encodings: Vec<Encoding> =
-                            jobs.iter().map(|j| j.encoding.clone()).collect();
-                        let scores = frozen.score_encodings(&encodings);
-                        stats.batches.fetch_add(1, Ordering::Relaxed);
-                        stats
-                            .examples
-                            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-                        em_obs::counter_inc("serve/batches");
-                        em_obs::counter_add("serve/batch_examples", jobs.len() as u64);
-                        em_obs::gauge_set("serve/batch_fill", jobs.len() as f64 / max_batch as f64);
-                        for (job, score) in jobs.into_iter().zip(scores) {
-                            // A client that timed out dropped its receiver;
-                            // that's its loss, not a worker error.
-                            let _ = job.resp.send(score);
+                        loop {
+                            // Block for the batch head, then coalesce until the
+                            // batch fills or the deadline passes.
+                            let Ok(first) = rx.recv() else {
+                                return; // queue drained + all senders gone
+                            };
+                            let deadline = Instant::now() + max_wait;
+                            let mut jobs = vec![first];
+                            while jobs.len() < max_batch {
+                                match rx.recv_deadline(deadline) {
+                                    Ok(job) => jobs.push(job),
+                                    Err(RecvTimeoutError::Timeout)
+                                    | Err(RecvTimeoutError::Disconnected) => break,
+                                }
+                            }
+                            let _span = em_obs::span!("serve/batch");
+                            let encodings: Vec<Encoding> =
+                                jobs.iter().map(|j| j.encoding.clone()).collect();
+                            let scores = frozen.score_encodings(&encodings);
+                            stats.batches.fetch_add(1, Ordering::Relaxed);
+                            stats
+                                .examples
+                                .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+                            em_obs::counter_inc("serve/batches");
+                            em_obs::counter_add("serve/batch_examples", jobs.len() as u64);
+                            em_obs::gauge_set(
+                                "serve/batch_fill",
+                                jobs.len() as f64 / max_batch as f64,
+                            );
+                            for (job, score) in jobs.into_iter().zip(scores) {
+                                // A client that timed out dropped its receiver;
+                                // that's its loss, not a worker error.
+                                let _ = job.resp.send(score);
+                            }
                         }
                     })
                     .expect("failed to spawn serving worker")

@@ -50,6 +50,29 @@ pub fn strides_for(shape: &[usize]) -> Vec<usize> {
     strides
 }
 
+/// Effective per-output-dimension strides for reading `src` as if it were
+/// broadcast to `out`: `0` where the source extent is 1 (or the dimension
+/// is padded), the source stride otherwise.
+fn eff_strides(src: &[usize], out: &[usize]) -> Vec<usize> {
+    let pad = out.len() - src.len();
+    let src_strides = strides_for(src);
+    let mut eff = vec![0usize; out.len()];
+    for i in 0..out.len() {
+        if i >= pad && src[i - pad] != 1 {
+            eff[i] = src_strides[i - pad];
+        }
+    }
+    eff
+}
+
+/// Whether the run-at-a-time layout fast paths are enabled. They produce
+/// bit-identical results, but `Backend::Scalar` keeps the original
+/// element-at-a-time loops so trainbench's baseline replays the pre-PR
+/// cost model faithfully.
+fn fast_layout() -> bool {
+    em_kernels::backend() == em_kernels::Backend::Auto
+}
+
 /// Result shape of broadcasting `a` against `b`, or `None` if incompatible.
 ///
 /// Follows NumPy rules: align trailing dimensions; each pair must be equal
@@ -246,6 +269,9 @@ impl Array {
         }
         let out_shape = broadcast_shape(&self.shape, &other.shape)
             .unwrap_or_else(|| panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape));
+        if fast_layout() && !out_shape.is_empty() {
+            return self.zip_broadcast_runs(other, &out_shape, f);
+        }
         let a = self.broadcast_to(&out_shape);
         let b = other.broadcast_to(&out_shape);
         let data = a
@@ -257,6 +283,69 @@ impl Array {
         Array {
             data,
             shape: out_shape,
+        }
+    }
+
+    /// Broadcast `f` over `self`/`other` one inner run at a time: no
+    /// materialized broadcast copies, a tight loop over the innermost
+    /// dimension, and a shared odometer for the outer dimensions.
+    fn zip_broadcast_runs(
+        &self,
+        other: &Array,
+        out_shape: &[usize],
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Array {
+        let ndim = out_shape.len();
+        let last = ndim - 1;
+        let run = out_shape[last];
+        let a_eff = eff_strides(&self.shape, out_shape);
+        let b_eff = eff_strides(&other.shape, out_shape);
+        let mut out = vec![0.0f32; numel(out_shape)];
+        let mut idx = vec![0usize; last];
+        let (mut ao, mut bo) = (0usize, 0usize);
+        for chunk in out.chunks_mut(run.max(1)) {
+            match (a_eff[last], b_eff[last]) {
+                (1, 1) => {
+                    for (o, (&x, &y)) in chunk.iter_mut().zip(
+                        self.data[ao..ao + run]
+                            .iter()
+                            .zip(&other.data[bo..bo + run]),
+                    ) {
+                        *o = f(x, y);
+                    }
+                }
+                (1, 0) => {
+                    let y = other.data[bo];
+                    for (o, &x) in chunk.iter_mut().zip(&self.data[ao..ao + run]) {
+                        *o = f(x, y);
+                    }
+                }
+                (0, 1) => {
+                    let x = self.data[ao];
+                    for (o, &y) in chunk.iter_mut().zip(&other.data[bo..bo + run]) {
+                        *o = f(x, y);
+                    }
+                }
+                _ => {
+                    // Both extents are 1 on the last dim (so run == 1).
+                    chunk.fill(f(self.data[ao], other.data[bo]));
+                }
+            }
+            for d in (0..last).rev() {
+                idx[d] += 1;
+                ao += a_eff[d];
+                bo += b_eff[d];
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                ao -= a_eff[d] * out_shape[d];
+                bo -= b_eff[d] * out_shape[d];
+                idx[d] = 0;
+            }
+        }
+        Array {
+            data: out,
+            shape: out_shape.to_vec(),
         }
     }
 
@@ -314,14 +403,35 @@ impl Array {
             return self.clone();
         }
         let ndim = self.shape.len();
-        let pad = ndim - target.len();
         let mut out = Array::zeros(target.to_vec());
-        let tgt_strides = strides_for(target);
-        let mut eff = vec![0usize; ndim];
-        for i in 0..ndim {
-            if i >= pad && target[i - pad] != 1 {
-                eff[i] = tgt_strides[i - pad];
+        let eff = eff_strides(target, &self.shape);
+        if ndim > 0 && fast_layout() {
+            // Whole inner runs at a time: either the target keeps the last
+            // dimension (accumulate row into row) or it drops/collapses it
+            // (reduce row to a scalar).
+            let last = ndim - 1;
+            let run = self.shape[last].max(1);
+            let mut idx = vec![0usize; last];
+            let mut tgt_off = 0usize;
+            for chunk in self.data.chunks(run) {
+                if eff[last] == 1 {
+                    for (o, &v) in out.data[tgt_off..tgt_off + run].iter_mut().zip(chunk) {
+                        *o += v;
+                    }
+                } else {
+                    out.data[tgt_off] += chunk.iter().sum::<f32>();
+                }
+                for d in (0..last).rev() {
+                    idx[d] += 1;
+                    tgt_off += eff[d];
+                    if idx[d] < self.shape[d] {
+                        break;
+                    }
+                    tgt_off -= eff[d] * self.shape[d];
+                    idx[d] = 0;
+                }
             }
+            return out;
         }
         let mut idx = vec![0usize; ndim];
         let mut tgt_off = 0usize;
@@ -464,6 +574,31 @@ impl Array {
         let eff: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
         let mut out = vec![0.0f32; self.data.len()];
         let ndim = out_shape.len();
+        if ndim > 0 && eff[ndim - 1] == 1 && fast_layout() {
+            // The innermost output dimension walks contiguous input memory
+            // (true for every head split/merge in attention), so move whole
+            // runs instead of stepping the odometer per element.
+            let last = ndim - 1;
+            let run = out_shape[last].max(1);
+            let mut idx = vec![0usize; last];
+            let mut src = 0usize;
+            for chunk in out.chunks_exact_mut(run) {
+                chunk.copy_from_slice(&self.data[src..src + run]);
+                for d in (0..last).rev() {
+                    idx[d] += 1;
+                    src += eff[d];
+                    if idx[d] < out_shape[d] {
+                        break;
+                    }
+                    src -= eff[d] * out_shape[d];
+                    idx[d] = 0;
+                }
+            }
+            return Array {
+                data: out,
+                shape: out_shape,
+            };
+        }
         let mut idx = vec![0usize; ndim];
         let mut src = 0usize;
         for slot in out.iter_mut() {
@@ -500,6 +635,18 @@ impl Array {
     /// the other's batches.
     pub fn matmul(&self, other: &Array) -> Array {
         crate::kernel::matmul(self, other)
+    }
+
+    /// `self · otherᵀ` over the trailing axes (`[.., m, k] x [.., n, k]`)
+    /// without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Array) -> Array {
+        crate::kernel::matmul_nt(self, other)
+    }
+
+    /// `selfᵀ · other` over the trailing axes (`[.., k, m] x [.., k, n]`)
+    /// without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Array) -> Array {
+        crate::kernel::matmul_tn(self, other)
     }
 
     /// Gather rows: `self` is `[v, d]`, `indices` select rows, output is

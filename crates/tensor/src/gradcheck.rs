@@ -87,6 +87,14 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_matmul_nt_batched() {
+        // The attention-score shape: [batch, m, k] x [batch, n, k].
+        let q = param(vec![2, 3, 4], 14);
+        let k = param(vec![2, 5, 4], 15);
+        assert_gradients_close(&[q, k], |p| p[0].matmul_nt(&p[1]).square().sum_all(), 2e-2);
+    }
+
+    #[test]
     fn gradcheck_smooth_activations() {
         for (seed, which) in [(6, "gelu"), (7, "tanh"), (8, "sigmoid")] {
             let a = param(vec![3, 3], seed);

@@ -1,80 +1,106 @@
-//! Matrix-multiplication kernels.
+//! Matrix-multiplication entry points for the autograd `Array`.
 //!
-//! Transformers spend nearly all their time in matmul, so this is the one
-//! place in the workspace that cares about micro-optimization: an `ikj`
-//! loop order (unit-stride inner loop, auto-vectorizable) and row-partitioned
-//! multi-threading above a size threshold.
+//! The arithmetic lives in `em-kernels` (register-blocked AVX2+FMA GEMM
+//! with a portable fallback, persistent worker pool); this module maps
+//! `Array` shapes onto those flat kernels. Three layout variants exist so
+//! backward passes never materialize a transpose: `NN` for forward
+//! products, `NT` for `Q·Kᵀ`-style scores and `dA = dC·Bᵀ`, and `TN` for
+//! `dB = Aᵀ·dC`. Batched products over a shared 2-D right operand are
+//! flattened into one large GEMM instead of a per-item loop.
 
 use crate::array::Array;
+use em_kernels::pool;
 
 /// Below this many multiply-adds the threading overhead is not worth paying.
 const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
 
-/// Single-threaded `C += A(m×k) · B(k×n)` into `c` (row-major slices).
-fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                *c_v += a_ip * b_v;
-            }
-        }
-    }
-}
-
-/// `C = A(m×k) · B(k×n)`, multi-threaded across row blocks when large enough.
+/// `C = A(m×k) · B(k×n)`, row-parallel on the shared pool when large enough.
 pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let _span = em_obs::span!("gemm");
     em_obs::counter_inc("gemm/calls");
     em_obs::counter_add("gemm/flops", 2 * (m * k * n) as u64);
     let mut c = vec![0.0f32; m * n];
-    let flops = m * k * n;
-    let threads = available_threads();
-    if flops < PARALLEL_FLOP_THRESHOLD || threads <= 1 || m < 2 {
-        gemm_serial(a, b, &mut c, m, k, n);
-        return c;
-    }
-    let threads = threads.min(m);
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut rest: &mut [f32] = &mut c;
-        let mut row = 0usize;
-        while row < m {
-            let take = rows_per.min(m - row);
-            let (chunk, tail) = rest.split_at_mut(take * n);
-            rest = tail;
-            let a_chunk = &a[row * k..(row + take) * k];
-            scope.spawn(move || gemm_serial(a_chunk, b, chunk, take, k, n));
-            row += take;
-        }
-    });
+    em_kernels::gemm_nn(a, b, None, &mut c, m, k, n);
     c
 }
 
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+/// How a flat operand block is oriented inside a matmul variant.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    /// `A(m×k) · B(k×n)`
+    Nn,
+    /// `A(m×k) · Bᵀ` with `B` stored `n×k`
+    Nt,
+    /// `Aᵀ · B(k×n)` with `A` stored `k×m`
+    Tn,
+}
+
+fn gemm_variant(v: Variant, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    match v {
+        Variant::Nn => em_kernels::gemm_nn(a, b, None, c, m, k, n),
+        Variant::Nt => em_kernels::gemm_nt(a, b, None, c, m, k, n),
+        Variant::Tn => em_kernels::gemm_tn(a, b, None, c, m, k, n),
+    }
 }
 
 /// Batched matrix product. See [`Array::matmul`] for the accepted shapes.
 pub fn matmul(a: &Array, b: &Array) -> Array {
+    matmul_impl(a, b, Variant::Nn)
+}
+
+/// Batched `A · Bᵀ` over the trailing axes: `[.., m, k] x [.., n, k] ->
+/// [.., m, n]`. The fast path behind attention scores and the matmul
+/// backward `dA = dC·Bᵀ`; no transpose is materialized.
+pub fn matmul_nt(a: &Array, b: &Array) -> Array {
+    matmul_impl(a, b, Variant::Nt)
+}
+
+/// Batched `Aᵀ · B` over the trailing axes: `[.., k, m] x [.., k, n] ->
+/// [.., m, n]`. The fast path behind the matmul backward `dB = Aᵀ·dC`.
+pub fn matmul_tn(a: &Array, b: &Array) -> Array {
+    matmul_impl(a, b, Variant::Tn)
+}
+
+/// `Aᵀ·B` with every leading axis folded into the contraction:
+/// `[.., r, m] x [.., r, n] -> [m, n]`, summing over all leading batches.
+/// This is the weight gradient `dW = Aᵀ·dC` for a 2-D weight shared
+/// across a batch, produced already reduced by a single GEMM instead of
+/// per-batch products plus a reduction pass.
+pub fn matmul_tn_reduce(a: &Array, b: &Array) -> Array {
+    let _span = em_obs::span!("matmul");
+    let (sa, sb) = (a.shape(), b.shape());
+    assert!(sa.len() >= 2 && sb.len() >= 2, "matmul needs rank >= 2");
+    let m = sa[sa.len() - 1];
+    let n = sb[sb.len() - 1];
+    let rows = a.len() / m;
+    assert_eq!(
+        rows,
+        b.len() / n,
+        "matmul_tn_reduce row mismatch: {sa:?} x {sb:?}"
+    );
+    em_obs::counter_inc("gemm/calls");
+    em_obs::counter_add("gemm/flops", 2 * (rows * m * n) as u64);
+    let mut out = vec![0.0f32; m * n];
+    em_kernels::gemm_tn(a.data(), b.data(), None, &mut out, m, rows, n);
+    Array::from_vec(out, vec![m, n])
+}
+
+fn matmul_impl(a: &Array, b: &Array, variant: Variant) -> Array {
     let _span = em_obs::span!("matmul");
     let (sa, sb) = (a.shape(), b.shape());
     assert!(
         sa.len() >= 2 && sb.len() >= 2,
         "matmul needs rank >= 2, got {sa:?} x {sb:?}"
     );
-    let (m, ka) = (sa[sa.len() - 2], sa[sa.len() - 1]);
-    let (kb, n) = (sb[sb.len() - 2], sb[sb.len() - 1]);
+    // Logical (m, k, n) after accounting for the stored orientation.
+    let (m, ka) = match variant {
+        Variant::Tn => (sa[sa.len() - 1], sa[sa.len() - 2]),
+        _ => (sa[sa.len() - 2], sa[sa.len() - 1]),
+    };
+    let (kb, n) = match variant {
+        Variant::Nt => (sb[sb.len() - 1], sb[sb.len() - 2]),
+        _ => (sb[sb.len() - 2], sb[sb.len() - 1]),
+    };
     assert_eq!(ka, kb, "matmul inner dims differ: {sa:?} x {sb:?}");
     let batch_a: usize = sa[..sa.len() - 2].iter().product();
     let batch_b: usize = sb[..sb.len() - 2].iter().product();
@@ -96,27 +122,42 @@ pub fn matmul(a: &Array, b: &Array) -> Array {
 
     let ad = a.data();
     let bd = b.data();
-    // The batch == 1 path goes through `gemm`, which does its own counting.
-    if batch > 1 {
-        em_obs::counter_add("gemm/calls", batch as u64);
-        em_obs::counter_add("gemm/flops", 2 * (batch * m * ka * n) as u64);
-    }
+    em_obs::counter_add("gemm/calls", batch as u64);
+    em_obs::counter_add("gemm/flops", 2 * (batch * m * ka * n) as u64);
     let mut out = vec![0.0f32; batch * m * n];
     let a_stride = if sa.len() == 2 { 0 } else { m * ka };
     let b_stride = if sb.len() == 2 { 0 } else { ka * n };
-    let threads = available_threads();
-    if batch > 1 && batch * m * ka * n >= PARALLEL_FLOP_THRESHOLD && threads > 1 {
-        // Parallelize across batch items (disjoint output chunks).
-        let per = batch.div_ceil(threads.min(batch));
-        std::thread::scope(|scope| {
-            for (chunk_idx, chunk) in out.chunks_mut(per * m * n).enumerate() {
-                let start = chunk_idx * per;
-                scope.spawn(move || {
+
+    if batch == 1 {
+        gemm_variant(variant, ad, bd, &mut out, m, ka, n);
+    } else if variant != Variant::Tn
+        && sb.len() == 2
+        && em_kernels::backend() == em_kernels::Backend::Auto
+    {
+        // Shared 2-D right operand: the batch of `m×k` blocks is one
+        // contiguous `(batch·m)×k` matrix — run a single large GEMM and
+        // let the kernel row-partition it, instead of `batch` small calls.
+        match variant {
+            Variant::Nn => em_kernels::gemm_nn(ad, bd, None, &mut out, batch * m, ka, n),
+            Variant::Nt => em_kernels::gemm_nt(ad, bd, None, &mut out, batch * m, ka, n),
+            Variant::Tn => unreachable!(),
+        }
+    } else if batch * m * ka * n >= PARALLEL_FLOP_THRESHOLD && pool::current_parallelism() > 1 {
+        // Parallelize across batch items (disjoint output chunks) on the
+        // persistent pool; each item runs its GEMM serially.
+        let threads = pool::current_parallelism().min(batch);
+        let per = batch.div_ceil(threads);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(threads);
+        for (chunk_idx, chunk) in out.chunks_mut(per * m * n).enumerate() {
+            let start = chunk_idx * per;
+            tasks.push(Box::new(move || {
+                pool::with_serial_context(|| {
                     for (j, c) in chunk.chunks_mut(m * n).enumerate() {
                         let i = start + j;
                         let a_off = i * a_stride;
                         let b_off = i * b_stride;
-                        gemm_serial(
+                        gemm_variant(
+                            variant,
                             &ad[a_off..a_off + m * ka],
                             &bd[b_off..b_off + ka * n],
                             c,
@@ -126,32 +167,22 @@ pub fn matmul(a: &Array, b: &Array) -> Array {
                         );
                     }
                 });
-            }
-        });
+            }));
+        }
+        pool::global().scope(tasks);
     } else {
-        for i in 0..batch {
+        for (i, c) in out.chunks_mut(m * n).enumerate() {
             let a_off = i * a_stride;
             let b_off = i * b_stride;
-            if batch == 1 {
-                // Single GEMM: use the row-parallel path for large matrices.
-                let c = gemm(
-                    &ad[a_off..a_off + m * ka],
-                    &bd[b_off..b_off + ka * n],
-                    m,
-                    ka,
-                    n,
-                );
-                out.copy_from_slice(&c);
-            } else {
-                gemm_serial(
-                    &ad[a_off..a_off + m * ka],
-                    &bd[b_off..b_off + ka * n],
-                    &mut out[i * m * n..(i + 1) * m * n],
-                    m,
-                    ka,
-                    n,
-                );
-            }
+            gemm_variant(
+                variant,
+                &ad[a_off..a_off + m * ka],
+                &bd[b_off..b_off + ka * n],
+                c,
+                m,
+                ka,
+                n,
+            );
         }
     }
     let mut shape = out_batch_shape;
@@ -174,16 +205,26 @@ mod tests {
     }
 
     #[test]
-    fn gemm_large_parallel_matches_serial() {
+    fn gemm_large_parallel_matches_reference() {
         let m = 70;
         let k = 70;
         let n = 70;
         let a: Vec<f32> = (0..m * k).map(|v| (v % 13) as f32 - 6.0).collect();
         let b: Vec<f32> = (0..k * n).map(|v| (v % 7) as f32 - 3.0).collect();
-        let mut serial = vec![0.0; m * n];
-        gemm_serial(&a, &b, &mut serial, m, k, n);
-        let parallel = gemm(&a, &b, m, k, n);
-        assert_eq!(serial, parallel);
+        let mut naive = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += a[i * k + p] * b[p * n + j];
+                }
+                naive[i * n + j] = s;
+            }
+        }
+        let got = gemm(&a, &b, m, k, n);
+        for (g, w) in got.iter().zip(&naive) {
+            assert!((g - w).abs() <= 1e-2 * w.abs().max(1.0), "{g} vs {w}");
+        }
     }
 
     #[test]
@@ -213,5 +254,59 @@ mod tests {
         let c = a.matmul(&w);
         assert_eq!(c.shape(), &[2, 2, 2]);
         assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Array::from_vec((0..24).map(|v| v as f32 * 0.1).collect(), vec![2, 3, 4]);
+        let b = Array::from_vec(
+            (0..40).map(|v| v as f32 * 0.05 - 1.0).collect(),
+            vec![2, 5, 4],
+        );
+        let want = a.matmul(&b.transpose_last());
+        let got = matmul_nt(&a, &b);
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() <= 1e-5, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_shared_2d_rhs() {
+        let a = Array::from_vec((0..24).map(|v| v as f32 * 0.1).collect(), vec![2, 3, 4]);
+        let w = Array::from_vec((0..20).map(|v| v as f32 * 0.05 - 0.4).collect(), vec![5, 4]);
+        let want = a.matmul(&w.transpose_last());
+        let got = matmul_nt(&a, &w);
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() <= 1e-5, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Array::from_vec((0..12).map(|v| v as f32 * 0.3 - 1.0).collect(), vec![4, 3]);
+        let b = Array::from_vec((0..20).map(|v| v as f32 * 0.2).collect(), vec![4, 5]);
+        let want = a.transpose_last().matmul(&b);
+        let got = matmul_tn(&a, &b);
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() <= 1e-5, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_batched() {
+        let a = Array::from_vec(
+            (0..24).map(|v| v as f32 * 0.1 - 1.0).collect(),
+            vec![2, 4, 3],
+        );
+        let b = Array::from_vec((0..40).map(|v| v as f32 * 0.07).collect(), vec![2, 4, 5]);
+        let want = a.transpose_last().matmul(&b);
+        let got = matmul_tn(&a, &b);
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() <= 1e-5, "{g} vs {w}");
+        }
     }
 }

@@ -13,6 +13,31 @@ use rand::Rng;
 
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
 
+/// Accumulate `g` into parent `p`, reducing broadcast dimensions back to
+/// `shape` first. Skips the reduction entirely for non-grad parents (e.g.
+/// a constant attention mask) and moves freshly reduced buffers into the
+/// accumulator instead of cloning them.
+fn accum_reduced(p: &Tensor, g: &Array, shape: &[usize]) {
+    if !p.requires_grad() {
+        return;
+    }
+    if g.shape() == shape {
+        p.accumulate_grad(g);
+    } else {
+        p.accumulate_grad_owned(g.reduce_to_shape(shape));
+    }
+}
+
+/// Reduce an owned gradient to `shape`, passing it through untouched when
+/// the shapes already agree.
+fn reduce_owned(a: Array, shape: &[usize]) -> Array {
+    if a.shape() == shape {
+        a
+    } else {
+        a.reduce_to_shape(shape)
+    }
+}
+
 impl Tensor {
     /// Elementwise sum with broadcasting.
     pub fn add(&self, other: &Tensor) -> Tensor {
@@ -20,8 +45,8 @@ impl Tensor {
         let (pa, pb) = (self.clone(), other.clone());
         let (sa, sb) = (self.shape(), other.shape());
         Tensor::from_op(out, vec![self.clone(), other.clone()], move |g| {
-            pa.accumulate_grad(&g.reduce_to_shape(&sa));
-            pb.accumulate_grad(&g.reduce_to_shape(&sb));
+            accum_reduced(&pa, g, &sa);
+            accum_reduced(&pb, g, &sb);
         })
     }
 
@@ -31,8 +56,15 @@ impl Tensor {
         let (pa, pb) = (self.clone(), other.clone());
         let (sa, sb) = (self.shape(), other.shape());
         Tensor::from_op(out, vec![self.clone(), other.clone()], move |g| {
-            pa.accumulate_grad(&g.reduce_to_shape(&sa));
-            pb.accumulate_grad(&g.scale(-1.0).reduce_to_shape(&sb));
+            accum_reduced(&pa, g, &sa);
+            if pb.requires_grad() {
+                let db = if g.shape() == sb.as_slice() {
+                    g.scale(-1.0)
+                } else {
+                    g.reduce_to_shape(&sb).scale(-1.0)
+                };
+                pb.accumulate_grad_owned(db);
+            }
         })
     }
 
@@ -43,8 +75,12 @@ impl Tensor {
         let (sa, sb) = (self.shape(), other.shape());
         let (va, vb) = (self.value(), other.value());
         Tensor::from_op(out, vec![self.clone(), other.clone()], move |g| {
-            pa.accumulate_grad(&g.mul(&vb).reduce_to_shape(&sa));
-            pb.accumulate_grad(&g.mul(&va).reduce_to_shape(&sb));
+            if pa.requires_grad() {
+                pa.accumulate_grad_owned(reduce_owned(g.mul(&vb), &sa));
+            }
+            if pb.requires_grad() {
+                pb.accumulate_grad_owned(reduce_owned(g.mul(&va), &sb));
+            }
         })
     }
 
@@ -55,9 +91,13 @@ impl Tensor {
         let (sa, sb) = (self.shape(), other.shape());
         let (va, vb) = (self.value(), other.value());
         Tensor::from_op(out, vec![self.clone(), other.clone()], move |g| {
-            pa.accumulate_grad(&g.div(&vb).reduce_to_shape(&sa));
-            let db = g.mul(&va).div(&vb).div(&vb).scale(-1.0);
-            pb.accumulate_grad(&db.reduce_to_shape(&sb));
+            if pa.requires_grad() {
+                pa.accumulate_grad_owned(reduce_owned(g.div(&vb), &sa));
+            }
+            if pb.requires_grad() {
+                let db = g.mul(&va).div(&vb).div(&vb).scale(-1.0);
+                pb.accumulate_grad_owned(reduce_owned(db, &sb));
+            }
         })
     }
 
@@ -66,7 +106,7 @@ impl Tensor {
         let out = self.with_value(|a| a.scale(c));
         let p = self.clone();
         Tensor::from_op(out, vec![self.clone()], move |g| {
-            p.accumulate_grad(&g.scale(c))
+            p.accumulate_grad_owned(g.scale(c))
         })
     }
 
@@ -89,12 +129,52 @@ impl Tensor {
         let (va, vb) = (self.value(), other.value());
         let (sa, sb) = (self.shape(), other.shape());
         Tensor::from_op(out, vec![self.clone(), other.clone()], move |g| {
-            // dA = g · Bᵀ, reduced over any batch dims B was shared across.
-            let da = g.matmul(&vb.transpose_last());
-            pa.accumulate_grad(&da.reduce_to_shape(&sa));
-            // dB = Aᵀ · g, reduced over any batch dims A was shared across.
-            let db = va.transpose_last().matmul(g);
-            pb.accumulate_grad(&db.reduce_to_shape(&sb));
+            if em_kernels::backend() == em_kernels::Backend::Scalar {
+                // Pre-kernels arithmetic: materialized transposes, kept as
+                // the trainbench baseline.
+                let da = g.matmul(&vb.transpose_last());
+                pa.accumulate_grad(&da.reduce_to_shape(&sa));
+                let db = va.transpose_last().matmul(g);
+                pb.accumulate_grad(&db.reduce_to_shape(&sb));
+                return;
+            }
+            // dA = g · Bᵀ through the NT kernel — no transpose copy.
+            if pa.requires_grad() {
+                pa.accumulate_grad_owned(reduce_owned(g.matmul_nt(&vb), &sa));
+            }
+            // dB = Aᵀ · g through the TN kernel. When B is a 2-D weight
+            // shared across A's batch, one flattened GEMM produces the
+            // already-reduced [k, n] gradient directly.
+            if pb.requires_grad() {
+                if sb.len() == 2 && sa.len() > 2 {
+                    pb.accumulate_grad_owned(crate::kernel::matmul_tn_reduce(&va, g));
+                } else {
+                    pb.accumulate_grad_owned(reduce_owned(crate::kernel::matmul_tn(&va, g), &sb));
+                }
+            }
+        })
+    }
+
+    /// Differentiable `self · otherᵀ` over the trailing axes (`[.., m, k]
+    /// x [.., n, k]`) — attention scores `Q·Kᵀ` without materializing the
+    /// transposed keys, in forward *or* backward.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        if em_kernels::backend() == em_kernels::Backend::Scalar {
+            // Pre-kernels arithmetic for the trainbench baseline.
+            return self.matmul(&other.transpose_last());
+        }
+        let out = self.with_value(|a| other.with_value(|b| a.matmul_nt(b)));
+        let (pa, pb) = (self.clone(), other.clone());
+        let (va, vb) = (self.value(), other.value());
+        let (sa, sb) = (self.shape(), other.shape());
+        Tensor::from_op(out, vec![self.clone(), other.clone()], move |g| {
+            // C = A·Bᵀ: dA = g·B and dB = gᵀ·A, both transpose-free.
+            if pa.requires_grad() {
+                pa.accumulate_grad_owned(reduce_owned(g.matmul(&vb), &sa));
+            }
+            if pb.requires_grad() {
+                pb.accumulate_grad_owned(reduce_owned(crate::kernel::matmul_tn(g, &va), &sb));
+            }
         })
     }
 
@@ -105,7 +185,7 @@ impl Tensor {
         let p = self.clone();
         let orig = self.shape();
         Tensor::from_op(out, vec![self.clone()], move |g| {
-            p.accumulate_grad(&g.reshape(orig.clone()));
+            p.accumulate_grad_owned(g.reshape(orig.clone()));
         })
     }
 
@@ -119,7 +199,7 @@ impl Tensor {
             inv[i] = o;
         }
         Tensor::from_op(out, vec![self.clone()], move |g| {
-            p.accumulate_grad(&g.permute(&inv));
+            p.accumulate_grad_owned(g.permute(&inv));
         })
     }
 
@@ -234,13 +314,21 @@ impl Tensor {
         let p = self.clone();
         let v = self.value();
         Tensor::from_op(out, vec![self.clone()], move |g| {
-            let dg = g.zip_broadcast(&v, |gi, x| {
-                let u = GELU_C * (x + 0.044715 * x * x * x);
-                let t = u.tanh();
-                let du = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
-                gi * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
-            });
-            p.accumulate_grad(&dg);
+            if em_kernels::backend() == em_kernels::Backend::Scalar {
+                // Pre-kernels arithmetic (libm tanh per element), kept as
+                // the trainbench baseline.
+                let dg = g.zip_broadcast(&v, |gi, x| {
+                    let u = GELU_C * (x + 0.044715 * x * x * x);
+                    let t = u.tanh();
+                    let du = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
+                    gi * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
+                });
+                p.accumulate_grad(&dg);
+                return;
+            }
+            let mut dx = vec![0.0f32; g.len()];
+            em_kernels::gelu_backward(v.data(), g.data(), &mut dx);
+            p.accumulate_grad_owned(Array::from_vec(dx, g.shape().to_vec()));
         })
     }
 
@@ -309,11 +397,60 @@ impl Tensor {
         let p = self.clone();
         let y = out.clone();
         Tensor::from_op(out, vec![self.clone()], move |g| {
-            // dx = y * (g - sum(g*y, last, keepdim))
-            let gy = g.mul(&y);
-            let s = gy.sum_axis(y.ndim() - 1, true);
-            let dx = y.mul(&g.sub(&s));
-            p.accumulate_grad(&dx);
+            if em_kernels::backend() == em_kernels::Backend::Scalar {
+                // Pre-kernels arithmetic composed from Array primitives,
+                // kept as the trainbench baseline.
+                let gy = g.mul(&y);
+                let s = gy.sum_axis(y.ndim() - 1, true);
+                let dx = y.mul(&g.sub(&s));
+                p.accumulate_grad(&dx);
+                return;
+            }
+            // Fused row kernel: dx = y ⊙ (g − Σ g⊙y) with no temporaries.
+            let d = *y.shape().last().expect("softmax on scalar");
+            let mut dx = vec![0.0f32; g.len()];
+            em_kernels::softmax_backward_rows(y.data(), g.data(), &mut dx, d);
+            p.accumulate_grad_owned(Array::from_vec(dx, g.shape().to_vec()));
+        })
+    }
+
+    /// Softmax over the last dimension of `self + bias`, where `bias` is a
+    /// constant additive mask shaped `[batch, 1, .., 1, d]` broadcast over
+    /// the interior axes of `self` (the attention padding-mask layout).
+    ///
+    /// Fused: the biased scores are never materialized, and because the
+    /// bias is constant the backward is exactly the softmax adjoint pushed
+    /// straight into `self` — the broadcast `add` node, its output buffer
+    /// and its gradient pass-through all disappear from the graph.
+    pub fn softmax_biased(&self, bias: &Array) -> Tensor {
+        let shape = self.shape();
+        let sb = bias.shape();
+        let d = *shape.last().expect("softmax on scalar");
+        // The fused kernel assumes each bias row covers a contiguous run of
+        // score rows: leading axis `batch` (or 1), interior axes 1, last
+        // axis `d`. Anything else falls back to the composed form.
+        let fits = sb.len() == shape.len()
+            && sb[sb.len() - 1] == d
+            && sb[1..sb.len() - 1].iter().all(|&v| v == 1)
+            && (sb[0] == shape[0] || sb[0] == 1);
+        if !fits || em_kernels::backend() == em_kernels::Backend::Scalar {
+            // Scalar keeps the pre-kernels graph (broadcast add node plus
+            // softmax) as the trainbench baseline.
+            return self.add(&Tensor::constant(bias.clone())).softmax();
+        }
+        let rows = self.with_value(Array::len) / d;
+        let rows_per_bias = rows / (bias.len() / d);
+        let out = self.with_value(|x| {
+            let mut v = x.data().to_vec();
+            em_kernels::softmax_rows_biased(&mut v, bias.data(), d, rows_per_bias);
+            Array::from_vec(v, shape.clone())
+        });
+        let p = self.clone();
+        let y = out.clone();
+        Tensor::from_op(out, vec![self.clone()], move |g| {
+            let mut dx = vec![0.0f32; g.len()];
+            em_kernels::softmax_backward_rows(y.data(), g.data(), &mut dx, d);
+            p.accumulate_grad_owned(Array::from_vec(dx, g.shape().to_vec()));
         })
     }
 
@@ -402,20 +539,44 @@ impl Tensor {
             return self.clone();
         }
         let keep = 1.0 - p;
-        let mask: Vec<f32> = (0..self.shape().iter().product::<usize>())
-            .map(|_| {
-                if rng.gen::<f32>() < keep {
-                    1.0 / keep
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+        if em_kernels::backend() == em_kernels::Backend::Scalar {
+            // Pre-kernels shape: build the mask array, then multiply in a
+            // second pass. Kept as the trainbench baseline.
+            let mask: Vec<f32> = (0..self.shape().iter().product::<usize>())
+                .map(|_| {
+                    if rng.gen::<f32>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let mask = Array::from_vec(mask, self.shape());
+            let out = self.with_value(|a| a.mul(&mask));
+            let parent = self.clone();
+            return Tensor::from_op(out, vec![self.clone()], move |g| {
+                parent.accumulate_grad(&g.mul(&mask));
+            });
+        }
+        // Fused: sample the mask and apply it in one pass over the input,
+        // comparing raw u32 draws against an integer threshold (no
+        // per-element int→float conversion).
+        let inv = 1.0 / keep;
+        let threshold = (keep as f64 * 4_294_967_296.0) as u64;
+        let v = self.value();
+        let mut mask = vec![0.0f32; v.len()];
+        let mut out = vec![0.0f32; v.len()];
+        for ((m, o), &x) in mask.iter_mut().zip(out.iter_mut()).zip(v.data()) {
+            if u64::from(rng.gen::<u32>()) < threshold {
+                *m = inv;
+                *o = x * inv;
+            }
+        }
+        let out = Array::from_vec(out, self.shape());
         let mask = Array::from_vec(mask, self.shape());
-        let out = self.with_value(|a| a.mul(&mask));
         let parent = self.clone();
         Tensor::from_op(out, vec![self.clone()], move |g| {
-            parent.accumulate_grad(&g.mul(&mask));
+            parent.accumulate_grad_owned(g.mul(&mask));
         })
     }
 
@@ -430,7 +591,18 @@ impl Tensor {
         assert_eq!(gv.shape(), &[d], "gamma must be [d]");
         assert_eq!(bv.shape(), &[d], "beta must be [d]");
 
-        let (out, xhat, inv_std) = layer_norm_forward(&x, gv.data(), bv.data(), eps);
+        let mut out = vec![0.0f32; x.len()];
+        let mut xhat = vec![0.0f32; x.len()];
+        let mut inv_std = vec![0.0f32; rows];
+        em_kernels::layer_norm_forward(
+            x.data(),
+            gv.data(),
+            bv.data(),
+            eps,
+            &mut out,
+            &mut xhat,
+            &mut inv_std,
+        );
         let out = Array::from_vec(out, x.shape().to_vec());
         let (px, pg, pb) = (self.clone(), gamma.clone(), beta.clone());
         let shape = x.shape().to_vec();
@@ -438,114 +610,98 @@ impl Tensor {
             out,
             vec![self.clone(), gamma.clone(), beta.clone()],
             move |g| {
-                let gd = g.data();
+                // Fused backward over rows, shared with the kernels crate
+                // (same loop the pre-kernels implementation ran inline).
                 let mut dgamma = vec![0.0f32; d];
                 let mut dbeta = vec![0.0f32; d];
-                let mut dx = vec![0.0f32; gd.len()];
-                for r in 0..rows {
-                    let istd = inv_std[r];
-                    let xh = &xhat[r * d..(r + 1) * d];
-                    let gr = &gd[r * d..(r + 1) * d];
-                    let mut sum_gy = 0.0f32;
-                    let mut sum_gy_xh = 0.0f32;
-                    for j in 0..d {
-                        let gy = gr[j] * gv.data()[j];
-                        sum_gy += gy;
-                        sum_gy_xh += gy * xh[j];
-                        dgamma[j] += gr[j] * xh[j];
-                        dbeta[j] += gr[j];
-                    }
-                    let dn = d as f32;
-                    for j in 0..d {
-                        let gy = gr[j] * gv.data()[j];
-                        dx[r * d + j] = istd * (gy - sum_gy / dn - xh[j] * sum_gy_xh / dn);
-                    }
-                }
-                px.accumulate_grad(&Array::from_vec(dx, shape.clone()));
-                pg.accumulate_grad(&Array::from_vec(dgamma, vec![d]));
-                pb.accumulate_grad(&Array::from_vec(dbeta, vec![d]));
+                let mut dx = vec![0.0f32; g.len()];
+                em_kernels::layer_norm_backward(
+                    &xhat,
+                    &inv_std,
+                    gv.data(),
+                    g.data(),
+                    &mut dx,
+                    &mut dgamma,
+                    &mut dbeta,
+                );
+                px.accumulate_grad_owned(Array::from_vec(dx, shape.clone()));
+                pg.accumulate_grad_owned(Array::from_vec(dgamma, vec![d]));
+                pb.accumulate_grad_owned(Array::from_vec(dbeta, vec![d]));
             },
         )
     }
 }
 
-/// Forward pieces of layer norm: `(out, xhat, inv_std)` flattened row-major.
-/// The single source of the arithmetic shared by [`Tensor::layer_norm`] and
-/// the value-level [`layer_norm_array`], so an inference-only forward pass
-/// reproduces autograd outputs exactly.
-fn layer_norm_forward(x: &Array, gamma: &[f32], beta: &[f32], eps: f32) -> LayerNormForward {
-    let d = *x.shape().last().expect("layer_norm on scalar");
-    let rows = x.len() / d;
-    let mut out = vec![0.0f32; x.len()];
-    let mut xhat = vec![0.0f32; x.len()];
-    let mut inv_std = vec![0.0f32; rows];
-    for r in 0..rows {
-        let row = &x.data()[r * d..(r + 1) * d];
-        let mean = row.iter().sum::<f32>() / d as f32;
-        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-        let istd = 1.0 / (var + eps).sqrt();
-        inv_std[r] = istd;
-        for j in 0..d {
-            let h = (row[j] - mean) * istd;
-            xhat[r * d + j] = h;
-            out[r * d + j] = h * gamma[j] + beta[j];
-        }
-    }
-    (out, xhat, inv_std)
-}
-
-type LayerNormForward = (Vec<f32>, Vec<f32>, Vec<f32>);
-
 /// Value-level layer norm over the last axis — the weight-extraction twin
-/// of [`Tensor::layer_norm`] used by frozen inference models.
+/// of [`Tensor::layer_norm`] used by frozen inference models. Same
+/// arithmetic (biased variance, eps inside the sqrt) via the shared kernel.
 pub fn layer_norm_array(x: &Array, gamma: &[f32], beta: &[f32], eps: f32) -> Array {
     let d = *x.shape().last().expect("layer_norm on scalar");
     assert_eq!(gamma.len(), d, "gamma must be [d]");
     assert_eq!(beta.len(), d, "beta must be [d]");
-    let (out, _, _) = layer_norm_forward(x, gamma, beta, eps);
+    let mut out = x.data().to_vec();
+    em_kernels::layer_norm_rows(&mut out, gamma, beta, eps);
     Array::from_vec(out, x.shape().to_vec())
 }
 
 /// Value-level GELU (tanh approximation) — the weight-extraction twin of
 /// [`Tensor::gelu`] used by frozen inference models.
 pub fn gelu_array(x: &Array) -> Array {
-    x.map(|v| 0.5 * v * (1.0 + (GELU_C * (v + 0.044715 * v * v * v)).tanh()))
+    if em_kernels::backend() == em_kernels::Backend::Scalar {
+        // Pre-kernels arithmetic (libm tanh), the trainbench baseline.
+        return x.map(|v| 0.5 * v * (1.0 + (GELU_C * (v + 0.044715 * v * v * v)).tanh()));
+    }
+    let mut out = x.data().to_vec();
+    em_kernels::gelu(&mut out);
+    Array::from_vec(out, x.shape().to_vec())
 }
 
 /// Numerically-stable softmax over the last axis of a raw array.
 pub fn softmax_array(x: &Array) -> Array {
     let d = *x.shape().last().expect("softmax on scalar");
-    let rows = x.len() / d;
-    let mut out = vec![0.0f32; x.len()];
-    for r in 0..rows {
-        let row = &x.data()[r * d..(r + 1) * d];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut denom = 0.0f32;
-        for j in 0..d {
-            let e = (row[j] - m).exp();
-            out[r * d + j] = e;
-            denom += e;
+    if em_kernels::backend() == em_kernels::Backend::Scalar {
+        // Pre-kernels arithmetic (libm exp), the trainbench baseline.
+        let rows = x.len() / d;
+        let mut out = vec![0.0f32; x.len()];
+        for r in 0..rows {
+            let row = &x.data()[r * d..(r + 1) * d];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for j in 0..d {
+                let e = (row[j] - m).exp();
+                out[r * d + j] = e;
+                denom += e;
+            }
+            for j in 0..d {
+                out[r * d + j] /= denom;
+            }
         }
-        for j in 0..d {
-            out[r * d + j] /= denom;
-        }
+        return Array::from_vec(out, x.shape().to_vec());
     }
+    let mut out = x.data().to_vec();
+    em_kernels::softmax_rows(&mut out, d);
     Array::from_vec(out, x.shape().to_vec())
 }
 
 /// Numerically-stable log-softmax over the last axis of a raw array.
 pub fn log_softmax_array(x: &Array) -> Array {
     let d = *x.shape().last().expect("log_softmax on scalar");
-    let rows = x.len() / d;
-    let mut out = vec![0.0f32; x.len()];
-    for r in 0..rows {
-        let row = &x.data()[r * d..(r + 1) * d];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = row.iter().map(|v| (v - m).exp()).sum::<f32>().ln() + m;
-        for j in 0..d {
-            out[r * d + j] = row[j] - lse;
+    if em_kernels::backend() == em_kernels::Backend::Scalar {
+        // Pre-kernels arithmetic (libm exp/ln), the trainbench baseline.
+        let rows = x.len() / d;
+        let mut out = vec![0.0f32; x.len()];
+        for r in 0..rows {
+            let row = &x.data()[r * d..(r + 1) * d];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|v| (v - m).exp()).sum::<f32>().ln() + m;
+            for j in 0..d {
+                out[r * d + j] = row[j] - lse;
+            }
         }
+        return Array::from_vec(out, x.shape().to_vec());
     }
+    let mut out = x.data().to_vec();
+    em_kernels::log_softmax_rows(&mut out, d);
     Array::from_vec(out, x.shape().to_vec())
 }
 
@@ -575,6 +731,49 @@ mod tests {
         for r in 0..2 {
             let s: f32 = y.data()[r * 3..(r + 1) * 3].iter().sum();
             assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_biased_matches_composed_add_softmax() {
+        // Attention-mask layout: scores [b=2, h=2, t=3, t=3], mask
+        // [2, 1, 1, 3] with one key position blocked per batch item.
+        let mut rng = StdRng::seed_from_u64(11);
+        let x_data: Vec<f32> = (0..2 * 2 * 3 * 3).map(|_| rng.gen::<f32>() * 4.0).collect();
+        let bias = Array::from_vec(vec![0.0, -1e9, 0.0, -1e9, 0.0, 0.0], vec![2, 1, 1, 3]);
+        let g_seed: Vec<f32> = (0..x_data.len()).map(|_| rng.gen::<f32>() - 0.5).collect();
+
+        let fused_x = Tensor::parameter(Array::from_vec(x_data.clone(), vec![2, 2, 3, 3]));
+        let fused = fused_x.softmax_biased(&bias);
+        let composed_x = Tensor::parameter(Array::from_vec(x_data, vec![2, 2, 3, 3]));
+        let composed = composed_x.add(&Tensor::constant(bias.clone())).softmax();
+
+        for (f, c) in fused.value().data().iter().zip(composed.value().data()) {
+            assert!((f - c).abs() <= 1e-6, "forward: {f} vs {c}");
+        }
+        let seed = Array::from_vec(g_seed, vec![2, 2, 3, 3]);
+        fused.backward_with(seed.clone());
+        composed.backward_with(seed);
+        let gf = fused_x.grad().unwrap();
+        let gc = composed_x.grad().unwrap();
+        for (f, c) in gf.data().iter().zip(gc.data()) {
+            assert!((f - c).abs() <= 1e-6, "grad: {f} vs {c}");
+        }
+    }
+
+    #[test]
+    fn softmax_biased_odd_shape_falls_back() {
+        // Bias shape the fused kernel does not cover (interior axis > 1):
+        // must still produce the composed result.
+        let mut rng = StdRng::seed_from_u64(12);
+        let x_data: Vec<f32> = (0..2 * 3 * 3).map(|_| rng.gen::<f32>() * 2.0).collect();
+        let bias_data: Vec<f32> = (0..3 * 3).map(|_| rng.gen::<f32>()).collect();
+        let bias = Array::from_vec(bias_data, vec![1, 3, 3]);
+        let x = Tensor::constant(Array::from_vec(x_data.clone(), vec![2, 3, 3]));
+        let got = x.softmax_biased(&bias).value();
+        let want = x.add(&Tensor::constant(bias)).softmax().value();
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() <= 1e-6, "{g} vs {w}");
         }
     }
 

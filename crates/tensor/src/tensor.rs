@@ -185,6 +185,22 @@ impl Tensor {
         }
     }
 
+    /// [`accumulate_grad`](Self::accumulate_grad) taking ownership: the
+    /// first accumulation into a node stores `g` without copying it. Most
+    /// graph nodes have exactly one consumer, so on the hot training path
+    /// this replaces a buffer clone per backward op.
+    pub fn accumulate_grad_owned(&self, g: Array) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.requires_grad {
+            return;
+        }
+        debug_assert_eq!(inner.data.shape(), g.shape(), "gradient shape mismatch");
+        match &mut inner.grad {
+            Some(acc) => acc.add_assign(&g),
+            None => inner.grad = Some(g),
+        }
+    }
+
     /// A view of the same value cut off from the graph.
     pub fn detach(&self) -> Tensor {
         Tensor::constant(self.value())

@@ -209,14 +209,29 @@ impl Batch {
     pub fn from_encodings(encodings: &[Encoding]) -> Self {
         let mut batch = Batch::default();
         for e in encodings {
-            batch.ids.push(e.ids.iter().map(|&i| i as usize).collect());
-            batch
-                .segments
-                .push(e.segments.iter().map(|&s| s as usize).collect());
-            batch.padding.push(e.mask.clone());
-            batch.cls_index.push(e.cls_index);
+            batch.push(e);
         }
         batch
+    }
+
+    /// Build a batch from `indices` into a shared encoding pool, borrowing
+    /// each [`Encoding`] instead of cloning it first — the epoch loop's
+    /// per-step batch construction allocates only the index-format output.
+    pub fn gather(encodings: &[Encoding], indices: &[usize]) -> Self {
+        let mut batch = Batch::default();
+        for &i in indices {
+            batch.push(&encodings[i]);
+        }
+        batch
+    }
+
+    /// Append one encoding to the batch.
+    pub fn push(&mut self, e: &Encoding) {
+        self.ids.push(e.ids.iter().map(|&i| i as usize).collect());
+        self.segments
+            .push(e.segments.iter().map(|&s| s as usize).collect());
+        self.padding.push(e.mask.clone());
+        self.cls_index.push(e.cls_index);
     }
 
     /// Number of samples.
