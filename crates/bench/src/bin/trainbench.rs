@@ -1,27 +1,31 @@
 //! Training throughput bench (the Table 6 companion): per-epoch
-//! fine-tuning time with the pre-PR scalar kernels versus the shared
-//! `em-kernels` SIMD backend. Writes `results/train_bench.json`.
+//! fine-tuning time across three configurations — the pre-PR scalar
+//! kernels, the SIMD backend padding every batch to `max_len`, and the
+//! SIMD backend with dynamic padding + length-bucketed batching. Writes
+//! `results/train_bench.json`.
 //!
 //! ```text
 //! cargo run -p em-bench --bin trainbench --release -- \
-//!     [--scale 0.05] [--epochs 3] [--batch 16] [--max-len 64] \
+//!     [--scale 0.05] [--epochs 3] [--batch 16] [--max-len 128] \
 //!     [--seed 42] [--smoke]
 //! ```
 //!
-//! Methodology (see EXPERIMENTS.md): both runs fine-tune the same
+//! Methodology (see EXPERIMENTS.md): all runs fine-tune the same
 //! randomly initialized encoder on the same generated Abt-Buy split with
-//! the same hyperparameters; only the kernel backend differs.
-//! `Backend::Scalar` replays the pre-PR path exactly (naive ikj GEMM with
-//! the zero-skip branch, spawn-per-call threading, transpose-materializing
-//! backward, libm activations); `Backend::Auto` is the AVX2+FMA path that
-//! training now shares with serving. `seconds_per_epoch` counts training
-//! steps only, not the per-epoch test evaluation. The headline `speedup`
-//! is the ratio of *best* epoch times (the usual noise-robust estimator —
-//! scheduler or frequency hiccups only ever make an epoch slower, never
-//! faster); the per-epoch means are reported alongside. After the SIMD run the
-//! fine-tuned weights are frozen and the serve-path scores are checked
-//! against the autograd scores, so the speedup never silently drifts away
-//! from the arithmetic the rest of the repo is validated on.
+//! the same hyperparameters; only the kernel backend and the padding
+//! policy differ. `Backend::Scalar` + `pad_to_max` replays the pre-PR
+//! path exactly; `Backend::Auto` + `pad_to_max` isolates the kernel
+//! `speedup`; `Backend::Auto` + dynamic padding adds the
+//! `dynamic_speedup` on top (batches padded to their own bucket maximum,
+//! O(T²) attention shrinking with them). `seconds_per_epoch` counts
+//! training steps only, not the per-epoch test evaluation. Headline
+//! speedups are ratios of *best* epoch times (the usual noise-robust
+//! estimator — scheduler or frequency hiccups only ever make an epoch
+//! slower, never faster); per-epoch means are reported alongside. After
+//! the dynamic run the fine-tuned weights are frozen and the serve-path
+//! scores are checked against the autograd scores, so the speedup never
+//! silently drifts away from the arithmetic the rest of the repo is
+//! validated on.
 //!
 //! `--smoke` shrinks everything (tiny configs, one epoch, a sliver of
 //! data) so CI can assert the bench runs and the report is well-formed.
@@ -46,13 +50,23 @@ struct ArchRun {
     epochs: usize,
     scalar_seconds_per_epoch: f64,
     simd_seconds_per_epoch: f64,
+    dynamic_seconds_per_epoch: f64,
     scalar_best_epoch_seconds: f64,
     simd_best_epoch_seconds: f64,
-    /// `scalar_best_epoch_seconds / simd_best_epoch_seconds`.
+    dynamic_best_epoch_seconds: f64,
+    /// `scalar_best_epoch_seconds / simd_best_epoch_seconds` — the kernel
+    /// backend in isolation (both sides padded to `max_len`).
     speedup: f64,
+    /// `simd_best_epoch_seconds / dynamic_best_epoch_seconds` — dynamic
+    /// padding + length-bucketed batching in isolation (both sides SIMD).
+    dynamic_speedup: f64,
+    /// Real/padded token ratio of the dynamic run's training batches.
+    padding_efficiency: f64,
     scalar_final_f1: f64,
     simd_final_f1: f64,
-    /// Max |autograd − frozen| match probability after the SIMD run.
+    dynamic_best_f1: f64,
+    simd_best_f1: f64,
+    /// Max |autograd − frozen| match probability after the dynamic run.
     frozen_max_score_diff: f32,
 }
 
@@ -65,6 +79,7 @@ struct TrainBenchReport {
     max_len_cap: usize,
     runs: Vec<ArchRun>,
     min_speedup: f64,
+    min_dynamic_speedup: f64,
 }
 
 /// Benchmark knobs shared by every architecture run.
@@ -99,13 +114,6 @@ fn bench_arch(arch: Architecture, opts: &BenchOpts) -> ArchRun {
     let ds = DatasetId::AbtBuy.generate(scale, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let split = ds.split(&mut rng);
-    let ft = FineTuneConfig {
-        epochs,
-        batch_size,
-        lr: 1e-3,
-        seed,
-        max_len_cap,
-    };
     eprintln!(
         "trainbench: {} (hidden {}, {} layers), {} train pairs, {} epochs",
         arch.name(),
@@ -115,8 +123,17 @@ fn bench_arch(arch: Architecture, opts: &BenchOpts) -> ArchRun {
         epochs
     );
 
-    let run_backend = |backend: Backend| {
+    let run_backend = |backend: Backend, pad_to_max: bool| {
         set_backend(backend);
+        let ft = FineTuneConfig {
+            epochs,
+            batch_size,
+            lr: 1e-3,
+            seed,
+            max_len_cap,
+            pad_to_max,
+            ..Default::default()
+        };
         let model = TransformerModel::new(cfg.clone(), seed);
         fine_tune(
             model,
@@ -137,14 +154,15 @@ fn bench_arch(arch: Architecture, opts: &BenchOpts) -> ArchRun {
             .fold(f64::INFINITY, f64::min)
     };
 
-    // Baseline: the exact pre-PR scalar path, same init seed.
-    // `--simd-only` skips it (profiling the new path in isolation).
+    // Baseline: the exact pre-PR scalar path (scalar kernels, every batch
+    // padded to max_len), same init seed. `--simd-only` skips it
+    // (profiling the new paths in isolation).
     let scalar = if simd_only {
         None
     } else {
-        let (_, r) = run_backend(Backend::Scalar);
+        let (_, r) = run_backend(Backend::Scalar, true);
         eprintln!(
-            "  scalar: {:.2}s/epoch best, {:.2}s mean (final F1 {:.1})",
+            "  scalar:       {:.2}s/epoch best, {:.2}s mean (final F1 {:.1})",
             best_epoch(&r),
             r.seconds_per_epoch,
             r.final_f1
@@ -152,20 +170,32 @@ fn bench_arch(arch: Architecture, opts: &BenchOpts) -> ArchRun {
         Some(r)
     };
 
-    // SIMD: identical run, shared em-kernels backend.
-    let (matcher, simd) = run_backend(Backend::Auto);
+    // SIMD, still padded to max_len: isolates the kernel backend.
+    let (_, simd) = run_backend(Backend::Auto, true);
     let scalar = scalar.unwrap_or_else(|| simd.clone());
     let speedup = best_epoch(&scalar) / best_epoch(&simd).max(1e-9);
     eprintln!(
-        "  simd:   {:.2}s/epoch best, {:.2}s mean (final F1 {:.1}) — {speedup:.2}x",
+        "  simd-padded:  {:.2}s/epoch best, {:.2}s mean (final F1 {:.1}) — {speedup:.2}x",
         best_epoch(&simd),
         simd.seconds_per_epoch,
         simd.final_f1
     );
 
+    // SIMD + dynamic padding: the production path.
+    let (matcher, dynamic) = run_backend(Backend::Auto, false);
+    let dynamic_speedup = best_epoch(&simd) / best_epoch(&dynamic).max(1e-9);
+    eprintln!(
+        "  simd-dynamic: {:.2}s/epoch best, {:.2}s mean (best F1 {:.1}, padding eff {:.2}) — {dynamic_speedup:.2}x over padded",
+        best_epoch(&dynamic),
+        dynamic.seconds_per_epoch,
+        dynamic.best_f1,
+        dynamic.padding_efficiency
+    );
+
     // Freeze the fine-tuned weights and check the serve path still agrees
-    // with autograd on the test pairs (fixed-length encodings so both
-    // paths see identical inputs).
+    // with autograd on the test pairs. Both paths see the same ragged
+    // encodings but chunk (and therefore pad) them differently, so this
+    // also exercises padding invariance end to end.
     let frozen = FrozenMatcher::from(&matcher);
     let probe: Vec<_> = split.test.iter().take(64).collect();
     let encodings: Vec<_> = probe.iter().map(|p| frozen.encode(&ds, p)).collect();
@@ -190,11 +220,17 @@ fn bench_arch(arch: Architecture, opts: &BenchOpts) -> ArchRun {
         epochs,
         scalar_seconds_per_epoch: scalar.seconds_per_epoch,
         simd_seconds_per_epoch: simd.seconds_per_epoch,
+        dynamic_seconds_per_epoch: dynamic.seconds_per_epoch,
         scalar_best_epoch_seconds: best_epoch(&scalar),
         simd_best_epoch_seconds: best_epoch(&simd),
+        dynamic_best_epoch_seconds: best_epoch(&dynamic),
         speedup,
+        dynamic_speedup,
+        padding_efficiency: dynamic.padding_efficiency,
         scalar_final_f1: scalar.final_f1,
         simd_final_f1: simd.final_f1,
+        dynamic_best_f1: dynamic.best_f1,
+        simd_best_f1: simd.best_f1,
         frozen_max_score_diff: max_diff,
     }
 }
@@ -207,7 +243,9 @@ fn main() {
         scale: args.get("scale").unwrap_or(if smoke { 0.02 } else { 0.05 }),
         epochs: args.get("epochs").unwrap_or(if smoke { 1 } else { 3 }),
         batch_size: args.get("batch").unwrap_or(16),
-        max_len_cap: args.get("max-len").unwrap_or(if smoke { 48 } else { 64 }),
+        // `fine_tune` clamps the cap to the model's position table (128
+        // for the `small` configs), so 128 is the effective full-run cap.
+        max_len_cap: args.get("max-len").unwrap_or(if smoke { 48 } else { 128 }),
         seed: args.get("seed").unwrap_or(42),
         simd_only: args.has("simd-only"),
     };
@@ -217,6 +255,10 @@ fn main() {
         .map(|arch| bench_arch(arch, &opts))
         .collect();
     let min_speedup = runs.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+    let min_dynamic_speedup = runs
+        .iter()
+        .map(|r| r.dynamic_speedup)
+        .fold(f64::INFINITY, f64::min);
 
     let report = TrainBenchReport {
         smoke,
@@ -226,6 +268,7 @@ fn main() {
         max_len_cap: opts.max_len_cap,
         runs,
         min_speedup,
+        min_dynamic_speedup,
     };
     let path = std::path::PathBuf::from(RESULTS_DIR).join("train_bench.json");
     if let Some(dir) = path.parent() {
@@ -237,9 +280,10 @@ fn main() {
     )
     .expect("write train_bench.json");
     eprintln!(
-        "[saved] {} (min speedup {:.2}x, {} backend)",
+        "[saved] {} (min kernel speedup {:.2}x, min dynamic speedup {:.2}x, {} backend)",
         path.display(),
         report.min_speedup,
+        report.min_dynamic_speedup,
         report.simd
     );
     em_obs::finish_to("trainbench", std::path::Path::new(RESULTS_DIR));

@@ -30,6 +30,12 @@ pub struct FineTuneConfig {
     pub seed: u64,
     /// Cap on the model input length.
     pub max_len_cap: usize,
+    /// Mini-batch size used for evaluation and scoring.
+    pub eval_batch: usize,
+    /// Pad every batch to `max_len` instead of the batch maximum. This
+    /// replays the pre-dynamic-padding training path bit-exactly; it exists
+    /// for benchmarking the dynamic-padding speedup, not for regular use.
+    pub pad_to_max: bool,
 }
 
 impl Default for FineTuneConfig {
@@ -40,6 +46,8 @@ impl Default for FineTuneConfig {
             lr: 1e-3,
             seed: 42,
             max_len_cap: 96,
+            eval_batch: 32,
+            pad_to_max: false,
         }
     }
 }
@@ -70,6 +78,10 @@ pub struct FineTuneResult {
     pub best_f1: f64,
     /// Mean training seconds per epoch (Table 6's quantity).
     pub seconds_per_epoch: f64,
+    /// Real tokens / padded tokens across all training batches (1.0 means
+    /// no compute was spent on padding).
+    #[serde(default)]
+    pub padding_efficiency: f64,
 }
 
 /// A fine-tuned entity matcher ready for inference.
@@ -82,6 +94,8 @@ pub struct EmMatcher {
     pub tokenizer: AnyTokenizer,
     /// Input length used at fine-tuning time.
     pub max_len: usize,
+    /// Mini-batch size for scoring.
+    pub eval_batch: usize,
 }
 
 impl EmMatcher {
@@ -111,15 +125,24 @@ impl EmMatcher {
     /// [`Predictor`](crate::predictor::Predictor) surface.
     pub fn score_encodings(&self, encodings: &[Encoding]) -> Vec<f32> {
         no_grad(|| {
-            let mut out = Vec::with_capacity(encodings.len());
-            for chunk in encodings.chunks(32) {
-                let batch = Batch::from_encodings(chunk);
+            // Sort by length so each chunk holds similar lengths and the
+            // dynamic batch padding (to the chunk max) wastes little; the
+            // scores are written back through the index so callers see the
+            // original order.
+            let mut by_len: Vec<usize> = (0..encodings.len()).collect();
+            by_len.sort_by_key(|&i| encodings[i].real_span());
+            let chunk_size = self.eval_batch.max(1);
+            let mut out = vec![0.0f32; encodings.len()];
+            for chunk in by_len.chunks(chunk_size) {
+                let batch = Batch::gather(encodings, chunk);
                 let mut ctx = Ctx::eval();
                 let hidden = self.model.forward(&batch, None, None, &mut ctx);
                 let pooled = self.model.pooled_states(&hidden, &batch);
                 let logits = self.head.forward(&pooled, &mut ctx).value();
                 let probs = em_tensor::softmax_array(&logits);
-                out.extend((0..chunk.len()).map(|i| probs.at(&[i, 1])));
+                for (row, &orig) in chunk.iter().enumerate() {
+                    out[orig] = probs.at(&[row, 1]);
+                }
             }
             out
         })
@@ -165,6 +188,7 @@ pub fn fine_tune(
         head,
         tokenizer,
         max_len,
+        eval_batch: cfg.eval_batch,
     };
 
     let mut params = matcher.model.parameters();
@@ -205,15 +229,51 @@ pub fn fine_tune(
             count += 1;
         }
     }
+    let mut real_tokens: u64 = 0;
+    let mut padded_tokens: u64 = 0;
     for epoch in 1..=cfg.epochs {
         // em-obs Timer always measures: EpochRecord.train_seconds and Table 6
         // need wall time even with observability disabled.
         let timer = em_obs::Timer::start("finetune/epoch");
         order.shuffle(&mut rng);
-        for (bi, chunk) in order.chunks(cfg.batch_size).enumerate() {
+        // Length-bucketed batching: group the shuffled order by rounded
+        // length so each mini-batch pads only to its own (short) maximum.
+        // Bucketing is stable over the shuffled order and the batch order
+        // is reshuffled, so example composition stays seeded-random; only
+        // which examples share a batch changes.
+        let batches: Vec<Vec<usize>> = if cfg.pad_to_max {
+            // Benchmark baseline: the exact pre-bucketing batch layout.
+            order
+                .chunks(cfg.batch_size)
+                .map(<[usize]>::to_vec)
+                .collect()
+        } else {
+            let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> =
+                std::collections::BTreeMap::new();
+            for &i in &order {
+                buckets
+                    .entry(Batch::bucket_len(&train_enc[i]))
+                    .or_default()
+                    .push(i);
+            }
+            let mut batches: Vec<Vec<usize>> = buckets
+                .values()
+                .flat_map(|idx| idx.chunks(cfg.batch_size))
+                .map(<[usize]>::to_vec)
+                .collect();
+            batches.shuffle(&mut rng);
+            batches
+        };
+        for (bi, chunk) in batches.iter().enumerate() {
             let labels: Vec<usize> = chunk.iter().map(|&i| train_labels[i]).collect();
             // Index-based gather: no per-step Encoding clones.
-            let batch = Batch::gather(&train_enc, chunk);
+            let batch = if cfg.pad_to_max {
+                Batch::gather_padded(&train_enc, chunk, max_len)
+            } else {
+                Batch::gather(&train_enc, chunk)
+            };
+            real_tokens += batch.real_tokens() as u64;
+            padded_tokens += batch.padded_tokens() as u64;
             let mut ctx = Ctx::train(cfg.seed ^ ((epoch as u64) << 24) ^ bi as u64);
             let loss = {
                 let _span = em_obs::span!("finetune/forward");
@@ -235,6 +295,10 @@ pub fn fine_tune(
         em_obs::gauge_set(
             "finetune/examples_per_sec",
             order.len() as f64 / train_seconds.max(1e-9),
+        );
+        em_obs::gauge_set(
+            "finetune/padding_efficiency",
+            real_tokens as f64 / (padded_tokens as f64).max(1.0),
         );
         let m = evaluate(&matcher, &test_enc, &test_labels);
         curve.push(EpochRecord {
@@ -260,6 +324,11 @@ pub fn fine_tune(
             final_f1,
             best_f1,
             seconds_per_epoch,
+            padding_efficiency: if padded_tokens == 0 {
+                1.0
+            } else {
+                real_tokens as f64 / padded_tokens as f64
+            },
         },
     )
 }
@@ -310,6 +379,7 @@ mod tests {
             lr: 3e-4,
             seed: 3,
             max_len_cap: 48,
+            ..Default::default()
         };
         let (_, result) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &cfg);
         assert_eq!(result.curve.len(), 4);
@@ -319,6 +389,11 @@ mod tests {
             "training should not hurt"
         );
         assert!(result.seconds_per_epoch > 0.0);
+        assert!(
+            result.padding_efficiency > 0.0 && result.padding_efficiency <= 1.0,
+            "padding efficiency out of range: {}",
+            result.padding_efficiency
+        );
     }
 
     #[test]
@@ -345,9 +420,55 @@ mod tests {
             lr: 3e-4,
             seed: 7,
             max_len_cap: 32,
+            ..Default::default()
         };
         let (matcher, _) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &cfg);
         let preds = matcher.predict(&ds, &split.test);
         assert_eq!(preds.len(), split.test.len());
+    }
+
+    #[test]
+    fn scoring_is_chunking_invariant() {
+        // Length-sorted eval chunking must not change any score: compare a
+        // tiny eval batch (many heterogeneous chunks) against one big batch.
+        let corpus = em_data::generate_documents(100, 8);
+        let (pre, tok) = pretrain_for(
+            Architecture::Bert,
+            &corpus,
+            300,
+            |v| TransformerConfig::tiny(Architecture::Bert, v),
+            &PretrainConfig {
+                epochs: 1,
+                batch_size: 8,
+                seq_len: 16,
+                ..Default::default()
+            },
+        );
+        let ds = DatasetId::ItunesAmazon.generate(0.2, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let split = ds.split(&mut rng);
+        let cfg = FineTuneConfig {
+            epochs: 0,
+            batch_size: 8,
+            lr: 3e-4,
+            seed: 11,
+            max_len_cap: 32,
+            ..Default::default()
+        };
+        let (mut matcher, _) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &cfg);
+        let (enc, _) = encode_pairs(
+            &ds,
+            &split.test,
+            &matcher.tokenizer,
+            matcher.model.config.arch,
+            matcher.max_len,
+        );
+        matcher.eval_batch = 3;
+        let small = matcher.score_encodings(&enc);
+        matcher.eval_batch = enc.len().max(1);
+        let big = matcher.score_encodings(&enc);
+        for (i, (s, b)) in small.iter().zip(&big).enumerate() {
+            assert!((s - b).abs() < 1e-5, "score {i} diverged: {s} vs {b}");
+        }
     }
 }

@@ -9,10 +9,7 @@
 
 use crate::finetune::EmMatcher;
 use em_data::{Dataset, EntityPair};
-use em_nn::Ctx;
-use em_tensor::no_grad;
-use em_tokenizers::encode_pair;
-use em_transformers::Batch;
+use em_tokenizers::{encode_pair, Encoding};
 
 /// How to fit long texts into a fixed attention span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,20 +43,10 @@ fn word_windows(text: &str, window: usize) -> Vec<String> {
     out
 }
 
-/// Match probability of one text pair under the matcher (positive-class
-/// softmax output).
-fn pair_match_prob(matcher: &EmMatcher, a: &str, b: &str) -> f64 {
-    no_grad(|| {
-        let cls_pos = crate::pipeline::cls_position(matcher.model.config.arch);
-        let enc = encode_pair(&matcher.tokenizer, a, b, matcher.max_len, cls_pos);
-        let batch = Batch::from_encodings(std::slice::from_ref(&enc));
-        let mut ctx = Ctx::eval();
-        let hidden = matcher.model.forward(&batch, None, None, &mut ctx);
-        let pooled = matcher.model.pooled_states(&hidden, &batch);
-        let logits = matcher.head.forward(&pooled, &mut ctx).value();
-        let probs = em_tensor::softmax_array(&logits);
-        probs.at(&[0, 1]) as f64
-    })
+/// Encode one text pair for the matcher.
+fn encode_for(matcher: &EmMatcher, a: &str, b: &str) -> Encoding {
+    let cls_pos = crate::pipeline::cls_position(matcher.model.config.arch);
+    encode_pair(&matcher.tokenizer, a, b, matcher.max_len, cls_pos)
 }
 
 /// Best window-pair match probability of a long-text pair under the chosen
@@ -73,23 +60,37 @@ pub fn long_pair_score(
     let a = ds.serialize_record(&pair.a);
     let b = ds.serialize_record(&pair.b);
     match strategy {
-        LongTextStrategy::Truncate => pair_match_prob(matcher, &a, &b) as f32,
+        LongTextStrategy::Truncate => {
+            matcher.score_encodings(std::slice::from_ref(&encode_for(matcher, &a, &b)))[0]
+        }
         LongTextStrategy::SlidingWindow { window_words } => {
             let wa = word_windows(&a, window_words);
             let wb = word_windows(&b, window_words);
-            let mut best = 0.0f64;
+            // Window pairs are scored through the batched scorer in groups
+            // of `eval_batch` instead of one forward per pair; the early
+            // exit moves from per-pair to per-group, which only changes how
+            // *far past* a confident pair we look, never the answer.
+            let group = matcher.eval_batch.max(1);
+            let mut best = 0.0f32;
+            let mut pending: Vec<Encoding> = Vec::with_capacity(group);
             for xa in &wa {
                 for xb in &wb {
-                    let p = pair_match_prob(matcher, xa, xb);
-                    if p > best {
-                        best = p;
-                    }
-                    if best >= 0.5 {
-                        return best as f32; // early exit: a confident window pair
+                    pending.push(encode_for(matcher, xa, xb));
+                    if pending.len() == group {
+                        let scores = matcher.score_encodings(&pending);
+                        best = scores.into_iter().fold(best, f32::max);
+                        pending.clear();
+                        if best >= 0.5 {
+                            return best; // early exit: a confident window pair
+                        }
                     }
                 }
             }
-            best as f32
+            if !pending.is_empty() {
+                let scores = matcher.score_encodings(&pending);
+                best = scores.into_iter().fold(best, f32::max);
+            }
+            best
         }
     }
 }

@@ -180,14 +180,19 @@ fn abt_buy(n_pairs: usize, n_matches: usize, rng: &mut StdRng) -> Dataset {
             // The two sources phrase the same product with different
             // templates: paraphrase, not copy.
             let variant = source + rng.gen_range(0..2) * 2;
+            // Abt writes a marketing blob; Buy usually just a listing
+            // line. The resulting length asymmetry (one side 3–5×
+            // shorter) is a defining property of the real dataset.
+            let description = if source == 1 && rng.gen::<f32>() < 0.55 {
+                product_listing_line(e, noise, rng)
+            } else {
+                product_description(e, variant, noise, rng)
+            };
             Record::new(
                 id,
                 vec![
                     ("name".into(), product_title(e, noise, rng)),
-                    (
-                        "description".into(),
-                        product_description(e, variant, noise, rng),
-                    ),
+                    ("description".into(), description),
                     ("price".into(), render_price(e.price_cents, rng)),
                 ],
             )

@@ -168,6 +168,31 @@ pub fn product_description(
     noisy_phrase(&text, noise, rng)
 }
 
+/// Terse store-listing description ("brand noun pro zx-4510 - silver").
+///
+/// The Buy side of Abt-Buy famously carries a name-length description
+/// rather than a marketing blob, which makes the dataset strongly
+/// length-asymmetric: one record in a pair is 3–5× shorter than the
+/// other. The discriminative tokens (brand, noun, model designation) are
+/// all still present — only the filler vocabulary is gone.
+pub fn product_listing_line(e: &ProductEntity, noise: f32, rng: &mut StdRng) -> String {
+    let model = render_model(&e.model, rng);
+    let mut text = format!(
+        "{} {} {} {}",
+        e.brand,
+        e.noun,
+        e.model_words.join(" "),
+        model
+    );
+    if rng.gen::<f32>() < 0.5 {
+        text.push_str(&format!(" - {}", e.color));
+    }
+    if rng.gen::<f32>() < 0.4 {
+        text.push_str(&format!(" . {}", e.category));
+    }
+    noisy_phrase(&text, noise, rng)
+}
+
 /// Render a model designation the way a given source formats it: raw
 /// ("zx4510"), hyphenated ("zx-4510"), or spaced ("zx 4510") — sources
 /// never agree on model-number formatting, which is what makes the

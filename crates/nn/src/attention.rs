@@ -35,6 +35,18 @@ pub fn additive_mask_from_padding(padding: &[Vec<u8>]) -> Array {
     Array::from_vec(data, vec![batch, 1, 1, seq])
 }
 
+/// Like [`additive_mask_from_padding`], but returns `None` when no token
+/// is padded — the fast path for dynamically padded batches whose rows all
+/// fill the (rounded) batch length. Attention then runs the plain fused
+/// softmax instead of the biased one, skipping the mask add entirely.
+pub fn padding_mask(padding: &[Vec<u8>]) -> Option<Array> {
+    if padding.iter().all(|row| row.iter().all(|&m| m == 1)) {
+        None
+    } else {
+        Some(additive_mask_from_padding(padding))
+    }
+}
+
 impl MultiHeadAttention {
     /// New attention block for `dim`-wide inputs split over `heads` heads.
     pub fn new(dim: usize, heads: usize, dropout: f32, std: f32, rng: &mut impl Rng) -> Self {
@@ -201,5 +213,28 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn indivisible_heads_panics() {
         let _ = attn(6, 4, 6);
+    }
+
+    #[test]
+    fn padding_mask_fast_path_matches_masked_forward() {
+        // Fully real rows take the None fast path…
+        assert!(padding_mask(&[vec![1, 1, 1], vec![1, 1, 1]]).is_none());
+        // …and that path computes the same attention as an all-zero mask.
+        let a = attn(8, 2, 7);
+        let mut rng = StdRng::seed_from_u64(17);
+        let x = Tensor::constant(init::normal(vec![2, 5, 8], 1.0, &mut rng));
+        let zero_mask = additive_mask_from_padding(&[vec![1; 5], vec![1; 5]]);
+        let (fast, slow) = no_grad(|| {
+            let fast = a.forward(&x, None, None, &mut Ctx::eval()).value();
+            let slow = a
+                .forward(&x, Some(&zero_mask), None, &mut Ctx::eval())
+                .value();
+            (fast, slow)
+        });
+        for (f, s) in fast.data().iter().zip(slow.data()) {
+            assert!((f - s).abs() < 1e-6, "fast path diverged: {f} vs {s}");
+        }
+        // Any padded token forces the masked path.
+        assert!(padding_mask(&[vec![1, 1, 0]]).is_some());
     }
 }

@@ -13,7 +13,7 @@ pub mod layers;
 pub mod module;
 pub mod rnn;
 
-pub use attention::{additive_mask_from_padding, MultiHeadAttention};
+pub use attention::{additive_mask_from_padding, padding_mask, MultiHeadAttention};
 pub use encoder::{EncoderLayer, FeedForward};
 pub use layers::{Embedding, LayerNorm, Linear};
 pub use module::{join, Ctx, Module};

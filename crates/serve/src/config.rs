@@ -26,6 +26,12 @@ pub struct ServeConfig {
     /// How long a client waits for its score before giving up with
     /// [`ServeError::Timeout`].
     pub request_timeout: Duration,
+    /// Hard ceiling on examples per coalesced batch for short-sequence
+    /// length buckets. Dynamic padding lets a bucket of short requests
+    /// hold more than `max_batch` examples under the same token budget
+    /// (`max_batch × max_len` tokens); this caps that growth. `0` means
+    /// auto (4 × `max_batch`).
+    pub bucket_capacity_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -37,6 +43,7 @@ impl Default for ServeConfig {
             queue_depth: 256,
             cache_capacity: 1024,
             request_timeout: Duration::from_secs(30),
+            bucket_capacity_cap: 0,
         }
     }
 }
@@ -59,6 +66,39 @@ impl ServeConfig {
         ServeConfigBuilder {
             cfg: ServeConfig::default(),
         }
+    }
+
+    /// The resolved per-bucket example ceiling (`bucket_capacity_cap`,
+    /// with `0` meaning 4 × `max_batch`).
+    pub fn bucket_cap(&self) -> usize {
+        if self.bucket_capacity_cap == 0 {
+            self.max_batch * 4
+        } else {
+            self.bucket_capacity_cap
+        }
+    }
+
+    /// How many examples of a `bucket_len`-token bucket one coalesced
+    /// batch may hold: the `max_batch × max_len` token budget divided by
+    /// the bucket length, clamped to `[max_batch, bucket_cap()]`. Full
+    /// `max_len` requests get exactly `max_batch`; shorter buckets grow
+    /// proportionally up to the cap.
+    pub fn bucket_capacity(&self, max_len: usize, bucket_len: usize) -> usize {
+        let budget = self.max_batch * max_len.max(1);
+        (budget / bucket_len.max(1)).clamp(self.max_batch, self.bucket_cap())
+    }
+
+    /// Length-bucket granularity for a model accepting `max_len` tokens:
+    /// `max_len / 8`, rounded up to the kernel padding multiple (and never
+    /// below it). Jobs whose rounded spans fall in the same `width`-wide
+    /// band batch together; the batch itself still pads only to its own
+    /// longest row. Finer buckets would waste less padding per batch but
+    /// fragment the queue into more, emptier batches — at 1/8 of the
+    /// model length the padding overhead is bounded by ~12% while batches
+    /// stay as full as the fixed-length path's.
+    pub fn bucket_width(&self, max_len: usize) -> usize {
+        let mult = em_transformers::Batch::PAD_MULTIPLE;
+        (max_len / 8).next_multiple_of(mult).max(mult)
     }
 }
 
@@ -106,6 +146,13 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Per-bucket example ceiling for short-sequence batches; `0` means
+    /// auto (4 × `max_batch`), non-zero must be ≥ `max_batch`.
+    pub fn bucket_capacity_cap(mut self, n: usize) -> Self {
+        self.cfg.bucket_capacity_cap = n;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ServeConfig, String> {
         let c = &self.cfg;
@@ -128,6 +175,12 @@ impl ServeConfigBuilder {
                 c.request_timeout, c.max_wait
             ));
         }
+        if c.bucket_capacity_cap != 0 && c.bucket_capacity_cap < c.max_batch {
+            return Err(format!(
+                "bucket_capacity_cap ({}) must be 0 (auto) or >= max_batch ({})",
+                c.bucket_capacity_cap, c.max_batch
+            ));
+        }
         Ok(self.cfg)
     }
 }
@@ -140,8 +193,9 @@ pub enum ServeError {
     /// The matcher has been shut down (or a worker died) before the
     /// request could be served.
     ShutDown,
-    /// The encoding's padded length does not match the frozen model's
-    /// expected input length, so it cannot join a uniform batch.
+    /// The encoding is longer than the frozen model's input length
+    /// (its position table), so it cannot be scored at all. Shorter
+    /// encodings are fine — they join a matching length bucket.
     InvalidLength {
         /// Length of the offending encoding.
         got: usize,
@@ -157,7 +211,7 @@ impl fmt::Display for ServeError {
             ServeError::ShutDown => write!(f, "matcher is shut down"),
             ServeError::InvalidLength { got, expected } => write!(
                 f,
-                "encoding length {got} does not match the model input length {expected}"
+                "encoding length {got} exceeds the model input length {expected}"
             ),
         }
     }
@@ -191,6 +245,41 @@ mod tests {
             .request_timeout_ms(10)
             .build()
             .is_err());
+        // A bucket cap below max_batch would shrink even full-length batches.
+        assert!(ServeConfig::builder()
+            .max_batch(32)
+            .bucket_capacity_cap(8)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn bucket_capacity_scales_with_token_budget() {
+        let cfg = ServeConfig::builder().max_batch(8).build().unwrap();
+        // Full-length requests: exactly max_batch.
+        assert_eq!(cfg.bucket_capacity(64, 64), 8);
+        // Half-length requests: twice the examples under the same budget.
+        assert_eq!(cfg.bucket_capacity(64, 32), 16);
+        // Tiny requests: clamped to the (auto) cap of 4 × max_batch.
+        assert_eq!(cfg.bucket_capacity(64, 8), 32);
+        // An explicit cap wins over the auto one.
+        let capped = ServeConfig::builder()
+            .max_batch(8)
+            .bucket_capacity_cap(12)
+            .build()
+            .unwrap();
+        assert_eq!(capped.bucket_capacity(64, 8), 12);
+    }
+
+    #[test]
+    fn bucket_width_scales_with_model_length() {
+        let cfg = ServeConfig::builder().build().unwrap();
+        // Short models keep the kernel padding multiple.
+        assert_eq!(cfg.bucket_width(24), 8);
+        assert_eq!(cfg.bucket_width(64), 8);
+        // Longer models widen the bands (max_len / 8, rounded up to 8).
+        assert_eq!(cfg.bucket_width(128), 16);
+        assert_eq!(cfg.bucket_width(192), 24);
     }
 
     #[test]

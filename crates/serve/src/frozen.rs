@@ -206,7 +206,7 @@ impl FrozenLayer {
     fn forward_flat(
         &self,
         x: &mut [f32],
-        mask: &[f32],
+        mask: Option<&[f32]>,
         rel: Option<&[f32]>,
         b: usize,
         t: usize,
@@ -244,22 +244,36 @@ impl FrozenLayer {
             );
         }
         // Scale, relative bias (before the mask, as in autograd), padding
-        // mask, softmax.
+        // mask, softmax. Mask-free batches skip the mask add per element.
         let inv = 1.0 / (dh as f32).sqrt();
         for bi in 0..b {
-            let mrow = &mask[bi * t..(bi + 1) * t];
+            let mrow = mask.map(|m| &m[bi * t..(bi + 1) * t]);
             for hi in 0..h {
                 let base = (bi * h + hi) * t * t;
                 for i in 0..t {
                     let srow = &mut s.scores[base + i * t..base + (i + 1) * t];
-                    if let Some(rel) = rel {
-                        let brow = &rel[(hi * t + i) * t..(hi * t + i + 1) * t];
-                        for j in 0..t {
-                            srow[j] = srow[j] * inv + brow[j] + mrow[j];
+                    match (rel, mrow) {
+                        (Some(rel), Some(mrow)) => {
+                            let brow = &rel[(hi * t + i) * t..(hi * t + i + 1) * t];
+                            for j in 0..t {
+                                srow[j] = srow[j] * inv + brow[j] + mrow[j];
+                            }
                         }
-                    } else {
-                        for j in 0..t {
-                            srow[j] = srow[j] * inv + mrow[j];
+                        (Some(rel), None) => {
+                            let brow = &rel[(hi * t + i) * t..(hi * t + i + 1) * t];
+                            for j in 0..t {
+                                srow[j] = srow[j] * inv + brow[j];
+                            }
+                        }
+                        (None, Some(mrow)) => {
+                            for j in 0..t {
+                                srow[j] = srow[j] * inv + mrow[j];
+                            }
+                        }
+                        (None, None) => {
+                            for v in srow {
+                                *v *= inv;
+                            }
                         }
                     }
                 }
@@ -394,16 +408,25 @@ impl FrozenModel {
         let mut x = self.embeddings.forward_flat(&batch.ids, &batch.segments);
         // Additive key-position mask, one entry per (sample, position):
         // 0.0 on real tokens, -1e9 on padding (as additive_mask_from_padding).
-        let mask: Vec<f32> = batch
-            .padding
-            .iter()
-            .flat_map(|row| row.iter().map(|&m| if m == 1 { 0.0f32 } else { -1e9 }))
-            .collect();
+        // Dynamically padded batches are often mask-free (every row fills
+        // the rounded batch length); `None` skips the mask pass entirely.
+        let mask: Option<Vec<f32>> = if batch.padding.iter().all(|row| row.iter().all(|&m| m == 1))
+        {
+            None
+        } else {
+            Some(
+                batch
+                    .padding
+                    .iter()
+                    .flat_map(|row| row.iter().map(|&m| if m == 1 { 0.0f32 } else { -1e9 }))
+                    .collect(),
+            )
+        };
         let rel = self.relative.as_ref().map(|r| r.bias_flat(t));
         let inner = self.layers.first().map_or(0, |l| l.fc1.w.shape()[1]);
         let mut scratch = Scratch::new(b, t, d, self.config.heads, inner);
         for layer in &self.layers {
-            layer.forward_flat(&mut x, &mask, rel.as_deref(), b, t, &mut scratch);
+            layer.forward_flat(&mut x, mask.as_deref(), rel.as_deref(), b, t, &mut scratch);
         }
         Array::from_vec(x, vec![b, t, d])
     }
@@ -463,8 +486,9 @@ pub struct FrozenMatcher {
     pub head: FrozenLinear,
     /// The tokenizer the encoder was pre-trained with.
     pub tokenizer: AnyTokenizer,
-    /// Input length used at fine-tuning time; every encoding scored by
-    /// this matcher must be padded to exactly this length.
+    /// Input length used at fine-tuning time — the model's position-table
+    /// span. Encodings scored by this matcher may be any length up to it;
+    /// batches pad dynamically to their own maximum.
     pub max_len: usize,
 }
 
@@ -506,17 +530,17 @@ impl FrozenMatcher {
         self.head.forward(&pooled)
     }
 
-    /// Positive-class match probability per encoding, as one batch.
-    /// All encodings must share this matcher's `max_len`.
+    /// Positive-class match probability per encoding, as one batch padded
+    /// dynamically to the batch maximum. Encodings may be ragged; none may
+    /// exceed this matcher's `max_len`.
     pub fn score_encodings(&self, encodings: &[Encoding]) -> Vec<f32> {
         if encodings.is_empty() {
             return Vec::new();
         }
         for e in encodings {
-            assert_eq!(
-                e.ids.len(),
-                self.max_len,
-                "encoding length {} does not match the frozen matcher's max_len {}",
+            assert!(
+                e.ids.len() <= self.max_len,
+                "encoding length {} exceeds the frozen matcher's max_len {}",
                 e.ids.len(),
                 self.max_len
             );
@@ -530,11 +554,19 @@ impl FrozenMatcher {
 impl em_core::Predictor for FrozenMatcher {
     fn predict_scores(&self, ds: &Dataset, pairs: &[EntityPair]) -> Vec<f32> {
         let encodings: Vec<Encoding> = pairs.iter().map(|p| self.encode(ds, p)).collect();
-        // Chunked like EmMatcher::score_encodings so peak memory stays flat.
-        encodings
-            .chunks(32)
-            .flat_map(|c| self.score_encodings(c))
-            .collect()
+        // Chunked like EmMatcher::score_encodings so peak memory stays
+        // flat, and length-sorted so each chunk pads only to its own
+        // (short) maximum; scores return in the original order.
+        let mut by_len: Vec<usize> = (0..encodings.len()).collect();
+        by_len.sort_by_key(|&i| encodings[i].real_span());
+        let mut out = vec![0.0f32; encodings.len()];
+        for chunk in by_len.chunks(32) {
+            let group: Vec<Encoding> = chunk.iter().map(|&i| encodings[i].clone()).collect();
+            for (&orig, score) in chunk.iter().zip(self.score_encodings(&group)) {
+                out[orig] = score;
+            }
+        }
+        out
     }
 }
 

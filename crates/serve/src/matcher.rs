@@ -1,11 +1,16 @@
 //! The concurrent micro-batching matcher.
 //!
 //! Clients submit single encodings; worker threads coalesce them into
-//! batches (up to `max_batch`, waiting at most `max_wait` for
-//! stragglers) so the gemm-heavy forward pass amortizes across requests.
-//! The request queue is bounded — a full queue blocks producers instead
-//! of growing without limit — and every request carries its own response
-//! channel with a client-side timeout.
+//! batches (waiting at most `max_wait` for stragglers) so the gemm-heavy
+//! forward pass amortizes across requests. Batches are **length-bucketed**:
+//! a request only shares a batch with requests of the same rounded length,
+//! so dynamic padding never inflates a short request to a long neighbor's
+//! length, and short buckets may hold more than `max_batch` examples under
+//! the same `max_batch × max_len` token budget (see
+//! [`ServeConfig::bucket_capacity`]). The request queue is bounded — a
+//! full queue blocks producers instead of growing without limit — and
+//! every request carries its own response channel with a client-side
+//! timeout.
 //!
 //! Shutdown is graceful by construction: dropping the submit side of the
 //! queue lets workers drain everything already enqueued before the
@@ -18,6 +23,8 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use em_core::Predictor;
 use em_data::{Dataset, EntityPair};
 use em_tokenizers::Encoding;
+use em_transformers::Batch;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -28,6 +35,22 @@ use std::time::Instant;
 struct Job {
     encoding: Encoding,
     resp: mpsc::Sender<f32>,
+    /// When the request entered the queue; bounds how long it can sit in
+    /// a worker's pending bucket waiting for length-compatible company.
+    enqueued: Instant,
+}
+
+impl Job {
+    /// The length bucket this job batches with: its real span rounded up
+    /// to the kernel padding multiple, then to the serving bucket `width`
+    /// (see [`ServeConfig::bucket_width`]), capped at the model length.
+    /// The bucket is only a grouping key — each batch still pads to its
+    /// own longest row.
+    fn bucket(&self, width: usize, max_len: usize) -> usize {
+        Batch::bucket_len(&self.encoding)
+            .next_multiple_of(width.max(1))
+            .min(max_len.next_multiple_of(Batch::PAD_MULTIPLE))
+    }
 }
 
 /// Cumulative serving counters (atomics; cheap to read at any time).
@@ -36,6 +59,7 @@ struct StatsInner {
     requests: AtomicU64,
     batches: AtomicU64,
     examples: AtomicU64,
+    batch_capacity: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
 }
@@ -49,6 +73,10 @@ pub struct ServeStats {
     pub batches: u64,
     /// Examples scored by forward passes (excludes cache hits).
     pub examples: u64,
+    /// Sum over forward passes of the capacity of each batch's length
+    /// bucket (short buckets hold more examples under the same token
+    /// budget, so this is not `batches × max_batch`).
+    pub batch_capacity: u64,
     /// Requests answered from the score cache.
     pub cache_hits: u64,
     /// Requests that had to be queued for scoring.
@@ -56,13 +84,15 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Mean examples per forward pass, relative to the configured
-    /// `max_batch` — 1.0 means every batch was full.
-    pub fn batch_fill(&self, max_batch: usize) -> f64 {
-        if self.batches == 0 {
+    /// Mean examples per forward pass relative to each batch's own bucket
+    /// capacity — 1.0 means every batch was full *for its length bucket*.
+    /// Measuring against a flat `max_batch` would over-report fill for
+    /// short-sequence buckets, whose capacity exceeds `max_batch`.
+    pub fn batch_fill(&self) -> f64 {
+        if self.batch_capacity == 0 {
             0.0
         } else {
-            self.examples as f64 / (self.batches * max_batch as u64) as f64
+            self.examples as f64 / self.batch_capacity as f64
         }
     }
 
@@ -128,27 +158,68 @@ impl ServeMatcher {
                 let rx = rx.clone();
                 let frozen = Arc::clone(&frozen);
                 let stats = Arc::clone(&stats);
-                let max_batch = config.max_batch;
-                let max_wait = config.max_wait;
+                let cfg = config.clone();
                 std::thread::Builder::new()
                     .name(format!("em-serve-{i}"))
                     .spawn(move || {
                         if serialize_kernels {
                             em_kernels::pool::serialize_current_thread();
                         }
+                        // Requests batch only with length-compatible company
+                        // (same rounded length bucket), so dynamic padding
+                        // never inflates a short request to a long
+                        // neighbor's length. Jobs of other buckets seen
+                        // while coalescing wait here, worker-locally.
+                        let width = cfg.bucket_width(frozen.max_len);
+                        let mut pending: HashMap<usize, VecDeque<Job>> = HashMap::new();
+                        let mut disconnected = false;
                         loop {
-                            // Block for the batch head, then coalesce until the
-                            // batch fills or the deadline passes.
-                            let Ok(first) = rx.recv() else {
-                                return; // queue drained + all senders gone
+                            // Batch head: the oldest stashed job, else block
+                            // on the queue for a fresh request.
+                            let oldest = pending
+                                .iter()
+                                .filter(|(_, q)| !q.is_empty())
+                                .min_by_key(|(_, q)| q.front().map(|j| j.enqueued))
+                                .map(|(&k, _)| k);
+                            let head = match oldest {
+                                Some(k) => pending
+                                    .get_mut(&k)
+                                    .and_then(VecDeque::pop_front)
+                                    .expect("non-empty bucket"),
+                                None if disconnected => {
+                                    return; // queue drained + all senders gone
+                                }
+                                None => match rx.recv() {
+                                    Ok(job) => job,
+                                    Err(_) => return,
+                                },
                             };
-                            let deadline = Instant::now() + max_wait;
-                            let mut jobs = vec![first];
-                            while jobs.len() < max_batch {
+                            let bucket = head.bucket(width, frozen.max_len);
+                            let capacity = cfg.bucket_capacity(frozen.max_len, bucket);
+                            let deadline = head.enqueued + cfg.max_wait;
+                            let mut jobs = vec![head];
+                            // Same-bucket stragglers from earlier rounds first…
+                            if let Some(q) = pending.get_mut(&bucket) {
+                                while jobs.len() < capacity {
+                                    match q.pop_front() {
+                                        Some(job) => jobs.push(job),
+                                        None => break,
+                                    }
+                                }
+                            }
+                            // …then the live queue until the head's deadline,
+                            // stashing length-incompatible arrivals.
+                            while jobs.len() < capacity && !disconnected {
                                 match rx.recv_deadline(deadline) {
-                                    Ok(job) => jobs.push(job),
-                                    Err(RecvTimeoutError::Timeout)
-                                    | Err(RecvTimeoutError::Disconnected) => break,
+                                    Ok(job) if job.bucket(width, frozen.max_len) == bucket => {
+                                        jobs.push(job)
+                                    }
+                                    Ok(job) => pending
+                                        .entry(job.bucket(width, frozen.max_len))
+                                        .or_default()
+                                        .push_back(job),
+                                    Err(RecvTimeoutError::Timeout) => break,
+                                    Err(RecvTimeoutError::Disconnected) => disconnected = true,
                                 }
                             }
                             let _span = em_obs::span!("serve/batch");
@@ -159,12 +230,16 @@ impl ServeMatcher {
                             stats
                                 .examples
                                 .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+                            stats
+                                .batch_capacity
+                                .fetch_add(capacity as u64, Ordering::Relaxed);
                             em_obs::counter_inc("serve/batches");
                             em_obs::counter_add("serve/batch_examples", jobs.len() as u64);
                             em_obs::gauge_set(
                                 "serve/batch_fill",
-                                jobs.len() as f64 / max_batch as f64,
+                                jobs.len() as f64 / capacity as f64,
                             );
+                            em_obs::gauge_set("serve/bucket_len", bucket as f64);
                             for (job, score) in jobs.into_iter().zip(scores) {
                                 // A client that timed out dropped its receiver;
                                 // that's its loss, not a worker error.
@@ -204,13 +279,16 @@ impl ServeMatcher {
             requests: self.stats.requests.load(Ordering::Relaxed),
             batches: self.stats.batches.load(Ordering::Relaxed),
             examples: self.stats.examples.load(Ordering::Relaxed),
+            batch_capacity: self.stats.batch_capacity.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
         }
     }
 
     fn check_length(&self, encoding: &Encoding) -> Result<(), ServeError> {
-        if encoding.ids.len() != self.frozen.max_len {
+        // Any length up to the model's position table is servable now that
+        // batches pad dynamically; only over-long encodings are rejected.
+        if encoding.ids.len() > self.frozen.max_len {
             return Err(ServeError::InvalidLength {
                 got: encoding.ids.len(),
                 expected: self.frozen.max_len,
@@ -260,6 +338,7 @@ impl ServeMatcher {
         let job = Job {
             encoding: encoding.clone(),
             resp,
+            enqueued: Instant::now(),
         };
         tx.send(job).map_err(|_| ServeError::ShutDown)?;
         Ok(Err(rx))

@@ -28,22 +28,15 @@ fn tiny_model(arch: Architecture, seed: u64) -> (TransformerModel, Classificatio
     (model, head)
 }
 
-/// A random well-formed encoding: contiguous real prefix, padded tail,
-/// CLS at the architecture's position within the real span.
+/// A random well-formed ragged encoding (no padding): CLS at the
+/// architecture's position, random segment split. Call `.padded_to(n)`
+/// for the old fixed-length layout.
 fn random_encoding(rng: &mut StdRng, arch: Architecture, max_len: usize) -> Encoding {
     let real = rng.gen_range(3..=max_len);
-    let ids: Vec<u32> = (0..max_len)
-        .map(|i| {
-            if i < real {
-                rng.gen_range(1..VOCAB as u32)
-            } else {
-                0
-            }
-        })
-        .collect();
+    let ids: Vec<u32> = (0..real).map(|_| rng.gen_range(1..VOCAB as u32)).collect();
     let split = rng.gen_range(1..real);
-    let segments: Vec<u8> = (0..max_len).map(|i| u8::from(i >= split)).collect();
-    let mask: Vec<u8> = (0..max_len).map(|i| u8::from(i < real)).collect();
+    let segments: Vec<u8> = (0..real).map(|i| u8::from(i >= split)).collect();
+    let mask = vec![1u8; real];
     let cls_index = match arch {
         Architecture::Xlnet => real - 1,
         _ => 0,
@@ -53,6 +46,17 @@ fn random_encoding(rng: &mut StdRng, arch: Architecture, max_len: usize) -> Enco
         segments,
         mask,
         cls_index,
+        pad_id: 0,
+    }
+}
+
+/// A random encoding whose real span lands in the longest length bucket.
+fn long_encoding(rng: &mut StdRng, arch: Architecture, max_len: usize) -> Encoding {
+    loop {
+        let e = random_encoding(rng, arch, max_len);
+        if Batch::bucket_len(&e) == max_len {
+            return e;
+        }
     }
 }
 
@@ -101,6 +105,44 @@ fn assert_logits_match(arch: Architecture, seed: u64) {
     }
 }
 
+/// Dynamic padding must be invisible in the logits: the same encodings
+/// scored in a batch padded to the (short) batch maximum and in one
+/// padded all the way to `max_len` agree to 1e-5 on both the autograd
+/// and the frozen forward paths.
+fn assert_dynamic_matches_padded(arch: Architecture, seed: u64) {
+    let (model, head) = tiny_model(arch, seed);
+    let max_len = 24;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(131).wrapping_add(3));
+    let ragged: Vec<Encoding> = (0..5)
+        .map(|_| random_encoding(&mut rng, arch, max_len))
+        .collect();
+    let padded: Vec<Encoding> = ragged.iter().map(|e| e.padded_to(max_len)).collect();
+    let dynamic = Batch::from_encodings(&ragged);
+    let full = Batch::from_encodings_padded(&padded, max_len);
+    assert!(dynamic.seq_len() <= full.seq_len());
+    for (label, want, got) in [
+        (
+            "autograd",
+            autograd_logits(&model, &head, &full),
+            autograd_logits(&model, &head, &dynamic),
+        ),
+        (
+            "frozen",
+            frozen_logits(&model, &head, &full),
+            frozen_logits(&model, &head, &dynamic),
+        ),
+    ] {
+        assert_eq!(want.shape(), got.shape());
+        for (i, (w, g)) in want.data().iter().zip(got.data()).enumerate() {
+            assert!(
+                (w - g).abs() < 1e-5,
+                "{} {label} logit {i}: full-pad {w} vs dynamic {g}",
+                arch.name()
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -122,6 +164,26 @@ proptest! {
     #[test]
     fn frozen_matches_autograd_distilbert(seed in 0u64..10_000) {
         assert_logits_match(Architecture::DistilBert, seed);
+    }
+
+    #[test]
+    fn dynamic_padding_matches_full_bert(seed in 0u64..10_000) {
+        assert_dynamic_matches_padded(Architecture::Bert, seed);
+    }
+
+    #[test]
+    fn dynamic_padding_matches_full_xlnet(seed in 0u64..10_000) {
+        assert_dynamic_matches_padded(Architecture::Xlnet, seed);
+    }
+
+    #[test]
+    fn dynamic_padding_matches_full_roberta(seed in 0u64..10_000) {
+        assert_dynamic_matches_padded(Architecture::Roberta, seed);
+    }
+
+    #[test]
+    fn dynamic_padding_matches_full_distilbert(seed in 0u64..10_000) {
+        assert_dynamic_matches_padded(Architecture::DistilBert, seed);
     }
 }
 
@@ -230,18 +292,122 @@ fn batch_api_and_cache_return_consistent_scores() {
 }
 
 #[test]
-fn wrong_length_is_a_typed_error() {
+fn over_long_encoding_is_a_typed_error() {
     let frozen = tiny_frozen_matcher(Architecture::Bert, 13, 24);
     let matcher = ServeMatcher::start(frozen, ServeConfig::default());
     let mut rng = StdRng::seed_from_u64(1);
-    let short = random_encoding(&mut rng, Architecture::Bert, 16);
+    // Longer than the model's position table: rejected up front.
+    let long = random_encoding(&mut rng, Architecture::Bert, 16).padded_to(32);
     assert_eq!(
-        matcher.score(&short),
+        matcher.score(&long),
         Err(ServeError::InvalidLength {
-            got: 16,
+            got: 32,
             expected: 24
         })
     );
+    // Shorter than max_len is fine now — it joins a short length bucket.
+    let short = random_encoding(&mut rng, Architecture::Bert, 16);
+    assert!(matcher.score(&short).is_ok());
+}
+
+/// Short requests coalesce into over-`max_batch` batches under the token
+/// budget, and `batch_fill` measures against that bucket capacity.
+#[test]
+fn short_buckets_coalesce_past_max_batch() {
+    let max_len = 32;
+    let frozen = tiny_frozen_matcher(Architecture::Bert, 31, max_len);
+    let reference = frozen.clone();
+    let cfg = ServeConfig::builder()
+        .workers(1)
+        .max_batch(4)
+        .max_wait_ms(5)
+        .cache_capacity(0)
+        .build()
+        .unwrap();
+    // Bucket 8 under a 4×32-token budget: up to 16 examples per batch.
+    assert_eq!(cfg.bucket_capacity(max_len, 8), 16);
+    let matcher = ServeMatcher::start(frozen, cfg);
+    let mut rng = StdRng::seed_from_u64(77);
+    let shorts: Vec<Encoding> = (0..20)
+        .map(|_| random_encoding(&mut rng, Architecture::Bert, 8))
+        .collect();
+    let expected: Vec<f32> = shorts
+        .iter()
+        .map(|e| reference.score_encodings(std::slice::from_ref(e))[0])
+        .collect();
+    let got = matcher.score_encodings(&shorts).unwrap();
+    assert_eq!(got, expected, "bucketed serving must not change scores");
+    let stats = matcher.stats();
+    assert_eq!(stats.examples, 20);
+    // Every batch was a bucket-8 batch, so each counted capacity 16.
+    assert_eq!(stats.batch_capacity, stats.batches * 16);
+    assert!(stats.batch_fill() > 0.0 && stats.batch_fill() <= 1.0);
+}
+
+/// Mixed-length traffic: jobs batch only with length-compatible company,
+/// and every request still gets exactly its sequential score.
+#[test]
+fn mixed_length_requests_are_served_correctly() {
+    let max_len = 32;
+    let frozen = tiny_frozen_matcher(Architecture::Bert, 37, max_len);
+    let reference = frozen.clone();
+    let cfg = ServeConfig::builder()
+        .workers(2)
+        .max_batch(4)
+        .max_wait_ms(2)
+        .cache_capacity(0)
+        .build()
+        .unwrap();
+    let matcher = Arc::new(ServeMatcher::start(frozen, cfg));
+    let mut rng = StdRng::seed_from_u64(123);
+    let encodings: Vec<Encoding> = (0..24)
+        .map(|i| {
+            if i % 3 == 0 {
+                long_encoding(&mut rng, Architecture::Bert, max_len)
+            } else {
+                random_encoding(&mut rng, Architecture::Bert, 8)
+            }
+        })
+        .collect();
+    let expected: Vec<f32> = encodings
+        .iter()
+        .map(|e| reference.score_encodings(std::slice::from_ref(e))[0])
+        .collect();
+    let mut handles = Vec::new();
+    for chunk in encodings.chunks(6) {
+        let matcher = Arc::clone(&matcher);
+        let chunk = chunk.to_vec();
+        handles.push(std::thread::spawn(move || {
+            matcher.score_encodings(&chunk).expect("serving failed")
+        }));
+    }
+    let got: Vec<f32> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    assert_eq!(got, expected);
+    assert_eq!(matcher.stats().examples, 24);
+}
+
+#[test]
+fn batch_fill_measures_against_bucket_capacity() {
+    let stats = |examples, batches, batch_capacity| em_serve::ServeStats {
+        requests: examples,
+        batches,
+        examples,
+        batch_capacity,
+        cache_hits: 0,
+        cache_misses: examples,
+    };
+    // 48 examples over 2 batches of capacity 32 each: 75% full — a flat
+    // max_batch=32 denominator would have wrongly reported 75% as 2×32
+    // capacity only by coincidence; with one short bucket (capacity 64)
+    // the distinction shows.
+    assert!((stats(48, 2, 64).batch_fill() - 0.75).abs() < 1e-12);
+    // A full-length batch (capacity = max_batch) that is full reports 1.0.
+    assert!((stats(4, 1, 4).batch_fill() - 1.0).abs() < 1e-12);
+    // No batches yet: 0, not NaN.
+    assert_eq!(stats(0, 0, 0).batch_fill(), 0.0);
 }
 
 /// With a stalled worker pool the client must give up with the typed

@@ -121,9 +121,15 @@ pub enum ClsPosition {
 }
 
 /// A fully prepared model input for one entity pair.
+///
+/// Encodings are *unpadded*: `ids` holds exactly the real tokens (so
+/// `ids.len()` is the true sequence length) and padding happens at batch
+/// time, to the batch maximum. [`Encoding::padded_to`] restores the old
+/// fixed-length layout where a uniform block is needed (pre-training,
+/// padded-baseline benches).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Encoding {
-    /// Token ids, padded to the configured length.
+    /// Token ids (real tokens only unless explicitly padded).
     pub ids: Vec<u32>,
     /// Segment ids: 0 for entity A and its specials, 1 for entity B's span.
     pub segments: Vec<u8>,
@@ -131,17 +137,60 @@ pub struct Encoding {
     pub mask: Vec<u8>,
     /// Index of the classification token within `ids`.
     pub cls_index: usize,
+    /// The tokenizer's padding token id, carried along so batches can pad
+    /// rows without re-consulting the tokenizer.
+    #[serde(default)]
+    pub pad_id: u32,
 }
 
 impl Encoding {
+    /// Total length of the encoding, padding included.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the encoding holds no tokens at all.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
     /// Number of non-padding tokens.
     pub fn real_len(&self) -> usize {
         self.mask.iter().filter(|&&m| m == 1).count()
     }
+
+    /// One past the last real token — the prefix length a batch must keep.
+    /// Equal to [`real_len`](Self::real_len) for the contiguous masks
+    /// [`encode_pair`] produces.
+    pub fn real_span(&self) -> usize {
+        self.mask.iter().rposition(|&m| m == 1).map_or(0, |p| p + 1)
+    }
+
+    /// A copy padded to exactly `len` tokens (pad id, segment 0, mask 0).
+    /// Panics if real tokens would not fit.
+    pub fn padded_to(&self, len: usize) -> Encoding {
+        let span = self.real_span();
+        assert!(span <= len, "cannot pad {span} real tokens into {len}");
+        let mut e = Encoding {
+            ids: self.ids[..span].to_vec(),
+            segments: self.segments[..span].to_vec(),
+            mask: self.mask[..span].to_vec(),
+            cls_index: self.cls_index,
+            pad_id: self.pad_id,
+        };
+        while e.ids.len() < len {
+            e.ids.push(self.pad_id);
+            e.segments.push(0);
+            e.mask.push(0);
+        }
+        e
+    }
 }
 
 /// Encode an entity pair per Figure 9, truncating the longer entity first
-/// until the total (with 3 special tokens) fits `max_len`, then padding.
+/// until the total (with 3 special tokens) fits `max_len`. The result is
+/// *unpadded* — batches pad to their own maximum (dynamic padding), which
+/// keeps the O(T²) attention work proportional to real tokens.
 pub fn encode_pair(
     tok: &dyn Tokenizer,
     entity_a: &str,
@@ -193,18 +242,13 @@ pub fn encode_pair(
             segments.push(1);
         }
     }
-    let real = ids.len();
-    let mut mask = vec![1u8; real];
-    while ids.len() < max_len {
-        ids.push(sp.pad);
-        segments.push(0);
-        mask.push(0);
-    }
+    let mask = vec![1u8; ids.len()];
     Encoding {
         ids,
         segments,
         mask,
         cls_index,
+        pad_id: sp.pad,
     }
 }
 
@@ -229,7 +273,8 @@ mod tests {
         let t = tok();
         let sp = Tokenizer::specials(&t);
         let e = encode_pair(&t, "apple iphone", "asus zenfone", 32, ClsPosition::First);
-        assert_eq!(e.ids.len(), 32);
+        assert!(e.len() <= 32, "unpadded encoding never exceeds max_len");
+        assert_eq!(e.len(), e.real_len(), "fresh encodings carry no padding");
         assert_eq!(e.ids[0], sp.cls);
         assert_eq!(e.cls_index, 0);
         assert_eq!(e.ids.iter().filter(|&&i| i == sp.sep).count(), 2);
@@ -263,14 +308,29 @@ mod tests {
     }
 
     #[test]
-    fn mask_marks_padding() {
+    fn mask_marks_padding_after_padded_to() {
         let t = tok();
         let e = encode_pair(&t, "apple", "asus", 32, ClsPosition::First);
         let real = e.real_len();
         assert!(real < 32);
-        assert!(e.mask[..real].iter().all(|&m| m == 1));
-        assert!(e.mask[real..].iter().all(|&m| m == 0));
+        assert_eq!(e.len(), real, "encode_pair no longer pads");
+        let p = e.padded_to(32);
+        assert_eq!(p.len(), 32);
+        assert_eq!(p.real_len(), real);
+        assert!(p.mask[..real].iter().all(|&m| m == 1));
+        assert!(p.mask[real..].iter().all(|&m| m == 0));
         let sp = Tokenizer::specials(&t);
-        assert!(e.ids[real..].iter().all(|&i| i == sp.pad));
+        assert_eq!(p.pad_id, sp.pad);
+        assert!(p.ids[real..].iter().all(|&i| i == sp.pad));
+        // Re-padding a padded encoding first strips the old tail.
+        assert_eq!(p.padded_to(real), e);
+    }
+
+    #[test]
+    fn real_span_covers_contiguous_prefix() {
+        let t = tok();
+        let e = encode_pair(&t, "apple iphone", "asus", 32, ClsPosition::First);
+        assert_eq!(e.real_span(), e.real_len());
+        assert_eq!(e.padded_to(24).real_span(), e.real_len());
     }
 }

@@ -66,7 +66,7 @@ proptest! {
     }
 
     #[test]
-    fn encode_pair_always_exactly_max_len(
+    fn encode_pair_fits_max_len_and_pads_on_demand(
         a in ascii_words(),
         b in ascii_words(),
         max_len in 16usize..96,
@@ -74,16 +74,23 @@ proptest! {
         let wp = WordPiece::train(&corpus(), 400);
         for pos in [ClsPosition::First, ClsPosition::Last] {
             let e = encode_pair(&wp, &a, &b, max_len, pos);
-            prop_assert_eq!(e.ids.len(), max_len);
-            prop_assert_eq!(e.segments.len(), max_len);
-            prop_assert_eq!(e.mask.len(), max_len);
-            prop_assert!(e.cls_index < max_len);
+            // Unpadded: exactly the real tokens, never more than max_len.
+            prop_assert!(e.ids.len() <= max_len);
+            prop_assert_eq!(e.ids.len(), e.real_len());
+            prop_assert_eq!(e.segments.len(), e.ids.len());
+            prop_assert_eq!(e.mask.len(), e.ids.len());
+            prop_assert!(e.cls_index < e.ids.len());
             let sp = Tokenizer::specials(&wp);
             prop_assert_eq!(e.ids[e.cls_index], sp.cls);
-            // Mask is a prefix of ones followed by zeros.
-            let real = e.real_len();
-            prop_assert!(e.mask[..real].iter().all(|&m| m == 1));
-            prop_assert!(e.mask[real..].iter().all(|&m| m == 0));
+            prop_assert_eq!(e.pad_id, sp.pad);
+            // Explicit padding restores the old fixed-length layout.
+            let p = e.padded_to(max_len);
+            prop_assert_eq!(p.ids.len(), max_len);
+            let real = p.real_len();
+            prop_assert_eq!(real, e.ids.len());
+            prop_assert!(p.mask[..real].iter().all(|&m| m == 1));
+            prop_assert!(p.mask[real..].iter().all(|&m| m == 0));
+            prop_assert!(p.ids[real..].iter().all(|&i| i == sp.pad));
         }
     }
 

@@ -4,7 +4,10 @@
 //! absolute vs. relative positions, segment-embedding usage, and depth.
 
 use crate::config::TransformerConfig;
-use em_nn::{additive_mask_from_padding, Ctx, Embedding, EncoderLayer, LayerNorm, Linear, Module};
+use em_nn::{
+    additive_mask_from_padding, padding_mask, Ctx, Embedding, EncoderLayer, LayerNorm, Linear,
+    Module,
+};
 use em_tensor::{init, Array, Tensor};
 use em_tokenizers::Encoding;
 use rand::rngs::StdRng;
@@ -192,6 +195,14 @@ pub struct TransformerModel {
 }
 
 /// A prepared batch of encodings in the index format the model consumes.
+///
+/// Sequence length is a *per-batch* property: [`Batch::from_encodings`]
+/// and [`Batch::gather`] pad every row only to the longest real span in
+/// the batch, rounded up to [`Batch::PAD_MULTIPLE`] for the SIMD kernels.
+/// Pre-padded encodings are re-packed to the same minimal length, so
+/// mixing ragged and padded inputs is safe. The `*_padded` constructors
+/// reproduce the old fixed-length layout where a uniform sequence length
+/// is required (padded-baseline benches, cross-batch comparisons).
 #[derive(Debug, Clone, Default)]
 pub struct Batch {
     /// Token ids per sample.
@@ -205,11 +216,31 @@ pub struct Batch {
 }
 
 impl Batch {
-    /// Convert tokenizer [`Encoding`]s into a model batch.
+    /// Batch sequence lengths are rounded up to this multiple so the
+    /// vectorized kernels always see lane-friendly row widths.
+    pub const PAD_MULTIPLE: usize = 8;
+
+    /// The padded length a single encoding occupies in a dynamic batch:
+    /// its real span rounded up to [`Batch::PAD_MULTIPLE`]. Encodings with
+    /// the same bucket length coalesce into a batch with zero padding
+    /// waste beyond the rounding.
+    pub fn bucket_len(e: &Encoding) -> usize {
+        e.real_span().div_ceil(Self::PAD_MULTIPLE) * Self::PAD_MULTIPLE
+    }
+
+    /// Convert tokenizer [`Encoding`]s into a model batch, padded to the
+    /// batch maximum (dynamic padding).
     pub fn from_encodings(encodings: &[Encoding]) -> Self {
+        let t = encodings.iter().map(Self::bucket_len).max().unwrap_or(0);
+        Self::from_encodings_padded(encodings, t)
+    }
+
+    /// Convert encodings into a batch padded to exactly `pad_to` tokens
+    /// (the fixed-length baseline layout).
+    pub fn from_encodings_padded(encodings: &[Encoding], pad_to: usize) -> Self {
         let mut batch = Batch::default();
         for e in encodings {
-            batch.push(e);
+            batch.push_to(e, pad_to);
         }
         batch
     }
@@ -217,20 +248,41 @@ impl Batch {
     /// Build a batch from `indices` into a shared encoding pool, borrowing
     /// each [`Encoding`] instead of cloning it first — the epoch loop's
     /// per-step batch construction allocates only the index-format output.
+    /// Padded to the batch maximum (dynamic padding).
     pub fn gather(encodings: &[Encoding], indices: &[usize]) -> Self {
+        let t = indices
+            .iter()
+            .map(|&i| Self::bucket_len(&encodings[i]))
+            .max()
+            .unwrap_or(0);
+        Self::gather_padded(encodings, indices, t)
+    }
+
+    /// Index-based gather padded to exactly `pad_to` tokens.
+    pub fn gather_padded(encodings: &[Encoding], indices: &[usize], pad_to: usize) -> Self {
         let mut batch = Batch::default();
         for &i in indices {
-            batch.push(&encodings[i]);
+            batch.push_to(&encodings[i], pad_to);
         }
         batch
     }
 
-    /// Append one encoding to the batch.
-    pub fn push(&mut self, e: &Encoding) {
-        self.ids.push(e.ids.iter().map(|&i| i as usize).collect());
-        self.segments
-            .push(e.segments.iter().map(|&s| s as usize).collect());
-        self.padding.push(e.mask.clone());
+    /// Append one encoding, keeping its real prefix and padding to `t`.
+    fn push_to(&mut self, e: &Encoding, t: usize) {
+        let span = e.real_span();
+        assert!(
+            span <= t,
+            "encoding with {span} real tokens cannot join a batch padded to {t}"
+        );
+        let mut ids: Vec<usize> = e.ids[..span].iter().map(|&i| i as usize).collect();
+        let mut segments: Vec<usize> = e.segments[..span].iter().map(|&s| s as usize).collect();
+        let mut mask = e.mask[..span].to_vec();
+        ids.resize(t, e.pad_id as usize);
+        segments.resize(t, 0);
+        mask.resize(t, 0);
+        self.ids.push(ids);
+        self.segments.push(segments);
+        self.padding.push(mask);
         self.cls_index.push(e.cls_index);
     }
 
@@ -247,6 +299,29 @@ impl Batch {
     /// Sequence length.
     pub fn seq_len(&self) -> usize {
         self.ids.first().map_or(0, Vec::len)
+    }
+
+    /// Number of real (non-padding) tokens across the batch.
+    pub fn real_tokens(&self) -> usize {
+        self.padding
+            .iter()
+            .map(|row| row.iter().filter(|&&m| m == 1).count())
+            .sum()
+    }
+
+    /// Number of token slots the kernels actually process: `len × seq_len`.
+    pub fn padded_tokens(&self) -> usize {
+        self.len() * self.seq_len()
+    }
+
+    /// Fraction of processed token slots holding real tokens (1.0 means
+    /// the batch carries no padding at all).
+    pub fn padding_efficiency(&self) -> f64 {
+        let padded = self.padded_tokens();
+        if padded == 0 {
+            return 1.0;
+        }
+        self.real_tokens() as f64 / padded as f64
     }
 }
 
@@ -293,18 +368,29 @@ impl TransformerModel {
         blank: Option<&[Vec<bool>]>,
         ctx: &mut Ctx,
     ) -> Tensor {
-        let mut mask = additive_mask_from_padding(&batch.padding);
-        if let Some(vis) = visibility {
-            let t = batch.seq_len();
-            let full = mask.broadcast_to(&[batch.len(), 1, t, t]);
-            mask = full.add(vis);
-        }
+        // Dynamically padded batches are often padding-free (every row
+        // fills the rounded batch length); `padding_mask` returns `None`
+        // there so attention skips the mask add and runs the plain fused
+        // softmax.
+        let mask = match visibility {
+            Some(vis) => {
+                let t = batch.seq_len();
+                let full = additive_mask_from_padding(&batch.padding).broadcast_to(&[
+                    batch.len(),
+                    1,
+                    t,
+                    t,
+                ]);
+                Some(full.add(vis))
+            }
+            None => padding_mask(&batch.padding),
+        };
         let mut x = self
             .embeddings
             .forward(&batch.ids, &batch.segments, blank, ctx);
         let rel_bias = self.relative.as_ref().map(|r| r.bias_for(batch.seq_len()));
         for layer in &self.layers {
-            x = layer.forward(&x, Some(&mask), rel_bias.as_ref(), ctx);
+            x = layer.forward(&x, mask.as_ref(), rel_bias.as_ref(), ctx);
         }
         x
     }
@@ -420,6 +506,53 @@ mod tests {
         for (a, b) in y1.data().iter().zip(y2.data()) {
             assert!((a - b).abs() < 1e-5, "blanked token leaked content");
         }
+    }
+
+    fn ragged_encoding(real: usize) -> Encoding {
+        Encoding {
+            ids: vec![5; real],
+            segments: vec![0; real],
+            mask: vec![1; real],
+            cls_index: 0,
+            pad_id: 0,
+        }
+    }
+
+    #[test]
+    fn dynamic_batches_pad_to_rounded_batch_max() {
+        let encs = [ragged_encoding(5), ragged_encoding(11), ragged_encoding(9)];
+        let b = Batch::from_encodings(&encs);
+        // Longest real span 11 → rounded up to 16.
+        assert_eq!(b.seq_len(), 16);
+        assert_eq!(b.real_tokens(), 5 + 11 + 9);
+        assert_eq!(b.padded_tokens(), 3 * 16);
+        assert!(b.padding_efficiency() > 0.5);
+        assert_eq!(b.padding[0][..5], vec![1u8; 5][..]);
+        assert!(b.padding[0][5..].iter().all(|&m| m == 0));
+        // Index-gather agrees with direct construction.
+        let g = Batch::gather(&encs, &[0, 1, 2]);
+        assert_eq!(g.ids, b.ids);
+        assert_eq!(g.padding, b.padding);
+    }
+
+    #[test]
+    fn padded_batches_repack_prepadded_rows() {
+        // A pre-padded encoding joins a dynamic batch at its *real* length.
+        let short = ragged_encoding(4).padded_to(32);
+        let b = Batch::from_encodings(std::slice::from_ref(&short));
+        assert_eq!(b.seq_len(), 8, "trailing padding is stripped, then rounded");
+        // The fixed-length constructor reproduces the old uniform layout.
+        let f = Batch::from_encodings_padded(std::slice::from_ref(&short), 32);
+        assert_eq!(f.seq_len(), 32);
+        assert_eq!(f.real_tokens(), 4);
+    }
+
+    #[test]
+    fn bucket_len_rounds_to_pad_multiple() {
+        assert_eq!(Batch::bucket_len(&ragged_encoding(1)), 8);
+        assert_eq!(Batch::bucket_len(&ragged_encoding(8)), 8);
+        assert_eq!(Batch::bucket_len(&ragged_encoding(9)), 16);
+        assert_eq!(Batch::bucket_len(&ragged_encoding(24)), 24);
     }
 
     #[test]

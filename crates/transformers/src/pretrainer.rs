@@ -90,7 +90,11 @@ fn build_examples(
     build_nsp_pairs(docs, rng)
         .into_iter()
         .map(|(a, b, label)| Example {
-            encoding: encode_pair(tokenizer, &a, &b, seq_len, cls_position(arch)),
+            // Pre-training works on fixed-length blocks: the masking plans
+            // and flat `s*t+i` target positions assume every row is exactly
+            // `seq_len` wide, so pad the (now unpadded) encodings back up.
+            encoding: encode_pair(tokenizer, &a, &b, seq_len, cls_position(arch))
+                .padded_to(seq_len),
             nsp_label: label,
         })
         .collect()

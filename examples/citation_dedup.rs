@@ -44,6 +44,7 @@ fn main() {
         lr: 1e-3,
         seed: 2,
         max_len_cap: 64,
+        ..Default::default()
     };
     let (matcher, result) = fine_tune(pre.model, tokenizer, &ds, &split.train, &split.test, &ft);
     println!("test F1 after fine-tuning: {:.1}%", result.best_f1);

@@ -60,6 +60,7 @@ fn main() {
         lr: 1e-3,
         seed: 1,
         max_len_cap: 48,
+        ..Default::default()
     };
     let (matcher, result) = fine_tune(pre.model, tokenizer, &ds, &split.train, &split.test, &ft);
     for rec in &result.curve {

@@ -63,12 +63,14 @@ fn main() {
             .count()
     );
 
-    // The Figure 9 feeding approach.
-    println!("\nFigure 9 pair encoding ([CLS] A [SEP] B [SEP], padded to 48):");
-    let enc = encode_pair(&wp, entity_a, entity_b, 48, ClsPosition::First);
-    println!("  ids      : {:?}…", &enc.ids[..16]);
-    println!("  segments : {:?}…", &enc.segments[..16]);
-    println!("  mask     : {:?}…", &enc.mask[..16]);
+    // The Figure 9 feeding approach. Encodings are ragged (no padding);
+    // batches pad dynamically, so show the explicit `padded_to` form.
+    println!("\nFigure 9 pair encoding ([CLS] A [SEP] B [SEP], truncated to 48):");
+    let enc = encode_pair(&wp, entity_a, entity_b, 48, ClsPosition::First).padded_to(48);
+    let show = enc.ids.len().min(16);
+    println!("  ids      : {:?}…", &enc.ids[..show]);
+    println!("  segments : {:?}…", &enc.segments[..show]);
+    println!("  mask     : {:?}…", &enc.mask[..show]);
     println!(
         "  cls index: {} | real tokens: {}",
         enc.cls_index,

@@ -57,6 +57,7 @@ fn fine_tuning_curves_are_deterministic() {
             lr: 1e-3,
             seed,
             max_len_cap: 32,
+            ..Default::default()
         };
         let (_, result) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
         result.curve.iter().map(|r| r.f1).collect::<Vec<_>>()

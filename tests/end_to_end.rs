@@ -41,6 +41,7 @@ fn every_architecture_pretrains_and_finetunes() {
             lr: 1e-3,
             seed: 5,
             max_len_cap: 32,
+            ..Default::default()
         };
         let (matcher, result) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
         assert_eq!(result.curve.len(), 2, "{}", arch.name());
@@ -67,7 +68,10 @@ fn pipeline_encodings_are_model_consumable() {
             .value()
     });
     assert_eq!(out.shape()[0], batch.len());
-    assert_eq!(out.shape()[1], max_len);
+    // Dynamic padding: the batch is only as long as its longest row
+    // (rounded to the kernel multiple), never longer than max_len.
+    assert_eq!(out.shape()[1], batch.seq_len());
+    assert!(batch.seq_len() <= max_len);
 }
 
 #[test]
@@ -147,6 +151,7 @@ fn zero_shot_is_evaluated_before_any_training() {
         lr: 1e-3,
         seed: 6,
         max_len_cap: 32,
+        ..Default::default()
     };
     let (_, result) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
     assert_eq!(

@@ -100,6 +100,7 @@ fn long_text_strategies_run_on_company_data() {
         lr: 1e-3,
         seed: 34,
         max_len_cap: 32,
+        ..Default::default()
     };
     let (matcher, _) = fine_tune(pre.model, tok, &ds, &split.train, &split.test, &ft);
 
