@@ -5,7 +5,12 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 /// A trained binary classifier over dense `f64` feature vectors.
-pub trait Classifier {
+///
+/// `Send + Sync` is a supertrait so a boxed classifier (and the
+/// `MagellanMatcher` wrapping one) can serve as a shared degraded-mode
+/// fallback inside multi-threaded serving; every implementor is plain
+/// owned data, so this costs nothing.
+pub trait Classifier: Send + Sync {
     /// Probability of the positive class.
     fn predict_proba(&self, features: &[f64]) -> f64;
 

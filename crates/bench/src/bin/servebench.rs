@@ -8,6 +8,13 @@
 //!     [--max-len 128] [--repeats 3] [--seed 42]
 //! ```
 //!
+//! With `--chaos` the bench instead runs the same request stream under a
+//! seeded `FaultPlan` (injected worker panics, latency spikes, transient
+//! errors) against a supervised pool with shedding, retry and a Magellan
+//! degraded-mode fallback, and writes availability/recovery numbers to
+//! `results/serve_chaos.json` (`--smoke` shrinks the model and workload
+//! for CI). See the "Robustness" section of EXPERIMENTS.md.
+//!
 //! Methodology (see EXPERIMENTS.md): both paths pay the full cost per
 //! request — serialization, tokenization, forward pass. The sequential
 //! baseline calls `predict` with one pair at a time (the only serving
@@ -21,9 +28,10 @@
 //! stream is timed `--repeats` times and the best pass is kept —
 //! scheduler noise only ever slows a pass down.
 
+use em_baselines::{MagellanLearner, MagellanMatcher};
 use em_bench::{Args, RESULTS_DIR};
 use em_core::prelude::*;
-use em_serve::{FrozenMatcher, ServeConfig, ServeMatcher};
+use em_serve::{freeze_parts, FaultPlan, FrozenMatcher, ServeConfig, ServeMatcher};
 use em_tokenizers::Tokenizer;
 use em_transformers::{ClassificationHead, TransformerConfig, TransformerModel};
 use rand::rngs::StdRng;
@@ -63,8 +71,184 @@ struct ServeBenchReport {
     serve: Vec<ServeRun>,
 }
 
+/// One chaos run's worth of availability and recovery numbers.
+#[derive(Serialize)]
+struct ChaosReport {
+    arch: String,
+    pairs: usize,
+    workers: usize,
+    clients: usize,
+    /// The injected fault schedule (seed + average periods).
+    fault_seed: u64,
+    panic_every: usize,
+    delay_every: usize,
+    error_every: usize,
+    seconds: f64,
+    /// Requests answered with a score (transformer or fallback) over
+    /// requests submitted. The headline chaos number.
+    availability: f64,
+    /// Workers respawned by the supervisor after injected panics.
+    worker_restarts: u64,
+    /// Requests answered by the Magellan degraded-mode fallback.
+    degraded_requests: u64,
+    /// Requests rejected by admission control (`ServeError::Overloaded`).
+    shed_requests: u64,
+    /// Transient failures retried with backoff.
+    retries: u64,
+    /// Requests accepted by the matcher (retries resubmit, so this can
+    /// exceed `pairs`).
+    requests: u64,
+}
+
+/// Chaos mode: a client swarm against a fault-injected supervised pool
+/// with shedding, retry + backoff, and a Magellan fallback. Measures
+/// availability — the fraction of requests that got an answer — and how
+/// much recovery machinery that took.
+fn chaos_run(args: &Args) {
+    let smoke = args.has("smoke");
+    let n_pairs: usize = args.get("pairs").unwrap_or(if smoke { 48 } else { 256 });
+    let workers: usize = args.get("workers").unwrap_or(2);
+    let clients: usize = args.get("clients").unwrap_or(4);
+    let max_len: usize = args.get("max-len").unwrap_or(32);
+    let seed: u64 = args.get("seed").unwrap_or(42);
+    // Fault seed 1 provably panics batch 0 at panic_every=2 (the serve
+    // tests pin the same schedule), so every chaos run exercises at least
+    // one worker respawn regardless of batch timing.
+    let fault_seed: u64 = args.get("fault-seed").unwrap_or(1);
+
+    let arch = Architecture::Bert;
+    let corpus = em_data::generate_corpus(if smoke { 30 } else { 200 }, seed);
+    let tokenizer = train_tokenizer(arch, &corpus, if smoke { 200 } else { 400 });
+    let mut cfg = if smoke {
+        TransformerConfig::tiny(arch, tokenizer.vocab_size())
+    } else {
+        TransformerConfig::small(arch, tokenizer.vocab_size())
+    };
+    cfg.max_position = cfg.max_position.max(max_len);
+    let hidden = cfg.hidden;
+    let model = TransformerModel::new(cfg, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
+    let frozen = freeze_parts(&model, &head, tokenizer, max_len);
+
+    let ds = DatasetId::AbtBuy.generate(0.05, seed);
+    let mut pairs: Vec<EntityPair> = ds.pairs.clone();
+    while pairs.len() < n_pairs {
+        pairs.extend(ds.pairs.clone());
+    }
+    pairs.truncate(n_pairs);
+
+    // The degraded-mode fallback: a real fitted Magellan classifier, as
+    // production would deploy (not a stub), trained on the dataset split.
+    let mut srng = StdRng::seed_from_u64(seed);
+    let split = ds.split(&mut srng);
+    let magellan = MagellanMatcher::fit(
+        &ds.effective_attributes(),
+        &split.train,
+        MagellanLearner::LogisticRegression,
+        seed,
+    );
+
+    let plan = FaultPlan {
+        seed: fault_seed,
+        panic_every: 2,
+        delay_every: 7,
+        delay: std::time::Duration::from_millis(2),
+        error_every: 5,
+    };
+    eprintln!(
+        "servebench --chaos: {} pairs, {workers} workers, {clients} clients, \
+         fault seed {fault_seed} (panic 1/{}, delay 1/{}, error 1/{})",
+        pairs.len(),
+        plan.panic_every,
+        plan.delay_every,
+        plan.error_every
+    );
+    let serve_cfg = ServeConfig::builder()
+        .workers(workers)
+        .max_batch(8)
+        .max_wait_ms(1)
+        .cache_capacity(0)
+        .request_timeout_ms(5_000)
+        .shed(true)
+        .max_requeues(2)
+        .fault(plan.clone())
+        .build()
+        .expect("valid chaos serve config");
+    let matcher =
+        Arc::new(ServeMatcher::start(frozen, serve_cfg).with_fallback(Box::new(magellan)));
+
+    let t0 = Instant::now();
+    let chunk = pairs.len().div_ceil(clients.max(1));
+    let answered: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| {
+                let matcher = Arc::clone(&matcher);
+                let ds = &ds;
+                s.spawn(move || match matcher.try_predict_scores(ds, slice) {
+                    Ok(scores) => scores.len(),
+                    Err(e) => {
+                        eprintln!("chaos client chunk failed: {e}");
+                        0
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos client panicked"))
+            .sum()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let stats = matcher.stats();
+    let availability = answered as f64 / pairs.len() as f64;
+    eprintln!(
+        "chaos: availability {availability:.4} in {secs:.2}s — {} restarts, \
+         {} degraded, {} shed, {} retries",
+        stats.worker_restarts, stats.degraded, stats.shed, stats.retries
+    );
+    assert!(
+        availability >= 0.99,
+        "chaos availability {availability} below the 0.99 floor"
+    );
+
+    let report = ChaosReport {
+        arch: arch.name().to_string(),
+        pairs: pairs.len(),
+        workers,
+        clients,
+        fault_seed,
+        panic_every: plan.panic_every,
+        delay_every: plan.delay_every,
+        error_every: plan.error_every,
+        seconds: secs,
+        availability,
+        worker_restarts: stats.worker_restarts,
+        degraded_requests: stats.degraded,
+        shed_requests: stats.shed,
+        retries: stats.retries,
+        requests: stats.requests,
+    };
+    let path = std::path::PathBuf::from(RESULTS_DIR).join("serve_chaos.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize chaos report"),
+    )
+    .expect("write serve_chaos.json");
+    eprintln!("[saved] {}", path.display());
+    em_obs::finish_to("servebench-chaos", std::path::Path::new(RESULTS_DIR));
+}
+
 fn main() {
     let args = Args::parse();
+    if args.has("chaos") {
+        chaos_run(&args);
+        return;
+    }
     let n_pairs: usize = args.get("pairs").unwrap_or(256);
     let max_workers: usize = args.get("workers").unwrap_or(4);
     let clients: usize = args.get("clients").unwrap_or(8);

@@ -11,6 +11,7 @@
 use crate::finetune::EmMatcher;
 use crate::longtext::{predict_long, LongTextStrategy};
 use crate::pipeline::encode_pairs;
+use em_baselines::MagellanMatcher;
 use em_data::{Dataset, EntityPair};
 
 /// Anything that can score entity pairs for a match decision.
@@ -51,6 +52,24 @@ impl Predictor for EmMatcher {
 
     fn predict_pairs(&self, ds: &Dataset, pairs: &[EntityPair]) -> Vec<bool> {
         self.predict(ds, pairs)
+    }
+}
+
+/// The Magellan baseline speaks the same surface, so it can stand in for
+/// a transformer matcher anywhere a [`Predictor`] is expected — most
+/// importantly as `em-serve`'s degraded-mode fallback, where it answers
+/// requests the transformer path could not. Feature extraction works on
+/// the pair's own attribute strings, so the dataset handle is unused.
+impl Predictor for MagellanMatcher {
+    fn predict_scores(&self, _ds: &Dataset, pairs: &[EntityPair]) -> Vec<f32> {
+        pairs.iter().map(|p| self.predict_proba(p) as f32).collect()
+    }
+
+    /// Defers to the matcher's own decision rule (`>= 0.5`, the Magellan
+    /// convention) rather than the default strict-majority threshold, so
+    /// trait-object and direct calls agree on every pair.
+    fn predict_pairs(&self, _ds: &Dataset, pairs: &[EntityPair]) -> Vec<bool> {
+        self.predict_all(pairs)
     }
 }
 

@@ -15,6 +15,8 @@
 //! flips [`Backend::Scalar`] to time the pre-kernels training path
 //! against [`Backend::Auto`] in a single process.
 
+#![deny(missing_docs)]
+
 pub mod gemm;
 pub mod math;
 pub mod pool;

@@ -1,5 +1,6 @@
-//! Serving configuration and typed serving errors.
+//! Serving configuration, retry/backoff policy and typed serving errors.
 
+use crate::fault::FaultPlan;
 use std::error::Error;
 use std::fmt;
 use std::time::Duration;
@@ -32,6 +33,29 @@ pub struct ServeConfig {
     /// (`max_batch × max_len` tokens); this caps that growth. `0` means
     /// auto (4 × `max_batch`).
     pub bucket_capacity_cap: usize,
+    /// Admission control: when `true`, a full request queue rejects new
+    /// work immediately with [`ServeError::Overloaded`] (load shedding)
+    /// instead of blocking the submitter (backpressure, the default).
+    /// Shedding keeps queue wait — and therefore tail latency — bounded
+    /// by `queue_depth × service time` under overload.
+    pub shed: bool,
+    /// Client-side retry schedule applied by the resilient scoring paths
+    /// ([`ServeMatcher::score_with_retry`](crate::ServeMatcher::score_with_retry)
+    /// and [`ServeMatcher::try_predict_scores`](crate::ServeMatcher::try_predict_scores))
+    /// to transient errors. The plain `score` call never retries.
+    pub retry: RetryPolicy,
+    /// How many times a request may be requeued after the worker scoring
+    /// it panicked before it fails with [`ServeError::Transient`]. Bounds
+    /// the damage of an input that deterministically crashes the model.
+    pub max_requeues: u32,
+    /// How many worker respawns the supervisor performs before giving up
+    /// and failing the dead worker's requests — a backstop against a
+    /// restart storm when every batch panics.
+    pub max_worker_restarts: usize,
+    /// Deterministic fault injection for chaos testing; `None` (the
+    /// default) disables injection entirely — the per-batch check is a
+    /// single branch on this `Option`.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +68,11 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             request_timeout: Duration::from_secs(30),
             bucket_capacity_cap: 0,
+            shed: false,
+            retry: RetryPolicy::default(),
+            max_requeues: 2,
+            max_worker_restarts: 1024,
+            fault: None,
         }
     }
 }
@@ -102,6 +131,79 @@ impl ServeConfig {
     }
 }
 
+/// Exponential backoff with deterministic jitter for retrying transient
+/// serving failures.
+///
+/// Attempt `n` (0-based) sleeps `base × 2ⁿ`, capped at `cap`, then
+/// shrunk by up to `jitter` of itself — the jitter fraction is drawn
+/// deterministically from `(seed, attempt, nonce)`, so a retry schedule
+/// is reproducible given its inputs while different requests (different
+/// nonces) still decorrelate and avoid retrying in lockstep.
+///
+/// ```
+/// use em_serve::RetryPolicy;
+/// use std::time::Duration;
+/// let p = RetryPolicy { max_retries: 4, jitter: 0.0, ..RetryPolicy::default() };
+/// assert_eq!(p.backoff(0, 0), Duration::from_millis(1));
+/// assert_eq!(p.backoff(3, 0), Duration::from_millis(8));
+/// assert_eq!(p.backoff(30, 0), p.cap); // capped, no overflow
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt; `0` disables retrying.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub cap: Duration,
+    /// Fraction of each backoff randomized away (`0.0` = fixed schedule,
+    /// `1.0` = anywhere down to zero). Jitter only ever *shortens* a
+    /// sleep, so `cap` stays a hard bound.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter draw.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 2 retries, 1 ms base doubling to a 100 ms cap, half-range jitter.
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+            jitter: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based). `nonce`
+    /// decorrelates concurrent callers (pass anything request-unique — a
+    /// request counter, an index); the same `(policy, attempt, nonce)`
+    /// always yields the same duration.
+    pub fn backoff(&self, attempt: u32, nonce: u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        if self.jitter <= 0.0 {
+            return exp;
+        }
+        // Deterministic uniform draw in [0, 1): same splitmix64 family as
+        // the fault schedule, different mixing constant.
+        let mut x = self
+            .seed
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(u64::from(attempt))
+            .wrapping_add(nonce.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(1.0 - self.jitter.min(1.0) * u)
+    }
+}
+
 /// Builder for [`ServeConfig`]; `build` rejects configurations that
 /// would deadlock or spin (zero workers, empty batches, zero queue).
 #[derive(Debug, Clone)]
@@ -153,6 +255,39 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Enable load shedding: a full queue rejects with
+    /// [`ServeError::Overloaded`] instead of blocking the submitter.
+    pub fn shed(mut self, on: bool) -> Self {
+        self.cfg.shed = on;
+        self
+    }
+
+    /// Client-side retry schedule for the resilient scoring paths
+    /// (`jitter` must be within `[0, 1]`, `cap` must be ≥ `base`).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.cfg.retry = policy;
+        self
+    }
+
+    /// Requeue budget for requests whose worker panicked mid-batch.
+    pub fn max_requeues(mut self, n: u32) -> Self {
+        self.cfg.max_requeues = n;
+        self
+    }
+
+    /// Supervisor respawn budget (must be ≥ 1 when fault injection can
+    /// panic, or the first injected panic permanently shrinks the pool).
+    pub fn max_worker_restarts(mut self, n: usize) -> Self {
+        self.cfg.max_worker_restarts = n;
+        self
+    }
+
+    /// Deterministic fault injection plan (chaos testing only).
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault = Some(plan);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ServeConfig, String> {
         let c = &self.cfg;
@@ -181,6 +316,30 @@ impl ServeConfigBuilder {
                 c.bucket_capacity_cap, c.max_batch
             ));
         }
+        if !(0.0..=1.0).contains(&c.retry.jitter) {
+            return Err(format!(
+                "retry jitter ({}) must lie in [0, 1]",
+                c.retry.jitter
+            ));
+        }
+        if c.retry.cap < c.retry.base {
+            return Err(format!(
+                "retry cap ({:?}) must be >= retry base ({:?})",
+                c.retry.cap, c.retry.base
+            ));
+        }
+        if c.retry.max_retries > 0 && c.retry.base.is_zero() && c.retry.jitter == 0.0 {
+            return Err("retrying with a zero base backoff and no jitter would spin".into());
+        }
+        if let Some(plan) = &c.fault {
+            if plan.panic_every != 0 && c.max_worker_restarts == 0 {
+                return Err(
+                    "fault injection with panics needs max_worker_restarts >= 1 or the \
+                     first injected panic permanently shrinks the pool"
+                        .into(),
+                );
+            }
+        }
         Ok(self.cfg)
     }
 }
@@ -190,8 +349,7 @@ impl ServeConfigBuilder {
 pub enum ServeError {
     /// The score did not arrive within the configured `request_timeout`.
     Timeout,
-    /// The matcher has been shut down (or a worker died) before the
-    /// request could be served.
+    /// The matcher has been shut down before the request could be served.
     ShutDown,
     /// The encoding is longer than the frozen model's input length
     /// (its position table), so it cannot be scored at all. Shorter
@@ -202,6 +360,36 @@ pub enum ServeError {
         /// The frozen matcher's `max_len`.
         expected: usize,
     },
+    /// Admission control rejected the request because the queue was full
+    /// ([`ServeConfig::shed`]). Retry after backoff — the queue bound is
+    /// exactly what keeps latency flat under overload.
+    Overloaded,
+    /// The request failed for a reason that retrying may fix: the batch
+    /// hit a transient scoring error, or the worker scoring it panicked
+    /// and the request exhausted its requeue budget
+    /// ([`ServeConfig::max_requeues`]).
+    Transient,
+}
+
+impl ServeError {
+    /// True for failures a retry (with backoff) can plausibly fix:
+    /// [`Timeout`](Self::Timeout), [`Overloaded`](Self::Overloaded) and
+    /// [`Transient`](Self::Transient). `InvalidLength` and `ShutDown`
+    /// are permanent — retrying cannot help.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Timeout | ServeError::Overloaded | ServeError::Transient
+        )
+    }
+
+    /// True for failures the degraded-mode fallback predictor should
+    /// absorb: every transient error, plus [`ShutDown`](Self::ShutDown)
+    /// — a shut-down transformer path is exactly the "primary is down"
+    /// scenario a fallback exists for.
+    pub fn is_degradable(&self) -> bool {
+        self.is_transient() || matches!(self, ServeError::ShutDown)
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -213,6 +401,12 @@ impl fmt::Display for ServeError {
                 f,
                 "encoding length {got} exceeds the model input length {expected}"
             ),
+            ServeError::Overloaded => {
+                write!(f, "request shed: the serving queue is at capacity")
+            }
+            ServeError::Transient => {
+                write!(f, "request failed transiently; retry with backoff")
+            }
         }
     }
 }
@@ -290,5 +484,109 @@ mod tests {
         };
         assert!(e.to_string().contains("40"));
         assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn transient_classification_drives_retry_and_degrade() {
+        assert!(ServeError::Timeout.is_transient());
+        assert!(ServeError::Overloaded.is_transient());
+        assert!(ServeError::Transient.is_transient());
+        assert!(!ServeError::ShutDown.is_transient());
+        assert!(!ServeError::InvalidLength {
+            got: 9,
+            expected: 8
+        }
+        .is_transient());
+        // Degradable = transient + ShutDown ("primary is down").
+        assert!(ServeError::ShutDown.is_degradable());
+        assert!(!ServeError::InvalidLength {
+            got: 9,
+            expected: 8
+        }
+        .is_degradable());
+    }
+
+    #[test]
+    fn backoff_doubles_from_base_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(80),
+            jitter: 0.0,
+            seed: 0,
+        };
+        assert_eq!(p.backoff(0, 0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1, 0), Duration::from_millis(20));
+        assert_eq!(p.backoff(2, 0), Duration::from_millis(40));
+        assert_eq!(p.backoff(3, 0), Duration::from_millis(80));
+        assert_eq!(p.backoff(4, 0), Duration::from_millis(80), "capped");
+        assert_eq!(p.backoff(63, 0), Duration::from_millis(80), "no overflow");
+    }
+
+    #[test]
+    fn jitter_only_shortens_and_is_deterministic() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        for attempt in 0..6 {
+            for nonce in 0..32 {
+                let exact = RetryPolicy {
+                    jitter: 0.0,
+                    ..p.clone()
+                }
+                .backoff(attempt, nonce);
+                let jittered = p.backoff(attempt, nonce);
+                assert!(jittered <= exact, "jitter never exceeds the schedule");
+                assert!(
+                    jittered >= exact.mul_f64(0.5),
+                    "jitter 0.5 removes at most half"
+                );
+                assert_eq!(jittered, p.backoff(attempt, nonce), "deterministic");
+            }
+        }
+        // Different nonces decorrelate concurrent retriers.
+        let spread: std::collections::HashSet<Duration> =
+            (0..16).map(|n| p.backoff(2, n)).collect();
+        assert!(spread.len() > 1, "nonces must vary the jitter draw");
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_robustness_configs() {
+        assert!(ServeConfig::builder()
+            .retry(RetryPolicy {
+                jitter: 1.5,
+                ..RetryPolicy::default()
+            })
+            .build()
+            .is_err());
+        assert!(ServeConfig::builder()
+            .retry(RetryPolicy {
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            })
+            .build()
+            .is_err());
+        // Zero backoff + zero jitter + retries would busy-spin.
+        assert!(ServeConfig::builder()
+            .retry(RetryPolicy {
+                max_retries: 3,
+                base: Duration::ZERO,
+                jitter: 0.0,
+                ..RetryPolicy::default()
+            })
+            .build()
+            .is_err());
+        // Injected panics with no respawn budget shrink the pool forever.
+        assert!(ServeConfig::builder()
+            .fault(crate::FaultPlan {
+                panic_every: 2,
+                ..crate::FaultPlan::default()
+            })
+            .max_worker_restarts(0)
+            .build()
+            .is_err());
     }
 }

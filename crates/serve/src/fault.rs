@@ -1,0 +1,215 @@
+//! Deterministic fault injection for the serving worker pool.
+//!
+//! A [`FaultPlan`] is plain configuration data: a seed plus one rate per
+//! fault kind. Each coalesced batch draws a monotone sequence number, and
+//! the plan decides — by hashing `(seed, kind, seq)` — whether that batch
+//! suffers an injected worker panic, a latency spike, or a transient
+//! scoring error. The decision is a pure function of the plan and the
+//! sequence number, so a chaos run replays the same fault *schedule* for
+//! the same seed regardless of thread interleaving, and a shrunk proptest
+//! case keeps the faults that broke it.
+//!
+//! The plan lives in [`ServeConfig::fault`](crate::ServeConfig::fault) as
+//! an `Option`: production configs carry `None` and the per-batch check is
+//! a single branch on an `Option` that never allocates or hashes —
+//! zero-cost when off.
+
+use std::time::Duration;
+
+/// What happens to one coalesced batch under an active [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The worker thread panics before scoring — exercising supervision:
+    /// the supervisor must respawn the worker and requeue every job it
+    /// held so no request is lost.
+    Panic,
+    /// The worker sleeps for [`FaultPlan::delay`] before scoring — a
+    /// latency spike that pushes clients toward their `request_timeout`.
+    Delay(Duration),
+    /// The batch fails with [`ServeError::Transient`](crate::ServeError::Transient)
+    /// instead of being scored — the retryable error class clients back
+    /// off and resubmit on.
+    Error,
+}
+
+/// A seeded schedule of injected failures, applied per coalesced batch.
+///
+/// Each `*_every` field is an average period: `0` disables that fault
+/// kind entirely, `1` hits every batch, `n` hits a deterministic,
+/// seed-chosen ~`1/n` of batches. Kinds are decided independently; when
+/// several hit the same batch the most destructive wins
+/// (panic > error > delay).
+///
+/// ```
+/// use em_serve::{Fault, FaultPlan};
+/// let plan = FaultPlan { panic_every: 1, ..FaultPlan::default() };
+/// // panic_every = 1 hits every batch, whatever the seed.
+/// assert_eq!(plan.fault_for(0), Some(Fault::Panic));
+/// assert_eq!(plan.fault_for(7), Some(Fault::Panic));
+/// // The default plan injects nothing.
+/// assert_eq!(FaultPlan::default().fault_for(0), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed that picks *which* batches the `*_every` rates hit.
+    pub seed: u64,
+    /// Average batches between injected worker panics; `0` = never.
+    pub panic_every: usize,
+    /// Average batches between injected latency spikes; `0` = never.
+    pub delay_every: usize,
+    /// Length of an injected latency spike.
+    pub delay: Duration,
+    /// Average batches between injected transient errors; `0` = never.
+    pub error_every: usize,
+}
+
+impl Default for FaultPlan {
+    /// All fault kinds disabled; 5 ms delay spikes once enabled.
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            panic_every: 0,
+            delay_every: 0,
+            delay: Duration::from_millis(5),
+            error_every: 0,
+        }
+    }
+}
+
+/// SplitMix64: a tiny, well-mixed hash for the fault schedule. Quality
+/// only needs to be good enough that fault positions look uncorrelated
+/// across kinds and seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// True when any fault kind can fire; an inactive plan behaves exactly
+    /// like `ServeConfig { fault: None, .. }`.
+    pub fn is_active(&self) -> bool {
+        self.panic_every != 0 || self.delay_every != 0 || self.error_every != 0
+    }
+
+    /// Does fault kind `salt` hit batch `seq`? Pure function of
+    /// `(seed, salt, seq)`.
+    fn hits(&self, salt: u64, seq: u64, every: usize) -> bool {
+        match every {
+            0 => false,
+            1 => true,
+            n => splitmix64(self.seed ^ salt.wrapping_mul(0x9e37_79b9) ^ seq)
+                .is_multiple_of(n as u64),
+        }
+    }
+
+    /// The fault (if any) injected into the batch with sequence number
+    /// `seq`. Deterministic: the same plan and `seq` always yield the same
+    /// answer. When several kinds hit the same batch the most destructive
+    /// wins: panic > error > delay.
+    pub fn fault_for(&self, seq: u64) -> Option<Fault> {
+        if self.hits(1, seq, self.panic_every) {
+            Some(Fault::Panic)
+        } else if self.hits(2, seq, self.error_every) {
+            Some(Fault::Error)
+        } else if self.hits(3, seq, self.delay_every) {
+            Some(Fault::Delay(self.delay))
+        } else {
+            None
+        }
+    }
+}
+
+/// Panic payload for injected worker panics. The quiet panic hook (see
+/// [`install_quiet_hook`]) recognizes it and suppresses the default
+/// stderr backtrace spam for *injected* panics only; real panics keep the
+/// default reporting.
+pub(crate) struct InjectedFault;
+
+/// Install (once, process-wide) a panic hook that silences panics whose
+/// payload is [`InjectedFault`] and forwards everything else to the
+/// previously installed hook. Called when a matcher starts with an active
+/// fault plan — chaos runs would otherwise print one backtrace per
+/// injected panic.
+pub(crate) fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedFault>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_never_faults() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert!((0..1000).all(|s| plan.fault_for(s).is_none()));
+    }
+
+    #[test]
+    fn every_one_hits_every_batch_for_any_seed() {
+        for seed in [0, 1, 42, u64::MAX] {
+            let plan = FaultPlan {
+                seed,
+                error_every: 1,
+                ..FaultPlan::default()
+            };
+            assert!((0..100).all(|s| plan.fault_for(s) == Some(Fault::Error)));
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let plan = |seed| FaultPlan {
+            seed,
+            panic_every: 3,
+            delay_every: 3,
+            error_every: 3,
+            ..FaultPlan::default()
+        };
+        let schedule =
+            |seed| -> Vec<Option<Fault>> { (0..256).map(|s| plan(seed).fault_for(s)).collect() };
+        // Same seed: identical schedule (replayable chaos).
+        assert_eq!(schedule(7), schedule(7));
+        // Different seeds: different schedules.
+        assert_ne!(schedule(7), schedule(8));
+    }
+
+    #[test]
+    fn rate_is_roughly_one_over_every() {
+        let plan = FaultPlan {
+            seed: 11,
+            delay_every: 4,
+            ..FaultPlan::default()
+        };
+        let hits = (0..4000).filter(|&s| plan.fault_for(s).is_some()).count();
+        // Expected 1000; a generous band keeps the test seed-robust.
+        assert!((600..1500).contains(&hits), "got {hits} hits in 4000");
+    }
+
+    #[test]
+    fn panic_outranks_error_outranks_delay() {
+        let all = FaultPlan {
+            seed: 0,
+            panic_every: 1,
+            delay_every: 1,
+            error_every: 1,
+            ..FaultPlan::default()
+        };
+        assert_eq!(all.fault_for(5), Some(Fault::Panic));
+        let no_panic = FaultPlan {
+            panic_every: 0,
+            ..all
+        };
+        assert_eq!(no_panic.fault_for(5), Some(Fault::Error));
+    }
+}

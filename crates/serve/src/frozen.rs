@@ -490,6 +490,10 @@ pub struct FrozenMatcher {
     /// span. Encodings scored by this matcher may be any length up to it;
     /// batches pad dynamically to their own maximum.
     pub max_len: usize,
+    /// Examples per forward pass on the bulk [`Predictor`](em_core::Predictor)
+    /// path, copied from the source matcher's `eval_batch` so frozen
+    /// prediction chunks exactly like the autograd eval path it replaces.
+    pub eval_batch: usize,
 }
 
 impl From<&EmMatcher> for FrozenMatcher {
@@ -499,6 +503,7 @@ impl From<&EmMatcher> for FrozenMatcher {
             head: FrozenLinear::from(m.head.classifier()),
             tokenizer: m.tokenizer.clone(),
             max_len: m.max_len,
+            eval_batch: m.eval_batch,
         }
     }
 }
@@ -554,13 +559,13 @@ impl FrozenMatcher {
 impl em_core::Predictor for FrozenMatcher {
     fn predict_scores(&self, ds: &Dataset, pairs: &[EntityPair]) -> Vec<f32> {
         let encodings: Vec<Encoding> = pairs.iter().map(|p| self.encode(ds, p)).collect();
-        // Chunked like EmMatcher::score_encodings so peak memory stays
-        // flat, and length-sorted so each chunk pads only to its own
-        // (short) maximum; scores return in the original order.
+        // Chunked by `eval_batch` like the autograd eval path so peak
+        // memory stays flat, and length-sorted so each chunk pads only to
+        // its own (short) maximum; scores return in the original order.
         let mut by_len: Vec<usize> = (0..encodings.len()).collect();
         by_len.sort_by_key(|&i| encodings[i].real_span());
         let mut out = vec![0.0f32; encodings.len()];
-        for chunk in by_len.chunks(32) {
+        for chunk in by_len.chunks(self.eval_batch.max(1)) {
             let group: Vec<Encoding> = chunk.iter().map(|&i| encodings[i].clone()).collect();
             for (&orig, score) in chunk.iter().zip(self.score_encodings(&group)) {
                 out[orig] = score;
@@ -593,5 +598,6 @@ pub fn freeze_parts(
         head: FrozenLinear::from(head.classifier()),
         tokenizer,
         max_len,
+        eval_batch: 32,
     }
 }

@@ -11,11 +11,18 @@
 //!    inference-only forward pass that reproduces the autograd logits to
 //!    within 1e-5 on all four architectures (BERT, XLNet, RoBERTa,
 //!    DistilBERT).
-//! 2. **Micro-batching matcher** ([`ServeMatcher`]): a worker pool over
-//!    one `Arc`-shared frozen matcher that coalesces concurrent requests
-//!    into batches, with a bounded queue for backpressure, an LRU score
-//!    cache for repeated pairs, per-request timeouts, and a graceful
-//!    queue-draining shutdown.
+//! 2. **Micro-batching matcher** ([`ServeMatcher`]): a supervised worker
+//!    pool over one `Arc`-shared frozen matcher that coalesces concurrent
+//!    requests into length-bucketed batches, with a bounded queue for
+//!    backpressure, an LRU score cache for repeated pairs, per-request
+//!    timeouts, and a graceful queue-draining shutdown.
+//! 3. **A tested failure path**: deterministic fault injection
+//!    ([`FaultPlan`]), worker supervision with panic recovery and request
+//!    requeue ([`supervisor`]), retry with exponential backoff + jitter
+//!    ([`RetryPolicy`]), admission-control load shedding
+//!    ([`ServeError::Overloaded`]), and a degraded mode that answers with
+//!    a fallback `Predictor` when the transformer path is down
+//!    ([`ServeMatcher::with_fallback`]).
 //!
 //! Both layers speak the unified `em_core::Predictor` surface, so a
 //! frozen or served matcher drops in anywhere an `EmMatcher` scores
@@ -33,11 +40,16 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod config;
+pub mod fault;
 pub mod frozen;
 pub mod matcher;
+pub mod supervisor;
 
-pub use config::{ServeConfig, ServeConfigBuilder, ServeError};
+pub use config::{RetryPolicy, ServeConfig, ServeConfigBuilder, ServeError};
+pub use fault::{Fault, FaultPlan};
 pub use frozen::{freeze_parts, FrozenLinear, FrozenMatcher, FrozenModel};
 pub use matcher::{ServeMatcher, ServeStats};

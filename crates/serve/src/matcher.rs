@@ -8,9 +8,17 @@
 //! length, and short buckets may hold more than `max_batch` examples under
 //! the same `max_batch × max_len` token budget (see
 //! [`ServeConfig::bucket_capacity`]). The request queue is bounded — a
-//! full queue blocks producers instead of growing without limit — and
-//! every request carries its own response channel with a client-side
-//! timeout.
+//! full queue blocks producers (or, with [`ServeConfig::shed`], rejects
+//! them with [`ServeError::Overloaded`]) instead of growing without
+//! limit — and every request carries its own response channel with a
+//! client-side timeout.
+//!
+//! The failure path is first-class (see the [`supervisor`](crate::supervisor)
+//! module): workers run supervised, so a panic respawns the worker and
+//! requeues the jobs it held; transient errors are retried with
+//! exponential backoff + jitter ([`RetryPolicy`](crate::RetryPolicy));
+//! and a configured fallback [`Predictor`] answers requests the
+//! transformer path could not ([`ServeMatcher::with_fallback`]).
 //!
 //! Shutdown is graceful by construction: dropping the submit side of the
 //! queue lets workers drain everything already enqueued before the
@@ -19,26 +27,34 @@
 use crate::cache::{CacheKey, LruCache};
 use crate::config::{ServeConfig, ServeError};
 use crate::frozen::FrozenMatcher;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crate::supervisor::{PoolCtx, Supervisor};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use em_core::Predictor;
 use em_data::{Dataset, EntityPair};
 use em_tokenizers::Encoding;
 use em_transformers::Batch;
-use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// One queued scoring request: the encoding plus the channel its score
+/// One queued scoring request: the encoding plus the channel its result
 /// travels back on.
-struct Job {
-    encoding: Encoding,
-    resp: mpsc::Sender<f32>,
+pub(crate) struct Job {
+    /// The encoding to score.
+    pub(crate) encoding: Encoding,
+    /// Where the score (or typed failure) is delivered.
+    pub(crate) resp: mpsc::Sender<Result<f32, ServeError>>,
     /// When the request entered the queue; bounds how long it can sit in
     /// a worker's pending bucket waiting for length-compatible company.
-    enqueued: Instant,
+    pub(crate) enqueued: Instant,
+    /// How many times this job has been recovered from a dead worker;
+    /// past [`ServeConfig::max_requeues`] the supervisor fails it instead
+    /// of requeueing, so a poison request cannot kill the pool forever.
+    pub(crate) attempts: u32,
 }
+
+/// Receiver for an in-flight request's typed result.
+type Pending = mpsc::Receiver<Result<f32, ServeError>>;
 
 impl Job {
     /// The length bucket this job batches with: its real span rounded up
@@ -46,7 +62,7 @@ impl Job {
     /// (see [`ServeConfig::bucket_width`]), capped at the model length.
     /// The bucket is only a grouping key — each batch still pads to its
     /// own longest row.
-    fn bucket(&self, width: usize, max_len: usize) -> usize {
+    pub(crate) fn bucket(&self, width: usize, max_len: usize) -> usize {
         Batch::bucket_len(&self.encoding)
             .next_multiple_of(width.max(1))
             .min(max_len.next_multiple_of(Batch::PAD_MULTIPLE))
@@ -55,13 +71,19 @@ impl Job {
 
 /// Cumulative serving counters (atomics; cheap to read at any time).
 #[derive(Debug, Default)]
-struct StatsInner {
-    requests: AtomicU64,
-    batches: AtomicU64,
-    examples: AtomicU64,
-    batch_capacity: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+pub(crate) struct StatsInner {
+    pub(crate) requests: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) examples: AtomicU64,
+    pub(crate) batch_capacity: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    pub(crate) worker_restarts: AtomicU64,
+    /// Monotone batch sequence; drives the deterministic fault schedule.
+    pub(crate) batch_seq: AtomicU64,
 }
 
 /// A point-in-time snapshot of the matcher's counters.
@@ -81,6 +103,15 @@ pub struct ServeStats {
     pub cache_hits: u64,
     /// Requests that had to be queued for scoring.
     pub cache_misses: u64,
+    /// Transient failures that were retried with backoff.
+    pub retries: u64,
+    /// Requests rejected with [`ServeError::Overloaded`] by admission
+    /// control (only with [`ServeConfig::shed`] enabled).
+    pub shed: u64,
+    /// Requests answered by the degraded-mode fallback predictor.
+    pub degraded: u64,
+    /// Workers respawned by the supervisor after a panic.
+    pub worker_restarts: u64,
 }
 
 impl ServeStats {
@@ -107,7 +138,8 @@ impl ServeStats {
     }
 }
 
-/// A thread-safe entity matcher serving scores through a worker pool.
+/// A thread-safe entity matcher serving scores through a supervised
+/// worker pool.
 ///
 /// ```no_run
 /// use em_serve::{FrozenMatcher, ServeConfig, ServeMatcher};
@@ -127,19 +159,31 @@ pub struct ServeMatcher {
     // wedged or dead pool surfaces as a client Timeout rather than a
     // spurious disconnect.
     _rx: Receiver<Job>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<Supervisor>,
     cache: Option<Mutex<LruCache>>,
     config: ServeConfig,
     stats: Arc<StatsInner>,
+    /// Degraded-mode fallback: answers pair-level requests the
+    /// transformer path could not (saturated, down, or out of requeue
+    /// budget). See [`ServeMatcher::with_fallback`].
+    fallback: Option<Box<dyn Predictor + Send + Sync>>,
 }
 
 impl ServeMatcher {
     /// Freeze nothing, share everything: spin up `config.workers` scoring
-    /// threads over one `Arc`-shared frozen matcher.
+    /// threads over one `Arc`-shared frozen matcher, supervised so worker
+    /// panics respawn the worker and requeue the jobs it held.
     pub fn start(frozen: FrozenMatcher, config: ServeConfig) -> Self {
         let frozen = Arc::new(frozen);
         let stats = Arc::new(StatsInner::default());
         let (tx, rx) = bounded::<Job>(config.queue_depth);
+        if let Some(plan) = &config.fault {
+            // Injected panics are expected events handled by supervision;
+            // keep them off stderr (real panics keep default reporting).
+            if plan.is_active() && plan.panic_every != 0 {
+                crate::fault::install_quiet_hook();
+            }
+        }
         // With several request workers, each already owns a core's worth of
         // work: mark them serial so the kernel pool does not fan each
         // worker's GEMMs out again (workers × pool threads oversubscription).
@@ -153,114 +197,39 @@ impl ServeMatcher {
                 em_kernels::pool::current_parallelism() as f64
             },
         );
-        let workers = (0..config.workers)
-            .map(|i| {
-                let rx = rx.clone();
-                let frozen = Arc::clone(&frozen);
-                let stats = Arc::clone(&stats);
-                let cfg = config.clone();
-                std::thread::Builder::new()
-                    .name(format!("em-serve-{i}"))
-                    .spawn(move || {
-                        if serialize_kernels {
-                            em_kernels::pool::serialize_current_thread();
-                        }
-                        // Requests batch only with length-compatible company
-                        // (same rounded length bucket), so dynamic padding
-                        // never inflates a short request to a long
-                        // neighbor's length. Jobs of other buckets seen
-                        // while coalescing wait here, worker-locally.
-                        let width = cfg.bucket_width(frozen.max_len);
-                        let mut pending: HashMap<usize, VecDeque<Job>> = HashMap::new();
-                        let mut disconnected = false;
-                        loop {
-                            // Batch head: the oldest stashed job, else block
-                            // on the queue for a fresh request.
-                            let oldest = pending
-                                .iter()
-                                .filter(|(_, q)| !q.is_empty())
-                                .min_by_key(|(_, q)| q.front().map(|j| j.enqueued))
-                                .map(|(&k, _)| k);
-                            let head = match oldest {
-                                Some(k) => pending
-                                    .get_mut(&k)
-                                    .and_then(VecDeque::pop_front)
-                                    .expect("non-empty bucket"),
-                                None if disconnected => {
-                                    return; // queue drained + all senders gone
-                                }
-                                None => match rx.recv() {
-                                    Ok(job) => job,
-                                    Err(_) => return,
-                                },
-                            };
-                            let bucket = head.bucket(width, frozen.max_len);
-                            let capacity = cfg.bucket_capacity(frozen.max_len, bucket);
-                            let deadline = head.enqueued + cfg.max_wait;
-                            let mut jobs = vec![head];
-                            // Same-bucket stragglers from earlier rounds first…
-                            if let Some(q) = pending.get_mut(&bucket) {
-                                while jobs.len() < capacity {
-                                    match q.pop_front() {
-                                        Some(job) => jobs.push(job),
-                                        None => break,
-                                    }
-                                }
-                            }
-                            // …then the live queue until the head's deadline,
-                            // stashing length-incompatible arrivals.
-                            while jobs.len() < capacity && !disconnected {
-                                match rx.recv_deadline(deadline) {
-                                    Ok(job) if job.bucket(width, frozen.max_len) == bucket => {
-                                        jobs.push(job)
-                                    }
-                                    Ok(job) => pending
-                                        .entry(job.bucket(width, frozen.max_len))
-                                        .or_default()
-                                        .push_back(job),
-                                    Err(RecvTimeoutError::Timeout) => break,
-                                    Err(RecvTimeoutError::Disconnected) => disconnected = true,
-                                }
-                            }
-                            let _span = em_obs::span!("serve/batch");
-                            let encodings: Vec<Encoding> =
-                                jobs.iter().map(|j| j.encoding.clone()).collect();
-                            let scores = frozen.score_encodings(&encodings);
-                            stats.batches.fetch_add(1, Ordering::Relaxed);
-                            stats
-                                .examples
-                                .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-                            stats
-                                .batch_capacity
-                                .fetch_add(capacity as u64, Ordering::Relaxed);
-                            em_obs::counter_inc("serve/batches");
-                            em_obs::counter_add("serve/batch_examples", jobs.len() as u64);
-                            em_obs::gauge_set(
-                                "serve/batch_fill",
-                                jobs.len() as f64 / capacity as f64,
-                            );
-                            em_obs::gauge_set("serve/bucket_len", bucket as f64);
-                            for (job, score) in jobs.into_iter().zip(scores) {
-                                // A client that timed out dropped its receiver;
-                                // that's its loss, not a worker error.
-                                let _ = job.resp.send(score);
-                            }
-                        }
-                    })
-                    .expect("failed to spawn serving worker")
-            })
-            .collect();
+        let supervisor = Supervisor::start(Arc::new(PoolCtx {
+            rx: rx.clone(),
+            frozen: Arc::clone(&frozen),
+            stats: Arc::clone(&stats),
+            cfg: config.clone(),
+            serialize_kernels,
+        }));
         let cache =
             (config.cache_capacity > 0).then(|| Mutex::new(LruCache::new(config.cache_capacity)));
         Self {
             frozen,
             tx: Some(tx),
             _rx: rx,
-            workers,
+            supervisor: Some(supervisor),
             cache,
             config,
             stats,
+            fallback: None,
         }
+    }
+
+    /// Attach a degraded-mode fallback predictor (typically the
+    /// `em-baselines` Magellan matcher). When the transformer path fails a
+    /// request with a degradable error — transient failure that survived
+    /// every retry, overload, or a shut-down pool — the pair is answered
+    /// by this predictor instead, trading accuracy for availability.
+    /// Counted in [`ServeStats::degraded`] and the `serve/degraded`
+    /// counter. Applies to the pair-level surface
+    /// ([`ServeMatcher::try_predict_scores`] and the [`Predictor`] impl);
+    /// encoding-level calls have no pair to fall back with.
+    pub fn with_fallback(mut self, fallback: Box<dyn Predictor + Send + Sync>) -> Self {
+        self.fallback = Some(fallback);
+        self
     }
 
     /// The configuration this matcher runs with.
@@ -282,6 +251,10 @@ impl ServeMatcher {
             batch_capacity: self.stats.batch_capacity.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            degraded: self.stats.degraded.load(Ordering::Relaxed),
+            worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
         }
     }
 
@@ -318,9 +291,13 @@ impl ServeMatcher {
         }
     }
 
-    /// Enqueue one encoding and return the receiver its score arrives on,
-    /// or the cached score when this exact encoding was seen recently.
-    fn submit(&self, encoding: &Encoding) -> Result<Result<f32, mpsc::Receiver<f32>>, ServeError> {
+    /// Enqueue one encoding and return the receiver its result arrives
+    /// on, or the cached score when this exact encoding was seen recently.
+    ///
+    /// Admission control lives here: with [`ServeConfig::shed`] set, a
+    /// full queue rejects the request with [`ServeError::Overloaded`]
+    /// instead of blocking the caller (backpressure).
+    fn submit(&self, encoding: &Encoding) -> Result<Result<f32, Pending>, ServeError> {
         self.check_length(encoding)?;
         // A shut-down matcher rejects everything, cache hits included —
         // clients get one consistent contract, not an answer that depends
@@ -339,78 +316,172 @@ impl ServeMatcher {
             encoding: encoding.clone(),
             resp,
             enqueued: Instant::now(),
+            attempts: 0,
         };
-        tx.send(job).map_err(|_| ServeError::ShutDown)?;
+        if self.config.shed {
+            match tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    em_obs::counter_inc("serve/shed");
+                    return Err(ServeError::Overloaded);
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShutDown),
+            }
+        } else {
+            tx.send(job).map_err(|_| ServeError::ShutDown)?;
+        }
         Ok(Err(rx))
     }
 
+    /// Await one in-flight result with the configured request timeout and
+    /// cache the score on success.
+    fn await_result(&self, rx: Pending, encoding: &Encoding) -> Result<f32, ServeError> {
+        let score = match rx.recv_timeout(self.config.request_timeout) {
+            Ok(result) => result?,
+            Err(mpsc::RecvTimeoutError::Timeout) => return Err(ServeError::Timeout),
+            // The reply channel dropping without an answer means the job
+            // was lost in infrastructure (it never happens through the
+            // supervised paths, which always reply); classify it as
+            // transient so clients retry rather than treat the pool as
+            // shut down.
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Err(ServeError::Transient),
+        };
+        if self.cache.is_some() {
+            self.cache_put(CacheKey::from(encoding), score);
+        }
+        Ok(score)
+    }
+
     /// Score one encoding through the worker pool, blocking for at most
-    /// the configured `request_timeout`.
+    /// the configured `request_timeout`. Single attempt; see
+    /// [`ServeMatcher::score_with_retry`] for the resilient variant.
     pub fn score(&self, encoding: &Encoding) -> Result<f32, ServeError> {
         match self.submit(encoding)? {
             Ok(cached) => Ok(cached),
-            Err(rx) => {
-                let score = rx
-                    .recv_timeout(self.config.request_timeout)
-                    .map_err(|e| match e {
-                        mpsc::RecvTimeoutError::Timeout => ServeError::Timeout,
-                        mpsc::RecvTimeoutError::Disconnected => ServeError::ShutDown,
-                    })?;
-                if self.cache.is_some() {
-                    self.cache_put(CacheKey::from(encoding), score);
+            Err(rx) => self.await_result(rx, encoding),
+        }
+    }
+
+    /// Score one encoding, retrying transient failures
+    /// ([`ServeError::is_transient`]) up to `retry.max_retries` times with
+    /// exponential backoff + jitter between attempts.
+    pub fn score_with_retry(&self, encoding: &Encoding) -> Result<f32, ServeError> {
+        let policy = &self.config.retry;
+        // Decorrelate concurrent clients' jitter without per-call RNG
+        // state: the request counter is unique-ish per call.
+        let nonce = self.stats.requests.load(Ordering::Relaxed);
+        let mut attempt = 0u32;
+        loop {
+            match self.score(encoding) {
+                Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    em_obs::counter_inc("serve/retries");
+                    std::thread::sleep(policy.backoff(attempt, nonce));
+                    attempt += 1;
                 }
-                Ok(score)
+                other => return other,
             }
         }
     }
 
-    /// Score many encodings: all are enqueued before any result is
-    /// awaited, so one caller still fills worker batches.
-    pub fn score_encodings(&self, encodings: &[Encoding]) -> Result<Vec<f32>, ServeError> {
-        let pending: Vec<Result<f32, mpsc::Receiver<f32>>> = encodings
-            .iter()
-            .map(|e| self.submit(e))
-            .collect::<Result<_, _>>()?;
+    /// Score many encodings, returning one `Result` per encoding instead
+    /// of failing the whole batch on the first error. All requests are
+    /// enqueued before any result is awaited, so one caller still fills
+    /// worker batches. Single attempt per encoding — retries and fallback
+    /// live in [`ServeMatcher::try_predict_scores`].
+    pub fn score_each(&self, encodings: &[Encoding]) -> Vec<Result<f32, ServeError>> {
+        let pending: Vec<Result<Result<f32, Pending>, ServeError>> =
+            encodings.iter().map(|e| self.submit(e)).collect();
         pending
             .into_iter()
             .zip(encodings)
             .map(|(p, e)| match p {
-                Ok(cached) => Ok(cached),
-                Err(rx) => {
-                    let score = rx
-                        .recv_timeout(self.config.request_timeout)
-                        .map_err(|err| match err {
-                            mpsc::RecvTimeoutError::Timeout => ServeError::Timeout,
-                            mpsc::RecvTimeoutError::Disconnected => ServeError::ShutDown,
-                        })?;
-                    if self.cache.is_some() {
-                        self.cache_put(CacheKey::from(e), score);
-                    }
-                    Ok(score)
-                }
+                Ok(Ok(cached)) => Ok(cached),
+                Ok(Err(rx)) => self.await_result(rx, e),
+                Err(e) => Err(e),
             })
             .collect()
     }
 
+    /// Score many encodings: all are enqueued before any result is
+    /// awaited, so one caller still fills worker batches. Fails on the
+    /// first error (in submission order); use
+    /// [`ServeMatcher::score_each`] for per-request errors.
+    pub fn score_encodings(&self, encodings: &[Encoding]) -> Result<Vec<f32>, ServeError> {
+        self.score_each(encodings).into_iter().collect()
+    }
+
     /// Encode and score entity pairs end to end, with typed errors
     /// (the fallible twin of the [`Predictor`] surface).
+    ///
+    /// This is the resilient entry point: transient failures are retried
+    /// with exponential backoff (whole failed subset re-submitted per
+    /// round, so retries still batch), and whatever still fails after the
+    /// retry budget is answered by the degraded-mode fallback when one is
+    /// attached ([`ServeMatcher::with_fallback`]). An `Err` here means
+    /// some request failed non-transiently, exhausted retries with no
+    /// fallback, or was not degradable.
     pub fn try_predict_scores(
         &self,
         ds: &Dataset,
         pairs: &[EntityPair],
     ) -> Result<Vec<f32>, ServeError> {
         let encodings: Vec<Encoding> = pairs.iter().map(|p| self.frozen.encode(ds, p)).collect();
-        self.score_encodings(&encodings)
+        let mut results = self.score_each(&encodings);
+        let policy = self.config.retry.clone();
+        let nonce = self.stats.requests.load(Ordering::Relaxed);
+        for attempt in 0..policy.max_retries {
+            let failed: Vec<usize> = results
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| matches!(r, Err(e) if e.is_transient()))
+                .map(|(i, _)| i)
+                .collect();
+            if failed.is_empty() {
+                break;
+            }
+            self.stats
+                .retries
+                .fetch_add(failed.len() as u64, Ordering::Relaxed);
+            em_obs::counter_add("serve/retries", failed.len() as u64);
+            std::thread::sleep(policy.backoff(attempt, nonce));
+            let retry_encodings: Vec<Encoding> =
+                failed.iter().map(|&i| encodings[i].clone()).collect();
+            for (&i, r) in failed.iter().zip(self.score_each(&retry_encodings)) {
+                results[i] = r;
+            }
+        }
+        if let Some(fallback) = &self.fallback {
+            let failed: Vec<usize> = results
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| matches!(r, Err(e) if e.is_degradable()))
+                .map(|(i, _)| i)
+                .collect();
+            if !failed.is_empty() {
+                let fb_pairs: Vec<EntityPair> = failed.iter().map(|&i| pairs[i].clone()).collect();
+                let scores = fallback.predict_scores(ds, &fb_pairs);
+                self.stats
+                    .degraded
+                    .fetch_add(failed.len() as u64, Ordering::Relaxed);
+                em_obs::counter_add("serve/degraded", failed.len() as u64);
+                for (&i, s) in failed.iter().zip(scores) {
+                    results[i] = Ok(s);
+                }
+            }
+        }
+        results.into_iter().collect()
     }
 
     /// Stop accepting work, let workers drain everything already queued,
-    /// and join them. Idempotent; also runs on drop.
+    /// and join them (via the supervisor). Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         // Dropping the sender makes the channel report disconnect only
         // after the queue is empty, so this is a draining shutdown.
         drop(self.tx.take());
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(mut sup) = self.supervisor.take() {
+            sup.join();
         }
     }
 }
@@ -422,8 +493,8 @@ impl Drop for ServeMatcher {
 }
 
 impl Predictor for ServeMatcher {
-    /// Panics with [`ServeError::ShutDown`]/[`ServeError::Timeout`]
-    /// details if serving fails; use
+    /// Panics with [`ServeError`] details if serving fails even after
+    /// retries and (when attached) the degraded-mode fallback; use
     /// [`ServeMatcher::try_predict_scores`] where typed errors matter.
     fn predict_scores(&self, ds: &Dataset, pairs: &[EntityPair]) -> Vec<f32> {
         self.try_predict_scores(ds, pairs)

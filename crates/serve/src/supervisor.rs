@@ -1,0 +1,335 @@
+//! Worker supervision: panic containment, respawn, and request recovery.
+//!
+//! Every scoring worker owns a *slot* — a mutex-guarded `Held` holding
+//! each job the worker is responsible for, whether parked in its
+//! per-bucket pending stash or in flight through the forward pass. The
+//! worker parks jobs in the slot **before** any code that can panic
+//! (fault injection and the model forward both run with the batch
+//! parked), so when a worker dies the jobs it held are still reachable.
+//!
+//! A worker's stack unwinding drops its `Sentinel`, which reports the
+//! death to the supervisor thread. The supervisor joins the dead thread,
+//! drains its slot, bumps the in-flight jobs' attempt counts (jobs whose
+//! requeue budget is spent get a typed [`ServeError::Transient`] reply
+//! instead of being retried forever), and respawns a replacement worker
+//! that inherits the surviving jobs as its initial pending queue — no
+//! channel re-submission, so recovery cannot deadlock on a full queue and
+//! works even after shutdown has closed the submission side. A respawn
+//! budget ([`ServeConfig::max_worker_restarts`]) backstops restart storms;
+//! beyond it the supervisor fails the dead worker's jobs and lets the
+//! pool shrink.
+//!
+//! Shutdown needs no special signalling: dropping the matcher's submit
+//! handle disconnects the queue, workers drain their slots and exit
+//! normally, each `Finished` report decrements the live count, and the
+//! supervisor returns once it reaches zero.
+
+use crate::config::{ServeConfig, ServeError};
+use crate::fault::{Fault, InjectedFault};
+use crate::frozen::FrozenMatcher;
+use crate::matcher::{Job, StatsInner};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use em_tokenizers::Encoding;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Everything a worker (or its replacement) needs to run.
+pub(crate) struct PoolCtx {
+    /// The shared request queue.
+    pub rx: Receiver<Job>,
+    /// The model all workers score with.
+    pub frozen: Arc<FrozenMatcher>,
+    /// Shared serving counters.
+    pub stats: Arc<StatsInner>,
+    /// The matcher's configuration (bucket policy, faults, budgets).
+    pub cfg: ServeConfig,
+    /// Whether workers pin intra-op kernel parallelism to one thread.
+    pub serialize_kernels: bool,
+}
+
+/// The jobs one worker currently owns: its in-flight batch plus the
+/// per-bucket stash of length-incompatible arrivals seen while
+/// coalescing. Everything in here survives the worker's death.
+#[derive(Default)]
+pub(crate) struct Held {
+    inflight: Vec<Job>,
+    pending: HashMap<usize, VecDeque<Job>>,
+}
+
+impl Held {
+    fn drain(self) -> impl Iterator<Item = Job> {
+        self.inflight
+            .into_iter()
+            .chain(self.pending.into_values().flatten())
+    }
+}
+
+type Slot = Arc<Mutex<Held>>;
+
+/// Lock a slot, recovering the data from a poisoned mutex — the whole
+/// point of the slot is to be read after the owning worker panicked.
+fn lock(slot: &Slot) -> MutexGuard<'_, Held> {
+    slot.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// How a worker thread ended.
+enum Lifecycle {
+    /// Normal exit: queue disconnected and its slot drained.
+    Finished(usize),
+    /// The worker panicked; its slot still holds its jobs.
+    Died(usize),
+}
+
+/// Reports the owning worker's fate to the supervisor from `Drop`, so a
+/// panic anywhere in the worker loop is observed without polling.
+struct Sentinel {
+    id: usize,
+    tx: Sender<Lifecycle>,
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        let fate = if std::thread::panicking() {
+            Lifecycle::Died(self.id)
+        } else {
+            Lifecycle::Finished(self.id)
+        };
+        let _ = self.tx.send(fate);
+    }
+}
+
+/// Handle to the supervision thread; joining it joins the whole pool.
+pub(crate) struct Supervisor {
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Spawn `ctx.cfg.workers` scoring workers under a supervisor thread.
+    pub(crate) fn start(ctx: Arc<PoolCtx>) -> Self {
+        let handle = std::thread::Builder::new()
+            .name("em-serve-supervisor".into())
+            .spawn(move || supervise(ctx))
+            .expect("failed to spawn serving supervisor");
+        Self {
+            handle: Some(handle),
+        }
+    }
+
+    /// Wait for every worker (and the supervisor itself) to exit.
+    /// Idempotent.
+    pub(crate) fn join(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn spawn_worker(
+    id: usize,
+    ctx: &Arc<PoolCtx>,
+    slot: Slot,
+    life: Sender<Lifecycle>,
+) -> JoinHandle<()> {
+    let ctx = Arc::clone(ctx);
+    std::thread::Builder::new()
+        .name(format!("em-serve-{id}"))
+        .spawn(move || {
+            let _sentinel = Sentinel { id, tx: life };
+            worker_loop(&ctx, &slot);
+        })
+        .expect("failed to spawn serving worker")
+}
+
+fn supervise(ctx: Arc<PoolCtx>) {
+    let (life_tx, life_rx) = unbounded::<Lifecycle>();
+    let mut slots: Vec<Slot> = (0..ctx.cfg.workers).map(|_| Slot::default()).collect();
+    let mut handles: Vec<Option<JoinHandle<()>>> = slots
+        .iter()
+        .enumerate()
+        .map(|(id, slot)| Some(spawn_worker(id, &ctx, Arc::clone(slot), life_tx.clone())))
+        .collect();
+    let mut alive = ctx.cfg.workers;
+    let mut restarts = 0usize;
+    while alive > 0 {
+        match life_rx.recv() {
+            Ok(Lifecycle::Finished(id)) => {
+                if let Some(h) = handles[id].take() {
+                    let _ = h.join();
+                }
+                alive -= 1;
+            }
+            Ok(Lifecycle::Died(id)) => {
+                // Reap the dead thread (its panic payload is not an error
+                // to us — supervision is the error handler).
+                if let Some(h) = handles[id].take() {
+                    let _ = h.join();
+                }
+                ctx.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                em_obs::counter_inc("serve/worker_restarts");
+                // Recover the dead worker's jobs. In-flight jobs were
+                // being scored when the panic hit, so they spend one unit
+                // of requeue budget; stashed pending jobs were innocent
+                // bystanders and keep theirs.
+                let held = std::mem::take(&mut *lock(&slots[id]));
+                let width = ctx.cfg.bucket_width(ctx.frozen.max_len);
+                let mut inherited = Held::default();
+                let mut requeued = 0u64;
+                for mut job in held.inflight {
+                    job.attempts += 1;
+                    if job.attempts > ctx.cfg.max_requeues {
+                        let _ = job.resp.send(Err(ServeError::Transient));
+                    } else {
+                        requeued += 1;
+                        let bucket = job.bucket(width, ctx.frozen.max_len);
+                        inherited.pending.entry(bucket).or_default().push_back(job);
+                    }
+                }
+                for (bucket, q) in held.pending {
+                    requeued += q.len() as u64;
+                    inherited.pending.entry(bucket).or_default().extend(q);
+                }
+                em_obs::counter_add("serve/requeued", requeued);
+                if restarts < ctx.cfg.max_worker_restarts {
+                    // Respawn with the surviving jobs as the replacement's
+                    // initial pending queue: recovery never touches the
+                    // bounded submission channel, so it cannot deadlock
+                    // and still works after shutdown closed the queue.
+                    restarts += 1;
+                    let slot = Arc::new(Mutex::new(inherited));
+                    slots[id] = Arc::clone(&slot);
+                    handles[id] = Some(spawn_worker(id, &ctx, slot, life_tx.clone()));
+                } else {
+                    // Restart budget spent: fail this worker's jobs with
+                    // the typed transient error and let the pool shrink.
+                    for job in inherited.drain() {
+                        let _ = job.resp.send(Err(ServeError::Transient));
+                    }
+                    alive -= 1;
+                }
+            }
+            // Unreachable (the supervisor holds a sender), but do not
+            // let a bug here hang shutdown.
+            Err(_) => break,
+        }
+    }
+}
+
+/// The scoring loop: coalesce length-compatible requests into batches,
+/// score them, reply. Identical batching policy to the pre-supervision
+/// matcher; the difference is that every job the worker owns lives in
+/// its slot while any panic-capable code runs.
+fn worker_loop(ctx: &PoolCtx, slot: &Slot) {
+    if ctx.serialize_kernels {
+        em_kernels::pool::serialize_current_thread();
+    }
+    let frozen = &ctx.frozen;
+    let cfg = &ctx.cfg;
+    let stats = &ctx.stats;
+    let width = cfg.bucket_width(frozen.max_len);
+    let max_len = frozen.max_len;
+    let mut disconnected = false;
+    loop {
+        // Batch head: the oldest stashed job, else block on the queue
+        // for a fresh request.
+        let stashed = {
+            let mut held = lock(slot);
+            let oldest = held
+                .pending
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .min_by_key(|(_, q)| q.front().map(|j| j.enqueued))
+                .map(|(&k, _)| k);
+            oldest.map(|k| {
+                held.pending
+                    .get_mut(&k)
+                    .and_then(VecDeque::pop_front)
+                    .expect("non-empty bucket")
+            })
+        };
+        let head = match stashed {
+            Some(job) => job,
+            None if disconnected => return, // queue drained + all senders gone
+            None => match ctx.rx.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            },
+        };
+        let bucket = head.bucket(width, max_len);
+        let capacity = cfg.bucket_capacity(max_len, bucket);
+        let deadline = head.enqueued + cfg.max_wait;
+        let mut jobs = vec![head];
+        // Same-bucket stragglers from earlier rounds first…
+        {
+            let mut held = lock(slot);
+            if let Some(q) = held.pending.get_mut(&bucket) {
+                while jobs.len() < capacity {
+                    match q.pop_front() {
+                        Some(job) => jobs.push(job),
+                        None => break,
+                    }
+                }
+            }
+        }
+        // …then the live queue until the head's deadline, stashing
+        // length-incompatible arrivals in the slot.
+        while jobs.len() < capacity && !disconnected {
+            match ctx.rx.recv_deadline(deadline) {
+                Ok(job) if job.bucket(width, max_len) == bucket => jobs.push(job),
+                Ok(job) => {
+                    let b = job.bucket(width, max_len);
+                    lock(slot).pending.entry(b).or_default().push_back(job);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => disconnected = true,
+            }
+        }
+        let _span = em_obs::span!("serve/batch");
+        let encodings: Vec<Encoding> = jobs.iter().map(|j| j.encoding.clone()).collect();
+        // Park the batch: from here until the replies go out, a panic
+        // (injected or real, most plausibly inside the model forward)
+        // leaves these jobs in the slot for the supervisor to recover.
+        lock(slot).inflight = jobs;
+        if let Some(plan) = &cfg.fault {
+            let seq = stats.batch_seq.fetch_add(1, Ordering::Relaxed);
+            match plan.fault_for(seq) {
+                Some(Fault::Panic) => {
+                    em_obs::counter_inc("serve/fault_panics");
+                    std::panic::panic_any(InjectedFault);
+                }
+                Some(Fault::Delay(d)) => {
+                    em_obs::counter_inc("serve/fault_delays");
+                    std::thread::sleep(d);
+                }
+                Some(Fault::Error) => {
+                    em_obs::counter_inc("serve/fault_errors");
+                    let jobs = std::mem::take(&mut lock(slot).inflight);
+                    for job in jobs {
+                        let _ = job.resp.send(Err(ServeError::Transient));
+                    }
+                    continue;
+                }
+                None => {}
+            }
+        }
+        let scores = frozen.score_encodings(&encodings);
+        let jobs = std::mem::take(&mut lock(slot).inflight);
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .examples
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        stats
+            .batch_capacity
+            .fetch_add(capacity as u64, Ordering::Relaxed);
+        em_obs::counter_inc("serve/batches");
+        em_obs::counter_add("serve/batch_examples", jobs.len() as u64);
+        em_obs::gauge_set("serve/batch_fill", jobs.len() as f64 / capacity as f64);
+        em_obs::gauge_set("serve/bucket_len", bucket as f64);
+        for (job, score) in jobs.into_iter().zip(scores) {
+            // A client that timed out dropped its receiver; that's its
+            // loss, not a worker error.
+            let _ = job.resp.send(Ok(score));
+        }
+    }
+}

@@ -5,7 +5,8 @@
 use em_core::{train_tokenizer, Predictor};
 use em_nn::{Ctx, Module};
 use em_serve::{
-    freeze_parts, FrozenLinear, FrozenMatcher, FrozenModel, ServeConfig, ServeError, ServeMatcher,
+    freeze_parts, Fault, FaultPlan, FrozenLinear, FrozenMatcher, FrozenModel, ServeConfig,
+    ServeError, ServeMatcher,
 };
 use em_tensor::no_grad;
 use em_tokenizers::Encoding;
@@ -398,6 +399,10 @@ fn batch_fill_measures_against_bucket_capacity() {
         batch_capacity,
         cache_hits: 0,
         cache_misses: examples,
+        retries: 0,
+        shed: 0,
+        degraded: 0,
+        worker_restarts: 0,
     };
     // 48 examples over 2 batches of capacity 32 each: 75% full — a flat
     // max_batch=32 denominator would have wrongly reported 75% as 2×32
@@ -489,4 +494,189 @@ fn serve_matcher_is_a_predictor() {
     let matcher = ServeMatcher::start(frozen, ServeConfig::default());
     assert_eq!(matcher.predict_scores(&ds, pairs), direct_scores);
     assert_eq!(matcher.predict_pairs(&ds, pairs), direct);
+}
+
+// ---------------------------------------------------------------------------
+// Failure path: fault injection, supervision, shedding, degraded fallback.
+// ---------------------------------------------------------------------------
+
+/// Supervision end to end: with injected worker panics the pool respawns
+/// workers, requeues the jobs they held, and still returns *exactly* the
+/// sequential scores — no request lost, no score perturbed.
+#[test]
+fn supervisor_recovers_panicked_workers_without_losing_requests() {
+    let max_len = 16;
+    let frozen = tiny_frozen_matcher(Architecture::Bert, 41, max_len);
+    let reference = frozen.clone();
+    // A seed whose schedule provably panics the very first batch, so the
+    // restart assertion cannot depend on batch-composition timing.
+    let plan = FaultPlan {
+        seed: 1,
+        panic_every: 2,
+        ..FaultPlan::default()
+    };
+    assert_eq!(
+        plan.fault_for(0),
+        Some(Fault::Panic),
+        "pick a seed that hits batch 0"
+    );
+    let cfg = ServeConfig::builder()
+        .workers(2)
+        .max_batch(2)
+        .max_wait_ms(1)
+        .cache_capacity(0)
+        .max_requeues(16)
+        .fault(plan)
+        .build()
+        .unwrap();
+    let matcher = ServeMatcher::start(frozen, cfg);
+    let mut rng = StdRng::seed_from_u64(55);
+    let encodings: Vec<Encoding> = (0..16)
+        .map(|_| random_encoding(&mut rng, Architecture::Bert, max_len))
+        .collect();
+    let expected: Vec<f32> = encodings
+        .iter()
+        .map(|e| reference.score_encodings(std::slice::from_ref(e))[0])
+        .collect();
+    let got = matcher.score_encodings(&encodings).unwrap();
+    assert_eq!(got, expected, "recovered requests must score exactly");
+    let stats = matcher.stats();
+    assert!(
+        stats.worker_restarts >= 1,
+        "batch 0 panicked, so at least one worker was respawned: {stats:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Chaos invariant: under *any* seeded fault schedule mixing panics,
+    /// latency spikes and transient errors, every submitted request
+    /// resolves — to exactly its sequential score or to a typed error.
+    /// Never a hang, never a lost reply, never a wrong score.
+    #[test]
+    fn any_fault_plan_yields_score_or_typed_error(seed in 0u64..10_000) {
+        let max_len = 16;
+        let frozen = tiny_frozen_matcher(Architecture::DistilBert, 43, max_len);
+        let reference = frozen.clone();
+        let plan = FaultPlan {
+            seed,
+            panic_every: 3,
+            delay_every: 3,
+            delay: std::time::Duration::from_millis(2),
+            error_every: 3,
+        };
+        let cfg = ServeConfig::builder()
+            .workers(2)
+            .max_batch(4)
+            .max_wait_ms(1)
+            .cache_capacity(0)
+            .request_timeout_ms(5_000)
+            .fault(plan)
+            .build()
+            .unwrap();
+        let matcher = ServeMatcher::start(frozen, cfg);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+        let encodings: Vec<Encoding> = (0..12)
+            .map(|_| random_encoding(&mut rng, Architecture::DistilBert, max_len))
+            .collect();
+        let results = matcher.score_each(&encodings);
+        prop_assert_eq!(results.len(), encodings.len());
+        for (i, (r, e)) in results.iter().zip(&encodings).enumerate() {
+            match r {
+                Ok(score) => {
+                    let want = reference.score_encodings(std::slice::from_ref(e))[0];
+                    prop_assert_eq!(*score, want, "request {} scored wrong", i);
+                }
+                // Typed errors are acceptable outcomes under chaos; a
+                // hang or a panic of the test itself is not.
+                Err(err) => prop_assert!(
+                    err.is_transient(),
+                    "request {} failed non-transiently: {:?}", i, err
+                ),
+            }
+        }
+    }
+}
+
+/// Admission control: with `shed` enabled, a full queue rejects new work
+/// with the typed `Overloaded` error instead of blocking the producer.
+#[test]
+fn full_queue_sheds_with_typed_overloaded_error() {
+    let frozen = tiny_frozen_matcher(Architecture::Bert, 47, 16);
+    // No workers (a wedged pool, built directly like the stall test) and
+    // a 2-deep queue: the third submission must be shed, not blocked.
+    let cfg = ServeConfig {
+        workers: 0,
+        queue_depth: 2,
+        shed: true,
+        cache_capacity: 0,
+        request_timeout: std::time::Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    let matcher = ServeMatcher::start(frozen, cfg);
+    let mut rng = StdRng::seed_from_u64(4);
+    let encodings: Vec<Encoding> = (0..3)
+        .map(|_| random_encoding(&mut rng, Architecture::Bert, 16))
+        .collect();
+    let start = std::time::Instant::now();
+    let results = matcher.score_each(&encodings);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "shedding must not block the producer"
+    );
+    assert_eq!(results[2], Err(ServeError::Overloaded));
+    // The two accepted requests time out on the wedged pool — still typed.
+    assert_eq!(results[0], Err(ServeError::Timeout));
+    assert_eq!(results[1], Err(ServeError::Timeout));
+    assert_eq!(matcher.stats().shed, 1);
+}
+
+/// Degraded mode: when the transformer path is fully down (every batch
+/// panics until the requeue budget is spent), an attached Magellan
+/// fallback still answers every pair-level request.
+#[test]
+fn degraded_mode_answers_with_magellan_fallback() {
+    let ds = em_data::DatasetId::DblpAcm.generate(0.05, 19);
+    let mut rng = StdRng::seed_from_u64(0);
+    let split = ds.split(&mut rng);
+    let magellan = em_baselines::MagellanMatcher::fit(
+        &ds.attributes,
+        &split.train,
+        em_baselines::MagellanLearner::LogisticRegression,
+        1,
+    );
+    let pairs = &split.test[..6.min(split.test.len())];
+    let want: Vec<f32> = Predictor::predict_scores(&magellan, &ds, pairs);
+
+    let arch = Architecture::Bert;
+    let corpus = em_data::generate_corpus(30, 8);
+    let tok = train_tokenizer(arch, &corpus, 200);
+    let cfg = TransformerConfig::tiny(arch, em_tokenizers::Tokenizer::vocab_size(&tok));
+    let hidden = cfg.hidden;
+    let model = TransformerModel::new(cfg, 59);
+    let mut hrng = StdRng::seed_from_u64(59 ^ 0x5ead);
+    let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut hrng);
+    let frozen = freeze_parts(&model, &head, tok, 32);
+
+    let cfg = ServeConfig::builder()
+        .workers(1)
+        .cache_capacity(0)
+        .request_timeout_ms(200)
+        .max_requeues(1)
+        .fault(FaultPlan {
+            panic_every: 1, // every batch dies: the transformer path is down
+            ..FaultPlan::default()
+        })
+        .build()
+        .unwrap();
+    let matcher = ServeMatcher::start(frozen, cfg).with_fallback(Box::new(magellan));
+    let got = matcher
+        .try_predict_scores(&ds, pairs)
+        .expect("fallback must answer when the transformer path is down");
+    assert_eq!(got, want, "degraded answers come from the fallback");
+    let stats = matcher.stats();
+    assert_eq!(stats.degraded, pairs.len() as u64);
+    assert!(stats.worker_restarts >= 1);
+    assert!(stats.retries >= 1, "transient failures were retried first");
 }

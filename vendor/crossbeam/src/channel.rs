@@ -19,6 +19,16 @@ use std::time::{Duration, Instant};
 #[derive(Debug, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
 
+/// Error returned by [`Sender::try_send`]; carries the rejected message
+/// back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity; the caller may shed or retry.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
 /// Error returned by [`Receiver::recv`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
@@ -117,6 +127,35 @@ impl<T> Sender<T> {
         drop(inner);
         self.shared.not_empty.notify_one();
         Ok(())
+    }
+
+    /// Push a message without blocking: a full channel rejects it with
+    /// [`TrySendError::Full`] immediately (the admission-control primitive
+    /// load shedding is built on) instead of applying backpressure.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut inner = lock(&self.shared.inner);
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = inner.cap {
+            if inner.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued (the admission-control signal).
+    pub fn len(&self) -> usize {
+        lock(&self.shared.inner).queue.len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -311,6 +350,19 @@ mod tests {
         let (tx, rx) = bounded(1);
         drop(rx);
         assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn try_send_rejects_when_full_and_recovers() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
