@@ -15,6 +15,15 @@
 //! `results/serve_chaos.json` (`--smoke` shrinks the model and workload
 //! for CI). See the "Robustness" section of EXPERIMENTS.md.
 //!
+//! With `--latency` the bench measures *where requests spend their
+//! time*: it forces `EM_OBS` on, streams requests through the pool, and
+//! reports p50/p95/p99/max per lifecycle stage (queue wait, batch wait,
+//! forward, end-to-end) from the em-obs histograms into
+//! `results/serve_latency.json`, plus the full Prometheus exposition to
+//! `results/serve_metrics.prom`. `--slow-ms <t>` also captures every
+//! request slower than `t` ms as a `serve/slow_request` event with its
+//! stage breakdown. See the "Latency" section of EXPERIMENTS.md.
+//!
 //! Methodology (see EXPERIMENTS.md): both paths pay the full cost per
 //! request — serialization, tokenization, forward pass. The sequential
 //! baseline calls `predict` with one pair at a time (the only serving
@@ -98,6 +107,190 @@ struct ChaosReport {
     /// Requests accepted by the matcher (retries resubmit, so this can
     /// exceed `pairs`).
     requests: u64,
+}
+
+/// Per-stage latency quantiles as reported in `serve_latency.json`.
+#[derive(Serialize)]
+struct StageLatency {
+    count: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    mean_ms: f64,
+}
+
+impl StageLatency {
+    fn from_histogram(h: &em_obs::HistogramSnapshot) -> Self {
+        Self {
+            count: h.count,
+            p50_ms: h.p50() * 1e3,
+            p95_ms: h.p95() * 1e3,
+            p99_ms: h.p99() * 1e3,
+            max_ms: h.max * 1e3,
+            mean_ms: h.mean() * 1e3,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct LatencyReport {
+    arch: String,
+    pairs: usize,
+    workers: usize,
+    clients: usize,
+    max_len: usize,
+    max_batch: usize,
+    seconds: f64,
+    examples_per_sec: f64,
+    slow_request_threshold_ms: u64,
+    /// Requests whose end-to-end latency crossed the threshold.
+    slow_requests: u64,
+    /// Per-lifecycle-stage latency quantiles: `queue_wait` (enqueue →
+    /// picked into a batch), `batch_wait` (picked → forward start),
+    /// `forward` (per batch), `e2e` (enqueue → reply).
+    stages: std::collections::BTreeMap<String, StageLatency>,
+}
+
+/// Latency mode: per-stage request-lifecycle quantiles from the em-obs
+/// histograms. Runs one warm-up stream (pool and cache lines settle),
+/// resets the metrics, then measures a full stream and reads the
+/// `serve/{queue_wait,batch_wait,forward,e2e}` histograms back.
+fn latency_run(args: &Args) {
+    let smoke = args.has("smoke");
+    let n_pairs: usize = args.get("pairs").unwrap_or(if smoke { 64 } else { 512 });
+    let workers: usize = args.get("workers").unwrap_or(2);
+    let clients: usize = args.get("clients").unwrap_or(8);
+    let max_batch: usize = args.get("batch").unwrap_or(8);
+    let max_len: usize = args.get("max-len").unwrap_or(32);
+    let seed: u64 = args.get("seed").unwrap_or(42);
+    let slow_ms: u64 = args.get("slow-ms").unwrap_or(50);
+
+    // The whole point of this mode is reading the histograms back;
+    // force aggregation on even when EM_OBS is unset.
+    if !em_obs::enabled() {
+        em_obs::set_level(em_obs::LEVEL_AGGREGATE);
+    }
+
+    let arch = Architecture::Bert;
+    let corpus = em_data::generate_corpus(if smoke { 30 } else { 200 }, seed);
+    let tokenizer = train_tokenizer(arch, &corpus, if smoke { 200 } else { 400 });
+    let mut cfg = if smoke {
+        TransformerConfig::tiny(arch, tokenizer.vocab_size())
+    } else {
+        TransformerConfig::small(arch, tokenizer.vocab_size())
+    };
+    cfg.max_position = cfg.max_position.max(max_len);
+    let hidden = cfg.hidden;
+    let model = TransformerModel::new(cfg, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
+    let frozen = freeze_parts(&model, &head, tokenizer, max_len);
+
+    let ds = DatasetId::AbtBuy.generate(0.05, seed);
+    let mut pairs: Vec<EntityPair> = ds.pairs.clone();
+    while pairs.len() < n_pairs {
+        pairs.extend(ds.pairs.clone());
+    }
+    pairs.truncate(n_pairs);
+    let encodings: Vec<em_tokenizers::Encoding> =
+        pairs.iter().map(|p| frozen.encode(&ds, p)).collect();
+    eprintln!(
+        "servebench --latency: {} pairs, {workers} workers, {clients} clients, \
+         max_batch {max_batch}, slow threshold {slow_ms}ms",
+        pairs.len()
+    );
+
+    let serve_cfg = ServeConfig::builder()
+        .workers(workers)
+        .max_batch(max_batch)
+        .max_wait_ms(2)
+        .cache_capacity(0) // latency of the forward path, not the cache
+        .slow_request_threshold_ms(slow_ms)
+        .build()
+        .expect("valid latency serve config");
+    let serve = Arc::new(ServeMatcher::start(frozen, serve_cfg));
+
+    let stream = |encodings: &[em_tokenizers::Encoding]| {
+        let chunk = encodings.len().div_ceil(clients.max(1));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = encodings
+                .chunks(chunk)
+                .map(|slice| {
+                    let serve = Arc::clone(&serve);
+                    s.spawn(move || serve.score_encodings(slice).expect("serving failed"))
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("latency client panicked");
+            }
+        });
+    };
+
+    // Warm-up pass: first-touch allocation and thread spin-up would
+    // otherwise contaminate the tail.
+    stream(&encodings);
+    em_obs::reset();
+    let t0 = Instant::now();
+    stream(&encodings);
+    let secs = t0.elapsed().as_secs_f64();
+    let eps = encodings.len() as f64 / secs;
+
+    let mut stages = std::collections::BTreeMap::new();
+    for (key, name) in [
+        ("queue_wait", "serve/queue_wait"),
+        ("batch_wait", "serve/batch_wait"),
+        ("forward", "serve/forward"),
+        ("e2e", "serve/e2e"),
+    ] {
+        let h = em_obs::histogram_snapshot(name)
+            .unwrap_or_else(|| panic!("{name} histogram missing — is EM_OBS off?"));
+        stages.insert(key.to_string(), StageLatency::from_histogram(&h));
+    }
+    let snapshot = em_obs::snapshot();
+    let slow_requests = snapshot
+        .counters
+        .iter()
+        .find(|(n, _)| n == "serve/slow_requests")
+        .map_or(0, |(_, v)| *v);
+    for (key, s) in &stages {
+        eprintln!(
+            "{key:>10}: p50 {:.3}ms  p95 {:.3}ms  p99 {:.3}ms  max {:.3}ms  (n={})",
+            s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms, s.count
+        );
+    }
+    eprintln!(
+        "latency stream: {secs:.2}s ({eps:.1} examples/s), {slow_requests} requests over {slow_ms}ms"
+    );
+
+    let report = LatencyReport {
+        arch: arch.name().to_string(),
+        pairs: pairs.len(),
+        workers,
+        clients,
+        max_len,
+        max_batch,
+        seconds: secs,
+        examples_per_sec: eps,
+        slow_request_threshold_ms: slow_ms,
+        slow_requests,
+        stages,
+    };
+    let dir = std::path::PathBuf::from(RESULTS_DIR);
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("serve_latency.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize latency report"),
+    )
+    .expect("write serve_latency.json");
+    eprintln!("[saved] {}", path.display());
+    // The same metrics in scrape form — what a /metrics endpoint would
+    // serve (histogram _bucket/_sum/_count series included).
+    let prom_path = dir.join("serve_metrics.prom");
+    std::fs::write(&prom_path, snapshot.prometheus_text()).expect("write serve_metrics.prom");
+    eprintln!("[saved] {}", prom_path.display());
+    em_obs::finish_to("servebench-latency", std::path::Path::new(RESULTS_DIR));
 }
 
 /// Chaos mode: a client swarm against a fault-injected supervised pool
@@ -247,6 +440,10 @@ fn main() {
     let args = Args::parse();
     if args.has("chaos") {
         chaos_run(&args);
+        return;
+    }
+    if args.has("latency") {
+        latency_run(&args);
         return;
     }
     let n_pairs: usize = args.get("pairs").unwrap_or(256);

@@ -286,5 +286,18 @@ fn main() {
         report.min_dynamic_speedup,
         report.simd
     );
+    // With EM_OBS on, the fine-tune loop feeds an epoch-time histogram;
+    // quote its quantiles (epoch times are long-tailed across archs and
+    // backends, so the mean alone under-describes them).
+    if let Some(h) = em_obs::histogram_snapshot("finetune/epoch_seconds") {
+        eprintln!(
+            "epoch seconds over {} epochs: p50 {:.2}s p90 {:.2}s p99 {:.2}s max {:.2}s",
+            h.count,
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max
+        );
+    }
     em_obs::finish_to("trainbench", std::path::Path::new(RESULTS_DIR));
 }

@@ -292,6 +292,10 @@ pub fn fine_tune(
             opt.step(schedule.lr_at(opt.steps_taken()));
         }
         let train_seconds = timer.stop();
+        // Timer::stop already fed the finetune/epoch span aggregate; the
+        // explicit histogram keeps per-epoch quantiles (p50/p99 epoch
+        // time) even though epochs are few — trainbench reads it back.
+        em_obs::histogram_record("finetune/epoch_seconds", train_seconds);
         em_obs::gauge_set(
             "finetune/examples_per_sec",
             order.len() as f64 / train_seconds.max(1e-9),

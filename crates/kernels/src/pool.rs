@@ -170,6 +170,19 @@ impl ThreadPool {
             }
             return;
         }
+        if em_obs::enabled() {
+            // Depth of work already queued ahead of this scope's tasks
+            // (contention from concurrent scope owners), and how much of
+            // the pool this scope can keep busy. Both are sampled per
+            // scope — gauges are last-write-wins, so under load these
+            // read as "most recent scope's view".
+            em_obs::gauge_set("kernels/pool_queue_depth", self.tx.len() as f64);
+            em_obs::gauge_set(
+                "kernels/pool_utilization",
+                (n as f64 / self.threads as f64).min(1.0),
+            );
+            em_obs::counter_add("kernels/pool_tasks", n as u64);
+        }
         let latch = Arc::new(Latch::new(n - 1));
         let mut tasks = tasks.into_iter();
         let inline = tasks.next().expect("n >= 2");

@@ -1,0 +1,193 @@
+//! A bounded ring-buffer log of structured events.
+//!
+//! [`event!`](crate::event!) records a named event with typed key/value
+//! fields into a process-global ring of [`EVENT_CAPACITY`] entries —
+//! old events are evicted, never blocking or growing without bound, so
+//! it is safe to emit from serving hot paths (slow-request capture is
+//! the canonical producer). Events are drained either programmatically
+//! ([`drain_events`](crate::drain_events)) or as JSONL by
+//! [`finish_to`](crate::finish_to).
+
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Maximum events retained; the oldest is evicted past this.
+pub const EVENT_CAPACITY: usize = 4096;
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Floating-point field.
+    F64(f64),
+    /// Boolean field.
+    Bool(bool),
+    /// String field.
+    Str(String),
+}
+
+macro_rules! impl_from {
+    ($($ty:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> Self {
+                FieldValue::$variant(v as $conv)
+            }
+        })*
+    };
+}
+
+impl_from!(
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    u16 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    f64 => F64 as f64,
+    f32 => F64 as f64,
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One recorded event: name, seconds since the process's first obs use,
+/// and the structured fields in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name, e.g. `serve/slow_request`.
+    pub name: String,
+    /// Seconds since the obs epoch (first instrumented call).
+    pub t_s: f64,
+    /// Structured fields in the order they were written.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+pub(crate) struct EventRing {
+    buf: parking_lot::Mutex<VecDeque<EventRecord>>,
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        Self {
+            buf: parking_lot::Mutex::new(VecDeque::with_capacity(64)),
+        }
+    }
+}
+
+impl EventRing {
+    pub(crate) fn push(&self, ev: EventRecord) {
+        let mut buf = self.buf.lock();
+        if buf.len() >= EVENT_CAPACITY {
+            buf.pop_front();
+        }
+        buf.push_back(ev);
+    }
+
+    pub(crate) fn drain(&self) -> Vec<EventRecord> {
+        self.buf.lock().drain(..).collect()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    pub(crate) fn clear(&self) {
+        self.buf.lock().clear();
+    }
+}
+
+/// Monotonic epoch shared by every event timestamp.
+pub(crate) fn obs_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+impl EventRecord {
+    /// Render the event as one JSONL line tagged with `run`.
+    pub fn to_jsonl(&self, run: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"run\":\"{}\",\"kind\":\"event\",\"name\":\"{}\",\"t_s\":{:.6}",
+            crate::json_escape(run),
+            crate::json_escape(&self.name),
+            self.t_s
+        );
+        for (k, v) in &self.fields {
+            let _ = match v {
+                FieldValue::U64(x) => write!(out, ",\"{}\":{x}", crate::json_escape(k)),
+                FieldValue::I64(x) => write!(out, ",\"{}\":{x}", crate::json_escape(k)),
+                FieldValue::F64(x) => {
+                    if x.is_finite() {
+                        write!(out, ",\"{}\":{x}", crate::json_escape(k))
+                    } else {
+                        write!(out, ",\"{}\":null", crate::json_escape(k))
+                    }
+                }
+                FieldValue::Bool(x) => write!(out, ",\"{}\":{x}", crate::json_escape(k)),
+                FieldValue::Str(s) => write!(
+                    out,
+                    ",\"{}\":\"{}\"",
+                    crate::json_escape(k),
+                    crate::json_escape(s)
+                ),
+            };
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Record a structured event (prefer the [`event!`](crate::event!)
+/// macro, which also applies the enabled-level gate).
+pub fn event_record(name: &str, fields: Vec<(&'static str, FieldValue)>) {
+    let t_s = obs_epoch().elapsed().as_secs_f64();
+    crate::registry().ring.push(EventRecord {
+        name: name.to_string(),
+        t_s,
+        fields,
+    });
+}
+
+/// Record a structured event into the bounded ring buffer. Compiles to a
+/// single atomic check when `EM_OBS=0`; field expressions are not even
+/// evaluated then.
+///
+/// ```
+/// em_obs::set_level(em_obs::LEVEL_AGGREGATE);
+/// em_obs::event!("serve/slow_request", e2e_ms = 125.0, worker = 3usize, shed = false);
+/// let events = em_obs::drain_events();
+/// assert!(events.iter().any(|e| e.name == "serve/slow_request"));
+/// # em_obs::set_level(em_obs::LEVEL_OFF);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::event_record(
+                $name,
+                vec![$( (stringify!($key), $crate::FieldValue::from($value)) ),*],
+            );
+        }
+    };
+}

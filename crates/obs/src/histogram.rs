@@ -1,0 +1,412 @@
+//! Fixed-bucket log-scale histograms for latency (and other non-negative)
+//! distributions.
+//!
+//! The bucket layout is static and shared by every histogram, which is
+//! what makes snapshots **mergeable** (bucket-wise addition) and deltas
+//! well-defined (bucket-wise subtraction): one underflow bucket below
+//! [`MIN_VALUE`], then [`SUB_BUCKETS`] buckets per doubling covering
+//! `MIN_VALUE × 2^OCTAVES` (1 µs to ≈ 4.7 h when values are seconds).
+//! Consecutive bucket edges differ by [`GROWTH`] = 2^(1/4) ≈ 1.19, so a
+//! quantile estimated at a bucket's geometric midpoint is within ~9 % of
+//! the exact sample quantile — and never more than one `GROWTH` factor
+//! off (the bound the property tests pin).
+//!
+//! Recording is lock-free-ish: each histogram holds [`N_SHARDS`] shards
+//! of relaxed atomics and a thread records into the shard assigned to it
+//! round-robin, so concurrent writers on different threads touch
+//! different cache lines. A [`HistogramSnapshot`] folds the shards into
+//! one plain struct for quantile estimation, merging, and rendering.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Sub-buckets per doubling of the value (the log base is `2^(1/SUB)`).
+pub const SUB_BUCKETS: usize = 4;
+/// Doublings covered above [`MIN_VALUE`] before values clamp into the
+/// top bucket.
+pub const OCTAVES: usize = 34;
+/// Total bucket count: one underflow bucket plus the log-scale ladder.
+pub const NUM_BUCKETS: usize = 1 + SUB_BUCKETS * OCTAVES;
+/// Lower edge of the first log bucket; values below it (including zero)
+/// land in the underflow bucket. 1 µs when values are seconds.
+pub const MIN_VALUE: f64 = 1e-6;
+/// Ratio between consecutive bucket edges: `2^(1/SUB_BUCKETS)`.
+pub const GROWTH: f64 = 1.189_207_115_002_721;
+
+/// Writer shards per histogram; threads are assigned round-robin.
+const N_SHARDS: usize = 8;
+
+/// The bucket a value falls into. NaN, negatives and underflow all map
+/// to bucket 0; overflow clamps into the top bucket.
+#[inline]
+fn bucket_index(v: f64) -> usize {
+    // NaN fails both comparisons below and lands in bucket 0 alongside
+    // sub-MIN_VALUE samples.
+    if v.is_nan() || v < MIN_VALUE {
+        return 0;
+    }
+    let idx = 1 + ((v / MIN_VALUE).log2() * SUB_BUCKETS as f64).floor() as usize;
+    idx.min(NUM_BUCKETS - 1)
+}
+
+/// Upper edge of bucket `i` (the Prometheus `le` bound). The top bucket
+/// is unbounded in spirit (values clamp into it), but reports its
+/// nominal edge; renderers add the `+Inf` bucket themselves.
+#[inline]
+pub fn bucket_upper(i: usize) -> f64 {
+    if i == 0 {
+        MIN_VALUE
+    } else {
+        MIN_VALUE * GROWTH.powi(i as i32)
+    }
+}
+
+/// Geometric midpoint of bucket `i` — the quantile point estimate for a
+/// rank that lands in it.
+#[inline]
+fn bucket_mid(i: usize) -> f64 {
+    if i == 0 {
+        MIN_VALUE / 2.0
+    } else {
+        // sqrt(lower × upper) = lower × sqrt(GROWTH)
+        MIN_VALUE * GROWTH.powi(i as i32 - 1) * GROWTH.sqrt()
+    }
+}
+
+/// One writer shard: bucket counters plus count/sum/min/max, all relaxed
+/// atomics. `sum` is kept in fixed-point nano-units so shard merging and
+/// snapshot deltas stay exact (f64 addition is not associative).
+struct Shard {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    /// f64 bits; valid to `fetch_min`/`fetch_max` because recorded values
+    /// are clamped non-negative, where IEEE-754 bit order is value order.
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Which shard this thread writes to (assigned round-robin on first use).
+fn shard_index() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    SHARD.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
+            c.set(v);
+            v
+        }
+    })
+}
+
+/// A concurrent fixed-bucket log-scale histogram.
+///
+/// Values must be non-negative (negatives and NaN clamp into the
+/// underflow bucket with a recorded value of 0); latency histograms
+/// record **seconds**. Recording is a handful of relaxed atomic ops on
+/// the calling thread's shard; reading goes through
+/// [`Histogram::snapshot`].
+///
+/// ```
+/// use em_obs::Histogram;
+/// let h = Histogram::new();
+/// for ms in [1.0, 2.0, 4.0, 8.0, 100.0] {
+///     h.record(ms / 1e3);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 5);
+/// assert!(snap.quantile(0.5) > 1e-3 && snap.quantile(0.5) < 8e-3);
+/// assert!((snap.max - 0.1).abs() < 1e-12);
+/// ```
+pub struct Histogram {
+    shards: Vec<Shard>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..N_SHARDS).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        let s = &self.shards[shard_index()];
+        s.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        s.count.fetch_add(1, Ordering::Relaxed);
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        s.sum_nanos
+            .fetch_add((v * 1e9).round() as u64, Ordering::Relaxed);
+        let bits = v.to_bits();
+        s.min_bits.fetch_min(bits, Ordering::Relaxed);
+        s.max_bits.fetch_max(bits, Ordering::Relaxed);
+    }
+
+    /// Fold the shards into a plain point-in-time snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        let mut sum_nanos = 0u64;
+        let mut min_bits = f64::INFINITY.to_bits();
+        let mut max_bits = 0u64;
+        for s in &self.shards {
+            for (acc, b) in counts.iter_mut().zip(&s.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            count += s.count.load(Ordering::Relaxed);
+            sum_nanos += s.sum_nanos.load(Ordering::Relaxed);
+            min_bits = min_bits.min(s.min_bits.load(Ordering::Relaxed));
+            max_bits = max_bits.max(s.max_bits.load(Ordering::Relaxed));
+        }
+        HistogramSnapshot {
+            counts,
+            count,
+            sum_nanos,
+            min: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(min_bits)
+            },
+            max: f64::from_bits(max_bits),
+        }
+    }
+}
+
+/// A plain, mergeable point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts ([`NUM_BUCKETS`] entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values in fixed-point nano-units (value × 1e9,
+    /// rounded); fixed-point keeps merge and delta exact.
+    pub sum_nanos: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum_nanos as f64 / 1e9
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum() / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate: find the bucket holding the
+    /// `⌈q·count⌉`-th observation and return its geometric midpoint,
+    /// clamped to the observed `[min, max]`. Relative error is bounded
+    /// by the bucket [`GROWTH`] factor. `q` is clamped to `[0, 1]`;
+    /// returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 {
+                    // Underflow bucket: everything here is below
+                    // MIN_VALUE, and min is the best point estimate.
+                    self.min
+                } else {
+                    bucket_mid(i).clamp(self.min, self.max)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate ([`HistogramSnapshot::quantile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another snapshot into this one (bucket-wise addition).
+    /// Merging is exact and associative: counts and the fixed-point sum
+    /// add, min/max take the extremes.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+        if other.count > 0 {
+            self.min = if self.count == other.count {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// The cumulative difference `self − earlier` (bucket-wise saturating
+    /// subtraction), for periodic scrape-style deltas. `min`/`max` are
+    /// kept from `self` — extremes are not invertible.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum_nanos: self.sum_nanos.saturating_sub(earlier.sum_nanos),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_maps_edges_and_degenerates() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(MIN_VALUE / 2.0), 0);
+        assert_eq!(bucket_index(MIN_VALUE), 1);
+        assert_eq!(bucket_index(1e12), NUM_BUCKETS - 1);
+        // Edges are monotone: a value in bucket i sits below upper(i).
+        for i in 1..NUM_BUCKETS - 1 {
+            assert!(bucket_upper(i) > bucket_upper(i - 1));
+            let mid = bucket_mid(i);
+            assert_eq!(bucket_index(mid), i, "midpoint of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_known_distribution() {
+        let h = Histogram::new();
+        // 100 samples: 1ms × 90, 100ms × 9, 1s × 1.
+        for _ in 0..90 {
+            h.record(1e-3);
+        }
+        for _ in 0..9 {
+            h.record(0.1);
+        }
+        h.record(1.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        let within = |est: f64, exact: f64| est / exact <= GROWTH && exact / est <= GROWTH;
+        assert!(within(s.p50(), 1e-3), "p50 {} vs 1e-3", s.p50());
+        assert!(within(s.quantile(0.95), 0.1), "p95 {}", s.quantile(0.95));
+        assert!(within(s.p99(), 0.1), "p99 {}", s.p99());
+        assert!(within(s.quantile(1.0), 1.0), "p100 {}", s.quantile(1.0));
+        assert!((s.max - 1.0).abs() < 1e-12);
+        assert!((s.min - 1e-3).abs() < 1e-12);
+        assert!((s.sum() - (0.09 + 0.9 + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_delta_inverts_recording() {
+        let h = Histogram::new();
+        h.record(0.5);
+        let before = h.snapshot();
+        h.record(0.25);
+        h.record(0.75);
+        let after = h.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.count, 2);
+        assert!((d.sum() - 1.0).abs() < 1e-9);
+        assert_eq!(d.counts.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record((t * 1000 + i) as f64 * 1e-6);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8000);
+        assert_eq!(snap.counts.iter().sum::<u64>(), 8000);
+        assert!((snap.max - 7999e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+}

@@ -4,28 +4,56 @@
 //!
 //! * `EM_OBS=0` (default) — everything disabled. Instrumented call sites
 //!   reduce to one relaxed atomic load; no clock reads, no allocation.
-//! * `EM_OBS=1` — spans, counters and gauges aggregate in-process; call
-//!   [`finish`] to print a summary table and append machine-readable
-//!   records to `results/obs_summary.jsonl`.
+//! * `EM_OBS=1` — spans, counters, gauges and histograms aggregate
+//!   in-process; call [`finish`] to print a summary table and append
+//!   machine-readable records to `results/obs_summary.jsonl`.
 //! * `EM_OBS=2` — additionally record one event per span close (with the
 //!   full nesting path) and flush them to `results/obs_events.jsonl`.
+//!
+//! The output directory of [`finish`] / [`finish_to`] can be redirected
+//! with `EM_OBS_OUT` (see [`finish_to`] for the precedence rules).
 //!
 //! Instrumentation surface:
 //!
 //! * [`span!`]`("finetune/epoch")` — RAII timer guard; nested spans track
 //!   their depth through a thread-local stack. Per-name aggregation keeps
-//!   call count, total, mean and max wall time.
+//!   call count, total, mean and max wall time — and every span close
+//!   also feeds the same-named latency [`Histogram`], so spans get
+//!   p50/p90/p99 for free.
 //! * [`Timer`] — always measures (the caller needs the duration even when
 //!   observability is off) but only records into the aggregate when enabled.
 //! * [`counter_add`] / [`counter_inc`] — monotonic u64 counters (FLOPs,
-//!   tokens, allocation bytes, cache hits).
-//! * [`gauge_set`] — last-value-wins f64 gauges (examples/sec).
+//!   tokens, allocation bytes, cache hits). Names are interned `String`
+//!   keys, so dynamic names work; [`counter_add_labeled`] attaches
+//!   Prometheus-style `key="value"` labels (e.g. per-worker counters).
+//! * [`gauge_set`] / [`gauge_set_labeled`] — last-value-wins f64 gauges.
+//! * [`histogram_record`] / [`histogram_record_labeled`] — log-scale
+//!   latency histograms with p50/p90/p99/max estimation (see
+//!   [`Histogram`]).
+//! * [`event!`] — bounded ring-buffer log of structured events (slow
+//!   request capture); drained as JSONL by [`finish_to`] or
+//!   programmatically via [`drain_events`].
+//! * [`snapshot`] / [`Snapshot::delta_since`] — point-in-time metric
+//!   captures with exact deltas for periodic scraping.
+//! * [`prometheus_text`] — Prometheus text exposition (format 0.0.4)
+//!   of every counter, gauge and histogram, ready for a `/metrics`
+//!   endpoint.
+
+#![deny(missing_docs)]
+
+mod event;
+mod histogram;
+mod prometheus;
+
+pub use event::{EventRecord, FieldValue, EVENT_CAPACITY};
+pub use histogram::{Histogram, HistogramSnapshot, GROWTH, MIN_VALUE, NUM_BUCKETS};
+pub use prometheus::render_prometheus;
 
 use std::collections::HashMap;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
@@ -36,7 +64,7 @@ use parking_lot::{Mutex, RwLock};
 
 /// Observability disabled (the default).
 pub const LEVEL_OFF: u8 = 0;
-/// Aggregate spans/counters/gauges; summary on [`finish`].
+/// Aggregate spans/counters/gauges/histograms; summary on [`finish`].
 pub const LEVEL_AGGREGATE: u8 = 1;
 /// Aggregates plus a per-span-close event log.
 pub const LEVEL_EVENTS: u8 = 2;
@@ -102,15 +130,22 @@ struct Event {
     ns: u64,
 }
 
+/// Metric storage. Counter/gauge/histogram keys are interned `String`s —
+/// the full key including any rendered labels (`name{k="v"}`) — looked up
+/// borrowed, so the steady-state hot path allocates nothing: plain `&str`
+/// names index directly, and labeled names render into a reusable
+/// thread-local buffer first.
 #[derive(Default)]
 struct Registry {
     spans: Mutex<HashMap<&'static str, SpanStat>>,
-    counters: RwLock<HashMap<&'static str, AtomicU64>>,
-    gauges: RwLock<HashMap<&'static str, AtomicU64>>,
+    counters: RwLock<HashMap<String, AtomicU64>>,
+    gauges: RwLock<HashMap<String, AtomicU64>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
     events: Mutex<Vec<Event>>,
+    ring: event::EventRing,
 }
 
-fn registry() -> &'static Registry {
+pub(crate) fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(Registry::default)
 }
@@ -121,15 +156,20 @@ thread_local! {
 }
 
 fn record_span(name: &'static str, ns: u64, depth: usize) {
-    let mut spans = registry().spans.lock();
-    let stat = spans.entry(name).or_insert(SpanStat {
-        depth,
-        ..SpanStat::default()
-    });
-    stat.count += 1;
-    stat.total_ns += ns;
-    stat.max_ns = stat.max_ns.max(ns);
-    stat.depth = stat.depth.min(depth);
+    {
+        let mut spans = registry().spans.lock();
+        let stat = spans.entry(name).or_insert(SpanStat {
+            depth,
+            ..SpanStat::default()
+        });
+        stat.count += 1;
+        stat.total_ns += ns;
+        stat.max_ns = stat.max_ns.max(ns);
+        stat.depth = stat.depth.min(depth);
+    }
+    // Every span doubles as a latency histogram, so any span name can be
+    // quoted with p50/p99 (and lands in the Prometheus exposition).
+    with_histogram(name, |h| h.record(ns as f64 / 1e9));
 }
 
 // ---------------------------------------------------------------------------
@@ -238,14 +278,14 @@ impl Timer {
 }
 
 // ---------------------------------------------------------------------------
-// Counters & gauges
+// Counters, gauges & histograms
 // ---------------------------------------------------------------------------
 
-fn bump(
-    map: &RwLock<HashMap<&'static str, AtomicU64>>,
-    name: &'static str,
-    f: impl Fn(&AtomicU64),
-) {
+/// Find-or-insert on a `String`-keyed atomic map without allocating on
+/// the (overwhelmingly common) existing-key path: the read lock looks the
+/// key up borrowed; only the first touch of a new key takes the write
+/// lock and interns an owned copy.
+fn bump(map: &RwLock<HashMap<String, AtomicU64>>, name: &str, f: impl FnOnce(&AtomicU64)) {
     {
         let read = map.read();
         if let Some(cell) = read.get(name) {
@@ -254,12 +294,73 @@ fn bump(
         }
     }
     let mut write = map.write();
-    f(write.entry(name).or_insert_with(|| AtomicU64::new(0)));
+    f(write
+        .entry(name.to_owned())
+        .or_insert_with(|| AtomicU64::new(0)));
 }
 
-/// Add `delta` to a monotonic counter. No-op when disabled.
+/// Run `f` on the named histogram, creating it on first touch. The `Arc`
+/// clone keeps the read-lock critical section to a map lookup.
+fn with_histogram(name: &str, f: impl FnOnce(&Histogram)) {
+    let hist = {
+        let read = registry().histograms.read();
+        read.get(name).cloned()
+    };
+    match hist {
+        Some(h) => f(&h),
+        None => {
+            let h = {
+                let mut write = registry().histograms.write();
+                Arc::clone(
+                    write
+                        .entry(name.to_owned())
+                        .or_insert_with(|| Arc::new(Histogram::new())),
+                )
+            };
+            f(&h);
+        }
+    }
+}
+
+/// Render `name{k="v",…}` into a reusable thread-local buffer and hand it
+/// to `f`. Label values are escaped Prometheus-style (`\` and `"`), so
+/// the interned key doubles as the exposition label body.
+fn with_labeled_key<R>(name: &str, labels: &[(&str, &str)], f: impl FnOnce(&str) -> R) -> R {
+    thread_local! {
+        static BUF: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+    }
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        b.clear();
+        b.push_str(name);
+        if !labels.is_empty() {
+            b.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    b.push(',');
+                }
+                b.push_str(k);
+                b.push_str("=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => b.push_str("\\\\"),
+                        '"' => b.push_str("\\\""),
+                        '\n' => b.push_str("\\n"),
+                        c => b.push(c),
+                    }
+                }
+                b.push('"');
+            }
+            b.push('}');
+        }
+        f(&b)
+    })
+}
+
+/// Add `delta` to a monotonic counter. No-op when disabled. Dynamic
+/// (non-`'static`) names are fine: keys are interned on first use.
 #[inline]
-pub fn counter_add(name: &'static str, delta: u64) {
+pub fn counter_add(name: &str, delta: u64) {
     if !enabled() {
         return;
     }
@@ -270,19 +371,97 @@ pub fn counter_add(name: &'static str, delta: u64) {
 
 /// Increment a monotonic counter by one. No-op when disabled.
 #[inline]
-pub fn counter_inc(name: &'static str) {
+pub fn counter_inc(name: &str) {
     counter_add(name, 1);
+}
+
+/// Add `delta` to a labeled counter, e.g.
+/// `counter_add_labeled("serve/requests", &[("worker", "3")], 1)`.
+/// Each distinct label set is its own series; the Prometheus exposition
+/// renders the labels verbatim. No-op when disabled.
+#[inline]
+pub fn counter_add_labeled(name: &str, labels: &[(&str, &str)], delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_labeled_key(name, labels, |key| {
+        bump(&registry().counters, key, |c| {
+            c.fetch_add(delta, Ordering::Relaxed);
+        });
+    });
 }
 
 /// Set a gauge to `value` (last write wins). No-op when disabled.
 #[inline]
-pub fn gauge_set(name: &'static str, value: f64) {
+pub fn gauge_set(name: &str, value: f64) {
     if !enabled() {
         return;
     }
     bump(&registry().gauges, name, |g| {
         g.store(value.to_bits(), Ordering::Relaxed);
     });
+}
+
+/// Set a labeled gauge (last write wins per label set). No-op when
+/// disabled.
+#[inline]
+pub fn gauge_set_labeled(name: &str, labels: &[(&str, &str)], value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_labeled_key(name, labels, |key| {
+        bump(&registry().gauges, key, |g| {
+            g.store(value.to_bits(), Ordering::Relaxed);
+        });
+    });
+}
+
+/// Record one observation into the named log-scale [`Histogram`]
+/// (latency values are in **seconds**). No-op when disabled.
+#[inline]
+pub fn histogram_record(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_histogram(name, |h| h.record(value));
+}
+
+/// Record one observation into a labeled histogram series. No-op when
+/// disabled.
+#[inline]
+pub fn histogram_record_labeled(name: &str, labels: &[(&str, &str)], value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_labeled_key(name, labels, |key| {
+        with_histogram(key, |h| h.record(value));
+    });
+}
+
+/// Snapshot one histogram by (full) name, or `None` if it never recorded.
+pub fn histogram_snapshot(name: &str) -> Option<HistogramSnapshot> {
+    let read = registry().histograms.read();
+    read.get(name).map(|h| h.snapshot())
+}
+
+/// Record a structured event (prefer the [`event!`] macro, which gates on
+/// the observability level and skips evaluating field expressions when
+/// disabled).
+pub fn event_record(name: &str, fields: Vec<(&'static str, FieldValue)>) {
+    event::event_record(name, fields);
+}
+
+/// Drain and return every buffered [`event!`] record (oldest first).
+/// [`finish_to`] drains the same ring into `obs_events.jsonl`, so call
+/// only one of the two per collection interval.
+pub fn drain_events() -> Vec<EventRecord> {
+    registry().ring.drain()
+}
+
+/// Number of events currently buffered (ring capacity
+/// [`EVENT_CAPACITY`]; older events are evicted, never blocking).
+pub fn pending_events() -> usize {
+    registry().ring.len()
 }
 
 // ---------------------------------------------------------------------------
@@ -306,8 +485,8 @@ pub struct SpanSummary {
     pub depth: usize,
 }
 
-/// Full aggregate snapshot: spans (by total time, descending), counters and
-/// gauges (alphabetical).
+/// Full aggregate snapshot: spans (by total time, descending), counters,
+/// gauges and histograms (alphabetical).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Summary {
     /// Per-span aggregates.
@@ -316,6 +495,120 @@ pub struct Summary {
     pub counters: Vec<(String, u64)>,
     /// Last-value gauges.
     pub gauges: Vec<(String, f64)>,
+    /// Latency histograms (includes the auto-histogrammed spans).
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// A point-in-time capture of every counter, gauge and histogram — the
+/// scrape-oriented sibling of [`Summary`] (no spans; spans surface as
+/// their auto-fed histograms). Produced by [`snapshot`], rendered by
+/// [`Snapshot::prometheus_text`], differenced by
+/// [`Snapshot::delta_since`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters, sorted by full key.
+    pub counters: Vec<(String, u64)>,
+    /// Last-value gauges, sorted by full key.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by full key.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The change since `earlier`: counters and histograms subtract
+    /// (saturating — a [`reset`] between snapshots clamps to zero),
+    /// gauges keep their current value (last-write-wins has no delta).
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let find_counter = |name: &str| {
+            earlier
+                .counters
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+                .ok()
+                .map(|i| earlier.counters[i].1)
+                .unwrap_or(0)
+        };
+        let find_hist = |name: &str| {
+            earlier
+                .histograms
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+                .ok()
+                .map(|i| &earlier.histograms[i].1)
+        };
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), v.saturating_sub(find_counter(n))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    let d = match find_hist(n) {
+                        Some(e) => h.delta_since(e),
+                        None => h.clone(),
+                    };
+                    (n.clone(), d)
+                })
+                .collect(),
+        }
+    }
+
+    /// Render this snapshot in the Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        render_prometheus(self)
+    }
+}
+
+fn collect_counters() -> Vec<(String, u64)> {
+    let mut counters: Vec<(String, u64)> = registry()
+        .counters
+        .read()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    counters.sort();
+    counters
+}
+
+fn collect_gauges() -> Vec<(String, f64)> {
+    let mut gauges: Vec<(String, f64)> = registry()
+        .gauges
+        .read()
+        .iter()
+        .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+        .collect();
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    gauges
+}
+
+fn collect_histograms() -> Vec<(String, HistogramSnapshot)> {
+    let mut hists: Vec<(String, HistogramSnapshot)> = registry()
+        .histograms
+        .read()
+        .iter()
+        .map(|(k, h)| (k.clone(), h.snapshot()))
+        .collect();
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
+    hists
+}
+
+/// Capture every counter, gauge and histogram right now.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        counters: collect_counters(),
+        gauges: collect_gauges(),
+        histograms: collect_histograms(),
+    }
+}
+
+/// Render the current metrics in the Prometheus text exposition format
+/// (0.0.4): `# TYPE` headers, labels, and histogram `_bucket`/`_sum`/
+/// `_count` series. Serve it from a `/metrics` endpoint, or diff two
+/// [`snapshot`]s for push-style collection.
+pub fn prometheus_text() -> String {
+    snapshot().prometheus_text()
 }
 
 /// Snapshot the current aggregates (empty when nothing was recorded).
@@ -339,35 +632,24 @@ pub fn summary() -> Summary {
         })
         .collect();
     spans.sort_by(|a, b| b.total_s.total_cmp(&a.total_s).then(a.name.cmp(&b.name)));
-    let mut counters: Vec<(String, u64)> = reg
-        .counters
-        .read()
-        .iter()
-        .map(|(k, v)| ((*k).to_string(), v.load(Ordering::Relaxed)))
-        .collect();
-    counters.sort();
-    let mut gauges: Vec<(String, f64)> = reg
-        .gauges
-        .read()
-        .iter()
-        .map(|(k, v)| ((*k).to_string(), f64::from_bits(v.load(Ordering::Relaxed))))
-        .collect();
-    gauges.sort_by(|a, b| a.0.cmp(&b.0));
     Summary {
         spans,
-        counters,
-        gauges,
+        counters: collect_counters(),
+        gauges: collect_gauges(),
+        histograms: collect_histograms(),
     }
 }
 
-/// Clear all recorded spans, counters, gauges and events (tests and
-/// multi-run binaries).
+/// Clear all recorded spans, counters, gauges, histograms and events
+/// (tests and multi-run binaries).
 pub fn reset() {
     let reg = registry();
     reg.spans.lock().clear();
     reg.counters.write().clear();
     reg.gauges.write().clear();
+    reg.histograms.write().clear();
     reg.events.lock().clear();
+    reg.ring.clear();
 }
 
 fn fmt_secs(s: f64) -> String {
@@ -409,6 +691,25 @@ pub fn render_summary(run: &str) -> String {
             ));
         }
     }
+    // Histograms that mirror a span name add only quantiles the span rows
+    // don't have; standalone histograms carry their whole story here.
+    if !sum.histograms.is_empty() {
+        out.push_str(&format!(
+            "{:<32} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in &sum.histograms {
+            out.push_str(&format!(
+                "{:<32} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+                name,
+                h.count,
+                fmt_secs(h.p50()),
+                fmt_secs(h.p90()),
+                fmt_secs(h.p99()),
+                fmt_secs(h.max)
+            ));
+        }
+    }
     if !sum.counters.is_empty() {
         out.push_str(&format!("{:<32} {:>20}\n", "counter", "value"));
         for (name, v) in &sum.counters {
@@ -424,7 +725,7 @@ pub fn render_summary(run: &str) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -449,6 +750,12 @@ pub fn summary_jsonl(run: &str) -> String {
         out.push_str(&format!(
             "{{\"run\":\"{run}\",\"kind\":\"span\",\"name\":\"{}\",\"count\":{},\"total_s\":{},\"mean_s\":{},\"max_s\":{},\"depth\":{}}}\n",
             json_escape(&s.name), s.count, s.total_s, s.mean_s, s.max_s, s.depth
+        ));
+    }
+    for (name, h) in &sum.histograms {
+        out.push_str(&format!(
+            "{{\"run\":\"{run}\",\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum_s\":{},\"p50_s\":{},\"p90_s\":{},\"p99_s\":{},\"max_s\":{}}}\n",
+            json_escape(name), h.count, h.sum(), h.p50(), h.p90(), h.p99(), h.max
         ));
     }
     for (name, v) in &sum.counters {
@@ -477,30 +784,53 @@ fn append_file(path: &Path, content: &str) -> std::io::Result<()> {
     f.write_all(content.as_bytes())
 }
 
+/// The effective sink directory: `EM_OBS_OUT` (when set and non-empty)
+/// overrides whatever the caller passed, so an already-built binary can
+/// be redirected without code changes. Precedence, highest first:
+/// `EM_OBS_OUT` env var → the `out_dir` argument of [`finish_to`] → the
+/// `results/` default used by [`finish`].
+fn resolve_out_dir(out_dir: &Path) -> PathBuf {
+    match std::env::var("EM_OBS_OUT") {
+        Ok(v) if !v.trim().is_empty() => PathBuf::from(v),
+        _ => out_dir.to_path_buf(),
+    }
+}
+
 /// End-of-run sink: when enabled, print the summary table and append the
-/// aggregate JSONL to `<out_dir>/obs_summary.jsonl` (plus, at `EM_OBS=2`,
-/// per-span events to `<out_dir>/obs_events.jsonl`). Returns the rendered
-/// table, or `None` when disabled.
+/// aggregate JSONL to `<out_dir>/obs_summary.jsonl`, plus any buffered
+/// [`event!`] records (and, at `EM_OBS=2`, per-span events) to
+/// `<out_dir>/obs_events.jsonl`. The directory can be overridden with
+/// `EM_OBS_OUT` (see [`resolve_out_dir`'s precedence](finish_to)):
+/// `EM_OBS_OUT` beats the `out_dir` argument, which beats [`finish`]'s
+/// `results/` default. Returns the rendered table, or `None` when
+/// disabled.
 pub fn finish_to(run: &str, out_dir: &Path) -> Option<String> {
     if !enabled() {
         return None;
     }
+    let out_dir = resolve_out_dir(out_dir);
     let rendered = render_summary(run);
     println!("{rendered}");
     if let Err(e) = append_file(&out_dir.join("obs_summary.jsonl"), &summary_jsonl(run)) {
         eprintln!("em-obs: could not write obs_summary.jsonl: {e}");
     }
+    let mut out = String::new();
+    for ev in drain_events() {
+        out.push_str(&ev.to_jsonl(run));
+        out.push('\n');
+    }
     if level() >= LEVEL_EVENTS {
         let events = registry().events.lock();
-        let mut out = String::new();
         for ev in events.iter() {
             out.push_str(&format!(
-                "{{\"run\":\"{}\",\"kind\":\"event\",\"path\":\"{}\",\"dur_s\":{}}}\n",
+                "{{\"run\":\"{}\",\"kind\":\"span_event\",\"path\":\"{}\",\"dur_s\":{}}}\n",
                 json_escape(run),
                 json_escape(&ev.path),
                 ev.ns as f64 / 1e9
             ));
         }
+    }
+    if !out.is_empty() {
         if let Err(e) = append_file(&out_dir.join("obs_events.jsonl"), &out) {
             eprintln!("em-obs: could not write obs_events.jsonl: {e}");
         }
@@ -508,18 +838,19 @@ pub fn finish_to(run: &str, out_dir: &Path) -> Option<String> {
     Some(rendered)
 }
 
-/// [`finish_to`] with the conventional `results/` output directory.
+/// [`finish_to`] with the conventional `results/` output directory
+/// (overridable with `EM_OBS_OUT`).
 pub fn finish(run: &str) -> Option<String> {
     finish_to(run, Path::new("results"))
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     // The level and registry are process-global; serialize the tests that
     // mutate them.
-    fn serial() -> parking_lot::MutexGuard<'static, ()> {
+    pub(crate) fn serial() -> parking_lot::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
         LOCK.lock()
     }
@@ -532,7 +863,10 @@ mod tests {
         {
             let _s = span!("off/span");
             counter_add("off/counter", 10);
+            counter_add_labeled("off/labeled", &[("worker", "1")], 2);
             gauge_set("off/gauge", 1.5);
+            histogram_record("off/hist", 0.5);
+            event!("off/event", value = 1u64);
         }
         let t = Timer::start("off/timer");
         assert!(t.stop() >= 0.0, "timer still measures when disabled");
@@ -540,6 +874,8 @@ mod tests {
         assert!(sum.spans.is_empty(), "{sum:?}");
         assert!(sum.counters.is_empty());
         assert!(sum.gauges.is_empty());
+        assert!(sum.histograms.is_empty());
+        assert_eq!(pending_events(), 0);
     }
 
     #[test]
@@ -564,6 +900,9 @@ mod tests {
         assert!(outer.total_s >= inner.total_s, "outer encloses inner");
         assert!(outer.max_s <= outer.total_s + 1e-12);
         assert!((outer.mean_s - outer.total_s / 3.0).abs() < 1e-12);
+        // Spans auto-feed same-named histograms.
+        let oh = sum.histograms.iter().find(|(n, _)| n == "outer").unwrap();
+        assert_eq!(oh.1.count, 3);
         set_level(LEVEL_OFF);
         reset();
     }
@@ -574,11 +913,13 @@ mod tests {
         set_level(LEVEL_AGGREGATE);
         reset();
         crossbeam::scope(|s| {
-            for _ in 0..8 {
-                s.spawn(|_| {
+            for t in 0..8 {
+                s.spawn(move |_| {
+                    let worker = t.to_string();
                     for _ in 0..1000 {
                         counter_inc("race/counter");
                         counter_add("race/flops", 3);
+                        counter_add_labeled("race/labeled", &[("worker", &worker)], 1);
                     }
                 });
             }
@@ -594,6 +935,9 @@ mod tests {
         };
         assert_eq!(get("race/counter"), 8 * 1000);
         assert_eq!(get("race/flops"), 8 * 1000 * 3);
+        for t in 0..8 {
+            assert_eq!(get(&format!("race/labeled{{worker=\"{t}\"}}")), 1000);
+        }
         set_level(LEVEL_OFF);
         reset();
     }
@@ -627,12 +971,14 @@ mod tests {
         gauge_set("json/gauge", 2.25);
         let jsonl = summary_jsonl("unit");
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 3);
+        // span + its auto histogram + counter + gauge.
+        assert_eq!(lines.len(), 4);
         for line in &lines {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
             assert!(line.contains("\"run\":\"unit\""));
         }
         assert!(jsonl.contains("\"kind\":\"span\""));
+        assert!(jsonl.contains("\"kind\":\"histogram\""));
         assert!(jsonl.contains("\"kind\":\"counter\""));
         assert!(jsonl.contains("\"value\":7"));
         assert!(jsonl.contains("\"kind\":\"gauge\""));
@@ -650,6 +996,103 @@ mod tests {
         gauge_set("g", 4.5);
         let sum = summary();
         assert_eq!(sum.gauges, vec![("g".to_string(), 4.5)]);
+        // Labeled gauges are separate series.
+        gauge_set_labeled("g", &[("shard", "a")], 2.0);
+        let sum = summary();
+        assert_eq!(sum.gauges.len(), 2);
+        set_level(LEVEL_OFF);
+        reset();
+    }
+
+    #[test]
+    fn dynamic_counter_names_are_interned() {
+        let _g = serial();
+        set_level(LEVEL_AGGREGATE);
+        reset();
+        // A non-'static name built at runtime.
+        let name = format!("dyn/{}", 7);
+        counter_add(&name, 5);
+        counter_add(&name, 5);
+        let sum = summary();
+        assert_eq!(sum.counters, vec![("dyn/7".to_string(), 10)]);
+        set_level(LEVEL_OFF);
+        reset();
+    }
+
+    #[test]
+    fn events_ring_buffers_and_drains() {
+        let _g = serial();
+        set_level(LEVEL_AGGREGATE);
+        reset();
+        event!(
+            "test/event",
+            idx = 1u64,
+            ratio = 0.5,
+            tag = "slow",
+            ok = true
+        );
+        event!("test/event", idx = 2u64);
+        assert_eq!(pending_events(), 2);
+        let events = drain_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(pending_events(), 0, "drain empties the ring");
+        assert_eq!(events[0].name, "test/event");
+        assert_eq!(events[0].fields[0], ("idx", FieldValue::U64(1)));
+        assert_eq!(events[0].fields[1], ("ratio", FieldValue::F64(0.5)));
+        assert_eq!(
+            events[0].fields[2],
+            ("tag", FieldValue::Str("slow".to_string()))
+        );
+        assert_eq!(events[0].fields[3], ("ok", FieldValue::Bool(true)));
+        assert!(events[1].t_s >= events[0].t_s, "timestamps are monotone");
+        let line = events[0].to_jsonl("unit");
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"kind\":\"event\""), "{line}");
+        assert!(line.contains("\"tag\":\"slow\""), "{line}");
+        set_level(LEVEL_OFF);
+        reset();
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let _g = serial();
+        set_level(LEVEL_AGGREGATE);
+        reset();
+        for i in 0..(EVENT_CAPACITY + 10) {
+            event!("bound/event", idx = i);
+        }
+        assert_eq!(pending_events(), EVENT_CAPACITY);
+        let events = drain_events();
+        // The oldest 10 were evicted.
+        assert_eq!(events[0].fields[0], ("idx", FieldValue::U64(10)));
+        set_level(LEVEL_OFF);
+        reset();
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_histograms() {
+        let _g = serial();
+        set_level(LEVEL_AGGREGATE);
+        reset();
+        counter_add("d/c", 5);
+        histogram_record("d/h", 0.010);
+        let before = snapshot();
+        counter_add("d/c", 3);
+        histogram_record("d/h", 0.020);
+        gauge_set("d/g", 9.0);
+        let after = snapshot();
+        let delta = after.delta_since(&before);
+        assert_eq!(
+            delta.counters.iter().find(|(n, _)| n == "d/c").unwrap().1,
+            3
+        );
+        let dh = &delta.histograms.iter().find(|(n, _)| n == "d/h").unwrap().1;
+        assert_eq!(dh.count, 1);
+        assert!((dh.sum() - 0.020).abs() < 1e-9);
+        assert_eq!(
+            delta.gauges.iter().find(|(n, _)| n == "d/g").unwrap().1,
+            9.0
+        );
         set_level(LEVEL_OFF);
         reset();
     }

@@ -1,0 +1,383 @@
+//! Prometheus text exposition (format 0.0.4) for [`Snapshot`]s.
+//!
+//! The registry's slash-style metric names (`serve/queue_wait`) are
+//! sanitized into the Prometheus grammar (`serve_queue_wait`); label sets
+//! recorded through the `*_labeled` entry points were escaped at record
+//! time, so their `{key="value"}` bodies pass through verbatim.
+//! Histograms expand into the conventional `_bucket` (cumulative, with a
+//! final `+Inf`), `_sum` and `_count` series. Empty log buckets are
+//! elided — the fixed 137-bucket layout would otherwise dominate the
+//! payload — which is valid: cumulative bucket values are unchanged by
+//! dropping an `le` bound nothing falls under.
+
+use crate::histogram::{bucket_upper, HistogramSnapshot, NUM_BUCKETS};
+use crate::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// `name{labels}` → (`sanitized_name`, `Some(labels)`).
+fn split_key(key: &str) -> (String, Option<&str>) {
+    let (name, labels) = match key.find('{') {
+        Some(i) => (
+            &key[..i],
+            Some(key[i..].trim_start_matches('{').trim_end_matches('}')),
+        ),
+        None => (key, None),
+    };
+    (sanitize_name(name), labels)
+}
+
+/// Map an arbitrary registry name into the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` (slashes, dashes, dots → `_`).
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Format an `le` bound or sample value the way Prometheus expects
+/// (plain decimal or scientific; f64 `Display` round-trips fine).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_sample(out: &mut String, name: &str, labels: Option<&str>, value: &str) {
+    match labels {
+        Some(l) if !l.is_empty() => {
+            let _ = writeln!(out, "{name}{{{l}}} {value}");
+        }
+        _ => {
+            let _ = writeln!(out, "{name} {value}");
+        }
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, labels: Option<&str>, h: &HistogramSnapshot) {
+    // _bucket series: cumulative counts, only non-empty buckets plus the
+    // mandatory +Inf. The `le` label composes after any recorded labels.
+    let mut cumulative = 0u64;
+    for i in 0..NUM_BUCKETS.min(h.counts.len()) {
+        if h.counts[i] == 0 {
+            continue;
+        }
+        cumulative += h.counts[i];
+        let le = fmt_f64(bucket_upper(i));
+        let body = match labels {
+            Some(l) if !l.is_empty() => format!("{l},le=\"{le}\""),
+            _ => format!("le=\"{le}\""),
+        };
+        let _ = writeln!(out, "{name}_bucket{{{body}}} {cumulative}");
+    }
+    let body = match labels {
+        Some(l) if !l.is_empty() => format!("{l},le=\"+Inf\""),
+        _ => "le=\"+Inf\"".to_string(),
+    };
+    let _ = writeln!(out, "{name}_bucket{{{body}}} {}", h.count);
+    write_sample(out, &format!("{name}_sum"), labels, &fmt_f64(h.sum()));
+    write_sample(out, &format!("{name}_count"), labels, &h.count.to_string());
+}
+
+/// Render a [`Snapshot`] in the Prometheus text exposition format 0.0.4.
+/// Series sharing a base metric name (label variants) are grouped under a
+/// single `# TYPE` header; name collisions across metric kinds are
+/// impossible because each kind lives in its own registry map and the
+/// renderer suffixes histograms.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+
+    // kind-preserving grouping: (kind, sanitized name) → series
+    type Series<'a> = Vec<(Option<&'a str>, String)>;
+    let mut grouped: BTreeMap<(u8, String), Series> = BTreeMap::new();
+    for (key, v) in &snap.counters {
+        let (name, labels) = split_key(key);
+        grouped
+            .entry((0, name))
+            .or_default()
+            .push((labels, v.to_string()));
+    }
+    for (key, v) in &snap.gauges {
+        let (name, labels) = split_key(key);
+        grouped
+            .entry((1, name))
+            .or_default()
+            .push((labels, fmt_f64(*v)));
+    }
+    for ((kind, name), series) in &grouped {
+        let kind_str = if *kind == 0 { "counter" } else { "gauge" };
+        let _ = writeln!(out, "# TYPE {name} {kind_str}");
+        for (labels, value) in series {
+            write_sample(&mut out, name, *labels, value);
+        }
+    }
+
+    let mut hists: BTreeMap<String, Vec<(Option<&str>, &HistogramSnapshot)>> = BTreeMap::new();
+    for (key, h) in &snap.histograms {
+        let (name, labels) = split_key(key);
+        hists.entry(name).or_default().push((labels, h));
+    }
+    for (name, series) in &hists {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (labels, h) in series {
+            write_histogram(&mut out, name, *labels, h);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    fn snapshot_with(
+        counters: Vec<(&str, u64)>,
+        gauges: Vec<(&str, f64)>,
+        histograms: Vec<(&str, HistogramSnapshot)>,
+    ) -> Snapshot {
+        Snapshot {
+            counters: counters
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// Minimal text-format 0.0.4 validator: every line is either a
+    /// well-formed `# TYPE <name> <kind>` comment or a sample
+    /// `name{labels} value`, names match the metric grammar, every sample
+    /// follows a TYPE header for its base name, and each sample value
+    /// parses as a number.
+    fn validate(text: &str) -> Result<(), String> {
+        let name_ok = |s: &str| {
+            !s.is_empty()
+                && s.chars().enumerate().all(|(i, c)| {
+                    c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+                })
+        };
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().ok_or("TYPE without name")?;
+                let kind = parts.next().ok_or("TYPE without kind")?;
+                if !name_ok(name) {
+                    return Err(format!("bad TYPE name: {name}"));
+                }
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                    return Err(format!("bad TYPE kind: {kind}"));
+                }
+                typed.push(name.to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // other comments are legal
+            }
+            // Sample line: name[{labels}] value
+            let (series, value) = line.rsplit_once(' ').ok_or(format!("no value: {line}"))?;
+            let name = match series.find('{') {
+                Some(i) => {
+                    if !series.ends_with('}') {
+                        return Err(format!("unclosed labels: {line}"));
+                    }
+                    let body = &series[i + 1..series.len() - 1];
+                    for pair in split_label_pairs(body) {
+                        let (k, v) = pair.split_once('=').ok_or(format!("bad label: {pair}"))?;
+                        if !name_ok(k) && k != "le" {
+                            return Err(format!("bad label name: {k}"));
+                        }
+                        if !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                            return Err(format!("unquoted label value: {v}"));
+                        }
+                    }
+                    &series[..i]
+                }
+                None => series,
+            };
+            if !name_ok(name) {
+                return Err(format!("bad metric name: {name}"));
+            }
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .filter(|b| typed.contains(&b.to_string()))
+                .unwrap_or(name);
+            if !typed.contains(&base.to_string()) {
+                return Err(format!("sample before TYPE: {name}"));
+            }
+            if value != "+Inf" && value != "-Inf" && value != "NaN" {
+                value
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad value: {value}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Split a label body on commas that are not inside quoted values.
+    fn split_label_pairs(body: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        let mut in_quotes = false;
+        let mut escaped = false;
+        for (i, c) in body.char_indices() {
+            match c {
+                '\\' if in_quotes => escaped = !escaped,
+                '"' if !escaped => in_quotes = !in_quotes,
+                ',' if !in_quotes => {
+                    out.push(&body[start..i]);
+                    start = i + 1;
+                }
+                _ => escaped = false,
+            }
+        }
+        if start < body.len() {
+            out.push(&body[start..]);
+        }
+        out
+    }
+
+    #[test]
+    fn renders_counters_and_gauges_with_types_and_labels() {
+        let snap = snapshot_with(
+            vec![("serve/requests", 42), ("serve/requests{worker=\"3\"}", 12)],
+            vec![("serve/cache_hit_rate", 0.75)],
+            vec![],
+        );
+        let text = render_prometheus(&snap);
+        validate(&text).unwrap();
+        assert!(text.contains("# TYPE serve_requests counter"));
+        assert_eq!(
+            text.matches("# TYPE serve_requests counter").count(),
+            1,
+            "label variants share one TYPE header:\n{text}"
+        );
+        assert!(text.contains("serve_requests 42"));
+        assert!(text.contains("serve_requests{worker=\"3\"} 12"));
+        assert!(text.contains("# TYPE serve_cache_hit_rate gauge"));
+        assert!(text.contains("serve_cache_hit_rate 0.75"));
+    }
+
+    #[test]
+    fn renders_histogram_bucket_sum_count() {
+        let h = Histogram::new();
+        for v in [0.001, 0.001, 0.004, 0.1] {
+            h.record(v);
+        }
+        let snap = snapshot_with(vec![], vec![], vec![("serve/e2e", h.snapshot())]);
+        let text = render_prometheus(&snap);
+        validate(&text).unwrap();
+        assert!(text.contains("# TYPE serve_e2e histogram"));
+        assert!(text.contains("serve_e2e_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("serve_e2e_count 4"));
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("serve_e2e_sum"))
+            .unwrap();
+        let sum: f64 = sum_line.rsplit_once(' ').unwrap().1.parse().unwrap();
+        assert!((sum - 0.106).abs() < 1e-6, "{sum_line}");
+        // Cumulative bucket counts are monotone nondecreasing and end at count.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("serve_e2e_bucket")) {
+            let v: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(v >= last, "non-monotone bucket: {line}");
+            last = v;
+        }
+        assert_eq!(last, 4);
+    }
+
+    #[test]
+    fn labeled_histogram_composes_le_with_labels() {
+        let h = Histogram::new();
+        h.record(0.002);
+        let snap = snapshot_with(
+            vec![],
+            vec![],
+            vec![("serve/forward{worker=\"1\"}", h.snapshot())],
+        );
+        let text = render_prometheus(&snap);
+        validate(&text).unwrap();
+        assert!(
+            text.contains("serve_forward_bucket{worker=\"1\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_forward_sum{worker=\"1\"} 0.002"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_forward_count{worker=\"1\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn sanitizes_hostile_names() {
+        let snap = snapshot_with(
+            vec![("9lives/with-dash.and.dot", 1), ("", 2)],
+            vec![],
+            vec![],
+        );
+        let text = render_prometheus(&snap);
+        validate(&text).unwrap();
+        assert!(text.contains("_9lives_with_dash_and_dot 1"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_prometheus(&Snapshot::default()), "");
+    }
+
+    #[test]
+    fn end_to_end_registry_exposition_is_valid() {
+        // Serialized against the other registry-touching tests in lib.rs.
+        let _g = crate::tests::serial();
+        crate::set_level(crate::LEVEL_AGGREGATE);
+        crate::reset();
+        crate::counter_add("prom/requests", 7);
+        crate::counter_add_labeled("prom/requests", &[("worker", "0")], 3);
+        crate::gauge_set("prom/depth", 2.0);
+        crate::histogram_record("prom/latency", 0.020);
+        crate::histogram_record("prom/latency", 0.004);
+        let text = crate::prometheus_text();
+        validate(&text).unwrap();
+        assert!(text.contains("# TYPE prom_requests counter"));
+        assert!(text.contains("prom_requests{worker=\"0\"} 3"));
+        assert!(text.contains("# TYPE prom_latency histogram"));
+        assert!(text.contains("prom_latency_count 2"));
+        crate::set_level(crate::LEVEL_OFF);
+        crate::reset();
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests pinning the histogram quantile-error bound and the
+//! exactness of snapshot merging.
+
+use em_obs::{Histogram, HistogramSnapshot, GROWTH};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile of a sorted sample.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Relative error allowed for a quantile estimate: one bucket `GROWTH`
+/// factor (the estimate sits at the geometric midpoint of the bucket the
+/// exact quantile falls in), with a hair of slack for f64 rounding at
+/// bucket edges.
+const TOLERANCE: f64 = GROWTH * 1.0001;
+
+fn record_all(values: &[f64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// p50/p90/p99 estimates stay within one bucket-growth factor of the
+    /// exact sample quantiles, across log-uniform samples spanning nine
+    /// decades (1 µs .. 1000 s in seconds).
+    #[test]
+    fn quantile_estimates_have_bounded_relative_error(
+        exponents in prop::collection::vec(-6.0f64..3.0, 1..400),
+    ) {
+        let values: Vec<f64> = exponents.iter().map(|e| 10f64.powf(*e)).collect();
+        let snap = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.5, 0.9, 0.99] {
+            let est = snap.quantile(q);
+            let exact = exact_quantile(&sorted, q);
+            let ratio = if est > exact { est / exact } else { exact / est };
+            prop_assert!(
+                ratio <= TOLERANCE,
+                "q={q}: estimate {est} vs exact {exact} (ratio {ratio}) over {} samples",
+                values.len()
+            );
+        }
+        // min/max/count/sum are exact, not estimates.
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert!((snap.min - sorted[0]).abs() <= 1e-12 * sorted[0]);
+        prop_assert!((snap.max - sorted[sorted.len() - 1]).abs() <= 1e-12 * snap.max);
+        let sum: f64 = values.iter().sum();
+        prop_assert!((snap.sum() - sum).abs() <= 1e-6 * sum.max(1.0));
+    }
+
+    /// Merging snapshots is associative and exact: recording a sample in
+    /// three disjoint parts and merging in either association equals
+    /// recording it whole.
+    #[test]
+    fn merge_is_associative_and_exact(
+        exponents in prop::collection::vec(-6.0f64..3.0, 3..300),
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+    ) {
+        let values: Vec<f64> = exponents.iter().map(|e| 10f64.powf(*e)).collect();
+        let n = values.len();
+        let (lo, hi) = if cut_a <= cut_b { (cut_a, cut_b) } else { (cut_b, cut_a) };
+        let i = ((lo * n as f64) as usize).min(n);
+        let j = ((hi * n as f64) as usize).clamp(i, n);
+        let a = record_all(&values[..i]);
+        let b = record_all(&values[i..j]);
+        let c = record_all(&values[j..]);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right, "merge must be associative");
+        // ... and equal to recording everything into one histogram.
+        let whole = record_all(&values);
+        prop_assert_eq!(&left, &whole, "merge must equal single-pass recording");
+    }
+
+    /// delta_since inverts merge on counts and sums: (a ⊕ b) − a = b for
+    /// the additive fields.
+    #[test]
+    fn delta_inverts_merge_on_additive_fields(
+        exp_a in prop::collection::vec(-6.0f64..3.0, 1..100),
+        exp_b in prop::collection::vec(-6.0f64..3.0, 1..100),
+    ) {
+        let a = record_all(&exp_a.iter().map(|e| 10f64.powf(*e)).collect::<Vec<_>>());
+        let b = record_all(&exp_b.iter().map(|e| 10f64.powf(*e)).collect::<Vec<_>>());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let d = ab.delta_since(&a);
+        prop_assert_eq!(d.count, b.count);
+        prop_assert_eq!(d.sum_nanos, b.sum_nanos);
+        prop_assert_eq!(&d.counts, &b.counts);
+    }
+}

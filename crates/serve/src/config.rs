@@ -56,6 +56,13 @@ pub struct ServeConfig {
     /// default) disables injection entirely — the per-batch check is a
     /// single branch on this `Option`.
     pub fault: Option<FaultPlan>,
+    /// End-to-end latency above which a request's full stage breakdown
+    /// (queue wait, batch wait, forward, worker, bucket, batch size) is
+    /// captured as a `serve/slow_request` event in the em-obs event ring
+    /// — the individual outliers behind a bad p99. `None` (the default)
+    /// disables capture; capture is also inert unless `EM_OBS` enables
+    /// observability.
+    pub slow_request_threshold: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +80,7 @@ impl Default for ServeConfig {
             max_requeues: 2,
             max_worker_restarts: 1024,
             fault: None,
+            slow_request_threshold: None,
         }
     }
 }
@@ -285,6 +293,14 @@ impl ServeConfigBuilder {
     /// Deterministic fault injection plan (chaos testing only).
     pub fn fault(mut self, plan: FaultPlan) -> Self {
         self.cfg.fault = Some(plan);
+        self
+    }
+
+    /// Capture a `serve/slow_request` event (full stage breakdown) for
+    /// every request slower end-to-end than `ms` milliseconds. `0` means
+    /// capture everything — handy for tests and short traces.
+    pub fn slow_request_threshold_ms(mut self, ms: u64) -> Self {
+        self.cfg.slow_request_threshold = Some(Duration::from_millis(ms));
         self
     }
 

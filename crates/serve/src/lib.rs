@@ -48,6 +48,7 @@ pub mod fault;
 pub mod frozen;
 pub mod matcher;
 pub mod supervisor;
+mod trace;
 
 pub use config::{RetryPolicy, ServeConfig, ServeConfigBuilder, ServeError};
 pub use fault::{Fault, FaultPlan};

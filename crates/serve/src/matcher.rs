@@ -28,6 +28,7 @@ use crate::cache::{CacheKey, LruCache};
 use crate::config::{ServeConfig, ServeError};
 use crate::frozen::FrozenMatcher;
 use crate::supervisor::{PoolCtx, Supervisor};
+use crate::trace::RequestTrace;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use em_core::Predictor;
 use em_data::{Dataset, EntityPair};
@@ -35,7 +36,6 @@ use em_tokenizers::Encoding;
 use em_transformers::Batch;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
 
 /// One queued scoring request: the encoding plus the channel its result
 /// travels back on.
@@ -44,9 +44,10 @@ pub(crate) struct Job {
     pub(crate) encoding: Encoding,
     /// Where the score (or typed failure) is delivered.
     pub(crate) resp: mpsc::Sender<Result<f32, ServeError>>,
-    /// When the request entered the queue; bounds how long it can sit in
-    /// a worker's pending bucket waiting for length-compatible company.
-    pub(crate) enqueued: Instant,
+    /// Lifecycle timestamps: `trace.enqueued` bounds how long the job can
+    /// sit in a worker's pending bucket waiting for length-compatible
+    /// company, and the rest feed the per-stage latency histograms.
+    pub(crate) trace: RequestTrace,
     /// How many times this job has been recovered from a dead worker;
     /// past [`ServeConfig::max_requeues`] the supervisor fails it instead
     /// of requeueing, so a poison request cannot kill the pool forever.
@@ -315,7 +316,7 @@ impl ServeMatcher {
         let job = Job {
             encoding: encoding.clone(),
             resp,
-            enqueued: Instant::now(),
+            trace: RequestTrace::start(),
             attempts: 0,
         };
         if self.config.shed {

@@ -28,12 +28,14 @@ use crate::config::{ServeConfig, ServeError};
 use crate::fault::{Fault, InjectedFault};
 use crate::frozen::FrozenMatcher;
 use crate::matcher::{Job, StatsInner};
+use crate::trace::BatchTiming;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use em_tokenizers::Encoding;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Everything a worker (or its replacement) needs to run.
 pub(crate) struct PoolCtx {
@@ -137,7 +139,7 @@ fn spawn_worker(
         .name(format!("em-serve-{id}"))
         .spawn(move || {
             let _sentinel = Sentinel { id, tx: life };
-            worker_loop(&ctx, &slot);
+            worker_loop(id, &ctx, &slot);
         })
         .expect("failed to spawn serving worker")
 }
@@ -220,7 +222,7 @@ fn supervise(ctx: Arc<PoolCtx>) {
 /// score them, reply. Identical batching policy to the pre-supervision
 /// matcher; the difference is that every job the worker owns lives in
 /// its slot while any panic-capable code runs.
-fn worker_loop(ctx: &PoolCtx, slot: &Slot) {
+fn worker_loop(id: usize, ctx: &PoolCtx, slot: &Slot) {
     if ctx.serialize_kernels {
         em_kernels::pool::serialize_current_thread();
     }
@@ -229,6 +231,7 @@ fn worker_loop(ctx: &PoolCtx, slot: &Slot) {
     let stats = &ctx.stats;
     let width = cfg.bucket_width(frozen.max_len);
     let max_len = frozen.max_len;
+    let worker_label = id.to_string();
     let mut disconnected = false;
     loop {
         // Batch head: the oldest stashed job, else block on the queue
@@ -239,7 +242,7 @@ fn worker_loop(ctx: &PoolCtx, slot: &Slot) {
                 .pending
                 .iter()
                 .filter(|(_, q)| !q.is_empty())
-                .min_by_key(|(_, q)| q.front().map(|j| j.enqueued))
+                .min_by_key(|(_, q)| q.front().map(|j| j.trace.enqueued))
                 .map(|(&k, _)| k);
             oldest.map(|k| {
                 held.pending
@@ -248,7 +251,7 @@ fn worker_loop(ctx: &PoolCtx, slot: &Slot) {
                     .expect("non-empty bucket")
             })
         };
-        let head = match stashed {
+        let mut head = match stashed {
             Some(job) => job,
             None if disconnected => return, // queue drained + all senders gone
             None => match ctx.rx.recv() {
@@ -256,9 +259,10 @@ fn worker_loop(ctx: &PoolCtx, slot: &Slot) {
                 Err(_) => return,
             },
         };
+        head.trace.mark_picked();
         let bucket = head.bucket(width, max_len);
         let capacity = cfg.bucket_capacity(max_len, bucket);
-        let deadline = head.enqueued + cfg.max_wait;
+        let deadline = head.trace.enqueued + cfg.max_wait;
         let mut jobs = vec![head];
         // Same-bucket stragglers from earlier rounds first…
         {
@@ -266,7 +270,10 @@ fn worker_loop(ctx: &PoolCtx, slot: &Slot) {
             if let Some(q) = held.pending.get_mut(&bucket) {
                 while jobs.len() < capacity {
                     match q.pop_front() {
-                        Some(job) => jobs.push(job),
+                        Some(mut job) => {
+                            job.trace.mark_picked();
+                            jobs.push(job);
+                        }
                         None => break,
                     }
                 }
@@ -276,7 +283,10 @@ fn worker_loop(ctx: &PoolCtx, slot: &Slot) {
         // length-incompatible arrivals in the slot.
         while jobs.len() < capacity && !disconnected {
             match ctx.rx.recv_deadline(deadline) {
-                Ok(job) if job.bucket(width, max_len) == bucket => jobs.push(job),
+                Ok(mut job) if job.bucket(width, max_len) == bucket => {
+                    job.trace.mark_picked();
+                    jobs.push(job);
+                }
                 Ok(job) => {
                     let b = job.bucket(width, max_len);
                     lock(slot).pending.entry(b).or_default().push_back(job);
@@ -313,6 +323,7 @@ fn worker_loop(ctx: &PoolCtx, slot: &Slot) {
                 None => {}
             }
         }
+        let forward_start = em_obs::enabled().then(Instant::now);
         let scores = frozen.score_encodings(&encodings);
         let jobs = std::mem::take(&mut lock(slot).inflight);
         stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -326,7 +337,27 @@ fn worker_loop(ctx: &PoolCtx, slot: &Slot) {
         em_obs::counter_add("serve/batch_examples", jobs.len() as u64);
         em_obs::gauge_set("serve/batch_fill", jobs.len() as f64 / capacity as f64);
         em_obs::gauge_set("serve/bucket_len", bucket as f64);
+        // Fold each request's trace into the per-stage latency
+        // histograms before its reply goes out. `forward_start` doubles
+        // as the enabled gate: when observability is off this is all
+        // skipped without a single clock read.
+        let timing = forward_start.map(|fs| {
+            em_obs::gauge_set("serve/queue_depth", ctx.rx.len() as f64);
+            BatchTiming {
+                forward_start: fs,
+                forward_end: Instant::now(),
+                worker: worker_label.clone(),
+                bucket,
+                batch_size: jobs.len(),
+            }
+        });
+        if let Some(t) = &timing {
+            t.record_batch();
+        }
         for (job, score) in jobs.into_iter().zip(scores) {
+            if let Some(t) = &timing {
+                t.record_request(&job.trace, cfg.slow_request_threshold);
+            }
             // A client that timed out dropped its receiver; that's its
             // loss, not a worker error.
             let _ = job.resp.send(Ok(score));

@@ -680,3 +680,97 @@ fn degraded_mode_answers_with_magellan_fallback() {
     assert!(stats.worker_restarts >= 1);
     assert!(stats.retries >= 1, "transient failures were retried first");
 }
+
+/// Request-lifecycle tracing: scoring through the pool populates the
+/// per-stage latency histograms (queue_wait, batch_wait, forward, e2e),
+/// per-worker labeled counters, and — with a zero slow-request
+/// threshold — a `serve/slow_request` event per request carrying the
+/// full stage breakdown.
+#[test]
+fn per_stage_histograms_and_slow_request_capture() {
+    em_obs::set_level(em_obs::LEVEL_AGGREGATE);
+    let frozen = tiny_frozen_matcher(Architecture::Bert, 21, 24);
+    let mut rng = StdRng::seed_from_u64(17);
+    let encodings: Vec<Encoding> = (0..12)
+        .map(|_| random_encoding(&mut rng, Architecture::Bert, 24))
+        .collect();
+    let cfg = ServeConfig::builder()
+        .workers(2)
+        .max_batch(4)
+        .cache_capacity(0)
+        .slow_request_threshold_ms(0) // every request is "slow": capture all
+        .build()
+        .unwrap();
+    let matcher = ServeMatcher::start(frozen, cfg);
+    let scores = matcher.score_encodings(&encodings).unwrap();
+    assert_eq!(scores.len(), encodings.len());
+
+    let n = encodings.len() as u64;
+    for stage in ["serve/queue_wait", "serve/batch_wait", "serve/e2e"] {
+        let h = em_obs::histogram_snapshot(stage)
+            .unwrap_or_else(|| panic!("{stage} histogram missing"));
+        assert!(
+            h.count >= n,
+            "{stage}: {} observations, want >= {n}",
+            h.count
+        );
+        assert!(h.p50() >= 0.0 && h.p99() >= h.p50() / em_obs::GROWTH.powi(2));
+    }
+    let fwd = em_obs::histogram_snapshot("serve/forward").expect("forward histogram");
+    assert!(fwd.count >= 1, "at least one batch was scored");
+    assert!(fwd.max > 0.0, "forward pass takes nonzero time");
+
+    // Stages telescope: queue_wait + batch_wait can never exceed e2e for
+    // the same traffic (compare sums, which are exact).
+    let qw = em_obs::histogram_snapshot("serve/queue_wait").unwrap();
+    let bw = em_obs::histogram_snapshot("serve/batch_wait").unwrap();
+    let e2e = em_obs::histogram_snapshot("serve/e2e").unwrap();
+    assert!(
+        qw.sum() + bw.sum() <= e2e.sum() + 1e-6,
+        "queue {} + batch {} vs e2e {}",
+        qw.sum(),
+        bw.sum(),
+        e2e.sum()
+    );
+
+    // Per-worker labeled counters cover every scored example.
+    let snap = em_obs::snapshot();
+    let worker_examples: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("serve/worker_examples{worker="))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(worker_examples >= n, "labeled counters: {worker_examples}");
+
+    // Every request crossed the zero threshold and left a slow event.
+    let events = em_obs::drain_events();
+    let slow: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "serve/slow_request")
+        .collect();
+    assert!(slow.len() >= n as usize, "slow events: {}", slow.len());
+    let fields: Vec<&str> = slow[0].fields.iter().map(|(k, _)| *k).collect();
+    for key in [
+        "e2e_ms",
+        "queue_wait_ms",
+        "batch_wait_ms",
+        "forward_ms",
+        "worker",
+        "bucket",
+        "batch_size",
+    ] {
+        assert!(
+            fields.contains(&key),
+            "slow event missing {key}: {fields:?}"
+        );
+    }
+
+    // The exposition includes the per-stage histogram series.
+    let text = em_obs::prometheus_text();
+    assert!(text.contains("# TYPE serve_e2e histogram"), "{text}");
+    assert!(text.contains("serve_e2e_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("serve_queue_wait_count"));
+    em_obs::set_level(em_obs::LEVEL_OFF);
+    em_obs::reset();
+}
