@@ -24,6 +24,17 @@
 //! request slower than `t` ms as a `serve/slow_request` event with its
 //! stage breakdown. See the "Latency" section of EXPERIMENTS.md.
 //!
+//! With `--load` the bench drives the **HTTP gateway over real
+//! sockets**: it spawns an in-process `em-gateway` on an ephemeral port
+//! per worker count and replays an open-loop request schedule (arrivals
+//! at `--rps`, independent of response times) through keep-alive HTTP
+//! clients, recording the saturation curve — achieved throughput and
+//! p50/p99 end-to-end latency per worker count, shed (429) counts
+//! included — to `results/gateway_load.json`. A second phase reruns the
+//! wire under chaos (injected worker panics every other batch) with
+//! client-side retry and asserts ≥ 0.99 availability *as the HTTP
+//! client sees it*. See the "Gateway" section of EXPERIMENTS.md.
+//!
 //! Methodology (see EXPERIMENTS.md): both paths pay the full cost per
 //! request — serialization, tokenization, forward pass. The sequential
 //! baseline calls `predict` with one pair at a time (the only serving
@@ -107,6 +118,62 @@ struct ChaosReport {
     /// Requests accepted by the matcher (retries resubmit, so this can
     /// exceed `pairs`).
     requests: u64,
+}
+
+/// One worker count's worth of the saturation curve in
+/// `gateway_load.json`.
+#[derive(Serialize)]
+struct LoadPoint {
+    workers: usize,
+    /// The open-loop arrival rate the schedule offered.
+    offered_rps: f64,
+    /// 200s actually delivered per second of wall clock.
+    achieved_rps: f64,
+    sent: usize,
+    ok: usize,
+    /// 429s — admission control turning the overflow away.
+    shed: usize,
+    /// 504s — requests that burned their whole deadline.
+    timeout: usize,
+    /// Socket failures and unexpected statuses.
+    errors: usize,
+    /// End-to-end latency quantiles of the 200s, measured from each
+    /// request's *scheduled* arrival (open-loop convention: time spent
+    /// waiting behind schedule counts against the server).
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    max_ms: f64,
+}
+
+/// The chaos-over-the-wire phase of `gateway_load.json`.
+#[derive(Serialize)]
+struct WireChaosReport {
+    requests: usize,
+    /// Requests that eventually got a 200, retries included.
+    answered: usize,
+    /// `answered / requests` from the HTTP client's point of view.
+    availability: f64,
+    /// Client-side retry attempts (on 429/503/504 and socket errors).
+    client_retries: u64,
+    fault_seed: u64,
+    panic_every: usize,
+    worker_restarts: u64,
+    shed_requests: u64,
+    server_retries: u64,
+}
+
+/// Everything `--load` writes to `results/gateway_load.json`.
+#[derive(Serialize)]
+struct GatewayLoadReport {
+    arch: String,
+    smoke: bool,
+    clients: usize,
+    requests_per_point: usize,
+    max_len: usize,
+    max_batch: usize,
+    saturation: Vec<LoadPoint>,
+    chaos: WireChaosReport,
 }
 
 /// Per-stage latency quantiles as reported in `serve_latency.json`.
@@ -436,8 +503,316 @@ fn chaos_run(args: &Args) {
     em_obs::finish_to("servebench-chaos", std::path::Path::new(RESULTS_DIR));
 }
 
+/// Nearest-rank percentile of an ascending-sorted latency list.
+fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Load mode: open-loop HTTP load against an in-process gateway, then a
+/// chaos phase where availability is measured from the client side of
+/// the socket. See the module docs.
+fn load_run(args: &Args) {
+    use em_core::api::MatchRequest;
+    use em_gateway::{Gateway, GatewayConfig, HttpClient};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    let smoke = args.has("smoke");
+    let requests: usize = args
+        .get("requests")
+        .unwrap_or(if smoke { 128 } else { 384 });
+    let max_workers: usize = args.get("workers").unwrap_or(if smoke { 2 } else { 4 });
+    let clients: usize = args
+        .get("clients")
+        .unwrap_or(if smoke { 4 } else { 8 })
+        .max(1);
+    // Smoke offers a gentle rate (CI just checks the pipeline works);
+    // the full run offers enough to saturate the low worker counts so
+    // the curve actually bends.
+    let rps: f64 = args
+        .get("rps")
+        .unwrap_or(if smoke { 200.0 } else { 1500.0 });
+    let max_batch: usize = args.get("batch").unwrap_or(8);
+    let max_len: usize = args.get("max-len").unwrap_or(32);
+    let seed: u64 = args.get("seed").unwrap_or(42);
+    let fault_seed: u64 = args.get("fault-seed").unwrap_or(1);
+
+    let arch = Architecture::Bert;
+    let corpus = em_data::generate_corpus(if smoke { 30 } else { 200 }, seed);
+    let tokenizer = train_tokenizer(arch, &corpus, if smoke { 200 } else { 400 });
+    let mut cfg = if smoke {
+        TransformerConfig::tiny(arch, tokenizer.vocab_size())
+    } else {
+        TransformerConfig::small(arch, tokenizer.vocab_size())
+    };
+    cfg.max_position = cfg.max_position.max(max_len);
+    let hidden = cfg.hidden;
+    let model = TransformerModel::new(cfg, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
+    // Each sweep point needs its own pool over its own frozen copy;
+    // freezing is cheap next to model construction.
+    let make_frozen = || freeze_parts(&model, &head, tokenizer.clone(), max_len);
+
+    // The wire workload: real serialized entity records as single-pair
+    // JSON bodies, reused cyclically up to `requests`.
+    let ds = DatasetId::AbtBuy.generate(0.05, seed);
+    let bodies: Vec<String> = (0..requests)
+        .map(|i| {
+            let p = &ds.pairs[i % ds.pairs.len()];
+            let req = MatchRequest::single(ds.serialize_record(&p.a), ds.serialize_record(&p.b));
+            serde_json::to_string(&req).expect("serialize request body")
+        })
+        .collect();
+    eprintln!(
+        "servebench --load: {requests} requests/point at {rps:.0} rps open-loop, \
+         {clients} clients, workers 1..={max_workers}"
+    );
+
+    // ---- Phase 1: saturation sweep over real sockets -----------------
+    let mut saturation = Vec::new();
+    let mut workers = 1;
+    while workers <= max_workers {
+        let serve_cfg = ServeConfig::builder()
+            .workers(workers)
+            .max_batch(max_batch)
+            .max_wait_ms(1)
+            .cache_capacity(0) // measure forwards, not cache hits
+            .queue_depth(64)
+            .shed(true)
+            .request_timeout_ms(5_000)
+            .build()
+            .expect("valid load serve config");
+        let matcher = Arc::new(ServeMatcher::start(make_frozen(), serve_cfg));
+        let gateway = Gateway::spawn(Arc::clone(&matcher), GatewayConfig::default())
+            .expect("gateway binds an ephemeral port");
+        let addr = gateway.addr();
+
+        let next = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        // (status, latency from scheduled arrival) per request; 0 = io error.
+        let outcomes: Vec<(u16, f64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let next = &next;
+                    let bodies = &bodies;
+                    s.spawn(move || {
+                        let mut client = HttpClient::connect(addr).expect("client addr");
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= bodies.len() {
+                                return out;
+                            }
+                            // Open loop: request i is *due* at t0 + i/rps
+                            // no matter how slow the server is.
+                            let due = t0 + Duration::from_secs_f64(i as f64 / rps);
+                            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                            let status = match client.post_json("/match", &bodies[i]) {
+                                Ok(resp) => resp.status,
+                                Err(_) => 0,
+                            };
+                            out.push((status, due.elapsed().as_secs_f64() * 1e3));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("load client panicked"))
+                .collect()
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        drop(gateway);
+        drop(matcher);
+
+        let ok_count = outcomes.iter().filter(|(s, _)| *s == 200).count();
+        let shed = outcomes.iter().filter(|(s, _)| *s == 429).count();
+        let timeout = outcomes.iter().filter(|(s, _)| *s == 504).count();
+        let errors = outcomes.len() - ok_count - shed - timeout;
+        let mut lat: Vec<f64> = outcomes
+            .iter()
+            .filter(|(s, _)| *s == 200)
+            .map(|(_, l)| *l)
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        let point = LoadPoint {
+            workers,
+            offered_rps: rps,
+            achieved_rps: ok_count as f64 / wall,
+            sent: outcomes.len(),
+            ok: ok_count,
+            shed,
+            timeout,
+            errors,
+            p50_ms: percentile_ms(&lat, 0.50),
+            p99_ms: percentile_ms(&lat, 0.99),
+            mean_ms: if lat.is_empty() {
+                0.0
+            } else {
+                lat.iter().sum::<f64>() / lat.len() as f64
+            },
+            max_ms: lat.last().copied().unwrap_or(0.0),
+        };
+        eprintln!(
+            "load x{workers}: {:.1}/s achieved of {rps:.0}/s offered — \
+             p50 {:.1}ms p99 {:.1}ms ({} ok, {} shed, {} timeout, {} errors)",
+            point.achieved_rps,
+            point.p50_ms,
+            point.p99_ms,
+            point.ok,
+            point.shed,
+            point.timeout,
+            point.errors
+        );
+        assert!(
+            point.ok > 0,
+            "no request succeeded at {workers} workers — the gateway is not serving"
+        );
+        saturation.push(point);
+        workers *= 2;
+    }
+
+    // ---- Phase 2: chaos over the wire, availability as the client sees
+    // it. Workers panic on average every other batch; the only recovery
+    // the client brings is retry-with-backoff on retryable statuses.
+    let plan = FaultPlan {
+        seed: fault_seed,
+        panic_every: 2,
+        delay_every: 7,
+        delay: Duration::from_millis(2),
+        error_every: 5,
+    };
+    let serve_cfg = ServeConfig::builder()
+        .workers(2)
+        .max_batch(max_batch)
+        .max_wait_ms(1)
+        .cache_capacity(0)
+        .request_timeout_ms(5_000)
+        .shed(true)
+        .max_requeues(2)
+        .fault(plan.clone())
+        .build()
+        .expect("valid wire-chaos serve config");
+    let matcher = Arc::new(ServeMatcher::start(make_frozen(), serve_cfg));
+    let gateway = Gateway::spawn(Arc::clone(&matcher), GatewayConfig::default())
+        .expect("gateway binds an ephemeral port");
+    let addr = gateway.addr();
+    eprintln!(
+        "load chaos: {} requests over the wire, panic 1/{}, delay 1/{}, error 1/{}",
+        bodies.len(),
+        plan.panic_every,
+        plan.delay_every,
+        plan.error_every
+    );
+
+    let retries = AtomicU64::new(0);
+    let next = AtomicUsize::new(0);
+    let answered: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let next = &next;
+                let bodies = &bodies;
+                let retries = &retries;
+                s.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("client addr");
+                    let mut answered = 0usize;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= bodies.len() {
+                            return answered;
+                        }
+                        // The whole point: a plain HTTP client with
+                        // bounded retry sees an available service even
+                        // while workers panic underneath. With panics
+                        // every other batch an attempt fails ~1/3 of
+                        // the time; 8 attempts push per-request failure
+                        // odds below 1e-3.
+                        for attempt in 0..8u32 {
+                            let retryable = match client.post_json("/match", &bodies[i]) {
+                                Ok(resp) if resp.status == 200 => {
+                                    answered += 1;
+                                    break;
+                                }
+                                Ok(resp) => [429, 503, 504].contains(&resp.status),
+                                Err(_) => true,
+                            };
+                            if !retryable || attempt == 7 {
+                                break;
+                            }
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(2u64 << attempt.min(5)));
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos client panicked"))
+            .sum()
+    });
+    let stats = matcher.stats();
+    drop(gateway);
+    drop(matcher);
+    let availability = answered as f64 / bodies.len() as f64;
+    eprintln!(
+        "load chaos: availability {availability:.4} — {} client retries, \
+         {} worker restarts, {} shed",
+        retries.load(Ordering::Relaxed),
+        stats.worker_restarts,
+        stats.shed
+    );
+    assert!(
+        availability >= 0.99,
+        "wire availability {availability} below the 0.99 floor"
+    );
+
+    let report = GatewayLoadReport {
+        arch: arch.name().to_string(),
+        smoke,
+        clients,
+        requests_per_point: requests,
+        max_len,
+        max_batch,
+        saturation,
+        chaos: WireChaosReport {
+            requests: bodies.len(),
+            answered,
+            availability,
+            client_retries: retries.load(Ordering::Relaxed),
+            fault_seed,
+            panic_every: plan.panic_every,
+            worker_restarts: stats.worker_restarts,
+            shed_requests: stats.shed,
+            server_retries: stats.retries,
+        },
+    };
+    let path = std::path::PathBuf::from(RESULTS_DIR).join("gateway_load.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize load report"),
+    )
+    .expect("write gateway_load.json");
+    eprintln!("[saved] {}", path.display());
+    em_obs::finish_to("servebench-load", std::path::Path::new(RESULTS_DIR));
+}
+
 fn main() {
     let args = Args::parse();
+    if args.has("load") {
+        load_run(&args);
+        return;
+    }
     if args.has("chaos") {
         chaos_run(&args);
         return;

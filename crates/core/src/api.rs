@@ -1,0 +1,371 @@
+//! The stable text-in / score-out wire contract.
+//!
+//! DITTO and AnyMatch (see PAPERS.md) settled entity matching on one
+//! network-friendly shape: two serialized entity strings in, one match
+//! probability out. This module is that shape as typed, versioned JSON —
+//! the single source of truth shared by the `em-gateway` HTTP server, the
+//! `servebench --load` generator, and any other client. Nothing here
+//! knows about tokenizers or `Encoding`s: the server tokenizes on
+//! submit, so the wire carries only text.
+//!
+//! # Request schema (`POST /match`)
+//!
+//! Single pair:
+//!
+//! ```json
+//! {"left": "sony vaio 15in laptop", "right": "sony vaio 15.5\" notebook"}
+//! ```
+//!
+//! Batch:
+//!
+//! ```json
+//! {"pairs": [{"left": "a", "right": "b"}, {"left": "c", "right": "d"}]}
+//! ```
+//!
+//! Both forms accept two optional fields:
+//!
+//! * `"deadline_ms"` — per-request deadline in milliseconds. The server
+//!   answers within this budget or fails the request with a timeout
+//!   (HTTP 504). Omitted means the server's default applies.
+//! * `"threshold"` — match-decision cutoff in `[0, 1]`; a pair is
+//!   reported as a match when `score > threshold`. Omitted means the
+//!   strict-majority default of `0.5`.
+//!
+//! # Response schema
+//!
+//! ```json
+//! {
+//!   "results": [{"score": 0.93, "is_match": true}],
+//!   "count": 1
+//! }
+//! ```
+//!
+//! `results` is index-aligned with the request's pairs. `score` is the
+//! positive-class match probability; `is_match` applies the request's
+//! threshold.
+//!
+//! # Error schema
+//!
+//! Every non-2xx response carries an [`ErrorBody`]:
+//!
+//! ```json
+//! {"code": "overloaded", "error": "request shed: the serving queue is at capacity", "retryable": true}
+//! ```
+//!
+//! `code` is a stable machine-readable identifier (`bad_request`,
+//! `invalid_length`, `overloaded`, `timeout`, `unavailable`, …);
+//! `error` is human-readable and may change; `retryable` tells clients
+//! whether a retry with backoff can plausibly succeed.
+//!
+//! # Stability
+//!
+//! Serialization always emits the batch form (`pairs`) — the canonical
+//! shape — while deserialization accepts both forms, so old clients keep
+//! working as the schema grows. Unknown fields are ignored on input.
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// Ceiling on pairs per request; a wire-level guard so one request
+/// cannot occupy the scoring queue indefinitely (HTTP 400 beyond it).
+pub const MAX_PAIRS_PER_REQUEST: usize = 1024;
+
+/// One entity pair as serialized text — the DITTO-style unit of work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TextPair {
+    /// Serialized attribute text of the left entity.
+    pub left: String,
+    /// Serialized attribute text of the right entity.
+    pub right: String,
+}
+
+impl TextPair {
+    /// Build a pair from anything string-like.
+    pub fn new(left: impl Into<String>, right: impl Into<String>) -> Self {
+        Self {
+            left: left.into(),
+            right: right.into(),
+        }
+    }
+}
+
+/// A `POST /match` request: one or more text pairs plus optional
+/// per-request deadline and decision threshold. See the module docs for
+/// the JSON schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchRequest {
+    /// The pairs to score, in order.
+    pub pairs: Vec<TextPair>,
+    /// Per-request deadline in milliseconds; `None` means the server
+    /// default.
+    pub deadline_ms: Option<u64>,
+    /// Match-decision cutoff in `[0, 1]`; `None` means `0.5`.
+    pub threshold: Option<f32>,
+}
+
+impl MatchRequest {
+    /// A single-pair request with default deadline and threshold.
+    pub fn single(left: impl Into<String>, right: impl Into<String>) -> Self {
+        Self {
+            pairs: vec![TextPair::new(left, right)],
+            deadline_ms: None,
+            threshold: None,
+        }
+    }
+
+    /// A batch request with default deadline and threshold.
+    pub fn batch(pairs: Vec<TextPair>) -> Self {
+        Self {
+            pairs,
+            deadline_ms: None,
+            threshold: None,
+        }
+    }
+
+    /// The effective decision threshold (`0.5` unless overridden).
+    pub fn effective_threshold(&self) -> f32 {
+        self.threshold.unwrap_or(0.5)
+    }
+
+    /// Reject requests that are empty, oversized, or carry an
+    /// out-of-range threshold. The returned message is safe to echo into
+    /// an [`ErrorBody`] as a `bad_request`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pairs.is_empty() {
+            return Err("request contains no pairs".into());
+        }
+        if self.pairs.len() > MAX_PAIRS_PER_REQUEST {
+            return Err(format!(
+                "request contains {} pairs; the limit is {MAX_PAIRS_PER_REQUEST}",
+                self.pairs.len()
+            ));
+        }
+        if let Some(t) = self.threshold {
+            if !(0.0..=1.0).contains(&t) || t.is_nan() {
+                return Err(format!("threshold {t} must lie in [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for MatchRequest {
+    /// Always emits the canonical batch form (`pairs`), with the
+    /// optional fields omitted when unset.
+    fn ser(&self) -> Value {
+        let mut fields = vec![("pairs".to_string(), self.pairs.ser())];
+        if let Some(d) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), d.ser()));
+        }
+        if let Some(t) = self.threshold {
+            fields.push(("threshold".to_string(), t.ser()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for MatchRequest {
+    /// Accepts both wire forms: `{"left", "right", ..}` and
+    /// `{"pairs": [..], ..}`. A request with *both* shapes is rejected as
+    /// ambiguous; unknown fields are ignored.
+    fn de(v: &Value) -> Result<Self, SerdeError> {
+        let obj = match v {
+            Value::Object(_) => v,
+            other => return Err(SerdeError::expected("object", other)),
+        };
+        let has_single = obj.get_field("left").is_some() || obj.get_field("right").is_some();
+        let has_batch = obj.get_field("pairs").is_some();
+        let pairs = match (has_single, has_batch) {
+            (true, true) => {
+                return Err(SerdeError(
+                    "request mixes the single form (left/right) with the batch form (pairs)".into(),
+                ))
+            }
+            (true, false) => {
+                let field = |name: &str| -> Result<String, SerdeError> {
+                    String::de(
+                        obj.get_field(name)
+                            .ok_or_else(|| SerdeError(format!("missing field `{name}`")))?,
+                    )
+                };
+                vec![TextPair {
+                    left: field("left")?,
+                    right: field("right")?,
+                }]
+            }
+            (false, true) => Vec::<TextPair>::de(obj.get_field("pairs").expect("has_batch"))?,
+            (false, false) => {
+                return Err(SerdeError(
+                    "request needs either left/right or a pairs array".into(),
+                ))
+            }
+        };
+        let deadline_ms = match obj.get_field("deadline_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(u64::de(v)?),
+        };
+        let threshold = match obj.get_field("threshold") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(f32::de(v)?),
+        };
+        Ok(Self {
+            pairs,
+            deadline_ms,
+            threshold,
+        })
+    }
+}
+
+/// One scored pair in a [`MatchResponse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchResult {
+    /// Positive-class match probability in `[0, 1]`.
+    pub score: f32,
+    /// Whether `score` exceeds the request's effective threshold.
+    pub is_match: bool,
+}
+
+/// A successful `POST /match` response; `results` is index-aligned with
+/// the request's pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchResponse {
+    /// One result per requested pair, in request order.
+    pub results: Vec<MatchResult>,
+    /// `results.len()`, duplicated for cheap client-side sanity checks.
+    pub count: usize,
+}
+
+impl MatchResponse {
+    /// Build a response from raw scores and the request's threshold.
+    pub fn from_scores(scores: impl IntoIterator<Item = f32>, threshold: f32) -> Self {
+        let results: Vec<MatchResult> = scores
+            .into_iter()
+            .map(|score| MatchResult {
+                score,
+                is_match: score > threshold,
+            })
+            .collect();
+        let count = results.len();
+        Self { results, count }
+    }
+}
+
+/// The JSON body of every non-2xx gateway response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Stable machine-readable error identifier (e.g. `"overloaded"`,
+    /// `"timeout"`, `"bad_request"`). Clients branch on this, never on
+    /// `error`.
+    pub code: String,
+    /// Human-readable description; free to change between releases.
+    pub error: String,
+    /// Whether a client retry with backoff can plausibly succeed.
+    pub retryable: bool,
+}
+
+impl ErrorBody {
+    /// Build an error body.
+    pub fn new(code: impl Into<String>, error: impl Into<String>, retryable: bool) -> Self {
+        Self {
+            code: code.into(),
+            error: error.into(),
+            retryable,
+        }
+    }
+
+    /// The canonical malformed-request body (HTTP 400, not retryable).
+    pub fn bad_request(error: impl Into<String>) -> Self {
+        Self::new("bad_request", error, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_form_round_trips_through_batch_form() {
+        let req = MatchRequest::single("left text", "right text");
+        let json = serde_json::to_string(&req).unwrap();
+        // Canonical serialization is the batch form.
+        assert!(json.contains("\"pairs\""), "{json}");
+        let back: MatchRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn deserializes_single_form() {
+        let req: MatchRequest =
+            serde_json::from_str(r#"{"left": "a b", "right": "c", "deadline_ms": 250}"#).unwrap();
+        assert_eq!(req.pairs, vec![TextPair::new("a b", "c")]);
+        assert_eq!(req.deadline_ms, Some(250));
+        assert_eq!(req.threshold, None);
+        assert_eq!(req.effective_threshold(), 0.5);
+    }
+
+    #[test]
+    fn deserializes_batch_form_with_threshold() {
+        let req: MatchRequest = serde_json::from_str(
+            r#"{"pairs": [{"left":"a","right":"b"},{"left":"c","right":"d"}], "threshold": 0.7}"#,
+        )
+        .unwrap();
+        assert_eq!(req.pairs.len(), 2);
+        assert_eq!(req.threshold, Some(0.7));
+        assert!(req.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_ambiguous_and_empty_requests() {
+        assert!(serde_json::from_str::<MatchRequest>(
+            r#"{"left":"a","right":"b","pairs":[{"left":"c","right":"d"}]}"#
+        )
+        .is_err());
+        assert!(serde_json::from_str::<MatchRequest>(r#"{"deadline_ms": 5}"#).is_err());
+        assert!(serde_json::from_str::<MatchRequest>(r#"{"left":"a"}"#).is_err());
+        let empty = MatchRequest::batch(Vec::new());
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn validate_bounds_threshold_and_size() {
+        let mut req = MatchRequest::single("a", "b");
+        req.threshold = Some(1.5);
+        assert!(req.validate().is_err());
+        req.threshold = Some(f32::NAN);
+        assert!(req.validate().is_err());
+        req.threshold = Some(0.5);
+        assert!(req.validate().is_ok());
+        let big = MatchRequest::batch(vec![TextPair::new("a", "b"); MAX_PAIRS_PER_REQUEST + 1]);
+        assert!(big.validate().is_err());
+    }
+
+    #[test]
+    fn response_applies_threshold_strictly() {
+        let resp = MatchResponse::from_scores([0.2, 0.5, 0.9], 0.5);
+        assert_eq!(resp.count, 3);
+        assert_eq!(
+            resp.results.iter().map(|r| r.is_match).collect::<Vec<_>>(),
+            vec![false, false, true],
+            "ties resolve to non-match"
+        );
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: MatchResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn error_body_round_trips() {
+        let e = ErrorBody::new("timeout", "deadline exceeded", true);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ErrorBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        assert!(!ErrorBody::bad_request("nope").retryable);
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let req: MatchRequest =
+            serde_json::from_str(r#"{"left":"a","right":"b","future_knob":{"nested":[1,2]}}"#)
+                .unwrap();
+        assert_eq!(req.pairs.len(), 1);
+    }
+}

@@ -22,12 +22,14 @@
 //! println!("best F1: {:.1}%", curve.mean_best_f1);
 //! ```
 
+pub mod api;
 pub mod experiment;
 pub mod finetune;
 pub mod longtext;
 pub mod pipeline;
 pub mod predictor;
 
+pub use api::{ErrorBody, MatchRequest, MatchResponse, MatchResult, TextPair};
 pub use experiment::{
     get_or_pretrain, run_baselines, transformer_curve, BaselineResult, Checkpoint, CurveSummary,
     ExperimentConfig, ExperimentConfigBuilder, ModelScale,

@@ -1,0 +1,117 @@
+//! A minimal blocking HTTP client for the gateway's own API.
+//!
+//! Exists so the integration tests and the `servebench --load` generator
+//! can exercise the gateway **over real sockets** without pulling in an
+//! HTTP dependency. [`HttpClient`] keeps one connection alive across
+//! requests (what a load generator needs — connection setup would
+//! otherwise dominate the latency it is trying to measure);
+//! [`http_request`] is the one-shot convenience for tests and scripts.
+
+use crate::http::{read_response, write_request, HttpResponse};
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One-shot request on a fresh connection (`Connection: close`).
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let mut client = HttpClient::connect(addr)?;
+    client.keep_alive = false;
+    client.request(method, path, body)
+}
+
+/// A keep-alive HTTP/1.1 client pinned to one address.
+///
+/// One connection is reused across requests and transparently re-dialed
+/// once if the server closed it (keep-alive sessions legitimately end —
+/// idle timeout, server restart); a failure on the fresh connection is
+/// reported to the caller.
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Per-request socket timeout (read and write). Default 30 s.
+    pub timeout: Duration,
+    /// Ask the server to keep the connection open (the default). The
+    /// one-shot [`http_request`] turns this off.
+    pub keep_alive: bool,
+}
+
+impl HttpClient {
+    /// Create a client for `addr`, dialing lazily on first request.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Ok(Self {
+            addr,
+            stream: None,
+            timeout: Duration::from_secs(30),
+            keep_alive: true,
+        })
+    }
+
+    fn dial(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let s = TcpStream::connect(self.addr)?;
+            s.set_read_timeout(Some(self.timeout))?;
+            s.set_write_timeout(Some(self.timeout))?;
+            s.set_nodelay(true)?;
+            self.stream = Some(s);
+        }
+        Ok(self.stream.as_mut().expect("just set"))
+    }
+
+    /// Issue one request and read the full response. `body`, when given,
+    /// is sent as `application/json`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let reused = self.stream.is_some();
+        match self.try_request(method, path, body) {
+            // A dead reused connection is expected (server idle timeout,
+            // restart); retry exactly once on a fresh dial.
+            Err(_) if reused => {
+                self.stream = None;
+                self.try_request(method, path, body)
+            }
+            other => other,
+        }
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post_json(&mut self, path: &str, json: &str) -> io::Result<HttpResponse> {
+        self.request("POST", path, Some(json))
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let keep_alive = self.keep_alive;
+        let stream = self.dial()?;
+        write_request(stream, method, path, body, keep_alive)?;
+        stream.flush()?;
+        let resp = {
+            let mut reader = BufReader::new(stream.try_clone()?);
+            read_response(&mut reader)?
+        };
+        let server_closes = resp
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        if !keep_alive || server_closes {
+            self.stream = None;
+        }
+        Ok(resp)
+    }
+}

@@ -1,0 +1,355 @@
+//! A deliberately small HTTP/1.1 subset: request parsing and response
+//! writing over blocking streams.
+//!
+//! The gateway needs exactly what a JSON scoring API uses — methods,
+//! paths, `Content-Length` bodies and keep-alive — and nothing else (no
+//! chunked transfer, no trailers, no continuation lines). Keeping the
+//! parser this small is what lets the crate stay dependency-free; the
+//! limits ([`MAX_LINE_BYTES`], [`MAX_HEADERS`], the caller-supplied body
+//! cap) bound what one connection can make the server buffer.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Longest accepted request/status/header line, in bytes.
+pub(crate) const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Most headers accepted on one message.
+pub(crate) const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// Uppercase method token as received (`GET`, `POST`, …).
+    pub(crate) method: String,
+    /// Request target, query string included, as received.
+    pub(crate) path: String,
+    /// Header name/value pairs; names lowercased, values trimmed.
+    pub(crate) headers: Vec<(String, String)>,
+    /// Raw body bytes (`Content-Length` worth of them).
+    pub(crate) body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub(crate) fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this exchange.
+    /// HTTP/1.1 defaults to keep-alive unless the client says `close`.
+    pub(crate) fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub(crate) enum HttpError {
+    /// The bytes were not a well-formed request; the connection is
+    /// poisoned and must close after the error response.
+    BadRequest(String),
+    /// `Content-Length` exceeded the configured body cap (HTTP 413).
+    PayloadTooLarge { got: usize, cap: usize },
+    /// The socket failed or timed out mid-message.
+    Io(io::Error),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one line (up to CRLF or LF), enforcing [`MAX_LINE_BYTES`].
+/// Returns `None` on clean EOF before any byte.
+fn read_line_capped<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_LINE_BYTES as u64 + 1)
+        .read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n > MAX_LINE_BYTES {
+        return Err(HttpError::BadRequest(format!(
+            "line exceeds {MAX_LINE_BYTES} bytes"
+        )));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Parse `name: value` headers until the blank line, enforcing
+/// [`MAX_HEADERS`]. Shared by request and response parsing.
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_capped(reader)?
+            .ok_or_else(|| HttpError::BadRequest("connection closed mid-headers".into()))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::BadRequest(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+/// Read the `Content-Length` body indicated by `headers` (empty when the
+/// header is absent), enforcing `max_body` bytes.
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    headers: &[(String, String)],
+    max_body: usize,
+) -> Result<Vec<u8>, HttpError> {
+    let len = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => return Ok(Vec::new()),
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?,
+    };
+    if len > max_body {
+        return Err(HttpError::PayloadTooLarge {
+            got: len,
+            cap: max_body,
+        });
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Read one request off the connection. `Ok(None)` means the peer closed
+/// cleanly between requests (the normal end of a keep-alive session).
+pub(crate) fn read_request<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let line = match read_line_capped(reader)? {
+        None => return Ok(None),
+        // Tolerate a stray blank line between pipelined requests.
+        Some(l) if l.is_empty() => match read_line_capped(reader)? {
+            None => return Ok(None),
+            Some(l) => l,
+        },
+        Some(l) => l,
+    };
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers, max_body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// The reason phrase for the status codes this API emits.
+pub(crate) fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write one complete response, with `Content-Length` always set so the
+/// peer can reuse the connection.
+pub(crate) fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.flush()
+}
+
+/// Write one complete request (client side). `body`, when present, is
+/// sent as `application/json` with `Content-Length`.
+pub(crate) fn write_request<W: Write>(
+    w: &mut W,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let body = body.unwrap_or("");
+    write!(
+        w,
+        "{method} {path} HTTP/1.1\r\nhost: em-gateway\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{body}",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.flush()
+}
+
+/// A parsed HTTP response (client side).
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Numeric status code.
+    pub status: u16,
+    /// Header name/value pairs; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Body decoded as UTF-8 (this API only emits JSON and Prometheus
+    /// text).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the status is in the 2xx range.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Read one response off the connection (client side). Requires
+/// `Content-Length` — which this crate's server always sets.
+pub(crate) fn read_response<R: BufRead>(reader: &mut R) -> io::Result<HttpResponse> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let to_io = |e: HttpError| match e {
+        HttpError::Io(e) => e,
+        HttpError::BadRequest(m) => bad(m),
+        HttpError::PayloadTooLarge { got, cap } => bad(format!("body {got} exceeds cap {cap}")),
+    };
+    let line = read_line_capped(reader)
+        .map_err(to_io)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "closed before status"))?;
+    // "HTTP/1.1 200 OK" — the reason phrase may contain spaces.
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad(format!("malformed status line {line:?}")))?;
+    let headers = read_headers(reader).map_err(to_io)?;
+    // Responses are trusted (we talk to our own gateway); cap generously.
+    let body = read_body(reader, &headers, 64 * 1024 * 1024).map_err(to_io)?;
+    let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 response body".into()))?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /match HTTP/1.1\r\ncontent-length: 4\r\nHost: x\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/match");
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.header("host"), Some("x"), "names lowercase");
+        assert!(req.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: Close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_clean_close() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_and_oversized_inputs_are_typed_errors() {
+        assert!(matches!(
+            parse("nonsense\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\ncontent-length: 9999\r\n\r\n"),
+            Err(HttpError::PayloadTooLarge {
+                got: 9999,
+                cap: 1024
+            })
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\ncontent-length: wat\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_LINE_BYTES));
+        assert!(matches!(parse(&long), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 429, "application/json", "{\"a\":1}", true).unwrap();
+        let resp = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(resp.status, 429);
+        assert!(!resp.is_success());
+        assert_eq!(resp.body, "{\"a\":1}");
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+    }
+}

@@ -1,0 +1,437 @@
+//! # em-gateway
+//!
+//! The HTTP front end of the serving stack: raw entity text over the
+//! wire, match probabilities back. A dependency-free threaded HTTP/1.1
+//! server that puts the [`em_core::api`] wire contract in front of a
+//! [`ServeMatcher`]:
+//!
+//! | route | method | behavior |
+//! |---|---|---|
+//! | `/match` | POST | score one pair or a batch of [`em_core::api::MatchRequest`] pairs |
+//! | `/healthz` | GET | liveness: `{"status":"ok"}` |
+//! | `/metrics` | GET | the em-obs registry in Prometheus exposition format |
+//!
+//! The gateway owns **tokenization** (via the matcher's raw-text front
+//! door, [`ServeMatcher::score_texts_deadline`]), **deadlines** (each
+//! request's `deadline_ms` becomes the matcher's wall-clock budget;
+//! expiry is HTTP 504), and **HTTP error mapping** (every
+//! [`em_serve::ServeError`] becomes a status + stable
+//! [`em_core::api::ErrorBody`] through the single
+//! [`em_serve::ServeError::to_http`] table — shed is 429, timeout 504,
+//! malformed JSON 400).
+//!
+//! Backpressure is layered: the matcher's bounded queue sheds scoring
+//! work ([`em_serve::ServeConfig::shed`] → 429, retryable), while the
+//! gateway's [`GatewayConfig::max_connections`] cap rejects whole
+//! connections (503) before they can buffer requests — the two bounds
+//! keep both queue wait and open-socket memory flat under overload.
+//!
+//! Threading model: one accept thread plus one thread per live
+//! connection (bounded by `max_connections`), each running a blocking
+//! keep-alive loop. No async runtime — connection counts in this
+//! system's regime (tens) are far below where thread-per-connection
+//! stops scaling, and every scoring call blocks on the worker pool
+//! anyway.
+//!
+//! ```no_run
+//! use em_gateway::{Gateway, GatewayConfig};
+//! use em_serve::{FrozenMatcher, ServeConfig, ServeMatcher};
+//! use std::sync::Arc;
+//!
+//! # fn demo(frozen: FrozenMatcher) -> std::io::Result<()> {
+//! let matcher = ServeMatcher::start(frozen, ServeConfig::default());
+//! let gw = Gateway::spawn(Arc::new(matcher), GatewayConfig::default())?;
+//! println!("listening on http://{}", gw.addr());
+//! // POST {"left": "...", "right": "..."} to /match
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod client;
+mod http;
+
+pub use client::{http_request, HttpClient};
+pub use http::HttpResponse;
+
+use em_core::api::{ErrorBody, MatchRequest, MatchResponse};
+use em_serve::ServeMatcher;
+use serde::Serialize;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const JSON: &str = "application/json";
+/// The content type Prometheus scrapers expect.
+const PROM: &str = "text/plain; version=0.0.4";
+
+/// Tuning knobs for the HTTP front end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayConfig {
+    /// Bind address; port `0` asks the OS for an ephemeral port (read it
+    /// back from [`Gateway::addr`]).
+    pub addr: String,
+    /// Ceiling on concurrently open connections; further connects are
+    /// answered `503` and closed immediately, bounding socket and thread
+    /// usage the way the matcher's queue bounds scoring work.
+    pub max_connections: usize,
+    /// Deadline applied to `/match` requests that do not send
+    /// `deadline_ms`.
+    pub default_deadline: Duration,
+    /// Hard ceiling on any client-requested deadline, so one request
+    /// cannot pin a connection arbitrarily long.
+    pub max_deadline: Duration,
+    /// Largest accepted request body; beyond it the request is answered
+    /// `413` without buffering the body.
+    pub max_body_bytes: usize,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before the gateway closes it (also the per-read socket timeout).
+    pub idle_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    /// Ephemeral port, 64 connections, 10 s default / 60 s max deadline,
+    /// 1 MiB bodies, 30 s idle timeout.
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            default_deadline: Duration::from_secs(10),
+            max_deadline: Duration::from_secs(60),
+            max_body_bytes: 1024 * 1024,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Reject configurations that cannot serve at all.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_connections == 0 {
+            return Err("max_connections must be >= 1".into());
+        }
+        if self.default_deadline.is_zero() || self.max_deadline.is_zero() {
+            return Err("deadlines must be non-zero".into());
+        }
+        if self.max_deadline < self.default_deadline {
+            return Err(format!(
+                "max_deadline ({:?}) must be >= default_deadline ({:?})",
+                self.max_deadline, self.default_deadline
+            ));
+        }
+        if self.max_body_bytes == 0 {
+            return Err("max_body_bytes must be >= 1".into());
+        }
+        if self.idle_timeout.is_zero() {
+            return Err("idle_timeout must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    matcher: Arc<ServeMatcher>,
+    cfg: GatewayConfig,
+    active: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// A running HTTP gateway; dropping it (or calling
+/// [`Gateway::shutdown`]) stops accepting connections.
+///
+/// Connections already open finish their in-flight request and then
+/// observe the closed listener on their next read (bounded by
+/// [`GatewayConfig::idle_timeout`]); the [`ServeMatcher`] itself is
+/// owned by the caller via `Arc` and outlives the gateway.
+pub struct Gateway {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Bind `cfg.addr` and start serving `matcher` on a background
+    /// accept thread. Returns once the listener is live — the bound
+    /// address (with the real port) is [`Gateway::addr`].
+    pub fn spawn(matcher: Arc<ServeMatcher>, cfg: GatewayConfig) -> io::Result<Gateway> {
+        cfg.validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            matcher,
+            cfg,
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("em-gateway-accept".to_string())
+                .spawn(move || accept_loop(listener, shared))?
+        };
+        Ok(Gateway {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address, ephemeral port resolved.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently open.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Block until the accept loop exits (i.e. until another thread calls
+    /// [`Gateway::shutdown`] or the listener fails). What the binary's
+    /// main thread parks on.
+    pub fn wait(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `accept()`; a throwaway connect
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        self.wait();
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Connection-level admission control, the outer ring of the
+        // backpressure story: beyond the cap we answer 503 and close
+        // instead of queueing unbounded sockets/threads.
+        let active = shared.active.fetch_add(1, Ordering::SeqCst);
+        if active >= shared.cfg.max_connections {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            em_obs::counter_inc("gateway/conn_rejected");
+            let body = json(&ErrorBody::new(
+                "overloaded",
+                format!(
+                    "connection limit {} reached; retry with backoff",
+                    shared.cfg.max_connections
+                ),
+                true,
+            ));
+            reject_connection(stream, &body);
+            continue;
+        }
+        em_obs::counter_inc("gateway/conn_accepted");
+        em_obs::gauge_set("gateway/active_connections", (active + 1) as f64);
+        let shared2 = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("em-gateway-conn".to_string())
+            .spawn(move || {
+                handle_connection(stream, &shared2);
+                let now = shared2.active.fetch_sub(1, Ordering::SeqCst) - 1;
+                em_obs::gauge_set("gateway/active_connections", now as f64);
+            });
+        if spawned.is_err() {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Turn a connection away with a 503 without ever reading its request —
+/// then drain whatever the peer was mid-send on, because closing a
+/// socket with unread data makes TCP reset the connection and the
+/// response would be destroyed in the peer's receive buffer.
+fn reject_connection(mut stream: TcpStream, body: &str) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+    let _ = http::write_response(&mut stream, 503, JSON, body, false);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    while let Ok(n) = io::Read::read(&mut stream, &mut sink) {
+        if n == 0 {
+            break;
+        }
+    }
+}
+
+/// Serve one keep-alive session: read requests until the client closes,
+/// errors, goes idle past the timeout, or sends `Connection: close`.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.idle_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader, shared.cfg.max_body_bytes) {
+            Ok(None) => return,                    // clean close between requests
+            Err(http::HttpError::Io(_)) => return, // reset or idle timeout
+            Err(http::HttpError::BadRequest(msg)) => {
+                // The stream is no longer framed; answer and close.
+                let body = json(&ErrorBody::bad_request(msg));
+                let _ = http::write_response(&mut writer, 400, JSON, &body, false);
+                return;
+            }
+            Err(http::HttpError::PayloadTooLarge { got, cap }) => {
+                let body = json(&ErrorBody::new(
+                    "payload_too_large",
+                    format!("request body of {got} bytes exceeds the {cap} byte limit"),
+                    false,
+                ));
+                let _ = http::write_response(&mut writer, 413, JSON, &body, false);
+                return;
+            }
+            Ok(Some(req)) => {
+                let started = Instant::now();
+                let keep_alive = req.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+                let (status, content_type, body) = route(shared, &req);
+                em_obs::histogram_record(
+                    "gateway/request_seconds",
+                    started.elapsed().as_secs_f64(),
+                );
+                let status_label = status.to_string();
+                em_obs::counter_add_labeled(
+                    "gateway/responses",
+                    &[("status", status_label.as_str())],
+                    1,
+                );
+                if http::write_response(&mut writer, status, content_type, &body, keep_alive)
+                    .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch one parsed request to its handler.
+fn route(shared: &Shared, req: &http::Request) -> (u16, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/match") => handle_match(shared, &req.body),
+        ("GET", "/healthz") => (200, JSON, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/metrics") => (200, PROM, em_obs::prometheus_text()),
+        (_, "/match") | (_, "/healthz") | (_, "/metrics") => (
+            405,
+            JSON,
+            json(&ErrorBody::new(
+                "method_not_allowed",
+                format!("{} is not supported on {}", req.method, req.path),
+                false,
+            )),
+        ),
+        (_, path) => (
+            404,
+            JSON,
+            json(&ErrorBody::new(
+                "not_found",
+                format!("no route {path}; try POST /match, GET /healthz, GET /metrics"),
+                false,
+            )),
+        ),
+    }
+}
+
+/// `POST /match`: parse → validate → score with a deadline → map the
+/// outcome to HTTP through the one [`em_serve::ServeError::to_http`]
+/// table.
+fn handle_match(shared: &Shared, body: &[u8]) -> (u16, &'static str, String) {
+    em_obs::counter_inc("gateway/match_requests");
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return bad_request("request body is not UTF-8".to_string()),
+    };
+    let req: MatchRequest = match serde_json::from_str(text) {
+        Ok(r) => r,
+        Err(e) => return bad_request(e.to_string()),
+    };
+    if let Err(msg) = req.validate() {
+        return bad_request(msg);
+    }
+    let deadline = req
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(shared.cfg.default_deadline)
+        .min(shared.cfg.max_deadline);
+    let results = shared
+        .matcher
+        .score_texts_deadline(&req.pairs, Some(deadline));
+    // All-or-error semantics: results are index-aligned with the
+    // request's pairs, so a partial answer would be ambiguous on the
+    // wire. The first failure (in request order) speaks for the batch;
+    // `retryable` tells the client whether re-sending can help.
+    if let Some(err) = results.iter().find_map(|r| r.as_ref().err()) {
+        let (status, body) = err.to_http();
+        em_obs::counter_add_labeled("gateway/match_errors", &[("code", body.code.as_str())], 1);
+        return (status, JSON, json(&body));
+    }
+    let scores = results.into_iter().map(|r| r.expect("no errors left"));
+    let resp = MatchResponse::from_scores(scores, req.effective_threshold());
+    em_obs::counter_add("gateway/pairs_scored", resp.count as u64);
+    (200, JSON, json(&resp))
+}
+
+fn bad_request(msg: String) -> (u16, &'static str, String) {
+    em_obs::counter_add_labeled("gateway/match_errors", &[("code", "bad_request")], 1);
+    (400, JSON, json(&ErrorBody::bad_request(msg)))
+}
+
+/// Serialize a wire type, falling back to a hand-built body if the
+/// serializer itself fails (it cannot for these types, but a panic in
+/// an error path would take the connection thread with it).
+fn json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| {
+        "{\"code\":\"internal\",\"error\":\"serialization failed\",\"retryable\":false}".to_string()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default_is_valid_and_degenerates_are_rejected() {
+        assert!(GatewayConfig::default().validate().is_ok());
+        let reject = |f: fn(&mut GatewayConfig)| {
+            let mut c = GatewayConfig::default();
+            f(&mut c);
+            assert!(c.validate().is_err(), "{c:?}");
+        };
+        reject(|c| c.max_connections = 0);
+        reject(|c| c.default_deadline = Duration::ZERO);
+        reject(|c| c.max_deadline = Duration::from_millis(1));
+        reject(|c| c.max_body_bytes = 0);
+        reject(|c| c.idle_timeout = Duration::ZERO);
+    }
+}

@@ -1,12 +1,22 @@
-//! A small LRU score cache for repeated pair encodings.
+//! A sharded LRU score cache for repeated pair encodings.
 //!
 //! Real entity-matching workloads score the same candidate pairs
 //! repeatedly (blocking emits overlapping candidate sets; dedup jobs
 //! re-run on appended data). Caching at the *encoding* level means hits
 //! skip the queue and the forward pass entirely.
+//!
+//! The cache is **sharded by key hash** (`ShardedLru`): every lookup
+//! locks only the one shard its key hashes to, so concurrent gateway
+//! connections probing the cache contend on `1/shards` of a lock instead
+//! of serializing on a single global mutex. Each shard is an independent
+//! `LruCache` with `capacity / shards` entries — eviction is LRU per
+//! shard, which approximates global LRU as long as the hash spreads keys
+//! (and `DefaultHasher` does).
 
 use em_tokenizers::Encoding;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 /// Hashable identity of an encoding: same ids + segments + mask + CLS
 /// index ⇒ same score, because the frozen forward is deterministic.
@@ -84,6 +94,59 @@ impl LruCache {
     }
 }
 
+/// A hash-sharded concurrent LRU: `shards` independent mutex-guarded
+/// [`LruCache`]s, with each key routed to the shard its hash selects.
+/// Replaces the old single `Mutex<LruCache>` whose one lock serialized
+/// every concurrent connection's cache probe.
+#[derive(Debug)]
+pub(crate) struct ShardedLru {
+    shards: Box<[Mutex<LruCache>]>,
+}
+
+impl ShardedLru {
+    /// Build a cache of roughly `capacity` total entries split over
+    /// `shards` shards (both forced to at least 1; per-shard capacity
+    /// rounds up, so the total never shrinks below `capacity`).
+    pub(crate) fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<LruCache> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up a score, refreshing recency in the key's shard. A
+    /// poisoned shard (a panic under the lock) is treated as empty
+    /// rather than propagating the panic into every future request.
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<f32> {
+        match self.shard(key).lock() {
+            Ok(mut shard) => shard.get(key),
+            Err(_) => None,
+        }
+    }
+
+    /// Insert a score into the key's shard, evicting that shard's LRU
+    /// entry when it is full.
+    pub(crate) fn put(&self, key: CacheKey, score: f32) {
+        if let Ok(mut shard) = self.shard(&key).lock() {
+            shard.put(key, score);
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +190,49 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(&key(1)), Some(0.9));
         assert_eq!(c.get(&key(2)), Some(0.2));
+    }
+
+    #[test]
+    fn sharded_round_trips_and_splits_capacity() {
+        let c = ShardedLru::new(64, 8);
+        assert_eq!(c.shard_count(), 8);
+        for i in 0..64 {
+            c.put(key(i), i as f32);
+        }
+        let hits = (0..64)
+            .filter(|&i| c.get(&key(i)) == Some(i as f32))
+            .count();
+        // Per-shard LRU only approximates global LRU, but with exactly
+        // `capacity` inserts nothing should have been evicted unless the
+        // hash is badly skewed; allow a small margin.
+        assert!(hits >= 48, "only {hits}/64 entries survived");
+        assert_eq!(c.get(&key(1000)), None);
+    }
+
+    #[test]
+    fn sharded_is_concurrently_usable() {
+        // Capacity exceeds the total insert count, so no eviction can
+        // race the put/get pairs and every lookup must hit.
+        let c = std::sync::Arc::new(ShardedLru::new(1024, 4));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        let k = key(t * 1000 + i);
+                        c.put(k.clone(), i as f32);
+                        assert_eq!(c.get(&k), Some(i as f32));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn degenerate_shard_and_capacity_are_clamped() {
+        let c = ShardedLru::new(0, 0);
+        assert_eq!(c.shard_count(), 1);
+        c.put(key(1), 0.5);
+        assert_eq!(c.get(&key(1)), Some(0.5));
     }
 }

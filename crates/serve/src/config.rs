@@ -24,6 +24,11 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Capacity of the repeated-encoding score cache; `0` disables it.
     pub cache_capacity: usize,
+    /// Number of hash shards the score cache is split into, so
+    /// concurrent connections contend on `1/shards` of a lock instead of
+    /// one global mutex. `0` means auto: `4 × workers`, rounded up to a
+    /// power of two, capped at 64.
+    pub cache_shards: usize,
     /// How long a client waits for its score before giving up with
     /// [`ServeError::Timeout`].
     pub request_timeout: Duration,
@@ -73,6 +78,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(2),
             queue_depth: 256,
             cache_capacity: 1024,
+            cache_shards: 0,
             request_timeout: Duration::from_secs(30),
             bucket_capacity_cap: 0,
             shed: false,
@@ -123,6 +129,16 @@ impl ServeConfig {
     pub fn bucket_capacity(&self, max_len: usize, bucket_len: usize) -> usize {
         let budget = self.max_batch * max_len.max(1);
         (budget / bucket_len.max(1)).clamp(self.max_batch, self.bucket_cap())
+    }
+
+    /// The resolved score-cache shard count (`cache_shards`, with `0`
+    /// meaning `4 × workers` rounded up to a power of two, capped at 64).
+    pub fn cache_shard_count(&self) -> usize {
+        if self.cache_shards == 0 {
+            (self.workers * 4).next_power_of_two().min(64)
+        } else {
+            self.cache_shards
+        }
     }
 
     /// Length-bucket granularity for a model accepting `max_len` tokens:
@@ -247,6 +263,13 @@ impl ServeConfigBuilder {
     /// Score-cache capacity; `0` disables caching.
     pub fn cache_capacity(mut self, n: usize) -> Self {
         self.cfg.cache_capacity = n;
+        self
+    }
+
+    /// Score-cache shard count; `0` means auto (`4 × workers`, next
+    /// power of two, capped at 64).
+    pub fn cache_shards(mut self, n: usize) -> Self {
+        self.cfg.cache_shards = n;
         self
     }
 
@@ -388,6 +411,45 @@ pub enum ServeError {
 }
 
 impl ServeError {
+    /// The one place serving failures become HTTP: status code plus the
+    /// stable wire-format [`ErrorBody`](em_core::api::ErrorBody) for
+    /// every variant. The match is exhaustive on purpose — adding a
+    /// `ServeError` variant fails compilation here instead of silently
+    /// becoming a 500 somewhere in the gateway.
+    ///
+    /// | variant | status | code | retryable |
+    /// |---|---|---|---|
+    /// | `Timeout` | 504 | `timeout` | yes |
+    /// | `Overloaded` | 429 | `overloaded` | yes |
+    /// | `Transient` | 503 | `transient` | yes |
+    /// | `ShutDown` | 503 | `unavailable` | yes (another replica may answer) |
+    /// | `InvalidLength` | 400 | `invalid_length` | no |
+    ///
+    /// ```
+    /// use em_serve::ServeError;
+    /// let (status, body) = ServeError::Overloaded.to_http();
+    /// assert_eq!((status, body.code.as_str()), (429, "overloaded"));
+    /// assert!(body.retryable);
+    /// ```
+    pub fn to_http(&self) -> (u16, em_core::api::ErrorBody) {
+        use em_core::api::ErrorBody;
+        match self {
+            ServeError::Timeout => (504, ErrorBody::new("timeout", self.to_string(), true)),
+            ServeError::ShutDown => {
+                // In-process, ShutDown is permanent; over the wire the
+                // same request retried against a healthy replica (or the
+                // restarted process) can succeed, so it stays retryable.
+                (503, ErrorBody::new("unavailable", self.to_string(), true))
+            }
+            ServeError::InvalidLength { .. } => (
+                400,
+                ErrorBody::new("invalid_length", self.to_string(), false),
+            ),
+            ServeError::Overloaded => (429, ErrorBody::new("overloaded", self.to_string(), true)),
+            ServeError::Transient => (503, ErrorBody::new("transient", self.to_string(), true)),
+        }
+    }
+
     /// True for failures a retry (with backoff) can plausibly fix:
     /// [`Timeout`](Self::Timeout), [`Overloaded`](Self::Overloaded) and
     /// [`Transient`](Self::Transient). `InvalidLength` and `ShutDown`
@@ -493,6 +555,23 @@ mod tests {
     }
 
     #[test]
+    fn cache_shards_auto_scales_with_workers() {
+        let auto = |w| {
+            ServeConfig::builder()
+                .workers(w)
+                .build()
+                .unwrap()
+                .cache_shard_count()
+        };
+        assert_eq!(auto(1), 4);
+        assert_eq!(auto(2), 8);
+        assert_eq!(auto(3), 16, "rounded up to a power of two");
+        assert_eq!(auto(64), 64, "capped at 64");
+        let explicit = ServeConfig::builder().cache_shards(5).build().unwrap();
+        assert_eq!(explicit.cache_shard_count(), 5);
+    }
+
+    #[test]
     fn error_messages_are_descriptive() {
         let e = ServeError::InvalidLength {
             got: 40,
@@ -500,6 +579,32 @@ mod tests {
         };
         assert!(e.to_string().contains("40"));
         assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn http_mapping_covers_every_variant_once() {
+        let cases = [
+            (ServeError::Timeout, 504, "timeout", true),
+            (ServeError::ShutDown, 503, "unavailable", true),
+            (
+                ServeError::InvalidLength {
+                    got: 99,
+                    expected: 64,
+                },
+                400,
+                "invalid_length",
+                false,
+            ),
+            (ServeError::Overloaded, 429, "overloaded", true),
+            (ServeError::Transient, 503, "transient", true),
+        ];
+        for (err, status, code, retryable) in cases {
+            let (got_status, body) = err.to_http();
+            assert_eq!(got_status, status, "{err:?}");
+            assert_eq!(body.code, code, "{err:?}");
+            assert_eq!(body.retryable, retryable, "{err:?}");
+            assert_eq!(body.error, err.to_string(), "{err:?}");
+        }
     }
 
     #[test]

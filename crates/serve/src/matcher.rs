@@ -24,18 +24,20 @@
 //! queue lets workers drain everything already enqueued before the
 //! channel reports disconnect, so no accepted request is ever dropped.
 
-use crate::cache::{CacheKey, LruCache};
+use crate::cache::{CacheKey, ShardedLru};
 use crate::config::{ServeConfig, ServeError};
 use crate::frozen::FrozenMatcher;
 use crate::supervisor::{PoolCtx, Supervisor};
 use crate::trace::RequestTrace;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use em_core::api::TextPair;
 use em_core::Predictor;
 use em_data::{Dataset, EntityPair};
-use em_tokenizers::Encoding;
+use em_tokenizers::{encode_pair, Encoding};
 use em_transformers::Batch;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// One queued scoring request: the encoding plus the channel its result
 /// travels back on.
@@ -161,7 +163,7 @@ pub struct ServeMatcher {
     // spurious disconnect.
     _rx: Receiver<Job>,
     supervisor: Option<Supervisor>,
-    cache: Option<Mutex<LruCache>>,
+    cache: Option<ShardedLru>,
     config: ServeConfig,
     stats: Arc<StatsInner>,
     /// Degraded-mode fallback: answers pair-level requests the
@@ -205,8 +207,10 @@ impl ServeMatcher {
             cfg: config.clone(),
             serialize_kernels,
         }));
-        let cache =
-            (config.cache_capacity > 0).then(|| Mutex::new(LruCache::new(config.cache_capacity)));
+        // Sharded by key hash: concurrent connections probe different
+        // shards instead of serializing on one global cache lock.
+        let cache = (config.cache_capacity > 0)
+            .then(|| ShardedLru::new(config.cache_capacity, config.cache_shard_count()));
         Self {
             frozen,
             tx: Some(tx),
@@ -273,7 +277,7 @@ impl ServeMatcher {
 
     fn cache_get(&self, key: &CacheKey) -> Option<f32> {
         let cache = self.cache.as_ref()?;
-        let hit = cache.lock().expect("cache lock poisoned").get(key);
+        let hit = cache.get(key);
         if hit.is_some() {
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             em_obs::counter_inc("serve/cache_hits");
@@ -288,7 +292,7 @@ impl ServeMatcher {
 
     fn cache_put(&self, key: CacheKey, score: f32) {
         if let Some(cache) = &self.cache {
-            cache.lock().expect("cache lock poisoned").put(key, score);
+            cache.put(key, score);
         }
     }
 
@@ -335,10 +339,18 @@ impl ServeMatcher {
         Ok(Err(rx))
     }
 
-    /// Await one in-flight result with the configured request timeout and
-    /// cache the score on success.
-    fn await_result(&self, rx: Pending, encoding: &Encoding) -> Result<f32, ServeError> {
-        let score = match rx.recv_timeout(self.config.request_timeout) {
+    /// Await one in-flight result until `die` and cache the score on
+    /// success. Deadlines are absolute instants so a batch of awaits
+    /// shares one wall-clock budget instead of stacking per-request
+    /// timeouts.
+    fn await_result(
+        &self,
+        rx: Pending,
+        encoding: &Encoding,
+        die: Instant,
+    ) -> Result<f32, ServeError> {
+        let remaining = die.saturating_duration_since(Instant::now());
+        let score = match rx.recv_timeout(remaining) {
             Ok(result) => result?,
             Err(mpsc::RecvTimeoutError::Timeout) => return Err(ServeError::Timeout),
             // The reply channel dropping without an answer means the job
@@ -354,13 +366,27 @@ impl ServeMatcher {
         Ok(score)
     }
 
+    /// The absolute deadline for a request arriving now: the explicit
+    /// per-request deadline when given, else the configured
+    /// `request_timeout`.
+    fn die_at(&self, deadline: Option<Duration>) -> Instant {
+        Instant::now() + deadline.unwrap_or(self.config.request_timeout)
+    }
+
     /// Score one encoding through the worker pool, blocking for at most
     /// the configured `request_timeout`. Single attempt; see
     /// [`ServeMatcher::score_with_retry`] for the resilient variant.
+    ///
+    /// This is the **pre-encoded fast path**: callers that already hold
+    /// an [`Encoding`] (batch pipelines, benchmarks, tests) skip
+    /// tokenization entirely. Network-facing callers should prefer the
+    /// raw-text front door ([`ServeMatcher::score_text`]), which owns
+    /// tokenization and can never be handed an over-long input.
     pub fn score(&self, encoding: &Encoding) -> Result<f32, ServeError> {
+        let die = self.die_at(None);
         match self.submit(encoding)? {
             Ok(cached) => Ok(cached),
-            Err(rx) => self.await_result(rx, encoding),
+            Err(rx) => self.await_result(rx, encoding, die),
         }
     }
 
@@ -390,8 +416,23 @@ impl ServeMatcher {
     /// of failing the whole batch on the first error. All requests are
     /// enqueued before any result is awaited, so one caller still fills
     /// worker batches. Single attempt per encoding — retries and fallback
-    /// live in [`ServeMatcher::try_predict_scores`].
+    /// live in [`ServeMatcher::try_predict_scores`]. Pre-encoded fast
+    /// path; see [`ServeMatcher::score_texts`] for the raw-text door.
     pub fn score_each(&self, encodings: &[Encoding]) -> Vec<Result<f32, ServeError>> {
+        self.score_each_deadline(encodings, None)
+    }
+
+    /// [`ServeMatcher::score_each`] under an explicit wall-clock budget:
+    /// every result must arrive within `deadline` of this call (measured
+    /// once, shared by the whole batch), or its slot reports
+    /// [`ServeError::Timeout`]. `None` falls back to the configured
+    /// `request_timeout`.
+    pub fn score_each_deadline(
+        &self,
+        encodings: &[Encoding],
+        deadline: Option<Duration>,
+    ) -> Vec<Result<f32, ServeError>> {
+        let die = self.die_at(deadline);
         let pending: Vec<Result<Result<f32, Pending>, ServeError>> =
             encodings.iter().map(|e| self.submit(e)).collect();
         pending
@@ -399,7 +440,7 @@ impl ServeMatcher {
             .zip(encodings)
             .map(|(p, e)| match p {
                 Ok(Ok(cached)) => Ok(cached),
-                Ok(Err(rx)) => self.await_result(rx, e),
+                Ok(Err(rx)) => self.await_result(rx, e, die),
                 Err(e) => Err(e),
             })
             .collect()
@@ -408,28 +449,73 @@ impl ServeMatcher {
     /// Score many encodings: all are enqueued before any result is
     /// awaited, so one caller still fills worker batches. Fails on the
     /// first error (in submission order); use
-    /// [`ServeMatcher::score_each`] for per-request errors.
+    /// [`ServeMatcher::score_each`] for per-request errors. Pre-encoded
+    /// fast path.
     pub fn score_encodings(&self, encodings: &[Encoding]) -> Result<Vec<f32>, ServeError> {
         self.score_each(encodings).into_iter().collect()
     }
 
-    /// Encode and score entity pairs end to end, with typed errors
-    /// (the fallible twin of the [`Predictor`] surface).
-    ///
-    /// This is the resilient entry point: transient failures are retried
-    /// with exponential backoff (whole failed subset re-submitted per
-    /// round, so retries still batch), and whatever still fails after the
-    /// retry budget is answered by the degraded-mode fallback when one is
-    /// attached ([`ServeMatcher::with_fallback`]). An `Err` here means
-    /// some request failed non-transiently, exhausted retries with no
-    /// fallback, or was not degradable.
-    pub fn try_predict_scores(
-        &self,
-        ds: &Dataset,
-        pairs: &[EntityPair],
-    ) -> Result<Vec<f32>, ServeError> {
-        let encodings: Vec<Encoding> = pairs.iter().map(|p| self.frozen.encode(ds, p)).collect();
+    /// Tokenize one pair of serialized entity texts into this matcher's
+    /// input format — the serving twin of the wire contract in
+    /// [`em_core::api`]. Truncation to the model's input length happens
+    /// here (longest-first, both entities kept represented), so raw text
+    /// of any length is servable and the text door can never fail with
+    /// [`ServeError::InvalidLength`].
+    pub fn encode_text(&self, left: &str, right: &str) -> Encoding {
+        encode_pair(
+            &self.frozen.tokenizer,
+            left,
+            right,
+            self.frozen.max_len,
+            self.frozen.cls_position(),
+        )
+    }
+
+    /// Score one pair of raw entity texts, tokenizing on submit and
+    /// retrying transient failures with backoff. This is the network
+    /// front door: callers never construct an [`Encoding`].
+    pub fn score_text(&self, left: &str, right: &str) -> Result<f32, ServeError> {
+        self.score_with_retry(&self.encode_text(left, right))
+    }
+
+    /// Score raw text pairs with per-pair results: tokenize on submit,
+    /// enqueue everything (so one caller fills worker batches), then
+    /// retry whatever failed transiently — the whole failed subset is
+    /// re-submitted per round, so retries still batch. The text twin of
+    /// [`ServeMatcher::try_predict_scores`], minus the degraded-mode
+    /// fallback (which needs pair *attributes*, not flat text).
+    pub fn score_texts(&self, pairs: &[TextPair]) -> Vec<Result<f32, ServeError>> {
+        let encodings: Vec<Encoding> = pairs
+            .iter()
+            .map(|p| self.encode_text(&p.left, &p.right))
+            .collect();
         let mut results = self.score_each(&encodings);
+        self.retry_failed(&encodings, &mut results);
+        results
+    }
+
+    /// [`ServeMatcher::score_texts`] under an explicit wall-clock budget
+    /// shared by the whole request: tokenize on submit, single scoring
+    /// attempt per pair, every result in by `deadline` or its slot
+    /// reports [`ServeError::Timeout`] (the gateway maps that to HTTP
+    /// 504). No retries — within a deadline the retry loop belongs to
+    /// the caller, who knows how much budget is left.
+    pub fn score_texts_deadline(
+        &self,
+        pairs: &[TextPair],
+        deadline: Option<Duration>,
+    ) -> Vec<Result<f32, ServeError>> {
+        let encodings: Vec<Encoding> = pairs
+            .iter()
+            .map(|p| self.encode_text(&p.left, &p.right))
+            .collect();
+        self.score_each_deadline(&encodings, deadline)
+    }
+
+    /// Shared retry engine: re-submit every transiently failed slot of
+    /// `results` (whole subset per round, so retries still batch) with
+    /// exponential backoff between rounds.
+    fn retry_failed(&self, encodings: &[Encoding], results: &mut [Result<f32, ServeError>]) {
         let policy = self.config.retry.clone();
         let nonce = self.stats.requests.load(Ordering::Relaxed);
         for attempt in 0..policy.max_retries {
@@ -453,6 +539,31 @@ impl ServeMatcher {
                 results[i] = r;
             }
         }
+    }
+
+    /// Encode and score entity pairs end to end, with typed errors
+    /// (the fallible twin of the [`Predictor`] surface).
+    ///
+    /// Rides the same tokenize-on-submit front door as the wire: each
+    /// pair's records are serialized to text and scored through
+    /// [`ServeMatcher::score_texts`]' retry engine — transient failures
+    /// are retried with exponential backoff (whole failed subset
+    /// re-submitted per round, so retries still batch). Whatever still
+    /// fails after the retry budget is answered by the degraded-mode
+    /// fallback when one is attached ([`ServeMatcher::with_fallback`]).
+    /// An `Err` here means some request failed non-transiently,
+    /// exhausted retries with no fallback, or was not degradable.
+    pub fn try_predict_scores(
+        &self,
+        ds: &Dataset,
+        pairs: &[EntityPair],
+    ) -> Result<Vec<f32>, ServeError> {
+        let encodings: Vec<Encoding> = pairs
+            .iter()
+            .map(|p| self.encode_text(&ds.serialize_record(&p.a), &ds.serialize_record(&p.b)))
+            .collect();
+        let mut results = self.score_each(&encodings);
+        self.retry_failed(&encodings, &mut results);
         if let Some(fallback) = &self.fallback {
             let failed: Vec<usize> = results
                 .iter()

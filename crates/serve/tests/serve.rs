@@ -217,6 +217,20 @@ fn tiny_frozen_matcher(arch: Architecture, seed: u64, max_len: usize) -> FrozenM
     freeze_parts(&model, &head, tok, max_len)
 }
 
+/// Like [`tiny_frozen_matcher`], but with the model's vocabulary sized to
+/// the trained tokenizer, so *real text* (not just synthetic ids below
+/// `VOCAB`) can ride the tokenize-on-submit front door.
+fn text_frozen_matcher(arch: Architecture, seed: u64, max_len: usize) -> FrozenMatcher {
+    let corpus = em_data::generate_corpus(30, seed);
+    let tok = train_tokenizer(arch, &corpus, 200);
+    let cfg = TransformerConfig::tiny(arch, em_tokenizers::Tokenizer::vocab_size(&tok));
+    let hidden = cfg.hidden;
+    let model = TransformerModel::new(cfg, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ead);
+    let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
+    freeze_parts(&model, &head, tok, max_len)
+}
+
 /// ≥ 8 client threads hammering a 2-worker matcher must produce exactly
 /// the scores the frozen model computes sequentially.
 #[test]
@@ -494,6 +508,128 @@ fn serve_matcher_is_a_predictor() {
     let matcher = ServeMatcher::start(frozen, ServeConfig::default());
     assert_eq!(matcher.predict_scores(&ds, pairs), direct_scores);
     assert_eq!(matcher.predict_pairs(&ds, pairs), direct);
+}
+
+// ---------------------------------------------------------------------------
+// The raw-text front door: tokenize-on-submit, per-request deadlines.
+// ---------------------------------------------------------------------------
+
+/// `score_text` must be byte-identical to encoding the same text by hand
+/// and riding the pre-encoded fast path — the front door changes who
+/// tokenizes, never what gets scored.
+#[test]
+fn text_front_door_matches_preencoded_path() {
+    let frozen = text_frozen_matcher(Architecture::Bert, 17, 24);
+    let reference = frozen.clone();
+    let cfg = ServeConfig::builder()
+        .workers(2)
+        .max_batch(4)
+        .cache_capacity(0)
+        .build()
+        .unwrap();
+    let matcher = ServeMatcher::start(frozen, cfg);
+    let texts = [
+        ("sony vaio laptop 15in", "sony vaio notebook 15.5 inch"),
+        ("canon eos camera", "nikon coolpix point and shoot"),
+        ("red cotton shirt size m", "red cotton shirt medium"),
+    ];
+    for (left, right) in texts {
+        let enc = matcher.encode_text(left, right);
+        let direct = reference.score_encodings(std::slice::from_ref(&enc))[0];
+        let served = matcher
+            .score_text(left, right)
+            .expect("text scoring failed");
+        assert_eq!(served, direct, "{left} / {right}");
+    }
+    // The batch door agrees pairwise and keeps request order.
+    let pairs: Vec<em_core::TextPair> = texts
+        .iter()
+        .map(|(l, r)| em_core::TextPair::new(*l, *r))
+        .collect();
+    let batch: Vec<f32> = matcher
+        .score_texts(&pairs)
+        .into_iter()
+        .map(|r| r.expect("batch text scoring failed"))
+        .collect();
+    for ((left, right), got) in texts.iter().zip(&batch) {
+        let want = matcher.score_text(left, right).unwrap();
+        assert_eq!(*got, want);
+    }
+}
+
+/// Raw text of any length is servable: tokenization truncates on submit,
+/// so the text door can never surface `InvalidLength`.
+#[test]
+fn text_door_truncates_instead_of_rejecting() {
+    let frozen = text_frozen_matcher(Architecture::Bert, 19, 16);
+    let matcher = ServeMatcher::start(frozen, ServeConfig::default());
+    let long = "item description word ".repeat(300);
+    let score = matcher
+        .score_text(&long, &long)
+        .expect("over-long text must truncate, not error");
+    assert!((0.0..=1.0).contains(&score));
+}
+
+/// A per-request deadline that has already expired maps to the typed
+/// timeout (the gateway's HTTP 504), while the same request under a
+/// generous deadline succeeds.
+#[test]
+fn per_request_deadline_maps_to_timeout() {
+    let frozen = text_frozen_matcher(Architecture::Bert, 29, 16);
+    let cfg = ServeConfig::builder()
+        .workers(1)
+        .cache_capacity(0)
+        .build()
+        .unwrap();
+    let matcher = ServeMatcher::start(frozen, cfg);
+    let pairs = vec![em_core::TextPair::new("alpha beta", "alpha gamma")];
+    let expired = matcher.score_texts_deadline(&pairs, Some(std::time::Duration::ZERO));
+    assert_eq!(expired, vec![Err(ServeError::Timeout)]);
+    let generous = matcher.score_texts_deadline(&pairs, Some(std::time::Duration::from_secs(30)));
+    assert!(matches!(generous[0], Ok(s) if (0.0..=1.0).contains(&s)));
+}
+
+/// Dropping the matcher without an explicit `shutdown()` must still
+/// drain and join the worker pool (the gateway relies on this when a
+/// test panics or a scope unwinds past a live matcher).
+#[test]
+fn drop_without_shutdown_joins_workers() {
+    let frozen = text_frozen_matcher(Architecture::Bert, 37, 16);
+    let cfg = ServeConfig::builder()
+        .workers(2)
+        .max_batch(4)
+        .build()
+        .unwrap();
+    let before = active_serve_threads();
+    {
+        let matcher = ServeMatcher::start(frozen, cfg);
+        matcher
+            .score_text("left entity", "right entity")
+            .expect("scoring failed");
+        // No shutdown() — Drop must do the full drain + join.
+    }
+    let after = active_serve_threads();
+    assert!(
+        after <= before,
+        "worker threads leaked across drop: {before} -> {after}"
+    );
+}
+
+/// Best-effort count of live em-serve threads via /proc (Linux-only
+/// test environment); used to show Drop joins the pool.
+fn active_serve_threads() -> usize {
+    let mut n = 0;
+    if let Ok(entries) = std::fs::read_dir("/proc/self/task") {
+        for e in entries.flatten() {
+            let comm = e.path().join("comm");
+            if let Ok(name) = std::fs::read_to_string(comm) {
+                if name.starts_with("em-serve") {
+                    n += 1;
+                }
+            }
+        }
+    }
+    n
 }
 
 // ---------------------------------------------------------------------------

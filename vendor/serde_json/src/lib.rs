@@ -3,8 +3,8 @@
 //! (nested arrays/objects, escapes, `\uXXXX` incl. surrogate pairs);
 //! non-finite floats serialize as `null` like real serde_json.
 
-pub use serde::Error;
-use serde::{de::DeserializeOwned, Serialize, Value};
+use serde::{de::DeserializeOwned, Serialize};
+pub use serde::{Error, Value};
 use std::fmt::Write as _;
 
 /// Serialize to compact JSON.
