@@ -8,7 +8,8 @@
 //! | route | method | behavior |
 //! |---|---|---|
 //! | `/match` | POST | score one pair or a batch of [`em_core::api::MatchRequest`] pairs |
-//! | `/healthz` | GET | liveness: `{"status":"ok"}` |
+//! | `/healthz` | GET | liveness + model identity: `{"status":"ok","model_version":…,"quant":…}` |
+//! | `/admin/swap` | POST | hot-swap the serving model to `{"path": "<checkpoint>"}` |
 //! | `/metrics` | GET | the em-obs registry in Prometheus exposition format |
 //!
 //! The gateway owns **tokenization** (via the matcher's raw-text front
@@ -340,9 +341,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 fn route(shared: &Shared, req: &http::Request) -> (u16, &'static str, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/match") => handle_match(shared, &req.body),
-        ("GET", "/healthz") => (200, JSON, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/healthz") => handle_healthz(shared),
+        ("POST", "/admin/swap") => handle_swap(shared, &req.body),
         ("GET", "/metrics") => (200, PROM, em_obs::prometheus_text()),
-        (_, "/match") | (_, "/healthz") | (_, "/metrics") => (
+        (_, "/match") | (_, "/healthz") | (_, "/metrics") | (_, "/admin/swap") => (
             405,
             JSON,
             json(&ErrorBody::new(
@@ -359,6 +361,64 @@ fn route(shared: &Shared, req: &http::Request) -> (u16, &'static str, String) {
                 format!("no route {path}; try POST /match, GET /healthz, GET /metrics"),
                 false,
             )),
+        ),
+    }
+}
+
+/// `GET /healthz`: liveness plus the identity of the model answering —
+/// which hot-swap generation is live and what representation its weights
+/// are in. Pinned by integration tests; ops dashboards key on it to
+/// confirm a swap landed.
+fn handle_healthz(shared: &Shared) -> (u16, &'static str, String) {
+    let body = format!(
+        "{{\"status\":\"ok\",\"model_version\":{},\"quant\":\"{}\"}}",
+        shared.matcher.model_version(),
+        shared.matcher.quant().name()
+    );
+    (200, JSON, body)
+}
+
+/// `POST /admin/swap`: replace the serving model with the checkpoint at
+/// `{"path": "..."}` — under live traffic, without dropping a request.
+/// An unloadable checkpoint is 400 `bad_checkpoint`; a loadable model
+/// that is wire-incompatible with the one serving is 409
+/// `swap_incompatible`. Success reports the new generation, same shape
+/// as `/healthz`.
+fn handle_swap(shared: &Shared, body: &[u8]) -> (u16, &'static str, String) {
+    em_obs::counter_inc("gateway/swap_requests");
+    #[derive(serde::Deserialize)]
+    struct SwapRequest {
+        path: String,
+    }
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return bad_request("request body is not UTF-8".to_string()),
+    };
+    let req: SwapRequest = match serde_json::from_str(text) {
+        Ok(r) => r,
+        Err(e) => return bad_request(e.to_string()),
+    };
+    match shared
+        .matcher
+        .swap_checkpoint(std::path::Path::new(&req.path))
+    {
+        Ok(version) => {
+            em_obs::counter_inc("gateway/swaps");
+            let body = format!(
+                "{{\"status\":\"swapped\",\"model_version\":{version},\"quant\":\"{}\"}}",
+                shared.matcher.quant().name()
+            );
+            (200, JSON, body)
+        }
+        Err(e @ em_serve::SwapError::Checkpoint(_)) => (
+            400,
+            JSON,
+            json(&ErrorBody::new("bad_checkpoint", e.to_string(), false)),
+        ),
+        Err(e @ em_serve::SwapError::Incompatible { .. }) => (
+            409,
+            JSON,
+            json(&ErrorBody::new("swap_incompatible", e.to_string(), false)),
         ),
     }
 }

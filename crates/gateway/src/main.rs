@@ -5,7 +5,8 @@
 //! cargo run -p em-gateway --release -- \
 //!     [--host 127.0.0.1] [--port 7878] [--workers 2] [--batch 16] \
 //!     [--max-len 64] [--seed 42] [--queue-depth 256] [--cache 1024] \
-//!     [--max-connections 64] [--deadline-ms 10000] [--no-shed] [--smoke]
+//!     [--max-connections 64] [--deadline-ms 10000] [--no-shed] [--smoke] \
+//!     [--checkpoint model.emck] [--quant f32|f16|int8]
 //! ```
 //!
 //! Prints `listening on http://<addr>` to stdout once live (with
@@ -15,15 +16,20 @@
 //! The model is a randomly initialized BERT over a tokenizer trained on
 //! the synthetic product corpus — real weights, real tokenization, real
 //! forward passes; only the *training* is skipped, which is irrelevant
-//! to gateway behavior (routing, batching, deadlines, shedding). Swap in
-//! a fine-tuned checkpoint by constructing the `FrozenMatcher` from an
-//! `EmMatcher` instead.
+//! to gateway behavior (routing, batching, deadlines, shedding).
+//!
+//! `--checkpoint` serves an `em-checkpoint` file instead (mmap-loaded,
+//! zero-copy; the tokenizer is still built in-process and validated
+//! against the file). `--quant` re-quantizes whatever model is being
+//! served (`f32`, `f16`, or `int8`); without it a checkpoint serves in
+//! the representation it was saved in. A live gateway can also be
+//! re-pointed at a new checkpoint at runtime via `POST /admin/swap`.
 
 #![deny(missing_docs)]
 
 use em_core::pipeline::train_tokenizer;
 use em_gateway::{Gateway, GatewayConfig};
-use em_serve::{freeze_parts, ServeConfig, ServeMatcher};
+use em_serve::{freeze_parts, FrozenMatcher, QuantMode, ServeConfig, ServeMatcher};
 use em_tokenizers::Tokenizer;
 use em_transformers::{Architecture, ClassificationHead, TransformerConfig, TransformerModel};
 use rand::rngs::StdRng;
@@ -64,6 +70,8 @@ fn main() {
     let max_connections: usize = args.get("--max-connections", 64);
     let deadline_ms: u64 = args.get("--deadline-ms", 10_000);
     let smoke = args.has("--smoke");
+    let checkpoint: String = args.get("--checkpoint", String::new());
+    let quant: String = args.get("--quant", String::new());
 
     // /metrics should expose something even without EM_OBS in the
     // environment; aggregation is the cheap level.
@@ -84,11 +92,35 @@ fn main() {
         TransformerConfig::small(arch, tokenizer.vocab_size())
     };
     cfg.max_position = cfg.max_position.max(max_len);
-    let hidden = cfg.hidden;
-    let model = TransformerModel::new(cfg, seed);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
-    let frozen = freeze_parts(&model, &head, tokenizer, max_len);
+    let mut frozen = if checkpoint.is_empty() {
+        let hidden = cfg.hidden;
+        let model = TransformerModel::new(cfg, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
+        freeze_parts(&model, &head, tokenizer, max_len)
+    } else {
+        match FrozenMatcher::load_checkpoint(std::path::Path::new(&checkpoint), tokenizer) {
+            Ok(m) => {
+                eprintln!("em-gateway: loaded checkpoint {checkpoint} ({})", m.quant());
+                m
+            }
+            Err(e) => {
+                eprintln!("em-gateway: cannot load checkpoint {checkpoint}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    if !quant.is_empty() {
+        match QuantMode::parse(&quant) {
+            Some(mode) => frozen = frozen.quantize(mode),
+            None => {
+                eprintln!("em-gateway: unknown --quant {quant:?} (use f32, f16, or int8)");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("em-gateway: serving {} weights", frozen.quant());
+    let frozen = frozen;
 
     let serve_cfg = ServeConfig::builder()
         .workers(workers)

@@ -397,3 +397,107 @@ fn shutdown_stops_accepting_but_leaves_the_matcher_alive() {
     // The matcher is caller-owned and keeps scoring in-process.
     assert!(matcher.score_text("still", "alive").is_ok());
 }
+
+/// `/healthz` pins the model-identity fields, and `/admin/swap` replaces
+/// the serving model from a checkpoint on disk — version advances, quant
+/// mode changes, scoring keeps working. Bad paths and incompatible
+/// models are typed HTTP refusals that leave the gateway serving.
+#[test]
+fn healthz_pins_model_identity_and_admin_swap_advances_it() {
+    let gw = default_gateway();
+    let mut client = HttpClient::connect(gw.addr()).unwrap();
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let v: serde_json::Value = serde_json::from_str(&health.body).unwrap();
+    assert_eq!(v.get_field("status").and_then(|s| s.as_str()), Some("ok"));
+    assert_eq!(
+        v.get_field("model_version").and_then(|n| n.as_u64()),
+        Some(1)
+    );
+    assert_eq!(v.get_field("quant").and_then(|q| q.as_str()), Some("f32"));
+
+    // An int8 checkpoint of a compatible model (same tokenizer seed).
+    let path = std::env::temp_dir().join(format!("em-gateway-swap-{}.emck", std::process::id()));
+    tiny_frozen(7)
+        .quantize(em_serve::QuantMode::Int8)
+        .save_checkpoint(&path)
+        .expect("save checkpoint");
+
+    // Unloadable path → 400 bad_checkpoint, identity unchanged.
+    let resp = client
+        .post_json("/admin/swap", r#"{"path": "/nonexistent/model.emck"}"#)
+        .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert_eq!(error_code(&resp.body).0, "bad_checkpoint");
+
+    // Wire-incompatible model (different max_len) → 409 swap_incompatible.
+    let bad_path =
+        std::env::temp_dir().join(format!("em-gateway-swap-bad-{}.emck", std::process::id()));
+    {
+        let arch = Architecture::Bert;
+        let corpus = em_data::generate_corpus(30, 7);
+        let tok = train_tokenizer(arch, &corpus, 200);
+        let cfg = TransformerConfig::tiny(arch, tok.vocab_size());
+        let hidden = cfg.hidden;
+        let model = TransformerModel::new(cfg, 7);
+        let mut rng = StdRng::seed_from_u64(7 ^ 0x6a7e);
+        let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
+        freeze_parts(&model, &head, tok, 32)
+            .save_checkpoint(&bad_path)
+            .expect("save incompatible checkpoint");
+    }
+    let body = format!(
+        "{{\"path\": {}}}",
+        serde_json::to_string(&bad_path.display().to_string()).unwrap()
+    );
+    let resp = client.post_json("/admin/swap", &body).unwrap();
+    assert_eq!(resp.status, 409, "{}", resp.body);
+    assert_eq!(error_code(&resp.body).0, "swap_incompatible");
+
+    // Malformed body → 400.
+    assert_eq!(
+        client.post_json("/admin/swap", "{oops").unwrap().status,
+        400
+    );
+
+    // Health is untouched by the refusals.
+    let v: serde_json::Value = serde_json::from_str(&client.get("/healthz").unwrap().body).unwrap();
+    assert_eq!(
+        v.get_field("model_version").and_then(|n| n.as_u64()),
+        Some(1)
+    );
+
+    // The real swap: 200, version 2, int8.
+    let body = format!(
+        "{{\"path\": {}}}",
+        serde_json::to_string(&path.display().to_string()).unwrap()
+    );
+    let resp = client.post_json("/admin/swap", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let v: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+    assert_eq!(
+        v.get_field("status").and_then(|s| s.as_str()),
+        Some("swapped")
+    );
+    assert_eq!(
+        v.get_field("model_version").and_then(|n| n.as_u64()),
+        Some(2)
+    );
+    assert_eq!(v.get_field("quant").and_then(|q| q.as_str()), Some("int8"));
+
+    // /healthz reflects the new generation and /match still scores.
+    let v: serde_json::Value = serde_json::from_str(&client.get("/healthz").unwrap().body).unwrap();
+    assert_eq!(
+        v.get_field("model_version").and_then(|n| n.as_u64()),
+        Some(2)
+    );
+    assert_eq!(v.get_field("quant").and_then(|q| q.as_str()), Some("int8"));
+    let scored = client
+        .post_json("/match", r#"{"left":"acer one","right":"acer aspire one"}"#)
+        .unwrap();
+    assert_eq!(scored.status, 200, "{}", scored.body);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&bad_path);
+}

@@ -1,0 +1,79 @@
+//! Kernel-level probe: f32 vs f16 vs int8 GEMM wall time at the shapes
+//! the frozen forward actually issues (rows = batch × seq, k/n = layer
+//! widths), with the int8 time split into activation quantization vs
+//! the integer GEMM. This is the tool that sizes the serving-scale
+//! geometry in `servebench --quant`: at hidden 64 every representation
+//! ties (per-call overhead dominates), from hidden 256 up int8 wins on
+//! weight bandwidth.
+//!
+//! ```text
+//! cargo run --release -p em-kernels --example qprobe
+//! ```
+use em_kernels::{
+    f16_quantize, gemm_nn, gemm_nn_f16, gemm_nt_i8_dyn, quantize_rows_i8, quantize_weights_i8,
+};
+use std::time::Instant;
+
+fn main() {
+    for (m, k, n) in [
+        (256, 64, 64),
+        (256, 64, 256),
+        (512, 256, 256),
+        (512, 256, 1024),
+        (512, 1024, 256),
+    ] {
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i % 97) as f32 - 48.0) / 53.0)
+            .collect();
+        let w: Vec<f32> = (0..k * n)
+            .map(|i| ((i % 89) as f32 - 44.0) / 61.0)
+            .collect();
+        let b: Vec<f32> = (0..n).map(|i| i as f32 / n as f32).collect();
+        let wh = f16_quantize(&w);
+        // int8 weights stored [n, k]
+        let mut wt = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                wt[j * k + p] = w[p * n + j];
+            }
+        }
+        let mut wq = vec![0i8; n * k];
+        let mut ws = vec![0.0f32; n];
+        quantize_weights_i8(&wt, k, &mut wq, &mut ws);
+        let mut c = vec![0.0f32; m * n];
+        let reps = (200_000_000 / (m * k * n)).max(3);
+        let mut time = |f: &mut dyn FnMut(&mut [f32])| {
+            f(&mut c); // warm
+            let t = Instant::now();
+            for _ in 0..reps {
+                f(&mut c);
+            }
+            t.elapsed().as_secs_f64() / reps as f64
+        };
+        let t32 = time(&mut |c| gemm_nn(&a, &w, Some(&b), c, m, k, n));
+        let t16 = time(&mut |c| gemm_nn_f16(&a, &wh, Some(&b), c, m, k, n));
+        let t8 = time(&mut |c| gemm_nt_i8_dyn(&a, &wq, &ws, Some(&b), c, m, k, n));
+        // Split: activation quantization alone vs the integer GEMM alone.
+        let mut aq = vec![0i8; m * k];
+        let mut asc = vec![0.0f32; m];
+        let tq = {
+            let t = Instant::now();
+            for _ in 0..reps {
+                quantize_rows_i8(&a, k, &mut aq, &mut asc);
+            }
+            t.elapsed().as_secs_f64() / reps as f64
+        };
+        let tg = time(&mut |c| em_kernels::gemm_nt_i8(&aq, &asc, &wq, &ws, Some(&b), c, m, k, n));
+        println!(
+            "m{m} k{k} n{n}: f32 {:.3}ms  f16 {:.3}ms ({:.2}x)  int8 {:.3}ms ({:.2}x) \
+             [quant {:.3}ms + gemm {:.3}ms]",
+            t32 * 1e3,
+            t16 * 1e3,
+            t32 / t16,
+            t8 * 1e3,
+            t32 / t8,
+            tq * 1e3,
+            tg * 1e3
+        );
+    }
+}

@@ -58,7 +58,7 @@ pub fn backend() -> Backend {
 }
 
 #[cfg(target_arch = "x86_64")]
-fn simd_available() -> bool {
+pub(crate) fn simd_available() -> bool {
     use std::sync::OnceLock;
     static AVAILABLE: OnceLock<bool> = OnceLock::new();
     *AVAILABLE.get_or_init(|| {
@@ -67,7 +67,8 @@ fn simd_available() -> bool {
 }
 
 #[cfg(not(target_arch = "x86_64"))]
-fn simd_available() -> bool {
+#[allow(dead_code)]
+pub(crate) fn simd_available() -> bool {
     false
 }
 
@@ -80,7 +81,7 @@ pub fn simd_kind() -> &'static str {
     }
 }
 
-fn should_parallelize(m: usize, k: usize, n: usize) -> bool {
+pub(crate) fn should_parallelize(m: usize, k: usize, n: usize) -> bool {
     m * k * n >= PARALLEL_FLOP_THRESHOLD && m >= 2 && pool::current_parallelism() > 1
 }
 

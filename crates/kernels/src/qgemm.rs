@@ -1,0 +1,1155 @@
+//! Quantized GEMM paths: per-row-scale int8 and f16 weight matrices.
+//!
+//! Serving is memory-bandwidth-bound: the frozen forward streams every
+//! weight matrix through the cache hierarchy once per batch, so the
+//! bytes a weight occupies — not the multiplies it feeds — set the
+//! throughput ceiling. These kernels shrink those bytes while keeping
+//! activations in f32:
+//!
+//! * [`gemm_nt_i8`] — `C[i,j] = a_scale[i]·w_scale[j]·Σₚ Aq[i,p]·Wq[j,p]
+//!   (+ bias[j])`: int8 dot products accumulated in i32 with the
+//!   dequantization folded into a float epilogue. Weights are stored
+//!   **transposed** (`[n, k]`, k-contiguous) with one scale per output
+//!   row, so the scale is constant along the accumulation axis and the
+//!   integer dot product is exact. 4× less weight traffic than f32, and
+//!   the AVX2 tile multiplies 32 int8 lanes per instruction (`vpsignb`
+//!   moves the activation sign onto the weights so `vpmaddubsw` sees an
+//!   unsigned × signed pair) — which is why weight codes are confined
+//!   to ±63 by [`quantize_weights_i8`]: `127·63·2 < 2¹⁵` keeps the i16
+//!   pair sums saturation-free, so the integer math stays exact.
+//! * [`gemm_nt_i8_dyn`] — the serving entry point: quantizes the f32
+//!   activation rows on the fly (per-row absmax scale, thread-local
+//!   scratch) and calls [`gemm_nt_i8`].
+//! * [`gemm_nn_f16`] — the f32 NN tile with f16→f32 widening loads on
+//!   the weight operand (`vcvtph2ps` under F16C, software conversion
+//!   otherwise). Same `[k, n]` layout as [`crate::gemm_nn`], 2× less
+//!   weight traffic, no requantization error on activations.
+//!
+//! Dispatch mirrors [`crate::gemm`]: AVX2 paths are selected at runtime,
+//! row-parallelism rides the persistent [`crate::pool`], and portable
+//! fallbacks keep every target correct.
+//!
+//! Accumulator range: the i32 accumulation is exact while
+//! `k · 127 · 127 < 2³¹`, i.e. for inner dimensions up to ~133 000 —
+//! far beyond any hidden size this workspace runs.
+
+#![allow(clippy::too_many_arguments)]
+
+use crate::gemm::should_parallelize;
+use crate::pool;
+use std::cell::RefCell;
+
+// ---------------------------------------------------------------------------
+// f16 <-> f32 conversion (software; the AVX2 path uses F16C when present)
+// ---------------------------------------------------------------------------
+
+/// Convert one f32 to IEEE 754 binary16 with round-to-nearest-even.
+/// Overflow saturates to ±inf; NaN payloads keep a quiet bit set.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf or NaN; force a mantissa bit for NaN so it stays NaN.
+        let payload = (man >> 13) as u16 & 0x03ff;
+        let quiet = if man != 0 { 0x0200 | payload.max(1) } else { 0 };
+        return sign | 0x7c00 | quiet;
+    }
+    let e = exp - 127 + 15;
+    if e >= 0x1f {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if e <= 0 {
+        // Subnormal half (or underflow to zero).
+        if e < -10 {
+            return sign;
+        }
+        let man = man | 0x0080_0000; // implicit leading 1
+        let shift = (14 - e) as u32;
+        let half = man >> shift;
+        let rem = man & ((1u32 << shift) - 1);
+        let midpoint = 1u32 << (shift - 1);
+        let round_up = rem > midpoint || (rem == midpoint && half & 1 == 1);
+        return sign | (half + u32::from(round_up)) as u16;
+    }
+    let half = ((e as u32) << 10) | (man >> 13);
+    let rem = man & 0x1fff;
+    let round_up = rem > 0x1000 || (rem == 0x1000 && half & 1 == 1);
+    // A mantissa carry rolls into the exponent, which is exactly the
+    // correct rounding behavior (up to and including overflow to inf).
+    sign | (half + u32::from(round_up)) as u16
+}
+
+/// Convert one IEEE 754 binary16 (as raw bits) to f32. Exact.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let man = (h & 0x03ff) as u32;
+    match (exp, man) {
+        (0, 0) => f32::from_bits(sign),
+        (0, m) => {
+            // Subnormal: value is m · 2⁻²⁴, exactly representable in f32.
+            let v = m as f32 * (1.0 / 16_777_216.0);
+            if sign != 0 {
+                -v
+            } else {
+                v
+            }
+        }
+        (0x1f, 0) => f32::from_bits(sign | 0x7f80_0000),
+        (0x1f, m) => f32::from_bits(sign | 0x7f80_0000 | (m << 13)),
+        (e, m) => f32::from_bits(sign | ((e as u32 + 112) << 23) | (m << 13)),
+    }
+}
+
+/// Quantize a whole f32 slice to f16 bits.
+pub fn f16_quantize(src: &[f32]) -> Vec<u16> {
+    src.iter().map(|&v| f32_to_f16(v)).collect()
+}
+
+/// Widen a whole f16-bits slice back to f32.
+pub fn f16_dequantize(src: &[u16]) -> Vec<f32> {
+    src.iter().map(|&h| f16_to_f32(h)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// int8 quantization
+// ---------------------------------------------------------------------------
+
+/// Symmetric per-row int8 quantization: each of the `scales.len()` rows
+/// of `a` (row-major, `k` wide) is scaled by its own absmax so that
+/// `q ∈ [-127, 127]` and `a[i][p] ≈ q[i][p] · scales[i]`. An all-zero
+/// (or non-finite-free zero-max) row gets scale 0 and all-zero codes.
+/// This is the *activation* quantizer — it runs per batch inside
+/// [`gemm_nt_i8_dyn`], so it carries an AVX2 fast path.
+pub fn quantize_rows_i8(a: &[f32], k: usize, q: &mut [i8], scales: &mut [f32]) {
+    quantize_rows_impl(a, k, q, scales, 127.0);
+}
+
+/// [`quantize_rows_i8`] with codes confined to `[-63, 63]` — the
+/// *weight* quantizer. The narrower range costs one bit of precision
+/// but guarantees the AVX2 `vpmaddubsw` tile in [`gemm_nt_i8`] cannot
+/// saturate its i16 intermediate (`127·63·2 < 2¹⁵`), keeping the
+/// integer dot product exact. Weights are quantized once at freeze
+/// time, activations on every batch, so the precision bit is spent on
+/// the operand that amortizes it.
+pub fn quantize_weights_i8(a: &[f32], k: usize, q: &mut [i8], scales: &mut [f32]) {
+    quantize_rows_impl(a, k, q, scales, 63.0);
+}
+
+fn quantize_rows_impl(a: &[f32], k: usize, q: &mut [i8], scales: &mut [f32], qmax: f32) {
+    let rows = scales.len();
+    assert_eq!(a.len(), rows * k, "input shape mismatch");
+    assert_eq!(q.len(), rows * k, "output shape mismatch");
+    for i in 0..rows {
+        let row = &a[i * k..(i + 1) * k];
+        let q_row = &mut q[i * k..(i + 1) * k];
+        let max = row_absmax(row);
+        if max == 0.0 || !max.is_finite() {
+            scales[i] = 0.0;
+            q_row.fill(0);
+            continue;
+        }
+        let inv = qmax / max;
+        scales[i] = max / qmax;
+        #[cfg(target_arch = "x86_64")]
+        if crate::gemm::simd_available() {
+            // SAFETY: AVX2 was detected at runtime.
+            unsafe { avx2q::quantize_row(row, inv, q_row) };
+            continue;
+        }
+        quantize_row_scalar(row, inv, q_row);
+    }
+}
+
+/// Largest `|v|` in the row, NaN elements ignored (matching
+/// `f32::max`); ±inf propagates so the caller zeroes the row.
+fn row_absmax(row: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if crate::gemm::simd_available() {
+        // SAFETY: AVX2 was detected at runtime.
+        return unsafe { avx2q::absmax(row) };
+    }
+    row.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// Round-half-away-from-zero quantization of one row; the SIMD path
+/// reproduces this exactly for finite inputs (NaN elements in a row
+/// whose absmax is finite may encode differently, which no caller
+/// produces).
+fn quantize_row_scalar(row: &[f32], inv: f32, q_row: &mut [i8]) {
+    for (qe, &v) in q_row.iter_mut().zip(row) {
+        *qe = (v * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+}
+
+/// Dequantize per-row int8 codes back to f32 (`rows = scales.len()`).
+pub fn dequantize_rows_i8(q: &[i8], k: usize, scales: &[f32]) -> Vec<f32> {
+    assert_eq!(q.len(), scales.len() * k, "shape mismatch");
+    q.chunks_exact(k)
+        .zip(scales)
+        .flat_map(|(row, &s)| row.iter().map(move |&v| v as f32 * s))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// int8 GEMM: C = dequant(Aq · Wqᵀ) + bias
+// ---------------------------------------------------------------------------
+
+/// `C[i,j] = a_scales[i] · w_scales[j] · Σₚ aq[i,p]·wtq[j,p] (+ bias[j])`.
+///
+/// `aq` is `[m, k]` row-major int8 with one scale per row (dynamic
+/// activation quantization); `wtq` is the weight matrix stored
+/// **transposed** `[n, k]` row-major with one scale per output channel
+/// — the layout that keeps both operands k-contiguous and the scales
+/// constant along the accumulation axis, so the i32 dot product is
+/// exact and dequantization is a two-multiply epilogue.
+///
+/// Weight codes must lie in `[-63, 63]` — the range
+/// [`quantize_weights_i8`] produces (checked by a `debug_assert`).
+/// Wider codes can saturate the AVX2 tile's i16 intermediate and
+/// silently skew results.
+pub fn gemm_nt_i8(
+    aq: &[i8],
+    a_scales: &[f32],
+    wtq: &[i8],
+    w_scales: &[f32],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(aq.len(), m * k);
+    debug_assert_eq!(a_scales.len(), m);
+    debug_assert_eq!(wtq.len(), n * k);
+    debug_assert_eq!(w_scales.len(), n);
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert!(
+        wtq.iter().all(|&w| (-63..=63).contains(&w)),
+        "int8 weight codes must fit ±63 (quantize_weights_i8) so the \
+         i16 intermediate cannot saturate"
+    );
+    if let Some(bias) = bias {
+        debug_assert_eq!(bias.len(), n);
+    }
+    if should_parallelize(m, k, n) {
+        pool::parallel_rows(c, m, n, |i0, block| {
+            serial_nt_i8(
+                aq,
+                a_scales,
+                wtq,
+                w_scales,
+                bias,
+                block,
+                i0,
+                block.len() / n,
+                k,
+                n,
+            );
+        });
+    } else {
+        serial_nt_i8(aq, a_scales, wtq, w_scales, bias, c, 0, m, k, n);
+    }
+}
+
+thread_local! {
+    /// Per-thread activation-quantization scratch for [`gemm_nt_i8_dyn`]:
+    /// reused across batches so the hot loop never allocates.
+    static ACT_SCRATCH: RefCell<(Vec<i8>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// [`gemm_nt_i8`] with f32 activations: quantizes each activation row on
+/// the fly (per-row absmax, thread-local scratch) then runs the integer
+/// kernel. This is the drop-in serving replacement for
+/// [`crate::gemm_nn`] against an int8 weight matrix.
+pub fn gemm_nt_i8_dyn(
+    a: &[f32],
+    wtq: &[i8],
+    w_scales: &[f32],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    ACT_SCRATCH.with(|s| {
+        let (q, scales) = &mut *s.borrow_mut();
+        q.clear();
+        q.resize(m * k, 0);
+        scales.clear();
+        scales.resize(m, 0.0);
+        quantize_rows_i8(a, k, q, scales);
+        gemm_nt_i8(q, scales, wtq, w_scales, bias, c, m, k, n);
+    });
+}
+
+/// One row block of the int8 NT kernel (runtime SIMD dispatch).
+fn serial_nt_i8(
+    aq: &[i8],
+    a_scales: &[f32],
+    wtq: &[i8],
+    w_scales: &[f32],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::gemm::simd_available() {
+        // SAFETY: AVX2 was detected at runtime.
+        unsafe { avx2q::block_nt_i8(aq, a_scales, wtq, w_scales, bias, c, i0, rows, k, n) };
+        return;
+    }
+    portable_nt_i8(aq, a_scales, wtq, w_scales, bias, c, i0, rows, k, n);
+}
+
+fn portable_nt_i8(
+    aq: &[i8],
+    a_scales: &[f32],
+    wtq: &[i8],
+    w_scales: &[f32],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    for r in 0..rows {
+        let a_row = &aq[(i0 + r) * k..(i0 + r + 1) * k];
+        let a_s = a_scales[i0 + r];
+        let c_row = &mut c[r * n..(r + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let w_row = &wtq[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&x, &w) in a_row.iter().zip(w_row) {
+                acc += x as i32 * w as i32;
+            }
+            *cv = acc as f32 * a_s * w_scales[j] + bias.map_or(0.0, |bb| bb[j]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f16 GEMM: the NN tile with widening weight loads
+// ---------------------------------------------------------------------------
+
+/// `C = A(m×k) · B(k×n) [+ bias(n)]` where `B` is stored as f16 bits in
+/// the same `[k, n]` row-major layout [`crate::gemm_nn`] uses. Weight
+/// bytes halve; the arithmetic stays f32 (each f16 widens exactly).
+pub fn gemm_nn_f16(
+    a: &[f32],
+    bh: &[u16],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(bh.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if let Some(bias) = bias {
+        debug_assert_eq!(bias.len(), n);
+    }
+    if should_parallelize(m, k, n) {
+        pool::parallel_rows(c, m, n, |i0, block| {
+            serial_nn_f16(a, bh, bias, block, i0, block.len() / n, k, n);
+        });
+    } else {
+        serial_nn_f16(a, bh, bias, c, 0, m, k, n);
+    }
+}
+
+/// Whether the F16C widening-load path is usable (with AVX2+FMA).
+#[cfg(target_arch = "x86_64")]
+fn f16c_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        crate::gemm::simd_available() && std::arch::is_x86_feature_detected!("f16c")
+    })
+}
+
+fn serial_nn_f16(
+    a: &[f32],
+    bh: &[u16],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if f16c_available() {
+        // SAFETY: AVX2, FMA and F16C were detected at runtime.
+        unsafe { avx2q::block_nn_f16(a, bh, bias, c, i0, rows, k, n) };
+        return;
+    }
+    portable_nn_f16(a, bh, bias, c, i0, rows, k, n);
+}
+
+fn portable_nn_f16(
+    a: &[f32],
+    bh: &[u16],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut r = 0;
+    while r < rows {
+        let take = (rows - r).min(4);
+        let c_base = r * n;
+        match bias {
+            Some(bias) => {
+                for rr in 0..take {
+                    c[c_base + rr * n..c_base + (rr + 1) * n].copy_from_slice(bias);
+                }
+            }
+            None => c[c_base..c_base + take * n].fill(0.0),
+        }
+        for p in 0..k {
+            let b_row = &bh[p * n..(p + 1) * n];
+            for rr in 0..take {
+                let a_v = a[(i0 + r + rr) * k + p];
+                let c_row = &mut c[c_base + rr * n..c_base + (rr + 1) * n];
+                for (cv, &hv) in c_row.iter_mut().zip(b_row) {
+                    *cv += a_v * f16_to_f32(hv);
+                }
+            }
+        }
+        r += take;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2q {
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of 8 i32 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_i32(v: __m256i) -> i32 {
+        let lo = _mm256_castsi256_si128(v);
+        let hi = _mm256_extracti128_si256(v, 1);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4e));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xb1));
+        _mm_cvtsi128_si32(s)
+    }
+
+    /// Largest `|v|` across the slice (AVX2). The accumulator is the
+    /// *second* `vmaxps` operand, so NaN lanes are ignored exactly like
+    /// the scalar `f32::max` fold; ±inf propagates.
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2` at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn absmax(row: &[f32]) -> f32 {
+        let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+        let k8 = row.len() - row.len() % 8;
+        let mut acc = _mm256_setzero_ps();
+        let mut p = 0;
+        while p < k8 {
+            let v = _mm256_and_ps(_mm256_loadu_ps(row.as_ptr().add(p)), abs_mask);
+            acc = _mm256_max_ps(v, acc);
+            p += 8;
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut max = lanes.iter().fold(0.0f32, |m, &v| m.max(v));
+        for &v in &row[k8..] {
+            max = max.max(v.abs());
+        }
+        max
+    }
+
+    /// Quantize one row with a precomputed `inv = qmax / absmax` scale
+    /// (AVX2): round half away from zero, clamp, pack 32 codes per
+    /// store. Bit-identical to the scalar path for finite inputs.
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2` at runtime; `q_row.len() ==
+    /// row.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn quantize_row(row: &[f32], inv: f32, q_row: &mut [i8]) {
+        let k = row.len();
+        let k32 = k - k % 32;
+        let vinv = _mm256_set1_ps(inv);
+        let half = _mm256_set1_ps(0.5);
+        let sign_mask = _mm256_set1_ps(-0.0);
+        let lo = _mm256_set1_epi32(-127);
+        let hi = _mm256_set1_epi32(127);
+        // packs_epi32/16 interleave 128-bit lanes; this permutation
+        // restores source order on the packed bytes.
+        let unshuffle = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+        let mut p = 0;
+        while p < k32 {
+            let mut chunk = [_mm256_setzero_si256(); 4];
+            for (t, out) in chunk.iter_mut().enumerate() {
+                let v = _mm256_mul_ps(_mm256_loadu_ps(row.as_ptr().add(p + 8 * t)), vinv);
+                // trunc(v + copysign(0.5, v)) = round half away from zero.
+                let rounded = _mm256_add_ps(v, _mm256_or_ps(_mm256_and_ps(sign_mask, v), half));
+                let i = _mm256_cvttps_epi32(rounded);
+                *out = _mm256_min_epi32(_mm256_max_epi32(i, lo), hi);
+            }
+            let p01 = _mm256_packs_epi32(chunk[0], chunk[1]);
+            let p23 = _mm256_packs_epi32(chunk[2], chunk[3]);
+            let packed = _mm256_permutevar8x32_epi32(_mm256_packs_epi16(p01, p23), unshuffle);
+            _mm256_storeu_si256(q_row.as_mut_ptr().add(p) as *mut __m256i, packed);
+            p += 32;
+        }
+        super::quantize_row_scalar(&row[k32..], inv, &mut q_row[k32..]);
+    }
+
+    /// int8 NT row block: dispatch to the 2-activation-row tile (the
+    /// register-pressure sweet spot: 8 accumulators + 4 weight regs).
+    /// Prefers the AVX-VNNI tile when the CPU has it: `vpdpbusd` fuses
+    /// the multiply-widen-accumulate chain into one instruction per 32
+    /// byte lanes, quadrupling integer MAC throughput over the
+    /// `vpmaddubsw` + `vpmaddwd` + `vpaddd` sequence.
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2` at runtime; slice extents are
+    /// established by the public entry points, and weight codes fit ±63.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn block_nt_i8(
+        aq: &[i8],
+        a_scales: &[f32],
+        wtq: &[i8],
+        w_scales: &[f32],
+        bias: Option<&[f32]>,
+        c: &mut [f32],
+        i0: usize,
+        rows: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let vnni = std::arch::is_x86_feature_detected!("avxvnni");
+        let mut r = 0;
+        while r < rows {
+            let take = (rows - r).min(2);
+            match (vnni, take) {
+                (true, 2) => {
+                    tile_nt_i8_vnni::<2>(aq, a_scales, wtq, w_scales, bias, c, i0, r, k, n)
+                }
+                (true, _) => {
+                    tile_nt_i8_vnni::<1>(aq, a_scales, wtq, w_scales, bias, c, i0, r, k, n)
+                }
+                (false, 2) => tile_nt_i8::<2>(aq, a_scales, wtq, w_scales, bias, c, i0, r, k, n),
+                (false, _) => tile_nt_i8::<1>(aq, a_scales, wtq, w_scales, bias, c, i0, r, k, n),
+            }
+            r += take;
+        }
+    }
+
+    /// The [`tile_nt_i8`] loop with `vpdpbusd` inner cells: unsigned
+    /// |a| × sign-transferred w accumulates straight into i32 lanes (the
+    /// instruction sums each group of four byte products exactly, so
+    /// the ±63 weight bound is not even needed here — it is kept for
+    /// the portable format shared with the `vpmaddubsw` fallback).
+    #[target_feature(enable = "avx2", enable = "avxvnni")]
+    unsafe fn tile_nt_i8_vnni<const R: usize>(
+        aq: &[i8],
+        a_scales: &[f32],
+        wtq: &[i8],
+        w_scales: &[f32],
+        bias: Option<&[f32]>,
+        c: &mut [f32],
+        i0: usize,
+        r0: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let k32 = k - k % 32;
+        let n4 = n - n % 4;
+        let mut j = 0;
+        while j < n4 {
+            let mut acc = [[_mm256_setzero_si256(); 4]; R];
+            let mut p = 0;
+            while p < k32 {
+                let mut wv = [_mm256_setzero_si256(); 4];
+                for (q, w) in wv.iter_mut().enumerate() {
+                    *w = _mm256_loadu_si256(wtq.as_ptr().add((j + q) * k + p) as *const __m256i);
+                }
+                for (r, row_acc) in acc.iter_mut().enumerate() {
+                    let av = _mm256_loadu_si256(
+                        aq.as_ptr().add((i0 + r0 + r) * k + p) as *const __m256i
+                    );
+                    let a_abs = _mm256_abs_epi8(av);
+                    for (cell, &w) in row_acc.iter_mut().zip(&wv) {
+                        *cell = _mm256_dpbusd_avx_epi32(*cell, a_abs, _mm256_sign_epi8(w, av));
+                    }
+                }
+                p += 32;
+            }
+            for (r, row_acc) in acc.iter().enumerate() {
+                let a_row = (i0 + r0 + r) * k;
+                let a_s = a_scales[i0 + r0 + r];
+                let c_at = (r0 + r) * n + j;
+                finish4_nt_i8(
+                    row_acc,
+                    aq,
+                    wtq,
+                    a_row,
+                    j,
+                    k32,
+                    k,
+                    a_s,
+                    w_scales,
+                    bias,
+                    &mut c[c_at..c_at + 4],
+                );
+            }
+            j += 4;
+        }
+        while j < n {
+            let mut acc = [_mm256_setzero_si256(); R];
+            let mut p = 0;
+            while p < k32 {
+                let wv = _mm256_loadu_si256(wtq.as_ptr().add(j * k + p) as *const __m256i);
+                for (r, cell) in acc.iter_mut().enumerate() {
+                    let av = _mm256_loadu_si256(
+                        aq.as_ptr().add((i0 + r0 + r) * k + p) as *const __m256i
+                    );
+                    *cell = _mm256_dpbusd_avx_epi32(
+                        *cell,
+                        _mm256_abs_epi8(av),
+                        _mm256_sign_epi8(wv, av),
+                    );
+                }
+                p += 32;
+            }
+            let w_row = j * k;
+            for (r, &cell) in acc.iter().enumerate() {
+                let a_row = (i0 + r0 + r) * k;
+                let dot = finish_nt_i8(
+                    cell,
+                    &aq[a_row + k32..a_row + k],
+                    &wtq[w_row + k32..w_row + k],
+                );
+                c[(r0 + r) * n + j] =
+                    dot as f32 * a_scales[i0 + r0 + r] * w_scales[j] + bias.map_or(0.0, |bb| bb[j]);
+            }
+            j += 1;
+        }
+    }
+
+    /// `R` activation rows × 4 weight rows per tile, 32 int8 lanes per
+    /// step: `vpsignb` moves the activation sign onto the weight codes
+    /// so `vpmaddubsw` (unsigned |a| × signed ±w) multiplies 32 pairs
+    /// per instruction; weight codes within ±63 keep its i16 pair sums
+    /// saturation-free, and `vpmaddwd` against ones widens to exact i32.
+    /// Float epilogue applies both scales and the bias.
+    #[target_feature(enable = "avx2")]
+    unsafe fn tile_nt_i8<const R: usize>(
+        aq: &[i8],
+        a_scales: &[f32],
+        wtq: &[i8],
+        w_scales: &[f32],
+        bias: Option<&[f32]>,
+        c: &mut [f32],
+        i0: usize,
+        r0: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let k32 = k - k % 32;
+        let ones = _mm256_set1_epi16(1);
+        let n4 = n - n % 4;
+        let mut j = 0;
+        while j < n4 {
+            let mut acc = [[_mm256_setzero_si256(); 4]; R];
+            let mut p = 0;
+            while p < k32 {
+                let mut wv = [_mm256_setzero_si256(); 4];
+                for (q, w) in wv.iter_mut().enumerate() {
+                    *w = _mm256_loadu_si256(wtq.as_ptr().add((j + q) * k + p) as *const __m256i);
+                }
+                for (r, row_acc) in acc.iter_mut().enumerate() {
+                    let av = _mm256_loadu_si256(
+                        aq.as_ptr().add((i0 + r0 + r) * k + p) as *const __m256i
+                    );
+                    let a_abs = _mm256_abs_epi8(av);
+                    for (cell, &w) in row_acc.iter_mut().zip(&wv) {
+                        let prod = _mm256_maddubs_epi16(a_abs, _mm256_sign_epi8(w, av));
+                        *cell = _mm256_add_epi32(*cell, _mm256_madd_epi16(prod, ones));
+                    }
+                }
+                p += 32;
+            }
+            for (r, row_acc) in acc.iter().enumerate() {
+                let a_row = (i0 + r0 + r) * k;
+                let a_s = a_scales[i0 + r0 + r];
+                let c_at = (r0 + r) * n + j;
+                finish4_nt_i8(
+                    row_acc,
+                    aq,
+                    wtq,
+                    a_row,
+                    j,
+                    k32,
+                    k,
+                    a_s,
+                    w_scales,
+                    bias,
+                    &mut c[c_at..c_at + 4],
+                );
+            }
+            j += 4;
+        }
+        while j < n {
+            let mut acc = [_mm256_setzero_si256(); R];
+            let mut p = 0;
+            while p < k32 {
+                let wv = _mm256_loadu_si256(wtq.as_ptr().add(j * k + p) as *const __m256i);
+                for (r, cell) in acc.iter_mut().enumerate() {
+                    let av = _mm256_loadu_si256(
+                        aq.as_ptr().add((i0 + r0 + r) * k + p) as *const __m256i
+                    );
+                    let prod = _mm256_maddubs_epi16(_mm256_abs_epi8(av), _mm256_sign_epi8(wv, av));
+                    *cell = _mm256_add_epi32(*cell, _mm256_madd_epi16(prod, ones));
+                }
+                p += 32;
+            }
+            let w_row = j * k;
+            for (r, &cell) in acc.iter().enumerate() {
+                let a_row = (i0 + r0 + r) * k;
+                let dot = finish_nt_i8(
+                    cell,
+                    &aq[a_row + k32..a_row + k],
+                    &wtq[w_row + k32..w_row + k],
+                );
+                c[(r0 + r) * n + j] =
+                    dot as f32 * a_scales[i0 + r0 + r] * w_scales[j] + bias.map_or(0.0, |bb| bb[j]);
+            }
+            j += 1;
+        }
+    }
+
+    /// Accumulator horizontal sum plus the scalar `k % 32` tail (which
+    /// needs no sign trick — plain i32 arithmetic is exact there).
+    #[target_feature(enable = "avx2")]
+    unsafe fn finish_nt_i8(acc: __m256i, a_tail: &[i8], w_tail: &[i8]) -> i32 {
+        let mut dot = hsum_i32(acc);
+        for (&x, &w) in a_tail.iter().zip(w_tail) {
+            dot += x as i32 * w as i32;
+        }
+        dot
+    }
+
+    /// Reduce the four j-cells of one activation row in one shot and
+    /// write the four outputs. Two `vphaddd` rounds transpose-reduce
+    /// the accumulators into `[dot0..dot3]` (lane sums land in matching
+    /// positions of the low/high 128-bit halves, one `vpaddd` merges
+    /// them), so short-`k` tiles pay ~6 shuffle ops per *four* cells
+    /// instead of ~6 per cell. The float epilogue evaluates the exact
+    /// expression of the scalar path — `(dot as f32 * a_s) * w_s + b` —
+    /// four lanes wide, so results stay bit-identical.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn finish4_nt_i8(
+        cells: &[__m256i; 4],
+        aq: &[i8],
+        wtq: &[i8],
+        a_row: usize,
+        j: usize,
+        k32: usize,
+        k: usize,
+        a_s: f32,
+        w_scales: &[f32],
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+    ) {
+        let s01 = _mm256_hadd_epi32(cells[0], cells[1]);
+        let s23 = _mm256_hadd_epi32(cells[2], cells[3]);
+        let s = _mm256_hadd_epi32(s01, s23);
+        let mut dots = _mm_add_epi32(_mm256_castsi256_si128(s), _mm256_extracti128_si256(s, 1));
+        if k32 < k {
+            let mut tails = [0i32; 4];
+            for (q, t) in tails.iter_mut().enumerate() {
+                let w_row = (j + q) * k;
+                for (&x, &w) in aq[a_row + k32..a_row + k]
+                    .iter()
+                    .zip(&wtq[w_row + k32..w_row + k])
+                {
+                    *t += x as i32 * w as i32;
+                }
+            }
+            dots = _mm_add_epi32(dots, _mm_loadu_si128(tails.as_ptr() as *const __m128i));
+        }
+        let scaled = _mm_mul_ps(
+            _mm_mul_ps(_mm_cvtepi32_ps(dots), _mm_set1_ps(a_s)),
+            _mm_loadu_ps(w_scales.as_ptr().add(j)),
+        );
+        let v = match bias {
+            Some(bb) => _mm_add_ps(scaled, _mm_loadu_ps(bb.as_ptr().add(j))),
+            None => scaled,
+        };
+        _mm_storeu_ps(out.as_mut_ptr(), v);
+    }
+
+    /// f16 NN row block: the 4×16 broadcast-FMA tile of the f32 kernel
+    /// with `vcvtph2ps` widening loads on the weight operand.
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2`, `fma` and `f16c` at runtime;
+    /// slice extents are established by the public entry points.
+    #[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+    pub(super) unsafe fn block_nn_f16(
+        a: &[f32],
+        bh: &[u16],
+        bias: Option<&[f32]>,
+        c: &mut [f32],
+        i0: usize,
+        rows: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let mut r = 0;
+        while r < rows {
+            let take = (rows - r).min(4);
+            match take {
+                4 => tile_rows_f16::<4>(a, bh, bias, c, i0, r, k, n),
+                3 => tile_rows_f16::<3>(a, bh, bias, c, i0, r, k, n),
+                2 => tile_rows_f16::<2>(a, bh, bias, c, i0, r, k, n),
+                _ => tile_rows_f16::<1>(a, bh, bias, c, i0, r, k, n),
+            }
+            r += take;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+    unsafe fn tile_rows_f16<const R: usize>(
+        a: &[f32],
+        bh: &[u16],
+        bias: Option<&[f32]>,
+        c: &mut [f32],
+        i0: usize,
+        r0: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let n16 = n - n % 16;
+        let mut j = 0;
+        while j < n16 {
+            let mut acc = [[_mm256_setzero_ps(); 2]; R];
+            if let Some(bias) = bias {
+                let b0 = _mm256_loadu_ps(bias.as_ptr().add(j));
+                let b1 = _mm256_loadu_ps(bias.as_ptr().add(j + 8));
+                acc.fill([b0, b1]);
+            }
+            for p in 0..k {
+                let bp = bh.as_ptr().add(p * n + j);
+                let b0 = _mm256_cvtph_ps(_mm_loadu_si128(bp as *const __m128i));
+                let b1 = _mm256_cvtph_ps(_mm_loadu_si128(bp.add(8) as *const __m128i));
+                for (r, row) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*a.get_unchecked((i0 + r0 + r) * k + p));
+                    row[0] = _mm256_fmadd_ps(av, b0, row[0]);
+                    row[1] = _mm256_fmadd_ps(av, b1, row[1]);
+                }
+            }
+            for (r, row) in acc.iter().enumerate() {
+                let cp = c.as_mut_ptr().add((r0 + r) * n + j);
+                _mm256_storeu_ps(cp, row[0]);
+                _mm256_storeu_ps(cp.add(8), row[1]);
+            }
+            j += 16;
+        }
+        let n8 = n - (n - n16) % 8;
+        while j < n8 {
+            let mut acc = [_mm256_setzero_ps(); R];
+            if let Some(bias) = bias {
+                acc = [_mm256_loadu_ps(bias.as_ptr().add(j)); R];
+            }
+            for p in 0..k {
+                let b0 =
+                    _mm256_cvtph_ps(_mm_loadu_si128(bh.as_ptr().add(p * n + j) as *const __m128i));
+                for (r, av) in acc.iter_mut().enumerate() {
+                    let a_v = _mm256_set1_ps(*a.get_unchecked((i0 + r0 + r) * k + p));
+                    *av = _mm256_fmadd_ps(a_v, b0, *av);
+                }
+            }
+            for (r, av) in acc.iter().enumerate() {
+                _mm256_storeu_ps(c.as_mut_ptr().add((r0 + r) * n + j), *av);
+            }
+            j += 8;
+        }
+        while j < n {
+            for r in 0..R {
+                let mut s = bias.map_or(0.0, |bb| bb[j]);
+                for p in 0..k {
+                    s += a[(i0 + r0 + r) * k + p] * super::f16_to_f32(bh[p * n + j]);
+                }
+                c[(r0 + r) * n + j] = s;
+            }
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, seed: u32) -> Vec<f32> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (s >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f16_roundtrip_is_exact_for_representable_values() {
+        for v in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            65504.0,
+            -65504.0,
+            6.1035e-5,
+            0.099975586,
+        ] {
+            let back = f16_to_f32(f32_to_f16(v));
+            assert!(
+                (back - v).abs() <= v.abs() * 1e-3 + 1e-7,
+                "{v} -> {back} lost too much"
+            );
+        }
+        // Exactly representable halves roundtrip bit-perfectly.
+        for h in [0u16, 0x3c00, 0xbc00, 0x7bff, 0x0001, 0x03ff, 0x0400] {
+            assert_eq!(f32_to_f16(f16_to_f32(h)), h, "half bits {h:#x}");
+        }
+    }
+
+    #[test]
+    fn f16_special_values() {
+        assert_eq!(f32_to_f16(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16(f32::NEG_INFINITY), 0xfc00);
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        assert_eq!(f32_to_f16(1e9), 0x7c00, "overflow saturates to inf");
+        assert_eq!(f32_to_f16(1e-12), 0, "underflow flushes to zero");
+        assert!(f16_to_f32(0x7c00).is_infinite());
+        assert!(f16_to_f32(0x7e00).is_nan());
+    }
+
+    #[test]
+    fn f16_conversion_error_is_half_ulp() {
+        for &v in pseudo(2000, 11).iter() {
+            let q = f16_to_f32(f32_to_f16(v));
+            // Relative error ≤ 2⁻¹¹ for normal halves.
+            assert!(
+                (q - v).abs() <= v.abs() * 4.9e-4 + 6e-8,
+                "{v} quantized to {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_rows_i8_bounds_error_and_handles_zero_rows() {
+        let k = 37;
+        let mut a = pseudo(5 * k, 3);
+        a[2 * k..3 * k].fill(0.0); // an all-zero row
+        let mut q = vec![0i8; 5 * k];
+        let mut scales = vec![0.0f32; 5];
+        quantize_rows_i8(&a, k, &mut q, &mut scales);
+        assert_eq!(scales[2], 0.0);
+        assert!(q[2 * k..3 * k].iter().all(|&v| v == 0));
+        for i in 0..5 {
+            for p in 0..k {
+                let back = q[i * k + p] as f32 * scales[i];
+                assert!(
+                    (back - a[i * k + p]).abs() <= scales[i] * 0.5 + 1e-9,
+                    "row {i} col {p}: {} vs {back}",
+                    a[i * k + p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_weights_i8_stays_in_the_saturation_proof_range() {
+        let k = 53;
+        let a = pseudo(7 * k, 7);
+        let mut q = vec![0i8; 7 * k];
+        let mut scales = vec![0.0f32; 7];
+        quantize_weights_i8(&a, k, &mut q, &mut scales);
+        assert!(q.iter().all(|&v| (-63..=63).contains(&v)), "{q:?}");
+        for i in 0..7 {
+            for p in 0..k {
+                let back = q[i * k + p] as f32 * scales[i];
+                // Half a step of the coarser ±63 grid.
+                assert!(
+                    (back - a[i * k + p]).abs() <= scales[i] * 0.5 + 1e-9,
+                    "row {i} col {p}: {} vs {back}",
+                    a[i * k + p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_i8_is_exact_at_saturation_extremes() {
+        // Worst case for the maddubs i16 intermediate: every activation
+        // code at ±127 and every weight code at ±63, with signs chosen so
+        // adjacent k-pairs accumulate with the same sign. 127·63·2 = 16002
+        // stays inside i16, so the kernel must still match the exact i32
+        // reference bit for bit.
+        let (m, k, n) = (5, 67, 9);
+        let aq: Vec<i8> = (0..m * k)
+            .map(|i| if (i / 2) % 2 == 0 { 127 } else { -127 })
+            .collect();
+        let wq: Vec<i8> = (0..n * k)
+            .map(|i| if (i / 2) % 2 == 0 { 63 } else { -63 })
+            .collect();
+        let a_scales = vec![1.0f32; m];
+        let w_scales = vec![1.0f32; n];
+        let want = naive_i8(&aq, &a_scales, &wq, &w_scales, None, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_nt_i8(&aq, &a_scales, &wq, &w_scales, None, &mut got, m, k, n);
+        assert_eq!(got, want);
+    }
+
+    fn naive_i8(
+        aq: &[i8],
+        a_scales: &[f32],
+        wtq: &[i8],
+        w_scales: &[f32],
+        bias: Option<&[f32]>,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for p in 0..k {
+                    acc += aq[i * k + p] as i32 * wtq[j * k + p] as i32;
+                }
+                c[i * n + j] =
+                    acc as f32 * a_scales[i] * w_scales[j] + bias.map_or(0.0, |bb| bb[j]);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_nt_i8_matches_naive_exactly() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 17, 5),
+            (4, 16, 16),
+            (5, 33, 7),
+            (9, 64, 12),
+            (2, 100, 3),
+        ] {
+            let af = pseudo(m * k, 21);
+            let wf = pseudo(n * k, 22);
+            let mut aq = vec![0i8; m * k];
+            let mut a_scales = vec![0.0f32; m];
+            quantize_rows_i8(&af, k, &mut aq, &mut a_scales);
+            let mut wq = vec![0i8; n * k];
+            let mut w_scales = vec![0.0f32; n];
+            quantize_weights_i8(&wf, k, &mut wq, &mut w_scales);
+            let bias = pseudo(n, 23);
+            for bias in [None, Some(&bias[..])] {
+                let want = naive_i8(&aq, &a_scales, &wq, &w_scales, bias, m, k, n);
+                let mut got = vec![0.0f32; m * n];
+                gemm_nt_i8(&aq, &a_scales, &wq, &w_scales, bias, &mut got, m, k, n);
+                // The integer dot product is exact; the epilogue is the
+                // same float expression in both paths.
+                assert_eq!(got, want, "at {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_i8_dyn_tracks_f32_gemm() {
+        let (m, k, n) = (6, 48, 24);
+        let a = pseudo(m * k, 31);
+        let wf = pseudo(n * k, 32); // stored [n, k] (transposed)
+        let mut wq = vec![0i8; n * k];
+        let mut w_scales = vec![0.0f32; n];
+        quantize_weights_i8(&wf, k, &mut wq, &mut w_scales);
+        // f32 reference on the *same* weights, NN layout.
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = wf[j * k + p];
+            }
+        }
+        let mut want = vec![0.0f32; m * n];
+        crate::gemm_nn(&a, &b, None, &mut want, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_nt_i8_dyn(&a, &wq, &w_scales, None, &mut got, m, k, n);
+        // Two rounds of 8-bit quantization: error is bounded by the
+        // product of the per-row scales times k, loosely 1e-2 at this
+        // magnitude.
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 2e-2, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn gemm_nn_f16_matches_widened_reference() {
+        for &(m, k, n) in &[(1, 3, 1), (5, 7, 19), (4, 16, 48), (7, 30, 33), (3, 5, 8)] {
+            let a = pseudo(m * k, 41);
+            let bf = pseudo(k * n, 42);
+            let bh = f16_quantize(&bf);
+            let bw = f16_dequantize(&bh); // exactly what the kernel sees
+            let bias = pseudo(n, 43);
+            for bias in [None, Some(&bias[..])] {
+                let mut want = vec![0.0f32; m * n];
+                crate::gemm_nn(&a, &bw, bias, &mut want, m, k, n);
+                let mut got = vec![0.0f32; m * n];
+                gemm_nn_f16(&a, &bh, bias, &mut got, m, k, n);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() <= 1e-4, "{g} vs {w} at {m}x{k}x{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_parallel_shapes_agree_with_serial() {
+        // Crosses the parallelism threshold so the pool path runs.
+        let (m, k, n) = (96, 72, 80);
+        let a = pseudo(m * k, 51);
+        let wf = pseudo(n * k, 52);
+        let mut wq = vec![0i8; n * k];
+        let mut w_scales = vec![0.0f32; n];
+        quantize_weights_i8(&wf, k, &mut wq, &mut w_scales);
+        let mut aq = vec![0i8; m * k];
+        let mut a_scales = vec![0.0f32; m];
+        quantize_rows_i8(&a, k, &mut aq, &mut a_scales);
+        let want = naive_i8(&aq, &a_scales, &wq, &w_scales, None, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_nt_i8(&aq, &a_scales, &wq, &w_scales, None, &mut got, m, k, n);
+        assert_eq!(got, want);
+
+        let bh = f16_quantize(&pseudo(k * n, 53));
+        let bw = f16_dequantize(&bh);
+        let mut want = vec![0.0f32; m * n];
+        crate::gemm_nn(&a, &bw, None, &mut want, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_nn_f16(&a, &bh, None, &mut got, m, k, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-3, "{g} vs {w}");
+        }
+    }
+}

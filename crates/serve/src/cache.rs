@@ -18,23 +18,32 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
-/// Hashable identity of an encoding: same ids + segments + mask + CLS
-/// index ⇒ same score, because the frozen forward is deterministic.
+/// Hashable identity of an encoding *under one model version*: same
+/// ids/segments/mask/CLS index ⇒ same score, because the frozen
+/// forward is deterministic — but only while the same model is serving.
+/// The version is part of the key, so a hot-swap
+/// ([`ServeMatcher::swap_model`](crate::ServeMatcher::swap_model))
+/// invalidates every cached score structurally: post-swap probes carry
+/// the new version and miss, and the stale entries age out of the LRU
+/// on their own.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct CacheKey {
     ids: Vec<u32>,
     segments: Vec<u8>,
     mask: Vec<u8>,
     cls_index: usize,
+    version: u64,
 }
 
-impl From<&Encoding> for CacheKey {
-    fn from(e: &Encoding) -> Self {
+impl CacheKey {
+    /// Key for `e` as scored by model `version`.
+    pub(crate) fn versioned(e: &Encoding, version: u64) -> Self {
         Self {
             ids: e.ids.clone(),
             segments: e.segments.clone(),
             mask: e.mask.clone(),
             cls_index: e.cls_index,
+            version,
         }
     }
 }
@@ -157,7 +166,23 @@ mod tests {
             segments: vec![0, 0, 0],
             mask: vec![1, 1, 0],
             cls_index: 0,
+            version: 1,
         }
+    }
+
+    #[test]
+    fn versions_partition_the_key_space() {
+        let mut c = LruCache::new(4);
+        let v1 = key(7);
+        let v2 = CacheKey {
+            version: 2,
+            ..key(7)
+        };
+        c.put(v1.clone(), 0.25);
+        assert_eq!(c.get(&v2), None, "a swap's new version must miss");
+        c.put(v2.clone(), 0.75);
+        assert_eq!(c.get(&v1), Some(0.25));
+        assert_eq!(c.get(&v2), Some(0.75));
     }
 
     #[test]

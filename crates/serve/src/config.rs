@@ -491,6 +491,51 @@ impl fmt::Display for ServeError {
 
 impl Error for ServeError {}
 
+/// Why a live model hot-swap was refused. Swaps are rejected *before*
+/// any worker sees the incoming model, so a failed swap leaves serving
+/// exactly as it was.
+#[derive(Debug)]
+pub enum SwapError {
+    /// The incoming model differs from the serving one in a dimension
+    /// the running pipeline depends on (bucketing, cached encodings,
+    /// tokenizer ids), so it cannot replace it under live traffic.
+    Incompatible {
+        /// Which property differs.
+        field: &'static str,
+        /// Value on the currently serving model.
+        current: String,
+        /// Value on the rejected incoming model.
+        incoming: String,
+    },
+    /// The checkpoint could not be loaded at all.
+    Checkpoint(em_checkpoint::CheckpointError),
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::Incompatible {
+                field,
+                current,
+                incoming,
+            } => write!(
+                f,
+                "incoming model is incompatible with live traffic: {field} is {incoming} \
+                 but the serving model has {current}"
+            ),
+            SwapError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+        }
+    }
+}
+
+impl Error for SwapError {}
+
+impl From<em_checkpoint::CheckpointError> for SwapError {
+    fn from(e: em_checkpoint::CheckpointError) -> Self {
+        SwapError::Checkpoint(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,9 +15,13 @@
 //! all four architectures — while running several times faster per
 //! example than the autograd batch-1 path.
 
+use em_checkpoint::TensorBuf;
 use em_core::EmMatcher;
 use em_data::{Dataset, EntityPair};
-use em_kernels::{gelu, gemm_nn, layer_norm_rows, softmax_rows};
+use em_kernels::{
+    dequantize_rows_i8, f16_dequantize, f16_quantize, gelu, gemm_nn, gemm_nn_f16, gemm_nt_i8_dyn,
+    layer_norm_rows, quantize_weights_i8, softmax_rows,
+};
 use em_nn::Linear;
 use em_tensor::{softmax_array, Array};
 use em_tokenizers::{encode_pair, AnyTokenizer, ClsPosition, Encoding};
@@ -25,43 +29,231 @@ use em_transformers::{
     Architecture, Batch, ClassificationHead, TransformerConfig, TransformerModel,
 };
 
-/// An inference-only dense layer: `y = x·W + b` on raw arrays.
-#[derive(Debug, Clone)]
-pub struct FrozenLinear {
-    /// Weight matrix `[in, out]`.
-    pub w: Array,
-    /// Bias `[out]`.
-    pub b: Array,
+/// Numeric representation of a frozen model's linear weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Full-precision `f32` weights (the freezing default).
+    F32,
+    /// IEEE half-precision weights, widened to f32 inside the GEMM tile.
+    F16,
+    /// Symmetric per-output-row int8 weights with dynamic per-row
+    /// activation quantization (integer dot, float epilogue).
+    Int8,
 }
 
-impl From<&Linear> for FrozenLinear {
-    fn from(l: &Linear) -> Self {
-        Self {
-            w: l.w.value(),
-            b: l.b.value(),
+impl QuantMode {
+    /// Stable lowercase name (used in checkpoints, flags and metrics).
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantMode::F32 => "f32",
+            QuantMode::F16 => "f16",
+            QuantMode::Int8 => "int8",
+        }
+    }
+
+    /// Parse a [`QuantMode::name`] back.
+    pub fn parse(s: &str) -> Option<QuantMode> {
+        match s {
+            "f32" => Some(QuantMode::F32),
+            "f16" => Some(QuantMode::F16),
+            "int8" => Some(QuantMode::Int8),
+            _ => None,
         }
     }
 }
 
+impl std::fmt::Display for QuantMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The weight payload of one dense layer, in whichever representation
+/// the model was quantized to. All variants hold [`TensorBuf`]s so a
+/// checkpoint-loaded layer is a zero-copy view into the file mapping.
+#[derive(Debug, Clone)]
+pub(crate) enum Weights {
+    /// `[in, out]` row-major f32 — the GEMM-ready layout.
+    F32(TensorBuf),
+    /// `[in, out]` row-major f16 bits; widened inside the kernel.
+    F16(TensorBuf),
+    /// Int8 with per-output-row scales. The codes are stored transposed
+    /// (`[out, in]`, reduction-contiguous) so the integer dot product
+    /// runs along cache lines, and because the scale is constant along
+    /// the reduction axis the i32 accumulation is exact.
+    Int8 {
+        /// `[out, in]` int8 codes.
+        qt: TensorBuf,
+        /// `[out]` per-row dequantization scales.
+        scales: TensorBuf,
+    },
+}
+
+/// An inference-only dense layer: `y = x·W + b`, with `W` stored in any
+/// [`QuantMode`] representation.
+#[derive(Debug, Clone)]
+pub struct FrozenLinear {
+    pub(crate) w: Weights,
+    pub(crate) b: Vec<f32>,
+}
+
+impl From<&Linear> for FrozenLinear {
+    fn from(l: &Linear) -> Self {
+        let w = l.w.value();
+        FrozenLinear::from_f32(
+            w.data().to_vec(),
+            w.shape().to_vec(),
+            l.b.value().into_vec(),
+        )
+    }
+}
+
 impl FrozenLinear {
-    /// Apply to `[.., in]` input.
-    pub fn forward(&self, x: &Array) -> Array {
-        x.matmul(&self.w).add(&self.b)
+    /// Build a full-precision layer from a `[in, out]` weight buffer.
+    pub fn from_f32(w: Vec<f32>, shape: Vec<usize>, b: Vec<f32>) -> FrozenLinear {
+        assert_eq!(shape.len(), 2, "linear weights must be 2-D");
+        assert_eq!(b.len(), shape[1], "bias length must match out features");
+        FrozenLinear {
+            w: Weights::F32(TensorBuf::from_f32(w, shape)),
+            b,
+        }
     }
 
-    /// Apply to `rows` flat row-major input rows through the fused kernel.
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        match &self.w {
+            Weights::F32(t) | Weights::F16(t) => t.shape()[0],
+            Weights::Int8 { qt, .. } => qt.shape()[1],
+        }
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        match &self.w {
+            Weights::F32(t) | Weights::F16(t) => t.shape()[1],
+            Weights::Int8 { qt, .. } => qt.shape()[0],
+        }
+    }
+
+    /// Representation the weights are currently stored in.
+    pub fn mode(&self) -> QuantMode {
+        match &self.w {
+            Weights::F32(_) => QuantMode::F32,
+            Weights::F16(_) => QuantMode::F16,
+            Weights::Int8 { .. } => QuantMode::Int8,
+        }
+    }
+
+    /// Weight + bias + scale bytes actually resident for this layer.
+    pub fn weight_bytes(&self) -> usize {
+        let w = match &self.w {
+            Weights::F32(t) | Weights::F16(t) => t.byte_len(),
+            Weights::Int8 { qt, scales } => qt.byte_len() + scales.byte_len(),
+        };
+        w + self.b.len() * 4
+    }
+
+    /// The weights widened back to a dense `[in, out]` f32 buffer.
+    fn dense(&self) -> Vec<f32> {
+        let (k, n) = (self.in_features(), self.out_features());
+        match &self.w {
+            Weights::F32(t) => t.as_f32().to_vec(),
+            Weights::F16(t) => f16_dequantize(t.as_u16()),
+            Weights::Int8 { qt, scales } => {
+                // Stored [n, k]; dequantize then transpose back to [k, n].
+                let wt = dequantize_rows_i8(qt.as_i8(), k, scales.as_f32());
+                let mut w = vec![0.0f32; k * n];
+                for j in 0..n {
+                    for p in 0..k {
+                        w[p * n + j] = wt[j * k + p];
+                    }
+                }
+                w
+            }
+        }
+    }
+
+    /// Re-encode the weights in `mode`. Quantization always restarts
+    /// from the widened dense form, so converting f32 → int8 → f16
+    /// never compounds int8 error into the f16 encoding.
+    pub fn quantize(&self, mode: QuantMode) -> FrozenLinear {
+        if mode == self.mode() {
+            return self.clone();
+        }
+        let (k, n) = (self.in_features(), self.out_features());
+        let dense = self.dense();
+        let w = match mode {
+            QuantMode::F32 => Weights::F32(TensorBuf::from_f32(dense, vec![k, n])),
+            QuantMode::F16 => Weights::F16(TensorBuf::from_u16(f16_quantize(&dense), vec![k, n])),
+            QuantMode::Int8 => {
+                // Transpose to [n, k] so each output row is contiguous,
+                // then quantize per output row.
+                let mut wt = vec![0.0f32; n * k];
+                for p in 0..k {
+                    for j in 0..n {
+                        wt[j * k + p] = dense[p * n + j];
+                    }
+                }
+                let mut qt = vec![0i8; n * k];
+                let mut scales = vec![0.0f32; n];
+                // ±63 codes: the range the integer GEMM's i16 intermediate
+                // is saturation-proof for (see em-kernels::quantize_weights_i8).
+                quantize_weights_i8(&wt, k, &mut qt, &mut scales);
+                Weights::Int8 {
+                    qt: TensorBuf::from_i8(qt, vec![n, k]),
+                    scales: TensorBuf::from_f32(scales, vec![n]),
+                }
+            }
+        };
+        FrozenLinear {
+            w,
+            b: self.b.clone(),
+        }
+    }
+
+    /// Apply to `[.., in]` input, preserving the leading shape.
+    pub fn forward(&self, x: &Array) -> Array {
+        let (k, n) = (self.in_features(), self.out_features());
+        assert_eq!(
+            x.shape().last().copied(),
+            Some(k),
+            "input width must match in features"
+        );
+        let rows = x.len() / k;
+        let mut out = vec![0.0f32; rows * n];
+        self.forward_flat(x.data(), &mut out, rows);
+        let mut shape = x.shape().to_vec();
+        *shape.last_mut().unwrap() = n;
+        Array::from_vec(out, shape)
+    }
+
+    /// Apply to `rows` flat row-major input rows through the kernel
+    /// matching the stored representation.
     fn forward_flat(&self, x: &[f32], out: &mut [f32], rows: usize) {
-        let (k, n) = (self.w.shape()[0], self.w.shape()[1]);
-        gemm_nn(x, self.w.data(), Some(self.b.data()), out, rows, k, n);
+        let (k, n) = (self.in_features(), self.out_features());
+        match &self.w {
+            Weights::F32(t) => gemm_nn(x, t.as_f32(), Some(&self.b), out, rows, k, n),
+            Weights::F16(t) => gemm_nn_f16(x, t.as_u16(), Some(&self.b), out, rows, k, n),
+            Weights::Int8 { qt, scales } => gemm_nt_i8_dyn(
+                x,
+                qt.as_i8(),
+                scales.as_f32(),
+                Some(&self.b),
+                out,
+                rows,
+                k,
+                n,
+            ),
+        }
     }
 }
 
 /// Inference-only layer norm parameters.
 #[derive(Debug, Clone)]
-struct FrozenNorm {
-    gamma: Vec<f32>,
-    beta: Vec<f32>,
-    eps: f32,
+pub(crate) struct FrozenNorm {
+    pub(crate) gamma: Vec<f32>,
+    pub(crate) beta: Vec<f32>,
+    pub(crate) eps: f32,
 }
 
 impl FrozenNorm {
@@ -79,12 +271,14 @@ impl FrozenNorm {
 }
 
 /// Inference-only input embedding block (token + position + segment + norm).
+/// Tables stay f32 in every quant mode — they are gathered row-by-row,
+/// never multiplied, so shrinking them buys little and costs accuracy.
 #[derive(Debug, Clone)]
-struct FrozenEmbeddings {
-    token: Array,
-    position: Option<Array>,
-    segment: Option<Array>,
-    norm: FrozenNorm,
+pub(crate) struct FrozenEmbeddings {
+    pub(crate) token: TensorBuf,
+    pub(crate) position: Option<TensorBuf>,
+    pub(crate) segment: Option<TensorBuf>,
+    pub(crate) norm: FrozenNorm,
 }
 
 impl FrozenEmbeddings {
@@ -96,7 +290,7 @@ impl FrozenEmbeddings {
         let t = ids.first().map_or(0, Vec::len);
         let d = self.norm.gamma.len();
         let vocab = self.token.shape()[0];
-        let token = self.token.data();
+        let token = self.token.as_f32();
         let mut x = vec![0.0f32; b * t * d];
         for (bi, row) in ids.iter().enumerate() {
             for (ti, &id) in row.iter().enumerate() {
@@ -111,7 +305,7 @@ impl FrozenEmbeddings {
                 "sequence length {t} exceeds the position table ({})",
                 pos.shape()[0]
             );
-            let pd = pos.data();
+            let pd = pos.as_f32();
             for bi in 0..b {
                 for ti in 0..t {
                     let dst = &mut x[(bi * t + ti) * d..(bi * t + ti + 1) * d];
@@ -123,7 +317,7 @@ impl FrozenEmbeddings {
         }
         if let Some(seg) = &self.segment {
             let max = seg.shape()[0] - 1;
-            let sd = seg.data();
+            let sd = seg.as_f32();
             for (bi, row) in segments.iter().enumerate() {
                 for (ti, &s) in row.iter().enumerate() {
                     let sid = s.min(max);
@@ -173,19 +367,19 @@ impl Scratch {
 /// Inference-only multi-head attention + FFN encoder layer with the Q/K/V
 /// projections fused into one `[d, 3d]` matrix.
 #[derive(Debug, Clone)]
-struct FrozenLayer {
-    wqkv: Vec<f32>, // [d, 3d]: columns are Wq | Wk | Wv
-    bqkv: Vec<f32>, // [3d]
-    o: FrozenLinear,
-    heads: usize,
-    norm1: FrozenNorm,
-    fc1: FrozenLinear,
-    fc2: FrozenLinear,
-    norm2: FrozenNorm,
+pub(crate) struct FrozenLayer {
+    /// Fused `[d, 3d]` Q|K|V projection.
+    pub(crate) qkv: FrozenLinear,
+    pub(crate) o: FrozenLinear,
+    pub(crate) heads: usize,
+    pub(crate) norm1: FrozenNorm,
+    pub(crate) fc1: FrozenLinear,
+    pub(crate) fc2: FrozenLinear,
+    pub(crate) norm2: FrozenNorm,
 }
 
 impl FrozenLayer {
-    fn fuse_qkv(q: &Linear, k: &Linear, v: &Linear) -> (Vec<f32>, Vec<f32>) {
+    fn fuse_qkv(q: &Linear, k: &Linear, v: &Linear) -> FrozenLinear {
         let (qw, kw, vw) = (q.w.value(), k.w.value(), v.w.value());
         let d = qw.shape()[0];
         let n = qw.shape()[1];
@@ -198,7 +392,7 @@ impl FrozenLayer {
         let mut b = q.b.value().into_vec();
         b.extend(k.b.value().into_vec());
         b.extend(v.b.value().into_vec());
-        (w, b)
+        FrozenLinear::from_f32(w, vec![d, 3 * n], b)
     }
 
     /// Mirror of `EncoderLayer::forward` in eval mode, in place on the
@@ -218,7 +412,9 @@ impl FrozenLayer {
         let rows = b * t;
 
         // Attention: fused QKV projection, then per-(sample, head) GEMMs.
-        gemm_nn(x, &self.wqkv, Some(&self.bqkv), &mut s.qkv, rows, d, 3 * d);
+        // Only weight-times-activation products go through the quantized
+        // kernels; the activation-activation attention GEMMs stay f32.
+        self.qkv.forward_flat(x, &mut s.qkv, rows);
         for bi in 0..b {
             for ti in 0..t {
                 let row = &s.qkv[(bi * t + ti) * 3 * d..(bi * t + ti + 1) * 3 * d];
@@ -318,11 +514,11 @@ impl FrozenLayer {
 
 /// Inference-only relative-position bias table (XLNet).
 #[derive(Debug, Clone)]
-struct FrozenRelativeBias {
+pub(crate) struct FrozenRelativeBias {
     /// `[heads, 2*clamp+1]` bias table.
-    table: Array,
-    clamp: usize,
-    heads: usize,
+    pub(crate) table: TensorBuf,
+    pub(crate) clamp: usize,
+    pub(crate) heads: usize,
 }
 
 impl FrozenRelativeBias {
@@ -330,7 +526,7 @@ impl FrozenRelativeBias {
     fn bias_flat(&self, t: usize) -> Vec<f32> {
         let clamp = self.clamp as isize;
         let width = 2 * self.clamp + 1;
-        let data = self.table.data();
+        let data = self.table.as_f32();
         let mut out = Vec::with_capacity(self.heads * t * t);
         for h in 0..self.heads {
             for i in 0..t {
@@ -353,10 +549,16 @@ impl FrozenRelativeBias {
 pub struct FrozenModel {
     /// The configuration the source model was built from.
     pub config: TransformerConfig,
-    embeddings: FrozenEmbeddings,
-    layers: Vec<FrozenLayer>,
-    relative: Option<FrozenRelativeBias>,
-    pooler: FrozenLinear,
+    pub(crate) quant: QuantMode,
+    pub(crate) embeddings: FrozenEmbeddings,
+    pub(crate) layers: Vec<FrozenLayer>,
+    pub(crate) relative: Option<FrozenRelativeBias>,
+    pub(crate) pooler: FrozenLinear,
+}
+
+fn table_buf(a: Array) -> TensorBuf {
+    let shape = a.shape().to_vec();
+    TensorBuf::from_f32(a.into_vec(), shape)
 }
 
 impl From<&TransformerModel> for FrozenModel {
@@ -364,32 +566,28 @@ impl From<&TransformerModel> for FrozenModel {
         let emb = &m.embeddings;
         Self {
             config: m.config.clone(),
+            quant: QuantMode::F32,
             embeddings: FrozenEmbeddings {
-                token: emb.token().table.value(),
-                position: emb.position().map(|p| p.table.value()),
-                segment: emb.segment().map(|s| s.table.value()),
+                token: table_buf(emb.token().table.value()),
+                position: emb.position().map(|p| table_buf(p.table.value())),
+                segment: emb.segment().map(|s| table_buf(s.table.value())),
                 norm: FrozenNorm::from_norm(emb.norm()),
             },
             layers: m
                 .layers
                 .iter()
-                .map(|l| {
-                    let (wqkv, bqkv) =
-                        FrozenLayer::fuse_qkv(&l.attention.q, &l.attention.k, &l.attention.v);
-                    FrozenLayer {
-                        wqkv,
-                        bqkv,
-                        o: FrozenLinear::from(&l.attention.o),
-                        heads: l.attention.heads,
-                        norm1: FrozenNorm::from_norm(&l.norm1),
-                        fc1: FrozenLinear::from(&l.ffn.fc1),
-                        fc2: FrozenLinear::from(&l.ffn.fc2),
-                        norm2: FrozenNorm::from_norm(&l.norm2),
-                    }
+                .map(|l| FrozenLayer {
+                    qkv: FrozenLayer::fuse_qkv(&l.attention.q, &l.attention.k, &l.attention.v),
+                    o: FrozenLinear::from(&l.attention.o),
+                    heads: l.attention.heads,
+                    norm1: FrozenNorm::from_norm(&l.norm1),
+                    fc1: FrozenLinear::from(&l.ffn.fc1),
+                    fc2: FrozenLinear::from(&l.ffn.fc2),
+                    norm2: FrozenNorm::from_norm(&l.norm2),
                 })
                 .collect(),
             relative: m.relative.as_ref().map(|r| FrozenRelativeBias {
-                table: r.table.value(),
+                table: table_buf(r.table.value()),
                 clamp: r.clamp(),
                 heads: r.heads(),
             }),
@@ -423,7 +621,7 @@ impl FrozenModel {
             )
         };
         let rel = self.relative.as_ref().map(|r| r.bias_flat(t));
-        let inner = self.layers.first().map_or(0, |l| l.fc1.w.shape()[1]);
+        let inner = self.layers.first().map_or(0, |l| l.fc1.out_features());
         let mut scratch = Scratch::new(b, t, d, self.config.heads, inner);
         for layer in &self.layers {
             layer.forward_flat(&mut x, mask.as_deref(), rel.as_deref(), b, t, &mut scratch);
@@ -450,20 +648,21 @@ impl FrozenModel {
             .map(f32::tanh)
     }
 
-    /// Total number of frozen scalar weights.
+    /// Total number of frozen scalar weights (independent of the stored
+    /// representation — int8 quantization scales are derived values and
+    /// not counted).
     pub fn num_parameters(&self) -> usize {
-        let lin = |l: &FrozenLinear| l.w.len() + l.b.len();
+        let lin = |l: &FrozenLinear| l.in_features() * l.out_features() + l.b.len();
         let norm = |n: &FrozenNorm| n.gamma.len() + n.beta.len();
         let emb = self.embeddings.token.len()
-            + self.embeddings.position.as_ref().map_or(0, Array::len)
-            + self.embeddings.segment.as_ref().map_or(0, Array::len)
+            + self.embeddings.position.as_ref().map_or(0, TensorBuf::len)
+            + self.embeddings.segment.as_ref().map_or(0, TensorBuf::len)
             + norm(&self.embeddings.norm);
         let layers: usize = self
             .layers
             .iter()
             .map(|l| {
-                l.wqkv.len()
-                    + l.bqkv.len()
+                lin(&l.qkv)
                     + lin(&l.o)
                     + lin(&l.fc1)
                     + lin(&l.fc2)
@@ -472,6 +671,71 @@ impl FrozenModel {
             })
             .sum();
         emb + layers + self.relative.as_ref().map_or(0, |r| r.table.len()) + lin(&self.pooler)
+    }
+
+    /// Representation the encoder's linear weights are stored in.
+    pub fn quant(&self) -> QuantMode {
+        self.quant
+    }
+
+    /// Re-encode every linear weight in `mode`. Embeddings, norms and
+    /// the relative-bias table stay f32; attention score/context GEMMs
+    /// are activation-activation and unaffected. Conversion widens back
+    /// to f32 first, so chained conversions never compound error.
+    pub fn quantize(&self, mode: QuantMode) -> FrozenModel {
+        FrozenModel {
+            config: self.config.clone(),
+            quant: mode,
+            embeddings: self.embeddings.clone(),
+            layers: self
+                .layers
+                .iter()
+                .map(|l| FrozenLayer {
+                    qkv: l.qkv.quantize(mode),
+                    o: l.o.quantize(mode),
+                    heads: l.heads,
+                    norm1: l.norm1.clone(),
+                    fc1: l.fc1.quantize(mode),
+                    fc2: l.fc2.quantize(mode),
+                    norm2: l.norm2.clone(),
+                })
+                .collect(),
+            relative: self.relative.clone(),
+            pooler: self.pooler.quantize(mode),
+        }
+    }
+
+    /// Bytes of weight data the encoder touches per forward pass —
+    /// the working-set number that quantization shrinks.
+    pub fn weight_bytes(&self) -> usize {
+        let norm = |n: &FrozenNorm| (n.gamma.len() + n.beta.len()) * 4;
+        let emb = self.embeddings.token.byte_len()
+            + self
+                .embeddings
+                .position
+                .as_ref()
+                .map_or(0, TensorBuf::byte_len)
+            + self
+                .embeddings
+                .segment
+                .as_ref()
+                .map_or(0, TensorBuf::byte_len)
+            + norm(&self.embeddings.norm);
+        let layers: usize = self
+            .layers
+            .iter()
+            .map(|l| {
+                l.qkv.weight_bytes()
+                    + l.o.weight_bytes()
+                    + l.fc1.weight_bytes()
+                    + l.fc2.weight_bytes()
+                    + norm(&l.norm1)
+                    + norm(&l.norm2)
+            })
+            .sum();
+        emb + layers
+            + self.relative.as_ref().map_or(0, |r| r.table.byte_len())
+            + self.pooler.weight_bytes()
     }
 }
 
@@ -509,6 +773,29 @@ impl From<&EmMatcher> for FrozenMatcher {
 }
 
 impl FrozenMatcher {
+    /// Representation the matcher's linear weights are stored in.
+    pub fn quant(&self) -> QuantMode {
+        self.model.quant()
+    }
+
+    /// Re-encode encoder and head weights in `mode`; tokenizer, lengths
+    /// and batch sizing are unchanged, so a quantized matcher is a
+    /// drop-in replacement wherever the f32 one was serving.
+    pub fn quantize(&self, mode: QuantMode) -> FrozenMatcher {
+        FrozenMatcher {
+            model: self.model.quantize(mode),
+            head: self.head.quantize(mode),
+            tokenizer: self.tokenizer.clone(),
+            max_len: self.max_len,
+            eval_batch: self.eval_batch,
+        }
+    }
+
+    /// Bytes of weight data touched per forward pass (encoder + head).
+    pub fn weight_bytes(&self) -> usize {
+        self.model.weight_bytes() + self.head.weight_bytes()
+    }
+
     /// Where the CLS token sits for this matcher's architecture.
     pub fn cls_position(&self) -> ClsPosition {
         match self.model.config.arch {

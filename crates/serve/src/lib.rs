@@ -43,6 +43,7 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod config;
 pub mod fault;
 pub mod frozen;
@@ -50,7 +51,8 @@ pub mod matcher;
 pub mod supervisor;
 mod trace;
 
-pub use config::{RetryPolicy, ServeConfig, ServeConfigBuilder, ServeError};
+pub use config::{RetryPolicy, ServeConfig, ServeConfigBuilder, ServeError, SwapError};
+pub use em_checkpoint::CheckpointError;
 pub use fault::{Fault, FaultPlan};
-pub use frozen::{freeze_parts, FrozenLinear, FrozenMatcher, FrozenModel};
+pub use frozen::{freeze_parts, FrozenLinear, FrozenMatcher, FrozenModel, QuantMode};
 pub use matcher::{ServeMatcher, ServeStats};

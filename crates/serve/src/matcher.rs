@@ -25,18 +25,19 @@
 //! channel reports disconnect, so no accepted request is ever dropped.
 
 use crate::cache::{CacheKey, ShardedLru};
-use crate::config::{ServeConfig, ServeError};
-use crate::frozen::FrozenMatcher;
+use crate::config::{ServeConfig, ServeError, SwapError};
+use crate::frozen::{FrozenMatcher, QuantMode};
 use crate::supervisor::{PoolCtx, Supervisor};
 use crate::trace::RequestTrace;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use em_core::api::TextPair;
 use em_core::Predictor;
 use em_data::{Dataset, EntityPair};
-use em_tokenizers::{encode_pair, Encoding};
+use em_tokenizers::{encode_pair, Encoding, Tokenizer};
 use em_transformers::Batch;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// One queued scoring request: the encoding plus the channel its result
@@ -44,8 +45,11 @@ use std::time::{Duration, Instant};
 pub(crate) struct Job {
     /// The encoding to score.
     pub(crate) encoding: Encoding,
-    /// Where the score (or typed failure) is delivered.
-    pub(crate) resp: mpsc::Sender<Result<f32, ServeError>>,
+    /// Where the score (or typed failure) is delivered. A success carries
+    /// the version of the model that actually scored it — the client side
+    /// caches under *that* version, not whatever was current at submit
+    /// time, so a hot-swap racing a request can never poison the cache.
+    pub(crate) resp: mpsc::Sender<Result<(f32, u64), ServeError>>,
     /// Lifecycle timestamps: `trace.enqueued` bounds how long the job can
     /// sit in a worker's pending bucket waiting for length-compatible
     /// company, and the rest feed the per-stage latency histograms.
@@ -56,8 +60,59 @@ pub(crate) struct Job {
     pub(crate) attempts: u32,
 }
 
-/// Receiver for an in-flight request's typed result.
-type Pending = mpsc::Receiver<Result<f32, ServeError>>;
+/// Receiver for an in-flight request's typed result (score + the version
+/// of the model that produced it).
+type Pending = mpsc::Receiver<Result<(f32, u64), ServeError>>;
+
+/// One immutable generation of the serving model: the frozen matcher plus
+/// the monotone version it was installed as. Workers pin one of these
+/// (via `Arc`) for the whole lifetime of a batch — load the `Arc`, score,
+/// reply — so a hot-swap can never tear a batch across two models: every
+/// in-flight batch drains on the model it started with, and the reply
+/// carries the version that actually scored it.
+pub(crate) struct VersionedMatcher {
+    /// Monotone install counter; the initial model is version 1.
+    pub(crate) version: u64,
+    /// The frozen weights of this generation.
+    pub(crate) matcher: Arc<FrozenMatcher>,
+}
+
+/// The swap point: one `RwLock<Arc<…>>` every worker loads (read lock,
+/// nanoseconds) once per batch and [`ServeMatcher::swap_model`] replaces
+/// (write lock) atomically. Old generations die when the last in-flight
+/// batch holding their `Arc` finishes — no epoch tracking needed.
+pub(crate) struct ModelCell {
+    current: RwLock<Arc<VersionedMatcher>>,
+}
+
+impl ModelCell {
+    fn new(matcher: FrozenMatcher) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(VersionedMatcher {
+                version: 1,
+                matcher: Arc::new(matcher),
+            })),
+        }
+    }
+
+    /// Snapshot the current generation. Callers hold the returned `Arc`
+    /// for as long as they need a *consistent* model (a worker: one
+    /// batch; the submit path: one length check + cache probe).
+    pub(crate) fn load(&self) -> Arc<VersionedMatcher> {
+        Arc::clone(&self.current.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Install `matcher` as the next generation and return its version.
+    fn swap(&self, matcher: FrozenMatcher) -> u64 {
+        let mut cur = self.current.write().unwrap_or_else(|p| p.into_inner());
+        let version = cur.version + 1;
+        *cur = Arc::new(VersionedMatcher {
+            version,
+            matcher: Arc::new(matcher),
+        });
+        version
+    }
+}
 
 impl Job {
     /// The length bucket this job batches with: its real span rounded up
@@ -85,6 +140,7 @@ pub(crate) struct StatsInner {
     pub(crate) shed: AtomicU64,
     pub(crate) degraded: AtomicU64,
     pub(crate) worker_restarts: AtomicU64,
+    pub(crate) swaps: AtomicU64,
     /// Monotone batch sequence; drives the deterministic fault schedule.
     pub(crate) batch_seq: AtomicU64,
 }
@@ -115,6 +171,8 @@ pub struct ServeStats {
     pub degraded: u64,
     /// Workers respawned by the supervisor after a panic.
     pub worker_restarts: u64,
+    /// Successful hot-swaps ([`ServeMatcher::swap_model`]) since start.
+    pub swaps: u64,
 }
 
 impl ServeStats {
@@ -156,7 +214,7 @@ impl ServeStats {
 /// Dropping the matcher (or calling [`ServeMatcher::shutdown`]) stops
 /// accepting new work, lets workers drain the queue, and joins them.
 pub struct ServeMatcher {
-    frozen: Arc<FrozenMatcher>,
+    model: Arc<ModelCell>,
     tx: Option<Sender<Job>>,
     // Keeps the queue alive independently of worker lifetimes, so a
     // wedged or dead pool surfaces as a client Timeout rather than a
@@ -177,7 +235,7 @@ impl ServeMatcher {
     /// threads over one `Arc`-shared frozen matcher, supervised so worker
     /// panics respawn the worker and requeue the jobs it held.
     pub fn start(frozen: FrozenMatcher, config: ServeConfig) -> Self {
-        let frozen = Arc::new(frozen);
+        let model = Arc::new(ModelCell::new(frozen));
         let stats = Arc::new(StatsInner::default());
         let (tx, rx) = bounded::<Job>(config.queue_depth);
         if let Some(plan) = &config.fault {
@@ -202,7 +260,7 @@ impl ServeMatcher {
         );
         let supervisor = Supervisor::start(Arc::new(PoolCtx {
             rx: rx.clone(),
-            frozen: Arc::clone(&frozen),
+            model: Arc::clone(&model),
             stats: Arc::clone(&stats),
             cfg: config.clone(),
             serialize_kernels,
@@ -212,7 +270,7 @@ impl ServeMatcher {
         let cache = (config.cache_capacity > 0)
             .then(|| ShardedLru::new(config.cache_capacity, config.cache_shard_count()));
         Self {
-            frozen,
+            model,
             tx: Some(tx),
             _rx: rx,
             supervisor: Some(supervisor),
@@ -242,9 +300,92 @@ impl ServeMatcher {
         &self.config
     }
 
-    /// The shared frozen matcher behind the workers.
-    pub fn frozen(&self) -> &FrozenMatcher {
-        &self.frozen
+    /// A snapshot of the frozen matcher currently behind the workers.
+    /// The snapshot stays valid (and immutable) even if a hot-swap
+    /// replaces the serving model while you hold it.
+    pub fn frozen(&self) -> Arc<FrozenMatcher> {
+        Arc::clone(&self.model.load().matcher)
+    }
+
+    /// The version of the model currently serving (1 for the model
+    /// [`ServeMatcher::start`] was given; +1 per successful swap).
+    pub fn model_version(&self) -> u64 {
+        self.model.load().version
+    }
+
+    /// The weight representation of the model currently serving.
+    pub fn quant(&self) -> QuantMode {
+        self.model.load().matcher.quant()
+    }
+
+    /// Hot-swap the serving model under live traffic.
+    ///
+    /// The incoming matcher must be *wire-compatible* with the one it
+    /// replaces — same architecture, hidden width, input length, and
+    /// tokenizer vocabulary — because in-flight and queued requests were
+    /// encoded against the current model's contract. Anything else is
+    /// refused with [`SwapError::Incompatible`] and the current model
+    /// keeps serving. A different [`QuantMode`] is fine (that is the
+    /// point: requantize offline, swap in place).
+    ///
+    /// The swap itself is one atomic pointer replacement. Workers pin the
+    /// model `Arc` per batch, so every batch in flight at swap time
+    /// drains on the old model and every batch picked up afterwards runs
+    /// the new one — no batch ever mixes versions, and no request fails
+    /// because of a swap. Cached scores are invalidated structurally:
+    /// cache keys carry the model version, so post-swap probes miss.
+    ///
+    /// Returns the new model version.
+    pub fn swap_model(&self, incoming: FrozenMatcher) -> Result<u64, SwapError> {
+        let current = self.model.load();
+        let cur = &current.matcher;
+        let check = |field: &'static str, c: String, i: String| {
+            if c == i {
+                Ok(())
+            } else {
+                Err(SwapError::Incompatible {
+                    field,
+                    current: c,
+                    incoming: i,
+                })
+            }
+        };
+        check(
+            "arch",
+            cur.model.config.arch.name().to_string(),
+            incoming.model.config.arch.name().to_string(),
+        )?;
+        check(
+            "hidden",
+            cur.model.config.hidden.to_string(),
+            incoming.model.config.hidden.to_string(),
+        )?;
+        check(
+            "max_len",
+            cur.max_len.to_string(),
+            incoming.max_len.to_string(),
+        )?;
+        check(
+            "vocab_size",
+            cur.tokenizer.vocab_size().to_string(),
+            incoming.tokenizer.vocab_size().to_string(),
+        )?;
+        drop(current);
+        let version = self.model.swap(incoming);
+        self.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        em_obs::counter_inc("serve/swaps");
+        Ok(version)
+    }
+
+    /// Hot-swap to the checkpoint at `path`, loaded zero-copy with the
+    /// current model's tokenizer (the tokenizer does not cross the
+    /// checkpoint; see [`crate::checkpoint`]). A checkpoint that fails to
+    /// load or validate is refused with [`SwapError::Checkpoint`] and the
+    /// current model keeps serving. Returns the new model version.
+    pub fn swap_checkpoint(&self, path: &Path) -> Result<u64, SwapError> {
+        let tokenizer = self.model.load().matcher.tokenizer.clone();
+        let incoming = FrozenMatcher::load_checkpoint(path, tokenizer)?;
+        self.swap_model(incoming)
     }
 
     /// Snapshot the serving counters.
@@ -260,16 +401,19 @@ impl ServeMatcher {
             shed: self.stats.shed.load(Ordering::Relaxed),
             degraded: self.stats.degraded.load(Ordering::Relaxed),
             worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
+            swaps: self.stats.swaps.load(Ordering::Relaxed),
         }
     }
 
-    fn check_length(&self, encoding: &Encoding) -> Result<(), ServeError> {
+    fn check_length(&self, encoding: &Encoding, max_len: usize) -> Result<(), ServeError> {
         // Any length up to the model's position table is servable now that
         // batches pad dynamically; only over-long encodings are rejected.
-        if encoding.ids.len() > self.frozen.max_len {
+        // `max_len` is swap-invariant (validated by swap_model), so it
+        // does not matter which generation the caller snapshotted it from.
+        if encoding.ids.len() > max_len {
             return Err(ServeError::InvalidLength {
                 got: encoding.ids.len(),
-                expected: self.frozen.max_len,
+                expected: max_len,
             });
         }
         Ok(())
@@ -303,14 +447,21 @@ impl ServeMatcher {
     /// full queue rejects the request with [`ServeError::Overloaded`]
     /// instead of blocking the caller (backpressure).
     fn submit(&self, encoding: &Encoding) -> Result<Result<f32, Pending>, ServeError> {
-        self.check_length(encoding)?;
+        let vm = self.model.load();
+        self.check_length(encoding, vm.matcher.max_len)?;
         // A shut-down matcher rejects everything, cache hits included —
         // clients get one consistent contract, not an answer that depends
         // on what happened to be scored before shutdown.
         let tx = self.tx.as_ref().ok_or(ServeError::ShutDown)?;
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         em_obs::counter_inc("serve/requests");
-        let key = self.cache.is_some().then(|| CacheKey::from(encoding));
+        // Probe under the version serving *now*: a hot-swap bumps the
+        // version, so every pre-swap entry stops being reachable and ages
+        // out of the LRU — structural invalidation, no flush pass.
+        let key = self
+            .cache
+            .is_some()
+            .then(|| CacheKey::versioned(encoding, vm.version));
         if let Some(k) = &key {
             if let Some(score) = self.cache_get(k) {
                 return Ok(Ok(score));
@@ -350,7 +501,7 @@ impl ServeMatcher {
         die: Instant,
     ) -> Result<f32, ServeError> {
         let remaining = die.saturating_duration_since(Instant::now());
-        let score = match rx.recv_timeout(remaining) {
+        let (score, version) = match rx.recv_timeout(remaining) {
             Ok(result) => result?,
             Err(mpsc::RecvTimeoutError::Timeout) => return Err(ServeError::Timeout),
             // The reply channel dropping without an answer means the job
@@ -361,7 +512,11 @@ impl ServeMatcher {
             Err(mpsc::RecvTimeoutError::Disconnected) => return Err(ServeError::Transient),
         };
         if self.cache.is_some() {
-            self.cache_put(CacheKey::from(encoding), score);
+            // Cache under the version that *scored* it (carried in the
+            // reply), not the one current at submit time — a swap between
+            // submit and score must not file an old-model score under the
+            // new model's keys.
+            self.cache_put(CacheKey::versioned(encoding, version), score);
         }
         Ok(score)
     }
@@ -462,12 +617,13 @@ impl ServeMatcher {
     /// of any length is servable and the text door can never fail with
     /// [`ServeError::InvalidLength`].
     pub fn encode_text(&self, left: &str, right: &str) -> Encoding {
+        let frozen = self.frozen();
         encode_pair(
-            &self.frozen.tokenizer,
+            &frozen.tokenizer,
             left,
             right,
-            self.frozen.max_len,
-            self.frozen.cls_position(),
+            frozen.max_len,
+            frozen.cls_position(),
         )
     }
 

@@ -26,8 +26,7 @@
 
 use crate::config::{ServeConfig, ServeError};
 use crate::fault::{Fault, InjectedFault};
-use crate::frozen::FrozenMatcher;
-use crate::matcher::{Job, StatsInner};
+use crate::matcher::{Job, ModelCell, StatsInner};
 use crate::trace::BatchTiming;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use em_tokenizers::Encoding;
@@ -41,8 +40,10 @@ use std::time::Instant;
 pub(crate) struct PoolCtx {
     /// The shared request queue.
     pub rx: Receiver<Job>,
-    /// The model all workers score with.
-    pub frozen: Arc<FrozenMatcher>,
+    /// The hot-swappable model cell all workers score through. Workers
+    /// pin one generation (`Arc`) per batch, so a swap never tears a
+    /// batch across two models.
+    pub model: Arc<ModelCell>,
     /// Shared serving counters.
     pub stats: Arc<StatsInner>,
     /// The matcher's configuration (bucket policy, faults, budgets).
@@ -175,7 +176,10 @@ fn supervise(ctx: Arc<PoolCtx>) {
                 // of requeue budget; stashed pending jobs were innocent
                 // bystanders and keep theirs.
                 let held = std::mem::take(&mut *lock(&slots[id]));
-                let width = ctx.cfg.bucket_width(ctx.frozen.max_len);
+                // max_len is swap-invariant (validated by swap_model), so
+                // any generation's value re-buckets correctly.
+                let max_len = ctx.model.load().matcher.max_len;
+                let width = ctx.cfg.bucket_width(max_len);
                 let mut inherited = Held::default();
                 let mut requeued = 0u64;
                 for mut job in held.inflight {
@@ -184,7 +188,7 @@ fn supervise(ctx: Arc<PoolCtx>) {
                         let _ = job.resp.send(Err(ServeError::Transient));
                     } else {
                         requeued += 1;
-                        let bucket = job.bucket(width, ctx.frozen.max_len);
+                        let bucket = job.bucket(width, max_len);
                         inherited.pending.entry(bucket).or_default().push_back(job);
                     }
                 }
@@ -226,11 +230,13 @@ fn worker_loop(id: usize, ctx: &PoolCtx, slot: &Slot) {
     if ctx.serialize_kernels {
         em_kernels::pool::serialize_current_thread();
     }
-    let frozen = &ctx.frozen;
     let cfg = &ctx.cfg;
     let stats = &ctx.stats;
-    let width = cfg.bucket_width(frozen.max_len);
-    let max_len = frozen.max_len;
+    // Bucketing geometry is swap-invariant (swap_model refuses a model
+    // with a different max_len), so it is computed once even though the
+    // model behind the cell may change between batches.
+    let max_len = ctx.model.load().matcher.max_len;
+    let width = cfg.bucket_width(max_len);
     let worker_label = id.to_string();
     let mut disconnected = false;
     loop {
@@ -324,7 +330,12 @@ fn worker_loop(id: usize, ctx: &PoolCtx, slot: &Slot) {
             }
         }
         let forward_start = em_obs::enabled().then(Instant::now);
-        let scores = frozen.score_encodings(&encodings);
+        // Pin the model generation for this whole batch: the Arc loaded
+        // here is held through the forward pass and stamped into every
+        // reply, so a concurrent swap affects only *later* batches —
+        // in-flight work drains on the model it started with.
+        let vm = ctx.model.load();
+        let scores = vm.matcher.score_encodings(&encodings);
         let jobs = std::mem::take(&mut lock(slot).inflight);
         stats.batches.fetch_add(1, Ordering::Relaxed);
         stats
@@ -335,6 +346,11 @@ fn worker_loop(id: usize, ctx: &PoolCtx, slot: &Slot) {
             .fetch_add(capacity as u64, Ordering::Relaxed);
         em_obs::counter_inc("serve/batches");
         em_obs::counter_add("serve/batch_examples", jobs.len() as u64);
+        em_obs::counter_add_labeled(
+            "serve/model_version",
+            &[("version", &vm.version.to_string())],
+            jobs.len() as u64,
+        );
         em_obs::gauge_set("serve/batch_fill", jobs.len() as f64 / capacity as f64);
         em_obs::gauge_set("serve/bucket_len", bucket as f64);
         // Fold each request's trace into the per-stage latency
@@ -360,7 +376,7 @@ fn worker_loop(id: usize, ctx: &PoolCtx, slot: &Slot) {
             }
             // A client that timed out dropped its receiver; that's its
             // loss, not a worker error.
-            let _ = job.resp.send(Ok(score));
+            let _ = job.resp.send(Ok((score, vm.version)));
         }
     }
 }

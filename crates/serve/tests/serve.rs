@@ -5,8 +5,8 @@
 use em_core::{train_tokenizer, Predictor};
 use em_nn::{Ctx, Module};
 use em_serve::{
-    freeze_parts, Fault, FaultPlan, FrozenLinear, FrozenMatcher, FrozenModel, ServeConfig,
-    ServeError, ServeMatcher,
+    freeze_parts, Fault, FaultPlan, FrozenLinear, FrozenMatcher, FrozenModel, QuantMode,
+    ServeConfig, ServeError, ServeMatcher, SwapError,
 };
 use em_tensor::no_grad;
 use em_tokenizers::Encoding;
@@ -417,6 +417,7 @@ fn batch_fill_measures_against_bucket_capacity() {
         shed: 0,
         degraded: 0,
         worker_restarts: 0,
+        swaps: 0,
     };
     // 48 examples over 2 batches of capacity 32 each: 75% full — a flat
     // max_batch=32 denominator would have wrongly reported 75% as 2×32
@@ -909,4 +910,233 @@ fn per_stage_histograms_and_slow_request_capture() {
     assert!(text.contains("serve_queue_wait_count"));
     em_obs::set_level(em_obs::LEVEL_OFF);
     em_obs::reset();
+}
+
+// ---- quantization, checkpoints, hot-swap --------------------------------
+
+/// A unique temp path for checkpoint tests (no tempfile dependency).
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "em-serve-test-{}-{name}-{n}.emckpt",
+        std::process::id()
+    ))
+}
+
+/// Two frozen matchers over the *same* tokenizer (so they are
+/// swap-compatible) but different weights (so their scores disagree).
+fn swap_pair(
+    arch: Architecture,
+    max_len: usize,
+    s1: u64,
+    s2: u64,
+) -> (FrozenMatcher, FrozenMatcher) {
+    let corpus = em_data::generate_corpus(30, 1);
+    let tok = train_tokenizer(arch, &corpus, 200);
+    let (m1, h1) = tiny_model(arch, s1);
+    let (m2, h2) = tiny_model(arch, s2);
+    (
+        freeze_parts(&m1, &h1, tok.clone(), max_len),
+        freeze_parts(&m2, &h2, tok, max_len),
+    )
+}
+
+/// Int8 and f16 scores must track the f32 frozen scores closely on every
+/// architecture, while touching strictly fewer weight bytes.
+#[test]
+fn quantized_scores_track_f32() {
+    for arch in Architecture::ALL {
+        let frozen = tiny_frozen_matcher(arch, 11, 16);
+        let mut rng = StdRng::seed_from_u64(42);
+        let encs: Vec<Encoding> = (0..8)
+            .map(|_| random_encoding(&mut rng, arch, 16))
+            .collect();
+        let want = frozen.score_encodings(&encs);
+        for (mode, tol) in [(QuantMode::F16, 5e-3), (QuantMode::Int8, 5e-2)] {
+            let q = frozen.quantize(mode);
+            assert_eq!(q.quant(), mode);
+            assert!(
+                q.weight_bytes() < frozen.weight_bytes(),
+                "{mode} must shrink the weight working set"
+            );
+            let got = q.score_encodings(&encs);
+            for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+                assert!(
+                    (w - g).abs() < tol,
+                    "{} {mode} score {i}: f32 {w} vs quantized {g}",
+                    arch.name()
+                );
+            }
+        }
+    }
+}
+
+/// A checkpoint roundtrip is score-exact in every quant mode: the loaded
+/// (mmap-backed) matcher reproduces the in-memory matcher's scores bit
+/// for bit, because the payload bytes are identical and the kernels are
+/// deterministic.
+#[test]
+fn checkpoint_roundtrip_scores_exactly() {
+    for arch in [Architecture::Bert, Architecture::Xlnet] {
+        let frozen = tiny_frozen_matcher(arch, 7, 16);
+        let mut rng = StdRng::seed_from_u64(7);
+        let encs: Vec<Encoding> = (0..6)
+            .map(|_| random_encoding(&mut rng, arch, 16))
+            .collect();
+        for mode in [QuantMode::F32, QuantMode::F16, QuantMode::Int8] {
+            let q = frozen.quantize(mode);
+            let want = q.score_encodings(&encs);
+            let path = scratch_path(&format!("roundtrip-{mode}"));
+            q.save_checkpoint(&path).expect("save checkpoint");
+            let loaded = FrozenMatcher::load_checkpoint(&path, q.tokenizer.clone())
+                .expect("load checkpoint");
+            assert_eq!(loaded.quant(), mode);
+            assert_eq!(loaded.max_len, q.max_len);
+            let got = loaded.score_encodings(&encs);
+            assert_eq!(
+                want,
+                got,
+                "{} {mode} checkpoint must score bit-identically",
+                arch.name()
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+/// Hot-swap under concurrent traffic: no request fails, every response is
+/// consistent with exactly one model generation (never a mix), the
+/// version counter advances, and the score cache is invalidated — a pair
+/// cached under the old model re-scores under the new one.
+#[test]
+fn hot_swap_under_load_never_tears_or_fails() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let arch = Architecture::Bert;
+    let max_len = 16;
+    let (a, b) = swap_pair(arch, max_len, 21, 22);
+    let mut rng = StdRng::seed_from_u64(5);
+    let encs: Vec<Encoding> = (0..12)
+        .map(|_| random_encoding(&mut rng, arch, max_len))
+        .collect();
+    let scores_a = a.score_encodings(&encs);
+    let scores_b = b.score_encodings(&encs);
+    // The generations must actually disagree on every probe, or "matches
+    // exactly one version" below would be vacuous.
+    for (x, y) in scores_a.iter().zip(&scores_b) {
+        assert_ne!(x, y, "swap test needs distinguishable models");
+    }
+
+    let cfg = ServeConfig::builder()
+        .workers(2)
+        .cache_capacity(64)
+        .build()
+        .unwrap();
+    let matcher = Arc::new(ServeMatcher::start(a, cfg));
+    assert_eq!(matcher.model_version(), 1);
+    assert_eq!(matcher.quant(), QuantMode::F32);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut clients = Vec::new();
+    for t in 0..3usize {
+        let matcher = Arc::clone(&matcher);
+        let stop = Arc::clone(&stop);
+        let encs = encs.clone();
+        let scores_a = scores_a.clone();
+        let scores_b = scores_b.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut checked = 0u64;
+            let mut i = t;
+            while !stop.load(Ordering::Relaxed) {
+                let k = i % encs.len();
+                let s = matcher
+                    .score(&encs[k])
+                    .expect("request failed during hot-swap");
+                assert!(
+                    s == scores_a[k] || s == scores_b[k],
+                    "score {s} matches neither generation (batch tear?)"
+                );
+                checked += 1;
+                i += 1;
+            }
+            checked
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    let version = matcher.swap_model(b).expect("compatible swap must succeed");
+    assert_eq!(version, 2);
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    stop.store(true, Ordering::Relaxed);
+    let answered: u64 = clients.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(answered > 0, "clients never got a request through");
+    assert_eq!(matcher.model_version(), 2);
+    assert_eq!(matcher.stats().swaps, 1);
+    // Post-swap, every probe — including ones cached under version 1 —
+    // must come back with the new model's exact score.
+    for (k, e) in encs.iter().enumerate() {
+        assert_eq!(
+            matcher.score(e).unwrap(),
+            scores_b[k],
+            "stale cache entry or old generation served after swap"
+        );
+    }
+}
+
+/// An incompatible model is refused with a typed error naming the field,
+/// the version does not advance, and the old model keeps serving.
+#[test]
+fn incompatible_swap_is_refused_and_serving_continues() {
+    let frozen = tiny_frozen_matcher(Architecture::Bert, 31, 16);
+    let mut rng = StdRng::seed_from_u64(9);
+    let enc = random_encoding(&mut rng, Architecture::Bert, 16);
+    let want = frozen.score_encodings(std::slice::from_ref(&enc));
+    let matcher = ServeMatcher::start(frozen, ServeConfig::default());
+
+    let wrong_len = tiny_frozen_matcher(Architecture::Bert, 31, 24);
+    match matcher.swap_model(wrong_len) {
+        Err(SwapError::Incompatible { field, .. }) => assert_eq!(field, "max_len"),
+        other => panic!("expected Incompatible(max_len), got {other:?}"),
+    }
+    let wrong_arch = tiny_frozen_matcher(Architecture::DistilBert, 31, 16);
+    match matcher.swap_model(wrong_arch) {
+        Err(SwapError::Incompatible { field, .. }) => assert_eq!(field, "arch"),
+        other => panic!("expected Incompatible(arch), got {other:?}"),
+    }
+    assert_eq!(matcher.model_version(), 1);
+    assert_eq!(matcher.stats().swaps, 0);
+    assert_eq!(matcher.score(&enc).unwrap(), want[0]);
+}
+
+/// Swapping from a checkpoint file: the new weights (and their quant
+/// mode) take over, and a missing/corrupt file is a typed refusal that
+/// leaves the current model serving.
+#[test]
+fn swap_checkpoint_from_disk() {
+    let (a, b) = swap_pair(Architecture::Roberta, 16, 41, 42);
+    let mut rng = StdRng::seed_from_u64(13);
+    let encs: Vec<Encoding> = (0..4)
+        .map(|_| random_encoding(&mut rng, Architecture::Roberta, 16))
+        .collect();
+    let b_int8 = b.quantize(QuantMode::Int8);
+    let want = b_int8.score_encodings(&encs);
+    let path = scratch_path("swap");
+    b_int8.save_checkpoint(&path).expect("save checkpoint");
+
+    let matcher = ServeMatcher::start(a, ServeConfig::default());
+    match matcher.swap_checkpoint(std::path::Path::new("/nonexistent/em.ckpt")) {
+        Err(SwapError::Checkpoint(_)) => {}
+        other => panic!("expected Checkpoint error, got {other:?}"),
+    }
+    assert_eq!(matcher.model_version(), 1);
+
+    let version = matcher
+        .swap_checkpoint(&path)
+        .expect("swap from checkpoint");
+    assert_eq!(version, 2);
+    assert_eq!(matcher.quant(), QuantMode::Int8);
+    for (k, e) in encs.iter().enumerate() {
+        assert_eq!(matcher.score(e).unwrap(), want[k]);
+    }
+    let _ = std::fs::remove_file(&path);
 }
