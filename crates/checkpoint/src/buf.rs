@@ -32,7 +32,7 @@ impl Storage {
 }
 
 /// A shared, immutable, typed tensor: dtype + shape + a byte range of a
-/// reference-counted [`Storage`]. Cloning is an `Arc` bump; slicing a
+/// reference-counted storage. Cloning is an `Arc` bump; slicing a
 /// checkpoint into tensors copies nothing. `Send + Sync` by
 /// construction: the storage is immutable for its whole lifetime.
 #[derive(Clone)]

@@ -1,0 +1,45 @@
+//! em-graph: a lazy op-graph executor for the frozen inference forward.
+//!
+//! The eager frozen path interprets the encoder op-by-op, re-deciding
+//! every fusion opportunity and re-allocating every intermediate on each
+//! call. This crate splits that work into a cold half and a hot half:
+//!
+//! 1. **Trace** — symbolically replay the frozen forward once per
+//!    (architecture, batch-geometry bucket) into a small op graph over
+//!    virtual buffers (the private `trace` module).
+//! 2. **Plan** — peephole-fuse elementwise chains into single-pass
+//!    kernels (GEMM+bias+GELU epilogue, scale+bias+mask+softmax,
+//!    residual+layer-norm), dedupe the structurally identical per-layer
+//!    subgraphs into one schedule replayed `L` times, and run liveness
+//!    analysis so every intermediate is an interval of one shared arena
+//!    ([`Plan::build`]).
+//! 3. **Replay** — execute the planned schedule against weights bound
+//!    through [`GraphModel`], binding f32/f16/int8 kernels per slot
+//!    ([`GraphExecutor::run`]).
+//!
+//! Plans are pure geometry: no weights, no activations. A serving
+//! worker holds a [`GraphExecutor`] whose plan cache is keyed by length
+//! bucket and whose arena is reused across batches, so steady-state
+//! serving does zero planning and zero allocation. Every fused kernel
+//! preserves the eager path's per-element arithmetic and order, so
+//! replay is bitwise-equal to eager — the backend switch can never
+//! change scores.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod arena;
+mod cache;
+mod exec;
+mod ir;
+mod plan;
+mod trace;
+
+pub use cache::{GraphExecutor, PlanCache};
+pub use exec::GraphModel;
+pub use ir::{LinSlot, NormSlot, PlanKey};
+pub use plan::Plan;
+
+// Re-exported so GraphModel implementations name the epilogue type
+// without depending on em-kernels directly.
+pub use em_kernels::Act;

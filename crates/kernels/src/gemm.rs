@@ -29,6 +29,30 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// paying (the pre-kernels threshold, kept for continuity).
 const PARALLEL_FLOP_THRESHOLD: usize = 64 * 64 * 64;
 
+/// Elementwise epilogue fused onto a GEMM's output: applied to each row
+/// block immediately after it is computed, on the thread that produced
+/// it, while the block is still hot in that thread's cache — so the
+/// activation never costs a second full pass over the output matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Act {
+    /// Plain GEMM output (`C = A·B + bias`).
+    #[default]
+    None,
+    /// GELU over the output — the `fc1 → activation` fusion of the
+    /// transformer feed-forward block.
+    Gelu,
+}
+
+impl Act {
+    /// Apply the epilogue to one finished output block.
+    #[inline]
+    pub(crate) fn apply(self, block: &mut [f32]) {
+        if self == Act::Gelu {
+            crate::math::gelu(block);
+        }
+    }
+}
+
 /// Which GEMM implementation the process uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
@@ -95,6 +119,20 @@ pub fn gemm_nn(
     k: usize,
     n: usize,
 ) {
+    gemm_nn_act(a, b, bias, c, m, k, n, Act::None);
+}
+
+/// [`gemm_nn`] with a fused elementwise epilogue (see [`Act`]).
+pub fn gemm_nn_act(
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    act: Act,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -103,14 +141,17 @@ pub fn gemm_nn(
     }
     if backend() == Backend::Scalar {
         scalar::gemm_nn(a, b, bias, c, m, k, n);
+        act.apply(c);
         return;
     }
     if should_parallelize(m, k, n) {
         pool::parallel_rows(c, m, n, |i0, block| {
             serial_nn_tn(a, k, 1, b, bias, block, i0, block.len() / n, k, n);
+            act.apply(block);
         });
     } else {
         serial_nn_tn(a, k, 1, b, bias, c, 0, m, k, n);
+        act.apply(c);
     }
 }
 
@@ -702,6 +743,23 @@ mod tests {
             gemm_tn(&at, &b, None, &mut got, m, k, n);
             for (g, w) in got.iter().zip(&want) {
                 assert!((g - w).abs() <= 1e-4, "{g} vs {w} at {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn gelu_epilogue_matches_gemm_then_gelu() {
+        for &(m, k, n) in &[(3, 5, 8), (7, 16, 33), (70, 70, 70)] {
+            let a = pseudo(m * k, 11);
+            let b = pseudo(k * n, 12);
+            let bias = pseudo(n, 13);
+            let mut want = vec![0.0f32; m * n];
+            gemm_nn(&a, &b, Some(&bias), &mut want, m, k, n);
+            crate::math::gelu(&mut want);
+            let mut got = vec![0.0f32; m * n];
+            gemm_nn_act(&a, &b, Some(&bias), &mut got, m, k, n, Act::Gelu);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-6, "{g} vs {w} at {m}x{k}x{n}");
             }
         }
     }

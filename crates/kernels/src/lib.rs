@@ -22,12 +22,16 @@ pub mod math;
 pub mod pool;
 pub mod qgemm;
 
-pub use gemm::{backend, gemm_nn, gemm_nt, gemm_tn, set_backend, simd_kind, Backend};
+pub use gemm::{
+    backend, gemm_nn, gemm_nn_act, gemm_nt, gemm_tn, set_backend, simd_kind, Act, Backend,
+};
 pub use math::{
-    exp_approx, gelu, gelu_backward, layer_norm_backward, layer_norm_forward, layer_norm_rows,
-    log_softmax_rows, softmax_backward_rows, softmax_rows, softmax_rows_biased, tanh_approx,
+    attn_softmax_rows, exp_approx, gelu, gelu_backward, layer_norm_backward, layer_norm_forward,
+    layer_norm_rows, log_softmax_rows, residual_layer_norm_rows, softmax_backward_rows,
+    softmax_rows, softmax_rows_biased, tanh_approx,
 };
 pub use qgemm::{
     dequantize_rows_i8, f16_dequantize, f16_quantize, f16_to_f32, f32_to_f16, gemm_nn_f16,
-    gemm_nt_i8, gemm_nt_i8_dyn, quantize_rows_i8, quantize_weights_i8,
+    gemm_nn_f16_act, gemm_nt_i8, gemm_nt_i8_act, gemm_nt_i8_dyn, gemm_nt_i8_dyn_act,
+    quantize_rows_i8, quantize_weights_i8,
 };

@@ -74,6 +74,22 @@ fn sum_lanes(row: &[f32]) -> f32 {
     lanes.iter().sum::<f32>() + chunks.remainder().iter().sum::<f32>()
 }
 
+/// One numerically-stable softmax row (max, exp, normalize — the same
+/// three vectorizable passes [`softmax_rows`] documents), shared by the
+/// plain and fused attention variants so they are arithmetically
+/// identical.
+#[inline]
+fn softmax_row(row: &mut [f32]) {
+    let m = max_lanes(row);
+    for v in row.iter_mut() {
+        *v = exp_approx(*v - m);
+    }
+    let inv = 1.0 / sum_lanes(row);
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
 /// In-place numerically-stable softmax over each `d`-wide row.
 ///
 /// Three separate passes (max, exp, normalize) rather than one fused
@@ -83,13 +99,67 @@ fn sum_lanes(row: &[f32]) -> f32 {
 pub fn softmax_rows(x: &mut [f32], d: usize) {
     debug_assert_eq!(x.len() % d, 0);
     for row in x.chunks_mut(d) {
-        let m = max_lanes(row);
-        for v in row.iter_mut() {
-            *v = exp_approx(*v - m);
-        }
-        let inv = 1.0 / sum_lanes(row);
-        for v in row.iter_mut() {
-            *v *= inv;
+        softmax_row(row);
+    }
+}
+
+/// Fused attention-score epilogue: scale by `1/√dh`, add the optional
+/// relative-position bias and the optional additive key mask, then
+/// softmax — one traversal of the `[b, h, t, t]` score tensor where the
+/// eager path makes up to three (scores are the largest activation in
+/// the forward, so the saved passes are the fusion win). `rel` is the
+/// XLNet bias laid out `[h, t, t]`; `mask` is one additive entry per
+/// `(sample, key position)` (`[b, t]`). The per-element arithmetic and
+/// evaluation order match the eager path exactly, so fused and unfused
+/// scores agree bitwise.
+pub fn attn_softmax_rows(
+    scores: &mut [f32],
+    scale: f32,
+    rel: Option<&[f32]>,
+    mask: Option<&[f32]>,
+    b: usize,
+    h: usize,
+    t: usize,
+) {
+    debug_assert_eq!(scores.len(), b * h * t * t);
+    if let Some(rel) = rel {
+        debug_assert_eq!(rel.len(), h * t * t);
+    }
+    if let Some(mask) = mask {
+        debug_assert_eq!(mask.len(), b * t);
+    }
+    for bi in 0..b {
+        let mrow = mask.map(|m| &m[bi * t..(bi + 1) * t]);
+        for hi in 0..h {
+            let base = (bi * h + hi) * t * t;
+            for i in 0..t {
+                let srow = &mut scores[base + i * t..base + (i + 1) * t];
+                match (rel, mrow) {
+                    (Some(rel), Some(mrow)) => {
+                        let brow = &rel[(hi * t + i) * t..(hi * t + i + 1) * t];
+                        for j in 0..t {
+                            srow[j] = srow[j] * scale + brow[j] + mrow[j];
+                        }
+                    }
+                    (Some(rel), None) => {
+                        let brow = &rel[(hi * t + i) * t..(hi * t + i + 1) * t];
+                        for j in 0..t {
+                            srow[j] = srow[j] * scale + brow[j];
+                        }
+                    }
+                    (None, Some(mrow)) => {
+                        for j in 0..t {
+                            srow[j] = srow[j] * scale + mrow[j];
+                        }
+                    }
+                    (None, None) => {
+                        for v in srow.iter_mut() {
+                            *v *= scale;
+                        }
+                    }
+                }
+                softmax_row(srow);
+            }
         }
     }
 }
@@ -204,6 +274,20 @@ pub fn gelu_backward(x: &[f32], g: &[f32], dx: &mut [f32]) {
     }
 }
 
+/// One in-place layer-norm row (biased variance, eps inside the sqrt),
+/// shared by the plain and residual-fused variants so both run the same
+/// arithmetic.
+#[inline]
+fn layer_norm_row(row: &mut [f32], gamma: &[f32], beta: &[f32], eps: f32) {
+    let d = gamma.len();
+    let mean = row.iter().sum::<f32>() / d as f32;
+    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+    let istd = 1.0 / (var + eps).sqrt();
+    for (v, (&g, &bt)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
+        *v = (*v - mean) * istd * g + bt;
+    }
+}
+
 /// In-place layer norm over each row — the formula of
 /// `em_tensor::layer_norm_array` (biased variance, eps inside the sqrt).
 pub fn layer_norm_rows(x: &mut [f32], gamma: &[f32], beta: &[f32], eps: f32) {
@@ -211,12 +295,24 @@ pub fn layer_norm_rows(x: &mut [f32], gamma: &[f32], beta: &[f32], eps: f32) {
     debug_assert_eq!(beta.len(), d);
     debug_assert_eq!(x.len() % d, 0);
     for row in x.chunks_mut(d) {
-        let mean = row.iter().sum::<f32>() / d as f32;
-        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-        let istd = 1.0 / (var + eps).sqrt();
-        for (v, (&g, &bt)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
-            *v = (*v - mean) * istd * g + bt;
+        layer_norm_row(row, gamma, beta, eps);
+    }
+}
+
+/// Fused residual add + layer norm: `x[r] = norm(x[r] + add[r])` row by
+/// row, so the summed hidden state is normalized while it is still in
+/// cache instead of being written out and re-read by a separate norm
+/// pass. Same arithmetic as `x += add` followed by [`layer_norm_rows`].
+pub fn residual_layer_norm_rows(x: &mut [f32], add: &[f32], gamma: &[f32], beta: &[f32], eps: f32) {
+    let d = gamma.len();
+    debug_assert_eq!(beta.len(), d);
+    debug_assert_eq!(x.len() % d, 0);
+    debug_assert!(add.len() >= x.len());
+    for (row, a_row) in x.chunks_mut(d).zip(add.chunks(d)) {
+        for (v, &a) in row.iter_mut().zip(a_row) {
+            *v += a;
         }
+        layer_norm_row(row, gamma, beta, eps);
     }
 }
 
@@ -368,6 +464,71 @@ mod tests {
         softmax_rows_biased(&mut fused, &bias, d, heads_times_seq);
         for (f, m) in fused.iter().zip(&manual) {
             assert!((f - m).abs() <= 1e-6, "{f} vs {m}");
+        }
+    }
+
+    #[test]
+    fn attn_softmax_matches_unfused_passes() {
+        let (b, h, t) = (2, 3, 5);
+        let scale = 1.0 / (4.0f32).sqrt();
+        let base = pseudo(b * h * t * t, 51)
+            .iter()
+            .map(|v| v * 6.0)
+            .collect::<Vec<_>>();
+        let rel = pseudo(h * t * t, 52);
+        let mask: Vec<f32> = (0..b * t)
+            .map(|i| if i % 4 == 3 { -1e9 } else { 0.0 })
+            .collect();
+        for (rel, mask) in [
+            (None, None),
+            (Some(&rel[..]), None),
+            (None, Some(&mask[..])),
+            (Some(&rel[..]), Some(&mask[..])),
+        ] {
+            // Unfused reference: scale, add biases, then softmax.
+            let mut want = base.clone();
+            for bi in 0..b {
+                for hi in 0..h {
+                    let o = (bi * h + hi) * t * t;
+                    for i in 0..t {
+                        for j in 0..t {
+                            let mut v = want[o + i * t + j] * scale;
+                            if let Some(rel) = rel {
+                                v += rel[(hi * t + i) * t + j];
+                            }
+                            if let Some(mask) = mask {
+                                v += mask[bi * t + j];
+                            }
+                            want[o + i * t + j] = v;
+                        }
+                    }
+                }
+            }
+            softmax_rows(&mut want, t);
+            let mut got = base.clone();
+            attn_softmax_rows(&mut got, scale, rel, mask, b, h, t);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-6, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_layer_norm_matches_add_then_norm() {
+        let d = 16;
+        let x = pseudo(3 * d, 61);
+        let add = pseudo(3 * d, 62);
+        let gamma = pseudo(d, 63);
+        let beta = pseudo(d, 64);
+        let mut want = x.clone();
+        for (v, &a) in want.iter_mut().zip(&add) {
+            *v += a;
+        }
+        layer_norm_rows(&mut want, &gamma, &beta, 1e-5);
+        let mut got = x.clone();
+        residual_layer_norm_rows(&mut got, &add, &gamma, &beta, 1e-5);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-6, "{g} vs {w}");
         }
     }
 

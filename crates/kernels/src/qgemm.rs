@@ -35,7 +35,7 @@
 
 #![allow(clippy::too_many_arguments)]
 
-use crate::gemm::should_parallelize;
+use crate::gemm::{should_parallelize, Act};
 use crate::pool;
 use std::cell::RefCell;
 
@@ -221,6 +221,24 @@ pub fn gemm_nt_i8(
     k: usize,
     n: usize,
 ) {
+    gemm_nt_i8_act(aq, a_scales, wtq, w_scales, bias, c, m, k, n, Act::None);
+}
+
+/// [`gemm_nt_i8`] with a fused elementwise epilogue applied per row
+/// block in the float dequantization stage (see [`Act`]).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_i8_act(
+    aq: &[i8],
+    a_scales: &[f32],
+    wtq: &[i8],
+    w_scales: &[f32],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    act: Act,
+) {
     debug_assert_eq!(aq.len(), m * k);
     debug_assert_eq!(a_scales.len(), m);
     debug_assert_eq!(wtq.len(), n * k);
@@ -248,9 +266,11 @@ pub fn gemm_nt_i8(
                 k,
                 n,
             );
+            act.apply(block);
         });
     } else {
         serial_nt_i8(aq, a_scales, wtq, w_scales, bias, c, 0, m, k, n);
+        act.apply(c);
     }
 }
 
@@ -274,6 +294,22 @@ pub fn gemm_nt_i8_dyn(
     k: usize,
     n: usize,
 ) {
+    gemm_nt_i8_dyn_act(a, wtq, w_scales, bias, c, m, k, n, Act::None);
+}
+
+/// [`gemm_nt_i8_dyn`] with a fused elementwise epilogue (see [`Act`]).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_i8_dyn_act(
+    a: &[f32],
+    wtq: &[i8],
+    w_scales: &[f32],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    act: Act,
+) {
     debug_assert_eq!(a.len(), m * k);
     ACT_SCRATCH.with(|s| {
         let (q, scales) = &mut *s.borrow_mut();
@@ -282,7 +318,7 @@ pub fn gemm_nt_i8_dyn(
         scales.clear();
         scales.resize(m, 0.0);
         quantize_rows_i8(a, k, q, scales);
-        gemm_nt_i8(q, scales, wtq, w_scales, bias, c, m, k, n);
+        gemm_nt_i8_act(q, scales, wtq, w_scales, bias, c, m, k, n, act);
     });
 }
 
@@ -351,6 +387,21 @@ pub fn gemm_nn_f16(
     k: usize,
     n: usize,
 ) {
+    gemm_nn_f16_act(a, bh, bias, c, m, k, n, Act::None);
+}
+
+/// [`gemm_nn_f16`] with a fused elementwise epilogue (see [`Act`]).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn_f16_act(
+    a: &[f32],
+    bh: &[u16],
+    bias: Option<&[f32]>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    act: Act,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(bh.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -360,9 +411,11 @@ pub fn gemm_nn_f16(
     if should_parallelize(m, k, n) {
         pool::parallel_rows(c, m, n, |i0, block| {
             serial_nn_f16(a, bh, bias, block, i0, block.len() / n, k, n);
+            act.apply(block);
         });
     } else {
         serial_nn_f16(a, bh, bias, c, 0, m, k, n);
+        act.apply(c);
     }
 }
 

@@ -277,11 +277,11 @@ pub fn load(path: &Path, tokenizer: AnyTokenizer) -> Result<Loaded, CheckpointEr
                 ),
             });
         }
-        Some(FrozenRelativeBias {
+        Some(FrozenRelativeBias::new(
             table,
-            clamp: config.relative_clamp,
-            heads: config.heads,
-        })
+            config.relative_clamp,
+            config.heads,
+        ))
     } else {
         None
     };

@@ -1,0 +1,247 @@
+//! The per-worker scoring executor: backend switch, reusable workspace,
+//! and the [`em_graph::GraphModel`] binding for frozen weights.
+//!
+//! A serving worker owns one [`Executor`]. Under
+//! [`ExecBackend::Graph`] it scores through `em-graph`: the frozen
+//! forward is traced and planned once per (architecture, length-bucket)
+//! geometry, then every later batch replays the cached schedule — fused
+//! kernels, one shared arena, zero allocation at steady state. The
+//! head-side buffers (hidden states, mask, CLS gather, pooled, logits)
+//! live here and are reused the same way. Under [`ExecBackend::Eager`]
+//! the executor defers to the interpreter path, which is kept byte-for-
+//! byte as the baseline. Both backends run identical per-element
+//! arithmetic, so scores are bit-equal either way.
+
+use std::sync::Arc;
+
+use em_graph::{GraphExecutor, GraphModel, LinSlot, NormSlot, Plan, PlanKey};
+use em_kernels::{layer_norm_rows, residual_layer_norm_rows, softmax_rows, Act};
+use em_tokenizers::Encoding;
+use em_transformers::Batch;
+
+use crate::config::ExecBackend;
+use crate::frozen::{FrozenMatcher, FrozenModel};
+
+impl GraphModel for FrozenModel {
+    fn linear(
+        &self,
+        layer: usize,
+        slot: LinSlot,
+        x: &[f32],
+        out: &mut [f32],
+        rows: usize,
+        act: Act,
+    ) {
+        let l = &self.layers[layer];
+        let lin = match slot {
+            LinSlot::Qkv => &l.qkv,
+            LinSlot::O => &l.o,
+            LinSlot::Fc1 => &l.fc1,
+            LinSlot::Fc2 => &l.fc2,
+        };
+        // Dispatches on the stored representation, so the planned
+        // Linear+GELU fusion reaches the f16 and int8 epilogues too.
+        lin.forward_flat_act(x, out, rows, act);
+    }
+
+    fn norm(&self, layer: usize, slot: NormSlot, x: &mut [f32]) {
+        let l = &self.layers[layer];
+        let n = match slot {
+            NormSlot::Attn => &l.norm1,
+            NormSlot::Ffn => &l.norm2,
+        };
+        layer_norm_rows(x, &n.gamma, &n.beta, n.eps);
+    }
+
+    fn residual_norm(&self, layer: usize, slot: NormSlot, x: &mut [f32], add: &[f32]) {
+        let l = &self.layers[layer];
+        let n = match slot {
+            NormSlot::Attn => &l.norm1,
+            NormSlot::Ffn => &l.norm2,
+        };
+        residual_layer_norm_rows(x, add, &n.gamma, &n.beta, n.eps);
+    }
+}
+
+/// The plan-cache key for scoring `model` at sequence length `seq` with
+/// an arena sized for `batch_cap` examples. Keyed on the *bucket
+/// capacity* rather than the actual batch fill: plans replay any batch
+/// up to their envelope, so steady-state traffic hits one plan per
+/// length bucket no matter how full each coalesced batch happens to be.
+pub fn plan_key(model: &FrozenModel, batch_cap: usize, seq: usize) -> PlanKey {
+    PlanKey {
+        layers: model.layers.len(),
+        hidden: model.config.hidden,
+        heads: model.config.heads,
+        inner: model.layers.first().map_or(0, |l| l.fc1.out_features()),
+        has_rel: model.relative.is_some(),
+        batch_cap,
+        seq,
+    }
+}
+
+/// A worker-owned scoring engine: executor backend, plan cache and all
+/// forward-pass workspace, reused batch to batch.
+///
+/// Not `Sync` on purpose — one per thread keeps every buffer and the
+/// plan cache lock-free. The model is *not* held here: each call takes
+/// the (possibly hot-swapped) frozen matcher, and plans carry no
+/// weights, so a swap that preserves geometry keeps every cached plan.
+pub struct Executor {
+    backend: ExecBackend,
+    graph: GraphExecutor,
+    /// Bucket-capacity hint for plan keying; see [`Executor::set_batch_capacity`].
+    batch_cap: usize,
+    x: Vec<f32>,
+    mask: Vec<f32>,
+    cls: Vec<f32>,
+    pooled: Vec<f32>,
+    logits: Vec<f32>,
+}
+
+impl Executor {
+    /// A fresh executor scoring through `backend`.
+    pub fn new(backend: ExecBackend) -> Self {
+        Executor {
+            backend,
+            graph: GraphExecutor::new(),
+            batch_cap: 0,
+            x: Vec::new(),
+            mask: Vec::new(),
+            cls: Vec::new(),
+            pooled: Vec::new(),
+            logits: Vec::new(),
+        }
+    }
+
+    /// Which backend this executor scores through.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
+    }
+
+    /// Hint the upcoming batches' capacity envelope (the serving bucket
+    /// capacity). Plans are keyed on `max(actual batch, hint)`, so a
+    /// worker that sets its bucket capacity builds one plan per length
+    /// bucket and then hits it for every fill level.
+    pub fn set_batch_capacity(&mut self, cap: usize) {
+        self.batch_cap = cap;
+    }
+
+    /// Drain the plan-cache (hits, misses) counters accumulated since
+    /// the last call. Kept as plain fields during the forward and
+    /// drained here so emitting them (stats atomics, em-obs counters)
+    /// never allocates inside the measured scoring path.
+    pub fn take_plan_counts(&mut self) -> (u64, u64) {
+        self.graph.take_counts()
+    }
+
+    /// Encode `batch` into flat `[b*t, hidden]` states held in the
+    /// executor's workspace. At steady state (geometry seen before,
+    /// workspace grown) this performs no allocation on either backend.
+    pub fn forward_hidden(&mut self, model: &FrozenModel, batch: &Batch) -> &[f32] {
+        let b = batch.len();
+        let t = batch.seq_len();
+        let d = model.config.hidden;
+        model
+            .embeddings
+            .forward_into(&batch.ids, &batch.segments, &mut self.x);
+        let mask = fill_mask(batch, &mut self.mask).then_some(&self.mask[..b * t]);
+        let rel: Option<Arc<Vec<f32>>> = model.relative.as_ref().map(|r| r.bias_flat_cached(t));
+        let rel = rel.as_ref().map(|r| r.as_slice());
+        match self.backend {
+            ExecBackend::Eager => model.encode_flat(&mut self.x[..b * t * d], mask, rel, b, t),
+            ExecBackend::Graph => {
+                let key = plan_key(model, b.max(self.batch_cap), t);
+                self.graph
+                    .run(key, model, b, &mut self.x[..b * t * d], mask, rel);
+            }
+        }
+        &self.x[..b * t * d]
+    }
+
+    /// Match logits `[b, 2]` through the executor's workspace — the
+    /// no-allocation twin of [`FrozenMatcher::logits`].
+    pub fn logits(&mut self, matcher: &FrozenMatcher, batch: &Batch) -> &[f32] {
+        let b = batch.len();
+        let t = batch.seq_len();
+        let d = matcher.model.config.hidden;
+        self.forward_hidden(&matcher.model, batch);
+        // CLS gather → pooler (+tanh, as the eager pooled_states) → head.
+        self.cls.resize(b * d, 0.0);
+        for (i, &c) in batch.cls_index.iter().enumerate() {
+            let off = (i * t + c) * d;
+            self.cls[i * d..(i + 1) * d].copy_from_slice(&self.x[off..off + d]);
+        }
+        self.pooled.resize(b * d, 0.0);
+        matcher
+            .model
+            .pooler
+            .forward_flat(&self.cls[..b * d], &mut self.pooled[..b * d], b);
+        for v in &mut self.pooled[..b * d] {
+            *v = v.tanh();
+        }
+        self.logits.resize(b * 2, 0.0);
+        matcher
+            .head
+            .forward_flat(&self.pooled[..b * d], &mut self.logits[..b * 2], b);
+        &self.logits[..b * 2]
+    }
+
+    /// Positive-class probability per encoding — the executor-backed
+    /// twin of [`FrozenMatcher::score_encodings`], dispatching on the
+    /// backend. [`ExecBackend::Eager`] routes through the interpreter
+    /// path unchanged (it *is* the baseline); [`ExecBackend::Graph`]
+    /// replays the planned schedule and allocates only the returned
+    /// score vector.
+    pub fn score_encodings(&mut self, matcher: &FrozenMatcher, encodings: &[Encoding]) -> Vec<f32> {
+        if encodings.is_empty() {
+            return Vec::new();
+        }
+        match self.backend {
+            ExecBackend::Eager => matcher.score_encodings(encodings),
+            ExecBackend::Graph => {
+                for e in encodings {
+                    assert!(
+                        e.ids.len() <= matcher.max_len,
+                        "encoding length {} exceeds the frozen matcher's max_len {}",
+                        e.ids.len(),
+                        matcher.max_len
+                    );
+                }
+                let batch = Batch::from_encodings(encodings);
+                let b = batch.len();
+                self.logits(matcher, &batch);
+                // Same softmax kernel the eager path reaches through
+                // `softmax_array`'s Auto backend.
+                softmax_rows(&mut self.logits[..b * 2], 2);
+                (0..b).map(|i| self.logits[i * 2 + 1]).collect()
+            }
+        }
+    }
+
+    /// Build (or rebuild — planning is deterministic) the plan for one
+    /// geometry, as a reporting hook for benches and tests: arena size
+    /// vs summed scratch, fused-op counts, traced-op counts.
+    pub fn plan_for(model: &FrozenModel, batch_cap: usize, seq: usize) -> Plan {
+        Plan::build(plan_key(model, batch_cap, seq))
+    }
+}
+
+/// Fill `out` with the additive key mask for `batch` (`0.0` real,
+/// `-1e9` padding) and report whether any padding exists. Mask-free
+/// batches return `false` and the executor skips the mask pass, exactly
+/// like the eager `None` mask.
+fn fill_mask(batch: &Batch, out: &mut Vec<f32>) -> bool {
+    let b = batch.len();
+    let t = batch.seq_len();
+    out.resize(b * t, 0.0);
+    let mut masked = false;
+    for (bi, row) in batch.padding.iter().enumerate() {
+        for (ti, &m) in row.iter().enumerate() {
+            let v = if m == 1 { 0.0 } else { -1e9 };
+            masked |= m != 1;
+            out[bi * t + ti] = v;
+        }
+    }
+    masked
+}

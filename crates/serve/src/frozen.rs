@@ -15,12 +15,14 @@
 //! all four architectures — while running several times faster per
 //! example than the autograd batch-1 path.
 
+use std::sync::Arc;
+
 use em_checkpoint::TensorBuf;
 use em_core::EmMatcher;
 use em_data::{Dataset, EntityPair};
 use em_kernels::{
-    dequantize_rows_i8, f16_dequantize, f16_quantize, gelu, gemm_nn, gemm_nn_f16, gemm_nt_i8_dyn,
-    layer_norm_rows, quantize_weights_i8, softmax_rows,
+    dequantize_rows_i8, f16_dequantize, f16_quantize, gelu, gemm_nn, gemm_nn_act, gemm_nn_f16_act,
+    gemm_nt_i8_dyn_act, layer_norm_rows, quantize_weights_i8, softmax_rows, Act,
 };
 use em_nn::Linear;
 use em_tensor::{softmax_array, Array};
@@ -229,12 +231,20 @@ impl FrozenLinear {
 
     /// Apply to `rows` flat row-major input rows through the kernel
     /// matching the stored representation.
-    fn forward_flat(&self, x: &[f32], out: &mut [f32], rows: usize) {
+    pub(crate) fn forward_flat(&self, x: &[f32], out: &mut [f32], rows: usize) {
+        self.forward_flat_act(x, out, rows, Act::None);
+    }
+
+    /// [`FrozenLinear::forward_flat`] with an elementwise epilogue fused
+    /// into the GEMM tile loop — every representation (f32, f16, int8)
+    /// applies `act` per register block, so the graph executor's fused
+    /// `Linear+GELU` stays quant-aware with no extra pass.
+    pub(crate) fn forward_flat_act(&self, x: &[f32], out: &mut [f32], rows: usize, act: Act) {
         let (k, n) = (self.in_features(), self.out_features());
         match &self.w {
-            Weights::F32(t) => gemm_nn(x, t.as_f32(), Some(&self.b), out, rows, k, n),
-            Weights::F16(t) => gemm_nn_f16(x, t.as_u16(), Some(&self.b), out, rows, k, n),
-            Weights::Int8 { qt, scales } => gemm_nt_i8_dyn(
+            Weights::F32(t) => gemm_nn_act(x, t.as_f32(), Some(&self.b), out, rows, k, n, act),
+            Weights::F16(t) => gemm_nn_f16_act(x, t.as_u16(), Some(&self.b), out, rows, k, n, act),
+            Weights::Int8 { qt, scales } => gemm_nt_i8_dyn_act(
                 x,
                 qt.as_i8(),
                 scales.as_f32(),
@@ -243,6 +253,7 @@ impl FrozenLinear {
                 rows,
                 k,
                 n,
+                act,
             ),
         }
     }
@@ -286,12 +297,28 @@ impl FrozenEmbeddings {
     /// blanking — blanking is a pre-training-only concern). Returns the
     /// flat `[b*t, d]` hidden-state buffer the encoder stack works in.
     fn forward_flat(&self, ids: &[Vec<usize>], segments: &[Vec<usize>]) -> Vec<f32> {
+        let mut x = Vec::new();
+        self.forward_into(ids, segments, &mut x);
+        x
+    }
+
+    /// [`FrozenEmbeddings::forward_flat`] into a caller-owned buffer,
+    /// resized (never shrunk below use, no zeroing needed — the token
+    /// gather overwrites every element) so a reused workspace makes the
+    /// embedding stage allocation-free at steady state.
+    pub(crate) fn forward_into(
+        &self,
+        ids: &[Vec<usize>],
+        segments: &[Vec<usize>],
+        x: &mut Vec<f32>,
+    ) {
         let b = ids.len();
         let t = ids.first().map_or(0, Vec::len);
         let d = self.norm.gamma.len();
         let vocab = self.token.shape()[0];
         let token = self.token.as_f32();
-        let mut x = vec![0.0f32; b * t * d];
+        x.resize(b * t * d, 0.0);
+        let x = &mut x[..];
         for (bi, row) in ids.iter().enumerate() {
             for (ti, &id) in row.iter().enumerate() {
                 assert!(id < vocab, "token id {id} out of range {vocab}");
@@ -328,8 +355,7 @@ impl FrozenEmbeddings {
                 }
             }
         }
-        self.norm.forward_flat(&mut x);
-        x
+        self.norm.forward_flat(x);
     }
 }
 
@@ -348,20 +374,52 @@ struct Scratch {
 }
 
 impl Scratch {
-    fn new(b: usize, t: usize, d: usize, heads: usize, inner: usize) -> Self {
-        let rows = b * t;
+    const fn empty() -> Self {
         Self {
-            qkv: vec![0.0; rows * 3 * d],
-            q: vec![0.0; rows * d],
-            kt: vec![0.0; rows * d],
-            v: vec![0.0; rows * d],
-            scores: vec![0.0; b * heads * t * t],
-            merged: vec![0.0; rows * d],
-            attn: vec![0.0; rows * d],
-            ffn1: vec![0.0; rows * inner],
-            ffn2: vec![0.0; rows * d],
+            qkv: Vec::new(),
+            q: Vec::new(),
+            kt: Vec::new(),
+            v: Vec::new(),
+            scores: Vec::new(),
+            merged: Vec::new(),
+            attn: Vec::new(),
+            ffn1: Vec::new(),
+            ffn2: Vec::new(),
         }
     }
+
+    /// Grow every buffer to the given geometry (never shrinking, so a
+    /// worker's scratch converges on its largest batch and stops
+    /// allocating). No zeroing: every buffer is fully overwritten before
+    /// it is read — GEMMs initialize their output tile, the head split
+    /// writes every element, and per-layer reuse overwrites in the same
+    /// pattern — and the layer loops index exact `[..len]` prefixes.
+    fn ensure(&mut self, b: usize, t: usize, d: usize, heads: usize, inner: usize) {
+        let rows = b * t;
+        let grow = |v: &mut Vec<f32>, n: usize| {
+            if v.len() < n {
+                v.resize(n, 0.0);
+            }
+        };
+        grow(&mut self.qkv, rows * 3 * d);
+        grow(&mut self.q, rows * d);
+        grow(&mut self.kt, rows * d);
+        grow(&mut self.v, rows * d);
+        grow(&mut self.scores, b * heads * t * t);
+        grow(&mut self.merged, rows * d);
+        grow(&mut self.attn, rows * d);
+        grow(&mut self.ffn1, rows * inner);
+        grow(&mut self.ffn2, rows * d);
+    }
+}
+
+thread_local! {
+    /// One scratch per scoring thread, reused across every forward: the
+    /// eager path used to allocate nine buffers per call
+    /// (`Scratch::new` in `FrozenModel::forward`), which at steady
+    /// state — where a serving worker replays the same batch geometry
+    /// forever — was pure allocator churn.
+    static SCRATCH: std::cell::RefCell<Scratch> = const { std::cell::RefCell::new(Scratch::empty()) };
 }
 
 /// Inference-only multi-head attention + FFN encoder layer with the Q/K/V
@@ -411,10 +469,14 @@ impl FrozenLayer {
         let dh = d / h;
         let rows = b * t;
 
+        let inner = self.fc1.out_features();
+
         // Attention: fused QKV projection, then per-(sample, head) GEMMs.
         // Only weight-times-activation products go through the quantized
         // kernels; the activation-activation attention GEMMs stay f32.
-        self.qkv.forward_flat(x, &mut s.qkv, rows);
+        // Scratch may be larger than this batch (it is thread-local and
+        // only ever grows), so every kernel gets an exact prefix slice.
+        self.qkv.forward_flat(x, &mut s.qkv[..rows * 3 * d], rows);
         for bi in 0..b {
             for ti in 0..t {
                 let row = &s.qkv[(bi * t + ti) * 3 * d..(bi * t + ti + 1) * 3 * d];
@@ -495,16 +557,18 @@ impl FrozenLayer {
                 }
             }
         }
-        self.o.forward_flat(&s.merged, &mut s.attn, rows);
+        self.o
+            .forward_flat(&s.merged[..rows * d], &mut s.attn[..rows * d], rows);
         for (xv, &av) in x.iter_mut().zip(&s.attn[..rows * d]) {
             *xv += av;
         }
         self.norm1.forward_flat(x);
 
         // Feed-forward with fused bias+GELU, then the second residual norm.
-        self.fc1.forward_flat(x, &mut s.ffn1, rows);
-        gelu(&mut s.ffn1);
-        self.fc2.forward_flat(&s.ffn1, &mut s.ffn2, rows);
+        self.fc1.forward_flat(x, &mut s.ffn1[..rows * inner], rows);
+        gelu(&mut s.ffn1[..rows * inner]);
+        self.fc2
+            .forward_flat(&s.ffn1[..rows * inner], &mut s.ffn2[..rows * d], rows);
         for (xv, &fv) in x.iter_mut().zip(&s.ffn2[..rows * d]) {
             *xv += fv;
         }
@@ -513,15 +577,50 @@ impl FrozenLayer {
 }
 
 /// Inference-only relative-position bias table (XLNet).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub(crate) struct FrozenRelativeBias {
     /// `[heads, 2*clamp+1]` bias table.
     pub(crate) table: TensorBuf,
     pub(crate) clamp: usize,
     pub(crate) heads: usize,
+    /// Expanded `[heads*t*t]` bias per sequence length, materialized on
+    /// first use. The expansion is pure table lookup, identical every
+    /// call, yet the eager path recomputed it per batch; serving sees a
+    /// handful of bucket lengths, so this is a tiny map. Living on the
+    /// bias itself (not keyed by model pointer in the executor) means a
+    /// hot-swapped model can never observe a stale expansion.
+    cache: std::sync::Mutex<std::collections::HashMap<usize, Arc<Vec<f32>>>>,
+}
+
+impl Clone for FrozenRelativeBias {
+    fn clone(&self) -> Self {
+        // A fresh, empty cache: clones (quantize, swap staging) re-expand
+        // lazily rather than sharing a lock with the serving copy.
+        FrozenRelativeBias::new(self.table.clone(), self.clamp, self.heads)
+    }
 }
 
 impl FrozenRelativeBias {
+    pub(crate) fn new(table: TensorBuf, clamp: usize, heads: usize) -> Self {
+        FrozenRelativeBias {
+            table,
+            clamp,
+            heads,
+            cache: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The `[heads*t*t]` expansion for sequence length `t`, shared and
+    /// cached. An `Arc` clone on the hit path — no allocation, no copy.
+    pub(crate) fn bias_flat_cached(&self, t: usize) -> Arc<Vec<f32>> {
+        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(
+            cache
+                .entry(t)
+                .or_insert_with(|| Arc::new(self.bias_flat(t))),
+        )
+    }
+
     /// Mirror of `RelativeBias::bias_for`, flattened to `[heads*t*t]`.
     fn bias_flat(&self, t: usize) -> Vec<f32> {
         let clamp = self.clamp as isize;
@@ -586,11 +685,10 @@ impl From<&TransformerModel> for FrozenModel {
                     norm2: FrozenNorm::from_norm(&l.norm2),
                 })
                 .collect(),
-            relative: m.relative.as_ref().map(|r| FrozenRelativeBias {
-                table: table_buf(r.table.value()),
-                clamp: r.clamp(),
-                heads: r.heads(),
-            }),
+            relative: m
+                .relative
+                .as_ref()
+                .map(|r| FrozenRelativeBias::new(table_buf(r.table.value()), r.clamp(), r.heads())),
             pooler: FrozenLinear::from(&m.pooler),
         }
     }
@@ -621,12 +719,32 @@ impl FrozenModel {
             )
         };
         let rel = self.relative.as_ref().map(|r| r.bias_flat(t));
-        let inner = self.layers.first().map_or(0, |l| l.fc1.out_features());
-        let mut scratch = Scratch::new(b, t, d, self.config.heads, inner);
-        for layer in &self.layers {
-            layer.forward_flat(&mut x, mask.as_deref(), rel.as_deref(), b, t, &mut scratch);
-        }
+        self.encode_flat(&mut x, mask.as_deref(), rel.as_deref(), b, t);
         Array::from_vec(x, vec![b, t, d])
+    }
+
+    /// Run the encoder stack eagerly, in place on the flat `[b*t, d]`
+    /// hidden states, with the thread-local scratch. This is the
+    /// [`ExecBackend::Eager`](crate::ExecBackend::Eager) body; the graph
+    /// executor replays a planned schedule of the same ops instead.
+    pub(crate) fn encode_flat(
+        &self,
+        x: &mut [f32],
+        mask: Option<&[f32]>,
+        rel: Option<&[f32]>,
+        b: usize,
+        t: usize,
+    ) {
+        let d = self.config.hidden;
+        debug_assert_eq!(x.len(), b * t * d);
+        let inner = self.layers.first().map_or(0, |l| l.fc1.out_features());
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.ensure(b, t, d, self.config.heads, inner);
+            for layer in &self.layers {
+                layer.forward_flat(x, mask, rel, b, t, &mut scratch);
+            }
+        });
     }
 
     /// Hidden state of each sample's CLS position: `[batch, hidden]`.

@@ -141,6 +141,8 @@ pub(crate) struct StatsInner {
     pub(crate) degraded: AtomicU64,
     pub(crate) worker_restarts: AtomicU64,
     pub(crate) swaps: AtomicU64,
+    pub(crate) plan_cache_hits: AtomicU64,
+    pub(crate) plan_cache_misses: AtomicU64,
     /// Monotone batch sequence; drives the deterministic fault schedule.
     pub(crate) batch_seq: AtomicU64,
 }
@@ -173,6 +175,14 @@ pub struct ServeStats {
     pub worker_restarts: u64,
     /// Successful hot-swaps ([`ServeMatcher::swap_model`]) since start.
     pub swaps: u64,
+    /// Batches whose execution plan was already cached by their worker
+    /// (graph backend only; always 0 under [`ExecBackend::Eager`]).
+    ///
+    /// [`ExecBackend::Eager`]: crate::ExecBackend::Eager
+    pub plan_cache_hits: u64,
+    /// Batches that had to trace + plan first: one per (worker, length
+    /// bucket) geometry at steady state, plus cold respawned workers.
+    pub plan_cache_misses: u64,
 }
 
 impl ServeStats {
@@ -195,6 +205,18 @@ impl ServeStats {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of scored batches that replayed an already-planned
+    /// schedule. Converges to 1.0 at steady state — each worker plans a
+    /// length bucket once, then every later batch of that bucket hits.
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
         }
     }
 }
@@ -402,6 +424,8 @@ impl ServeMatcher {
             degraded: self.stats.degraded.load(Ordering::Relaxed),
             worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
             swaps: self.stats.swaps.load(Ordering::Relaxed),
+            plan_cache_hits: self.stats.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.stats.plan_cache_misses.load(Ordering::Relaxed),
         }
     }
 

@@ -1,0 +1,282 @@
+//! Graph-executor equivalence tests: the traced/planned/replayed lazy
+//! forward must reproduce the eager interpreter bit-for-bit and the
+//! autograd logits to 1e-5 — across all four architectures (including
+//! XLNet's relative position bias), all three quantization modes, and
+//! ragged batch geometries replayed inside a larger planned envelope.
+
+use em_core::train_tokenizer;
+use em_nn::Ctx;
+use em_serve::{
+    freeze_parts, ExecBackend, Executor, FrozenMatcher, QuantMode, ServeConfig, ServeMatcher,
+};
+use em_tensor::no_grad;
+use em_tokenizers::Encoding;
+use em_transformers::{
+    Architecture, Batch, ClassificationHead, TransformerConfig, TransformerModel,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const VOCAB: usize = 50;
+
+fn tiny_model(arch: Architecture, seed: u64) -> (TransformerModel, ClassificationHead) {
+    let cfg = TransformerConfig::tiny(arch, VOCAB);
+    let hidden = cfg.hidden;
+    let model = TransformerModel::new(cfg, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ead);
+    let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
+    (model, head)
+}
+
+/// A random well-formed ragged encoding (no padding): CLS at the
+/// architecture's position, random segment split.
+fn random_encoding(rng: &mut StdRng, arch: Architecture, max_len: usize) -> Encoding {
+    let real = rng.gen_range(3..=max_len);
+    let ids: Vec<u32> = (0..real).map(|_| rng.gen_range(1..VOCAB as u32)).collect();
+    let split = rng.gen_range(1..real);
+    let segments: Vec<u8> = (0..real).map(|i| u8::from(i >= split)).collect();
+    let mask = vec![1u8; real];
+    let cls_index = match arch {
+        Architecture::Xlnet => real - 1,
+        _ => 0,
+    };
+    Encoding {
+        ids,
+        segments,
+        mask,
+        cls_index,
+        pad_id: 0,
+    }
+}
+
+/// A random encoding with an exact real length, so batches of them share
+/// one sequence length (and therefore one plan key).
+fn fixed_len_encoding(rng: &mut StdRng, arch: Architecture, len: usize) -> Encoding {
+    loop {
+        let e = random_encoding(rng, arch, len);
+        if e.ids.len() == len {
+            return e;
+        }
+    }
+}
+
+fn tiny_frozen_matcher(arch: Architecture, seed: u64, max_len: usize) -> FrozenMatcher {
+    let (model, head) = tiny_model(arch, seed);
+    let corpus = em_data::generate_corpus(30, seed);
+    let tok = train_tokenizer(arch, &corpus, 200);
+    freeze_parts(&model, &head, tok, max_len)
+}
+
+/// Autograd-path logits for a batch, exactly as `EmMatcher` computes them.
+fn autograd_logits(
+    model: &TransformerModel,
+    head: &ClassificationHead,
+    batch: &Batch,
+) -> em_tensor::Array {
+    no_grad(|| {
+        let mut ctx = Ctx::eval();
+        let hidden = model.forward(batch, None, None, &mut ctx);
+        let pooled = model.pooled_states(&hidden, batch);
+        head.forward(&pooled, &mut ctx).value()
+    })
+}
+
+/// Lazy (graph-executed) logits vs autograd within 1e-5 on a ragged batch.
+fn assert_graph_matches_autograd(arch: Architecture, seed: u64) {
+    let (model, head) = tiny_model(arch, seed);
+    let max_len = 24;
+    let corpus = em_data::generate_corpus(30, seed);
+    let tok = train_tokenizer(arch, &corpus, 200);
+    let matcher = freeze_parts(&model, &head, tok, max_len);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(47).wrapping_add(13));
+    let encodings: Vec<Encoding> = (0..4)
+        .map(|_| random_encoding(&mut rng, arch, max_len))
+        .collect();
+    let batch = Batch::from_encodings(&encodings);
+    let want = autograd_logits(&model, &head, &batch);
+    let mut exec = Executor::new(ExecBackend::Graph);
+    let got = exec.logits(&matcher, &batch);
+    assert_eq!(want.data().len(), got.len());
+    for (i, (w, g)) in want.data().iter().zip(got).enumerate() {
+        assert!(
+            (w - g).abs() < 1e-5,
+            "{} logit {i}: autograd {w} vs graph {g}",
+            arch.name()
+        );
+    }
+}
+
+/// Lazy scores must be *bit-identical* to the eager interpreter in every
+/// weight representation: the planner's fused kernels run the same
+/// per-element arithmetic in the same order as the unfused path.
+fn assert_graph_matches_eager(arch: Architecture, seed: u64) {
+    let max_len = 20;
+    let matcher = tiny_frozen_matcher(arch, seed, max_len);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(91).wrapping_add(5));
+    let encodings: Vec<Encoding> = (0..5)
+        .map(|_| random_encoding(&mut rng, arch, max_len))
+        .collect();
+    for mode in [QuantMode::F32, QuantMode::F16, QuantMode::Int8] {
+        let q = matcher.quantize(mode);
+        let want = q.score_encodings(&encodings); // eager baseline
+        let mut exec = Executor::new(ExecBackend::Graph);
+        let got = exec.score_encodings(&q, &encodings);
+        assert_eq!(want.len(), got.len());
+        for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(
+                w,
+                g,
+                "{} {mode} score {i}: eager {w} vs graph {g}",
+                arch.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn graph_matches_autograd_bert(seed in 0u64..10_000) {
+        assert_graph_matches_autograd(Architecture::Bert, seed);
+    }
+
+    #[test]
+    fn graph_matches_autograd_xlnet(seed in 0u64..10_000) {
+        assert_graph_matches_autograd(Architecture::Xlnet, seed);
+    }
+
+    #[test]
+    fn graph_matches_autograd_roberta(seed in 0u64..10_000) {
+        assert_graph_matches_autograd(Architecture::Roberta, seed);
+    }
+
+    #[test]
+    fn graph_matches_autograd_distilbert(seed in 0u64..10_000) {
+        assert_graph_matches_autograd(Architecture::DistilBert, seed);
+    }
+
+    #[test]
+    fn graph_matches_eager_all_quant_modes_bert(seed in 0u64..10_000) {
+        assert_graph_matches_eager(Architecture::Bert, seed);
+    }
+
+    #[test]
+    fn graph_matches_eager_all_quant_modes_xlnet(seed in 0u64..10_000) {
+        assert_graph_matches_eager(Architecture::Xlnet, seed);
+    }
+
+    #[test]
+    fn graph_matches_eager_all_quant_modes_roberta(seed in 0u64..10_000) {
+        assert_graph_matches_eager(Architecture::Roberta, seed);
+    }
+
+    #[test]
+    fn graph_matches_eager_all_quant_modes_distilbert(seed in 0u64..10_000) {
+        assert_graph_matches_eager(Architecture::DistilBert, seed);
+    }
+}
+
+/// The eager backend is a pure delegation to the interpreter baseline.
+#[test]
+fn eager_backend_is_the_interpreter_baseline() {
+    let matcher = tiny_frozen_matcher(Architecture::Bert, 21, 16);
+    let mut rng = StdRng::seed_from_u64(77);
+    let encodings: Vec<Encoding> = (0..4)
+        .map(|_| random_encoding(&mut rng, Architecture::Bert, 16))
+        .collect();
+    let mut exec = Executor::new(ExecBackend::Eager);
+    assert_eq!(exec.backend(), ExecBackend::Eager);
+    let got = exec.score_encodings(&matcher, &encodings);
+    assert_eq!(got, matcher.score_encodings(&encodings));
+    // The eager path never touches the plan cache.
+    assert_eq!(exec.take_plan_counts(), (0, 0));
+}
+
+/// One plan per (geometry, capacity envelope): batches of every fill
+/// level 1..=cap replay the envelope plan, so only the very first batch
+/// is a cache miss and the scores still match the eager per-batch run.
+#[test]
+fn plan_cache_hits_across_fill_levels() {
+    let arch = Architecture::Bert;
+    let matcher = tiny_frozen_matcher(arch, 33, 16);
+    let mut rng = StdRng::seed_from_u64(123);
+    let cap = 6;
+    let encodings: Vec<Encoding> = (0..cap)
+        .map(|_| fixed_len_encoding(&mut rng, arch, 12))
+        .collect();
+    let mut exec = Executor::new(ExecBackend::Graph);
+    exec.set_batch_capacity(cap);
+    for fill in 1..=cap {
+        let slice = &encodings[..fill];
+        let got = exec.score_encodings(&matcher, slice);
+        assert_eq!(got, matcher.score_encodings(slice), "fill {fill}");
+    }
+    let (hits, misses) = exec.take_plan_counts();
+    assert_eq!(misses, 1, "one planning pass for the capacity envelope");
+    assert_eq!(hits, cap as u64 - 1, "every later fill level replays it");
+}
+
+/// A hot swap that preserves geometry must keep serving correct scores
+/// through the same executor: plans carry no weights, so the new model
+/// binds into the cached schedule without replanning.
+#[test]
+fn cached_plan_survives_a_weight_swap() {
+    let arch = Architecture::Roberta;
+    let a = tiny_frozen_matcher(arch, 1, 16);
+    let b = tiny_frozen_matcher(arch, 2, 16);
+    let mut rng = StdRng::seed_from_u64(9);
+    let encodings: Vec<Encoding> = (0..3)
+        .map(|_| fixed_len_encoding(&mut rng, arch, 10))
+        .collect();
+    let mut exec = Executor::new(ExecBackend::Graph);
+    let got_a = exec.score_encodings(&a, &encodings);
+    let got_b = exec.score_encodings(&b, &encodings);
+    assert_eq!(got_a, a.score_encodings(&encodings));
+    assert_eq!(got_b, b.score_encodings(&encodings));
+    let (hits, misses) = exec.take_plan_counts();
+    assert_eq!((hits, misses), (1, 1), "the swap re-used the cached plan");
+}
+
+/// Served scores through the default (graph) backend match the eager
+/// backend exactly, and the plan-cache counters surface in `ServeStats`:
+/// the graph matcher plans at least once and replays thereafter, while
+/// the eager matcher never touches the planner.
+#[test]
+fn served_graph_scores_match_eager_and_report_plan_cache() {
+    let matcher = tiny_frozen_matcher(Architecture::Bert, 55, 16);
+    let mut rng = StdRng::seed_from_u64(4242);
+    let encodings: Vec<Encoding> = (0..8)
+        .map(|_| fixed_len_encoding(&mut rng, Architecture::Bert, 12))
+        .collect();
+    let cfg = |backend| {
+        ServeConfig::builder()
+            .workers(1)
+            .max_batch(4)
+            .cache_capacity(0)
+            .backend(backend)
+            .build()
+            .unwrap()
+    };
+    let graph = ServeMatcher::start(matcher.clone(), cfg(ExecBackend::Graph));
+    let eager = ServeMatcher::start(matcher, cfg(ExecBackend::Eager));
+    // Two rounds: the first plans (≥1 miss), the second replays (hits).
+    let g1 = graph.score_encodings(&encodings).unwrap();
+    let g2 = graph.score_encodings(&encodings).unwrap();
+    let e1 = eager.score_encodings(&encodings).unwrap();
+    assert_eq!(g1, e1);
+    assert_eq!(g2, e1);
+    let gs = graph.stats();
+    assert!(gs.plan_cache_misses >= 1, "first batch must plan");
+    assert!(gs.plan_cache_hits >= 1, "steady state must replay");
+    assert_eq!(
+        gs.plan_cache_hits + gs.plan_cache_misses,
+        gs.batches,
+        "one plan-cache probe per scored batch"
+    );
+    let rate = gs.plan_cache_hit_rate();
+    assert!(rate > 0.0 && rate <= 1.0, "hit rate {rate} out of range");
+    let es = eager.stats();
+    assert_eq!((es.plan_cache_hits, es.plan_cache_misses), (0, 0));
+}

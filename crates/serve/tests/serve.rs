@@ -418,6 +418,8 @@ fn batch_fill_measures_against_bucket_capacity() {
         degraded: 0,
         worker_restarts: 0,
         swaps: 0,
+        plan_cache_hits: 0,
+        plan_cache_misses: 0,
     };
     // 48 examples over 2 batches of capacity 32 each: 75% full — a flat
     // max_batch=32 denominator would have wrongly reported 75% as 2×32
