@@ -1,0 +1,465 @@
+//! Blocking and streaming-pipeline benchmark: candidate recall vs.
+//! reduction ratio per blocker, end-to-end table-in → matches-out
+//! throughput, resume-after-kill verification, and a serve-scored run —
+//! all over `em-data`'s streaming [`CatalogTables`] so nothing
+//! quadratic (and no corpus) is ever materialized.
+//!
+//! Stages, all reported to `results/block_bench.json` (+ a text table in
+//! `results/block_bench.txt`):
+//!
+//! 1. **cmp** — every blocker (token, q-gram, exact, MinHash-LSH) over
+//!    the same pair of tables: recall against the gold oracle, reduction
+//!    ratio, index build time and candidate-streaming throughput.
+//! 2. **pipeline** — the full `DedupPipeline` (token blocking +
+//!    Jaccard scoring) over the big corpus: pairs/sec, matches, chunk
+//!    checkpoints, peak RSS. This is the million-entity stage.
+//! 3. **resume** — deterministic kill injection after one chunk, then a
+//!    resumed run; asserts the match file is byte-identical to an
+//!    uninterrupted run.
+//! 4. **serve** — the same pipeline with `ServeMatcher` (a tiny frozen
+//!    transformer) as the scorer: end-to-end transformer pairs/sec.
+//!
+//! `--smoke` shrinks everything to CI size (4 000 + 4 000 rows) and
+//! asserts the acceptance floor in-process: recall ≥ 0.95 at
+//! reduction ≥ 0.99 for the pipeline blocker, resume byte-identical.
+//!
+//! Full scale: `cargo run --release --bin blockbench` (500 000 rows per
+//! side = 1 M entities end to end; a few minutes).
+
+use em_bench::{emit_report, render_table, Args, RESULTS_DIR};
+use em_block::{
+    read_matches, BlockIndex, BlockerConfig, BlockingEval, CandidateStream, DedupPipeline,
+    JaccardScorer, PairScorer, PipelineConfig, PipelineError,
+};
+use em_core::train_tokenizer;
+use em_data::CatalogTables;
+use em_serve::{freeze_parts, ServeConfig, ServeMatcher};
+use em_transformers::{Architecture, ClassificationHead, TransformerConfig, TransformerModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The pipeline's production blocker: rare-token overlap. Ubiquitous
+/// tokens (brands, nouns, colors — everything with document frequency
+/// above `stop_fraction`) are stop-worded out of the index, so candidate
+/// generation keys on the discriminative vocabulary: model designations,
+/// exact price strings, part numbers. One shared rare token is enough.
+fn pipeline_blocker() -> BlockerConfig {
+    BlockerConfig::Token {
+        min_shared: 1,
+        stop_fraction: 0.0002,
+    }
+}
+
+fn cmp_blockers(seed: u64) -> Vec<BlockerConfig> {
+    vec![
+        pipeline_blocker(),
+        BlockerConfig::Qgram {
+            q: 5,
+            min_shared: 6,
+            stop_fraction: 0.002,
+        },
+        BlockerConfig::Exact,
+        BlockerConfig::MinhashLsh {
+            hashes: 128,
+            bands: 32,
+            shingle_q: 3,
+            seed,
+        },
+    ]
+}
+
+#[derive(Serialize)]
+struct BlockerRow {
+    name: String,
+    candidates: u64,
+    recall: f64,
+    reduction: f64,
+    postings: u64,
+    build_secs: f64,
+    stream_secs: f64,
+    candidates_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct CmpPhase {
+    rows_a: u32,
+    rows_b: u32,
+    gold: u64,
+    blockers: Vec<BlockerRow>,
+}
+
+#[derive(Serialize)]
+struct PipelinePhase {
+    rows_a: u32,
+    rows_b: u32,
+    gold: u64,
+    blocker: String,
+    candidates: u64,
+    recall: f64,
+    reduction: f64,
+    pairs_scored: u64,
+    matches: u64,
+    chunks: u64,
+    pipeline_secs: f64,
+    pairs_per_sec: f64,
+    /// Process peak resident set (`VmHWM`), bytes; 0 off Linux.
+    peak_rss_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct ResumePhase {
+    rows: u32,
+    stop_after_chunks: u64,
+    resumed_from_row: u32,
+    identical: bool,
+}
+
+#[derive(Serialize)]
+struct ServePhase {
+    rows_a: u32,
+    rows_b: u32,
+    pairs_scored: u64,
+    matches: u64,
+    secs: f64,
+    pairs_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    smoke: bool,
+    seed: u64,
+    cmp: CmpPhase,
+    pipeline: PipelinePhase,
+    resume: ResumePhase,
+    serve: ServePhase,
+}
+
+/// Peak resident set size of this process from `/proc/self/status`
+/// (`VmHWM`, the high-water mark), in bytes. 0 when unreadable.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Stage 1: every blocker over one table pair, scored against the oracle.
+fn cmp_stage(n: u32, seed: u64) -> CmpPhase {
+    let tables = CatalogTables::new(n, n, seed);
+    let (a, b) = (tables.table_a(), tables.table_b());
+    let gold = tables.gold_total();
+    let mut rows = Vec::new();
+    for config in cmp_blockers(seed) {
+        let t0 = Instant::now();
+        let index = BlockIndex::build(&config, &b);
+        let build_secs = t0.elapsed().as_secs_f64();
+        let mut eval = BlockingEval::new(n, n, gold);
+        let t1 = Instant::now();
+        let mut stream = CandidateStream::new(&index, &a);
+        for c in &mut stream {
+            eval.observe(tables.is_match(c.a, c.b));
+        }
+        let stream_secs = t1.elapsed().as_secs_f64();
+        eval.publish();
+        eprintln!(
+            "[cmp] {:<12} recall {:.4}  reduction {:.6}  candidates {}",
+            config.name(),
+            eval.recall(),
+            eval.reduction(),
+            eval.candidates()
+        );
+        rows.push(BlockerRow {
+            name: config.name().to_string(),
+            candidates: eval.candidates(),
+            recall: eval.recall(),
+            reduction: eval.reduction(),
+            postings: index.postings_total(),
+            build_secs,
+            stream_secs,
+            candidates_per_sec: eval.candidates() as f64 / stream_secs.max(1e-9),
+        });
+    }
+    CmpPhase {
+        rows_a: n,
+        rows_b: n,
+        gold,
+        blockers: rows,
+    }
+}
+
+/// Stage 2: blocking quality + the full resumable pipeline at scale.
+fn pipeline_stage(n: u32, seed: u64, out_path: &PathBuf) -> PipelinePhase {
+    let tables = CatalogTables::new(n, n, seed);
+    let (a, b) = (tables.table_a(), tables.table_b());
+    let gold = tables.gold_total();
+    let blocker = pipeline_blocker();
+
+    // Blocking-quality pass: stream candidates against the oracle.
+    let index = BlockIndex::build(&blocker, &b);
+    let mut eval = BlockingEval::new(n, n, gold);
+    for c in CandidateStream::new(&index, &a) {
+        eval.observe(tables.is_match(c.a, c.b));
+    }
+    eval.publish();
+    drop(index);
+
+    // The pipeline itself: table-in → matches-out, chunked checkpoints.
+    let mut cfg = PipelineConfig::new(blocker.clone(), out_path);
+    cfg.threshold = 0.5;
+    cfg.checkpoint_every = (n / 10).clamp(1000, 50_000);
+    let t0 = Instant::now();
+    let report = DedupPipeline::new(cfg)
+        .run(&a, &b, &JaccardScorer::default())
+        .expect("pipeline run");
+    let pipeline_secs = t0.elapsed().as_secs_f64();
+    assert!(report.completed);
+    eprintln!(
+        "[pipeline] {n}x{n}: {} pairs scored, {} matches in {pipeline_secs:.1}s ({:.0} pairs/s)",
+        report.pairs_scored,
+        report.matches,
+        report.pairs_scored as f64 / pipeline_secs.max(1e-9)
+    );
+    PipelinePhase {
+        rows_a: n,
+        rows_b: n,
+        gold,
+        blocker: blocker.name().to_string(),
+        candidates: eval.candidates(),
+        recall: eval.recall(),
+        reduction: eval.reduction(),
+        pairs_scored: report.pairs_scored,
+        matches: report.matches,
+        chunks: report.chunks,
+        pipeline_secs,
+        pairs_per_sec: report.pairs_scored as f64 / pipeline_secs.max(1e-9),
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// Stage 3: kill after one chunk, resume, compare against an
+/// uninterrupted run byte for byte. Always smoke-scale — this is a
+/// correctness gate, not a throughput measurement.
+fn resume_stage(n: u32, seed: u64) -> ResumePhase {
+    let tables = CatalogTables::new(n, n, seed);
+    let (a, b) = (tables.table_a(), tables.table_b());
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let ref_out = dir.join(format!("blockbench-{pid}-ref.jsonl"));
+    let out = dir.join(format!("blockbench-{pid}-resume.jsonl"));
+
+    let mut cfg = PipelineConfig::new(pipeline_blocker(), &ref_out);
+    cfg.threshold = 0.5;
+    cfg.checkpoint_every = (n / 4).max(1);
+    DedupPipeline::new(cfg.clone())
+        .run(&a, &b, &JaccardScorer::default())
+        .expect("reference run");
+
+    cfg.out_path = out.clone();
+    cfg.progress_path = {
+        let mut p = out.clone().into_os_string();
+        p.push(".progress");
+        PathBuf::from(p)
+    };
+    cfg.stop_after_chunks = Some(1);
+    let killed = DedupPipeline::new(cfg.clone()).run(&a, &b, &JaccardScorer::default());
+    let resumed_from_row = match killed {
+        Err(PipelineError::Stopped { next_row }) => next_row,
+        other => panic!("expected injected stop, got {other:?}"),
+    };
+    cfg.stop_after_chunks = None;
+    cfg.resume = true;
+    DedupPipeline::new(cfg)
+        .run(&a, &b, &JaccardScorer::default())
+        .expect("resumed run");
+
+    let identical =
+        std::fs::read(&ref_out).expect("read ref") == std::fs::read(&out).expect("read resumed");
+    eprintln!("[resume] killed at row {resumed_from_row}, identical: {identical}");
+    for p in [&ref_out, &out] {
+        let _ = std::fs::remove_file(p);
+        let mut prog = p.clone().into_os_string();
+        prog.push(".progress");
+        let _ = std::fs::remove_file(PathBuf::from(prog));
+    }
+    ResumePhase {
+        rows: n,
+        stop_after_chunks: 1,
+        resumed_from_row,
+        identical,
+    }
+}
+
+/// Stage 4: the same pipeline with a frozen transformer as the scorer.
+fn serve_stage(n: u32, seed: u64) -> ServePhase {
+    let max_len = 32;
+    let corpus = em_data::generate_corpus(30, seed);
+    let tok = train_tokenizer(Architecture::Bert, &corpus, 200);
+    let cfg = TransformerConfig::tiny(
+        Architecture::Bert,
+        em_tokenizers::Tokenizer::vocab_size(&tok),
+    );
+    let hidden = cfg.hidden;
+    let model = TransformerModel::new(cfg, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ead);
+    let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
+    let matcher = ServeMatcher::start(
+        freeze_parts(&model, &head, tok, max_len),
+        ServeConfig::default(),
+    );
+
+    let tables = CatalogTables::new(n, n, seed);
+    let (a, b) = (tables.table_a(), tables.table_b());
+    let out = std::env::temp_dir().join(format!("blockbench-{}-serve.jsonl", std::process::id()));
+    let mut cfg = PipelineConfig::new(pipeline_blocker(), &out);
+    cfg.threshold = 0.5;
+    cfg.window = 64;
+    cfg.checkpoint_every = (n / 4).max(1);
+    let t0 = Instant::now();
+    let report = DedupPipeline::new(cfg)
+        .run(&a, &b, &matcher)
+        .expect("serve-scored pipeline");
+    let secs = t0.elapsed().as_secs_f64();
+    let decisions = read_matches(&out).expect("read serve matches");
+    assert_eq!(decisions.len() as u64, report.matches);
+    let _ = std::fs::remove_file(&out);
+    let mut prog = out.into_os_string();
+    prog.push(".progress");
+    let _ = std::fs::remove_file(PathBuf::from(prog));
+    eprintln!(
+        "[serve] {} transformer-scored pairs in {secs:.1}s ({:.0} pairs/s)",
+        report.pairs_scored,
+        report.pairs_scored as f64 / secs.max(1e-9)
+    );
+    ServePhase {
+        rows_a: n,
+        rows_b: n,
+        pairs_scored: report.pairs_scored,
+        matches: report.matches,
+        secs,
+        pairs_per_sec: report.pairs_scored as f64 / secs.max(1e-9),
+    }
+}
+
+/// Quick sanity-check that a [`PairScorer`] impl exists for the matcher
+/// (compile-time only; keeps the bound honest if signatures drift).
+#[allow(dead_code)]
+fn assert_scorer<S: PairScorer>(_: &S) {}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+    let seed: u64 = args.get("seed").unwrap_or(42);
+    let rows: u32 = args
+        .get("rows")
+        .unwrap_or(if smoke { 4000 } else { 500_000 });
+    let cmp_rows: u32 = args
+        .get("cmp-rows")
+        .unwrap_or(if smoke { 4000 } else { 100_000 });
+    let serve_rows: u32 = args
+        .get("serve-rows")
+        .unwrap_or(if smoke { 300 } else { 2000 });
+    let resume_rows: u32 = rows.min(4000);
+
+    let _ = std::fs::create_dir_all(RESULTS_DIR);
+    let matches_path = PathBuf::from(RESULTS_DIR).join("block_matches.jsonl");
+
+    let cmp = cmp_stage(cmp_rows, seed);
+    let pipeline = pipeline_stage(rows, seed, &matches_path);
+    let resume = resume_stage(resume_rows, seed);
+    let serve = serve_stage(serve_rows, seed);
+
+    // The acceptance floor, enforced in-process on every smoke run so CI
+    // fails here with context before the JSON asserts do.
+    if smoke {
+        assert!(
+            pipeline.recall >= 0.95,
+            "pipeline blocker recall {} < 0.95",
+            pipeline.recall
+        );
+        assert!(
+            pipeline.reduction >= 0.99,
+            "pipeline blocker reduction {} < 0.99",
+            pipeline.reduction
+        );
+        assert!(resume.identical, "resume must reproduce the match file");
+    }
+
+    let report = Report {
+        smoke,
+        seed,
+        cmp,
+        pipeline,
+        resume,
+        serve,
+    };
+
+    // Human-readable summary table.
+    let mut table_rows: Vec<Vec<String>> = report
+        .cmp
+        .blockers
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.clone(),
+                format!("{}", b.candidates),
+                format!("{:.4}", b.recall),
+                format!("{:.6}", b.reduction),
+                format!("{:.2}", b.build_secs),
+                format!("{:.0}", b.candidates_per_sec),
+            ]
+        })
+        .collect();
+    table_rows.push(vec![
+        format!("pipeline ({})", report.pipeline.blocker),
+        format!("{}", report.pipeline.pairs_scored),
+        format!("{:.4}", report.pipeline.recall),
+        format!("{:.6}", report.pipeline.reduction),
+        format!("{:.2}", report.pipeline.pipeline_secs),
+        format!("{:.0}", report.pipeline.pairs_per_sec),
+    ]);
+    let table = render_table(
+        &[
+            "blocker",
+            "candidates",
+            "recall",
+            "reduction",
+            "secs",
+            "pairs/s",
+        ],
+        &table_rows,
+    );
+    let summary = format!(
+        "blockbench — {}x{} pipeline, {}x{} blocker comparison (seed {})\n\n{}\n\
+         resume: killed at row {}, identical = {}\n\
+         serve:  {:.0} transformer pairs/s over {} pairs\n\
+         peak rss: {:.1} MiB\n",
+        report.pipeline.rows_a,
+        report.pipeline.rows_b,
+        report.cmp.rows_a,
+        report.cmp.rows_b,
+        seed,
+        table,
+        report.resume.resumed_from_row,
+        report.resume.identical,
+        report.serve.pairs_per_sec,
+        report.serve.pairs_scored,
+        report.pipeline.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+    );
+    emit_report("block_bench", &summary);
+
+    let path = PathBuf::from(RESULTS_DIR).join("block_bench.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize block report"),
+    )
+    .expect("write block_bench.json");
+    eprintln!("[saved] {}", path.display());
+}

@@ -1,0 +1,480 @@
+//! Blocker configurations and the streaming [`BlockIndex`].
+//!
+//! The index is built once over the right-hand ("indexed") table by
+//! streaming its rows — the table is visited row by row and only hashed
+//! features and `u32` posting lists are retained, never the records
+//! themselves. Probing streams the left-hand table one row at a time, so
+//! the full candidate pair list is never materialized anywhere: the
+//! peak memory of a blocking pass is the index plus one row's scratch.
+
+use crate::minhash::{band_key, MinHasher};
+use crate::stream::{Row, TableSource};
+use crate::text::{
+    dedup_features, qgram_hashes, splitmix64, token_hashes, whole_value_hash, BuildFeatureHasher,
+};
+use std::collections::HashMap;
+
+/// Which candidate generator to run and its knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockerConfig {
+    /// Token-overlap blocking over an inverted index: a pair is a
+    /// candidate when the two rows share at least `min_shared` distinct
+    /// non-stop tokens. Tokens appearing in more than
+    /// `stop_fraction` of the indexed table's rows are stop-words and
+    /// are neither indexed nor counted.
+    Token {
+        /// Minimum distinct shared non-stop tokens.
+        min_shared: usize,
+        /// Document-frequency fraction above which a token is a stop-word.
+        stop_fraction: f64,
+    },
+    /// Character-q-gram blocking: at least `min_shared` distinct shared
+    /// `q`-grams (robust to typos where token blocking fails). Grams
+    /// above the `stop_fraction` document frequency are dropped, which
+    /// keeps high-frequency grams ("the", "er ") from flooding the
+    /// posting lists at catalog scale.
+    Qgram {
+        /// Gram size in characters (3 reproduces the seed blocker).
+        q: usize,
+        /// Minimum distinct shared grams.
+        min_shared: usize,
+        /// Document-frequency fraction above which a gram is dropped.
+        stop_fraction: f64,
+    },
+    /// Exact-value blocking: candidates share the whole (case-folded,
+    /// trimmed) text. Rows with empty text never pair. The cheapest and
+    /// most brittle blocker — attribute equivalence when the row text is
+    /// a single attribute.
+    Exact,
+    /// MinHash-LSH banding over character `shingle_q`-gram sets:
+    /// `hashes` signature positions grouped into `bands` bands of
+    /// `hashes / bands` rows. A pair is a candidate when at least one
+    /// band of their signatures collides; the co-block probability at
+    /// Jaccard `s` is `1 − (1 − s^r)^b`.
+    MinhashLsh {
+        /// Total signature positions (must be divisible by `bands`).
+        hashes: usize,
+        /// Number of bands.
+        bands: usize,
+        /// Character shingle size fed to the signatures.
+        shingle_q: usize,
+        /// Seed of the hash permutations.
+        seed: u64,
+    },
+}
+
+impl BlockerConfig {
+    /// Token blocking with the given overlap floor and a 20 % stop-word
+    /// fraction (the seed default).
+    pub fn token(min_shared: usize) -> Self {
+        BlockerConfig::Token {
+            min_shared,
+            stop_fraction: 0.2,
+        }
+    }
+
+    /// q=3-gram blocking with the given overlap floor and no stop-gram
+    /// filtering (the seed behaviour).
+    pub fn qgram(min_shared: usize) -> Self {
+        BlockerConfig::Qgram {
+            q: 3,
+            min_shared,
+            stop_fraction: 1.0,
+        }
+    }
+
+    /// MinHash-LSH with 128 hashes in 32 bands of 4 (threshold ≈ 0.42).
+    pub fn minhash_lsh(seed: u64) -> Self {
+        BlockerConfig::MinhashLsh {
+            hashes: 128,
+            bands: 32,
+            shingle_q: 3,
+            seed,
+        }
+    }
+
+    /// Short display name used by benches and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BlockerConfig::Token { .. } => "token",
+            BlockerConfig::Qgram { .. } => "qgram",
+            BlockerConfig::Exact => "exact",
+            BlockerConfig::MinhashLsh { .. } => "minhash-lsh",
+        }
+    }
+
+    /// Deterministic fingerprint of the configuration, mixed into the
+    /// pipeline's resume fingerprint so a checkpoint cannot silently
+    /// resume under a different blocker.
+    pub fn fingerprint(&self) -> u64 {
+        let mix = |a: u64, b: u64| splitmix64(a ^ splitmix64(b));
+        match *self {
+            BlockerConfig::Token {
+                min_shared,
+                stop_fraction,
+            } => mix(mix(1, min_shared as u64), stop_fraction.to_bits()),
+            BlockerConfig::Qgram {
+                q,
+                min_shared,
+                stop_fraction,
+            } => mix(
+                mix(mix(2, q as u64), min_shared as u64),
+                stop_fraction.to_bits(),
+            ),
+            BlockerConfig::Exact => splitmix64(3),
+            BlockerConfig::MinhashLsh {
+                hashes,
+                bands,
+                shingle_q,
+                seed,
+            } => mix(
+                mix(mix(mix(4, hashes as u64), bands as u64), shingle_q as u64),
+                seed,
+            ),
+        }
+    }
+}
+
+/// Feature extraction shared by build and probe sides.
+#[derive(Debug, Clone, Copy)]
+enum Features {
+    Tokens,
+    Qgrams(usize),
+    Whole,
+}
+
+impl Features {
+    fn extract(self, text: &str, out: &mut Vec<u64>) {
+        out.clear();
+        match self {
+            Features::Tokens => token_hashes(text, out),
+            Features::Qgrams(q) => qgram_hashes(text, q, out),
+            Features::Whole => out.extend(whole_value_hash(text)),
+        }
+        dedup_features(out);
+    }
+}
+
+/// Posting lists keyed on feature hashes.
+type Postings = HashMap<u64, Vec<u32>, BuildFeatureHasher>;
+
+enum IndexKind {
+    /// Token / q-gram / exact: distinct-feature overlap counting.
+    Inverted {
+        features: Features,
+        min_shared: u32,
+        postings: Postings,
+    },
+    /// LSH: bucket membership, `min_shared` fixed at one band.
+    Lsh {
+        hasher: MinHasher,
+        bands: usize,
+        rows: usize,
+        shingle_q: usize,
+        buckets: Postings,
+    },
+}
+
+/// An immutable candidate-generation index over one table.
+pub struct BlockIndex {
+    kind: IndexKind,
+    n_rows: u32,
+    postings_total: u64,
+}
+
+/// Reusable probe state: epoch-tagged per-row counters sized to the
+/// indexed table, so a probe touches only the rows its features hit and
+/// never pays an O(n) clear. One instance serves a whole streaming pass.
+pub struct ProbeScratch {
+    count: Vec<u32>,
+    mark: Vec<u32>,
+    epoch: u32,
+    touched: Vec<u32>,
+    features: Vec<u64>,
+    sig: Vec<u64>,
+}
+
+impl ProbeScratch {
+    /// Scratch for probing an index over `n_rows` rows.
+    pub fn new(n_rows: u32) -> Self {
+        Self {
+            count: vec![0; n_rows as usize],
+            mark: vec![0; n_rows as usize],
+            epoch: 0,
+            touched: Vec::new(),
+            features: Vec::new(),
+            sig: Vec::new(),
+        }
+    }
+}
+
+impl BlockIndex {
+    /// Build the index by streaming the rows of `table` (two passes at
+    /// most — one for postings, none extra for stop-wording, which
+    /// prunes oversized posting lists in place).
+    pub fn build<T: TableSource + ?Sized>(config: &BlockerConfig, table: &T) -> Self {
+        let _span = em_obs::span!("block/index_build");
+        let n_rows = table.len();
+        let kind = match *config {
+            BlockerConfig::Token {
+                min_shared,
+                stop_fraction,
+            } => Self::build_inverted(table, Features::Tokens, min_shared, stop_fraction),
+            BlockerConfig::Qgram {
+                q,
+                min_shared,
+                stop_fraction,
+            } => Self::build_inverted(table, Features::Qgrams(q), min_shared, stop_fraction),
+            BlockerConfig::Exact => Self::build_inverted(table, Features::Whole, 1, 1.0),
+            BlockerConfig::MinhashLsh {
+                hashes,
+                bands,
+                shingle_q,
+                seed,
+            } => {
+                assert!(
+                    bands >= 1 && hashes % bands == 0,
+                    "hashes ({hashes}) must divide into bands ({bands})"
+                );
+                let rows = hashes / bands;
+                let hasher = MinHasher::new(hashes, seed);
+                let mut buckets: Postings = HashMap::default();
+                let mut features = Vec::new();
+                let mut sig = Vec::new();
+                for i in 0..n_rows {
+                    let row = table.row(i);
+                    Features::Qgrams(shingle_q).extract(&row.text, &mut features);
+                    hasher.signature(&features, &mut sig);
+                    for band in 0..bands {
+                        let key = band_key(&sig, band, rows);
+                        buckets.entry(key).or_default().push(i);
+                    }
+                }
+                IndexKind::Lsh {
+                    hasher,
+                    bands,
+                    rows,
+                    shingle_q,
+                    buckets,
+                }
+            }
+        };
+        let postings_total = match &kind {
+            IndexKind::Inverted { postings, .. } => postings.values().map(|v| v.len() as u64).sum(),
+            IndexKind::Lsh { buckets, .. } => buckets.values().map(|v| v.len() as u64).sum(),
+        };
+        em_obs::gauge_set("block/index_postings", postings_total as f64);
+        Self {
+            kind,
+            n_rows,
+            postings_total,
+        }
+    }
+
+    fn build_inverted<T: TableSource + ?Sized>(
+        table: &T,
+        features: Features,
+        min_shared: usize,
+        stop_fraction: f64,
+    ) -> IndexKind {
+        let n_rows = table.len();
+        let mut postings: Postings = HashMap::default();
+        let mut feats = Vec::new();
+        for i in 0..n_rows {
+            let row = table.row(i);
+            features.extract(&row.text, &mut feats);
+            for &f in &feats {
+                postings.entry(f).or_default().push(i);
+            }
+        }
+        // Stop-wording: a feature's document frequency is exactly its
+        // posting-list length (features are distinct per row). Dropping
+        // the oversized lists keeps both sides of the count consistent:
+        // a stopped feature neither matches nor counts toward
+        // `min_shared`, the seed-blocker semantics.
+        if stop_fraction < 1.0 {
+            let threshold = ((n_rows as f64) * stop_fraction).ceil() as usize;
+            postings.retain(|_, v| v.len() <= threshold.max(1));
+        }
+        IndexKind::Inverted {
+            features,
+            min_shared: min_shared.max(1) as u32,
+            postings,
+        }
+    }
+
+    /// Number of rows in the indexed table.
+    pub fn len(&self) -> u32 {
+        self.n_rows
+    }
+
+    /// True when the indexed table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Total posting-list entries held — the index's dominant memory
+    /// term (4 bytes each plus map overhead).
+    pub fn postings_total(&self) -> u64 {
+        self.postings_total
+    }
+
+    /// Candidate rows of the indexed table for one probe text, written
+    /// to `out` sorted ascending (deterministic order). `scratch` must
+    /// have been created with [`ProbeScratch::new`] for this index's row
+    /// count and is reused across probes without clearing.
+    pub fn probe(&self, text: &str, scratch: &mut ProbeScratch, out: &mut Vec<u32>) {
+        out.clear();
+        scratch.epoch = scratch.epoch.wrapping_add(1);
+        // Epoch 0 is never valid after a wrap: reset marks once per 2³².
+        if scratch.epoch == 0 {
+            scratch.mark.iter_mut().for_each(|m| *m = 0);
+            scratch.epoch = 1;
+        }
+        let epoch = scratch.epoch;
+        scratch.touched.clear();
+        match &self.kind {
+            IndexKind::Inverted {
+                features,
+                min_shared,
+                postings,
+            } => {
+                features.extract(text, &mut scratch.features);
+                for f in &scratch.features {
+                    if let Some(list) = postings.get(f) {
+                        for &j in list {
+                            let ju = j as usize;
+                            if scratch.mark[ju] != epoch {
+                                scratch.mark[ju] = epoch;
+                                scratch.count[ju] = 1;
+                                scratch.touched.push(j);
+                            } else {
+                                scratch.count[ju] += 1;
+                            }
+                        }
+                    }
+                }
+                out.extend(
+                    scratch
+                        .touched
+                        .iter()
+                        .copied()
+                        .filter(|&j| scratch.count[j as usize] >= *min_shared),
+                );
+            }
+            IndexKind::Lsh {
+                hasher,
+                bands,
+                rows,
+                shingle_q,
+                buckets,
+            } => {
+                Features::Qgrams(*shingle_q).extract(text, &mut scratch.features);
+                hasher.signature(&scratch.features, &mut scratch.sig);
+                for band in 0..*bands {
+                    let key = band_key(&scratch.sig, band, *rows);
+                    if let Some(list) = buckets.get(&key) {
+                        for &j in list {
+                            let ju = j as usize;
+                            if scratch.mark[ju] != epoch {
+                                scratch.mark[ju] = epoch;
+                                scratch.touched.push(j);
+                            }
+                        }
+                    }
+                }
+                out.extend(scratch.touched.iter().copied());
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Probe with a [`Row`] (convenience for symmetric call sites).
+    pub fn probe_row(&self, row: &Row, scratch: &mut ProbeScratch, out: &mut Vec<u32>) {
+        self.probe(&row.text, scratch, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::FnTable;
+
+    fn table(texts: &'static [&'static str]) -> FnTable<impl Fn(u32) -> Row + Sync> {
+        FnTable::new(texts.len() as u32, move |i| Row {
+            id: i as u64,
+            text: texts[i as usize].to_string(),
+        })
+    }
+
+    #[test]
+    fn token_index_counts_distinct_shared() {
+        let b = table(&["apple phone zx100 silver", "sony camera qq200", "bose amp"]);
+        let idx = BlockIndex::build(&BlockerConfig::token(2), &b);
+        let mut scratch = ProbeScratch::new(idx.len());
+        let mut out = Vec::new();
+        idx.probe("the apple phone zx100 in silver", &mut scratch, &mut out);
+        assert_eq!(out, vec![0]);
+        idx.probe("sony camera qq200 black", &mut scratch, &mut out);
+        assert_eq!(out, vec![1]);
+        idx.probe("nothing shared here", &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stop_fraction_drops_ubiquitous_tokens() {
+        // "the" in every row: with stop-wording it cannot pair anything.
+        let texts: Vec<String> = (0..20).map(|i| format!("the unique{i} item{i}")).collect();
+        let leaked: &'static [String] = Box::leak(texts.into_boxed_slice());
+        let t = FnTable::new(20, move |i| Row {
+            id: i as u64,
+            text: leaked[i as usize].clone(),
+        });
+        let idx = BlockIndex::build(&BlockerConfig::token(2), &t);
+        let mut scratch = ProbeScratch::new(idx.len());
+        let mut out = Vec::new();
+        idx.probe("the unique3 item3", &mut scratch, &mut out);
+        assert_eq!(out, vec![3], "only the twin, not every `the`-bearer");
+    }
+
+    #[test]
+    fn exact_index_ignores_empty() {
+        let b = table(&["acme", "", "ACME "]);
+        let idx = BlockIndex::build(&BlockerConfig::Exact, &b);
+        let mut scratch = ProbeScratch::new(idx.len());
+        let mut out = Vec::new();
+        idx.probe("Acme", &mut scratch, &mut out);
+        assert_eq!(out, vec![0, 2], "case-folded + trimmed exact match");
+        idx.probe("", &mut scratch, &mut out);
+        assert!(out.is_empty(), "empty never pairs");
+    }
+
+    #[test]
+    fn lsh_coblocks_identical_text() {
+        let b = table(&["dyson vacuum v11 animal plus", "canon camera eos r6"]);
+        let idx = BlockIndex::build(&BlockerConfig::minhash_lsh(9), &b);
+        let mut scratch = ProbeScratch::new(idx.len());
+        let mut out = Vec::new();
+        idx.probe("dyson vacuum v11 animal plus", &mut scratch, &mut out);
+        assert!(out.contains(&0), "identical text must co-block: {out:?}");
+        assert!(!out.contains(&1), "dissimilar text must not: {out:?}");
+    }
+
+    #[test]
+    fn probe_order_is_sorted_and_deterministic() {
+        let b = table(&["x a b", "x c d", "x a c", "y z w"]);
+        let idx = BlockIndex::build(
+            &BlockerConfig::Token {
+                min_shared: 1,
+                stop_fraction: 1.0,
+            },
+            &b,
+        );
+        let mut scratch = ProbeScratch::new(idx.len());
+        let (mut o1, mut o2) = (Vec::new(), Vec::new());
+        idx.probe("a c q", &mut scratch, &mut o1);
+        idx.probe("a c q", &mut scratch, &mut o2);
+        assert_eq!(o1, o2);
+        assert_eq!(o1, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,99 @@
+//! # em-block — candidate generation and streaming deduplication
+//!
+//! The blocking layer of the entity-matching stack: turns an `n × m`
+//! cross product into a small candidate set *before* any transformer
+//! sees a pair, and drives those candidates through a scorer to a
+//! durable match file — all in bounded memory, all resumable.
+//!
+//! The crate is deliberately text-generic: it knows nothing about
+//! `em-data` records or `em-serve` models. A table is anything
+//! implementing [`TableSource`] (a row count plus deterministic
+//! random-access row generation), and a scorer is anything implementing
+//! [`PairScorer`] (submit a pair, redeem a ticket). `em-data` adapts its
+//! record types onto [`FnTable`]; `em-serve` implements [`PairScorer`]
+//! for its micro-batching `ServeMatcher`.
+//!
+//! ## Pieces
+//!
+//! - [`BlockerConfig`] / [`BlockIndex`] — token, character-q-gram,
+//!   exact-value and MinHash-LSH candidate generators over an inverted
+//!   index built by streaming the indexed table once.
+//! - [`CandidateStream`] — a bounded-memory iterator over candidate
+//!   pairs in a deterministic total order.
+//! - [`DedupPipeline`] — table-in → matches-out with chunked
+//!   checkpoints: a killed run resumes where it stopped and produces
+//!   byte-identical output.
+//! - [`BlockingEval`] — streaming recall / reduction-ratio accounting
+//!   against a gold *oracle* (no materialized gold set).
+//!
+//! ## End to end: block, score, match
+//!
+//! Two small catalog tables, token blocking, Jaccard scoring:
+//!
+//! ```
+//! use em_block::{
+//!     BlockIndex, BlockerConfig, CandidateStream, DedupPipeline, FnTable,
+//!     JaccardScorer, PipelineConfig, Row, TableSource, read_matches,
+//! };
+//!
+//! // Two 100-row tables; rows divisible by 5 have a twin on the other
+//! // side, everything else is unique to its table.
+//! fn catalog(salt: u64) -> FnTable<impl Fn(u32) -> Row + Sync> {
+//!     FnTable::new(100, move |i| {
+//!         let text = if i % 5 == 0 {
+//!             format!("acme widget model{i} anodized blue")
+//!         } else {
+//!             format!("acme widget model{i} finish{}", u64::from(i) * 7 + salt)
+//!         };
+//!         Row { id: u64::from(i), text }
+//!     })
+//! }
+//! let (a, b) = (catalog(1), catalog(2));
+//!
+//! // 1. Block: index the right table, stream candidates for the left.
+//! let blocker = BlockerConfig::Token { min_shared: 5, stop_fraction: 1.0 };
+//! let index = BlockIndex::build(&blocker, &b);
+//! let candidates: Vec<_> = CandidateStream::new(&index, &a).collect();
+//! assert_eq!(candidates.len(), 20, "twins survive, cross-noise does not");
+//!
+//! // 2. Score + decide: the same blocking inside the resumable
+//! //    pipeline, matches appended to a JSONL file.
+//! let out = std::env::temp_dir().join("em-block-doc-matches.jsonl");
+//! let mut cfg = PipelineConfig::new(blocker, &out);
+//! cfg.threshold = 0.8;
+//! let report = DedupPipeline::new(cfg)
+//!     .run(&a, &b, &JaccardScorer::default())
+//!     .unwrap();
+//! assert!(report.completed);
+//! assert_eq!(report.matches, 20);
+//!
+//! // 3. The match file holds one decision per line.
+//! let matches = read_matches(&out).unwrap();
+//! assert!(matches.iter().all(|m| m.a_id == m.b_id && m.a_id % 5 == 0));
+//! # std::fs::remove_file(&out).ok();
+//! # let mut p = out.into_os_string(); p.push(".progress");
+//! # std::fs::remove_file(std::path::PathBuf::from(p)).ok();
+//! ```
+//!
+//! At the million-row scale the same code path holds: the index is the
+//! only large structure, candidates and decisions stream, and the
+//! pipeline checkpoints every `checkpoint_every` rows so a kill at any
+//! point loses at most one chunk of work.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod index;
+pub mod minhash;
+pub mod pipeline;
+pub mod stream;
+pub mod text;
+
+pub use index::{BlockIndex, BlockerConfig, ProbeScratch};
+pub use minhash::{band_key, coblock_probability, MinHasher};
+pub use pipeline::{
+    read_matches, DedupPipeline, JaccardScorer, MatchDecision, PairScorer, PipelineConfig,
+    PipelineError, PipelineReport,
+};
+pub use stream::{BlockingEval, Candidate, CandidateStream, FnTable, Row, TableSource};
+pub use text::splitmix64;

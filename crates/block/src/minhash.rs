@@ -1,0 +1,138 @@
+//! MinHash signatures and LSH banding.
+//!
+//! A record's feature set (token or q-gram hashes) is summarized by `k`
+//! minimum values under `k` independent hash permutations. Two sets with
+//! Jaccard similarity `s` agree on each signature position with
+//! probability exactly `s`; grouping the signature into `b` bands of `r`
+//! rows and bucketing records on whole-band equality makes the
+//! probability that at least one band collides
+//!
+//! ```text
+//! P(co-blocked) = 1 − (1 − s^r)^b
+//! ```
+//!
+//! an S-curve in `s`: steeply selective below the threshold
+//! `t ≈ (1/b)^(1/r)` and near-certain above it. Identical records have
+//! identical signatures and therefore *always* co-block, whatever the
+//! banding — the property the proptests pin.
+
+use crate::text::splitmix64;
+
+/// MinHash signature generator: `k` hash permutations derived from one
+/// seed.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    seeds: Vec<u64>,
+}
+
+impl MinHasher {
+    /// A hasher producing `k`-position signatures, deterministically
+    /// derived from `seed`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "signature needs at least one position");
+        let seeds = (0..k as u64)
+            .map(|i| splitmix64(seed ^ splitmix64(i.wrapping_add(0x51))))
+            .collect();
+        Self { seeds }
+    }
+
+    /// Signature length.
+    pub fn k(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Write the signature of a feature set into `sig` (resized to `k`).
+    /// An empty feature set signs as all-`u64::MAX`; two empty records
+    /// therefore co-block, which is the conservative choice for recall.
+    pub fn signature(&self, features: &[u64], sig: &mut Vec<u64>) {
+        sig.clear();
+        sig.resize(self.seeds.len(), u64::MAX);
+        for &f in features {
+            for (slot, &seed) in sig.iter_mut().zip(&self.seeds) {
+                let h = splitmix64(f ^ seed);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+    }
+
+    /// Fraction of signature positions on which `a` and `b` agree — an
+    /// unbiased estimator of the Jaccard similarity of the underlying
+    /// feature sets.
+    pub fn agreement(a: &[u64], b: &[u64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "signatures must share k");
+        let same = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        same as f64 / a.len() as f64
+    }
+}
+
+/// Hash one band (rows `[band*r, band*r + r)`) of a signature into a
+/// bucket key. The band index is mixed in so the same row values in
+/// different bands land in different buckets.
+#[inline]
+pub fn band_key(sig: &[u64], band: usize, rows: usize) -> u64 {
+    let mut h: u64 = splitmix64(0xb0_5e ^ band as u64);
+    for &v in &sig[band * rows..band * rows + rows] {
+        h = splitmix64(h ^ v);
+    }
+    h
+}
+
+/// Theoretical co-blocking probability of LSH banding at Jaccard `s`
+/// with `bands` bands of `rows` rows: `1 − (1 − s^rows)^bands`. Used by
+/// the docs and the bench to report where a configuration starts losing
+/// recall.
+pub fn coblock_probability(s: f64, bands: usize, rows: usize) -> f64 {
+    1.0 - (1.0 - s.powi(rows as i32)).powi(bands as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::{dedup_features, token_hashes};
+
+    fn features(text: &str) -> Vec<u64> {
+        let mut f = Vec::new();
+        token_hashes(text, &mut f);
+        dedup_features(&mut f);
+        f
+    }
+
+    #[test]
+    fn identical_sets_have_identical_signatures() {
+        let h = MinHasher::new(64, 7);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        h.signature(&features("apple phone zx100 silver"), &mut a);
+        h.signature(&features("silver zx100 apple phone"), &mut b); // order-free
+        assert_eq!(a, b);
+        assert_eq!(MinHasher::agreement(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn agreement_tracks_jaccard() {
+        // 256 positions estimate Jaccard within a loose tolerance.
+        let h = MinHasher::new(256, 11);
+        let x = features("a b c d e f g h");
+        let y = features("a b c d e f q r"); // jaccard 6/10 = 0.6
+        let (mut sx, mut sy) = (Vec::new(), Vec::new());
+        h.signature(&x, &mut sx);
+        h.signature(&y, &mut sy);
+        let est = MinHasher::agreement(&sx, &sy);
+        assert!((est - 0.6).abs() < 0.15, "estimate {est} vs 0.6");
+    }
+
+    #[test]
+    fn scurve_shape() {
+        // Below threshold → near 0; above → near 1; monotone throughout.
+        let (b, r) = (32, 4);
+        assert!(coblock_probability(0.1, b, r) < 0.01);
+        assert!(coblock_probability(0.9, b, r) > 0.999);
+        let mut last = 0.0;
+        for i in 0..=20 {
+            let p = coblock_probability(i as f64 / 20.0, b, r);
+            assert!(p >= last - 1e-12, "not monotone at {i}");
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,746 @@
+//! The resumable deduplication pipeline: raw tables in, match decisions
+//! out, with bounded memory and checkpointed progress.
+//!
+//! Dataflow per probe row: generate the row → probe the [`BlockIndex`]
+//! → submit each candidate pair to the [`PairScorer`] → await results in
+//! FIFO order under a bounded in-flight window (backpressure: the
+//! window, plus whatever queue bound the scorer itself enforces) → append
+//! decisions above the threshold to the output JSONL. Every
+//! `checkpoint_every` probe rows the pipeline drains its window, flushes
+//! the output file and atomically rewrites a small progress file — so a
+//! process killed at *any* instant restarts from the last completed
+//! chunk and produces the byte-identical match set, because submission
+//! order, scoring and output order are all deterministic.
+//!
+//! Nothing in the pipeline is proportional to the number of candidate
+//! pairs: peak memory is the index over the right table, one probe row's
+//! hits, the in-flight window and one chunk's matches.
+
+use crate::index::{BlockIndex, BlockerConfig, ProbeScratch};
+use crate::stream::TableSource;
+use crate::text::{dedup_features, qgram_hashes, splitmix64, token_hashes};
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Typed pipeline failure — the `em-checkpoint` convention: every error
+/// an operator can hit is a variant with the context needed to act on
+/// it, and resuming against the wrong corpus or config is refused, not
+/// silently merged.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Filesystem failure on the output or progress file.
+    Io(std::io::Error),
+    /// The progress file exists but cannot be parsed.
+    Corrupt(String),
+    /// The progress file belongs to a different corpus/blocker/threshold
+    /// combination than this run.
+    Mismatch {
+        /// Fingerprint this run derived from its inputs.
+        expected: u64,
+        /// Fingerprint recorded in the progress file.
+        found: u64,
+    },
+    /// The scorer failed a pair (wraps the scorer's own error text).
+    Score(String),
+    /// The run was stopped by [`PipelineConfig::stop_after_chunks`] —
+    /// the deterministic stand-in for a mid-run kill. Progress up to
+    /// `next_row` is durable; rerun with `resume` to continue.
+    Stopped {
+        /// First probe row the resumed run will process.
+        next_row: u32,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Io(e) => write!(f, "pipeline i/o error: {e}"),
+            PipelineError::Corrupt(msg) => write!(f, "corrupt progress file: {msg}"),
+            PipelineError::Mismatch { expected, found } => write!(
+                f,
+                "progress file belongs to a different run (fingerprint {found:#x}, \
+                 this run is {expected:#x}); delete it or disable resume"
+            ),
+            PipelineError::Score(msg) => write!(f, "scoring failed: {msg}"),
+            PipelineError::Stopped { next_row } => {
+                write!(
+                    f,
+                    "stopped by injection; resume continues at row {next_row}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError::Io(e)
+    }
+}
+
+/// A scorer the pipeline can stream pairs through: `submit` enqueues a
+/// pair and returns a ticket, `wait` redeems it for the match score.
+///
+/// The split is what lets a micro-batching backend (em-serve's
+/// `ServeMatcher`) fill its batches from one pipeline thread: the
+/// pipeline keeps up to [`PipelineConfig::window`] tickets in flight and
+/// always redeems the oldest first, so results come back in submission
+/// order regardless of how the backend batches internally. A synchronous
+/// scorer simply computes in `submit` and hands the score back through
+/// the ticket.
+pub trait PairScorer {
+    /// Handle for one in-flight pair.
+    type Ticket;
+
+    /// Enqueue one pair of serialized entity texts for scoring.
+    fn submit(&self, left: &str, right: &str) -> Result<Self::Ticket, PipelineError>;
+
+    /// Block until the pair's match probability (in `[0, 1]`) is ready.
+    fn wait(&self, ticket: Self::Ticket) -> Result<f32, PipelineError>;
+}
+
+/// Cheap deterministic scorer: Jaccard similarity of hashed feature
+/// sets. The pipeline's stand-in scorer for tests, docs and
+/// blocking-layer benchmarks where transformer inference would dominate
+/// the measurement; production scoring rides `ServeMatcher`, which
+/// implements [`PairScorer`] in em-serve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JaccardScorer {
+    /// Shingle size: `Some(q)` compares character q-gram sets (typo
+    /// robust), `None` compares token sets.
+    pub shingle_q: Option<usize>,
+}
+
+impl JaccardScorer {
+    /// Character-q-gram variant.
+    pub fn qgrams(q: usize) -> Self {
+        Self { shingle_q: Some(q) }
+    }
+
+    fn features(&self, text: &str) -> Vec<u64> {
+        let mut f = Vec::new();
+        match self.shingle_q {
+            Some(q) => qgram_hashes(text, q, &mut f),
+            None => token_hashes(text, &mut f),
+        }
+        dedup_features(&mut f);
+        f
+    }
+}
+
+impl PairScorer for JaccardScorer {
+    type Ticket = f32;
+
+    fn submit(&self, left: &str, right: &str) -> Result<f32, PipelineError> {
+        let a = self.features(left);
+        let b = self.features(right);
+        if a.is_empty() && b.is_empty() {
+            return Ok(1.0);
+        }
+        let inter = a.iter().filter(|h| b.binary_search(h).is_ok()).count();
+        let union = a.len() + b.len() - inter;
+        Ok(inter as f32 / union as f32)
+    }
+
+    fn wait(&self, ticket: f32) -> Result<f32, PipelineError> {
+        Ok(ticket)
+    }
+}
+
+/// One emitted match: the pair's stable row ids and its score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchDecision {
+    /// `Row::id` of the left-table record.
+    pub a_id: u64,
+    /// `Row::id` of the right-table record.
+    pub b_id: u64,
+    /// Match probability the scorer assigned.
+    pub score: f32,
+}
+
+impl MatchDecision {
+    fn to_jsonl(self) -> String {
+        format!(
+            "{{\"a\":{},\"b\":{},\"score\":{}}}",
+            self.a_id, self.b_id, self.score
+        )
+    }
+
+    fn parse_jsonl(line: &str) -> Option<MatchDecision> {
+        let field = |key: &str| -> Option<&str> {
+            let pat = format!("\"{key}\":");
+            let start = line.find(&pat)? + pat.len();
+            let rest = &line[start..];
+            let end = rest.find([',', '}'])?;
+            Some(&rest[..end])
+        };
+        Some(MatchDecision {
+            a_id: field("a")?.parse().ok()?,
+            b_id: field("b")?.parse().ok()?,
+            score: field("score")?.parse().ok()?,
+        })
+    }
+}
+
+/// Read a matches JSONL file back into decisions (test/bench helper).
+pub fn read_matches(path: &Path) -> Result<Vec<MatchDecision>, PipelineError> {
+    let raw = fs::read_to_string(path)?;
+    raw.lines()
+        .map(|l| {
+            MatchDecision::parse_jsonl(l)
+                .ok_or_else(|| PipelineError::Corrupt(format!("bad match line: {l}")))
+        })
+        .collect()
+}
+
+/// Pipeline knobs. Construct with [`PipelineConfig::new`] and override
+/// fields as needed.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Candidate generator over the right-hand table.
+    pub blocker: BlockerConfig,
+    /// Scores strictly above this are matches (the `Predictor`
+    /// convention: ties resolve to non-match).
+    pub threshold: f32,
+    /// Maximum in-flight scoring tickets (backpressure window).
+    pub window: usize,
+    /// Probe rows per checkpoint chunk.
+    pub checkpoint_every: u32,
+    /// Match decisions land here, one JSON object per line.
+    pub out_path: PathBuf,
+    /// Progress checkpoint path (default: `out_path` + `.progress`).
+    pub progress_path: PathBuf,
+    /// Resume from an existing progress file instead of starting over.
+    pub resume: bool,
+    /// Deduplicate one table against itself (emit each unordered pair
+    /// once, never a self-pair). Pass the same table as both sides.
+    pub self_join: bool,
+    /// Deterministic kill injection: stop with
+    /// [`PipelineError::Stopped`] after this many chunk checkpoints.
+    pub stop_after_chunks: Option<u64>,
+}
+
+impl PipelineConfig {
+    /// Defaults: threshold 0.5, window 256, checkpoint every 10 000
+    /// rows, fresh start, two-table mode.
+    pub fn new(blocker: BlockerConfig, out_path: impl Into<PathBuf>) -> Self {
+        let out_path = out_path.into();
+        let progress_path = {
+            let mut p = out_path.as_os_str().to_owned();
+            p.push(".progress");
+            PathBuf::from(p)
+        };
+        Self {
+            blocker,
+            threshold: 0.5,
+            window: 256,
+            checkpoint_every: 10_000,
+            out_path,
+            progress_path,
+            resume: false,
+            self_join: false,
+            stop_after_chunks: None,
+        }
+    }
+}
+
+/// What a run did — cumulative across resumes, so a resumed run's
+/// report describes the whole logical pipeline execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Candidate pairs scored (cumulative).
+    pub pairs_scored: u64,
+    /// Match decisions emitted (cumulative; equals output line count).
+    pub matches: u64,
+    /// Probe row this run started at (0 for a fresh run).
+    pub resumed_from_row: u32,
+    /// Chunk checkpoints written by this run.
+    pub chunks: u64,
+    /// True when every probe row has been processed.
+    pub completed: bool,
+}
+
+/// Durable progress record, written atomically (tmp + rename) at every
+/// chunk boundary.
+#[derive(Debug, Clone, Copy)]
+struct Progress {
+    fingerprint: u64,
+    next_row: u32,
+    pairs_scored: u64,
+    matches: u64,
+    completed: bool,
+}
+
+impl Progress {
+    fn render(&self) -> String {
+        format!(
+            "em-block-progress v1\nfingerprint={:#x}\nnext_row={}\npairs_scored={}\nmatches={}\ncompleted={}\n",
+            self.fingerprint, self.next_row, self.pairs_scored, self.matches,
+            u8::from(self.completed)
+        )
+    }
+
+    fn parse(raw: &str) -> Result<Progress, PipelineError> {
+        let mut lines = raw.lines();
+        match lines.next() {
+            Some("em-block-progress v1") => {}
+            other => return Err(PipelineError::Corrupt(format!("unknown header {other:?}"))),
+        }
+        let mut get = |key: &str| -> Result<String, PipelineError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| PipelineError::Corrupt(format!("missing field {key}")))?;
+            line.strip_prefix(&format!("{key}="))
+                .map(str::to_string)
+                .ok_or_else(|| PipelineError::Corrupt(format!("expected {key}=, got {line:?}")))
+        };
+        let fingerprint = {
+            let v = get("fingerprint")?;
+            let hex = v
+                .strip_prefix("0x")
+                .ok_or_else(|| PipelineError::Corrupt(format!("bad fingerprint {v:?}")))?;
+            u64::from_str_radix(hex, 16)
+                .map_err(|e| PipelineError::Corrupt(format!("bad fingerprint {v:?}: {e}")))?
+        };
+        let parse_u64 = |v: String, key: &str| -> Result<u64, PipelineError> {
+            v.parse()
+                .map_err(|e| PipelineError::Corrupt(format!("bad {key} {v:?}: {e}")))
+        };
+        let next_row = parse_u64(get("next_row")?, "next_row")? as u32;
+        let pairs_scored = parse_u64(get("pairs_scored")?, "pairs_scored")?;
+        let matches = parse_u64(get("matches")?, "matches")?;
+        let completed = parse_u64(get("completed")?, "completed")? != 0;
+        Ok(Progress {
+            fingerprint,
+            next_row,
+            pairs_scored,
+            matches,
+            completed,
+        })
+    }
+
+    fn write_atomic(&self, path: &Path) -> Result<(), PipelineError> {
+        let tmp = {
+            let mut p = path.as_os_str().to_owned();
+            p.push(".tmp");
+            PathBuf::from(p)
+        };
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(self.render().as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+/// Truncate a JSONL file to its first `lines` lines — how a resumed run
+/// discards output a killed run may have appended past its last durable
+/// checkpoint (the write order is matches-then-progress, so the file
+/// can only ever be *ahead* of the progress record, never behind).
+fn truncate_lines(path: &Path, lines: u64) -> Result<(), PipelineError> {
+    let mut f = match fs::File::options().read(true).write(true).open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && lines == 0 => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut raw = Vec::new();
+    f.read_to_end(&mut raw)?;
+    let mut seen = 0u64;
+    let mut keep = raw.len();
+    if lines == 0 {
+        keep = 0;
+    } else {
+        for (i, &b) in raw.iter().enumerate() {
+            if b == b'\n' {
+                seen += 1;
+                if seen == lines {
+                    keep = i + 1;
+                    break;
+                }
+            }
+        }
+        if seen < lines {
+            return Err(PipelineError::Corrupt(format!(
+                "output file has {seen} lines, progress records {lines}"
+            )));
+        }
+    }
+    f.set_len(keep as u64)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// The resumable table-in → matches-out deduplication pipeline.
+pub struct DedupPipeline {
+    config: PipelineConfig,
+}
+
+impl DedupPipeline {
+    /// A pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        assert!(config.window >= 1, "window must hold at least one ticket");
+        assert!(config.checkpoint_every >= 1, "chunks must be non-empty");
+        Self { config }
+    }
+
+    /// The run fingerprint: refuses resume across different corpora,
+    /// blockers or thresholds.
+    fn fingerprint(&self, n_a: u32, n_b: u32) -> u64 {
+        let mix = |a: u64, b: u64| splitmix64(a ^ splitmix64(b));
+        let mut h = self.config.blocker.fingerprint();
+        h = mix(h, n_a as u64);
+        h = mix(h, n_b as u64);
+        h = mix(h, self.config.threshold.to_bits() as u64);
+        mix(h, u64::from(self.config.self_join))
+    }
+
+    /// Run (or resume) the pipeline: probe every row of `table_a`
+    /// against an index over `table_b`, score candidates through
+    /// `scorer`, and append match decisions to the output file. In
+    /// `self_join` mode pass the same table twice.
+    pub fn run<A, B, S>(
+        &self,
+        table_a: &A,
+        table_b: &B,
+        scorer: &S,
+    ) -> Result<PipelineReport, PipelineError>
+    where
+        A: TableSource + ?Sized,
+        B: TableSource + ?Sized,
+        S: PairScorer,
+    {
+        let cfg = &self.config;
+        let n_a = table_a.len();
+        let n_b = table_b.len();
+        let fingerprint = self.fingerprint(n_a, n_b);
+
+        // --- Establish the starting point. -----------------------------
+        let start = if cfg.resume {
+            match fs::read_to_string(&cfg.progress_path) {
+                Ok(raw) => {
+                    let p = Progress::parse(&raw)?;
+                    if p.fingerprint != fingerprint {
+                        return Err(PipelineError::Mismatch {
+                            expected: fingerprint,
+                            found: p.fingerprint,
+                        });
+                    }
+                    p
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Progress {
+                    fingerprint,
+                    next_row: 0,
+                    pairs_scored: 0,
+                    matches: 0,
+                    completed: false,
+                },
+                Err(e) => return Err(e.into()),
+            }
+        } else {
+            let _ = fs::remove_file(&cfg.progress_path);
+            Progress {
+                fingerprint,
+                next_row: 0,
+                pairs_scored: 0,
+                matches: 0,
+                completed: false,
+            }
+        };
+        if start.completed {
+            return Ok(PipelineReport {
+                pairs_scored: start.pairs_scored,
+                matches: start.matches,
+                resumed_from_row: start.next_row,
+                chunks: 0,
+                completed: true,
+            });
+        }
+        // Drop any output a killed run wrote past its last checkpoint.
+        if cfg.resume {
+            truncate_lines(&cfg.out_path, start.matches)?;
+        } else {
+            truncate_lines(&cfg.out_path, 0)?;
+        }
+
+        // --- Build the index (deterministic, so rebuilt on resume). ----
+        let index = BlockIndex::build(&cfg.blocker, table_b);
+        let mut scratch = ProbeScratch::new(n_b);
+        let mut hits: Vec<u32> = Vec::new();
+
+        let out_file = fs::File::options()
+            .create(true)
+            .append(true)
+            .open(&cfg.out_path)?;
+        let mut out = BufWriter::new(out_file);
+
+        let mut progress = start;
+        let mut inflight: VecDeque<(u64, u64, S::Ticket)> = VecDeque::with_capacity(cfg.window);
+        let mut chunk_matches: Vec<MatchDecision> = Vec::new();
+        let mut chunks_this_run = 0u64;
+        let resumed_from = progress.next_row;
+
+        let drain_one = |inflight: &mut VecDeque<(u64, u64, S::Ticket)>,
+                         scorer: &S,
+                         progress: &mut Progress,
+                         chunk_matches: &mut Vec<MatchDecision>|
+         -> Result<(), PipelineError> {
+            if let Some((a_id, b_id, ticket)) = inflight.pop_front() {
+                let score = scorer.wait(ticket)?;
+                progress.pairs_scored += 1;
+                if score > cfg.threshold {
+                    progress.matches += 1;
+                    chunk_matches.push(MatchDecision { a_id, b_id, score });
+                }
+            }
+            Ok(())
+        };
+
+        let mut i = progress.next_row;
+        while i < n_a {
+            let chunk_end = i.saturating_add(cfg.checkpoint_every).min(n_a).max(i + 1);
+            while i < chunk_end {
+                let row_a = table_a.row(i);
+                index.probe(&row_a.text, &mut scratch, &mut hits);
+                for &j in &hits {
+                    if cfg.self_join && j <= i {
+                        continue;
+                    }
+                    let row_b = table_b.row(j);
+                    let ticket = scorer.submit(&row_a.text, &row_b.text)?;
+                    inflight.push_back((row_a.id, row_b.id, ticket));
+                    if inflight.len() >= cfg.window {
+                        drain_one(&mut inflight, scorer, &mut progress, &mut chunk_matches)?;
+                    }
+                }
+                i += 1;
+            }
+            // Chunk boundary: drain, persist matches, then persist
+            // progress — in that order, so the output file is always at
+            // or ahead of the progress record and resume can truncate
+            // back to consistency.
+            while !inflight.is_empty() {
+                drain_one(&mut inflight, scorer, &mut progress, &mut chunk_matches)?;
+            }
+            for m in chunk_matches.drain(..) {
+                out.write_all(m.to_jsonl().as_bytes())?;
+                out.write_all(b"\n")?;
+            }
+            out.flush()?;
+            out.get_ref().sync_all()?;
+            progress.next_row = i;
+            progress.completed = i >= n_a;
+            progress.write_atomic(&cfg.progress_path)?;
+            chunks_this_run += 1;
+            em_obs::counter_add("pipeline/pairs_scored", progress.pairs_scored);
+            em_obs::gauge_set("pipeline/next_row", progress.next_row as f64);
+            em_obs::gauge_set("pipeline/matches", progress.matches as f64);
+            em_obs::gauge_set("pipeline/queue_depth", inflight.len() as f64);
+            if !progress.completed {
+                if let Some(stop) = cfg.stop_after_chunks {
+                    if chunks_this_run >= stop {
+                        return Err(PipelineError::Stopped { next_row: i });
+                    }
+                }
+            }
+        }
+
+        Ok(PipelineReport {
+            pairs_scored: progress.pairs_scored,
+            matches: progress.matches,
+            resumed_from_row: resumed_from,
+            chunks: chunks_this_run,
+            completed: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{FnTable, Row};
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("em-block-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn toy_table(n: u32, salt: u64) -> FnTable<impl Fn(u32) -> Row + Sync> {
+        FnTable::new(n, move |i| {
+            // Every third row gets a twin on the other side; the rest
+            // are salted to be unique.
+            let text = if i % 3 == 0 {
+                format!("acme widget model{i} blue deluxe")
+            } else {
+                format!(
+                    "acme widget model{i} blue variant{}",
+                    i as u64 + salt * 1000
+                )
+            };
+            Row { id: i as u64, text }
+        })
+    }
+
+    #[test]
+    fn pipeline_finds_twins_and_reports() {
+        let a = toy_table(30, 1);
+        let b = toy_table(30, 2);
+        let out = tmp("twins.jsonl");
+        let mut cfg = PipelineConfig::new(
+            BlockerConfig::Token {
+                min_shared: 3,
+                stop_fraction: 1.0,
+            },
+            &out,
+        );
+        cfg.threshold = 0.8;
+        cfg.checkpoint_every = 7;
+        let report = DedupPipeline::new(cfg)
+            .run(&a, &b, &JaccardScorer::default())
+            .unwrap();
+        assert!(report.completed);
+        assert_eq!(report.matches, 10, "rows 0,3,…,27 are twins");
+        let matches = read_matches(&out).unwrap();
+        assert_eq!(matches.len(), 10);
+        assert!(matches.iter().all(|m| m.a_id == m.b_id && m.a_id % 3 == 0));
+        let _ = fs::remove_file(&out);
+        let _ = fs::remove_file(out.with_extension("jsonl.progress"));
+    }
+
+    #[test]
+    fn stop_and_resume_is_byte_identical() {
+        let a = toy_table(40, 1);
+        let b = toy_table(40, 2);
+        let blocker = BlockerConfig::Token {
+            min_shared: 3,
+            stop_fraction: 1.0,
+        };
+        // Uninterrupted reference run.
+        let ref_out = tmp("ref.jsonl");
+        let mut ref_cfg = PipelineConfig::new(blocker.clone(), &ref_out);
+        ref_cfg.threshold = 0.8;
+        ref_cfg.checkpoint_every = 6;
+        let ref_report = DedupPipeline::new(ref_cfg)
+            .run(&a, &b, &JaccardScorer::default())
+            .unwrap();
+        // Killed-and-resumed run, for every kill point.
+        for stop_after in 1..=6u64 {
+            let out = tmp(&format!("resume{stop_after}.jsonl"));
+            let mut cfg = PipelineConfig::new(blocker.clone(), &out);
+            cfg.threshold = 0.8;
+            cfg.checkpoint_every = 6;
+            cfg.stop_after_chunks = Some(stop_after);
+            let killed = DedupPipeline::new(cfg.clone()).run(&a, &b, &JaccardScorer::default());
+            match killed {
+                Err(PipelineError::Stopped { next_row }) => {
+                    assert_eq!(next_row as u64, stop_after * 6)
+                }
+                other => panic!("expected Stopped, got {other:?}"),
+            }
+            cfg.stop_after_chunks = None;
+            cfg.resume = true;
+            let resumed = DedupPipeline::new(cfg)
+                .run(&a, &b, &JaccardScorer::default())
+                .unwrap();
+            assert_eq!(resumed.pairs_scored, ref_report.pairs_scored);
+            assert_eq!(resumed.matches, ref_report.matches);
+            assert_eq!(resumed.resumed_from_row as u64, stop_after * 6);
+            assert_eq!(
+                fs::read(&out).unwrap(),
+                fs::read(&ref_out).unwrap(),
+                "kill at chunk {stop_after} must resume to identical output"
+            );
+            let _ = fs::remove_file(&out);
+            let _ = fs::remove_file(out.with_extension("jsonl.progress"));
+        }
+        let _ = fs::remove_file(&ref_out);
+        let _ = fs::remove_file(ref_out.with_extension("jsonl.progress"));
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_fingerprint() {
+        let a = toy_table(12, 1);
+        let b = toy_table(12, 2);
+        let out = tmp("mismatch.jsonl");
+        let mut cfg = PipelineConfig::new(BlockerConfig::token(2), &out);
+        cfg.checkpoint_every = 4;
+        cfg.stop_after_chunks = Some(1);
+        let _ = DedupPipeline::new(cfg.clone()).run(&a, &b, &JaccardScorer::default());
+        // Same paths, different blocker → typed refusal.
+        cfg.blocker = BlockerConfig::token(3);
+        cfg.stop_after_chunks = None;
+        cfg.resume = true;
+        match DedupPipeline::new(cfg).run(&a, &b, &JaccardScorer::default()) {
+            Err(PipelineError::Mismatch { .. }) => {}
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        let _ = fs::remove_file(&out);
+        let _ = fs::remove_file(out.with_extension("jsonl.progress"));
+    }
+
+    #[test]
+    fn self_join_never_pairs_a_row_with_itself() {
+        let t = toy_table(20, 1);
+        let out = tmp("selfjoin.jsonl");
+        let mut cfg = PipelineConfig::new(
+            BlockerConfig::Token {
+                min_shared: 2,
+                stop_fraction: 1.0,
+            },
+            &out,
+        );
+        cfg.self_join = true;
+        cfg.threshold = 0.0;
+        let report = DedupPipeline::new(cfg)
+            .run(&t, &t, &JaccardScorer::default())
+            .unwrap();
+        let matches = read_matches(&out).unwrap();
+        assert_eq!(matches.len() as u64, report.matches);
+        assert!(matches.iter().all(|m| m.a_id < m.b_id));
+        let _ = fs::remove_file(&out);
+        let _ = fs::remove_file(out.with_extension("jsonl.progress"));
+    }
+
+    #[test]
+    fn progress_roundtrip_and_corruption() {
+        let p = Progress {
+            fingerprint: 0xdead_beef,
+            next_row: 42,
+            pairs_scored: 1000,
+            matches: 7,
+            completed: false,
+        };
+        let parsed = Progress::parse(&p.render()).unwrap();
+        assert_eq!(parsed.fingerprint, p.fingerprint);
+        assert_eq!(parsed.next_row, 42);
+        assert_eq!(parsed.pairs_scored, 1000);
+        assert_eq!(parsed.matches, 7);
+        assert!(!parsed.completed);
+        assert!(matches!(
+            Progress::parse("not a progress file"),
+            Err(PipelineError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Progress::parse("em-block-progress v1\nfingerprint=zzz\n"),
+            Err(PipelineError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn decision_jsonl_roundtrip() {
+        let d = MatchDecision {
+            a_id: 3,
+            b_id: 999,
+            score: 0.8125,
+        };
+        let line = d.to_jsonl();
+        assert_eq!(MatchDecision::parse_jsonl(&line), Some(d));
+    }
+}

@@ -1,0 +1,191 @@
+//! Hashed text features for blocking: tokens, character q-grams and
+//! whole-value keys, all as `u64` hashes.
+//!
+//! The seed-level blockers materialized a `String` per token and per
+//! q-gram — at a million records that is tens of millions of short-lived
+//! heap allocations before the first candidate exists. Here every feature
+//! is a 64-bit hash computed from a rolling window over the character
+//! stream: no per-feature allocation, no per-feature `String`, and the
+//! inverted indexes key on `u64` directly. Two distinct features
+//! colliding in 64 bits is possible in principle; at blocking scale
+//! (≤ 2³⁰ distinct features) the collision probability is ≪ 10⁻⁴ and a
+//! collision only ever *adds* a candidate, never drops one, so recall is
+//! unaffected.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// One round of the splitmix64 mixer: a cheap, statistically strong
+/// bijection on `u64` used for feature finalization, MinHash seed
+/// derivation and the deterministic fingerprints in the pipeline.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a character sequence, finalized through [`splitmix64`]
+/// so low bits are well distributed for power-of-two hash tables.
+#[inline]
+fn fnv_chars<I: IntoIterator<Item = char>>(chars: I) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for c in chars {
+        h = (h ^ c as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+/// Identity-style hasher for `u64` keys that are *already* hashes
+/// (features out of [`token_hashes`] / [`qgram_hashes`]): one multiply,
+/// no re-hashing of bytes. This is what makes posting-list lookups on a
+/// million-key index cheap.
+#[derive(Default)]
+pub struct FeatureHasher(u64);
+
+impl Hasher for FeatureHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached for non-u64 keys; fold bytes FNV-style.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // Keys are pre-mixed feature hashes; a single odd multiply keeps
+        // the table distribution healthy without a full mix round.
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+/// `BuildHasher` for feature-keyed hash maps.
+pub type BuildFeatureHasher = BuildHasherDefault<FeatureHasher>;
+
+/// Append the hash of every whitespace-separated, case-folded token of
+/// `text` to `out`. One hash per token; no `String` is built.
+pub fn token_hashes(text: &str, out: &mut Vec<u64>) {
+    for tok in text.split_whitespace() {
+        out.push(fnv_chars(tok.chars().flat_map(char::to_lowercase)));
+    }
+}
+
+/// Append the hash of every character `q`-gram of the case-folded text
+/// to `out`, with the string padded by `q − 1` `#` markers on each side
+/// (the padding convention of the seed-level q-gram blocker, so edge
+/// characters still appear in `q` grams). The window rolls over a small
+/// ring buffer: no per-gram `String`, no `Vec<char>` of the whole text.
+pub fn qgram_hashes(text: &str, q: usize, out: &mut Vec<u64>) {
+    debug_assert!(q >= 1, "q-gram size must be at least 1");
+    let pad = std::iter::repeat_n('#', q - 1);
+    let chars = pad
+        .clone()
+        .chain(text.chars().flat_map(char::to_lowercase))
+        .chain(pad);
+    // Ring buffer of the last q characters; q is tiny (3 by default).
+    let mut ring: Vec<char> = Vec::with_capacity(q);
+    let mut head = 0usize;
+    let mut seen = 0usize;
+    for c in chars {
+        if ring.len() < q {
+            ring.push(c);
+        } else {
+            ring[head] = c;
+            head = (head + 1) % q;
+        }
+        seen += 1;
+        if seen >= q {
+            // Hash the window in rolling order starting at `head`.
+            let h = fnv_chars((0..q).map(|k| ring[(head + k) % q]));
+            out.push(h);
+        }
+    }
+}
+
+/// Hash of the whole case-folded, whitespace-trimmed value, or `None`
+/// for an empty value (attribute-equivalence blocking never pairs on
+/// missing values).
+pub fn whole_value_hash(text: &str) -> Option<u64> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    Some(fnv_chars(trimmed.chars().flat_map(char::to_lowercase)))
+}
+
+/// Sort + dedup in place: turn a feature list into a feature *set*.
+/// Blocking semantics count **distinct** shared features.
+pub fn dedup_features(out: &mut Vec<u64>) {
+    out.sort_unstable();
+    out.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_hashes_fold_case_without_alloc_per_token() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        token_hashes("Apple PHONE zx100", &mut a);
+        token_hashes("apple phone ZX100", &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn qgram_hashes_match_padded_string_grams() {
+        // Cross-check the rolling-window hashes against the obvious
+        // materialized implementation.
+        let text = "keyboard zx4510";
+        let q = 3;
+        let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
+            .chain(text.to_lowercase().chars())
+            .chain(std::iter::repeat_n('#', q - 1))
+            .collect();
+        let mut expect: Vec<u64> = padded
+            .windows(q)
+            .map(|w| fnv_chars(w.iter().copied()))
+            .collect();
+        let mut got = Vec::new();
+        qgram_hashes(text, q, &mut got);
+        assert_eq!(got, expect);
+        dedup_features(&mut got);
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn qgram_typo_keeps_most_grams() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        qgram_hashes("keyboard zx4510", 3, &mut a);
+        qgram_hashes("keybaord zx4510", 3, &mut b); // transposition typo
+        dedup_features(&mut a);
+        dedup_features(&mut b);
+        let shared = a.iter().filter(|h| b.binary_search(h).is_ok()).count();
+        assert!(shared >= 8, "typo must preserve most grams: {shared}");
+    }
+
+    #[test]
+    fn whole_value_ignores_blank() {
+        assert!(whole_value_hash("  ").is_none());
+        assert_eq!(whole_value_hash("Sony"), whole_value_hash("sony"));
+        assert_ne!(whole_value_hash("sony"), whole_value_hash("bose"));
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Consecutive inputs land far apart.
+        assert!((splitmix64(10) ^ splitmix64(11)).count_ones() > 10);
+    }
+}

@@ -1,0 +1,258 @@
+//! Property tests pinning the blocking layer's core guarantees:
+//! LSH banding behaves like its S-curve, identical records always
+//! co-block, the streaming candidate set equals the brute-force one, and
+//! a killed-and-resumed pipeline reproduces the uninterrupted run.
+
+use em_block::{
+    coblock_probability, read_matches, BlockIndex, BlockerConfig, Candidate, CandidateStream,
+    DedupPipeline, FnTable, JaccardScorer, MinHasher, PipelineConfig, PipelineError, ProbeScratch,
+    Row,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const WORDS: &[&str] = &[
+    "acme", "widget", "camera", "lens", "blue", "steel", "pro", "mini", "zx100", "qq7",
+];
+
+fn text_from(word_ids: &[usize]) -> String {
+    word_ids
+        .iter()
+        .map(|&w| WORDS[w % WORDS.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn table_from(texts: Vec<String>) -> FnTable<impl Fn(u32) -> Row + Sync> {
+    FnTable::new(texts.len() as u32, move |i| Row {
+        id: i as u64,
+        text: texts[i as usize].clone(),
+    })
+}
+
+/// Strategy: a table of 1–12 short rows over the word pool.
+fn texts_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(prop::collection::vec(0usize..WORDS.len(), 1..6), 1..13)
+        .prop_map(|rows| rows.iter().map(|r| text_from(r)).collect())
+}
+
+/// Brute-force candidate set: count distinct shared features per pair
+/// using the same public feature functions the index uses.
+fn brute_force(config: &BlockerConfig, a: &[String], b: &[String]) -> BTreeSet<Candidate> {
+    let feats = |t: &str| -> Vec<u64> {
+        let mut f = Vec::new();
+        match *config {
+            BlockerConfig::Token { .. } => em_block::text::token_hashes(t, &mut f),
+            BlockerConfig::Qgram { q, .. } => em_block::text::qgram_hashes(t, q, &mut f),
+            BlockerConfig::Exact => f.extend(em_block::text::whole_value_hash(t)),
+            BlockerConfig::MinhashLsh { .. } => unreachable!("not brute-forced"),
+        }
+        em_block::text::dedup_features(&mut f);
+        f
+    };
+    let min_shared = match *config {
+        BlockerConfig::Token { min_shared, .. } | BlockerConfig::Qgram { min_shared, .. } => {
+            min_shared
+        }
+        _ => 1,
+    };
+    let bf: Vec<Vec<u64>> = b.iter().map(|t| feats(t)).collect();
+    let mut out = BTreeSet::new();
+    for (i, ta) in a.iter().enumerate() {
+        let fa = feats(ta);
+        for (j, fb) in bf.iter().enumerate() {
+            let shared = fa.iter().filter(|h| fb.binary_search(h).is_ok()).count();
+            if shared >= min_shared {
+                out.insert(Candidate {
+                    a: i as u32,
+                    b: j as u32,
+                });
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The theoretical banding curve is monotone in similarity for any
+    /// banding shape, and the *measured* signature agreement orders two
+    /// pairs by their Jaccard similarity when the gap is wide.
+    fn lsh_banding_monotone(
+        bands in 1usize..64,
+        rows in 1usize..8,
+        lo_shared in 5usize..20,
+        seed in 0u64..1_000,
+    ) {
+        // Theoretical curve: monotone in s for this (bands, rows).
+        let mut last = 0.0;
+        for step in 0..=20 {
+            let p = coblock_probability(step as f64 / 20.0, bands, rows);
+            prop_assert!(p >= last - 1e-12, "curve not monotone at step {step}");
+            last = p;
+        }
+        prop_assert!(coblock_probability(1.0, bands, rows) > 0.999_999);
+
+        // Measured agreement: base set of 60 features, one set sharing
+        // `lo_shared` of them, one sharing `lo_shared + 30`. The higher
+        // overlap must estimate higher (256 positions, wide gap).
+        let hasher = MinHasher::new(256, seed);
+        let base: Vec<u64> = (0..60u64).map(|i| em_block::splitmix64(seed ^ i)).collect();
+        let overlap = |m: usize| -> Vec<u64> {
+            let mut v: Vec<u64> = base[..m].to_vec();
+            v.extend((0..(60 - m) as u64).map(|i| em_block::splitmix64(!(seed ^ i))));
+            v.sort_unstable();
+            v
+        };
+        let (lo, hi) = (overlap(lo_shared), overlap(lo_shared + 30));
+        let (mut sb, mut sl, mut sh) = (Vec::new(), Vec::new(), Vec::new());
+        hasher.signature(&base, &mut sb);
+        hasher.signature(&lo, &mut sl);
+        hasher.signature(&hi, &mut sh);
+        let (est_lo, est_hi) = (
+            MinHasher::agreement(&sb, &sl),
+            MinHasher::agreement(&sb, &sh),
+        );
+        prop_assert!(
+            est_hi > est_lo,
+            "agreement must order by similarity: hi {est_hi} vs lo {est_lo}"
+        );
+    }
+
+    /// Every blocker (without stop-wording, which deliberately trades
+    /// this away) co-blocks two identical non-empty rows, wherever they
+    /// sit in the table.
+    fn identical_records_always_coblock(
+        texts in texts_strategy(),
+        dup_word_ids in prop::collection::vec(0usize..WORDS.len(), 1..6),
+        seed in 0u64..1_000,
+    ) {
+        let dup = text_from(&dup_word_ids);
+        let mut all = texts;
+        all.push(dup.clone());
+        all.push(dup.clone());
+        let twin_lo = (all.len() - 2) as u32;
+        let twin_hi = (all.len() - 1) as u32;
+        let t = table_from(all);
+        let configs = [
+            BlockerConfig::Token { min_shared: 1, stop_fraction: 1.0 },
+            BlockerConfig::Qgram { q: 3, min_shared: 1, stop_fraction: 1.0 },
+            BlockerConfig::Exact,
+            BlockerConfig::minhash_lsh(seed),
+        ];
+        for config in configs {
+            let idx = BlockIndex::build(&config, &t);
+            let mut scratch = ProbeScratch::new(idx.len());
+            let mut out = Vec::new();
+            idx.probe(&dup, &mut scratch, &mut out);
+            prop_assert!(
+                out.contains(&twin_lo) && out.contains(&twin_hi),
+                "{} must co-block identical rows {twin_lo},{twin_hi}: got {out:?}",
+                config.name()
+            );
+        }
+    }
+
+    /// The streaming candidate set over small random tables is exactly
+    /// the brute-force all-pairs set, in sorted order, for token, q-gram
+    /// and exact blocking.
+    fn streaming_equals_bruteforce(
+        a_texts in texts_strategy(),
+        b_texts in texts_strategy(),
+        min_shared in 1usize..4,
+    ) {
+        let a = table_from(a_texts.clone());
+        let b = table_from(b_texts.clone());
+        let configs = [
+            BlockerConfig::Token { min_shared, stop_fraction: 1.0 },
+            BlockerConfig::Qgram { q: 3, min_shared, stop_fraction: 1.0 },
+            BlockerConfig::Exact,
+        ];
+        for config in configs {
+            let idx = BlockIndex::build(&config, &b);
+            let streamed: Vec<Candidate> = CandidateStream::new(&idx, &a).collect();
+            let mut sorted = streamed.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&streamed, &sorted, "stream must emit in total order");
+            let got: BTreeSet<Candidate> = streamed.into_iter().collect();
+            let want = brute_force(&config, &a_texts, &b_texts);
+            prop_assert_eq!(got, want, "{} candidate set mismatch", config.name());
+        }
+    }
+
+    /// A pipeline killed after a random number of chunks and resumed
+    /// produces byte-identical output and identical totals to an
+    /// uninterrupted run, for random table sizes and chunk lengths.
+    fn pipeline_resume_equals_uninterrupted(
+        n in 10u32..50,
+        checkpoint_every in 2u32..9,
+        stop_after in 1u64..4,
+        salt in 0u64..1_000,
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let mk = move |side: u64| {
+            FnTable::new(n, move |i| Row {
+                id: i as u64,
+                text: if i % 3 == 0 {
+                    format!("acme widget model{i} blue deluxe")
+                } else {
+                    format!("acme widget model{i} blue v{}", i as u64 + side * 977 + salt)
+                },
+            })
+        };
+        let (a, b) = (mk(1), mk(2));
+        let blocker = BlockerConfig::Token { min_shared: 3, stop_fraction: 1.0 };
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+
+        let ref_out = dir.join(format!("em-block-prop-{pid}-{case}-ref.jsonl"));
+        let mut ref_cfg = PipelineConfig::new(blocker.clone(), &ref_out);
+        ref_cfg.threshold = 0.8;
+        ref_cfg.checkpoint_every = checkpoint_every;
+        let reference = DedupPipeline::new(ref_cfg)
+            .run(&a, &b, &JaccardScorer::default())
+            .unwrap();
+
+        let out = dir.join(format!("em-block-prop-{pid}-{case}-kill.jsonl"));
+        let mut cfg = PipelineConfig::new(blocker, &out);
+        cfg.threshold = 0.8;
+        cfg.checkpoint_every = checkpoint_every;
+        cfg.stop_after_chunks = Some(stop_after);
+        let killed = DedupPipeline::new(cfg.clone()).run(&a, &b, &JaccardScorer::default());
+        let chunks = n.div_ceil(checkpoint_every) as u64;
+        if stop_after < chunks {
+            prop_assert!(
+                matches!(killed, Err(PipelineError::Stopped { .. })),
+                "expected injected stop, got {killed:?}"
+            );
+        } else {
+            prop_assert!(killed.is_ok(), "stop point past the end must complete");
+        }
+        cfg.stop_after_chunks = None;
+        cfg.resume = true;
+        let resumed = DedupPipeline::new(cfg)
+            .run(&a, &b, &JaccardScorer::default())
+            .unwrap();
+
+        prop_assert_eq!(resumed.pairs_scored, reference.pairs_scored);
+        prop_assert_eq!(resumed.matches, reference.matches);
+        prop_assert_eq!(
+            std::fs::read(&out).unwrap(),
+            std::fs::read(&ref_out).unwrap(),
+            "resumed output must be byte-identical"
+        );
+        prop_assert_eq!(
+            read_matches(&out).unwrap().len() as u64,
+            reference.matches
+        );
+        for p in [&ref_out, &out] {
+            let _ = std::fs::remove_file(p);
+            let mut prog = p.clone().into_os_string();
+            prog.push(".progress");
+            let _ = std::fs::remove_file(std::path::PathBuf::from(prog));
+        }
+    }
+}

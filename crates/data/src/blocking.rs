@@ -1,13 +1,18 @@
-//! Blocking (candidate generation).
+//! Blocking (candidate generation) — the record-level API.
 //!
 //! Benchmarks ship pre-blocked candidate pairs, but a production EM
 //! pipeline (Magellan's tooling, §2.1) must first reduce the quadratic
-//! cross product of two tables to a candidate set. This module provides
-//! the standard blockers and the recall/reduction metrics used to judge
-//! them.
+//! cross product of two tables to a candidate set. The actual machinery
+//! lives in the text-generic `em-block` crate (hashed features, inverted
+//! indexes, MinHash-LSH, streaming candidate generation); this module is
+//! the thin record-level adapter that keeps the original in-memory API —
+//! `Blocker::block(&[Record], &[Record]) -> Vec<Candidate>` — working on
+//! top of it. New code that needs bounded memory at catalog scale should
+//! use `em_block` directly (see `em_block::DedupPipeline`).
 
 use crate::records::Record;
-use std::collections::{HashMap, HashSet};
+use em_block::{BlockIndex, BlockerConfig, CandidateStream, FnTable, Row};
+use std::collections::HashSet;
 
 /// A candidate pair of row indices `(index in table A, index in table B)`.
 pub type Candidate = (usize, usize);
@@ -18,18 +23,42 @@ pub trait Blocker {
     fn block(&self, table_a: &[Record], table_b: &[Record]) -> Vec<Candidate>;
 }
 
-fn record_tokens(r: &Record, attr: Option<&str>) -> Vec<String> {
-    let text = match attr {
-        Some(a) => r.get(a).unwrap_or("").to_string(),
-        None => r.text_blob(),
-    };
-    text.split_whitespace().map(str::to_lowercase).collect()
+/// Project records onto the text an `em_block` index sees: one attribute
+/// or the whole blob.
+fn project(records: &[Record], attr: Option<&str>) -> FnTable<impl Fn(u32) -> Row + Sync> {
+    let texts: Vec<String> = records
+        .iter()
+        .map(|r| match attr {
+            Some(a) => r.get(a).unwrap_or("").to_string(),
+            None => r.text_blob(),
+        })
+        .collect();
+    FnTable::new(texts.len() as u32, move |i| Row {
+        id: i as u64,
+        text: texts[i as usize].clone(),
+    })
+}
+
+/// Run one `em_block` configuration over projected record tables.
+fn run_config(
+    config: &BlockerConfig,
+    table_a: &[Record],
+    table_b: &[Record],
+    attr: Option<&str>,
+) -> Vec<Candidate> {
+    let a = project(table_a, attr);
+    let b = project(table_b, attr);
+    let index = BlockIndex::build(config, &b);
+    CandidateStream::new(&index, &a)
+        .map(|c| (c.a as usize, c.b as usize))
+        .collect()
 }
 
 /// Token-overlap blocker over an inverted index: a pair is a candidate
 /// when the records share at least `min_shared` tokens (optionally of one
 /// attribute). Stop-words — tokens appearing in more than
-/// `stop_fraction` of all records — are ignored to keep the index useful.
+/// `stop_fraction` of the indexed table's records — are ignored to keep
+/// the index useful.
 pub struct TokenBlocker {
     /// Attribute to index (None = whole record).
     pub attribute: Option<String>,
@@ -51,61 +80,21 @@ impl Default for TokenBlocker {
 
 impl Blocker for TokenBlocker {
     fn block(&self, table_a: &[Record], table_b: &[Record]) -> Vec<Candidate> {
-        let attr = self.attribute.as_deref();
-        let total = table_a.len() + table_b.len();
-        // Document frequency across both tables.
-        let mut df: HashMap<String, usize> = HashMap::new();
-        for r in table_a.iter().chain(table_b) {
-            let uniq: HashSet<String> = record_tokens(r, attr).into_iter().collect();
-            for t in uniq {
-                *df.entry(t).or_insert(0) += 1;
-            }
-        }
-        let stop = (total as f64 * self.stop_fraction).ceil() as usize;
-        // Inverted index over table B.
-        let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
-        let b_tokens: Vec<HashSet<String>> = table_b
-            .iter()
-            .map(|r| {
-                record_tokens(r, attr)
-                    .into_iter()
-                    .filter(|t| df.get(t).copied().unwrap_or(0) <= stop)
-                    .collect()
-            })
-            .collect();
-        for (j, tokens) in b_tokens.iter().enumerate() {
-            for t in tokens {
-                index.entry(t.as_str()).or_default().push(j);
-            }
-        }
-        let mut out = Vec::new();
-        for (i, ra) in table_a.iter().enumerate() {
-            let tokens: HashSet<String> = record_tokens(ra, attr)
-                .into_iter()
-                .filter(|t| df.get(t).copied().unwrap_or(0) <= stop)
-                .collect();
-            let mut shared: HashMap<usize, usize> = HashMap::new();
-            for t in &tokens {
-                if let Some(js) = index.get(t.as_str()) {
-                    for &j in js {
-                        *shared.entry(j).or_insert(0) += 1;
-                    }
-                }
-            }
-            let mut hits: Vec<usize> = shared
-                .into_iter()
-                .filter(|&(_, c)| c >= self.min_shared)
-                .map(|(j, _)| j)
-                .collect();
-            hits.sort_unstable();
-            out.extend(hits.into_iter().map(|j| (i, j)));
-        }
-        out
+        run_config(
+            &BlockerConfig::Token {
+                min_shared: self.min_shared,
+                stop_fraction: self.stop_fraction,
+            },
+            table_a,
+            table_b,
+            self.attribute.as_deref(),
+        )
     }
 }
 
-/// Attribute-equivalence blocker: candidates share the exact (lowercased)
-/// value of one attribute — the cheapest and most brittle blocker.
+/// Attribute-equivalence blocker: candidates share the exact (lowercased,
+/// trimmed) value of one attribute — the cheapest and most brittle
+/// blocker.
 pub struct EquivalenceBlocker {
     /// Attribute whose values must agree exactly.
     pub attribute: String,
@@ -113,24 +102,12 @@ pub struct EquivalenceBlocker {
 
 impl Blocker for EquivalenceBlocker {
     fn block(&self, table_a: &[Record], table_b: &[Record]) -> Vec<Candidate> {
-        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-        for (j, r) in table_b.iter().enumerate() {
-            let v = r.get(&self.attribute).unwrap_or("").to_lowercase();
-            if !v.is_empty() {
-                index.entry(v).or_default().push(j);
-            }
-        }
-        let mut out = Vec::new();
-        for (i, r) in table_a.iter().enumerate() {
-            let v = r.get(&self.attribute).unwrap_or("").to_lowercase();
-            if v.is_empty() {
-                continue;
-            }
-            if let Some(js) = index.get(&v) {
-                out.extend(js.iter().map(|&j| (i, j)));
-            }
-        }
-        out
+        run_config(
+            &BlockerConfig::Exact,
+            table_a,
+            table_b,
+            Some(self.attribute.as_str()),
+        )
     }
 }
 
@@ -146,41 +123,16 @@ pub struct QgramBlocker {
 
 impl Blocker for QgramBlocker {
     fn block(&self, table_a: &[Record], table_b: &[Record]) -> Vec<Candidate> {
-        let attr = self.attribute.as_deref();
-        let grams = |r: &Record| -> HashSet<String> {
-            let text = match attr {
-                Some(a) => r.get(a).unwrap_or("").to_string(),
-                None => r.text_blob(),
-            };
-            crate::similarity_qgrams(&text)
-        };
-        let b_grams: Vec<HashSet<String>> = table_b.iter().map(&grams).collect();
-        let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
-        for (j, gs) in b_grams.iter().enumerate() {
-            for g in gs {
-                index.entry(g.as_str()).or_default().push(j);
-            }
-        }
-        let mut out = Vec::new();
-        for (i, ra) in table_a.iter().enumerate() {
-            let gs = grams(ra);
-            let mut shared: HashMap<usize, usize> = HashMap::new();
-            for g in &gs {
-                if let Some(js) = index.get(g.as_str()) {
-                    for &j in js {
-                        *shared.entry(j).or_insert(0) += 1;
-                    }
-                }
-            }
-            let mut hits: Vec<usize> = shared
-                .into_iter()
-                .filter(|&(_, c)| c >= self.min_shared)
-                .map(|(j, _)| j)
-                .collect();
-            hits.sort_unstable();
-            out.extend(hits.into_iter().map(|j| (i, j)));
-        }
-        out
+        run_config(
+            &BlockerConfig::Qgram {
+                q: 3,
+                min_shared: self.min_shared,
+                stop_fraction: 1.0,
+            },
+            table_a,
+            table_b,
+            self.attribute.as_deref(),
+        )
     }
 }
 
@@ -196,25 +148,33 @@ pub struct BlockingQuality {
 }
 
 /// Evaluate candidates against the set of true matching index pairs.
+///
+/// `candidates` must be distinct pairs — every blocker in this crate
+/// guarantees it — which lets this run as a single pass over the
+/// candidate list with lookups into the caller's existing gold set,
+/// instead of materializing a second `HashSet` of the (potentially huge)
+/// candidate list on every call, as it used to.
 pub fn evaluate_blocking(
     candidates: &[Candidate],
     true_matches: &HashSet<Candidate>,
     n_a: usize,
     n_b: usize,
 ) -> BlockingQuality {
-    let cand: HashSet<Candidate> = candidates.iter().copied().collect();
-    let found = true_matches.iter().filter(|m| cand.contains(m)).count();
+    let found = candidates
+        .iter()
+        .filter(|c| true_matches.contains(c))
+        .count();
     let recall = if true_matches.is_empty() {
         1.0
     } else {
         found as f64 / true_matches.len() as f64
     };
     let cross = (n_a * n_b).max(1);
-    let reduction = 1.0 - cand.len() as f64 / cross as f64;
+    let reduction = 1.0 - candidates.len() as f64 / cross as f64;
     BlockingQuality {
         recall,
         reduction,
-        candidates: cand.len(),
+        candidates: candidates.len(),
     }
 }
 
@@ -300,6 +260,15 @@ mod tests {
         // Diagonal pairs only: each record matches its twin.
         assert_eq!(cands.len(), 20, "{cands:?}");
         assert!(cands.iter().all(|&(i, j)| i == j));
+    }
+
+    #[test]
+    fn blockers_agree_with_em_block_layer() {
+        // The shim must produce exactly what a direct em-block run does.
+        let (a, b, _) = tables();
+        let direct = run_config(&BlockerConfig::token(2), &a, &b, None);
+        let shimmed = TokenBlocker::default().block(&a, &b);
+        assert_eq!(direct, shimmed);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod entities;
 pub mod metrics;
 pub mod noise;
 pub mod records;
+pub mod stream;
 pub mod wordbank;
 
 pub use blocking::{Blocker, BlockingQuality, EquivalenceBlocker, QgramBlocker, TokenBlocker};
@@ -29,6 +30,7 @@ pub use datasets::{company_dataset, DatasetId};
 pub use dirty::make_dirty;
 pub use metrics::{f1_score, PrF1};
 pub use records::{Dataset, EntityPair, Record, Split};
+pub use stream::CatalogTables;
 
 /// Character 3-grams of a lowercased string (shared by the q-gram blocker).
 pub fn similarity_qgrams(s: &str) -> std::collections::HashSet<String> {

@@ -1,0 +1,44 @@
+//! Bridge to `em-block`: [`ServeMatcher`] as a streaming
+//! [`PairScorer`], so a `DedupPipeline` can drive raw tables straight
+//! through the serving stack.
+//!
+//! The pipeline keeps a bounded window of tickets in flight and redeems
+//! them oldest-first; on this side each submit tokenizes the pair and
+//! enqueues it on the worker pool, so the pool's length-bucketed
+//! micro-batching fills from a single pipeline thread. Backpressure
+//! composes: the pipeline's window bounds what this process holds, and
+//! the matcher's own admission control (queue bound / shedding) bounds
+//! what the pool accepts.
+//!
+//! ```no_run
+//! # fn matcher() -> em_serve::ServeMatcher { unimplemented!() }
+//! use em_block::{BlockerConfig, DedupPipeline, FnTable, PipelineConfig, Row};
+//!
+//! let matcher = matcher(); // a started ServeMatcher
+//! let table = FnTable::new(1000, |i| Row { id: i as u64, text: format!("item {i}") });
+//! let mut cfg = PipelineConfig::new(BlockerConfig::token(3), "matches.jsonl");
+//! cfg.self_join = true;
+//! let report = DedupPipeline::new(cfg).run(&table, &table, &matcher).unwrap();
+//! println!("{} matches from {} scored pairs", report.matches, report.pairs_scored);
+//! ```
+
+use crate::matcher::{ScoreTicket, ServeMatcher};
+use em_block::{PairScorer, PipelineError};
+
+impl PairScorer for ServeMatcher {
+    type Ticket = ScoreTicket;
+
+    /// Tokenize the pair and enqueue it; returns immediately with a
+    /// redeemable ticket.
+    fn submit(&self, left: &str, right: &str) -> Result<ScoreTicket, PipelineError> {
+        self.submit_encoding(self.encode_text(left, right))
+            .map_err(|e| PipelineError::Score(e.to_string()))
+    }
+
+    /// Block for the score, retrying transient faults internally (worker
+    /// deaths surface as one retry, not a failed pipeline run).
+    fn wait(&self, ticket: ScoreTicket) -> Result<f32, PipelineError> {
+        self.redeem(ticket)
+            .map_err(|e| PipelineError::Score(e.to_string()))
+    }
+}

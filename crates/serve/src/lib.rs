@@ -48,6 +48,7 @@
 
 #![deny(missing_docs)]
 
+pub mod block;
 pub mod cache;
 pub mod checkpoint;
 pub mod config;
@@ -65,4 +66,4 @@ pub use em_checkpoint::CheckpointError;
 pub use executor::{plan_key, Executor};
 pub use fault::{Fault, FaultPlan};
 pub use frozen::{freeze_parts, FrozenLinear, FrozenMatcher, FrozenModel, QuantMode};
-pub use matcher::{ServeMatcher, ServeStats};
+pub use matcher::{ScoreTicket, ServeMatcher, ServeStats};

@@ -64,6 +64,33 @@ pub(crate) struct Job {
 /// of the model that produced it).
 type Pending = mpsc::Receiver<Result<(f32, u64), ServeError>>;
 
+/// A claim on one in-flight score: returned by
+/// [`ServeMatcher::submit_encoding`], redeemed (blocking) by
+/// [`ServeMatcher::redeem`].
+///
+/// The split lets a single caller keep many requests in flight — enough
+/// to fill worker micro-batches — while redeeming results in whatever
+/// order it needs them. The ticket owns its encoding so a transient
+/// failure can be retried at redeem time without the caller re-encoding.
+pub struct ScoreTicket {
+    encoding: Encoding,
+    state: TicketState,
+}
+
+enum TicketState {
+    /// The score was already in the version-keyed cache at submit time.
+    Cached(f32),
+    /// In flight through the worker pool.
+    Pending(Pending),
+}
+
+impl ScoreTicket {
+    /// The encoding this ticket is scoring.
+    pub fn encoding(&self) -> &Encoding {
+        &self.encoding
+    }
+}
+
 /// One immutable generation of the serving model: the frozen matcher plus
 /// the monotone version it was installed as. Workers pin one of these
 /// (via `Arc`) for the whole lifetime of a batch — load the `Arc`, score,
@@ -566,6 +593,40 @@ impl ServeMatcher {
         match self.submit(encoding)? {
             Ok(cached) => Ok(cached),
             Err(rx) => self.await_result(rx, encoding, die),
+        }
+    }
+
+    /// Enqueue one encoding and return a [`ScoreTicket`] immediately,
+    /// without waiting for the result. This is the streaming front door
+    /// used by `em-block`'s pipeline: submit a window of pairs, then
+    /// [`ServeMatcher::redeem`] them in order, so one pipeline thread
+    /// keeps worker batches full. Admission control applies as in
+    /// [`ServeMatcher::score`]: with shedding enabled a full queue
+    /// rejects with [`ServeError::Overloaded`] rather than blocking.
+    pub fn submit_encoding(&self, encoding: Encoding) -> Result<ScoreTicket, ServeError> {
+        let state = match self.submit(&encoding)? {
+            Ok(score) => TicketState::Cached(score),
+            Err(rx) => TicketState::Pending(rx),
+        };
+        Ok(ScoreTicket { encoding, state })
+    }
+
+    /// Redeem a ticket, blocking until its score is ready (at most the
+    /// configured `request_timeout` from now). Transient failures
+    /// ([`ServeError::is_transient`]) are retried by rescoring the
+    /// ticket's own encoding through [`ServeMatcher::score_with_retry`],
+    /// so a worker death between submit and redeem costs one retry, not
+    /// a lost result.
+    pub fn redeem(&self, ticket: ScoreTicket) -> Result<f32, ServeError> {
+        match ticket.state {
+            TicketState::Cached(score) => Ok(score),
+            TicketState::Pending(rx) => {
+                let die = self.die_at(None);
+                match self.await_result(rx, &ticket.encoding, die) {
+                    Err(e) if e.is_transient() => self.score_with_retry(&ticket.encoding),
+                    other => other,
+                }
+            }
         }
     }
 

@@ -1,0 +1,135 @@
+//! End-to-end blocking → serving integration: `em_block::DedupPipeline`
+//! driving `ServeMatcher` as its `PairScorer`, over `em-data`'s
+//! streaming catalog tables.
+
+use em_block::{
+    read_matches, BlockIndex, BlockerConfig, CandidateStream, DedupPipeline, PipelineConfig,
+    PipelineError, TableSource,
+};
+use em_core::train_tokenizer;
+use em_data::CatalogTables;
+use em_serve::{freeze_parts, FrozenMatcher, ServeConfig, ServeMatcher};
+use em_transformers::{Architecture, ClassificationHead, TransformerConfig, TransformerModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// A tiny frozen matcher whose vocabulary is sized to a tokenizer
+/// trained on real product text, so the tokenize-on-submit front door
+/// accepts catalog rows.
+fn text_matcher(seed: u64, max_len: usize) -> FrozenMatcher {
+    let corpus = em_data::generate_corpus(30, seed);
+    let tok = train_tokenizer(Architecture::Bert, &corpus, 200);
+    let cfg = TransformerConfig::tiny(
+        Architecture::Bert,
+        em_tokenizers::Tokenizer::vocab_size(&tok),
+    );
+    let hidden = cfg.hidden;
+    let model = TransformerModel::new(cfg, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ead);
+    let head = ClassificationHead::new(hidden, 0.1, 0.02, &mut rng);
+    freeze_parts(&model, &head, tok, max_len)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("em-serve-pipeline-{}-{name}", std::process::id()))
+}
+
+fn cleanup(out: &PathBuf) {
+    let _ = std::fs::remove_file(out);
+    let mut p = out.clone().into_os_string();
+    p.push(".progress");
+    let _ = std::fs::remove_file(PathBuf::from(p));
+}
+
+const BLOCKER: BlockerConfig = BlockerConfig::Token {
+    min_shared: 4,
+    stop_fraction: 1.0,
+};
+
+/// The streaming pipeline through the serving stack must emit exactly
+/// the pairs that independent per-candidate scoring says are matches.
+#[test]
+fn pipeline_matches_per_candidate_scoring() {
+    let tables = CatalogTables::new(40, 40, 5);
+    let (a, b) = (tables.table_a(), tables.table_b());
+    let matcher = ServeMatcher::start(text_matcher(5, 32), ServeConfig::default());
+
+    // Reference pass first: same candidates, scored one by one through
+    // the blocking request path. The untrained tiny model's absolute
+    // scores are arbitrary, so the match threshold is picked mid-range
+    // to guarantee both matches and non-matches exist.
+    let index = BlockIndex::build(&BLOCKER, &b);
+    let mut scored = Vec::new();
+    for c in CandidateStream::new(&index, &a) {
+        let score = matcher
+            .score_text(&a.row(c.a).text, &b.row(c.b).text)
+            .unwrap();
+        scored.push((c.a as u64, c.b as u64, score));
+    }
+    assert!(!scored.is_empty(), "blocking should yield candidates");
+    let (lo, hi) = scored
+        .iter()
+        .fold((f32::MAX, f32::MIN), |(l, h), s| (l.min(s.2), h.max(s.2)));
+    assert!(hi > lo, "scores should vary across pairs");
+    let threshold = (lo + hi) / 2.0;
+    let reference: Vec<_> = scored.iter().filter(|s| s.2 > threshold).collect();
+
+    let out = tmp("e2e.jsonl");
+    let mut cfg = PipelineConfig::new(BLOCKER, &out);
+    cfg.threshold = threshold;
+    cfg.window = 8;
+    cfg.checkpoint_every = 10;
+    let report = DedupPipeline::new(cfg).run(&a, &b, &matcher).unwrap();
+    assert!(report.completed);
+    let piped = read_matches(&out).unwrap();
+    assert_eq!(piped.len() as u64, report.matches);
+    assert_eq!(report.pairs_scored, scored.len() as u64);
+    assert_eq!(piped.len(), reference.len(), "match sets differ");
+    for (m, (ra, rb, rs)) in piped.iter().zip(&reference) {
+        assert_eq!((m.a_id, m.b_id), (*ra, *rb));
+        assert!((m.score - rs).abs() < 1e-6, "{} vs {rs}", m.score);
+    }
+    assert!(!reference.is_empty(), "mid-range threshold must pass some");
+    cleanup(&out);
+}
+
+/// Killing the serve-scored pipeline mid-run and resuming must converge
+/// to the same match file as an uninterrupted run (frozen inference is
+/// deterministic, so even the scores are byte-identical).
+#[test]
+fn pipeline_resume_with_serve_scorer_is_identical() {
+    let tables = CatalogTables::new(30, 30, 9);
+    let (a, b) = (tables.table_a(), tables.table_b());
+    let matcher = ServeMatcher::start(text_matcher(9, 32), ServeConfig::default());
+
+    let ref_out = tmp("ref.jsonl");
+    let mut ref_cfg = PipelineConfig::new(BLOCKER, &ref_out);
+    ref_cfg.checkpoint_every = 8;
+    ref_cfg.window = 4;
+    let reference = DedupPipeline::new(ref_cfg).run(&a, &b, &matcher).unwrap();
+
+    let out = tmp("killed.jsonl");
+    let mut cfg = PipelineConfig::new(BLOCKER, &out);
+    cfg.checkpoint_every = 8;
+    cfg.window = 4;
+    cfg.stop_after_chunks = Some(2);
+    match DedupPipeline::new(cfg.clone()).run(&a, &b, &matcher) {
+        Err(PipelineError::Stopped { next_row }) => assert_eq!(next_row, 16),
+        other => panic!("expected injected stop, got {other:?}"),
+    }
+    cfg.stop_after_chunks = None;
+    cfg.resume = true;
+    let resumed = DedupPipeline::new(cfg).run(&a, &b, &matcher).unwrap();
+
+    assert_eq!(resumed.pairs_scored, reference.pairs_scored);
+    assert_eq!(resumed.matches, reference.matches);
+    assert_eq!(resumed.resumed_from_row, 16);
+    assert_eq!(
+        std::fs::read(&out).unwrap(),
+        std::fs::read(&ref_out).unwrap(),
+        "resumed serve-scored output must be byte-identical"
+    );
+    cleanup(&out);
+    cleanup(&ref_out);
+}
